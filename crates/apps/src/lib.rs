@@ -1,0 +1,238 @@
+//! # lucid-apps
+//!
+//! The ten data-plane applications of the paper's Figure 9, written in
+//! Lucid (sources in `programs/*.lucid`), plus per-app harnesses that run
+//! them in the interpreter and compile them with the backend. The
+//! [`all`] registry carries the metadata the evaluation binaries print
+//! (Figures 9, 15) and the `sfw` module hosts the Figure 17 installation-
+//! time benchmark.
+
+pub mod rerouter;
+pub mod sfw;
+
+use lucid_check::CheckedProgram;
+
+/// Figure 15's recirculation-use classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecircUse {
+    /// Timed loops walking data structures: `O(entries / scan interval)`.
+    Maintenance,
+    /// New flows trigger recirculation: `E[O(flow rate)]`.
+    FlowSetup,
+    /// State updates recirculate through multiple switches:
+    /// `O(update rate)`.
+    StateSync,
+}
+
+impl RecircUse {
+    pub fn label(self) -> &'static str {
+        match self {
+            RecircUse::Maintenance => "Data struct. maintenance",
+            RecircUse::FlowSetup => "Flow setup",
+            RecircUse::StateSync => "State synchronization",
+        }
+    }
+
+    pub fn rate(self) -> &'static str {
+        match self {
+            RecircUse::Maintenance => "O(num. entries / scan interval)",
+            RecircUse::FlowSetup => "E[O(flow rate)]",
+            RecircUse::StateSync => "O(update rate)",
+        }
+    }
+}
+
+/// Static description of one Figure 9 application.
+#[derive(Debug, Clone)]
+pub struct AppInfo {
+    /// Short key used by the CLI and bench binaries.
+    pub key: &'static str,
+    /// Figure 9 display name.
+    pub name: &'static str,
+    pub description: &'static str,
+    /// The bolded "role of control events" from Figure 9.
+    pub control_role: &'static str,
+    /// Figure 15 classification.
+    pub recirc_uses: &'static [RecircUse],
+    /// Lucid source text.
+    pub source: &'static str,
+}
+
+impl AppInfo {
+    /// Non-blank, non-comment lines of Lucid source (the Figure 9 metric).
+    pub fn lucid_loc(&self) -> usize {
+        self.source
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with("//"))
+            .count()
+    }
+
+    /// Parse and check the program, panicking with rendered diagnostics on
+    /// failure (the sources in this crate must always check).
+    pub fn checked(&self) -> CheckedProgram {
+        match lucid_check::parse_and_check(self.source) {
+            Ok(p) => p,
+            Err(ds) => {
+                let sm = lucid_frontend::SourceMap::new(self.key, self.source);
+                panic!("{} does not check:\n{}", self.name, ds.render(&sm));
+            }
+        }
+    }
+}
+
+use RecircUse::*;
+
+/// The Figure 9 suite, in the paper's row order.
+pub fn all() -> Vec<AppInfo> {
+    vec![
+        AppInfo {
+            key: "sfw",
+            name: "Stateful Firewall (SFW)",
+            description: "Blocks connections not initiated by trusted hosts.",
+            control_role: "Control events update a Cuckoo hash table.",
+            recirc_uses: &[Maintenance, FlowSetup],
+            source: include_str!("../programs/stateful_firewall.lucid"),
+        },
+        AppInfo {
+            key: "rr",
+            name: "Fast Rerouter (RR)",
+            description: "Forwards packets, identifies failures, and routes.",
+            control_role: "Control events perform fault detection and routing.",
+            recirc_uses: &[Maintenance, FlowSetup],
+            source: include_str!("../programs/fast_rerouter.lucid"),
+        },
+        AppInfo {
+            key: "dns",
+            name: "Closed-loop DNS Defense (DNS)",
+            description: "Detects/blocks DNS reflection attacks with sketches & Bloom filters.",
+            control_role: "Control events age data structures.",
+            recirc_uses: &[Maintenance],
+            source: include_str!("../programs/dns_defense.lucid"),
+        },
+        AppInfo {
+            key: "starflow",
+            name: "*Flow",
+            description: "Batches packet tuples by flow to accelerate analytics.",
+            control_role: "Control events allocate memory.",
+            recirc_uses: &[FlowSetup],
+            source: include_str!("../programs/starflow.lucid"),
+        },
+        AppInfo {
+            key: "sro",
+            name: "Consistent Shared State (SRO)",
+            description: "Strongly consistent distributed arrays.",
+            control_role: "Control events synchronize writes.",
+            recirc_uses: &[StateSync],
+            source: include_str!("../programs/shared_state.lucid"),
+        },
+        AppInfo {
+            key: "dfw",
+            name: "Distributed Prob. Firewall (DFW)",
+            description: "Distributed Bloom filter firewall.",
+            control_role: "Control events sync. updates.",
+            recirc_uses: &[StateSync],
+            source: include_str!("../programs/dist_firewall.lucid"),
+        },
+        AppInfo {
+            key: "dfw_aging",
+            name: "DFW + Aging (DFW(a))",
+            description: "Distributed Bloom filter firewall with rotating generations.",
+            control_role: "Adds control events for aging.",
+            recirc_uses: &[Maintenance, StateSync],
+            source: include_str!("../programs/dist_firewall_aging.lucid"),
+        },
+        AppInfo {
+            key: "rip",
+            name: "Single-dest. RIP",
+            description: "Routing with the classic Route Information Protocol.",
+            control_role: "Control events distribute routes.",
+            recirc_uses: &[Maintenance],
+            source: include_str!("../programs/rip_router.lucid"),
+        },
+        AppInfo {
+            key: "nat",
+            name: "Simple NAT",
+            description: "Basic network address translation.",
+            control_role: "Control events buffer packets and install entries.",
+            recirc_uses: &[FlowSetup],
+            source: include_str!("../programs/nat.lucid"),
+        },
+        AppInfo {
+            key: "cm",
+            name: "Historical Prob. Queries (CM)",
+            description: "Measures flows with sketches for historical queries.",
+            control_role: "Control events age and export state periodically.",
+            recirc_uses: &[Maintenance],
+            source: include_str!("../programs/historical_sketch.lucid"),
+        },
+    ]
+}
+
+/// Look up one app by key.
+pub fn by_key(key: &str) -> Option<AppInfo> {
+    all().into_iter().find(|a| a.key == key)
+}
+
+#[cfg(test)]
+mod registry_tests {
+    use super::*;
+
+    #[test]
+    fn ten_apps_like_figure9() {
+        assert_eq!(all().len(), 10);
+    }
+
+    #[test]
+    fn every_app_parses_and_checks() {
+        for app in all() {
+            let _ = app.checked();
+        }
+    }
+
+    #[test]
+    fn every_app_compiles_to_the_tofino_model() {
+        for app in all() {
+            let prog = app.checked();
+            let compiled = lucid_backend::compile(&prog)
+                .unwrap_or_else(|e| panic!("{} failed to compile:\n{e}", app.name));
+            assert!(
+                compiled.layout.total_stages <= 12,
+                "{} needs {} stages",
+                app.name,
+                compiled.layout.total_stages
+            );
+        }
+    }
+
+    #[test]
+    fn lucid_loc_in_figure9_ballpark() {
+        // Figure 9 reports 41–215 Lucid lines per app.
+        for app in all() {
+            let loc = app.lucid_loc();
+            assert!(
+                (20..=260).contains(&loc),
+                "{}: {loc} lines is far outside the paper's range",
+                app.name
+            );
+        }
+    }
+
+    #[test]
+    fn keys_are_unique() {
+        let mut keys: Vec<_> = all().iter().map(|a| a.key).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 10);
+    }
+
+    #[test]
+    fn figure15_classes_match_paper_rows() {
+        let find = |k: &str| by_key(k).unwrap();
+        assert!(find("sfw").recirc_uses.contains(&RecircUse::Maintenance));
+        assert!(find("sfw").recirc_uses.contains(&RecircUse::FlowSetup));
+        assert!(find("sro").recirc_uses.contains(&RecircUse::StateSync));
+        assert!(find("nat").recirc_uses.contains(&RecircUse::FlowSetup));
+        assert!(find("cm").recirc_uses.contains(&RecircUse::Maintenance));
+    }
+}

@@ -1,0 +1,273 @@
+//! Stateful-firewall harness: drives `stateful_firewall.lucid` in the
+//! interpreter and measures **flow installation time** — the Figure 17
+//! metric (time from a flow's first outbound packet to the completion of
+//! its installation in the Cuckoo table).
+//!
+//! Installation completes either inline (a free slot during the first
+//! packet's own pipeline pass — "an effective flow installation time of
+//! 0 ns") or after a chain of `install_1`/`install_2` recirculations,
+//! each costing one ~600 ns loop.
+
+use lucid_check::CheckedProgram;
+use lucid_interp::{Interp, NetConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Checked SFW program.
+pub fn program() -> CheckedProgram {
+    crate::by_key("sfw").expect("registered").checked()
+}
+
+/// Result of one [`install_benchmark`] run.
+#[derive(Debug, Clone)]
+pub struct InstallBench {
+    /// Per-trial installation time in nanoseconds (0 = inline install).
+    /// This is the Figure 17 metric: the flow's own entry is written on
+    /// the *first* install pass; any further passes re-home the displaced
+    /// victim while the flow is already live (covered by the stash).
+    pub times_ns: Vec<f64>,
+    /// Per-trial time until the whole displacement chain settled and the
+    /// stash emptied (an upper bound on any transient state).
+    pub settle_ns: Vec<f64>,
+    /// Trials whose install chain gave up (`install_failed`).
+    pub failures: usize,
+    /// Fraction of trials that installed inline (0 recirculations).
+    pub frac_inline: f64,
+    /// Total recirculations consumed by install chains.
+    pub chain_recircs: u64,
+}
+
+/// The Figure 17 workload: preload the 2×1024-slot table to `load_factor`,
+/// then measure installation time for `trials` fresh flows, spaced far
+/// enough apart that chains never overlap.
+pub fn install_benchmark(trials: usize, load_factor: f64, seed: u64) -> InstallBench {
+    let prog = program();
+    let mut sim = Interp::new(&prog, NetConfig::single());
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Preload: distinct flows up to the requested load factor of the
+    // 2048-slot table. (The paper uses 0.3125 ⇒ 640 resident flows.)
+    let preload = (2048.0 * load_factor) as usize;
+    // Start the clock away from zero: timestamp 0 doubles as the "empty"
+    // sentinel in the timeout scanner.
+    let mut t = 1_000_000u64;
+    for _ in 0..preload {
+        let src: u32 = rng.gen_range(1..u32::MAX);
+        let dst: u32 = rng.gen_range(1..u32::MAX);
+        sim.schedule(1, t, "pkt_out", &[src as u64, dst as u64]).expect("scheduled");
+        t += 5_000; // 5 µs apart: chains settle between arrivals
+    }
+    sim.run_to_quiescence().expect("preload runs");
+    sim.clear_trace();
+
+    // Measurement trials. After each trial the freshly installed flow is
+    // removed again, so every trial observes the table at exactly the
+    // requested load factor (the paper's 1000 trials are i.i.d. at load
+    // 0.3125, not a table filling up to 0.8).
+    let gap = 100_000u64; // 100 µs between flows: chains never overlap
+    let mut start = t + gap;
+    let mut starts = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let src: u32 = rng.gen_range(1..u32::MAX);
+        let dst: u32 = rng.gen_range(1..u32::MAX);
+        sim.schedule(1, start, "pkt_out", &[src as u64, dst as u64]).expect("scheduled");
+        starts.push(start);
+        sim.run_to_quiescence().expect("trial runs");
+        remove_flow(&mut sim, src as u64, dst as u64);
+        start += gap;
+    }
+
+    let mut times = Vec::with_capacity(trials);
+    let mut settle = Vec::with_capacity(trials);
+    let mut failures = 0usize;
+    let mut chain_recircs = 0u64;
+    for (i, &t0) in starts.iter().enumerate() {
+        let t1 = starts.get(i + 1).copied().unwrap_or(u64::MAX);
+        // All install activity between this arrival and the next belongs
+        // to this trial's chain.
+        let mut first_step: Option<u64> = None;
+        let mut last_step: Option<u64> = None;
+        let mut failed = false;
+        for h in sim.trace.iter().filter(|h| h.time_ns >= t0 && h.time_ns < t1) {
+            match h.event.as_str() {
+                "install_1" | "install_2" => {
+                    first_step.get_or_insert(h.time_ns);
+                    last_step = Some(h.time_ns);
+                    chain_recircs += 1;
+                }
+                "install_failed" => failed = true,
+                _ => {}
+            }
+        }
+        if failed {
+            failures += 1;
+        }
+        times.push(first_step.map(|ts| (ts - t0) as f64).unwrap_or(0.0));
+        settle.push(last_step.map(|ts| (ts - t0) as f64).unwrap_or(0.0));
+    }
+    let inline = times.iter().filter(|&&x| x == 0.0).count();
+    InstallBench {
+        frac_inline: inline as f64 / times.len().max(1) as f64,
+        times_ns: times,
+        settle_ns: settle,
+        failures,
+        chain_recircs,
+    }
+}
+
+/// Remove `src→dst`'s entry (and anything parked in the stash) so the
+/// table returns to its pre-trial load. Mirrors the hash path of the
+/// Lucid program.
+fn remove_flow(sim: &mut Interp<'_>, src: u64, dst: u64) {
+    let key = lucid_interp::lucid_hash(32, 101, &[src, dst]);
+    let h1 = lucid_interp::lucid_hash(10, 1, &[key]) as usize;
+    let h2 = lucid_interp::lucid_hash(10, 2, &[key]) as usize;
+    if sim.array(1, "key1")[h1] == key {
+        sim.poke(1, "key1", h1, 0);
+        sim.poke(1, "ts1", h1, 0);
+    }
+    if sim.array(1, "key2")[h2] == key {
+        sim.poke(1, "key2", h2, 0);
+        sim.poke(1, "ts2", h2, 0);
+    }
+    if sim.array(1, "stash")[0] == key {
+        sim.poke(1, "stash", 0, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim_with(prog: &CheckedProgram) -> Interp<'_> {
+        Interp::new(prog, NetConfig::single())
+    }
+
+    #[test]
+    fn outbound_flow_admits_return_traffic() {
+        let prog = program();
+        let mut sim = sim_with(&prog);
+        sim.schedule(1, 0, "pkt_out", &[10, 20]).unwrap();
+        // Return packet: endpoints swapped.
+        sim.schedule(1, 10_000, "pkt_in", &[20, 10]).unwrap();
+        sim.run_to_quiescence().unwrap();
+        assert_eq!(sim.array(1, "allowed")[0], 1);
+        assert_eq!(sim.array(1, "dropped")[0], 0);
+        assert!(sim.trace.iter().any(|h| h.event == "fwd"));
+    }
+
+    #[test]
+    fn unsolicited_inbound_dropped() {
+        let prog = program();
+        let mut sim = sim_with(&prog);
+        sim.schedule(1, 0, "pkt_in", &[99, 10]).unwrap();
+        sim.run_to_quiescence().unwrap();
+        assert_eq!(sim.array(1, "allowed")[0], 0);
+        assert_eq!(sim.array(1, "dropped")[0], 1);
+    }
+
+    #[test]
+    fn most_installs_are_inline_at_paper_load_factor() {
+        // Figure 17: "For over 90% of flows, installation completed during
+        // the processing of the flow's first packet".
+        let b = install_benchmark(300, 0.3125, 42);
+        assert!(
+            b.frac_inline > 0.85,
+            "only {:.1}% inline",
+            b.frac_inline * 100.0
+        );
+        // §7.4: the load factor is kept low "to keep the probability of
+        // flow installation failure low" — low, not zero.
+        assert!(
+            (b.failures as f64) < 0.05 * b.times_ns.len() as f64,
+            "{} failures in {} trials",
+            b.failures,
+            b.times_ns.len()
+        );
+    }
+
+    #[test]
+    fn chains_cost_recirculation_loops() {
+        let b = install_benchmark(300, 0.3125, 7);
+        for &t in &b.times_ns {
+            // Every non-inline install is a whole number of 600 ns loops,
+            // bounded by the retry limit (MAX_RETRIES bounces through both
+            // tables, plus the initial insert attempt).
+            assert!(t == 0.0 || (t % 600.0 == 0.0 && t <= 9.0 * 600.0), "{t}");
+        }
+    }
+
+    #[test]
+    fn average_install_time_matches_figure17_scale() {
+        // Paper: "Average flow installation time ... was only 49 ns".
+        let b = install_benchmark(500, 0.3125, 3);
+        let mean = b.times_ns.iter().sum::<f64>() / b.times_ns.len() as f64;
+        assert!(mean < 300.0, "mean {mean} ns is far above the paper's scale");
+    }
+
+    #[test]
+    fn high_load_factor_causes_failures() {
+        // Past ~0.9 load the bounded Cuckoo chain starts giving up, which
+        // is why §7.4 keeps the load factor low.
+        let b = install_benchmark(300, 0.95, 11);
+        assert!(b.failures > 0, "expected some install failures at 95% load");
+    }
+
+    #[test]
+    fn stash_admits_in_flight_flow() {
+        let prog = program();
+        let mut sim = sim_with(&prog);
+        // Manually park a flow key in the stash and check its return
+        // packet is admitted while "re-installation" is in flight.
+        let key = lucid_interp::lucid_hash(32, 101, &[10, 20]);
+        sim.poke(1, "stash", 0, key);
+        sim.schedule(1, 0, "pkt_in", &[20, 10]).unwrap();
+        sim.run_to_quiescence().unwrap();
+        assert_eq!(sim.array(1, "allowed")[0], 1);
+    }
+
+    #[test]
+    fn timeout_scan_evicts_idle_flows() {
+        let prog = program();
+        let mut sim = sim_with(&prog);
+        // Away from t=0: timestamp 0 means "empty slot" to the scanner.
+        sim.schedule(1, 1_000_000, "pkt_out", &[10, 20]).unwrap();
+        sim.run_to_quiescence().unwrap();
+        let occupied: u64 =
+            sim.array(1, "key1").iter().chain(sim.array(1, "key2")).filter(|&&k| k != 0).count()
+                as u64;
+        assert!(occupied >= 1);
+        // Start the scan thread and run past the 1 s timeout plus a full
+        // table sweep (1024 slots × 100 µs).
+        sim.schedule(1, 1_001_000, "scan", &[0]).unwrap();
+        sim.run(8_000_000, 1_400_000_000).unwrap();
+        let remaining: u64 =
+            sim.array(1, "key1").iter().chain(sim.array(1, "key2")).filter(|&&k| k != 0).count()
+                as u64;
+        assert_eq!(remaining, 0, "idle flow should have been scanned out");
+        // And its return traffic is now dropped. (Bounded run: the scan
+        // thread recurses forever by design, so quiescence never comes.)
+        let drops_before = sim.array(1, "dropped")[0];
+        sim.schedule(1, sim.now_ns + 1_000, "pkt_in", &[20, 10]).unwrap();
+        sim.run(200_000, sim.now_ns + 10_000_000).unwrap();
+        assert_eq!(sim.array(1, "dropped")[0], drops_before + 1);
+    }
+
+    #[test]
+    fn refreshed_flows_survive_the_scan() {
+        let prog = program();
+        let mut sim = sim_with(&prog);
+        sim.schedule(1, 1_000_000, "pkt_out", &[10, 20]).unwrap();
+        // Keep the flow warm: a packet every 200 ms, well under the 1 s
+        // timeout, while the scanner sweeps continuously.
+        for i in 1..10u64 {
+            sim.schedule(1, 1_000_000 + i * 200_000_000, "pkt_out", &[10, 20]).unwrap();
+        }
+        sim.schedule(1, 1_001_000, "scan", &[0]).unwrap();
+        sim.run(40_000_000, 1_900_000_000).unwrap();
+        let occupied: u64 =
+            sim.array(1, "key1").iter().chain(sim.array(1, "key2")).filter(|&&k| k != 0).count()
+                as u64;
+        assert!(occupied >= 1, "active flow must not be evicted");
+    }
+}

@@ -1,0 +1,48 @@
+//! # lucid-backend
+//!
+//! The optimizing compiler backend (§6 of the paper): checked Lucid
+//! programs → atomic tables → optimized pipeline layout → Tofino-style
+//! P4_16.
+//!
+//! Pipeline:
+//!
+//! 1. [`elaborate`] — function inlining, return normalization, and
+//!    subexpression elimination down to atomic (one-ALU) statements, with
+//!    branch conditions inlined as table guards (§6.1 and §6.2 step 1).
+//! 2. [`layout`] — dataflow-driven rearrangement, greedy merging, and stage
+//!    placement against the [`PipelineSpec`](lucid_tofino::PipelineSpec)
+//!    resource model (§6.2 steps 2–3).
+//! 3. [`p4`] — P4_16 text generation with Figure 10's per-category line
+//!    accounting.
+//!
+//! [`compile`] runs all three.
+
+pub mod elaborate;
+pub mod ir;
+pub mod layout;
+pub mod opt;
+pub mod p4;
+
+pub use elaborate::elaborate;
+pub use ir::{AtomicOp, AtomicTable, Cond, HandlerIr, LocSpec, MemKind, Operand};
+pub use layout::{compile_layout, place, Layout, LayoutOptions, Placement, StageStats};
+pub use opt::{optimize, OptStats};
+pub use p4::{generate, P4Loc, P4Program};
+
+use lucid_check::CheckedProgram;
+use lucid_frontend::diag::Diagnostics;
+
+/// A complete compilation artifact.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    pub handlers: Vec<HandlerIr>,
+    pub layout: Layout,
+    pub p4: P4Program,
+}
+
+/// Run the full backend with default options on the Tofino target.
+pub fn compile(prog: &CheckedProgram) -> Result<Compiled, Diagnostics> {
+    let (handlers, layout) = compile_layout(prog)?;
+    let p4 = generate(prog, &handlers, &layout);
+    Ok(Compiled { handlers, layout, p4 })
+}

@@ -1,0 +1,403 @@
+//! Cleanup optimizations over atomic tables: copy/constant propagation and
+//! dead-table elimination.
+//!
+//! Elaboration (§6.1) is deliberately naive — every intermediate gets a
+//! temp and a `Mov` — because that keeps it auditable. This pass then
+//! removes the slack before placement, the same division of labor the
+//! paper's compiler uses ("function inlining and subexpression elimination
+//! to reduce a handler's body", then table-level optimization):
+//!
+//! * **copy propagation** — a `Mov{dst, src}` whose `dst` is written
+//!   exactly once, and whose `src` is a constant or a never-written
+//!   variable (a parameter or a scheduler-provided field), is folded into
+//!   every use of `dst`, including guard keys;
+//! * **constant guards** — a guard conjunct over a now-constant key is
+//!   decided statically: satisfied conjuncts disappear, contradicted ones
+//!   delete the whole table;
+//! * **dead-table elimination** — pure tables (`Mov`/`Bin`/`Un`/`Hash` and
+//!   read-only `Mem`) whose result is never consumed are dropped,
+//!   iterating to a fixpoint.
+//!
+//! Fewer tables means shorter dependence chains and fewer action slots —
+//! directly visible in the Figure 12/13 metrics.
+
+use crate::ir::*;
+use std::collections::HashMap;
+
+/// What the pass did, for reporting and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    pub copies_propagated: usize,
+    pub tables_removed: usize,
+    pub guards_resolved: usize,
+}
+
+/// Optimize every handler in place.
+pub fn optimize(handlers: &mut [HandlerIr]) -> OptStats {
+    let mut stats = OptStats::default();
+    for h in handlers {
+        loop {
+            let before = stats;
+            propagate_copies(h, &mut stats);
+            resolve_constant_guards(h, &mut stats);
+            eliminate_dead_tables(h, &mut stats);
+            if stats == before {
+                break;
+            }
+        }
+        // Re-number densely so later phases can index by id.
+        for (i, t) in h.tables.iter_mut().enumerate() {
+            t.id = i;
+        }
+    }
+    stats
+}
+
+/// Count definitions of each variable in a handler.
+fn def_counts(h: &HandlerIr) -> HashMap<String, usize> {
+    let mut defs: HashMap<String, usize> = HashMap::new();
+    for t in &h.tables {
+        if let Some(d) = t.op.def() {
+            *defs.entry(d.to_string()).or_insert(0) += 1;
+        }
+    }
+    defs
+}
+
+fn propagate_copies(h: &mut HandlerIr, stats: &mut OptStats) {
+    let defs = def_counts(h);
+    // Collect foldable copies: dst written once, src stable.
+    let mut subst: HashMap<String, Operand> = HashMap::new();
+    for t in &h.tables {
+        let AtomicOp::Mov { dst, src } = &t.op else { continue };
+        if !t.guard.is_empty() {
+            // A guarded copy only happens on some paths; not foldable.
+            continue;
+        }
+        if defs.get(dst).copied().unwrap_or(0) != 1 {
+            continue;
+        }
+        let stable = match src {
+            Operand::Const(_) => true,
+            Operand::Var(v) => !defs.contains_key(v),
+        };
+        if stable {
+            subst.insert(dst.clone(), src.clone());
+        }
+    }
+    if subst.is_empty() {
+        return;
+    }
+    // Resolve chains (a = b; c = a) up front.
+    let resolve = |mut op: Operand, subst: &HashMap<String, Operand>| -> Operand {
+        for _ in 0..subst.len() + 1 {
+            match &op {
+                Operand::Var(v) => match subst.get(v) {
+                    Some(next) => op = next.clone(),
+                    None => break,
+                },
+                Operand::Const(_) => break,
+            }
+        }
+        op
+    };
+
+    for t in &mut h.tables {
+        let replaced = rewrite_operands(&mut t.op, |o| {
+            let n = resolve(o.clone(), &subst);
+            if &n != o {
+                Some(n)
+            } else {
+                None
+            }
+        });
+        stats.copies_propagated += replaced;
+        // Guard keys: only var→var renames apply directly; var→const is
+        // resolved by `resolve_constant_guards`.
+        for c in &mut t.guard {
+            if let Operand::Var(v) = resolve(Operand::Var(c.var.clone()), &subst) {
+                if v != c.var {
+                    c.var = v;
+                    stats.copies_propagated += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Apply `f` to every operand of `op`; returns how many were rewritten.
+fn rewrite_operands(op: &mut AtomicOp, mut f: impl FnMut(&Operand) -> Option<Operand>) -> usize {
+    let mut n = 0;
+    let mut apply = |o: &mut Operand| {
+        if let Some(new) = f(o) {
+            *o = new;
+            n += 1;
+        }
+    };
+    match op {
+        AtomicOp::Mov { src, .. } => apply(src),
+        AtomicOp::Bin { a, b, .. } => {
+            apply(a);
+            apply(b);
+        }
+        AtomicOp::Un { a, .. } => apply(a),
+        AtomicOp::Hash { args, .. } => args.iter_mut().for_each(apply),
+        AtomicOp::Mem { index, kind, .. } => {
+            apply(index);
+            match kind {
+                MemKind::Get => {}
+                MemKind::Getm { arg, .. } | MemKind::Setm { arg, .. } => apply(arg),
+                MemKind::Set { value } => apply(value),
+                MemKind::Update { getarg, setarg, .. } => {
+                    apply(getarg);
+                    apply(setarg);
+                }
+            }
+        }
+        AtomicOp::Generate { args, delay, location, .. } => {
+            args.iter_mut().for_each(&mut apply);
+            if let Some(d) = delay {
+                apply(d);
+            }
+            if let LocSpec::Switch(s) = location {
+                apply(s);
+            }
+        }
+    }
+    n
+}
+
+/// Decide guard conjuncts whose key variable is a once-written constant.
+fn resolve_constant_guards(h: &mut HandlerIr, stats: &mut OptStats) {
+    let defs = def_counts(h);
+    let mut consts: HashMap<String, u64> = HashMap::new();
+    for t in &h.tables {
+        if let AtomicOp::Mov { dst, src: Operand::Const(c) } = &t.op {
+            if t.guard.is_empty() && defs.get(dst).copied().unwrap_or(0) == 1 {
+                consts.insert(dst.clone(), *c);
+            }
+        }
+    }
+    if consts.is_empty() {
+        return;
+    }
+    let mut keep = Vec::with_capacity(h.tables.len());
+    for mut t in std::mem::take(&mut h.tables) {
+        let mut alive = true;
+        t.guard.retain(|c| match consts.get(&c.var) {
+            None => true,
+            Some(&v) => {
+                stats.guards_resolved += 1;
+                let holds = eval_cond(c, v);
+                if !holds {
+                    alive = false;
+                }
+                false
+            }
+        });
+        if alive {
+            keep.push(t);
+        } else {
+            stats.tables_removed += 1;
+        }
+    }
+    h.tables = keep;
+}
+
+fn eval_cond(c: &Cond, v: u64) -> bool {
+    use lucid_frontend::ast::BinOp::*;
+    match c.cmp {
+        Eq => v == c.value,
+        Neq => v != c.value,
+        Lt => v < c.value,
+        Gt => v > c.value,
+        Le => v <= c.value,
+        Ge => v >= c.value,
+        _ => true,
+    }
+}
+
+/// Drop pure tables whose results nobody reads.
+fn eliminate_dead_tables(h: &mut HandlerIr, stats: &mut OptStats) {
+    loop {
+        let mut used: HashMap<&str, usize> = HashMap::new();
+        for t in &h.tables {
+            for u in t.op.uses() {
+                *used.entry(u).or_insert(0) += 1;
+            }
+            for c in &t.guard {
+                *used.entry(c.var.as_str()).or_insert(0) += 1;
+            }
+        }
+        let dead: Vec<usize> = h
+            .tables
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                let pure = match &t.op {
+                    AtomicOp::Mov { .. }
+                    | AtomicOp::Bin { .. }
+                    | AtomicOp::Un { .. }
+                    | AtomicOp::Hash { .. } => true,
+                    AtomicOp::Mem { kind, .. } => {
+                        matches!(kind, MemKind::Get | MemKind::Getm { .. })
+                    }
+                    AtomicOp::Generate { .. } => false,
+                };
+                pure && t.op.def().map(|d| !used.contains_key(d)).unwrap_or(false)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if dead.is_empty() {
+            return;
+        }
+        stats.tables_removed += dead.len();
+        let mut i = 0;
+        h.tables.retain(|_| {
+            let drop = dead.contains(&i);
+            i += 1;
+            !drop
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elaborate::elaborate;
+    use lucid_check::parse_and_check;
+
+    fn optimized(src: &str) -> (Vec<HandlerIr>, OptStats) {
+        let prog = parse_and_check(src).expect("checks");
+        let mut handlers = elaborate(&prog).expect("elaborates");
+        let stats = optimize(&mut handlers);
+        (handlers, stats)
+    }
+
+    #[test]
+    fn sys_time_copies_fold_away() {
+        let (hs, stats) = optimized(
+            r#"
+            global ts = new Array<<32>>(4);
+            event go(int i);
+            handle go(int i) {
+                int now = Sys.time();
+                Array.set(ts, i, now);
+            }
+            "#,
+        );
+        assert!(stats.copies_propagated >= 1);
+        // The Mov disappeared; the Mem writes the scheduler field directly.
+        assert_eq!(hs[0].tables.len(), 1, "{:#?}", hs[0].tables);
+        assert!(matches!(
+            &hs[0].tables[0].op,
+            AtomicOp::Mem { kind: MemKind::Set { value: Operand::Var(v) }, .. } if v == "lucid_ts"
+        ));
+    }
+
+    #[test]
+    fn unused_pure_reads_eliminated() {
+        let (hs, stats) = optimized(
+            r#"
+            global a = new Array<<32>>(4);
+            global b = new Array<<32>>(4);
+            event go(int i);
+            handle go(int i) {
+                int x = Array.get(a, i);
+                Array.set(b, i, i);
+            }
+            "#,
+        );
+        assert!(stats.tables_removed >= 1);
+        assert_eq!(
+            hs[0].tables.iter().filter(|t| t.op.salus() > 0).count(),
+            1,
+            "dead read of `a` must vanish"
+        );
+    }
+
+    #[test]
+    fn guarded_copies_are_not_folded() {
+        let (hs, _) = optimized(
+            r#"
+            event go(int i);
+            event out(int v);
+            handle go(int i) {
+                int v = 0;
+                if (i > 3) { v = 7; }
+                generate out(v);
+            }
+            "#,
+        );
+        // Both writers of v survive, and the generate still reads v.
+        let gen = hs[0]
+            .tables
+            .iter()
+            .find(|t| matches!(t.op, AtomicOp::Generate { .. }))
+            .expect("generate survives");
+        match &gen.op {
+            AtomicOp::Generate { args, .. } => {
+                assert!(matches!(&args[0], Operand::Var(_)), "{:?}", args[0]);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn reassigned_variables_are_not_folded() {
+        let (hs, _) = optimized(
+            r#"
+            event go(int i);
+            event out(int v);
+            handle go(int i) {
+                int v = 1;
+                v = v + i;
+                generate out(v);
+            }
+            "#,
+        );
+        // v is written twice; no substitution may happen.
+        assert!(hs[0].tables.len() >= 3, "{:#?}", hs[0].tables);
+    }
+
+    #[test]
+    fn optimization_shrinks_app_tables_but_preserves_effects() {
+        for app in lucid_apps_sources() {
+            let prog = parse_and_check(app).expect("checks");
+            let raw = elaborate(&prog).expect("elaborates");
+            let mut opt = raw.clone();
+            optimize(&mut opt);
+            for (r, o) in raw.iter().zip(&opt) {
+                assert!(o.tables.len() <= r.tables.len(), "{}", r.name);
+                // Effectful tables (writes, generates) are never dropped.
+                let eff = |ts: &[AtomicTable]| {
+                    ts.iter()
+                        .filter(|t| {
+                            matches!(
+                                &t.op,
+                                AtomicOp::Generate { .. }
+                                    | AtomicOp::Mem {
+                                        kind: MemKind::Set { .. }
+                                            | MemKind::Setm { .. }
+                                            | MemKind::Update { .. },
+                                        ..
+                                    }
+                            )
+                        })
+                        .count()
+                };
+                assert_eq!(eff(&r.tables), eff(&o.tables), "{}", r.name);
+            }
+        }
+    }
+
+    /// A couple of representative app sources, inlined to avoid a circular
+    /// dev-dependency on lucid-apps.
+    fn lucid_apps_sources() -> Vec<&'static str> {
+        vec![
+            include_str!("../../apps/programs/historical_sketch.lucid"),
+            include_str!("../../apps/programs/shared_state.lucid"),
+            include_str!("../../apps/programs/rip_router.lucid"),
+        ]
+    }
+}

@@ -1,0 +1,105 @@
+//! Criterion benches for the compiler itself: per-pass throughput on the
+//! bundled applications, plus the optimization ablations from DESIGN.md §4
+//! (branch-inlining is structural in this implementation; rearrangement and
+//! the merge key budget are measured here).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lucid_backend::{elaborate, place, LayoutOptions};
+use lucid_tofino::PipelineSpec;
+
+fn bench_frontend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frontend");
+    for app in lucid_apps::all() {
+        g.bench_with_input(BenchmarkId::new("parse", app.key), &app, |b, app| {
+            b.iter(|| lucid_frontend::parse_program(app.source).expect("parses"))
+        });
+        g.bench_with_input(BenchmarkId::new("check", app.key), &app, |b, app| {
+            let program = lucid_frontend::parse_program(app.source).expect("parses");
+            b.iter(|| lucid_check::check(program.clone()).expect("checks"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_backend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("backend");
+    for app in lucid_apps::all() {
+        let prog = app.checked();
+        g.bench_with_input(BenchmarkId::new("elaborate", app.key), &prog, |b, prog| {
+            b.iter(|| elaborate(prog).expect("elaborates"))
+        });
+        let handlers = elaborate(&prog).expect("elaborates");
+        g.bench_with_input(
+            BenchmarkId::new("place", app.key),
+            &(&prog, &handlers),
+            |b, (prog, handlers)| {
+                b.iter(|| {
+                    place(prog, handlers, &PipelineSpec::tofino(), LayoutOptions::default())
+                        .expect("places")
+                })
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("full_compile", app.key), &prog, |b, prog| {
+            b.iter(|| lucid_backend::compile(prog).expect("compiles"))
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: how much work the rearrangement pass does, and how sensitive
+/// placement time is to the merge key budget.
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation");
+    let app = lucid_apps::by_key("sfw").expect("bundled");
+    let prog = app.checked();
+    let handlers = elaborate(&prog).expect("elaborates");
+    let tall = PipelineSpec { stages: 256, ..PipelineSpec::tofino() };
+    g.bench_function("place_rearranged", |b| {
+        b.iter(|| place(&prog, &handlers, &tall, LayoutOptions::default()).expect("places"))
+    });
+    g.bench_function("place_serialized", |b| {
+        b.iter(|| {
+            place(
+                &prog,
+                &handlers,
+                &tall,
+                LayoutOptions { rearrange: false, ..LayoutOptions::default() },
+            )
+            .expect("places")
+        })
+    });
+    for budget in [1usize, 2, 4, 8, 16] {
+        g.bench_with_input(
+            BenchmarkId::new("merge_key_budget", budget),
+            &budget,
+            |b, &budget| {
+                b.iter(|| {
+                    place(
+                        &prog,
+                        &handlers,
+                        &tall,
+                        LayoutOptions { merge_key_budget: budget, ..LayoutOptions::default() },
+                    )
+                    .expect("places")
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn quick() -> Criterion {
+    // Keep the full suite to a few minutes: these are comparative
+    // microbenchmarks, not absolute-precision measurements.
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(700))
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_frontend, bench_backend, bench_ablations
+}
+criterion_main!(benches);

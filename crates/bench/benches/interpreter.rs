@@ -1,0 +1,89 @@
+//! Criterion benches for the event-driven interpreter: raw event
+//! throughput on a counter program, the stateful firewall's per-packet
+//! cost, and the Cuckoo install chain (the data path behind Figure 17).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lucid_interp::{Interp, NetConfig};
+
+fn bench_event_throughput(c: &mut Criterion) {
+    let prog = lucid_check::parse_and_check(
+        r#"
+        global cts = new Array<<32>>(256);
+        memop plus(int m, int x) { return m + x; }
+        event pkt(int idx);
+        handle pkt(int idx) { Array.setm(cts, idx, plus, 1); }
+        "#,
+    )
+    .expect("checks");
+    let mut g = c.benchmark_group("interp");
+    for n in [1_000u64, 10_000] {
+        g.throughput(Throughput::Elements(n));
+        g.bench_with_input(BenchmarkId::new("counter_events", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = Interp::single(&prog);
+                for i in 0..n {
+                    sim.schedule(1, i, "pkt", &[i % 256]).expect("scheduled");
+                }
+                sim.run_to_quiescence().expect("runs");
+                sim.stats.handled
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sfw_packets(c: &mut Criterion) {
+    let app = lucid_apps::by_key("sfw").expect("bundled");
+    let prog = app.checked();
+    let mut g = c.benchmark_group("sfw");
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("pkt_out_x1000", |b| {
+        b.iter(|| {
+            let mut sim = Interp::single(&prog);
+            for i in 0..1_000u64 {
+                sim.schedule(1, 1_000_000 + i * 1_000, "pkt_out", &[i + 1, i + 7])
+                    .expect("scheduled");
+            }
+            sim.run_to_quiescence().expect("runs");
+            sim.stats.handled
+        })
+    });
+    g.bench_function("install_benchmark_100", |b| {
+        b.iter(|| lucid_apps::sfw::install_benchmark(100, 0.3125, 5))
+    });
+    g.finish();
+}
+
+fn bench_multiswitch(c: &mut Criterion) {
+    let app = lucid_apps::by_key("sro").expect("bundled");
+    let prog = app.checked();
+    let mut g = c.benchmark_group("multiswitch");
+    g.throughput(Throughput::Elements(300));
+    g.bench_function("sro_writes_x100_3replicas", |b| {
+        b.iter(|| {
+            let mut sim = Interp::new(&prog, NetConfig::mesh(3));
+            for i in 0..100u64 {
+                sim.schedule(2, i * 10_000, "write_req", &[i % 64, i]).expect("scheduled");
+            }
+            sim.run_to_quiescence().expect("runs");
+            sim.stats.handled
+        })
+    });
+    g.finish();
+}
+
+fn quick() -> Criterion {
+    // Keep the full suite to a few minutes: these are comparative
+    // microbenchmarks, not absolute-precision measurements.
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(700))
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_event_throughput, bench_sfw_packets, bench_multiswitch
+}
+criterion_main!(benches);

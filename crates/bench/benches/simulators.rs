@@ -1,0 +1,73 @@
+//! Criterion benches for the Tofino-model simulators behind Figures 14,
+//! 16 and 17: the recirculation baseline, the PFC-pausable delay queue
+//! (including the release-interval ablation from DESIGN.md §4), and the
+//! analytic recirculation model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lucid_tofino::{
+    sfw_recirc_model, DelayQueue, PipelineSpec, RecircPort, RemoteControlModel, SfwModelParams,
+};
+
+fn bench_delay_mechanisms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("delay");
+    let delays: Vec<u64> = (0..90).map(|i| 800_000 + i * 3_733).collect();
+    g.bench_function("baseline_90_events", |b| {
+        let port = RecircPort::default();
+        b.iter(|| port.delay_baseline(64, &delays))
+    });
+    g.bench_function("pausable_queue_90_events", |b| {
+        let q = DelayQueue::default();
+        b.iter(|| q.delay_events(64, &delays))
+    });
+    // Ablation: release interval vs simulation cost (the accuracy trade is
+    // asserted in tests; this measures the simulator).
+    for interval_us in [10u64, 50, 100, 1000] {
+        g.bench_with_input(
+            BenchmarkId::new("queue_release_interval_us", interval_us),
+            &interval_us,
+            |b, &iv| {
+                let q = DelayQueue { release_interval_ns: iv * 1_000, ..DelayQueue::default() };
+                b.iter(|| q.delay_events(64, &delays))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("models");
+    let spec = PipelineSpec::idealized_pisa();
+    g.bench_function("sfw_recirc_model", |b| {
+        b.iter(|| {
+            sfw_recirc_model(
+                &spec,
+                SfwModelParams {
+                    table_size: 1 << 16,
+                    check_interval_s: 0.1,
+                    flow_rate: 1_000_000.0,
+                },
+            )
+        })
+    });
+    g.bench_function("remote_control_1000_samples", |b| {
+        let m = RemoteControlModel::default();
+        b.iter(|| m.sample(1_000, 42))
+    });
+    g.finish();
+}
+
+fn quick() -> Criterion {
+    // Keep the full suite to a few minutes: these are comparative
+    // microbenchmarks, not absolute-precision measurements.
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(700))
+}
+
+criterion_group!{
+    name = benches;
+    config = quick();
+    targets = bench_delay_mechanisms, bench_models
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 11 stand-in. The paper's Figure 11 is a human study (time for a
+//! student without Tofino experience to write each app); developer time
+//! cannot be simulated. We print the paper's numbers for reference and
+//! report compile+check wall time — the iteration-loop latency a
+//! developer actually feels.
+
+fn main() {
+    println!("Figure 11 — development time (paper, human study) and compile time (ours)\n");
+    let rows: Vec<Vec<String>> = lucid_bench::figure11()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.key.to_string(),
+                r.paper_dev_time.unwrap_or("-").to_string(),
+                format!("{:.1} ms", r.compile_time_us / 1_000.0),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        lucid_bench::render_table(&["app", "paper dev. time", "our compile+check time"], &rows)
+    );
+    println!("\nnote: the dev-time study is not reproducible in software (see EXPERIMENTS.md).");
+}

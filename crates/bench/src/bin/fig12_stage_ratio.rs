@@ -1,0 +1,27 @@
+//! Regenerates Figure 12: optimized vs unoptimized stage count per app
+//! (unoptimized = atomic tables on the longest control path, branch
+//! tables included), plus the rearrangement ablation.
+
+fn main() {
+    println!("Figure 12 — optimized stage count vs unoptimized\n");
+    let rows: Vec<Vec<String>> = lucid_bench::figure12()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.key.to_string(),
+                r.unoptimized_stages.to_string(),
+                r.optimized_stages.to_string(),
+                format!("{:.2}", r.ratio),
+                r.no_rearrange_stages.map(|n| n.to_string()).unwrap_or_else(|| "-".into()),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        lucid_bench::render_table(
+            &["app", "unoptimized", "optimized", "ratio", "no-rearrange (ablation)"],
+            &rows
+        )
+    );
+    println!("\npaper: ratios of 1.5-4x, larger for complex apps (*Flow, DNS).");
+}

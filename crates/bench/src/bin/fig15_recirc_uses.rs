@@ -1,0 +1,13 @@
+//! Regenerates Figure 15: how each application uses recirculation, with
+//! the asymptotic recirculation rate per class.
+
+fn main() {
+    println!("Figure 15 — recirculation uses in the Figure 9 applications\n");
+    let rows: Vec<Vec<String>> = lucid_bench::figure15()
+        .into_iter()
+        .map(|(class, apps)| {
+            vec![class.label().to_string(), class.rate().to_string(), apps.join(", ")]
+        })
+        .collect();
+    print!("{}", lucid_bench::render_table(&["Recirc. use", "Recirc. rate", "Applications"], &rows));
+}

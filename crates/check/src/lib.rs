@@ -1,0 +1,36 @@
+//! # lucid-check
+//!
+//! Semantic analysis for Lucid: symbol resolution, the memop validator
+//! (§4.2), and the ordered type-and-effect system (§5 / Appendix A) that
+//! together implement the paper's "correct-by-construction" approach to
+//! data-plane state.
+//!
+//! The entry point is [`check`], which takes a parsed
+//! [`Program`](lucid_frontend::Program) and returns a [`CheckedProgram`]
+//! carrying the symbol tables ([`ProgramInfo`]) and validated memop IR that
+//! the interpreter (`lucid-interp`) and compiler backend (`lucid-backend`)
+//! both consume.
+//!
+//! The [`calculus`] module is an executable rendition of the appendix's
+//! formal system, with property tests standing in for the paper-and-pencil
+//! soundness proof.
+
+pub mod calculus;
+pub mod memop;
+pub mod symbols;
+pub mod typecheck;
+
+pub use lucid_frontend::diag::{Diagnostic, Diagnostics, Level};
+pub use memop::{eval_memop, validate_memops, MemopAtom, MemopBody, MemopCell, MemopIr};
+pub use symbols::{mask, ConstInfo, EventInfo, GlobalId, GlobalInfo, GroupInfo, ProgramInfo};
+pub use typecheck::{check, CheckedProgram};
+
+/// Parse and check in one call.
+pub fn parse_and_check(src: &str) -> Result<CheckedProgram, Diagnostics> {
+    let program = lucid_frontend::parse_program(src).map_err(|d| {
+        let mut ds = Diagnostics::new();
+        ds.push(d);
+        ds
+    })?;
+    check(program)
+}

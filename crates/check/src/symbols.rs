@@ -1,0 +1,353 @@
+//! Symbol tables and compile-time constant evaluation.
+//!
+//! [`ProgramInfo`] is the first artifact of semantic analysis: it collects
+//! every top-level declaration into lookup tables, resolves `const`
+//! expressions to values, and assigns each `global` array its **stage
+//! index** — the declaration-order position that the ordered type-and-effect
+//! system (§5 of the paper) treats as the specification of pipeline layout.
+
+use lucid_frontend::ast::*;
+use lucid_frontend::diag::Diagnostic;
+use lucid_frontend::span::Span;
+use std::collections::HashMap;
+
+/// Identifier of a global array: its declaration-order index. The type
+/// system's "stage" for the array is exactly this number (Appendix A assigns
+/// `g_i` the type `ref(T_i, i)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlobalId(pub usize);
+
+/// A resolved global array declaration.
+#[derive(Debug, Clone)]
+pub struct GlobalInfo {
+    pub id: GlobalId,
+    pub name: String,
+    /// Bit width of each cell.
+    pub cell_width: u32,
+    /// Number of cells, resolved from the (constant) size expression.
+    pub len: u64,
+    pub span: Span,
+}
+
+/// A resolved event declaration.
+#[derive(Debug, Clone)]
+pub struct EventInfo {
+    /// Index of the event in declaration order; doubles as its wire
+    /// identifier in generated packet headers.
+    pub id: usize,
+    pub name: String,
+    pub params: Vec<Param>,
+    pub span: Span,
+}
+
+/// A resolved compile-time constant.
+#[derive(Debug, Clone)]
+pub struct ConstInfo {
+    pub name: String,
+    pub ty: Ty,
+    pub value: u64,
+    pub span: Span,
+}
+
+/// A resolved multicast group.
+#[derive(Debug, Clone)]
+pub struct GroupInfo {
+    pub name: String,
+    /// Switch locations, resolved to constants.
+    pub members: Vec<u64>,
+    pub span: Span,
+}
+
+/// Symbol tables for a parsed program. Function, handler, and memop bodies
+/// stay in the AST; this structure only records their signatures.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramInfo {
+    pub consts: HashMap<String, ConstInfo>,
+    pub groups: HashMap<String, GroupInfo>,
+    pub globals: Vec<GlobalInfo>,
+    pub globals_by_name: HashMap<String, GlobalId>,
+    pub events: Vec<EventInfo>,
+    pub events_by_name: HashMap<String, usize>,
+    /// Function name → (return type, params).
+    pub funs: HashMap<String, (Ty, Vec<Param>)>,
+    /// Memop name → params (always two ints once validated).
+    pub memops: HashMap<String, Vec<Param>>,
+    /// Handler name → params.
+    pub handlers: HashMap<String, Vec<Param>>,
+}
+
+impl ProgramInfo {
+    /// Build symbol tables from a parsed program, resolving constants.
+    ///
+    /// Duplicate names across any namespace are rejected: Lucid identifiers
+    /// share one namespace so that error messages never depend on which
+    /// table a name resolved from.
+    pub fn build(program: &Program) -> Result<ProgramInfo, Diagnostic> {
+        let mut info = ProgramInfo::default();
+        let mut taken: HashMap<String, Span> = HashMap::new();
+        let claim = |name: &Ident, taken: &mut HashMap<String, Span>| {
+            if let Some(prev) = taken.get(&name.name) {
+                return Err(Diagnostic::error(
+                    format!("duplicate declaration of `{}`", name.name),
+                    name.span,
+                )
+                .with_note("previously declared here", *prev));
+            }
+            taken.insert(name.name.clone(), name.span);
+            Ok(())
+        };
+
+        for decl in &program.decls {
+            match &decl.kind {
+                DeclKind::Const { ty, name, value } => {
+                    claim(name, &mut taken)?;
+                    let v = info.eval_const(value)?;
+                    let v = match ty {
+                        Ty::Int(w) => mask(v, *w),
+                        Ty::Bool => {
+                            if v > 1 {
+                                return Err(Diagnostic::error(
+                                    format!("boolean constant `{}` must be 0/1/true/false", name),
+                                    value.span,
+                                ));
+                            }
+                            v
+                        }
+                        other => {
+                            return Err(Diagnostic::error(
+                                format!("`const` of type {other} is not supported"),
+                                decl.span,
+                            ))
+                        }
+                    };
+                    info.consts.insert(
+                        name.name.clone(),
+                        ConstInfo { name: name.name.clone(), ty: *ty, value: v, span: name.span },
+                    );
+                }
+                DeclKind::Group { name, members } => {
+                    claim(name, &mut taken)?;
+                    let mut vals = Vec::with_capacity(members.len());
+                    for m in members {
+                        vals.push(info.eval_const(m)?);
+                    }
+                    info.groups.insert(
+                        name.name.clone(),
+                        GroupInfo { name: name.name.clone(), members: vals, span: name.span },
+                    );
+                }
+                DeclKind::GlobalArray { name, cell_width, size } => {
+                    claim(name, &mut taken)?;
+                    let len = info.eval_const(size)?;
+                    if len == 0 {
+                        return Err(Diagnostic::error(
+                            format!("global array `{name}` has zero length"),
+                            size.span,
+                        ));
+                    }
+                    let id = GlobalId(info.globals.len());
+                    info.globals.push(GlobalInfo {
+                        id,
+                        name: name.name.clone(),
+                        cell_width: *cell_width,
+                        len,
+                        span: name.span,
+                    });
+                    info.globals_by_name.insert(name.name.clone(), id);
+                }
+                DeclKind::Event { name, params } => {
+                    claim(name, &mut taken)?;
+                    let id = info.events.len();
+                    info.events.push(EventInfo {
+                        id,
+                        name: name.name.clone(),
+                        params: params.clone(),
+                        span: name.span,
+                    });
+                    info.events_by_name.insert(name.name.clone(), id);
+                }
+                DeclKind::Handler { name, params, .. } => {
+                    // Handlers share their event's name; do not claim it.
+                    if info.handlers.contains_key(&name.name) {
+                        return Err(Diagnostic::error(
+                            format!("duplicate handler `{name}`"),
+                            name.span,
+                        ));
+                    }
+                    info.handlers.insert(name.name.clone(), params.clone());
+                }
+                DeclKind::Fun { ret_ty, name, params, .. } => {
+                    claim(name, &mut taken)?;
+                    info.funs.insert(name.name.clone(), (*ret_ty, params.clone()));
+                }
+                DeclKind::Memop { name, params, .. } => {
+                    claim(name, &mut taken)?;
+                    info.memops.insert(name.name.clone(), params.clone());
+                }
+            }
+        }
+        Ok(info)
+    }
+
+    /// Evaluate a compile-time constant expression. Only integers, booleans,
+    /// previously-declared constants, and pure operators are allowed.
+    pub fn eval_const(&self, e: &Expr) -> Result<u64, Diagnostic> {
+        match &e.kind {
+            ExprKind::Int { value, .. } => Ok(*value),
+            ExprKind::Bool(b) => Ok(*b as u64),
+            ExprKind::Var(id) => match self.consts.get(&id.name) {
+                Some(c) => Ok(c.value),
+                None => Err(Diagnostic::error(
+                    format!(
+                        "`{}` is not a compile-time constant (only `const` names may appear here)",
+                        id.name
+                    ),
+                    id.span,
+                )),
+            },
+            ExprKind::Unary { op, arg } => {
+                let v = self.eval_const(arg)?;
+                Ok(match op {
+                    UnOp::Not => (v == 0) as u64,
+                    UnOp::Neg => v.wrapping_neg(),
+                    UnOp::BitNot => !v,
+                })
+            }
+            ExprKind::Binary { op, lhs, rhs } => {
+                let a = self.eval_const(lhs)?;
+                let b = self.eval_const(rhs)?;
+                let r = match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::Div => {
+                        if b == 0 {
+                            return Err(Diagnostic::error("division by zero in constant", e.span));
+                        }
+                        a / b
+                    }
+                    BinOp::Mod => {
+                        if b == 0 {
+                            return Err(Diagnostic::error("modulo by zero in constant", e.span));
+                        }
+                        a % b
+                    }
+                    BinOp::BitAnd => a & b,
+                    BinOp::BitOr => a | b,
+                    BinOp::BitXor => a ^ b,
+                    BinOp::Shl => a.wrapping_shl(b as u32),
+                    BinOp::Shr => a.wrapping_shr(b as u32),
+                    BinOp::Eq => (a == b) as u64,
+                    BinOp::Neq => (a != b) as u64,
+                    BinOp::Lt => (a < b) as u64,
+                    BinOp::Gt => (a > b) as u64,
+                    BinOp::Le => (a <= b) as u64,
+                    BinOp::Ge => (a >= b) as u64,
+                    BinOp::And => ((a != 0) && (b != 0)) as u64,
+                    BinOp::Or => ((a != 0) || (b != 0)) as u64,
+                };
+                Ok(r)
+            }
+            ExprKind::Cast { width, arg } => Ok(mask(self.eval_const(arg)?, *width)),
+            _ => Err(Diagnostic::error(
+                "this expression is not a compile-time constant",
+                e.span,
+            )),
+        }
+    }
+
+    /// Look up a global by name.
+    pub fn global(&self, name: &str) -> Option<&GlobalInfo> {
+        self.globals_by_name.get(name).map(|id| &self.globals[id.0])
+    }
+
+    /// Look up an event by name.
+    pub fn event(&self, name: &str) -> Option<&EventInfo> {
+        self.events_by_name.get(name).map(|id| &self.events[*id])
+    }
+}
+
+/// Truncate `v` to `width` bits.
+pub fn mask(v: u64, width: u32) -> u64 {
+    if width >= 64 {
+        v
+    } else {
+        v & ((1u64 << width) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lucid_frontend::parse_program;
+
+    fn build(src: &str) -> ProgramInfo {
+        ProgramInfo::build(&parse_program(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn const_folding_through_references() {
+        let info = build("const int A = 4; const int B = A * 2 + 1;");
+        assert_eq!(info.consts["B"].value, 9);
+    }
+
+    #[test]
+    fn global_sizes_resolve_to_constants() {
+        let info = build("const int N = 16; global t = new Array<<32>>(N * 4);");
+        assert_eq!(info.global("t").unwrap().len, 64);
+        assert_eq!(info.global("t").unwrap().id, GlobalId(0));
+    }
+
+    #[test]
+    fn stage_indices_follow_declaration_order() {
+        let info = build(
+            "global a = new Array<<32>>(1); global b = new Array<<16>>(2); \
+             global c = new Array<<8>>(3);",
+        );
+        assert_eq!(info.global("a").unwrap().id, GlobalId(0));
+        assert_eq!(info.global("b").unwrap().id, GlobalId(1));
+        assert_eq!(info.global("c").unwrap().id, GlobalId(2));
+        assert_eq!(info.global("c").unwrap().cell_width, 8);
+    }
+
+    #[test]
+    fn duplicate_names_rejected_across_namespaces() {
+        let err =
+            ProgramInfo::build(&parse_program("const int x = 1; global x = new Array<<32>>(4);").unwrap())
+                .unwrap_err();
+        assert!(err.message.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn handler_may_share_event_name() {
+        let info = build("event ping(int x); handle ping(int x) { generate ping(x); }");
+        assert!(info.event("ping").is_some());
+        assert!(info.handlers.contains_key("ping"));
+    }
+
+    #[test]
+    fn zero_length_array_rejected() {
+        let err = ProgramInfo::build(&parse_program("global a = new Array<<32>>(0);").unwrap())
+            .unwrap_err();
+        assert!(err.message.contains("zero length"));
+    }
+
+    #[test]
+    fn non_constant_size_rejected() {
+        let src = "event e(int n); global a = new Array<<32>>(n);";
+        let err = ProgramInfo::build(&parse_program(src).unwrap()).unwrap_err();
+        assert!(err.message.contains("not a compile-time constant"));
+    }
+
+    #[test]
+    fn const_mask_applies_width() {
+        let info = build("const int<<8>> A = 300;");
+        assert_eq!(info.consts["A"].value, 300 & 0xff);
+    }
+
+    #[test]
+    fn groups_resolve_members() {
+        let info = build("const int S2 = 2; const group G = {S2, 3, 4};");
+        assert_eq!(info.groups["G"].members, vec![2, 3, 4]);
+    }
+}

@@ -1,0 +1,109 @@
+//! `lucidc` — command-line front end for the Lucid reproduction.
+//!
+//! ```text
+//! lucidc check <file.lucid>          syntax + memop + effect checking
+//! lucidc compile <file.lucid>        emit P4_16 to stdout, stats to stderr
+//! lucidc stages <file.lucid>         print the pipeline layout
+//! lucidc apps                        list the bundled Figure 9 applications
+//! lucidc app <key>                   dump a bundled app's Lucid source
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [cmd, file] if cmd == "check" => with_source(file, |name, src| {
+            match lucid_core::check_source(name, src) {
+                Ok(p) => {
+                    println!(
+                        "ok: {} globals, {} events, {} handlers, {} memops",
+                        p.info.globals.len(),
+                        p.info.events.len(),
+                        p.info.handlers.len(),
+                        p.memops.len()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }),
+        [cmd, file] if cmd == "compile" => with_source(file, |name, src| {
+            match lucid_core::compile_source(name, src) {
+                Ok(art) => {
+                    println!("{}", art.compiled.p4.source);
+                    eprintln!(
+                        "stages: {} (unoptimized {}), p4 lines: {}",
+                        art.compiled.layout.total_stages,
+                        art.compiled.layout.unoptimized_stages,
+                        art.compiled.p4.loc.total()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }),
+        [cmd, file] if cmd == "stages" => with_source(file, |name, src| {
+            match lucid_core::compile_source(name, src) {
+                Ok(art) => {
+                    let l = &art.compiled.layout;
+                    println!("total stages: {} (dispatcher included)", l.total_stages);
+                    println!("unoptimized:  {}", l.unoptimized_stages);
+                    println!("stage ratio:  {:.2}", l.stage_ratio());
+                    for (i, st) in l.stage_stats.iter().enumerate() {
+                        if st.tables == 0 {
+                            continue;
+                        }
+                        println!(
+                            "stage {i:>2}: {:>2} tables ({} merged), {} sALUs, {} action ops",
+                            st.tables, st.merged_tables, st.salus, st.action_ops
+                        );
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }),
+        [cmd] if cmd == "apps" => {
+            for app in lucid_apps::all() {
+                println!("{:<12} {:<36} {} Lucid lines", app.key, app.name, app.lucid_loc());
+            }
+            ExitCode::SUCCESS
+        }
+        [cmd, key] if cmd == "app" => match lucid_apps::by_key(key) {
+            Some(app) => {
+                print!("{}", app.source);
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("unknown app `{key}`; try `lucidc apps`");
+                ExitCode::FAILURE
+            }
+        },
+        _ => {
+            eprintln!(
+                "usage: lucidc <check|compile|stages> <file.lucid>\n       lucidc apps | app <key>"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn with_source(path: &str, f: impl FnOnce(&str, &str) -> ExitCode) -> ExitCode {
+    match std::fs::read_to_string(path) {
+        Ok(src) => f(path, &src),
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

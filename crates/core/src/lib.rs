@@ -1,0 +1,118 @@
+//! # lucid-core
+//!
+//! The umbrella crate for this Rust reproduction of *Lucid: A Language for
+//! Control in the Data Plane* (SIGCOMM 2021). It re-exports the pipeline
+//! stages and provides one-call drivers:
+//!
+//! * [`compile_source`] — parse → check (memops §4.2, ordered effects §5)
+//!   → elaborate → place → generate P4 (§6);
+//! * [`check_source`] — front half only, for interpreter users;
+//! * [`Interp`] re-export — the event-driven network simulator (§3).
+//!
+//! ```
+//! let art = lucid_core::compile_source("counter.lucid", r#"
+//!     global cts = new Array<<32>>(64);
+//!     memop plus(int m, int x) { return m + x; }
+//!     event pkt(int idx);
+//!     handle pkt(int idx) { Array.setm(cts, idx, plus, 1); }
+//! "#).unwrap();
+//! assert!(art.compiled.layout.total_stages <= 12);
+//! assert!(art.compiled.p4.source.contains("RegisterAction"));
+//! ```
+
+pub use lucid_backend as backend;
+pub use lucid_check as check;
+pub use lucid_frontend as frontend;
+pub use lucid_interp as interp;
+pub use lucid_tofino as tofino;
+
+pub use lucid_backend::{Compiled, Layout, P4Program};
+pub use lucid_check::CheckedProgram;
+pub use lucid_interp::{Interp, NetConfig};
+pub use lucid_tofino::PipelineSpec;
+
+use lucid_frontend::SourceMap;
+
+/// A fully rendered compile error: diagnostics already formatted against
+/// the source text.
+#[derive(Debug, Clone)]
+pub struct CompileError {
+    pub rendered: String,
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.rendered)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Everything produced by a successful compile.
+#[derive(Debug, Clone)]
+pub struct Artifacts {
+    pub checked: CheckedProgram,
+    pub compiled: Compiled,
+}
+
+/// Parse and semantically check a source file.
+pub fn check_source(name: &str, src: &str) -> Result<CheckedProgram, CompileError> {
+    let sm = SourceMap::new(name, src);
+    let program = lucid_frontend::parse_program(src).map_err(|d| CompileError {
+        rendered: d.render(&sm),
+    })?;
+    lucid_check::check(program).map_err(|ds| CompileError { rendered: ds.render(&sm) })
+}
+
+/// Full pipeline: source text → checked program → Tofino layout → P4.
+pub fn compile_source(name: &str, src: &str) -> Result<Artifacts, CompileError> {
+    let sm = SourceMap::new(name, src);
+    let checked = check_source(name, src)?;
+    let compiled = lucid_backend::compile(&checked)
+        .map_err(|ds| CompileError { rendered: ds.render(&sm) })?;
+    Ok(Artifacts { checked, compiled })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_source_end_to_end() {
+        let art = compile_source(
+            "t.lucid",
+            r#"
+            global a = new Array<<32>>(8);
+            event go(int i);
+            handle go(int i) { Array.set(a, i, 1); }
+            "#,
+        )
+        .unwrap();
+        assert!(art.compiled.layout.total_stages >= 2);
+        assert!(art.compiled.p4.loc.total() > 40);
+    }
+
+    #[test]
+    fn errors_render_with_source_excerpt() {
+        let err = compile_source(
+            "bad.lucid",
+            "global a = new Array<<32>>(8);\nglobal b = new Array<<32>>(8);\n\
+             event go(int i);\nhandle go(int i) {\n  int x = Array.get(b, i);\n  \
+             Array.set(a, i, x);\n}\n",
+        )
+        .unwrap_err();
+        assert!(err.rendered.contains("out of declaration order"), "{err}");
+        assert!(err.rendered.contains("bad.lucid:6"), "{err}");
+        assert!(err.rendered.contains("Array.set(a, i, x);"), "{err}");
+    }
+
+    #[test]
+    fn memop_error_renders_at_the_operator() {
+        let err = compile_source(
+            "m.lucid",
+            "memop bad(int m, int x) { return m * x; }\n",
+        )
+        .unwrap_err();
+        assert!(err.rendered.contains('*'), "{err}");
+    }
+}

@@ -1,0 +1,214 @@
+//! Compiler diagnostics.
+//!
+//! Lucid's design thesis (§4, §5 of the paper) is that data-plane programming
+//! errors should be caught *early*, on *untransformed source*, with messages
+//! that pinpoint the exact construct at fault — instead of surfacing as
+//! cryptic failures in a target-specific backend. Every phase of this
+//! compiler therefore reports through [`Diagnostic`], which renders with the
+//! offending source line and a caret underline.
+
+use crate::span::{SourceMap, Span};
+use std::fmt;
+
+/// Severity of a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Informational note attached to another diagnostic.
+    Note,
+    /// Suspicious but not fatal; compilation continues.
+    Warning,
+    /// Fatal; the phase that raised it fails.
+    Error,
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Level::Note => write!(f, "note"),
+            Level::Warning => write!(f, "warning"),
+            Level::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// A single diagnostic message with an optional primary span and any number
+/// of secondary notes (e.g. "array was declared here").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub level: Level,
+    pub message: String,
+    /// Primary location of the problem.
+    pub span: Option<Span>,
+    /// Secondary labelled locations, rendered after the primary one.
+    pub notes: Vec<(String, Option<Span>)>,
+}
+
+impl Diagnostic {
+    /// A fatal error at `span`.
+    pub fn error(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic { level: Level::Error, message: message.into(), span: Some(span), notes: Vec::new() }
+    }
+
+    /// A fatal error with no location (e.g. "no main handler defined").
+    pub fn error_global(message: impl Into<String>) -> Self {
+        Diagnostic { level: Level::Error, message: message.into(), span: None, notes: Vec::new() }
+    }
+
+    /// A warning at `span`.
+    pub fn warning(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic { level: Level::Warning, message: message.into(), span: Some(span), notes: Vec::new() }
+    }
+
+    /// Attach a secondary note pointing at `span`.
+    pub fn with_note(mut self, message: impl Into<String>, span: Span) -> Self {
+        self.notes.push((message.into(), Some(span)));
+        self
+    }
+
+    /// Attach a free-floating note.
+    pub fn with_help(mut self, message: impl Into<String>) -> Self {
+        self.notes.push((message.into(), None));
+        self
+    }
+
+    /// Render this diagnostic against `sm` in a rustc-like format:
+    ///
+    /// ```text
+    /// error: arrays accessed out of declaration order
+    ///   --> fw.lucid:9:13
+    ///    |
+    ///  9 |     int x = Array.get(arr1, idx);
+    ///    |             ^^^^^^^^^^^^^^^^^^^^
+    ///    = note: arr2 (declared earlier) was already accessed at 8:13
+    /// ```
+    pub fn render(&self, sm: &SourceMap) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{}: {}\n", self.level, self.message));
+        if let Some(span) = self.span {
+            render_span(&mut out, sm, span);
+        }
+        for (msg, nspan) in &self.notes {
+            out.push_str(&format!("  = note: {msg}\n"));
+            if let Some(nspan) = nspan {
+                render_span(&mut out, sm, *nspan);
+            }
+        }
+        out
+    }
+}
+
+fn render_span(out: &mut String, sm: &SourceMap, span: Span) {
+    let lc = sm.line_col(span.start);
+    out.push_str(&format!("  --> {}:{}:{}\n", sm.name, lc.line, lc.col));
+    let line = sm.line_text(lc.line);
+    let gutter = format!("{:>4}", lc.line);
+    out.push_str(&format!("{} |\n", " ".repeat(gutter.len())));
+    out.push_str(&format!("{gutter} | {line}\n"));
+    let col = (lc.col - 1) as usize;
+    // Clamp the underline to the end of the line: multi-line spans underline
+    // only their first line.
+    let end_lc = sm.line_col(span.end.saturating_sub(1).max(span.start));
+    let width = if end_lc.line == lc.line {
+        span.len().max(1).min(line.len().saturating_sub(col).max(1))
+    } else {
+        line.len().saturating_sub(col).max(1)
+    };
+    out.push_str(&format!(
+        "{} | {}{}\n",
+        " ".repeat(gutter.len()),
+        " ".repeat(col),
+        "^".repeat(width)
+    ));
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.level, self.message)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// An ordered collection of diagnostics produced by one phase.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Diagnostics {
+    pub items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, d: Diagnostic) {
+        self.items.push(d);
+    }
+
+    /// True if any diagnostic is an error.
+    pub fn has_errors(&self) -> bool {
+        self.items.iter().any(|d| d.level == Level::Error)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Render all diagnostics, separated by blank lines.
+    pub fn render(&self, sm: &SourceMap) -> String {
+        self.items.iter().map(|d| d.render(sm)).collect::<Vec<_>>().join("\n")
+    }
+}
+
+impl fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.items {
+            writeln!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Diagnostics {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_points_at_source() {
+        let sm = SourceMap::new("t.lucid", "int x = 3;\nint y = z;\n");
+        let d = Diagnostic::error("unbound variable z", Span::new(19, 20));
+        let r = d.render(&sm);
+        assert!(r.contains("error: unbound variable z"), "{r}");
+        assert!(r.contains("t.lucid:2:9"), "{r}");
+        assert!(r.contains("int y = z;"), "{r}");
+        assert!(r.contains("        ^"), "{r}");
+    }
+
+    #[test]
+    fn has_errors_ignores_warnings() {
+        let mut ds = Diagnostics::new();
+        ds.push(Diagnostic::warning("meh", Span::new(0, 1)));
+        assert!(!ds.has_errors());
+        ds.push(Diagnostic::error("bad", Span::new(0, 1)));
+        assert!(ds.has_errors());
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn notes_render_after_primary() {
+        let sm = SourceMap::new("t.lucid", "global a = new Array<<32>>(4);\n");
+        let d = Diagnostic::error("disordered access", Span::new(0, 6))
+            .with_note("declared here", Span::new(7, 8))
+            .with_help("reorder the declarations");
+        let r = d.render(&sm);
+        let primary = r.find("disordered access").unwrap();
+        let note = r.find("declared here").unwrap();
+        let help = r.find("reorder the declarations").unwrap();
+        assert!(primary < note && note < help);
+    }
+}

@@ -1,0 +1,181 @@
+//! Tokens produced by the Lucid lexer.
+
+use crate::span::Span;
+use std::fmt;
+
+/// The kind of a lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    // Literals and identifiers -------------------------------------------
+    /// Integer literal, already parsed to a value. Widths larger than 64
+    /// bits are not representable in the surface language.
+    Int(u64),
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// An identifier or dotted builtin path such as `Array.get`.
+    Ident(String),
+    /// A string literal (used by `printf`).
+    Str(String),
+
+    // Keywords ------------------------------------------------------------
+    KwConst,
+    KwGlobal,
+    KwEvent,
+    KwHandle,
+    KwFun,
+    KwMemop,
+    KwIf,
+    KwElse,
+    KwReturn,
+    KwGenerate,
+    KwMGenerate,
+    KwPrintf,
+    KwNew,
+    KwInt,
+    KwBool,
+    KwVoid,
+    KwGroup,
+    KwAuto,
+
+    // Punctuation ----------------------------------------------------------
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Assign,
+    /// `<<` in type position doubles as shift-left in expression position;
+    /// the parser disambiguates.
+    Shl,
+    Shr,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    AndAnd,
+    OrOr,
+    EqEq,
+    NotEq,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// A short human-readable description used in "expected X, found Y"
+    /// parse errors.
+    pub fn describe(&self) -> String {
+        use TokenKind::*;
+        match self {
+            Int(n) => format!("integer `{n}`"),
+            True => "`true`".into(),
+            False => "`false`".into(),
+            Ident(s) => format!("identifier `{s}`"),
+            Str(_) => "string literal".into(),
+            KwConst => "`const`".into(),
+            KwGlobal => "`global`".into(),
+            KwEvent => "`event`".into(),
+            KwHandle => "`handle`".into(),
+            KwFun => "`fun`".into(),
+            KwMemop => "`memop`".into(),
+            KwIf => "`if`".into(),
+            KwElse => "`else`".into(),
+            KwReturn => "`return`".into(),
+            KwGenerate => "`generate`".into(),
+            KwMGenerate => "`mgenerate`".into(),
+            KwPrintf => "`printf`".into(),
+            KwNew => "`new`".into(),
+            KwInt => "`int`".into(),
+            KwBool => "`bool`".into(),
+            KwVoid => "`void`".into(),
+            KwGroup => "`group`".into(),
+            KwAuto => "`auto`".into(),
+            LParen => "`(`".into(),
+            RParen => "`)`".into(),
+            LBrace => "`{`".into(),
+            RBrace => "`}`".into(),
+            LBracket => "`[`".into(),
+            RBracket => "`]`".into(),
+            Comma => "`,`".into(),
+            Semi => "`;`".into(),
+            Assign => "`=`".into(),
+            Shl => "`<<`".into(),
+            Shr => "`>>`".into(),
+            Plus => "`+`".into(),
+            Minus => "`-`".into(),
+            Star => "`*`".into(),
+            Slash => "`/`".into(),
+            Percent => "`%`".into(),
+            Amp => "`&`".into(),
+            Pipe => "`|`".into(),
+            Caret => "`^`".into(),
+            Tilde => "`~`".into(),
+            Bang => "`!`".into(),
+            AndAnd => "`&&`".into(),
+            OrOr => "`||`".into(),
+            EqEq => "`==`".into(),
+            NotEq => "`!=`".into(),
+            Lt => "`<`".into(),
+            Gt => "`>`".into(),
+            Le => "`<=`".into(),
+            Ge => "`>=`".into(),
+            Eof => "end of input".into(),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub span: Span,
+}
+
+/// Look up the keyword for an identifier-shaped lexeme, if any.
+pub fn keyword(word: &str) -> Option<TokenKind> {
+    use TokenKind::*;
+    Some(match word {
+        "const" => KwConst,
+        "global" => KwGlobal,
+        "event" => KwEvent,
+        "handle" => KwHandle,
+        "fun" => KwFun,
+        "memop" => KwMemop,
+        "if" => KwIf,
+        "else" => KwElse,
+        "return" => KwReturn,
+        "generate" => KwGenerate,
+        "mgenerate" => KwMGenerate,
+        "printf" => KwPrintf,
+        "new" => KwNew,
+        "int" => KwInt,
+        "bool" => KwBool,
+        "void" => KwVoid,
+        "group" => KwGroup,
+        "auto" => KwAuto,
+        "true" => True,
+        "false" => False,
+        _ => return None,
+    })
+}

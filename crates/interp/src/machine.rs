@@ -1,0 +1,1074 @@
+//! The event-driven interpreter: a discrete-event simulation of one or more
+//! Lucid switches and the network between them.
+//!
+//! This plays the role of the Lucid interpreter from the paper's artifact
+//! ("enables rapid prototyping and testing of data-plane applications
+//! without requiring access to the Tofino toolchain"), extended with the
+//! timing model of §2: handler execution is one pass through a PISA
+//! pipeline, `generate` to the local switch costs one recirculation
+//! (~600 ns on a Tofino, Fig. 17), and events sent to a neighbor take a
+//! ~1 µs wire hop.
+
+use crate::value::{lucid_hash, EventVal, Location, Value};
+use lucid_check::{eval_memop, mask, CheckedProgram, GlobalId};
+use lucid_frontend::ast::*;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+
+/// Network and hardware timing parameters.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Switch identifiers. Events located at unknown switches are dropped.
+    pub switches: Vec<u64>,
+    /// One-way latency between any two distinct switches, in nanoseconds.
+    /// (§2.1: "sending a message from a switch's data-plane processor to
+    /// its neighbor takes around 1 µs".)
+    pub link_latency_ns: u64,
+    /// Latency of one recirculation pass (§7.4: one recirculation ≈ 600 ns).
+    pub recirc_latency_ns: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig { switches: vec![1], link_latency_ns: 1_000, recirc_latency_ns: 600 }
+    }
+}
+
+impl NetConfig {
+    /// A single-switch network (the common case for app tests).
+    pub fn single() -> Self {
+        Self::default()
+    }
+
+    /// A fully-connected network of `n` switches with ids `1..=n`.
+    pub fn mesh(n: u64) -> Self {
+        NetConfig { switches: (1..=n).collect(), ..Self::default() }
+    }
+}
+
+/// A record of one handled event, for assertions and tracing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Handled {
+    pub time_ns: u64,
+    pub switch: u64,
+    pub event: String,
+    pub args: Vec<u64>,
+}
+
+/// Aggregate execution statistics.
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    /// Events whose handler ran.
+    pub handled: u64,
+    /// Events generated to the local switch (each costs a recirculation).
+    pub recirculated: u64,
+    /// Events sent to other switches.
+    pub sent_remote: u64,
+    /// Events for which no handler exists (treated as exported packets).
+    pub exported: u64,
+    /// Events dropped because their destination switch does not exist.
+    pub dropped: u64,
+    /// Handled-event counts per event name.
+    pub per_event: HashMap<String, u64>,
+}
+
+/// Runtime failure. The checker rules out type errors, so what remains are
+/// data-dependent faults — exactly the ones a hardware target would also
+/// hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// Array index outside the declared length.
+    IndexOutOfBounds { array: String, index: u64, len: u64, switch: u64 },
+    /// The run exceeded its event budget (likely a runaway recursion).
+    FuelExhausted { handled: u64 },
+    /// An event was scheduled by name that does not exist.
+    NoSuchEvent(String),
+    /// Wrong number of arguments in an externally injected event.
+    BadArity { event: String, want: usize, got: usize },
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::IndexOutOfBounds { array, index, len, switch } => write!(
+                f,
+                "index {index} out of bounds for array `{array}` (len {len}) on switch {switch}"
+            ),
+            InterpError::FuelExhausted { handled } => {
+                write!(f, "event budget exhausted after {handled} events")
+            }
+            InterpError::NoSuchEvent(n) => write!(f, "no event named `{n}`"),
+            InterpError::BadArity { event, want, got } => {
+                write!(f, "event `{event}` wants {want} args, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Per-switch persistent state: one `Vec<u64>` per global array, in
+/// declaration (= stage) order. Registers reset to zero, as on hardware.
+#[derive(Debug, Clone)]
+pub struct SwitchState {
+    pub arrays: Vec<Vec<u64>>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Scheduled {
+    time_ns: u64,
+    seq: u64,
+    switch: u64,
+    event_id: usize,
+    args: Vec<u64>,
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time_ns, self.seq).cmp(&(other.time_ns, other.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Flow of control inside a handler body.
+enum Flow {
+    Normal,
+    Returned(Value),
+}
+
+/// The interpreter. Borrows the checked program; owns all simulation state.
+pub struct Interp<'p> {
+    prog: &'p CheckedProgram,
+    pub config: NetConfig,
+    states: HashMap<u64, SwitchState>,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    seq: u64,
+    /// Simulation clock, nanoseconds.
+    pub now_ns: u64,
+    /// Every handled event, in order. Cleared with [`Interp::clear_trace`].
+    pub trace: Vec<Handled>,
+    /// `printf` output lines.
+    pub output: Vec<String>,
+    pub stats: Stats,
+    /// When true, `printf` also writes to stdout.
+    pub echo: bool,
+}
+
+impl<'p> Interp<'p> {
+    pub fn new(prog: &'p CheckedProgram, config: NetConfig) -> Self {
+        let state = SwitchState {
+            arrays: prog.info.globals.iter().map(|g| vec![0u64; g.len as usize]).collect(),
+        };
+        let states = config.switches.iter().map(|&s| (s, state.clone())).collect();
+        Interp {
+            prog,
+            config,
+            states,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now_ns: 0,
+            trace: Vec::new(),
+            output: Vec::new(),
+            stats: Stats::default(),
+            echo: false,
+        }
+    }
+
+    /// Single-switch interpreter with default timing.
+    pub fn single(prog: &'p CheckedProgram) -> Self {
+        Interp::new(prog, NetConfig::single())
+    }
+
+    /// Schedule an externally injected event (e.g. a packet arrival) by
+    /// name at an absolute time.
+    pub fn schedule(
+        &mut self,
+        switch: u64,
+        time_ns: u64,
+        event: &str,
+        args: &[u64],
+    ) -> Result<(), InterpError> {
+        let ev = self
+            .prog
+            .info
+            .event(event)
+            .ok_or_else(|| InterpError::NoSuchEvent(event.to_string()))?;
+        if ev.params.len() != args.len() {
+            return Err(InterpError::BadArity {
+                event: event.to_string(),
+                want: ev.params.len(),
+                got: args.len(),
+            });
+        }
+        let masked: Vec<u64> = ev
+            .params
+            .iter()
+            .zip(args)
+            .map(|(p, a)| mask(*a, p.ty.int_width().unwrap_or(32)))
+            .collect();
+        self.push(Scheduled { time_ns, seq: 0, switch, event_id: ev.id, args: masked });
+        Ok(())
+    }
+
+    fn push(&mut self, mut s: Scheduled) {
+        self.seq += 1;
+        s.seq = self.seq;
+        self.queue.push(Reverse(s));
+    }
+
+    /// Read a global array on a switch (for assertions).
+    pub fn array(&self, switch: u64, name: &str) -> &[u64] {
+        let gid = self.prog.info.globals_by_name[name];
+        &self.states[&switch].arrays[gid.0]
+    }
+
+    /// Overwrite a global array cell (test setup / fault injection).
+    pub fn poke(&mut self, switch: u64, name: &str, index: usize, value: u64) {
+        let gid = self.prog.info.globals_by_name[name];
+        let g = &self.prog.info.globals[gid.0];
+        let v = mask(value, g.cell_width);
+        self.states.get_mut(&switch).expect("switch exists").arrays[gid.0][index] = v;
+    }
+
+    /// Fault injection: take a switch offline. Its state is lost and any
+    /// event destined to it is dropped (counted in [`Stats::dropped`]),
+    /// exactly like a dead box on the wire.
+    pub fn fail_switch(&mut self, id: u64) {
+        self.states.remove(&id);
+    }
+
+    /// Bring a previously failed switch back with zeroed registers (a
+    /// rebooted switch does not remember its arrays).
+    pub fn recover_switch(&mut self, id: u64) {
+        let state = SwitchState {
+            arrays: self.prog.info.globals.iter().map(|g| vec![0u64; g.len as usize]).collect(),
+        };
+        self.states.insert(id, state);
+    }
+
+    /// Number of events still queued.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    pub fn clear_trace(&mut self) {
+        self.trace.clear();
+        self.output.clear();
+    }
+
+    /// Run until the queue drains, `max_events` have been handled, or the
+    /// clock passes `max_time_ns` (events after the horizon stay queued).
+    pub fn run(&mut self, max_events: u64, max_time_ns: u64) -> Result<(), InterpError> {
+        let mut handled_this_run = 0u64;
+        while let Some(Reverse(next)) = self.queue.peek() {
+            if next.time_ns > max_time_ns {
+                return Ok(());
+            }
+            if handled_this_run >= max_events {
+                return Err(InterpError::FuelExhausted { handled: handled_this_run });
+            }
+            let Reverse(sched) = self.queue.pop().expect("peeked");
+            self.now_ns = self.now_ns.max(sched.time_ns);
+            handled_this_run += 1;
+            self.dispatch(sched)?;
+        }
+        Ok(())
+    }
+
+    /// Run with a generous default budget; most tests use this.
+    pub fn run_to_quiescence(&mut self) -> Result<(), InterpError> {
+        self.run(1_000_000, u64::MAX)
+    }
+
+    fn dispatch(&mut self, sched: Scheduled) -> Result<(), InterpError> {
+        let ev = &self.prog.info.events[sched.event_id];
+        let name = ev.name.clone();
+        if !self.states.contains_key(&sched.switch) {
+            self.stats.dropped += 1;
+            return Ok(());
+        }
+        let Some((params, body)) = self.prog.handler_body(&name) else {
+            // Declared event with no handler: it leaves the simulated
+            // network (e.g. a report exported to a collector).
+            self.stats.exported += 1;
+            self.trace.push(Handled {
+                time_ns: sched.time_ns,
+                switch: sched.switch,
+                event: name,
+                args: sched.args,
+            });
+            return Ok(());
+        };
+
+        self.stats.handled += 1;
+        *self.stats.per_event.entry(name.clone()).or_insert(0) += 1;
+        self.trace.push(Handled {
+            time_ns: sched.time_ns,
+            switch: sched.switch,
+            event: name,
+            args: sched.args.clone(),
+        });
+
+        let mut env: HashMap<String, Value> = HashMap::new();
+        for (p, a) in params.iter().zip(&sched.args) {
+            env.insert(p.name.name.clone(), value_of(p.ty, *a));
+        }
+        let mut cx = ExecCx::new(sched.switch, env);
+        let body = body.clone();
+        self.exec_block(&body, &mut cx)?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------ handlers
+
+    fn exec_block(&mut self, b: &Block, cx: &mut ExecCx) -> Result<Flow, InterpError> {
+        for s in &b.stmts {
+            match self.exec_stmt(s, cx)? {
+                Flow::Normal => {}
+                r @ Flow::Returned(_) => return Ok(r),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&mut self, s: &Stmt, cx: &mut ExecCx) -> Result<Flow, InterpError> {
+        match &s.kind {
+            StmtKind::Local { ty, name, init } => {
+                let mut v = self.eval(init, cx)?;
+                if let (Some(Ty::Int(w)), Value::Int { v: x, .. }) = (ty, &v) {
+                    v = Value::int(*x, *w);
+                }
+                cx.env.insert(name.name.clone(), v);
+                Ok(Flow::Normal)
+            }
+            StmtKind::Assign { name, value } => {
+                let v = self.eval(value, cx)?;
+                let v = match (cx.env.get(&name.name), v) {
+                    (Some(Value::Int { width, .. }), Value::Int { v: x, .. }) => {
+                        Value::int(x, *width)
+                    }
+                    (_, v) => v,
+                };
+                cx.env.insert(name.name.clone(), v);
+                Ok(Flow::Normal)
+            }
+            StmtKind::If { cond, then_blk, else_blk } => {
+                let c = self.eval(cond, cx)?.as_bool().expect("checked: bool");
+                if c {
+                    self.exec_block(then_blk, cx)
+                } else if let Some(e) = else_blk {
+                    self.exec_block(e, cx)
+                } else {
+                    Ok(Flow::Normal)
+                }
+            }
+            StmtKind::Generate(e) | StmtKind::MGenerate(e) => {
+                let v = self.eval(e, cx)?;
+                let Value::Event(ev) = v else { panic!("checked: generate of non-event") };
+                self.emit(cx.switch, ev);
+                Ok(Flow::Normal)
+            }
+            StmtKind::Return(None) => Ok(Flow::Returned(Value::Void)),
+            StmtKind::Return(Some(e)) => {
+                let v = self.eval(e, cx)?;
+                Ok(Flow::Returned(v))
+            }
+            StmtKind::Printf { fmt, args } => {
+                let mut vals = Vec::new();
+                for a in args {
+                    vals.push(self.eval(a, cx)?);
+                }
+                let line = format_printf(fmt, &vals);
+                if self.echo {
+                    println!("[{} @{}ns] {}", cx.switch, self.now_ns, line);
+                }
+                self.output.push(line);
+                Ok(Flow::Normal)
+            }
+            StmtKind::Expr(e) => {
+                self.eval(e, cx)?;
+                Ok(Flow::Normal)
+            }
+        }
+    }
+
+    /// Schedule a generated event according to its location and delay.
+    fn emit(&mut self, from: u64, ev: EventVal) {
+        let targets: Vec<(u64, u64)> = match &ev.location {
+            Location::Here => vec![(from, self.config.recirc_latency_ns)],
+            Location::Switch(s) => {
+                let lat = if *s == from {
+                    self.config.recirc_latency_ns
+                } else {
+                    self.config.link_latency_ns
+                };
+                vec![(*s, lat)]
+            }
+            Location::Group(members) => members
+                .iter()
+                .map(|&m| {
+                    let lat = if m == from {
+                        self.config.recirc_latency_ns
+                    } else {
+                        self.config.link_latency_ns
+                    };
+                    (m, lat)
+                })
+                .collect(),
+        };
+        for (target, lat) in targets {
+            if target == from {
+                self.stats.recirculated += 1;
+            } else {
+                self.stats.sent_remote += 1;
+            }
+            let time_ns = self.now_ns + lat + ev.delay_ns;
+            self.push(Scheduled {
+                time_ns,
+                seq: 0,
+                switch: target,
+                event_id: ev.event_id,
+                args: ev.args.clone(),
+            });
+        }
+    }
+
+    // --------------------------------------------------------- expressions
+
+    fn eval(&mut self, e: &Expr, cx: &mut ExecCx) -> Result<Value, InterpError> {
+        match &e.kind {
+            ExprKind::Int { value, width } => Ok(Value::int(*value, width.unwrap_or(32))),
+            ExprKind::Bool(b) => Ok(Value::Bool(*b)),
+            ExprKind::Var(id) => {
+                if let Some(v) = cx.env.get(&id.name) {
+                    return Ok(v.clone());
+                }
+                if id.name == "SELF" {
+                    return Ok(Value::int(cx.switch, 32));
+                }
+                if let Some(c) = self.prog.info.consts.get(&id.name) {
+                    return Ok(match c.ty {
+                        Ty::Bool => Value::Bool(c.value != 0),
+                        Ty::Int(w) => Value::int(c.value, w),
+                        _ => Value::int(c.value, 32),
+                    });
+                }
+                if let Some(g) = self.prog.info.groups.get(&id.name) {
+                    return Ok(Value::Group(g.members.clone()));
+                }
+                panic!("checked program has unbound var `{}`", id.name)
+            }
+            ExprKind::Unary { op, arg } => {
+                let v = self.eval(arg, cx)?;
+                Ok(match op {
+                    UnOp::Not => Value::Bool(!v.as_bool().expect("checked")),
+                    UnOp::Neg => match v {
+                        Value::Int { v, width } => Value::int(v.wrapping_neg(), width),
+                        _ => panic!("checked"),
+                    },
+                    UnOp::BitNot => match v {
+                        Value::Int { v, width } => Value::int(!v, width),
+                        _ => panic!("checked"),
+                    },
+                })
+            }
+            ExprKind::Binary { op, lhs, rhs } => {
+                // Short-circuit the logical connectives.
+                if *op == BinOp::And {
+                    let l = self.eval(lhs, cx)?.as_bool().expect("checked");
+                    if !l {
+                        return Ok(Value::Bool(false));
+                    }
+                    return Ok(Value::Bool(self.eval(rhs, cx)?.as_bool().expect("checked")));
+                }
+                if *op == BinOp::Or {
+                    let l = self.eval(lhs, cx)?.as_bool().expect("checked");
+                    if l {
+                        return Ok(Value::Bool(true));
+                    }
+                    return Ok(Value::Bool(self.eval(rhs, cx)?.as_bool().expect("checked")));
+                }
+                let l = self.eval(lhs, cx)?;
+                let r = self.eval(rhs, cx)?;
+                Ok(eval_binop(*op, &l, &r))
+            }
+            ExprKind::Cast { width, arg } => {
+                let v = self.eval(arg, cx)?.as_int().expect("checked");
+                Ok(Value::int(v, *width))
+            }
+            ExprKind::Hash { width, args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, cx)?.as_int().expect("checked"));
+                }
+                let (seed, rest) = vals.split_first().expect("parser: nonempty");
+                Ok(Value::int(lucid_hash(*width, *seed, rest), *width))
+            }
+            ExprKind::Call { callee, args } => {
+                // Event constructor.
+                if let Some(ev) = self.prog.info.event(&callee.name) {
+                    let id = ev.id;
+                    let widths: Vec<u32> =
+                        ev.params.iter().map(|p| p.ty.int_width().unwrap_or(32)).collect();
+                    let name = ev.name.clone();
+                    let mut vals = Vec::with_capacity(args.len());
+                    for (a, w) in args.iter().zip(widths) {
+                        vals.push(mask(self.eval(a, cx)?.as_int().expect("checked"), w));
+                    }
+                    return Ok(Value::Event(EventVal {
+                        event_id: id,
+                        name,
+                        args: vals,
+                        delay_ns: 0,
+                        location: Location::Here,
+                    }));
+                }
+                // User function: evaluate args, bind, run body.
+                let (_, params, body) =
+                    self.prog.fun_body(&callee.name).expect("checked: function exists");
+                let params = params.clone();
+                let body = body.clone();
+                let mut env = HashMap::new();
+                for (p, a) in params.iter().zip(args) {
+                    match p.ty {
+                        Ty::Array(_) => {
+                            // Resolve the array argument to a name usable by
+                            // nested Array.* calls: store as a marker value.
+                            let gid = self.resolve_array(a, cx);
+                            env.insert(p.name.name.clone(), Value::int(gid.0 as u64, 32));
+                            cx.array_params.push((p.name.name.clone(), gid));
+                        }
+                        _ => {
+                            let v = self.eval(a, cx)?;
+                            env.insert(p.name.name.clone(), v);
+                        }
+                    }
+                }
+                let saved_env = std::mem::replace(&mut cx.env, env);
+                let array_params_mark = cx.array_params.len();
+                let flow = self.exec_block(&body, cx)?;
+                cx.env = saved_env;
+                cx.array_params.truncate(
+                    array_params_mark.saturating_sub(
+                        params.iter().filter(|p| matches!(p.ty, Ty::Array(_))).count(),
+                    ),
+                );
+                Ok(match flow {
+                    Flow::Returned(v) => v,
+                    Flow::Normal => Value::Void,
+                })
+            }
+            ExprKind::BuiltinCall { builtin, args, .. } => self.eval_builtin(*builtin, args, cx),
+        }
+    }
+
+    fn resolve_array(&self, e: &Expr, cx: &ExecCx) -> GlobalId {
+        match &e.kind {
+            ExprKind::Var(id) => {
+                // A function's array parameter shadows globals.
+                if let Some((_, gid)) =
+                    cx.array_params.iter().rev().find(|(n, _)| *n == id.name)
+                {
+                    return *gid;
+                }
+                self.prog.info.globals_by_name[&id.name]
+            }
+            _ => panic!("checked: array argument is a name"),
+        }
+    }
+
+    fn eval_builtin(
+        &mut self,
+        builtin: Builtin,
+        args: &[Expr],
+        cx: &mut ExecCx,
+    ) -> Result<Value, InterpError> {
+        match builtin {
+            Builtin::ArrayGet
+            | Builtin::ArrayGetm
+            | Builtin::ArraySet
+            | Builtin::ArraySetm
+            | Builtin::ArrayUpdate => {
+                let gid = self.resolve_array(&args[0], cx);
+                let g = self.prog.info.globals[gid.0].clone();
+                let idx = self.eval(&args[1], cx)?.as_int().expect("checked");
+                if idx >= g.len {
+                    return Err(InterpError::IndexOutOfBounds {
+                        array: g.name.clone(),
+                        index: idx,
+                        len: g.len,
+                        switch: cx.switch,
+                    });
+                }
+                let cur = self.states[&cx.switch].arrays[gid.0][idx as usize];
+                let w = g.cell_width;
+                match builtin {
+                    Builtin::ArrayGet => Ok(Value::int(cur, w)),
+                    Builtin::ArrayGetm => {
+                        let m = self.memop_of(&args[2]);
+                        let local = self.eval(&args[3], cx)?.as_int().expect("checked");
+                        Ok(Value::int(eval_memop(&m, cur, local, w), w))
+                    }
+                    Builtin::ArraySet => {
+                        let v = self.eval(&args[2], cx)?.as_int().expect("checked");
+                        self.store(cx.switch, gid, idx as usize, mask(v, w));
+                        Ok(Value::Void)
+                    }
+                    Builtin::ArraySetm => {
+                        let m = self.memop_of(&args[2]);
+                        let local = self.eval(&args[3], cx)?.as_int().expect("checked");
+                        self.store(cx.switch, gid, idx as usize, eval_memop(&m, cur, local, w));
+                        Ok(Value::Void)
+                    }
+                    Builtin::ArrayUpdate => {
+                        let getop = self.memop_of(&args[2]);
+                        let getarg = self.eval(&args[3], cx)?.as_int().expect("checked");
+                        let setop = self.memop_of(&args[4]);
+                        let setarg = self.eval(&args[5], cx)?.as_int().expect("checked");
+                        let ret = eval_memop(&getop, cur, getarg, w);
+                        self.store(cx.switch, gid, idx as usize, eval_memop(&setop, cur, setarg, w));
+                        Ok(Value::int(ret, w))
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            Builtin::EventDelay => {
+                let mut v = self.eval(&args[0], cx)?;
+                let d_us = self.eval(&args[1], cx)?.as_int().expect("checked");
+                if let Value::Event(ev) = &mut v {
+                    ev.delay_ns += d_us * 1_000;
+                }
+                Ok(v)
+            }
+            Builtin::EventLocate => {
+                let mut v = self.eval(&args[0], cx)?;
+                let loc = self.eval(&args[1], cx)?.as_int().expect("checked");
+                if let Value::Event(ev) = &mut v {
+                    ev.location = Location::Switch(loc);
+                }
+                Ok(v)
+            }
+            Builtin::EventMLocate => {
+                let mut v = self.eval(&args[0], cx)?;
+                let g = match self.eval(&args[1], cx)? {
+                    Value::Group(g) => g,
+                    _ => panic!("checked: group"),
+                };
+                if let Value::Event(ev) = &mut v {
+                    ev.location = Location::Group(g);
+                }
+                Ok(v)
+            }
+            Builtin::SysTime => Ok(Value::int(self.now_ns / 1_000, 32)),
+            Builtin::SysSelf => Ok(Value::int(cx.switch, 32)),
+            Builtin::SysPort => Ok(Value::int(0, 32)),
+        }
+    }
+
+    fn memop_of(&self, e: &Expr) -> lucid_check::MemopIr {
+        match &e.kind {
+            ExprKind::Var(id) => self.prog.memops[&id.name].clone(),
+            _ => panic!("checked: memop position holds a name"),
+        }
+    }
+
+    fn store(&mut self, switch: u64, gid: GlobalId, idx: usize, v: u64) {
+        self.states.get_mut(&switch).expect("switch exists").arrays[gid.0][idx] = v;
+    }
+}
+
+/// Execution context of one handler activation.
+struct ExecCx {
+    switch: u64,
+    env: HashMap<String, Value>,
+    /// Array-typed function parameters in scope: name → resolved global.
+    array_params: Vec<(String, GlobalId)>,
+}
+
+impl ExecCx {
+    fn new(switch: u64, env: HashMap<String, Value>) -> Self {
+        ExecCx { switch, env, array_params: Vec::new() }
+    }
+}
+
+// Allow struct-literal construction in dispatch (kept in sync with new()).
+impl From<(u64, HashMap<String, Value>)> for ExecCx {
+    fn from((switch, env): (u64, HashMap<String, Value>)) -> Self {
+        ExecCx::new(switch, env)
+    }
+}
+
+fn value_of(ty: Ty, raw: u64) -> Value {
+    match ty {
+        Ty::Bool => Value::Bool(raw != 0),
+        Ty::Int(w) => Value::int(raw, w),
+        _ => Value::int(raw, 32),
+    }
+}
+
+fn eval_binop(op: BinOp, l: &Value, r: &Value) -> Value {
+    if op.is_comparison() {
+        let a = l.as_int().expect("checked");
+        let b = r.as_int().expect("checked");
+        return Value::Bool(match op {
+            BinOp::Eq => a == b,
+            BinOp::Neq => a != b,
+            BinOp::Lt => a < b,
+            BinOp::Gt => a > b,
+            BinOp::Le => a <= b,
+            BinOp::Ge => a >= b,
+            _ => unreachable!(),
+        });
+    }
+    let (a, wa) = match l {
+        Value::Int { v, width } => (*v, *width),
+        Value::Bool(b) => (*b as u64, 1),
+        _ => panic!("checked: arithmetic on non-int"),
+    };
+    let (b, wb) = match r {
+        Value::Int { v, width } => (*v, *width),
+        Value::Bool(b) => (*b as u64, 1),
+        _ => panic!("checked: arithmetic on non-int"),
+    };
+    let w = wa.max(wb);
+    let v = match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                0
+            } else {
+                a / b
+            }
+        }
+        BinOp::Mod => {
+            if b == 0 {
+                0
+            } else {
+                a % b
+            }
+        }
+        BinOp::BitAnd => a & b,
+        BinOp::BitOr => a | b,
+        BinOp::BitXor => a ^ b,
+        BinOp::Shl => {
+            if b >= 64 {
+                0
+            } else {
+                a.wrapping_shl(b as u32)
+            }
+        }
+        BinOp::Shr => {
+            if b >= 64 {
+                0
+            } else {
+                a.wrapping_shr(b as u32)
+            }
+        }
+        BinOp::And | BinOp::Or => unreachable!("short-circuited above"),
+        _ => unreachable!(),
+    };
+    Value::int(v, w)
+}
+
+/// Minimal printf: `%d` decimal, `%x` hex, `%b` binary, `%%` literal.
+fn format_printf(fmt: &str, args: &[Value]) -> String {
+    let mut out = String::new();
+    let mut it = args.iter();
+    let mut chars = fmt.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('%') => out.push('%'),
+            Some('d') | None => {
+                if let Some(v) = it.next() {
+                    out.push_str(&v.to_string());
+                }
+            }
+            Some('x') => {
+                if let Some(v) = it.next() {
+                    out.push_str(&format!("{:x}", v.as_int().unwrap_or(0)));
+                }
+            }
+            Some('b') => {
+                if let Some(v) = it.next() {
+                    out.push_str(&format!("{:b}", v.as_int().unwrap_or(0)));
+                }
+            }
+            Some(other) => {
+                out.push('%');
+                out.push(other);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lucid_check::parse_and_check;
+
+    fn checked(src: &str) -> CheckedProgram {
+        match parse_and_check(src) {
+            Ok(p) => p,
+            Err(ds) => panic!("check failed:\n{ds}"),
+        }
+    }
+
+    #[test]
+    fn counter_program_counts() {
+        let prog = checked(
+            r#"
+            global cts = new Array<<32>>(8);
+            memop plus(int m, int x) { return m + x; }
+            event pkt(int idx);
+            handle pkt(int idx) { Array.setm(cts, idx, plus, 1); }
+            "#,
+        );
+        let mut i = Interp::single(&prog);
+        for t in 0..5 {
+            i.schedule(1, t * 100, "pkt", &[3]).unwrap();
+        }
+        i.schedule(1, 600, "pkt", &[5]).unwrap();
+        i.run_to_quiescence().unwrap();
+        assert_eq!(i.array(1, "cts")[3], 5);
+        assert_eq!(i.array(1, "cts")[5], 1);
+        assert_eq!(i.stats.handled, 6);
+    }
+
+    #[test]
+    fn generate_recirculates_with_latency() {
+        let prog = checked(
+            r#"
+            global hits = new Array<<32>>(4);
+            memop plus(int m, int x) { return m + x; }
+            event ping(int n);
+            handle ping(int n) {
+                Array.setm(hits, 0, plus, 1);
+                if (n > 0) { generate ping(n - 1); }
+            }
+            "#,
+        );
+        let mut i = Interp::single(&prog);
+        i.schedule(1, 0, "ping", &[3]).unwrap();
+        i.run_to_quiescence().unwrap();
+        assert_eq!(i.array(1, "hits")[0], 4);
+        assert_eq!(i.stats.recirculated, 3);
+        // 3 recirculations at 600 ns each.
+        assert_eq!(i.trace.last().unwrap().time_ns, 3 * 600);
+    }
+
+    #[test]
+    fn delay_combinator_shifts_execution_time() {
+        let prog = checked(
+            r#"
+            event tick(int n);
+            event noop();
+            handle tick(int n) {
+                generate Event.delay(noop(), 100);
+            }
+            "#,
+        );
+        let mut i = Interp::single(&prog);
+        i.schedule(1, 0, "tick", &[0]).unwrap();
+        i.run_to_quiescence().unwrap();
+        // noop has no handler → exported; delay 100 µs + 600 ns recirc.
+        let last = i.trace.last().unwrap();
+        assert_eq!(last.event, "noop");
+        assert_eq!(last.time_ns, 100_000 + 600);
+        assert_eq!(i.stats.exported, 1);
+    }
+
+    #[test]
+    fn locate_sends_to_other_switch() {
+        let prog = checked(
+            r#"
+            global seen = new Array<<32>>(4);
+            event probe(int from);
+            handle probe(int from) {
+                Array.set(seen, 0, from);
+            }
+            event kick(int target);
+            handle kick(int target) {
+                generate Event.locate(probe(SELF), target);
+            }
+            "#,
+        );
+        let mut i = Interp::new(&prog, NetConfig::mesh(2));
+        i.schedule(1, 0, "kick", &[2]).unwrap();
+        i.run_to_quiescence().unwrap();
+        assert_eq!(i.array(2, "seen")[0], 1, "switch 2 should record sender 1");
+        assert_eq!(i.array(1, "seen")[0], 0);
+        assert_eq!(i.stats.sent_remote, 1);
+    }
+
+    #[test]
+    fn mlocate_broadcasts_to_group() {
+        let prog = checked(
+            r#"
+            const group NEIGHBORS = {2, 3};
+            global seen = new Array<<32>>(4);
+            event probe(int from);
+            handle probe(int from) { Array.set(seen, 0, from); }
+            event kick();
+            handle kick() {
+                mgenerate Event.mlocate(probe(SELF), NEIGHBORS);
+            }
+            "#,
+        );
+        let mut i = Interp::new(&prog, NetConfig::mesh(3));
+        i.schedule(1, 0, "kick", &[]).unwrap();
+        i.run_to_quiescence().unwrap();
+        assert_eq!(i.array(2, "seen")[0], 1);
+        assert_eq!(i.array(3, "seen")[0], 1);
+    }
+
+    #[test]
+    fn array_update_returns_old_and_writes_new() {
+        let prog = checked(
+            r#"
+            global slots = new Array<<32>>(4);
+            global log = new Array<<32>>(4);
+            memop read(int m, int x) { return m; }
+            memop write(int m, int x) { return x; }
+            event swap(int idx, int v);
+            handle swap(int idx, int v) {
+                int old = Array.update(slots, idx, read, 0, write, v);
+                Array.set(log, idx, old);
+            }
+            "#,
+        );
+        let mut i = Interp::single(&prog);
+        i.schedule(1, 0, "swap", &[2, 77]).unwrap();
+        i.schedule(1, 100, "swap", &[2, 88]).unwrap();
+        i.run_to_quiescence().unwrap();
+        assert_eq!(i.array(1, "slots")[2], 88);
+        assert_eq!(i.array(1, "log")[2], 77, "second swap must observe the first value");
+    }
+
+    #[test]
+    fn function_with_array_param_runs() {
+        let prog = checked(
+            r#"
+            global a = new Array<<32>>(4);
+            global b = new Array<<32>>(4);
+            memop plus(int m, int x) { return m + x; }
+            fun int bump(Array<<32>> arr, int i) {
+                return Array.update(arr, i, plus, 1, plus, 1);
+            }
+            event go(int i);
+            handle go(int i) {
+                int x = bump(a, i);
+                int y = bump(b, i);
+            }
+            "#,
+        );
+        let mut i = Interp::single(&prog);
+        i.schedule(1, 0, "go", &[0]).unwrap();
+        i.run_to_quiescence().unwrap();
+        assert_eq!(i.array(1, "a")[0], 1);
+        assert_eq!(i.array(1, "b")[0], 1);
+    }
+
+    #[test]
+    fn out_of_bounds_traps() {
+        let prog = checked(
+            r#"
+            global a = new Array<<32>>(4);
+            event go(int i);
+            handle go(int i) { Array.set(a, i, 1); }
+            "#,
+        );
+        let mut i = Interp::single(&prog);
+        i.schedule(1, 0, "go", &[9]).unwrap();
+        let err = i.run_to_quiescence().unwrap_err();
+        assert!(matches!(err, InterpError::IndexOutOfBounds { index: 9, .. }), "{err}");
+    }
+
+    #[test]
+    fn runaway_recursion_hits_fuel() {
+        let prog = checked(
+            r#"
+            event spin();
+            handle spin() { generate spin(); }
+            "#,
+        );
+        let mut i = Interp::single(&prog);
+        i.schedule(1, 0, "spin", &[]).unwrap();
+        let err = i.run(1_000, u64::MAX).unwrap_err();
+        assert!(matches!(err, InterpError::FuelExhausted { .. }));
+    }
+
+    #[test]
+    fn printf_formats() {
+        let prog = checked(
+            r#"
+            event go(int x);
+            handle go(int x) { printf("x=%d hex=%x pct=%%", x, x); }
+            "#,
+        );
+        let mut i = Interp::single(&prog);
+        i.schedule(1, 0, "go", &[255]).unwrap();
+        i.run_to_quiescence().unwrap();
+        assert_eq!(i.output, vec!["x=255 hex=ff pct=%"]);
+    }
+
+    #[test]
+    fn narrow_width_arithmetic_wraps() {
+        let prog = checked(
+            r#"
+            global out = new Array<<8>>(1);
+            event go(int<<8>> x);
+            handle go(int<<8>> x) { Array.set(out, 0, x + 1); }
+            "#,
+        );
+        let mut i = Interp::single(&prog);
+        i.schedule(1, 0, "go", &[255]).unwrap();
+        i.run_to_quiescence().unwrap();
+        assert_eq!(i.array(1, "out")[0], 0, "8-bit 255+1 wraps to 0");
+    }
+
+    #[test]
+    fn events_to_unknown_switch_dropped() {
+        let prog = checked(
+            r#"
+            event probe(int from);
+            event kick();
+            handle kick() { generate Event.locate(probe(SELF), 99); }
+            "#,
+        );
+        let mut i = Interp::single(&prog);
+        i.schedule(1, 0, "kick", &[]).unwrap();
+        i.run_to_quiescence().unwrap();
+        assert_eq!(i.stats.dropped, 1);
+    }
+
+    #[test]
+    fn time_advances_monotonically_in_trace() {
+        let prog = checked(
+            r#"
+            event a(int n);
+            handle a(int n) { if (n > 0) { generate a(n - 1); } }
+            "#,
+        );
+        let mut i = Interp::single(&prog);
+        i.schedule(1, 500, "a", &[5]).unwrap();
+        i.schedule(1, 0, "a", &[0]).unwrap();
+        i.run_to_quiescence().unwrap();
+        let times: Vec<u64> = i.trace.iter().map(|h| h.time_ns).collect();
+        let mut sorted = times.clone();
+        sorted.sort();
+        assert_eq!(times, sorted);
+    }
+}

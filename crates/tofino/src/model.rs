@@ -1,0 +1,137 @@
+//! The explanatory recirculation-overhead model of §7.3 (Figure 16).
+//!
+//! The stateful firewall recirculates packets for two reasons:
+//!
+//! * **timeout scanning** — a control thread walks the `N`-entry table once
+//!   per check interval `i`, one entry per recirculation: `N / i` pkts/s;
+//! * **flow installation** — each new flow may trigger up to `log₂(N)`
+//!   Cuckoo relocation steps, one recirculation each: `f · log₂(N)` pkts/s
+//!   worst-case.
+//!
+//! Worst-case recirculation rate: `r = N/i + f·log₂(N)`.
+//!
+//! On the idealized PISA processor (1 B pkts/s servicing 10 × 100 Gb/s
+//! ports), recirculated packets consume pipeline slots that front-panel
+//! packets could have used, raising the minimum packet size at which all
+//! ports still run at line rate.
+
+use crate::spec::PipelineSpec;
+
+/// Parameters of the stateful-firewall recirculation model.
+#[derive(Debug, Clone, Copy)]
+pub struct SfwModelParams {
+    /// Table size (number of entries), `N`.
+    pub table_size: u64,
+    /// Per-flow timeout check interval, seconds, `i`.
+    pub check_interval_s: f64,
+    /// Flow arrival rate, flows/second, `f`.
+    pub flow_rate: f64,
+}
+
+/// One row of Figure 16.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SfwModelRow {
+    pub flow_rate: f64,
+    /// Worst-case recirculation rate, packets/second.
+    pub recirc_rate_pps: f64,
+    /// Fraction of the pipeline's packet-processing bandwidth.
+    pub pipeline_utilization: f64,
+    /// Minimum packet size (bytes) at which all front-panel ports still
+    /// sustain line rate.
+    pub min_pkt_size_bytes: f64,
+}
+
+/// Evaluate the model for one parameter point.
+pub fn sfw_recirc_model(spec: &PipelineSpec, p: SfwModelParams) -> SfwModelRow {
+    let log_n = (p.table_size as f64).log2();
+    let recirc = p.table_size as f64 / p.check_interval_s + p.flow_rate * log_n;
+    let pps = spec.clock_hz as f64;
+    let utilization = recirc / pps;
+    // Front-panel packets per second available once recirculation has taken
+    // its slots; every front-panel bit still must fit through them.
+    let front_pps = pps - recirc;
+    let min_pkt = spec.front_panel_bps() as f64 / (8.0 * front_pps);
+    SfwModelRow {
+        flow_rate: p.flow_rate,
+        recirc_rate_pps: recirc,
+        pipeline_utilization: utilization,
+        min_pkt_size_bytes: min_pkt,
+    }
+}
+
+/// The exact parameter sweep of Figure 16: `N = 2^16`, `i = 100 ms`,
+/// `f ∈ {10 K, 100 K, 1 M}` flows/s.
+pub fn figure16_rows(spec: &PipelineSpec) -> Vec<SfwModelRow> {
+    [10_000.0, 100_000.0, 1_000_000.0]
+        .into_iter()
+        .map(|flow_rate| {
+            sfw_recirc_model(
+                spec,
+                SfwModelParams { table_size: 1 << 16, check_interval_s: 0.1, flow_rate },
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Figure 16, first row: f = 10 K flows/s → 815 K pkts/s, 0.08 %
+    /// utilization, min packet ≈ 125 B.
+    #[test]
+    fn figure16_first_row_matches_paper() {
+        let rows = figure16_rows(&PipelineSpec::idealized_pisa());
+        let r = rows[0];
+        // N/i = 65536/0.1 = 655,360; f·log2(N) = 10_000·16 = 160,000.
+        assert_eq!(r.recirc_rate_pps, 815_360.0);
+        assert!((r.pipeline_utilization - 0.000815).abs() < 1e-4);
+        assert!(r.min_pkt_size_bytes > 125.0 && r.min_pkt_size_bytes < 126.0);
+    }
+
+    #[test]
+    fn figure16_second_row_about_2m() {
+        let rows = figure16_rows(&PipelineSpec::idealized_pisa());
+        // Paper reports "2M pkts/s" for 100 K flows/s: 655,360 + 1.6 M.
+        assert!((rows[1].recirc_rate_pps - 2_255_360.0).abs() < 1.0);
+        assert!(rows[1].pipeline_utilization < 0.003);
+    }
+
+    #[test]
+    fn figure16_third_row_under_two_percent() {
+        let rows = figure16_rows(&PipelineSpec::idealized_pisa());
+        // Paper: "a workload with 1M new flows per second has less than a
+        // 2% bandwidth overhead" and min pkt ≈ 128 B.
+        assert!(rows[2].recirc_rate_pps > 16_000_000.0);
+        assert!(rows[2].pipeline_utilization < 0.02);
+        assert!(
+            rows[2].min_pkt_size_bytes > 126.0 && rows[2].min_pkt_size_bytes < 130.0,
+            "{}",
+            rows[2].min_pkt_size_bytes
+        );
+    }
+
+    #[test]
+    fn min_pkt_without_recirc_is_125() {
+        let spec = PipelineSpec::idealized_pisa();
+        let r = sfw_recirc_model(
+            &spec,
+            SfwModelParams { table_size: 1, check_interval_s: 1e12, flow_rate: 0.0 },
+        );
+        assert!((r.min_pkt_size_bytes - 125.0).abs() < 0.001);
+    }
+
+    #[test]
+    fn recirc_rate_monotone_in_flow_rate() {
+        let spec = PipelineSpec::idealized_pisa();
+        let mk = |f| {
+            sfw_recirc_model(
+                &spec,
+                SfwModelParams { table_size: 1 << 16, check_interval_s: 0.1, flow_rate: f },
+            )
+            .recirc_rate_pps
+        };
+        assert!(mk(10_000.0) < mk(100_000.0));
+        assert!(mk(100_000.0) < mk(1_000_000.0));
+    }
+}

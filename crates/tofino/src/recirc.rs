@@ -1,0 +1,162 @@
+//! Recirculation-port simulation: delaying events *without* the pausable
+//! delay queue (the "Baseline" series of Figure 14).
+//!
+//! An event that must execute `delay_ns` in the future simply recirculates:
+//! every pass through the pipeline-and-loop takes [`RecircPort::loop_ns`],
+//! and every pass puts the event packet on the recirculation port once,
+//! consuming `wire bits / loop time` of its bandwidth. With enough
+//! concurrent delayed events, the port saturates — the paper measured a
+//! 100 Gb/s recirculation port effectively saturated (>95 Gb/s) by 90
+//! concurrent 64 B events.
+
+/// One 64 B event packet plus Ethernet framing (preamble 8 B, IFG 12 B,
+/// FCS already in the 64): what a 100 Gb/s MAC actually spends per packet.
+pub const WIRE_OVERHEAD_BYTES: u64 = 20;
+
+/// A recirculation port and its loop timing.
+#[derive(Debug, Clone)]
+pub struct RecircPort {
+    /// Port rate in bits per second (Tofino: 100 Gb/s).
+    pub rate_bps: u64,
+    /// Latency of one loop — pipeline traversal plus the turnaround —
+    /// when the port is unloaded. ~600 ns on the Tofino (§7.4).
+    pub loop_ns: u64,
+}
+
+impl Default for RecircPort {
+    fn default() -> Self {
+        RecircPort { rate_bps: 100_000_000_000, loop_ns: 600 }
+    }
+}
+
+/// Outcome of delaying a batch of events by continuous recirculation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineReport {
+    /// Bandwidth consumed on the recirculation port, bits/second.
+    pub bandwidth_bps: f64,
+    /// Port utilization in [0, 1].
+    pub utilization: f64,
+    /// Mean absolute timing error across the events, ns.
+    pub mean_error_ns: f64,
+    /// Max absolute timing error, ns.
+    pub max_error_ns: f64,
+    /// Mean error relative to the requested delay.
+    pub mean_relative_error: f64,
+    /// Effective loop time after queueing, ns.
+    pub effective_loop_ns: f64,
+}
+
+impl RecircPort {
+    /// Time the port needs to serialize one packet of `pkt_bytes`, in ns.
+    pub fn serialization_ns(&self, pkt_bytes: u64) -> f64 {
+        ((pkt_bytes + WIRE_OVERHEAD_BYTES) * 8) as f64 * 1e9 / self.rate_bps as f64
+    }
+
+    /// Delay `delays_ns` (one entry per concurrent event, 64 B each by
+    /// convention) via continuous recirculation and report bandwidth and
+    /// timing error.
+    ///
+    /// When the offered load `n * pkt_time / loop` exceeds the port rate,
+    /// packets queue at the recirculation port and every loop stretches to
+    /// `n * pkt_time` — the port saturates and timing error grows.
+    pub fn delay_baseline(&self, pkt_bytes: u64, delays_ns: &[u64]) -> BaselineReport {
+        let n = delays_ns.len();
+        if n == 0 {
+            return BaselineReport {
+                bandwidth_bps: 0.0,
+                utilization: 0.0,
+                mean_error_ns: 0.0,
+                max_error_ns: 0.0,
+                mean_relative_error: 0.0,
+                effective_loop_ns: self.loop_ns as f64,
+            };
+        }
+        let ser = self.serialization_ns(pkt_bytes);
+        // All n packets must pass the port once per loop; if that takes
+        // longer than the unloaded loop time, the loop time *is* the
+        // serialization backlog.
+        let effective_loop = (self.loop_ns as f64).max(n as f64 * ser);
+        let bandwidth = (n as f64 * (pkt_bytes + WIRE_OVERHEAD_BYTES) as f64 * 8.0)
+            / (effective_loop * 1e-9);
+        let bandwidth = bandwidth.min(self.rate_bps as f64);
+
+        let mut total_err = 0.0;
+        let mut max_err: f64 = 0.0;
+        let mut total_rel = 0.0;
+        for &d in delays_ns {
+            // The event executes at the first loop boundary >= d.
+            let loops = (d as f64 / effective_loop).ceil();
+            let exec = loops * effective_loop;
+            let err = exec - d as f64;
+            total_err += err;
+            max_err = max_err.max(err);
+            if d > 0 {
+                total_rel += err / d as f64;
+            }
+        }
+        BaselineReport {
+            bandwidth_bps: bandwidth,
+            utilization: bandwidth / self.rate_bps as f64,
+            mean_error_ns: total_err / n as f64,
+            max_error_ns: max_err,
+            mean_relative_error: total_rel / n as f64,
+            effective_loop_ns: effective_loop,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_time_of_64b_on_100g() {
+        let p = RecircPort::default();
+        // (64 + 20) * 8 = 672 bits at 100 Gb/s = 6.72 ns.
+        assert!((p.serialization_ns(64) - 6.72).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_event_consumes_one_slot_per_loop() {
+        let p = RecircPort::default();
+        let r = p.delay_baseline(64, &[1_000_000]);
+        // 672 bits / 600 ns = 1.12 Gb/s.
+        assert!((r.bandwidth_bps / 1e9 - 1.12).abs() < 0.01, "{}", r.bandwidth_bps);
+    }
+
+    #[test]
+    fn ninety_events_saturate_the_port() {
+        // The headline observation of Fig 14: 90 concurrent events without
+        // the pausable queue consume over 95 Gb/s.
+        let p = RecircPort::default();
+        let delays = vec![1_000_000u64; 90];
+        let r = p.delay_baseline(64, &delays);
+        assert!(r.bandwidth_bps > 95e9, "got {} Gb/s", r.bandwidth_bps / 1e9);
+        assert!(r.utilization > 0.95 && r.utilization <= 1.0);
+    }
+
+    #[test]
+    fn bandwidth_grows_linearly_before_saturation() {
+        let p = RecircPort::default();
+        let r10 = p.delay_baseline(64, &vec![1_000_000; 10]);
+        let r20 = p.delay_baseline(64, &vec![1_000_000; 20]);
+        let ratio = r20.bandwidth_bps / r10.bandwidth_bps;
+        assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn baseline_timing_error_is_small_when_unsaturated() {
+        let p = RecircPort::default();
+        let r = p.delay_baseline(64, &vec![1_000_000; 10]);
+        // Error bounded by one loop (600 ns) on a 1 ms delay: < 0.1%.
+        assert!(r.mean_relative_error < 0.001, "{}", r.mean_relative_error);
+    }
+
+    #[test]
+    fn empty_batch_is_zero() {
+        let p = RecircPort::default();
+        let r = p.delay_baseline(64, &[]);
+        assert_eq!(r.bandwidth_bps, 0.0);
+        assert_eq!(r.utilization, 0.0);
+    }
+}

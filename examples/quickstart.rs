@@ -1,0 +1,75 @@
+//! Quickstart: write a Lucid program, check it, compile it to P4, and run
+//! it in the event-driven interpreter.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use lucid_core::{compile_source, Interp};
+
+const PROGRAM: &str = r#"
+    // A per-destination packet counter with a control event that ages it:
+    // the 30-second version of integrated data-plane control.
+    const int SLOTS = 256;
+    global counts = new Array<<32>>(SLOTS);
+
+    memop plus(int m, int x) { return m + x; }
+    memop write(int m, int x) { return x; }
+
+    event pkt(int dst);
+    event reset(int idx);
+
+    handle pkt(int dst) {
+        auto slot = hash<<8>>(1, dst);
+        Array.setm(counts, slot, plus, 1);
+    }
+
+    // A recursive control event: clears one slot per pipeline pass, then
+    // re-schedules itself 100 microseconds later.
+    handle reset(int idx) {
+        Array.setm(counts, idx, write, 0);
+        generate Event.delay(reset((idx + 1) & 255), 100);
+    }
+"#;
+
+fn main() {
+    // 1. Parse, type-check (memops + ordered effects), compile to the
+    //    Tofino pipeline model, and generate P4_16.
+    let art = compile_source("quickstart.lucid", PROGRAM).expect("program compiles");
+    println!(
+        "compiled: {} pipeline stages ({} before optimization), {} lines of P4",
+        art.compiled.layout.total_stages,
+        art.compiled.layout.unoptimized_stages,
+        art.compiled.p4.loc.total(),
+    );
+
+    // 2. Run the same program in the interpreter: 1000 packets to a few
+    //    destinations, with the aging thread running concurrently.
+    let mut sim = Interp::single(&art.checked);
+    sim.schedule(1, 0, "reset", &[0]).expect("reset scheduled");
+    for i in 0..1000u64 {
+        sim.schedule(1, 1_000 + i * 977, "pkt", &[i % 7]).expect("pkt scheduled");
+    }
+    // The aging thread never terminates, so run for a bounded window.
+    sim.run(100_000, 2_000_000).expect("simulation runs");
+
+    let counts = sim.array(1, "counts");
+    let live: u64 = counts.iter().sum();
+    println!("packets counted (after aging): {live}");
+    println!(
+        "events: {} handled, {} recirculated",
+        sim.stats.handled, sim.stats.recirculated
+    );
+
+    // 3. A peek at the generated P4.
+    let p4_head: String = art
+        .compiled
+        .p4
+        .source
+        .lines()
+        .filter(|l| l.contains("RegisterAction") || l.contains("table tbl_"))
+        .take(4)
+        .collect::<Vec<_>>()
+        .join("\n");
+    println!("\ngenerated P4 (excerpt):\n{p4_head}");
+}

@@ -1,0 +1,36 @@
+//! The stateful-firewall case study (§7.4): runs the Lucid SFW in the
+//! interpreter, measures flow-installation time, and compares against the
+//! remote-control (Mantis-style) baseline — a miniature Figure 17.
+//!
+//! ```sh
+//! cargo run --example stateful_firewall
+//! ```
+
+use lucid_apps::sfw;
+use lucid_tofino::{percentile, RemoteControlModel};
+
+fn main() {
+    println!("Stateful firewall: data-plane integrated vs remote control");
+    println!("(1000 trials, 2048-slot cuckoo table, load factor 0.3125)\n");
+
+    let bench = sfw::install_benchmark(1000, 0.3125, 2021);
+    let mean = bench.times_ns.iter().sum::<f64>() / bench.times_ns.len() as f64;
+
+    let remote = RemoteControlModel::default();
+    let remote_times = remote.sample(1000, 2021);
+    let remote_mean = remote_times.iter().sum::<f64>() / remote_times.len() as f64;
+
+    println!("integrated control (Lucid, in the data plane):");
+    println!("  inline installs (0 ns):  {:5.1}%", bench.frac_inline * 100.0);
+    println!("  mean install time:       {mean:8.0} ns");
+    println!("  p99 install time:        {:8.0} ns", percentile(&bench.times_ns, 99.0));
+    println!("  failed installs:         {:5}", bench.failures);
+
+    println!("\nremote control (Mantis-style baseline on the switch CPU):");
+    println!("  floor:                   {:8.0} ns", 12_000.0);
+    println!("  mean install time:       {remote_mean:8.0} ns");
+    println!("  p99 install time:        {:8.0} ns", percentile(&remote_times, 99.0));
+
+    println!("\nspeedup (mean): {:.0}x", remote_mean / mean.max(1.0));
+    println!("paper reports: avg 49 ns integrated vs 17.5 us remote — over 300x.");
+}

@@ -1,0 +1,2 @@
+//! Workspace-level integration-test crate. All content lives in
+//! `tests/tests/*.rs`; this library is intentionally empty.

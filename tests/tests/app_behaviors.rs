@@ -1,0 +1,465 @@
+//! End-to-end behavioral tests for the Figure 9 applications, run in the
+//! event-driven interpreter. Each test drives a realistic scenario — the
+//! same ones the paper's prose describes — and asserts on persistent
+//! state and on the exported-event trace.
+
+use lucid_check::CheckedProgram;
+use lucid_interp::{Interp, NetConfig};
+
+fn app(key: &str) -> CheckedProgram {
+    lucid_apps::by_key(key).unwrap_or_else(|| panic!("app {key}")).checked()
+}
+
+fn count(sim: &Interp<'_>, event: &str) -> usize {
+    sim.trace.iter().filter(|h| h.event == event).count()
+}
+
+// ---------------------------------------------------------------- RR ----
+
+#[test]
+fn rr_delivers_via_healthy_next_hop() {
+    let prog = app("rr");
+    let mut sim = Interp::new(&prog, NetConfig::mesh(3));
+    sim.schedule(1, 0, "init_route", &[5, 2, 2]).unwrap();
+    for s in [1, 2, 3] {
+        sim.schedule(s, 1_000, "ping_all", &[]).unwrap();
+    }
+    sim.schedule(1, 400_000, "pkt", &[5]).unwrap();
+    sim.run(200_000, 450_000).unwrap();
+    let d = sim.trace.iter().rev().find(|h| h.event == "deliver").expect("delivered");
+    assert_eq!(d.args, vec![5, 2], "delivered toward next hop 2");
+}
+
+#[test]
+fn rr_reroutes_around_failed_switch() {
+    let prog = app("rr");
+    let mut sim = Interp::new(&prog, NetConfig::mesh(3));
+    sim.schedule(1, 0, "init_route", &[5, 2, 2]).unwrap();
+    sim.schedule(2, 0, "init_route", &[5, 1, 9]).unwrap();
+    sim.schedule(3, 0, "init_route", &[5, 1, 9]).unwrap();
+    for s in [1, 2, 3] {
+        sim.schedule(s, 1_000, "ping_all", &[]).unwrap();
+    }
+    sim.run(400_000, 500_000).unwrap();
+    sim.fail_switch(2);
+    // Wait for staleness (500 µs), then a packet triggers withdrawal +
+    // requery; switch 3's reply re-points the route.
+    sim.schedule(1, 1_300_000, "pkt", &[5]).unwrap();
+    sim.run(400_000, 1_400_000).unwrap();
+    sim.clear_trace();
+    sim.schedule(1, 1_500_000, "pkt", &[5]).unwrap();
+    sim.run(400_000, 1_600_000).unwrap();
+    let d = sim.trace.iter().rev().find(|h| h.event == "deliver").expect("delivered");
+    assert_eq!(d.args[1], 3, "rerouted via switch 3");
+}
+
+#[test]
+fn rr_route_reply_only_improves() {
+    let prog = app("rr");
+    let mut sim = Interp::new(&prog, NetConfig::mesh(2));
+    sim.schedule(1, 0, "init_route", &[7, 3, 2]).unwrap();
+    // A worse advertisement (len 5 + 1 hop) must not replace len 3.
+    sim.schedule(1, 10_000, "route_reply", &[9, 7, 5]).unwrap();
+    sim.run_to_quiescence().unwrap();
+    assert_eq!(sim.array(1, "pathlen")[7], 3);
+    assert_eq!(sim.array(1, "nexthop")[7], 2);
+    // A better one (len 1 + 1 hop) replaces it.
+    sim.schedule(1, 20_000, "route_reply", &[9, 7, 1]).unwrap();
+    sim.run_to_quiescence().unwrap();
+    assert_eq!(sim.array(1, "pathlen")[7], 2);
+    assert_eq!(sim.array(1, "nexthop")[7], 9);
+}
+
+#[test]
+fn rr_pings_stamp_link_status() {
+    let prog = app("rr");
+    let mut sim = Interp::new(&prog, NetConfig::mesh(3));
+    sim.schedule(1, 1_000_000, "ping_all", &[]).unwrap();
+    sim.run(10_000, 1_100_000).unwrap();
+    // Neighbors 2 and 3 answered; their pong stamped switch 1's table.
+    assert!(sim.array(1, "linkstat")[2] > 0);
+    assert!(sim.array(1, "linkstat")[3] > 0);
+}
+
+// --------------------------------------------------------------- DNS ----
+
+#[test]
+fn dns_attack_trips_threshold_and_blocks() {
+    let prog = app("dns");
+    let mut sim = Interp::single(&prog);
+    for i in 0..150u64 {
+        sim.schedule(1, i * 100, "dns_resp", &[777]).unwrap();
+    }
+    sim.run_to_quiescence().unwrap();
+    assert!(sim.array(1, "blocked_cnt")[0] > 0, "threshold crossed");
+    sim.clear_trace();
+    sim.schedule(1, 1_000_000, "client_pkt", &[1, 777]).unwrap();
+    sim.run_to_quiescence().unwrap();
+    assert_eq!(count(&sim, "blocked"), 1);
+    assert_eq!(count(&sim, "deliver"), 0);
+}
+
+#[test]
+fn dns_normal_volume_not_blocked() {
+    let prog = app("dns");
+    let mut sim = Interp::single(&prog);
+    for i in 0..50u64 {
+        sim.schedule(1, i * 100, "dns_resp", &[777]).unwrap();
+    }
+    sim.schedule(1, 1_000_000, "client_pkt", &[1, 777]).unwrap();
+    sim.run_to_quiescence().unwrap();
+    assert_eq!(count(&sim, "deliver"), 1);
+    assert_eq!(count(&sim, "blocked"), 0);
+}
+
+#[test]
+fn dns_other_destinations_unaffected_by_block() {
+    let prog = app("dns");
+    let mut sim = Interp::single(&prog);
+    for i in 0..150u64 {
+        sim.schedule(1, i * 100, "dns_resp", &[777]).unwrap();
+    }
+    sim.schedule(1, 1_000_000, "client_pkt", &[1, 12345]).unwrap();
+    sim.run_to_quiescence().unwrap();
+    assert_eq!(count(&sim, "deliver"), 1, "unrelated destination must pass");
+}
+
+#[test]
+fn dns_sketch_aging_decays_counts() {
+    let prog = app("dns");
+    let mut sim = Interp::single(&prog);
+    for i in 0..90u64 {
+        sim.schedule(1, i * 100, "dns_resp", &[777]).unwrap();
+    }
+    sim.run_to_quiescence().unwrap();
+    let hot_before: u64 = sim.array(1, "cm_a").iter().sum();
+    assert!(hot_before >= 90);
+    // One full aging sweep: 1024 cells at 50 µs each.
+    sim.schedule(1, 100_000, "age", &[0]).unwrap();
+    sim.run(10_000, 100_000 + 1024 * 50_000 + 60_000).unwrap();
+    let hot_after: u64 = sim.array(1, "cm_a").iter().sum();
+    assert_eq!(hot_after, 0, "sweep must clear the sketch");
+}
+
+// ------------------------------------------------------------- *Flow ----
+
+#[test]
+fn starflow_batches_same_flow() {
+    let prog = app("starflow");
+    let mut sim = Interp::single(&prog);
+    for i in 0..10u64 {
+        sim.schedule(1, i * 1_000, "pkt", &[42, 100]).unwrap();
+    }
+    sim.run_to_quiescence().unwrap();
+    let total_pkts: u64 = sim.array(1, "pkts").iter().sum();
+    let total_bytes: u64 = sim.array(1, "bytes").iter().sum();
+    assert_eq!(total_pkts, 10);
+    assert_eq!(total_bytes, 1_000);
+    assert_eq!(count(&sim, "flow_record"), 0, "no eviction for a single flow");
+}
+
+#[test]
+fn starflow_flush_exports_and_clears() {
+    let prog = app("starflow");
+    let mut sim = Interp::single(&prog);
+    for key in [1u64, 2, 3] {
+        for i in 0..5u64 {
+            sim.schedule(1, key * 10_000 + i * 100, "pkt", &[key, 64]).unwrap();
+        }
+    }
+    sim.run_to_quiescence().unwrap();
+    // One full flush sweep (1024 slots × 200 µs).
+    sim.schedule(1, 100_000, "flush", &[0]).unwrap();
+    sim.run(20_000, 100_000 + 1024 * 200_000 + 300_000).unwrap();
+    let exported: u64 = sim
+        .trace
+        .iter()
+        .filter(|h| h.event == "flow_record")
+        .map(|h| h.args[1])
+        .sum();
+    assert_eq!(exported, 15, "all batched packets must be exported");
+    assert_eq!(sim.array(1, "pkts").iter().sum::<u64>(), 0, "cache cleared");
+}
+
+#[test]
+fn starflow_eviction_exports_previous_batch() {
+    let prog = app("starflow");
+    let mut sim = Interp::single(&prog);
+    // Find two keys that collide in the 1024-slot cache.
+    let slot_of = |k: u64| lucid_interp::lucid_hash(10, 7, &[k]);
+    let a = 1u64;
+    let b = (2..100_000u64).find(|&b| slot_of(b) == slot_of(a)).expect("collision exists");
+    for i in 0..4u64 {
+        sim.schedule(1, i * 1_000, "pkt", &[a, 100]).unwrap();
+    }
+    sim.schedule(1, 10_000, "pkt", &[b, 60]).unwrap();
+    sim.run_to_quiescence().unwrap();
+    let rec = sim.trace.iter().find(|h| h.event == "flow_record").expect("evicted");
+    assert_eq!(rec.args[0], a & 0xffff_ffff, "old flow exported");
+    assert_eq!(rec.args[1], 4, "with its packet count");
+    assert_eq!(sim.array(1, "evictions")[0], 1);
+}
+
+// --------------------------------------------------------------- SRO ----
+
+#[test]
+fn sro_write_anywhere_reaches_all_replicas() {
+    let prog = app("sro");
+    let mut sim = Interp::new(&prog, NetConfig::mesh(3));
+    // A write submitted at a non-sequencer replica.
+    sim.schedule(3, 0, "write_req", &[7, 999]).unwrap();
+    sim.run_to_quiescence().unwrap();
+    for s in [1, 2, 3] {
+        assert_eq!(sim.array(s, "data")[7], 999, "replica {s}");
+        assert_eq!(sim.array(s, "applied")[0], 1);
+    }
+    assert_eq!(sim.array(1, "seq")[0], 1, "sequencer assigned one number");
+    assert_eq!(sim.array(2, "seq")[0], 0, "only the sequencer sequences");
+}
+
+#[test]
+fn sro_sequencer_orders_concurrent_writes() {
+    let prog = app("sro");
+    let mut sim = Interp::new(&prog, NetConfig::mesh(3));
+    for i in 0..10u64 {
+        let origin = 1 + (i % 3);
+        sim.schedule(origin, i * 10, "write_req", &[5, 1000 + i]).unwrap();
+    }
+    sim.run_to_quiescence().unwrap();
+    assert_eq!(sim.array(1, "seq")[0], 10);
+    // All replicas converge to the same final value.
+    let v1 = sim.array(1, "data")[5];
+    assert_eq!(sim.array(2, "data")[5], v1);
+    assert_eq!(sim.array(3, "data")[5], v1);
+    for s in [1, 2, 3] {
+        assert_eq!(sim.array(s, "applied")[0], 10);
+    }
+}
+
+#[test]
+fn sro_reads_are_local() {
+    let prog = app("sro");
+    let mut sim = Interp::new(&prog, NetConfig::mesh(3));
+    sim.schedule(1, 0, "write_req", &[3, 42]).unwrap();
+    sim.run_to_quiescence().unwrap();
+    sim.clear_trace();
+    let remote_before = sim.stats.sent_remote;
+    sim.schedule(2, 100_000, "read_req", &[3]).unwrap();
+    sim.run_to_quiescence().unwrap();
+    let reply = sim.trace.iter().find(|h| h.event == "read_reply").expect("replied");
+    assert_eq!(reply.args, vec![3, 42]);
+    assert_eq!(sim.stats.sent_remote, remote_before, "no cross-switch traffic for reads");
+}
+
+// --------------------------------------------------------------- DFW ----
+
+#[test]
+fn dfw_outbound_at_one_border_admits_return_at_another() {
+    let prog = app("dfw");
+    let mut sim = Interp::new(&prog, NetConfig::mesh(2));
+    sim.schedule(1, 0, "pkt_out", &[10, 20]).unwrap();
+    sim.run_to_quiescence().unwrap();
+    assert!(sim.array(2, "synced")[0] >= 1, "update synchronized");
+    sim.clear_trace();
+    // Return traffic enters through the *other* border switch.
+    sim.schedule(2, 100_000, "pkt_in", &[20, 10]).unwrap();
+    sim.run_to_quiescence().unwrap();
+    assert_eq!(count(&sim, "fwd"), 1);
+    assert_eq!(count(&sim, "dropped"), 0);
+}
+
+#[test]
+fn dfw_unknown_inbound_dropped() {
+    let prog = app("dfw");
+    let mut sim = Interp::new(&prog, NetConfig::mesh(2));
+    sim.schedule(2, 0, "pkt_in", &[66, 77]).unwrap();
+    sim.run_to_quiescence().unwrap();
+    assert_eq!(count(&sim, "dropped"), 1);
+}
+
+// ------------------------------------------------------------ DFW(a) ----
+
+#[test]
+fn dfw_aging_admits_fresh_flows() {
+    let prog = app("dfw_aging");
+    let mut sim = Interp::new(&prog, NetConfig::mesh(2));
+    sim.schedule(1, 0, "pkt_out", &[10, 20]).unwrap();
+    sim.run_to_quiescence().unwrap();
+    sim.clear_trace();
+    sim.schedule(2, 50_000, "pkt_in", &[20, 10]).unwrap();
+    sim.run_to_quiescence().unwrap();
+    assert_eq!(count(&sim, "fwd"), 1);
+}
+
+#[test]
+fn dfw_aging_expires_idle_flows_after_two_rotations() {
+    let prog = app("dfw_aging");
+    let mut sim = Interp::new(&prog, NetConfig::mesh(2));
+    sim.schedule(1, 0, "pkt_out", &[10, 20]).unwrap();
+    sim.run_to_quiescence().unwrap();
+    // Run the aging thread on switch 2 for two-plus full sweeps
+    // (1024 cells × 50 µs each ⇒ ~51 ms per rotation).
+    sim.schedule(2, 10_000, "age", &[0]).unwrap();
+    sim.run(20_000, 120_000_000).unwrap();
+    assert!(sim.array(2, "active")[0] <= 1);
+    sim.clear_trace();
+    sim.schedule(2, sim.now_ns + 1_000, "pkt_in", &[20, 10]).unwrap();
+    sim.run(100_000, sim.now_ns + 5_000_000).unwrap();
+    assert_eq!(count(&sim, "dropped"), 1, "both generations aged out");
+}
+
+// --------------------------------------------------------------- RIP ----
+
+#[test]
+fn rip_converges_to_destination() {
+    let prog = app("rip");
+    let mut sim = Interp::new(&prog, NetConfig::mesh(4));
+    const INF: u64 = 1_000_000;
+    // Switch 4 is the destination (distance 0); everyone else starts at
+    // infinity.
+    for s in [1, 2, 3] {
+        sim.schedule(s, 0, "init_dist", &[INF]).unwrap();
+    }
+    sim.schedule(4, 0, "init_dist", &[0]).unwrap();
+    for s in [1, 2, 3, 4] {
+        sim.schedule(s, 1_000, "advertise", &[]).unwrap();
+    }
+    // A few advertisement rounds (200 µs apart).
+    sim.run(100_000, 2_000_000).unwrap();
+    for s in [1, 2, 3] {
+        assert_eq!(sim.array(s, "dist")[0], 1, "switch {s} is one hop from 4");
+        assert_eq!(sim.array(s, "nhop")[0], 4);
+    }
+    assert_eq!(sim.array(4, "dist")[0], 0);
+}
+
+#[test]
+fn rip_forwards_data_packets_toward_destination() {
+    let prog = app("rip");
+    let mut sim = Interp::new(&prog, NetConfig::mesh(3));
+    const INF: u64 = 1_000_000;
+    for s in [1, 2] {
+        sim.schedule(s, 0, "init_dist", &[INF]).unwrap();
+    }
+    sim.schedule(3, 0, "init_dist", &[0]).unwrap();
+    for s in [1, 2, 3] {
+        sim.schedule(s, 1_000, "advertise", &[]).unwrap();
+    }
+    sim.run(50_000, 1_000_000).unwrap();
+    sim.clear_trace();
+    sim.schedule(1, 1_100_000, "pkt", &[4242]).unwrap();
+    sim.run(50_000, 2_000_000).unwrap();
+    let d = sim.trace.iter().find(|h| h.event == "deliver").expect("delivered");
+    assert_eq!(d.switch, 3, "delivered at the destination switch");
+    assert_eq!(d.args[0], 4242);
+}
+
+#[test]
+fn rip_unroutable_packet_reports_no_route() {
+    let prog = app("rip");
+    let mut sim = Interp::new(&prog, NetConfig::mesh(2));
+    sim.schedule(1, 0, "init_dist", &[1_000_000]).unwrap();
+    sim.schedule(1, 10_000, "pkt", &[1]).unwrap();
+    sim.run_to_quiescence().unwrap();
+    assert_eq!(count(&sim, "no_route"), 1);
+}
+
+// --------------------------------------------------------------- NAT ----
+
+#[test]
+fn nat_allocates_and_translates_outbound() {
+    let prog = app("nat");
+    let mut sim = Interp::single(&prog);
+    sim.schedule(1, 0, "pkt_out", &[1234, 0]).unwrap();
+    sim.run_to_quiescence().unwrap();
+    // The first packet was buffered (delayed recirculation) until the
+    // alloc event installed the mapping, then translated.
+    let tx = sim.trace.iter().find(|h| h.event == "tx_out").expect("translated");
+    assert_eq!(tx.args[0], 1234);
+    let port = tx.args[1];
+    assert!(port > 0);
+    // Reverse path: packets to that port translate back.
+    sim.clear_trace();
+    sim.schedule(1, 1_000_000, "pkt_in", &[port]).unwrap();
+    sim.run_to_quiescence().unwrap();
+    let rx = sim.trace.iter().find(|h| h.event == "tx_in").expect("reverse translated");
+    assert_eq!(rx.args, vec![port, 1234]);
+}
+
+#[test]
+fn nat_subsequent_packets_translate_without_allocation() {
+    let prog = app("nat");
+    let mut sim = Interp::single(&prog);
+    sim.schedule(1, 0, "pkt_out", &[1234, 0]).unwrap();
+    sim.run_to_quiescence().unwrap();
+    let allocs_before = count(&sim, "alloc");
+    assert_eq!(allocs_before, 1);
+    sim.schedule(1, 1_000_000, "pkt_out", &[1234, 0]).unwrap();
+    sim.run_to_quiescence().unwrap();
+    assert_eq!(count(&sim, "alloc"), allocs_before, "no second allocation");
+    assert_eq!(count(&sim, "tx_out"), 2);
+}
+
+#[test]
+fn nat_distinct_flows_get_distinct_ports() {
+    let prog = app("nat");
+    let mut sim = Interp::single(&prog);
+    sim.schedule(1, 0, "pkt_out", &[111, 0]).unwrap();
+    sim.schedule(1, 500_000, "pkt_out", &[222, 0]).unwrap();
+    sim.run_to_quiescence().unwrap();
+    let ports: Vec<u64> = sim
+        .trace
+        .iter()
+        .filter(|h| h.event == "tx_out")
+        .map(|h| h.args[1])
+        .collect();
+    assert_eq!(ports.len(), 2);
+    assert_ne!(ports[0], ports[1]);
+}
+
+// ---------------------------------------------------------------- CM ----
+
+#[test]
+fn cm_sketch_counts_and_export_resets() {
+    let prog = app("cm");
+    let mut sim = Interp::single(&prog);
+    for i in 0..20u64 {
+        sim.schedule(1, i * 100, "pkt", &[7]).unwrap();
+    }
+    for i in 0..5u64 {
+        sim.schedule(1, i * 100, "pkt", &[8]).unwrap();
+    }
+    sim.run_to_quiescence().unwrap();
+    assert_eq!(sim.array(1, "cm_a").iter().sum::<u64>(), 25);
+    // One export sweep: 512 cells at 20 µs.
+    sim.schedule(1, 10_000, "report", &[0]).unwrap();
+    sim.run(10_000, 10_000 + 512 * 21_000 + 200_000).unwrap();
+    let exported_a: u64 = sim
+        .trace
+        .iter()
+        .filter(|h| h.event == "sketch_record")
+        .map(|h| h.args[2])
+        .sum();
+    assert_eq!(exported_a, 25, "every count exported exactly once");
+    assert_eq!(sim.array(1, "cm_a").iter().sum::<u64>(), 0, "reset after export");
+    assert_eq!(sim.array(1, "epoch")[0], 1, "epoch bumped after a full sweep");
+}
+
+#[test]
+fn cm_records_carry_epoch() {
+    let prog = app("cm");
+    let mut sim = Interp::single(&prog);
+    sim.schedule(1, 0, "pkt", &[7]).unwrap();
+    sim.run_to_quiescence().unwrap();
+    sim.schedule(1, 10_000, "report", &[0]).unwrap();
+    // Two full sweeps.
+    sim.run(50_000, 10_000 + 2 * 512 * 21_000 + 400_000).unwrap();
+    let epochs: Vec<u64> = sim
+        .trace
+        .iter()
+        .filter(|h| h.event == "sketch_record")
+        .map(|h| h.args[0])
+        .collect();
+    assert!(!epochs.is_empty());
+    assert!(epochs.contains(&0), "first-epoch records tagged 0: {epochs:?}");
+}

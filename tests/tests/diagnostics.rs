@@ -1,0 +1,204 @@
+//! Tests for the compiler's *error experience* — the paper's central
+//! usability claim (§4, §5): failures surface early, on untransformed
+//! source, with messages that point at the construct at fault and say how
+//! to fix it. These tests pin the wording and the source positions.
+
+use lucid_frontend::SourceMap;
+
+fn check_err(src: &str) -> (String, SourceMap) {
+    let sm = SourceMap::new("test.lucid", src);
+    let program = lucid_frontend::parse_program(src).expect("parses");
+    let err = lucid_check::check(program).expect_err("must be rejected");
+    (err.render(&sm), sm)
+}
+
+// --- §5: ordered data access ------------------------------------------
+
+#[test]
+fn figure5_error_names_both_arrays_and_the_fix() {
+    let src = r#"const int SIZE = 16;
+global arr1 = new Array<<32>>(SIZE);
+global arr2 = new Array<<32>>(SIZE);
+event setArr1(int idx, int data);
+handle setArr1(int idx, int data) {
+    int x = Array.get(arr2, idx);
+    Array.set(arr1, idx, x);
+}
+"#;
+    let (msg, _) = check_err(src);
+    // Which array, at which line, conflicting with which earlier access,
+    // and the remediation — all present.
+    assert!(msg.contains("`arr1` is accessed out of declaration order"), "{msg}");
+    assert!(msg.contains("test.lucid:7"), "points at the offending line: {msg}");
+    assert!(msg.contains("arr2"), "names the conflicting access: {msg}");
+    assert!(msg.contains("reorder the `global` declarations"), "suggests the fix: {msg}");
+    assert!(msg.contains("Array.set(arr1, idx, x);"), "quotes the source line: {msg}");
+}
+
+#[test]
+fn double_access_error_mentions_second_pass() {
+    let src = r#"global a = new Array<<32>>(4);
+event go(int i);
+handle go(int i) {
+    Array.set(a, 0, i);
+    Array.set(a, 1, i);
+}
+"#;
+    let (msg, _) = check_err(src);
+    assert!(msg.contains("split this computation into a second"), "{msg}");
+}
+
+// --- §4.2: memop rejection ---------------------------------------------
+
+#[test]
+fn memop_multiply_error_points_at_expression() {
+    let src = "memop bad(int m, int x) { return m * x; }\n";
+    let sm = SourceMap::new("m.lucid", src);
+    let program = lucid_frontend::parse_program(src).unwrap();
+    let err = lucid_check::check(program).unwrap_err();
+    let msg = err.render(&sm);
+    assert!(msg.contains("not supported inside a memop"), "{msg}");
+    assert!(msg.contains("`+`, `-`, `&`, `|`, `^`"), "lists what *is* allowed: {msg}");
+    assert!(msg.contains("m * x"), "quotes the expression: {msg}");
+}
+
+#[test]
+fn memop_compound_condition_is_a_valid_complex_memop() {
+    // The base paper rejects compound conditions outright; this
+    // implementation also ships Appendix C's proposed extension, so the
+    // declaration alone is legal (the restriction moves to Array.update —
+    // see `complex_memop_rejected_in_update_but_fine_in_set`).
+    let src = "memop cc(int m, int x) { if (m == 1 || m == 2) { return m; } else { return x; } }\n";
+    let prog = lucid_check::parse_and_check(src).expect("complex memop accepted");
+    assert!(prog.memops["cc"].is_complex());
+}
+
+#[test]
+fn memop_foreign_variable_suggests_second_argument() {
+    let (msg, _) = check_err("memop f(int m, int x) { return m + other; }\n");
+    assert!(msg.contains("`other`"), "{msg}");
+    assert!(msg.contains("second argument"), "{msg}");
+}
+
+#[test]
+fn memop_reuse_error_cites_rule() {
+    let (msg, _) = check_err(
+        "memop f(int m, int x) { if (m > x) { return m + x; } else { return x + x; } }\n",
+    );
+    assert!(msg.contains("more than once"), "{msg}");
+}
+
+#[test]
+fn complex_memop_rejected_in_update_but_fine_in_set() {
+    // Appendix C extension: compound-condition memops exist, but cannot be
+    // one of Array.update's two memops.
+    let base = "global a = new Array<<32>>(4);\n\
+         memop inband(int m, int x) { if (m >= 1 && m <= 9) { return x; } else { return m; } }\n\
+         memop read(int m, int x) { return m; }\n\
+         event go(int i);\n";
+    let ok = format!("{base}handle go(int i) {{ Array.setm(a, i, inband, 7); }}\n");
+    lucid_check::parse_and_check(&ok).expect("complex memop valid in Array.set");
+    let bad =
+        format!("{base}handle go(int i) {{ int v = Array.update(a, i, read, 0, inband, 7); }}\n");
+    let err = lucid_check::parse_and_check(&bad).unwrap_err();
+    let d = &err.items[0];
+    assert!(d.message.contains("compound condition"), "{d}");
+    assert!(d.notes.iter().any(|(n, _)| n.contains("predicate slots")), "{d:?}");
+}
+
+// --- recursion & events --------------------------------------------------
+
+#[test]
+fn recursion_error_teaches_generate() {
+    let (msg, _) = check_err(
+        "fun int f(int x) { return f(x); }\nevent go(int x);\nhandle go(int x) { int y = f(x); }\n",
+    );
+    assert!(msg.contains("recursive call"), "{msg}");
+    assert!(msg.contains("generate"), "points to the event-based idiom: {msg}");
+}
+
+#[test]
+fn memop_call_error_teaches_array_methods() {
+    let (msg, _) = check_err(
+        "memop plus(int m, int x) { return m + x; }\nevent go(int x);\nhandle go(int x) { int y = plus(x, x); }\n",
+    );
+    assert!(msg.contains("cannot be called directly"), "{msg}");
+    assert!(msg.contains("Array.get/set/update"), "{msg}");
+}
+
+#[test]
+fn handler_without_event_suggests_declaration() {
+    let (msg, _) = check_err("handle orphan(int x) { int y = x; }\n");
+    assert!(msg.contains("no matching `event`"), "{msg}");
+    assert!(msg.contains("event orphan(..);"), "{msg}");
+}
+
+// --- parse-level ----------------------------------------------------------
+
+#[test]
+fn unknown_builtin_lists_modules() {
+    let err = lucid_frontend::parse_program("handle h(int x) { Array.pop(a); }").unwrap_err();
+    let sm = SourceMap::new("p.lucid", "handle h(int x) { Array.pop(a); }");
+    let msg = err.render(&sm);
+    assert!(msg.contains("Array.{get,getm,set,setm,update}"), "{msg}");
+}
+
+#[test]
+fn parse_error_has_caret_under_token() {
+    let src = "const int A = ;\n";
+    let err = lucid_frontend::parse_program(src).unwrap_err();
+    let msg = err.render(&SourceMap::new("p.lucid", src));
+    assert!(msg.contains("expected an expression"), "{msg}");
+    let caret_line = msg.lines().last().unwrap();
+    assert!(caret_line.trim_end().ends_with('^'), "caret under the token: {msg}");
+}
+
+// --- backend-level --------------------------------------------------------
+
+#[test]
+fn backend_rejects_variable_multiplication_with_advice() {
+    let err = lucid_core::compile_source(
+        "b.lucid",
+        "event go(int x, int y);\nevent out(int x);\nhandle go(int x, int y) { generate out(x * y); }\n",
+    )
+    .unwrap_err();
+    assert!(err.rendered.contains("match-action ALU"), "{err}");
+    assert!(err.rendered.contains("restructure"), "{err}");
+}
+
+#[test]
+fn backend_reports_pipeline_exhaustion_with_stage_count() {
+    // A 14-deep dependence chain cannot fit 12 stages.
+    let mut body = String::from("int x0 = a + 1;\n");
+    for i in 1..14 {
+        body.push_str(&format!("int x{i} = x{} + 1;\n", i - 1));
+    }
+    let src = format!(
+        "event go(int a);\nevent out(int x);\nhandle go(int a) {{ {body} generate out(x13); }}\n"
+    );
+    let err = lucid_core::compile_source("deep.lucid", &src).unwrap_err();
+    assert!(err.rendered.contains("stages are exhausted"), "{err}");
+}
+
+// --- contrast: the P4 experience the paper describes ----------------------
+
+#[test]
+fn all_errors_fire_before_any_backend_lowering() {
+    // The point of §4/§5: every rejection above happens in the front/middle
+    // end with spans — never a late, span-free backend failure. Verify that
+    // checking a valid program then compiling it cannot produce a spanless
+    // error for these canonical mistakes.
+    let cases = [
+        "memop bad(int m, int x) { return m * x; }",
+        "global a = new Array<<32>>(2);\nglobal b = new Array<<32>>(2);\n\
+         event e(int i);\nhandle e(int i) { int x = Array.get(b, i); Array.set(a, i, x); }",
+    ];
+    for src in cases {
+        let program = lucid_frontend::parse_program(src).expect("parses");
+        let err = lucid_check::check(program).expect_err("rejected early");
+        assert!(
+            err.items.iter().all(|d| d.span.is_some()),
+            "every early error carries a source span: {err}"
+        );
+    }
+}

@@ -1,0 +1,201 @@
+//! Property-based tests across the whole pipeline: the §5 ordering
+//! discipline, memop validation, interpreter determinism, and the
+//! parser/pretty-printer round trip — on both generated programs and the
+//! bundled application sources.
+
+use lucid_check::parse_and_check;
+use lucid_interp::Interp;
+use proptest::prelude::*;
+
+/// Build a program with `n_arrays` globals and one handler whose accesses
+/// follow `order` (indices into the globals). Well-ordered iff `order` is
+/// non-strictly increasing... strictly increasing, since each array may be
+/// touched once per pass.
+fn program_with_access_order(n_arrays: usize, order: &[usize]) -> String {
+    let mut src = String::new();
+    for i in 0..n_arrays {
+        src.push_str(&format!("global g{i} = new Array<<32>>(16);\n"));
+    }
+    src.push_str("memop plus(int m, int x) { return m + x; }\n");
+    src.push_str("event go(int idx);\nhandle go(int idx) {\n");
+    for &a in order {
+        src.push_str(&format!("    Array.setm(g{a}, idx, plus, 1);\n"));
+    }
+    src.push_str("}\n");
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any strictly increasing access sequence checks, compiles within a
+    /// (tall enough) pipeline, and runs.
+    #[test]
+    fn ordered_programs_always_accepted(
+        mask in proptest::collection::vec(any::<bool>(), 8)
+    ) {
+        let order: Vec<usize> =
+            mask.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
+        let src = program_with_access_order(8, &order);
+        let prog = parse_and_check(&src).expect("ordered program must check");
+        // Compiles (8 arrays + dispatcher fits the 12-stage Tofino).
+        lucid_backend::compile(&prog).expect("ordered program must place");
+        // And runs: one event touches each selected array once.
+        let mut sim = Interp::single(&prog);
+        sim.schedule(1, 0, "go", &[3]).unwrap();
+        sim.run_to_quiescence().unwrap();
+        for &a in &order {
+            prop_assert_eq!(sim.array(1, &format!("g{a}"))[3], 1);
+        }
+    }
+
+    /// Any access sequence with an inversion (later-declared array before
+    /// an earlier one, or the same array twice) is rejected by the type
+    /// system — the §5 guarantee.
+    #[test]
+    fn disordered_programs_always_rejected(
+        a in 0usize..6, b in 0usize..6
+    ) {
+        prop_assume!(a >= b);
+        let src = program_with_access_order(6, &[a, b]);
+        let err = parse_and_check(&src).expect_err("inversion must be rejected");
+        prop_assert!(
+            err.items.iter().any(|d| d.message.contains("out of declaration order")),
+            "{err}"
+        );
+    }
+
+    /// The interpreter is deterministic: the same schedule produces the
+    /// same trace and the same final state, run after run.
+    #[test]
+    fn interpreter_is_deterministic(
+        packets in proptest::collection::vec((0u64..16, 0u64..10_000), 1..50)
+    ) {
+        let src = program_with_access_order(4, &[0, 1, 2, 3]);
+        let prog = parse_and_check(&src).unwrap();
+        let run = || {
+            let mut sim = Interp::single(&prog);
+            for (idx, t) in &packets {
+                sim.schedule(1, *t, "go", &[*idx]).unwrap();
+            }
+            sim.run_to_quiescence().unwrap();
+            (sim.trace.clone(), sim.array(1, "g0").to_vec())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Counter semantics under arbitrary workloads: the data plane's
+    /// per-index counters match a host-side reference computation.
+    #[test]
+    fn counter_agrees_with_reference(
+        packets in proptest::collection::vec(0u64..16, 1..200)
+    ) {
+        let src = program_with_access_order(1, &[0]);
+        let prog = parse_and_check(&src).unwrap();
+        let mut sim = Interp::single(&prog);
+        let mut reference = [0u64; 16];
+        for (i, idx) in packets.iter().enumerate() {
+            sim.schedule(1, i as u64 * 10, "go", &[*idx]).unwrap();
+            reference[*idx as usize] += 1;
+        }
+        sim.run_to_quiescence().unwrap();
+        prop_assert_eq!(sim.array(1, "g0"), &reference[..]);
+    }
+
+    /// Valid single-op memops are always accepted, and their evaluation
+    /// matches direct arithmetic.
+    #[test]
+    fn valid_memops_accepted_and_correct(
+        op in prop_oneof![Just("+"), Just("-"), Just("&"), Just("|"), Just("^")],
+        mem in any::<u32>(),
+        arg in any::<u32>(),
+    ) {
+        let src = format!("memop f(int m, int x) {{ return m {op} x; }}");
+        let program = lucid_frontend::parse_program(&src).unwrap();
+        let info = lucid_check::ProgramInfo::build(&program).unwrap();
+        let irs = lucid_check::validate_memops(&program, &info).expect("valid memop");
+        let got = lucid_check::eval_memop(&irs[0], mem as u64, arg as u64, 32);
+        let want = match op {
+            "+" => mem.wrapping_add(arg),
+            "-" => mem.wrapping_sub(arg),
+            "&" => mem & arg,
+            "|" => mem | arg,
+            "^" => mem ^ arg,
+            _ => unreachable!(),
+        } as u64;
+        prop_assert_eq!(got, want);
+    }
+
+    /// Conditional memops take the right branch for every input.
+    #[test]
+    fn conditional_memops_branch_correctly(
+        cmp in prop_oneof![Just("<"), Just(">"), Just("=="), Just("!="), Just("<="), Just(">=")],
+        mem in any::<u16>(),
+        arg in any::<u16>(),
+    ) {
+        let src = format!(
+            "memop f(int m, int x) {{ if (m {cmp} x) {{ return x; }} else {{ return m; }} }}"
+        );
+        let program = lucid_frontend::parse_program(&src).unwrap();
+        let info = lucid_check::ProgramInfo::build(&program).unwrap();
+        let irs = lucid_check::validate_memops(&program, &info).expect("valid memop");
+        let got = lucid_check::eval_memop(&irs[0], mem as u64, arg as u64, 32);
+        let taken = match cmp {
+            "<" => (mem as u64) < arg as u64,
+            ">" => (mem as u64) > arg as u64,
+            "==" => mem == arg,
+            "!=" => mem != arg,
+            "<=" => mem <= arg,
+            ">=" => mem >= arg,
+            _ => unreachable!(),
+        };
+        prop_assert_eq!(got, if taken { arg as u64 } else { mem as u64 });
+    }
+
+    /// Arithmetic in the interpreter masks exactly to the declared width.
+    #[test]
+    fn width_masking_is_exact(w in 1u32..=32, v in any::<u64>()) {
+        let src = format!(
+            "global out = new Array<<{w}>>(1);\n\
+             event go(int<<{w}>> x);\n\
+             handle go(int<<{w}>> x) {{ Array.set(out, 0, x + 1); }}\n"
+        );
+        let prog = parse_and_check(&src).unwrap();
+        let mut sim = Interp::single(&prog);
+        sim.schedule(1, 0, "go", &[v]).unwrap();
+        sim.run_to_quiescence().unwrap();
+        let masked_in = lucid_check::mask(v, w);
+        prop_assert_eq!(sim.array(1, "out")[0], lucid_check::mask(masked_in + 1, w));
+    }
+}
+
+/// The pretty printer is a fixpoint on every bundled application.
+#[test]
+fn pretty_printer_roundtrips_all_apps() {
+    for app in lucid_apps::all() {
+        let p1 = lucid_frontend::parse_program(app.source)
+            .unwrap_or_else(|e| panic!("{}: {e}", app.key));
+        let printed = lucid_frontend::pretty::program(&p1);
+        let p2 = lucid_frontend::parse_program(&printed)
+            .unwrap_or_else(|e| panic!("{} reparse: {e}\n{printed}", app.key));
+        assert_eq!(
+            lucid_frontend::pretty::program(&p2),
+            printed,
+            "{}: pretty is not a fixpoint",
+            app.key
+        );
+    }
+}
+
+/// Compilation is deterministic: identical input yields identical layout
+/// and identical P4 text.
+#[test]
+fn compilation_is_deterministic() {
+    for app in lucid_apps::all() {
+        let prog = app.checked();
+        let a = lucid_backend::compile(&prog).unwrap();
+        let b = lucid_backend::compile(&prog).unwrap();
+        assert_eq!(a.p4.source, b.p4.source, "{}", app.key);
+        assert_eq!(a.layout.total_stages, b.layout.total_stages);
+    }
+}
