@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 verification plus style and lint checks.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release)"
+cargo build --release
+
+echo "== tests"
+cargo test -q
+
+echo "== rustfmt"
+cargo fmt --check
+
+echo "== clippy"
+cargo clippy --all-targets --workspace -- -D warnings
+
+echo "CI OK"

@@ -39,9 +39,12 @@ pub fn failover_benchmark() -> FailoverReport {
     let prog = program();
     let mut sim = Interp::new(&prog, NetConfig::mesh(3));
     const DST: u64 = 5;
-    sim.schedule(1, 0, "init_route", &[DST, 2, 2]).expect("init");
-    sim.schedule(2, 0, "init_route", &[DST, 1, 9]).expect("init");
-    sim.schedule(3, 0, "init_route", &[DST, 1, 9]).expect("init");
+    sim.schedule(1, 0, "init_route", &[DST, 2, 2])
+        .expect("init");
+    sim.schedule(2, 0, "init_route", &[DST, 1, 9])
+        .expect("init");
+    sim.schedule(3, 0, "init_route", &[DST, 1, 9])
+        .expect("init");
     for s in [1, 2, 3] {
         sim.schedule(s, 1_000, "ping_all", &[]).expect("pings");
     }
@@ -75,7 +78,10 @@ pub fn failover_benchmark() -> FailoverReport {
         }
         t += 50_000;
     }
-    assert!(detected_at_ns > 0 && restored_at_ns > 0, "failover did not complete");
+    assert!(
+        detected_at_ns > 0 && restored_at_ns > 0,
+        "failover did not complete"
+    );
     FailoverReport {
         failed_at_ns,
         detected_at_ns,

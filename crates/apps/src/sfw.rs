@@ -54,7 +54,8 @@ pub fn install_benchmark(trials: usize, load_factor: f64, seed: u64) -> InstallB
     for _ in 0..preload {
         let src: u32 = rng.gen_range(1..u32::MAX);
         let dst: u32 = rng.gen_range(1..u32::MAX);
-        sim.schedule(1, t, "pkt_out", &[src as u64, dst as u64]).expect("scheduled");
+        sim.schedule(1, t, "pkt_out", &[src as u64, dst as u64])
+            .expect("scheduled");
         t += 5_000; // 5 µs apart: chains settle between arrivals
     }
     sim.run_to_quiescence().expect("preload runs");
@@ -70,7 +71,8 @@ pub fn install_benchmark(trials: usize, load_factor: f64, seed: u64) -> InstallB
     for _ in 0..trials {
         let src: u32 = rng.gen_range(1..u32::MAX);
         let dst: u32 = rng.gen_range(1..u32::MAX);
-        sim.schedule(1, start, "pkt_out", &[src as u64, dst as u64]).expect("scheduled");
+        sim.schedule(1, start, "pkt_out", &[src as u64, dst as u64])
+            .expect("scheduled");
         starts.push(start);
         sim.run_to_quiescence().expect("trial runs");
         remove_flow(&mut sim, src as u64, dst as u64);
@@ -88,7 +90,11 @@ pub fn install_benchmark(trials: usize, load_factor: f64, seed: u64) -> InstallB
         let mut first_step: Option<u64> = None;
         let mut last_step: Option<u64> = None;
         let mut failed = false;
-        for h in sim.trace.iter().filter(|h| h.time_ns >= t0 && h.time_ns < t1) {
+        for h in sim
+            .trace
+            .iter()
+            .filter(|h| h.time_ns >= t0 && h.time_ns < t1)
+        {
             match h.event.as_str() {
                 "install_1" | "install_2" => {
                     first_step.get_or_insert(h.time_ns);
@@ -202,7 +208,10 @@ mod tests {
         // Paper: "Average flow installation time ... was only 49 ns".
         let b = install_benchmark(500, 0.3125, 3);
         let mean = b.times_ns.iter().sum::<f64>() / b.times_ns.len() as f64;
-        assert!(mean < 300.0, "mean {mean} ns is far above the paper's scale");
+        assert!(
+            mean < 300.0,
+            "mean {mean} ns is far above the paper's scale"
+        );
     }
 
     #[test]
@@ -233,22 +242,29 @@ mod tests {
         // Away from t=0: timestamp 0 means "empty slot" to the scanner.
         sim.schedule(1, 1_000_000, "pkt_out", &[10, 20]).unwrap();
         sim.run_to_quiescence().unwrap();
-        let occupied: u64 =
-            sim.array(1, "key1").iter().chain(sim.array(1, "key2")).filter(|&&k| k != 0).count()
-                as u64;
+        let occupied: u64 = sim
+            .array(1, "key1")
+            .iter()
+            .chain(sim.array(1, "key2"))
+            .filter(|&&k| k != 0)
+            .count() as u64;
         assert!(occupied >= 1);
         // Start the scan thread and run past the 1 s timeout plus a full
         // table sweep (1024 slots × 100 µs).
         sim.schedule(1, 1_001_000, "scan", &[0]).unwrap();
         sim.run(8_000_000, 1_400_000_000).unwrap();
-        let remaining: u64 =
-            sim.array(1, "key1").iter().chain(sim.array(1, "key2")).filter(|&&k| k != 0).count()
-                as u64;
+        let remaining: u64 = sim
+            .array(1, "key1")
+            .iter()
+            .chain(sim.array(1, "key2"))
+            .filter(|&&k| k != 0)
+            .count() as u64;
         assert_eq!(remaining, 0, "idle flow should have been scanned out");
         // And its return traffic is now dropped. (Bounded run: the scan
         // thread recurses forever by design, so quiescence never comes.)
         let drops_before = sim.array(1, "dropped")[0];
-        sim.schedule(1, sim.now_ns + 1_000, "pkt_in", &[20, 10]).unwrap();
+        sim.schedule(1, sim.now_ns + 1_000, "pkt_in", &[20, 10])
+            .unwrap();
         sim.run(200_000, sim.now_ns + 10_000_000).unwrap();
         assert_eq!(sim.array(1, "dropped")[0], drops_before + 1);
     }
@@ -261,13 +277,17 @@ mod tests {
         // Keep the flow warm: a packet every 200 ms, well under the 1 s
         // timeout, while the scanner sweeps continuously.
         for i in 1..10u64 {
-            sim.schedule(1, 1_000_000 + i * 200_000_000, "pkt_out", &[10, 20]).unwrap();
+            sim.schedule(1, 1_000_000 + i * 200_000_000, "pkt_out", &[10, 20])
+                .unwrap();
         }
         sim.schedule(1, 1_001_000, "scan", &[0]).unwrap();
         sim.run(40_000_000, 1_900_000_000).unwrap();
-        let occupied: u64 =
-            sim.array(1, "key1").iter().chain(sim.array(1, "key2")).filter(|&&k| k != 0).count()
-                as u64;
+        let occupied: u64 = sim
+            .array(1, "key1")
+            .iter()
+            .chain(sim.array(1, "key2"))
+            .filter(|&&k| k != 0)
+            .count() as u64;
         assert!(occupied >= 1, "active flow must not be evicted");
     }
 }

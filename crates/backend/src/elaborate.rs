@@ -41,7 +41,10 @@ pub fn elaborate(prog: &CheckedProgram) -> Result<Vec<HandlerIr>, Diagnostics> {
             for p in params {
                 // Handler parameters arrive in the event header; they are
                 // already named PHV fields.
-                env.bind(&p.name.name, Binding::Value(Operand::Var(p.name.name.clone())));
+                env.bind(
+                    &p.name.name,
+                    Binding::Value(Operand::Var(p.name.name.clone())),
+                );
             }
             let body = normalize_returns(body.clone(), None);
             cx.block(&body, &mut env);
@@ -55,7 +58,7 @@ pub fn elaborate(prog: &CheckedProgram) -> Result<Vec<HandlerIr>, Diagnostics> {
         }
     }
     if diags.has_errors() {
-        Err(diags)
+        Err(diags.or_code_all("E0600"))
     } else {
         Ok(out)
     }
@@ -70,7 +73,9 @@ fn control_graph_depth(b: &Block) -> usize {
 
 fn stmt_depth(s: &Stmt) -> usize {
     match &s.kind {
-        StmtKind::If { then_blk, else_blk, .. } => {
+        StmtKind::If {
+            then_blk, else_blk, ..
+        } => {
             let t = control_graph_depth(then_blk);
             let e = else_blk.as_ref().map(control_graph_depth).unwrap_or(0);
             1 + t.max(e)
@@ -100,16 +105,22 @@ fn normalize_stmts(stmts: Vec<Stmt>, ret_var: Option<&str>) -> Vec<Stmt> {
                 if let (Some(rv), Some(e)) = (ret_var, val) {
                     out.push(Stmt {
                         span: s.span,
-                        kind: StmtKind::Assign { name: Ident::synth(rv), value: e },
+                        kind: StmtKind::Assign {
+                            name: Ident::synth(rv),
+                            value: e,
+                        },
                     });
                 }
                 // Anything after a return is unreachable (checker warned).
                 return out;
             }
-            StmtKind::If { cond, then_blk, else_blk } => {
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 let then_returns = may_return(&then_blk);
-                let else_returns =
-                    else_blk.as_ref().map(may_return).unwrap_or(false);
+                let else_returns = else_blk.as_ref().map(may_return).unwrap_or(false);
                 if (then_returns || else_returns) && !stmts.is_empty() {
                     let rest: Vec<Stmt> = stmts.drain(..).collect();
                     // Push the continuation into each branch; branches that
@@ -149,7 +160,10 @@ fn normalize_stmts(stmts: Vec<Stmt>, ret_var: Option<&str>) -> Vec<Stmt> {
                     },
                 });
             }
-            other => out.push(Stmt { kind: other, span: s.span }),
+            other => out.push(Stmt {
+                kind: other,
+                span: s.span,
+            }),
         }
     }
     out
@@ -158,9 +172,9 @@ fn normalize_stmts(stmts: Vec<Stmt>, ret_var: Option<&str>) -> Vec<Stmt> {
 fn may_return(b: &Block) -> bool {
     b.stmts.iter().any(|s| match &s.kind {
         StmtKind::Return(_) => true,
-        StmtKind::If { then_blk, else_blk, .. } => {
-            may_return(then_blk) || else_blk.as_ref().map(may_return).unwrap_or(false)
-        }
+        StmtKind::If {
+            then_blk, else_blk, ..
+        } => may_return(then_blk) || else_blk.as_ref().map(may_return).unwrap_or(false),
         _ => false,
     })
 }
@@ -168,7 +182,9 @@ fn may_return(b: &Block) -> bool {
 fn block_definitely_returns(stmts: &[Stmt]) -> bool {
     stmts.iter().any(|s| match &s.kind {
         StmtKind::Return(_) => true,
-        StmtKind::If { then_blk, else_blk, .. } => {
+        StmtKind::If {
+            then_blk, else_blk, ..
+        } => {
             block_definitely_returns(&then_blk.stmts)
                 && else_blk
                     .as_ref()
@@ -280,7 +296,11 @@ impl Elab<'_, '_> {
                 };
                 self.flatten_into(&dst, value, env);
             }
-            StmtKind::If { cond, then_blk, else_blk } => {
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 // Directly-matchable conditions (`var cmp const`, Figure 7's
                 // branch table keying on `proto`) become guard predicates
                 // without materializing a temp.
@@ -289,7 +309,11 @@ impl Elab<'_, '_> {
                     None => {
                         let c = self.flatten(cond, env);
                         match c {
-                            Operand::Var(v) => Cond { var: v, cmp: BinOp::Neq, value: 0 },
+                            Operand::Var(v) => Cond {
+                                var: v,
+                                cmp: BinOp::Neq,
+                                value: 0,
+                            },
                             Operand::Const(k) => {
                                 // Constant-folded branch: elaborate only the
                                 // taken side.
@@ -353,8 +377,7 @@ impl Elab<'_, '_> {
             ExprKind::Call { callee, args } => {
                 let ev = self.prog.info.event(&callee.name)?;
                 let (event_id, event_name) = (ev.id, ev.name.clone());
-                let ops: Vec<Operand> =
-                    args.iter().map(|a| self.flatten(a, env)).collect();
+                let ops: Vec<Operand> = args.iter().map(|a| self.flatten(a, env)).collect();
                 Some(EventSpec {
                     event_id,
                     event_name,
@@ -377,17 +400,14 @@ impl Elab<'_, '_> {
                 Builtin::EventMLocate => {
                     let mut spec = self.try_event_expr(&args[0], env)?;
                     match &args[1].kind {
-                        ExprKind::Var(g) => {
-                            match self.prog.info.groups.get(&g.name) {
-                                Some(gi) => {
-                                    spec.location = LocSpec::Group(gi.members.clone());
-                                }
-                                None => self.err(
-                                    format!("`{}` is not a const group", g.name),
-                                    args[1].span,
-                                ),
+                        ExprKind::Var(g) => match self.prog.info.groups.get(&g.name) {
+                            Some(gi) => {
+                                spec.location = LocSpec::Group(gi.members.clone());
                             }
-                        }
+                            None => {
+                                self.err(format!("`{}` is not a const group", g.name), args[1].span)
+                            }
+                        },
                         _ => self.err(
                             "Event.mlocate requires a named const group in the backend",
                             args[1].span,
@@ -408,24 +428,44 @@ impl Elab<'_, '_> {
         match &cond.kind {
             ExprKind::Var(id) => {
                 if let Some(Binding::Value(Operand::Var(v))) = env.get(&id.name) {
-                    return Some(Cond { var: v.clone(), cmp: BinOp::Neq, value: 0 });
+                    return Some(Cond {
+                        var: v.clone(),
+                        cmp: BinOp::Neq,
+                        value: 0,
+                    });
                 }
             }
             ExprKind::Unary { op: UnOp::Not, arg } => {
                 if let ExprKind::Var(id) = &arg.kind {
                     if let Some(Binding::Value(Operand::Var(v))) = env.get(&id.name) {
-                        return Some(Cond { var: v.clone(), cmp: BinOp::Eq, value: 0 });
+                        return Some(Cond {
+                            var: v.clone(),
+                            cmp: BinOp::Eq,
+                            value: 0,
+                        });
                     }
                 }
             }
             _ => {}
         }
-        let ExprKind::Binary { op, lhs, rhs } = &cond.kind else { return None };
+        let ExprKind::Binary { op, lhs, rhs } = &cond.kind else {
+            return None;
+        };
         if !op.is_comparison() {
             return None;
         }
-        let lc = self.prog.info.eval_const(lhs).ok().filter(|_| self.is_const_expr(lhs));
-        let rc = self.prog.info.eval_const(rhs).ok().filter(|_| self.is_const_expr(rhs));
+        let lc = self
+            .prog
+            .info
+            .eval_const(lhs)
+            .ok()
+            .filter(|_| self.is_const_expr(lhs));
+        let rc = self
+            .prog
+            .info
+            .eval_const(rhs)
+            .ok()
+            .filter(|_| self.is_const_expr(rhs));
         let (var_e, cmp, value) = match (lc, rc) {
             (None, Some(v)) => (lhs, *op, v),
             (Some(v), None) => {
@@ -443,9 +483,11 @@ impl Elab<'_, '_> {
         };
         match &var_e.kind {
             ExprKind::Var(id) => match env.get(&id.name) {
-                Some(Binding::Value(Operand::Var(v))) => {
-                    Some(Cond { var: v.clone(), cmp, value })
-                }
+                Some(Binding::Value(Operand::Var(v))) => Some(Cond {
+                    var: v.clone(),
+                    cmp,
+                    value,
+                }),
                 _ => None,
             },
             _ => None,
@@ -456,9 +498,7 @@ impl Elab<'_, '_> {
         match &e.kind {
             ExprKind::Var(id) => self.prog.info.consts.contains_key(&id.name),
             ExprKind::Int { .. } | ExprKind::Bool(_) => true,
-            ExprKind::Binary { lhs, rhs, .. } => {
-                self.is_const_expr(lhs) && self.is_const_expr(rhs)
-            }
+            ExprKind::Binary { lhs, rhs, .. } => self.is_const_expr(lhs) && self.is_const_expr(rhs),
             ExprKind::Unary { arg, .. } | ExprKind::Cast { arg, .. } => self.is_const_expr(arg),
             _ => false,
         }
@@ -505,23 +545,39 @@ impl Elab<'_, '_> {
     /// Flatten `e`, directing its result into `dst`.
     fn flatten_into(&mut self, dst: &str, e: &Expr, env: &mut Env) {
         if let Ok(v) = self.prog.info.eval_const(e) {
-            self.emit(AtomicOp::Mov { dst: dst.into(), src: Operand::Const(v) });
+            self.emit(AtomicOp::Mov {
+                dst: dst.into(),
+                src: Operand::Const(v),
+            });
             return;
         }
         match &e.kind {
             ExprKind::Int { value, .. } => {
-                self.emit(AtomicOp::Mov { dst: dst.into(), src: Operand::Const(*value) });
+                self.emit(AtomicOp::Mov {
+                    dst: dst.into(),
+                    src: Operand::Const(*value),
+                });
             }
             ExprKind::Bool(b) => {
-                self.emit(AtomicOp::Mov { dst: dst.into(), src: Operand::Const(*b as u64) });
+                self.emit(AtomicOp::Mov {
+                    dst: dst.into(),
+                    src: Operand::Const(*b as u64),
+                });
             }
             ExprKind::Var(_) => {
                 let src = self.flatten(e, env);
-                self.emit(AtomicOp::Mov { dst: dst.into(), src });
+                self.emit(AtomicOp::Mov {
+                    dst: dst.into(),
+                    src,
+                });
             }
             ExprKind::Unary { op, arg } => {
                 let a = self.flatten(arg, env);
-                self.emit(AtomicOp::Un { dst: dst.into(), op: *op, a });
+                self.emit(AtomicOp::Un {
+                    dst: dst.into(),
+                    op: *op,
+                    a,
+                });
             }
             ExprKind::Binary { op, lhs, rhs } => {
                 let (op, lhs, rhs) = match self.lower_binop(*op, lhs, rhs, e) {
@@ -536,7 +592,12 @@ impl Elab<'_, '_> {
                     BinOp::Or => BinOp::BitOr,
                     o => o,
                 };
-                self.emit(AtomicOp::Bin { dst: dst.into(), op, a, b });
+                self.emit(AtomicOp::Bin {
+                    dst: dst.into(),
+                    op,
+                    a,
+                    b,
+                });
             }
             ExprKind::Cast { width, arg } => {
                 // A cast is a PHV move with truncation: one action slot.
@@ -560,16 +621,17 @@ impl Elab<'_, '_> {
                         0
                     }
                 };
-                let ops: Vec<Operand> =
-                    args[1..].iter().map(|a| self.flatten(a, env)).collect();
-                self.emit(AtomicOp::Hash { dst: dst.into(), width: *width, seed, args: ops });
+                let ops: Vec<Operand> = args[1..].iter().map(|a| self.flatten(a, env)).collect();
+                self.emit(AtomicOp::Hash {
+                    dst: dst.into(),
+                    width: *width,
+                    seed,
+                    args: ops,
+                });
             }
             ExprKind::Call { callee, args } => {
                 if self.prog.info.event(&callee.name).is_some() {
-                    self.err(
-                        "event values cannot be stored in integer variables",
-                        e.span,
-                    );
+                    self.err("event values cannot be stored in integer variables", e.span);
                     return;
                 }
                 self.inline_call(dst, callee, args, env, e.span);
@@ -700,7 +762,9 @@ impl Elab<'_, '_> {
                         memop: memname(&args[2]),
                         arg: self.flatten(&args[3], env),
                     },
-                    Builtin::ArraySet => MemKind::Set { value: self.flatten(&args[2], env) },
+                    Builtin::ArraySet => MemKind::Set {
+                        value: self.flatten(&args[2], env),
+                    },
                     Builtin::ArraySetm => MemKind::Setm {
                         memop: memname(&args[2]),
                         arg: self.flatten(&args[3], env),
@@ -713,8 +777,17 @@ impl Elab<'_, '_> {
                     },
                     _ => unreachable!(),
                 };
-                let dst = if kind.reads() { dst.map(String::from) } else { None };
-                self.emit(AtomicOp::Mem { dst, array, index, kind });
+                let dst = if kind.reads() {
+                    dst.map(String::from)
+                } else {
+                    None
+                };
+                self.emit(AtomicOp::Mem {
+                    dst,
+                    array,
+                    index,
+                    kind,
+                });
             }
             Builtin::EventDelay | Builtin::EventLocate | Builtin::EventMLocate => {
                 self.err(
@@ -832,8 +905,7 @@ mod tests {
             }
             "#,
         );
-        let arrays: Vec<GlobalId> =
-            hs[0].tables.iter().filter_map(|t| t.op.array()).collect();
+        let arrays: Vec<GlobalId> = hs[0].tables.iter().filter_map(|t| t.op.array()).collect();
         assert_eq!(arrays, vec![GlobalId(0), GlobalId(1)]);
     }
 
@@ -857,7 +929,15 @@ mod tests {
         let movs: Vec<&AtomicTable> = h
             .tables
             .iter()
-            .filter(|t| matches!(t.op, AtomicOp::Mov { src: Operand::Const(_), .. }))
+            .filter(|t| {
+                matches!(
+                    t.op,
+                    AtomicOp::Mov {
+                        src: Operand::Const(_),
+                        ..
+                    }
+                )
+            })
             .collect();
         assert_eq!(movs.len(), 2, "{:#?}", h.tables);
         assert!(movs[0].excludes(movs[1]), "branch writes must be exclusive");
@@ -880,7 +960,9 @@ mod tests {
             .tables
             .iter()
             .find_map(|t| match &t.op {
-                AtomicOp::Generate { delay, location, .. } => Some((delay.clone(), location.clone())),
+                AtomicOp::Generate {
+                    delay, location, ..
+                } => Some((delay.clone(), location.clone())),
                 _ => None,
             })
             .expect("a generate op");
@@ -913,7 +995,14 @@ mod tests {
             "#,
         );
         let has_shift = hs[0].tables.iter().any(|t| {
-            matches!(t.op, AtomicOp::Bin { op: BinOp::Shl, b: Operand::Const(3), .. })
+            matches!(
+                t.op,
+                AtomicOp::Bin {
+                    op: BinOp::Shl,
+                    b: Operand::Const(3),
+                    ..
+                }
+            )
         });
         assert!(has_shift, "{:#?}", hs[0].tables);
     }
@@ -929,7 +1018,11 @@ mod tests {
         )
         .unwrap();
         let err = elaborate(&prog).unwrap_err();
-        assert!(err.items[0].message.contains("match-action ALU"), "{}", err.items[0]);
+        assert!(
+            err.items[0].message.contains("match-action ALU"),
+            "{}",
+            err.items[0]
+        );
     }
 
     #[test]

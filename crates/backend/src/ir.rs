@@ -56,13 +56,21 @@ pub enum MemKind {
     /// Write through a memop: `mem = memop(mem, arg)`.
     Setm { memop: String, arg: Operand },
     /// Parallel read+write: `dst = getop(mem, getarg); mem = setop(mem, setarg)`.
-    Update { getop: String, getarg: Operand, setop: String, setarg: Operand },
+    Update {
+        getop: String,
+        getarg: Operand,
+        setop: String,
+        setarg: Operand,
+    },
 }
 
 impl MemKind {
     /// Does this operation produce a value?
     pub fn reads(&self) -> bool {
-        matches!(self, MemKind::Get | MemKind::Getm { .. } | MemKind::Update { .. })
+        matches!(
+            self,
+            MemKind::Get | MemKind::Getm { .. } | MemKind::Update { .. }
+        )
     }
 
     pub fn operands(&self) -> Vec<&Operand> {
@@ -92,13 +100,28 @@ pub enum AtomicOp {
     /// `dst = src` — a copy (often folded away).
     Mov { dst: String, src: Operand },
     /// `dst = a op b` — one ALU op. Comparison operators produce 0/1.
-    Bin { dst: String, op: BinOp, a: Operand, b: Operand },
+    Bin {
+        dst: String,
+        op: BinOp,
+        a: Operand,
+        b: Operand,
+    },
     /// `dst = op a`.
     Un { dst: String, op: UnOp, a: Operand },
     /// `dst = hash<<w>>(seed, args..)` — one hash-engine invocation.
-    Hash { dst: String, width: u32, seed: u64, args: Vec<Operand> },
+    Hash {
+        dst: String,
+        width: u32,
+        seed: u64,
+        args: Vec<Operand>,
+    },
     /// One stateful-ALU access to `array`.
-    Mem { dst: Option<String>, array: GlobalId, index: Operand, kind: MemKind },
+    Mem {
+        dst: Option<String>,
+        array: GlobalId,
+        index: Operand,
+        kind: MemKind,
+    },
     /// Emit an event packet (serializer + dispatcher handle the rest).
     Generate {
         event_id: usize,
@@ -138,7 +161,12 @@ impl AtomicOp {
                 operands.push(index);
                 operands.extend(kind.operands());
             }
-            AtomicOp::Generate { args, delay, location, .. } => {
+            AtomicOp::Generate {
+                args,
+                delay,
+                location,
+                ..
+            } => {
                 operands.extend(args.iter());
                 if let Some(d) = delay {
                     operands.push(d);
@@ -214,7 +242,11 @@ impl Cond {
             BinOp::Le => BinOp::Gt,
             other => other,
         };
-        Cond { var: self.var.clone(), cmp, value: self.value }
+        Cond {
+            var: self.var.clone(),
+            cmp,
+            value: self.value,
+        }
     }
 
     /// Conservative contradiction test: can `self` and `other` both hold?
@@ -264,7 +296,9 @@ impl AtomicTable {
             // Different handlers are dispatched by event type: exclusive.
             return true;
         }
-        self.guard.iter().any(|c| other.guard.iter().any(|d| c.contradicts(d)))
+        self.guard
+            .iter()
+            .any(|c| other.guard.iter().any(|d| c.contradicts(d)))
     }
 }
 
@@ -313,8 +347,15 @@ mod tests {
         let mk = |cmp| AtomicTable {
             id: 0,
             handler: "h".into(),
-            op: AtomicOp::Mov { dst: "a".into(), src: Operand::Const(1) },
-            guard: vec![Cond { var: "c".into(), cmp, value: 0 }],
+            op: AtomicOp::Mov {
+                dst: "a".into(),
+                src: Operand::Const(1),
+            },
+            guard: vec![Cond {
+                var: "c".into(),
+                cmp,
+                value: 0,
+            }],
         };
         assert!(mk(BinOp::Eq).excludes(&mk(BinOp::Neq)));
         assert!(!mk(BinOp::Eq).excludes(&mk(BinOp::Eq)));
@@ -322,17 +363,33 @@ mod tests {
 
     #[test]
     fn cond_negate_roundtrips() {
-        let c = Cond { var: "x".into(), cmp: BinOp::Lt, value: 5 };
+        let c = Cond {
+            var: "x".into(),
+            cmp: BinOp::Lt,
+            value: 5,
+        };
         assert_eq!(c.negate().negate(), c);
         assert!(c.contradicts(&c.negate()));
     }
 
     #[test]
     fn distinct_eq_constants_contradict() {
-        let a = Cond { var: "x".into(), cmp: BinOp::Eq, value: 1 };
-        let b = Cond { var: "x".into(), cmp: BinOp::Eq, value: 2 };
+        let a = Cond {
+            var: "x".into(),
+            cmp: BinOp::Eq,
+            value: 1,
+        };
+        let b = Cond {
+            var: "x".into(),
+            cmp: BinOp::Eq,
+            value: 2,
+        };
         assert!(a.contradicts(&b));
-        let c = Cond { var: "y".into(), cmp: BinOp::Eq, value: 2 };
+        let c = Cond {
+            var: "y".into(),
+            cmp: BinOp::Eq,
+            value: 2,
+        };
         assert!(!a.contradicts(&c));
     }
 
@@ -341,7 +398,10 @@ mod tests {
         let a = AtomicTable {
             id: 0,
             handler: "h1".into(),
-            op: AtomicOp::Mov { dst: "a".into(), src: Operand::Const(1) },
+            op: AtomicOp::Mov {
+                dst: "a".into(),
+                src: Operand::Const(1),
+            },
             guard: vec![],
         };
         let mut b = a.clone();

@@ -44,7 +44,11 @@ pub struct LayoutOptions {
 
 impl Default for LayoutOptions {
     fn default() -> Self {
-        LayoutOptions { rearrange: true, merge_key_budget: 4, dispatcher_stages: 1 }
+        LayoutOptions {
+            rearrange: true,
+            merge_key_budget: 4,
+            dispatcher_stages: 1,
+        }
     }
 }
 
@@ -101,8 +105,7 @@ impl Layout {
 
     /// Figure 13: mean ALU instructions per occupied stage.
     pub fn mean_alu_per_stage(&self) -> f64 {
-        let occupied: Vec<&StageStats> =
-            self.stage_stats.iter().filter(|s| s.tables > 0).collect();
+        let occupied: Vec<&StageStats> = self.stage_stats.iter().filter(|s| s.tables > 0).collect();
         if occupied.is_empty() {
             return 0.0;
         }
@@ -111,7 +114,11 @@ impl Layout {
 
     /// Figure 13 (upper envelope): max ALU instructions in any stage.
     pub fn max_alu_per_stage(&self) -> usize {
-        self.stage_stats.iter().map(|s| s.alu_ops()).max().unwrap_or(0)
+        self.stage_stats
+            .iter()
+            .map(|s| s.alu_ops())
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -148,23 +155,29 @@ pub fn place(
             }
             Err(PlaceError::Hard(d)) => {
                 let mut ds = Diagnostics::new();
-                ds.push(d);
+                ds.push(d.or_code("E0700"));
                 return Err(ds);
             }
         }
     }
     let mut ds = Diagnostics::new();
-    ds.push(Diagnostic::error_global(
-        "table placement cannot make progress: register-array stage constraints are \
-         unsatisfiable within the pipeline"
-            .to_string(),
-    ));
+    ds.push(
+        Diagnostic::error_global(
+            "table placement cannot make progress: register-array stage constraints are \
+             unsatisfiable within the pipeline"
+                .to_string(),
+        )
+        .with_code("E0700"),
+    );
     Err(ds)
 }
 
 enum PlaceError {
     /// Array was pinned too early; retry with its floor raised.
-    BumpArray { array: GlobalId, to: usize },
+    BumpArray {
+        array: GlobalId,
+        to: usize,
+    },
     Hard(Diagnostic),
 }
 
@@ -198,7 +211,10 @@ fn try_place(
                     Some(&s) => {
                         if s < min_stage {
                             // Pinned too early for this handler's data flow.
-                            return Err(PlaceError::BumpArray { array, to: min_stage });
+                            return Err(PlaceError::BumpArray {
+                                array,
+                                to: min_stage,
+                            });
                         }
                         // Register access adds a sALU to the array's stage;
                         // capacity there is guaranteed by construction
@@ -224,11 +240,19 @@ fn try_place(
             };
             commit(&mut stages, stage, t, opts);
             stage_of[t.id] = stage;
-            placements.push(Placement { handler: h.name.clone(), table: t.id, stage });
+            placements.push(Placement {
+                handler: h.name.clone(),
+                table: t.id,
+                stage,
+            });
         }
     }
 
-    let body_stages = stages.iter().rposition(|s| s.stats.tables > 0).map(|i| i + 1).unwrap_or(0);
+    let body_stages = stages
+        .iter()
+        .rposition(|s| s.stats.tables > 0)
+        .map(|i| i + 1)
+        .unwrap_or(0);
     let total_stages = body_stages + opts.dispatcher_stages;
     if total_stages > spec.stages {
         return Err(PlaceError::Hard(Diagnostic::error_global(format!(
@@ -236,7 +260,11 @@ fn try_place(
             spec.stages
         ))));
     }
-    let unopt_body = handlers.iter().map(|h| h.unoptimized_depth).max().unwrap_or(0);
+    let unopt_body = handlers
+        .iter()
+        .map(|h| h.unoptimized_depth)
+        .max()
+        .unwrap_or(0);
     Ok(Layout {
         body_stages,
         total_stages,
@@ -324,9 +352,7 @@ fn find_stage(
         // (mutually exclusive) tables to the same array share it. The
         // budget therefore counts *distinct arrays* per stage.
         let salu_ok = match array {
-            Some(a) => {
-                st.stats.arrays.contains(&a) || st.stats.arrays.len() < spec.salus_per_stage
-            }
+            Some(a) => st.stats.arrays.contains(&a) || st.stats.arrays.len() < spec.salus_per_stage,
             None => true,
         };
         let act_ok = st.stats.action_ops + t.op.action_slots() <= spec.action_slots_per_stage;
@@ -337,9 +363,7 @@ fn find_stage(
     }
     Err(Diagnostic::error_global(format!(
         "no stage can host table {} of handler `{}`: the pipeline's {} stages are exhausted",
-        t.id,
-        t.handler,
-        spec.stages
+        t.id, t.handler, spec.stages
     )))
 }
 
@@ -397,13 +421,9 @@ fn commit(stages: &mut Vec<StageBuild>, stage: usize, t: &AtomicTable, opts: Lay
     st.stats.merged_tables = st.merge_groups.len();
 }
 
-/// Convenience: elaborate, clean up (copy propagation + dead-table
-/// elimination), and place with default options on the Tofino.
+/// Convenience: [`crate::lower`] with default options on the Tofino.
 pub fn compile_layout(prog: &CheckedProgram) -> Result<(Vec<HandlerIr>, Layout), Diagnostics> {
-    let mut handlers = crate::elaborate::elaborate(prog)?;
-    crate::opt::optimize(&mut handlers);
-    let layout = place(prog, &handlers, &PipelineSpec::tofino(), LayoutOptions::default())?;
-    Ok((handlers, layout))
+    crate::lower(prog, &crate::BackendOptions::default())
 }
 
 #[cfg(test)]
@@ -415,8 +435,13 @@ mod tests {
     fn layout_of(src: &str) -> Layout {
         let prog = parse_and_check(src).expect("checks");
         let handlers = elaborate(&prog).expect("elaborates");
-        place(&prog, &handlers, &PipelineSpec::tofino(), LayoutOptions::default())
-            .expect("places")
+        place(
+            &prog,
+            &handlers,
+            &PipelineSpec::tofino(),
+            LayoutOptions::default(),
+        )
+        .expect("places")
     }
 
     const FIG6: &str = r#"
@@ -449,7 +474,11 @@ mod tests {
         // (nexthops+conds | idx writes | pcts), with hcts rearranged into an
         // early stage. Dispatcher adds one.
         assert_eq!(l.unoptimized_stages, 7 + 1);
-        assert!(l.total_stages <= 5, "optimized to {} stages", l.total_stages);
+        assert!(
+            l.total_stages <= 5,
+            "optimized to {} stages",
+            l.total_stages
+        );
         assert!(l.stage_ratio() > 1.5, "ratio {}", l.stage_ratio());
     }
 
@@ -474,13 +503,21 @@ mod tests {
     fn rearrangement_ablation_costs_stages() {
         let prog = parse_and_check(FIG6).unwrap();
         let handlers = elaborate(&prog).unwrap();
-        let with = place(&prog, &handlers, &PipelineSpec::tofino(), LayoutOptions::default())
-            .unwrap();
+        let with = place(
+            &prog,
+            &handlers,
+            &PipelineSpec::tofino(),
+            LayoutOptions::default(),
+        )
+        .unwrap();
         let without = place(
             &prog,
             &handlers,
             &PipelineSpec::tofino(),
-            LayoutOptions { rearrange: false, ..LayoutOptions::default() },
+            LayoutOptions {
+                rearrange: false,
+                ..LayoutOptions::default()
+            },
         )
         .unwrap();
         assert!(
@@ -572,8 +609,13 @@ mod tests {
         );
         let prog = parse_and_check(&src).unwrap();
         let handlers = elaborate(&prog).unwrap();
-        let err =
-            place(&prog, &handlers, &PipelineSpec::tofino(), LayoutOptions::default()).unwrap_err();
+        let err = place(
+            &prog,
+            &handlers,
+            &PipelineSpec::tofino(),
+            LayoutOptions::default(),
+        )
+        .unwrap_err();
         assert!(err.items[0].message.contains("stages"), "{}", err.items[0]);
     }
 }

@@ -31,6 +31,7 @@ pub use p4::{generate, P4Loc, P4Program};
 
 use lucid_check::CheckedProgram;
 use lucid_frontend::diag::Diagnostics;
+use lucid_tofino::PipelineSpec;
 
 /// A complete compilation artifact.
 #[derive(Debug, Clone)]
@@ -40,9 +41,54 @@ pub struct Compiled {
     pub p4: P4Program,
 }
 
+/// Backend configuration: the target pipeline, the layout knobs, and
+/// whether the IR clean-up pass (copy propagation + dead-table
+/// elimination) runs. `lucid_core::Compiler` threads one of these through
+/// every build session.
+#[derive(Debug, Clone)]
+pub struct BackendOptions {
+    pub target: PipelineSpec,
+    pub layout: LayoutOptions,
+    pub optimize: bool,
+}
+
+impl Default for BackendOptions {
+    fn default() -> Self {
+        BackendOptions {
+            target: PipelineSpec::tofino(),
+            layout: LayoutOptions::default(),
+            optimize: true,
+        }
+    }
+}
+
 /// Run the full backend with default options on the Tofino target.
 pub fn compile(prog: &CheckedProgram) -> Result<Compiled, Diagnostics> {
-    let (handlers, layout) = compile_layout(prog)?;
+    compile_with(prog, &BackendOptions::default())
+}
+
+/// Run the full backend against an explicit target and layout
+/// configuration.
+pub fn compile_with(prog: &CheckedProgram, opts: &BackendOptions) -> Result<Compiled, Diagnostics> {
+    let (handlers, layout) = lower(prog, opts)?;
     let p4 = generate(prog, &handlers, &layout);
-    Ok(Compiled { handlers, layout, p4 })
+    Ok(Compiled {
+        handlers,
+        layout,
+        p4,
+    })
+}
+
+/// The shared backend driver short of code generation: elaborate,
+/// optionally clean up the IR, and place onto the target pipeline.
+pub fn lower(
+    prog: &CheckedProgram,
+    opts: &BackendOptions,
+) -> Result<(Vec<HandlerIr>, Layout), Diagnostics> {
+    let mut handlers = elaborate(prog)?;
+    if opts.optimize {
+        optimize(&mut handlers);
+    }
+    let layout = place(prog, &handlers, &opts.target, opts.layout)?;
+    Ok((handlers, layout))
 }

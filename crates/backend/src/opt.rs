@@ -69,7 +69,9 @@ fn propagate_copies(h: &mut HandlerIr, stats: &mut OptStats) {
     // Collect foldable copies: dst written once, src stable.
     let mut subst: HashMap<String, Operand> = HashMap::new();
     for t in &h.tables {
-        let AtomicOp::Mov { dst, src } = &t.op else { continue };
+        let AtomicOp::Mov { dst, src } = &t.op else {
+            continue;
+        };
         if !t.guard.is_empty() {
             // A guarded copy only happens on some paths; not foldable.
             continue;
@@ -154,7 +156,12 @@ fn rewrite_operands(op: &mut AtomicOp, mut f: impl FnMut(&Operand) -> Option<Ope
                 }
             }
         }
-        AtomicOp::Generate { args, delay, location, .. } => {
+        AtomicOp::Generate {
+            args,
+            delay,
+            location,
+            ..
+        } => {
             args.iter_mut().for_each(&mut apply);
             if let Some(d) = delay {
                 apply(d);
@@ -172,7 +179,11 @@ fn resolve_constant_guards(h: &mut HandlerIr, stats: &mut OptStats) {
     let defs = def_counts(h);
     let mut consts: HashMap<String, u64> = HashMap::new();
     for t in &h.tables {
-        if let AtomicOp::Mov { dst, src: Operand::Const(c) } = &t.op {
+        if let AtomicOp::Mov {
+            dst,
+            src: Operand::Const(c),
+        } = &t.op
+        {
             if t.guard.is_empty() && defs.get(dst).copied().unwrap_or(0) == 1 {
                 consts.insert(dst.clone(), *c);
             }

@@ -34,13 +34,22 @@ fn bench_backend(c: &mut Criterion) {
             &(&prog, &handlers),
             |b, (prog, handlers)| {
                 b.iter(|| {
-                    place(prog, handlers, &PipelineSpec::tofino(), LayoutOptions::default())
-                        .expect("places")
+                    place(
+                        prog,
+                        handlers,
+                        &PipelineSpec::tofino(),
+                        LayoutOptions::default(),
+                    )
+                    .expect("places")
                 })
             },
         );
-        g.bench_with_input(BenchmarkId::new("full_compile", app.key), &prog, |b, prog| {
-            b.iter(|| lucid_backend::compile(prog).expect("compiles"))
+        g.bench_with_input(BenchmarkId::new("full_compile", app.key), &app, |b, app| {
+            // The whole session: parse → check → elaborate → place → P4.
+            b.iter(|| {
+                let mut build = lucid_core::Compiler::new().build(app.key, app.source);
+                build.p4().expect("compiles").loc.total()
+            })
         });
     }
     g.finish();
@@ -53,7 +62,10 @@ fn bench_ablations(c: &mut Criterion) {
     let app = lucid_apps::by_key("sfw").expect("bundled");
     let prog = app.checked();
     let handlers = elaborate(&prog).expect("elaborates");
-    let tall = PipelineSpec { stages: 256, ..PipelineSpec::tofino() };
+    let tall = PipelineSpec {
+        stages: 256,
+        ..PipelineSpec::tofino()
+    };
     g.bench_function("place_rearranged", |b| {
         b.iter(|| place(&prog, &handlers, &tall, LayoutOptions::default()).expect("places"))
     });
@@ -63,7 +75,10 @@ fn bench_ablations(c: &mut Criterion) {
                 &prog,
                 &handlers,
                 &tall,
-                LayoutOptions { rearrange: false, ..LayoutOptions::default() },
+                LayoutOptions {
+                    rearrange: false,
+                    ..LayoutOptions::default()
+                },
             )
             .expect("places")
         })
@@ -78,7 +93,10 @@ fn bench_ablations(c: &mut Criterion) {
                         &prog,
                         &handlers,
                         &tall,
-                        LayoutOptions { merge_key_budget: budget, ..LayoutOptions::default() },
+                        LayoutOptions {
+                            merge_key_budget: budget,
+                            ..LayoutOptions::default()
+                        },
                     )
                     .expect("places")
                 })
@@ -97,7 +115,7 @@ fn quick() -> Criterion {
         .measurement_time(std::time::Duration::from_millis(700))
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_frontend, bench_backend, bench_ablations

@@ -63,7 +63,8 @@ fn bench_multiswitch(c: &mut Criterion) {
         b.iter(|| {
             let mut sim = Interp::new(&prog, NetConfig::mesh(3));
             for i in 0..100u64 {
-                sim.schedule(2, i * 10_000, "write_req", &[i % 64, i]).expect("scheduled");
+                sim.schedule(2, i * 10_000, "write_req", &[i % 64, i])
+                    .expect("scheduled");
             }
             sim.run_to_quiescence().expect("runs");
             sim.stats.handled
@@ -81,7 +82,7 @@ fn quick() -> Criterion {
         .measurement_time(std::time::Duration::from_millis(700))
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_event_throughput, bench_sfw_packets, bench_multiswitch

@@ -26,7 +26,10 @@ fn bench_delay_mechanisms(c: &mut Criterion) {
             BenchmarkId::new("queue_release_interval_us", interval_us),
             &interval_us,
             |b, &iv| {
-                let q = DelayQueue { release_interval_ns: iv * 1_000, ..DelayQueue::default() };
+                let q = DelayQueue {
+                    release_interval_ns: iv * 1_000,
+                    ..DelayQueue::default()
+                };
                 b.iter(|| q.delay_events(64, &delays))
             },
         );
@@ -65,7 +68,7 @@ fn quick() -> Criterion {
         .measurement_time(std::time::Duration::from_millis(700))
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = quick();
     targets = bench_delay_mechanisms, bench_models

@@ -18,7 +18,13 @@ fn main() {
     print!(
         "{}",
         lucid_bench::render_table(
-            &["Application", "Role of control events", "Lucid LoC", "P4 LoC", "Stages"],
+            &[
+                "Application",
+                "Role of control events",
+                "Lucid LoC",
+                "P4 LoC",
+                "Stages"
+            ],
             &rows
         )
     );

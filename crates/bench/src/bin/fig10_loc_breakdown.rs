@@ -23,8 +23,17 @@ fn main() {
     print!(
         "{}",
         lucid_bench::render_table(
-            &["app", "P4 Action", "P4 RegActions", "P4 Tables", "P4 Headers", "P4 Parsers",
-              "P4 Other", "P4 Total", "Lucid"],
+            &[
+                "app",
+                "P4 Action",
+                "P4 RegActions",
+                "P4 Tables",
+                "P4 Headers",
+                "P4 Parsers",
+                "P4 Other",
+                "P4 Total",
+                "Lucid"
+            ],
             &rows
         )
     );

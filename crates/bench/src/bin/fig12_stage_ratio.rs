@@ -12,14 +12,22 @@ fn main() {
                 r.unoptimized_stages.to_string(),
                 r.optimized_stages.to_string(),
                 format!("{:.2}", r.ratio),
-                r.no_rearrange_stages.map(|n| n.to_string()).unwrap_or_else(|| "-".into()),
+                r.no_rearrange_stages
+                    .map(|n| n.to_string())
+                    .unwrap_or_else(|| "-".into()),
             ]
         })
         .collect();
     print!(
         "{}",
         lucid_bench::render_table(
-            &["app", "unoptimized", "optimized", "ratio", "no-rearrange (ablation)"],
+            &[
+                "app",
+                "unoptimized",
+                "optimized",
+                "ratio",
+                "no-rearrange (ablation)"
+            ],
             &rows
         )
     );

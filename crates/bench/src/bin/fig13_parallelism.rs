@@ -14,6 +14,9 @@ fn main() {
             ]
         })
         .collect();
-    print!("{}", lucid_bench::render_table(&["app", "mean ALU/stage", "max ALU/stage"], &rows));
+    print!(
+        "{}",
+        lucid_bench::render_table(&["app", "mean ALU/stage", "max ALU/stage"], &rows)
+    );
     println!("\npaper: 2-13 statements per stage across the suite.");
 }

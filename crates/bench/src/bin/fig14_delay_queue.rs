@@ -20,8 +20,13 @@ fn main() {
     print!(
         "{}",
         lucid_bench::render_table(
-            &["events", "baseline Gb/s", "delay-queue Gb/s", "baseline rel.err",
-              "delay-queue rel.err"],
+            &[
+                "events",
+                "baseline Gb/s",
+                "delay-queue Gb/s",
+                "baseline rel.err",
+                "delay-queue rel.err"
+            ],
             &rows
         )
     );

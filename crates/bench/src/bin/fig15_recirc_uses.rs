@@ -6,8 +6,15 @@ fn main() {
     let rows: Vec<Vec<String>> = lucid_bench::figure15()
         .into_iter()
         .map(|(class, apps)| {
-            vec![class.label().to_string(), class.rate().to_string(), apps.join(", ")]
+            vec![
+                class.label().to_string(),
+                class.rate().to_string(),
+                apps.join(", "),
+            ]
         })
         .collect();
-    print!("{}", lucid_bench::render_table(&["Recirc. use", "Recirc. rate", "Applications"], &rows));
+    print!(
+        "{}",
+        lucid_bench::render_table(&["Recirc. use", "Recirc. rate", "Applications"], &rows)
+    );
 }

@@ -19,7 +19,12 @@ fn main() {
     print!(
         "{}",
         lucid_bench::render_table(
-            &["flow rate (f)", "recirc. rate", "pipeline utilization", "min. pkt. size"],
+            &[
+                "flow rate (f)",
+                "recirc. rate",
+                "pipeline utilization",
+                "min. pkt. size"
+            ],
             &rows
         )
     );

@@ -13,8 +13,14 @@ fn main() {
     print_cdf(&f.remote);
 
     println!("\ninline installs (0 ns): {:.1}%", f.frac_inline * 100.0);
-    println!("mean integrated: {:.0} ns   mean remote: {:.0} ns", f.integrated_mean_ns, f.remote_mean_ns);
-    println!("speedup: {:.0}x  (paper: 49 ns vs 17.5 us — over 300x)", f.speedup);
+    println!(
+        "mean integrated: {:.0} ns   mean remote: {:.0} ns",
+        f.integrated_mean_ns, f.remote_mean_ns
+    );
+    println!(
+        "speedup: {:.0}x  (paper: 49 ns vs 17.5 us — over 300x)",
+        f.speedup
+    );
 }
 
 /// Print a compact CDF: the probability at a fixed set of quantile knots.

@@ -18,11 +18,35 @@
 //! | Figure 17 (install time CDF) | [`figure17`] | `fig17_sfw_install` |
 
 use lucid_apps::AppInfo;
-use lucid_backend::{elaborate, place, LayoutOptions, P4Loc};
-use lucid_tofino::{
-    ecdf, figure16_rows, DelayQueue, PipelineSpec, RecircPort, RemoteControlModel, SfwModelRow,
-};
+use lucid_backend::P4Loc;
+use lucid_core::{Build, Compiler, LayoutOptions, PipelineSpec};
+use lucid_tofino::{ecdf, figure16_rows, DelayQueue, RecircPort, RemoteControlModel, SfwModelRow};
 use std::time::Instant;
+
+/// Open a default-target build session for a bundled app.
+fn session(app: &AppInfo) -> Build {
+    Compiler::new().build(app.key, app.source)
+}
+
+/// Drive a session to P4, panicking with rendered diagnostics on failure
+/// (the bundled apps must always compile).
+fn compiled(app: &AppInfo) -> Build {
+    let mut build = session(app);
+    if build.p4().is_err() {
+        panic!("{} must compile:\n{}", app.name, build.render_diagnostics());
+    }
+    build
+}
+
+/// Drive a session to layout only — the figures that never read the P4
+/// text skip code generation entirely.
+fn laid_out(app: &AppInfo) -> Build {
+    let mut build = session(app);
+    if build.layout().is_err() {
+        panic!("{} must place:\n{}", app.name, build.render_diagnostics());
+    }
+    build
+}
 
 /// One row of Figure 9.
 #[derive(Debug, Clone)]
@@ -38,13 +62,11 @@ pub fn figure09() -> Vec<Fig09Row> {
     lucid_apps::all()
         .into_iter()
         .map(|app| {
-            let prog = app.checked();
-            let compiled = lucid_backend::compile(&prog)
-                .unwrap_or_else(|e| panic!("{} must compile: {e}", app.name));
+            let mut build = compiled(&app);
             Fig09Row {
                 lucid_loc: app.lucid_loc(),
-                p4_loc: compiled.p4.loc.total(),
-                stages: compiled.layout.total_stages,
+                p4_loc: build.p4().expect("compiled").loc.total(),
+                stages: build.layout().expect("compiled").total_stages,
                 app,
             }
         })
@@ -64,13 +86,12 @@ pub fn figure10() -> Vec<Fig10Row> {
     lucid_apps::all()
         .into_iter()
         .map(|app| {
-            let prog = app.checked();
-            let compiled = lucid_backend::compile(&prog).expect("compiles");
+            let mut build = compiled(&app);
             Fig10Row {
                 key: app.key,
                 name: app.name,
                 lucid_loc: app.lucid_loc(),
-                p4: compiled.p4.loc,
+                p4: build.p4().expect("compiled").loc.clone(),
             }
         })
         .collect()
@@ -93,8 +114,8 @@ pub fn figure11() -> Vec<Fig11Row> {
         .into_iter()
         .map(|app| {
             let t0 = Instant::now();
-            let prog = app.checked();
-            let _ = lucid_backend::compile(&prog).expect("compiles");
+            let mut build = session(&app);
+            assert!(build.p4().is_ok(), "{} compiles", app.key);
             let dt = t0.elapsed().as_secs_f64() * 1e6;
             let paper = match app.key {
                 "nat" => Some("25m"),
@@ -129,22 +150,22 @@ pub fn figure12() -> Vec<Fig12Row> {
     lucid_apps::all()
         .into_iter()
         .map(|app| {
-            let prog = app.checked();
-            let handlers = elaborate(&prog).expect("elaborates");
-            let spec = PipelineSpec::tofino();
-            let opt = place(&prog, &handlers, &spec, LayoutOptions::default())
-                .expect("places");
+            // One session per app: the default-target layout, then the
+            // ablation re-runs only the backend (the parse and check are
+            // reused across targets).
+            let mut build = laid_out(&app);
+            let opt = build.layout().expect("placed").clone();
             // Ablation: no rearrangement. May exceed the pipeline; report
             // with a taller hypothetical pipeline so the cost is visible.
-            let tall = PipelineSpec { stages: 256, ..spec };
-            let no_rearrange = place(
-                &prog,
-                &handlers,
-                &tall,
-                LayoutOptions { rearrange: false, ..LayoutOptions::default() },
-            )
-            .ok()
-            .map(|l| l.total_stages);
+            let tall = PipelineSpec {
+                stages: 256,
+                ..PipelineSpec::tofino()
+            };
+            build.reconfigure(&Compiler::new().target(tall).layout(LayoutOptions {
+                rearrange: false,
+                ..LayoutOptions::default()
+            }));
+            let no_rearrange = build.layout().ok().map(|l| l.total_stages);
             Fig12Row {
                 key: app.key,
                 name: app.name,
@@ -170,13 +191,13 @@ pub fn figure13() -> Vec<Fig13Row> {
     lucid_apps::all()
         .into_iter()
         .map(|app| {
-            let prog = app.checked();
-            let compiled = lucid_backend::compile(&prog).expect("compiles");
+            let mut build = laid_out(&app);
+            let layout = build.layout().expect("placed");
             Fig13Row {
                 key: app.key,
                 name: app.name,
-                mean_alu_per_stage: compiled.layout.mean_alu_per_stage(),
-                max_alu_per_stage: compiled.layout.max_alu_per_stage(),
+                mean_alu_per_stage: layout.mean_alu_per_stage(),
+                max_alu_per_stage: layout.max_alu_per_stage(),
             }
         })
         .collect()
@@ -202,8 +223,9 @@ pub fn figure14() -> Vec<Fig14Point> {
         .map(|n| {
             // Requested delays spread around 1 ms, like the paper's
             // indefinitely-delayed event pool.
-            let delays: Vec<u64> =
-                (0..n).map(|i| 800_000 + (i as u64 * 37_013) % 400_000).collect();
+            let delays: Vec<u64> = (0..n)
+                .map(|i| 800_000 + (i as u64 * 37_013) % 400_000)
+                .collect();
             let base = port.delay_baseline(64, &delays);
             let dq = queue.delay_events(64, &delays);
             let steady = queue.steady_state_bandwidth_bps(64, n);
@@ -257,8 +279,7 @@ pub struct Fig17 {
 pub fn figure17(trials: usize, seed: u64) -> Fig17 {
     let bench = lucid_apps::sfw::install_benchmark(trials, 0.3125, seed);
     let remote = RemoteControlModel::default().sample(trials, seed);
-    let integrated_mean =
-        bench.times_ns.iter().sum::<f64>() / bench.times_ns.len().max(1) as f64;
+    let integrated_mean = bench.times_ns.iter().sum::<f64>() / bench.times_ns.len().max(1) as f64;
     let remote_mean = remote.iter().sum::<f64>() / remote.len().max(1) as f64;
     Fig17 {
         integrated: ecdf(&bench.times_ns),
@@ -318,7 +339,11 @@ mod tests {
         for r in figure10() {
             assert_eq!(
                 r.p4.total(),
-                r.p4.headers + r.p4.parsers + r.p4.actions + r.p4.reg_actions + r.p4.tables
+                r.p4.headers
+                    + r.p4.parsers
+                    + r.p4.actions
+                    + r.p4.reg_actions
+                    + r.p4.tables
                     + r.p4.control
             );
         }
@@ -328,7 +353,11 @@ mod tests {
     fn figure12_optimizations_never_hurt() {
         for r in figure12() {
             if let Some(nr) = r.no_rearrange_stages {
-                assert!(nr >= r.optimized_stages, "{}: rearrangement should help", r.name);
+                assert!(
+                    nr >= r.optimized_stages,
+                    "{}: rearrangement should help",
+                    r.name
+                );
             }
         }
     }
@@ -363,7 +392,10 @@ mod tests {
     fn render_table_aligns() {
         let t = render_table(
             &["a", "bbbb"],
-            &[vec!["x".into(), "y".into()], vec!["long".into(), "z".into()]],
+            &[
+                vec!["x".into(), "y".into()],
+                vec!["long".into(), "z".into()],
+            ],
         );
         assert!(t.contains("a     bbbb"), "{t}");
     }

@@ -72,7 +72,10 @@ pub enum CExpr {
 
 impl CExpr {
     pub fn is_value(&self) -> bool {
-        matches!(self, CExpr::Unit | CExpr::Int(_) | CExpr::Global(_) | CExpr::Fun(..))
+        matches!(
+            self,
+            CExpr::Unit | CExpr::Int(_) | CExpr::Global(_) | CExpr::Fun(..)
+        )
     }
 }
 
@@ -100,7 +103,10 @@ pub type GlobalSig = Vec<BaseTy>;
 type Env = Vec<(String, CTy)>;
 
 fn lookup(env: &Env, x: &str) -> Option<CTy> {
-    env.iter().rev().find(|(n, _)| n == x).map(|(_, t)| t.clone())
+    env.iter()
+        .rev()
+        .find(|(n, _)| n == x)
+        .map(|(_, t)| t.clone())
 }
 
 /// `Γ, ε₁ ⊢ e : τ, ε₂` — returns `(τ, ε₂)` or a description of the failure.
@@ -113,9 +119,9 @@ pub fn type_of(
     match e {
         CExpr::Unit => Ok((CTy::Unit, stage)),
         CExpr::Int(_) => Ok((CTy::Int, stage)),
-        CExpr::Var(x) => {
-            lookup(env, x).map(|t| (t, stage)).ok_or_else(|| format!("unbound variable {x}"))
-        }
+        CExpr::Var(x) => lookup(env, x)
+            .map(|t| (t, stage))
+            .ok_or_else(|| format!("unbound variable {x}")),
         CExpr::Global(i) => {
             let b = *sig.get(*i).ok_or_else(|| format!("no global g{i}"))?;
             Ok((CTy::Ref(b, *i), stage))
@@ -215,9 +221,7 @@ fn subst(e: &CExpr, x: &str, v: &CExpr) -> CExpr {
     match e {
         CExpr::Var(y) if y == x => v.clone(),
         CExpr::Var(_) | CExpr::Unit | CExpr::Int(_) | CExpr::Global(_) => e.clone(),
-        CExpr::Plus(a, b) => {
-            CExpr::Plus(Rc::new(subst(a, x, v)), Rc::new(subst(b, x, v)))
-        }
+        CExpr::Plus(a, b) => CExpr::Plus(Rc::new(subst(a, x, v)), Rc::new(subst(b, x, v))),
         CExpr::Let(y, a, b) => {
             let a2 = Rc::new(subst(a, x, v));
             if y == x {
@@ -227,9 +231,7 @@ fn subst(e: &CExpr, x: &str, v: &CExpr) -> CExpr {
             }
         }
         CExpr::Deref(r) => CExpr::Deref(Rc::new(subst(r, x, v))),
-        CExpr::Assign(r, w) => {
-            CExpr::Assign(Rc::new(subst(r, x, v)), Rc::new(subst(w, x, v)))
-        }
+        CExpr::Assign(r, w) => CExpr::Assign(Rc::new(subst(r, x, v)), Rc::new(subst(w, x, v))),
         CExpr::Fun(y, t, s, b) => {
             if y == x {
                 e.clone()
@@ -251,8 +253,12 @@ pub fn step(st: &State) -> Result<Option<State>, String> {
         CExpr::Var(x) => Err(format!("stuck: free variable {x}")),
         CExpr::Plus(a, b) => {
             if !a.is_value() {
-                let sub = step(&State { store: store.clone(), next: *next, expr: a.clone() })?
-                    .ok_or("plus lhs: value but not stepped")?;
+                let sub = step(&State {
+                    store: store.clone(),
+                    next: *next,
+                    expr: a.clone(),
+                })?
+                .ok_or("plus lhs: value but not stepped")?;
                 return Ok(Some(State {
                     expr: rebuild(CExpr::Plus(sub.expr, b.clone())),
                     store: sub.store,
@@ -260,8 +266,12 @@ pub fn step(st: &State) -> Result<Option<State>, String> {
                 }));
             }
             if !b.is_value() {
-                let sub = step(&State { store: store.clone(), next: *next, expr: b.clone() })?
-                    .ok_or("plus rhs: value but not stepped")?;
+                let sub = step(&State {
+                    store: store.clone(),
+                    next: *next,
+                    expr: b.clone(),
+                })?
+                .ok_or("plus rhs: value but not stepped")?;
                 return Ok(Some(State {
                     expr: rebuild(CExpr::Plus(a.clone(), sub.expr)),
                     store: sub.store,
@@ -279,8 +289,12 @@ pub fn step(st: &State) -> Result<Option<State>, String> {
         }
         CExpr::Let(x, a, b) => {
             if !a.is_value() {
-                let sub = step(&State { store: store.clone(), next: *next, expr: a.clone() })?
-                    .ok_or("let: value but not stepped")?;
+                let sub = step(&State {
+                    store: store.clone(),
+                    next: *next,
+                    expr: a.clone(),
+                })?
+                .ok_or("let: value but not stepped")?;
                 return Ok(Some(State {
                     expr: rebuild(CExpr::Let(x.clone(), sub.expr, b.clone())),
                     store: sub.store,
@@ -295,8 +309,12 @@ pub fn step(st: &State) -> Result<Option<State>, String> {
         }
         CExpr::Deref(r) => {
             if !r.is_value() {
-                let sub = step(&State { store: store.clone(), next: *next, expr: r.clone() })?
-                    .ok_or("deref: value but not stepped")?;
+                let sub = step(&State {
+                    store: store.clone(),
+                    next: *next,
+                    expr: r.clone(),
+                })?
+                .ok_or("deref: value but not stepped")?;
                 return Ok(Some(State {
                     expr: rebuild(CExpr::Deref(sub.expr)),
                     store: sub.store,
@@ -323,8 +341,12 @@ pub fn step(st: &State) -> Result<Option<State>, String> {
         CExpr::Assign(r, v) => {
             // UPDATE-1: step the value first (matches the typing premises).
             if !v.is_value() {
-                let sub = step(&State { store: store.clone(), next: *next, expr: v.clone() })?
-                    .ok_or("assign value: value but not stepped")?;
+                let sub = step(&State {
+                    store: store.clone(),
+                    next: *next,
+                    expr: v.clone(),
+                })?
+                .ok_or("assign value: value but not stepped")?;
                 return Ok(Some(State {
                     expr: rebuild(CExpr::Assign(r.clone(), sub.expr)),
                     store: sub.store,
@@ -332,8 +354,12 @@ pub fn step(st: &State) -> Result<Option<State>, String> {
                 }));
             }
             if !r.is_value() {
-                let sub = step(&State { store: store.clone(), next: *next, expr: r.clone() })?
-                    .ok_or("assign ref: value but not stepped")?;
+                let sub = step(&State {
+                    store: store.clone(),
+                    next: *next,
+                    expr: r.clone(),
+                })?
+                .ok_or("assign ref: value but not stepped")?;
                 return Ok(Some(State {
                     expr: rebuild(CExpr::Assign(sub.expr, v.clone())),
                     store: sub.store,
@@ -345,7 +371,11 @@ pub fn step(st: &State) -> Result<Option<State>, String> {
                     if *next <= *i {
                         let mut store2 = store.clone();
                         store2[*i] = *n;
-                        Ok(Some(State { store: store2, next: *i + 1, expr: rebuild(CExpr::Unit) }))
+                        Ok(Some(State {
+                            store: store2,
+                            next: *i + 1,
+                            expr: rebuild(CExpr::Unit),
+                        }))
                     } else {
                         Err(format!("stuck: update g{i} but stage counter is {next}"))
                     }
@@ -355,8 +385,12 @@ pub fn step(st: &State) -> Result<Option<State>, String> {
         }
         CExpr::App(f, a) => {
             if !f.is_value() {
-                let sub = step(&State { store: store.clone(), next: *next, expr: f.clone() })?
-                    .ok_or("app fn: value but not stepped")?;
+                let sub = step(&State {
+                    store: store.clone(),
+                    next: *next,
+                    expr: f.clone(),
+                })?
+                .ok_or("app fn: value but not stepped")?;
                 return Ok(Some(State {
                     expr: rebuild(CExpr::App(sub.expr, a.clone())),
                     store: sub.store,
@@ -364,8 +398,12 @@ pub fn step(st: &State) -> Result<Option<State>, String> {
                 }));
             }
             if !a.is_value() {
-                let sub = step(&State { store: store.clone(), next: *next, expr: a.clone() })?
-                    .ok_or("app arg: value but not stepped")?;
+                let sub = step(&State {
+                    store: store.clone(),
+                    next: *next,
+                    expr: a.clone(),
+                })?
+                .ok_or("app arg: value but not stepped")?;
                 return Ok(Some(State {
                     expr: rebuild(CExpr::App(f.clone(), sub.expr)),
                     store: sub.store,
@@ -438,7 +476,10 @@ mod tests {
         let e = CExpr::Let(
             "x".into(),
             rc(CExpr::Deref(rc(CExpr::Global(1)))),
-            rc(CExpr::Assign(rc(CExpr::Global(0)), rc(CExpr::Var("x".into())))),
+            rc(CExpr::Assign(
+                rc(CExpr::Global(0)),
+                rc(CExpr::Var("x".into())),
+            )),
         );
         let err = type_of(&sig2(), &vec![], 0, &e).unwrap_err();
         assert!(err.contains("g0"), "{err}");
@@ -451,7 +492,10 @@ mod tests {
         let e = CExpr::Let(
             "x".into(),
             rc(CExpr::Deref(rc(CExpr::Global(1)))),
-            rc(CExpr::Assign(rc(CExpr::Global(0)), rc(CExpr::Var("x".into())))),
+            rc(CExpr::Assign(
+                rc(CExpr::Global(0)),
+                rc(CExpr::Var("x".into())),
+            )),
         );
         let err = eval(&sig2(), e, 100).unwrap_err();
         assert!(err.contains("stuck"), "{err}");
@@ -465,7 +509,10 @@ mod tests {
             "x".into(),
             CTy::Int,
             0,
-            rc(CExpr::Assign(rc(CExpr::Global(0)), rc(CExpr::Var("x".into())))),
+            rc(CExpr::Assign(
+                rc(CExpr::Global(0)),
+                rc(CExpr::Var("x".into())),
+            )),
         );
         let e = CExpr::Let(
             "y".into(),
@@ -482,11 +529,7 @@ mod tests {
     /// globals, tracking the stage exactly like the type system. Each
     /// generated term is well-typed by construction; the property test then
     /// verifies the soundness theorem by running it.
-    fn arb_int_expr(
-        sig: GlobalSig,
-        stage: usize,
-        depth: u32,
-    ) -> impl Strategy<Value = CExpr> {
+    fn arb_int_expr(sig: GlobalSig, stage: usize, depth: u32) -> impl Strategy<Value = CExpr> {
         let n = sig.len();
         if depth == 0 || stage >= n {
             return any::<i8>().prop_map(|v| CExpr::Int(v as i64)).boxed();

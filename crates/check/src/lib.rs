@@ -23,7 +23,7 @@ pub mod typecheck;
 pub use lucid_frontend::diag::{Diagnostic, Diagnostics, Level};
 pub use memop::{eval_memop, validate_memops, MemopAtom, MemopBody, MemopCell, MemopIr};
 pub use symbols::{mask, ConstInfo, EventInfo, GlobalId, GlobalInfo, GroupInfo, ProgramInfo};
-pub use typecheck::{check, CheckedProgram};
+pub use typecheck::{analyze, check, Analysis, CheckOptions, CheckedProgram};
 
 /// Parse and check in one call.
 pub fn parse_and_check(src: &str) -> Result<CheckedProgram, Diagnostics> {

@@ -82,7 +82,11 @@ pub enum MemopBody {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MemopCell {
     Atom(MemopAtom),
-    Binop { op: BinOp, lhs: MemopAtom, rhs: MemopAtom },
+    Binop {
+        op: BinOp,
+        lhs: MemopAtom,
+        rhs: MemopAtom,
+    },
 }
 
 /// A leaf operand of a memop expression.
@@ -109,10 +113,7 @@ enum MemopCondition {
 /// Validate every memop in `program`, returning their IR forms keyed by
 /// name. All violations are collected (not fail-fast) so a programmer sees
 /// each offending construct in one compile.
-pub fn validate_memops(
-    program: &Program,
-    info: &ProgramInfo,
-) -> Result<Vec<MemopIr>, Diagnostics> {
+pub fn validate_memops(program: &Program, info: &ProgramInfo) -> Result<Vec<MemopIr>, Diagnostics> {
     let mut out = Vec::new();
     let mut diags = Diagnostics::new();
     for decl in &program.decls {
@@ -124,7 +125,7 @@ pub fn validate_memops(
         }
     }
     if diags.has_errors() {
-        Err(diags)
+        Err(diags.or_code_all("E0300"))
     } else {
         Ok(out)
     }
@@ -158,7 +159,10 @@ fn validate_one(
     for p in params {
         if p.ty.int_width().is_none() {
             diags.push(Diagnostic::error(
-                format!("memop parameter `{}` must be an integer, not {}", p.name, p.ty),
+                format!(
+                    "memop parameter `{}` must be an integer, not {}",
+                    p.name, p.ty
+                ),
                 p.span,
             ));
         }
@@ -169,16 +173,32 @@ fn validate_one(
 
     let mem = params[0].name.name.clone();
     let local = params[1].name.name.clone();
-    let cx = Cx { mem: &mem, local: &local, info };
+    let cx = Cx {
+        mem: &mem,
+        local: &local,
+        info,
+    };
 
     let ir_body = match &body.stmts[..] {
-        [Stmt { kind: StmtKind::Return(Some(e)), .. }] => {
-            cx.cell(e, &mut diags).map(MemopBody::Return)
-        }
-        [Stmt { kind: StmtKind::If { cond, then_blk, else_blk: Some(else_blk) }, .. }] => {
+        [Stmt {
+            kind: StmtKind::Return(Some(e)),
+            ..
+        }] => cx.cell(e, &mut diags).map(MemopBody::Return),
+        [Stmt {
+            kind:
+                StmtKind::If {
+                    cond,
+                    then_blk,
+                    else_blk: Some(else_blk),
+                },
+            ..
+        }] => {
             let ret_of = |blk: &Block, diags: &mut Diagnostics| -> Option<Expr> {
                 match &blk.stmts[..] {
-                    [Stmt { kind: StmtKind::Return(Some(e)), .. }] => Some(e.clone()),
+                    [Stmt {
+                        kind: StmtKind::Return(Some(e)),
+                        ..
+                    }] => Some(e.clone()),
                     _ => {
                         diags.push(
                             Diagnostic::error(
@@ -199,10 +219,22 @@ fn validate_one(
             let f = ret_of(else_blk, &mut diags).and_then(|e| cx.cell(&e, &mut diags));
             match (cond_ir, t, f) {
                 (Some(MemopCondition::Simple(lhs, cmp, rhs)), Some(then_val), Some(else_val)) => {
-                    Some(MemopBody::Cond { lhs, cmp, rhs, then_val, else_val })
+                    Some(MemopBody::Cond {
+                        lhs,
+                        cmp,
+                        rhs,
+                        then_val,
+                        else_val,
+                    })
                 }
                 (Some(MemopCondition::Compound { and, a, b }), Some(then_val), Some(else_val)) => {
-                    Some(MemopBody::CondCompound { and, a, b, then_val, else_val })
+                    Some(MemopBody::CondCompound {
+                        and,
+                        a,
+                        b,
+                        then_val,
+                        else_val,
+                    })
                 }
                 _ => None,
             }
@@ -264,7 +296,11 @@ impl Cx<'_> {
                 let l = self.atom(lhs, diags)?;
                 let r = self.atom(rhs, diags)?;
                 self.check_single_use(&[l, r], e, diags)?;
-                Some(MemopCell::Binop { op: *op, lhs: l, rhs: r })
+                Some(MemopCell::Binop {
+                    op: *op,
+                    lhs: l,
+                    rhs: r,
+                })
             }
             _ => Some(MemopCell::Atom(self.atom(e, diags)?)),
         }
@@ -287,7 +323,11 @@ impl Cx<'_> {
                 // Array.update by the type checker.
                 let a = self.simple_cmp(lhs, diags)?;
                 let b = self.simple_cmp(rhs, diags)?;
-                Some(MemopCondition::Compound { and: *op == BinOp::And, a, b })
+                Some(MemopCondition::Compound {
+                    and: *op == BinOp::And,
+                    a,
+                    b,
+                })
             }
             _ => {
                 diags.push(Diagnostic::error(
@@ -379,7 +419,10 @@ impl Cx<'_> {
         diags: &mut Diagnostics,
     ) -> Option<()> {
         let mems = atoms.iter().filter(|a| matches!(a, MemopAtom::Mem)).count();
-        let locals = atoms.iter().filter(|a| matches!(a, MemopAtom::Local)).count();
+        let locals = atoms
+            .iter()
+            .filter(|a| matches!(a, MemopAtom::Local))
+            .count();
         if mems > 1 || locals > 1 {
             let which = if mems > 1 { self.mem } else { self.local };
             diags.push(
@@ -443,14 +486,26 @@ pub fn eval_memop(m: &MemopIr, mem: u64, local: u64, width: u32) -> u64 {
     };
     match &m.body {
         MemopBody::Return(c) => cell(c),
-        MemopBody::Cond { lhs, cmp, rhs, then_val, else_val } => {
+        MemopBody::Cond {
+            lhs,
+            cmp,
+            rhs,
+            then_val,
+            else_val,
+        } => {
             if cmp_eval(*lhs, *cmp, *rhs) {
                 cell(then_val)
             } else {
                 cell(else_val)
             }
         }
-        MemopBody::CondCompound { and, a, b, then_val, else_val } => {
+        MemopBody::CondCompound {
+            and,
+            a,
+            b,
+            then_val,
+            else_val,
+        } => {
             let ra = cmp_eval(a.0, a.1, a.2);
             let rb = cmp_eval(b.0, b.1, b.2);
             let taken = if *and { ra && rb } else { ra || rb };
@@ -502,7 +557,12 @@ mod tests {
              }",
         )
         .unwrap_err();
-        assert!(err.items.iter().any(|d| d.message.contains("more than once")), "{err}");
+        assert!(
+            err.items
+                .iter()
+                .any(|d| d.message.contains("more than once")),
+            "{err}"
+        );
     }
 
     #[test]
@@ -556,8 +616,9 @@ mod tests {
         )
         .unwrap_err();
         assert!(
-            err.items.iter().any(|d| d.message.contains("nested")
-                || d.message.contains("not supported")),
+            err.items
+                .iter()
+                .any(|d| d.message.contains("nested") || d.message.contains("not supported")),
             "{err}"
         );
     }
@@ -570,7 +631,11 @@ mod tests {
              }",
         )
         .unwrap_err();
-        assert!(err.items[0].message.contains("exactly two arguments"), "{}", err.items[0]);
+        assert!(
+            err.items[0].message.contains("exactly two arguments"),
+            "{}",
+            err.items[0]
+        );
     }
 
     #[test]
@@ -596,7 +661,11 @@ mod tests {
              }",
         )
         .unwrap_err();
-        assert!(err.items[0].message.contains("exactly one `return`"), "{}", err.items[0]);
+        assert!(
+            err.items[0].message.contains("exactly one `return`"),
+            "{}",
+            err.items[0]
+        );
     }
 
     #[test]
@@ -606,7 +675,10 @@ mod tests {
              memop b(int m, int y) { return m + q; }",
         )
         .unwrap_err();
-        assert!(err.items.len() >= 2, "expected both memops to report: {err}");
+        assert!(
+            err.items.len() >= 2,
+            "expected both memops to report: {err}"
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! system (§5 of the paper) treats as the specification of pipeline layout.
 
 use lucid_frontend::ast::*;
-use lucid_frontend::diag::Diagnostic;
+use lucid_frontend::diag::{Diagnostic, Diagnostics};
 use lucid_frontend::span::Span;
 use std::collections::HashMap;
 
@@ -78,12 +78,25 @@ pub struct ProgramInfo {
 
 impl ProgramInfo {
     /// Build symbol tables from a parsed program, resolving constants.
+    /// Returns the first error; [`ProgramInfo::build_all`] accumulates.
+    pub fn build(program: &Program) -> Result<ProgramInfo, Diagnostic> {
+        let (info, mut diags) = Self::build_all(program);
+        match diags.items.is_empty() {
+            true => Ok(info),
+            false => Err(diags.items.remove(0)),
+        }
+    }
+
+    /// Build symbol tables from a parsed program, resolving constants and
+    /// accumulating one diagnostic per bad declaration instead of stopping
+    /// at the first (a bad declaration is skipped; the rest still resolve).
     ///
     /// Duplicate names across any namespace are rejected: Lucid identifiers
     /// share one namespace so that error messages never depend on which
     /// table a name resolved from.
-    pub fn build(program: &Program) -> Result<ProgramInfo, Diagnostic> {
+    pub fn build_all(program: &Program) -> (ProgramInfo, Diagnostics) {
         let mut info = ProgramInfo::default();
+        let mut diags = Diagnostics::new();
         let mut taken: HashMap<String, Span> = HashMap::new();
         let claim = |name: &Ident, taken: &mut HashMap<String, Span>| {
             if let Some(prev) = taken.get(&name.name) {
@@ -98,95 +111,125 @@ impl ProgramInfo {
         };
 
         for decl in &program.decls {
-            match &decl.kind {
-                DeclKind::Const { ty, name, value } => {
-                    claim(name, &mut taken)?;
-                    let v = info.eval_const(value)?;
-                    let v = match ty {
-                        Ty::Int(w) => mask(v, *w),
-                        Ty::Bool => {
-                            if v > 1 {
-                                return Err(Diagnostic::error(
-                                    format!("boolean constant `{}` must be 0/1/true/false", name),
-                                    value.span,
-                                ));
+            // One bad declaration must not hide problems in the next, so
+            // each arm reports into `diags` and continues the scan.
+            let result: Result<(), Diagnostic> = (|| {
+                match &decl.kind {
+                    DeclKind::Const { ty, name, value } => {
+                        claim(name, &mut taken)?;
+                        let v = info.eval_const(value)?;
+                        let v = match ty {
+                            Ty::Int(w) => mask(v, *w),
+                            Ty::Bool => {
+                                if v > 1 {
+                                    return Err(Diagnostic::error(
+                                        format!(
+                                            "boolean constant `{}` must be 0/1/true/false",
+                                            name
+                                        ),
+                                        value.span,
+                                    ));
+                                }
+                                v
                             }
-                            v
+                            other => {
+                                return Err(Diagnostic::error(
+                                    format!("`const` of type {other} is not supported"),
+                                    decl.span,
+                                ))
+                            }
+                        };
+                        info.consts.insert(
+                            name.name.clone(),
+                            ConstInfo {
+                                name: name.name.clone(),
+                                ty: *ty,
+                                value: v,
+                                span: name.span,
+                            },
+                        );
+                    }
+                    DeclKind::Group { name, members } => {
+                        claim(name, &mut taken)?;
+                        let mut vals = Vec::with_capacity(members.len());
+                        for m in members {
+                            vals.push(info.eval_const(m)?);
                         }
-                        other => {
+                        info.groups.insert(
+                            name.name.clone(),
+                            GroupInfo {
+                                name: name.name.clone(),
+                                members: vals,
+                                span: name.span,
+                            },
+                        );
+                    }
+                    DeclKind::GlobalArray {
+                        name,
+                        cell_width,
+                        size,
+                    } => {
+                        claim(name, &mut taken)?;
+                        let len = info.eval_const(size)?;
+                        if len == 0 {
                             return Err(Diagnostic::error(
-                                format!("`const` of type {other} is not supported"),
-                                decl.span,
-                            ))
+                                format!("global array `{name}` has zero length"),
+                                size.span,
+                            ));
                         }
-                    };
-                    info.consts.insert(
-                        name.name.clone(),
-                        ConstInfo { name: name.name.clone(), ty: *ty, value: v, span: name.span },
-                    );
-                }
-                DeclKind::Group { name, members } => {
-                    claim(name, &mut taken)?;
-                    let mut vals = Vec::with_capacity(members.len());
-                    for m in members {
-                        vals.push(info.eval_const(m)?);
+                        let id = GlobalId(info.globals.len());
+                        info.globals.push(GlobalInfo {
+                            id,
+                            name: name.name.clone(),
+                            cell_width: *cell_width,
+                            len,
+                            span: name.span,
+                        });
+                        info.globals_by_name.insert(name.name.clone(), id);
                     }
-                    info.groups.insert(
-                        name.name.clone(),
-                        GroupInfo { name: name.name.clone(), members: vals, span: name.span },
-                    );
-                }
-                DeclKind::GlobalArray { name, cell_width, size } => {
-                    claim(name, &mut taken)?;
-                    let len = info.eval_const(size)?;
-                    if len == 0 {
-                        return Err(Diagnostic::error(
-                            format!("global array `{name}` has zero length"),
-                            size.span,
-                        ));
+                    DeclKind::Event { name, params } => {
+                        claim(name, &mut taken)?;
+                        let id = info.events.len();
+                        info.events.push(EventInfo {
+                            id,
+                            name: name.name.clone(),
+                            params: params.clone(),
+                            span: name.span,
+                        });
+                        info.events_by_name.insert(name.name.clone(), id);
                     }
-                    let id = GlobalId(info.globals.len());
-                    info.globals.push(GlobalInfo {
-                        id,
-                        name: name.name.clone(),
-                        cell_width: *cell_width,
-                        len,
-                        span: name.span,
-                    });
-                    info.globals_by_name.insert(name.name.clone(), id);
-                }
-                DeclKind::Event { name, params } => {
-                    claim(name, &mut taken)?;
-                    let id = info.events.len();
-                    info.events.push(EventInfo {
-                        id,
-                        name: name.name.clone(),
-                        params: params.clone(),
-                        span: name.span,
-                    });
-                    info.events_by_name.insert(name.name.clone(), id);
-                }
-                DeclKind::Handler { name, params, .. } => {
-                    // Handlers share their event's name; do not claim it.
-                    if info.handlers.contains_key(&name.name) {
-                        return Err(Diagnostic::error(
-                            format!("duplicate handler `{name}`"),
-                            name.span,
-                        ));
+                    DeclKind::Handler { name, params, .. } => {
+                        // Handlers share their event's name; do not claim it.
+                        if info.handlers.contains_key(&name.name) {
+                            return Err(Diagnostic::error(
+                                format!("duplicate handler `{name}`"),
+                                name.span,
+                            ));
+                        }
+                        info.handlers.insert(name.name.clone(), params.clone());
                     }
-                    info.handlers.insert(name.name.clone(), params.clone());
+                    DeclKind::Fun {
+                        ret_ty,
+                        name,
+                        params,
+                        ..
+                    } => {
+                        claim(name, &mut taken)?;
+                        info.funs
+                            .insert(name.name.clone(), (*ret_ty, params.clone()));
+                    }
+                    DeclKind::Memop { name, params, .. } => {
+                        claim(name, &mut taken)?;
+                        info.memops.insert(name.name.clone(), params.clone());
+                    }
                 }
-                DeclKind::Fun { ret_ty, name, params, .. } => {
-                    claim(name, &mut taken)?;
-                    info.funs.insert(name.name.clone(), (*ret_ty, params.clone()));
-                }
-                DeclKind::Memop { name, params, .. } => {
-                    claim(name, &mut taken)?;
-                    info.memops.insert(name.name.clone(), params.clone());
-                }
+                Ok(())
+            })();
+            if let Err(d) = result {
+                diags.push(d.or_code("E0200"));
             }
         }
-        Ok(info)
+        (info, diags)
     }
 
     /// Evaluate a compile-time constant expression. Only integers, booleans,
@@ -312,9 +355,10 @@ mod tests {
 
     #[test]
     fn duplicate_names_rejected_across_namespaces() {
-        let err =
-            ProgramInfo::build(&parse_program("const int x = 1; global x = new Array<<32>>(4);").unwrap())
-                .unwrap_err();
+        let err = ProgramInfo::build(
+            &parse_program("const int x = 1; global x = new Array<<32>>(4);").unwrap(),
+        )
+        .unwrap_err();
         assert!(err.message.contains("duplicate"), "{err}");
     }
 

@@ -40,7 +40,11 @@ impl CheckedProgram {
     /// Handler body lookup.
     pub fn handler_body(&self, name: &str) -> Option<(&Vec<Param>, &Block)> {
         self.program.decls.iter().find_map(|d| match &d.kind {
-            DeclKind::Handler { name: n, params, body } if n.name == name => Some((params, body)),
+            DeclKind::Handler {
+                name: n,
+                params,
+                body,
+            } if n.name == name => Some((params, body)),
             _ => None,
         })
     }
@@ -48,29 +52,77 @@ impl CheckedProgram {
     /// Function body lookup.
     pub fn fun_body(&self, name: &str) -> Option<(&Ty, &Vec<Param>, &Block)> {
         self.program.decls.iter().find_map(|d| match &d.kind {
-            DeclKind::Fun { ret_ty, name: n, params, body } if n.name == name => {
-                Some((ret_ty, params, body))
-            }
+            DeclKind::Fun {
+                ret_ty,
+                name: n,
+                params,
+                body,
+            } if n.name == name => Some((ret_ty, params, body)),
             _ => None,
         })
     }
+}
+
+/// Options threaded through semantic analysis (configured per-session by
+/// `lucid_core::Compiler`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckOptions {
+    /// Emit warnings for uncalled functions and unreachable statements.
+    pub warn_dead_code: bool,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            warn_dead_code: true,
+        }
+    }
+}
+
+/// Outcome of [`analyze`]: the checked program (when error-free) plus every
+/// diagnostic — errors *and* warnings — accumulated across all phases.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// `Some` exactly when no error-level diagnostic was produced.
+    pub program: Option<CheckedProgram>,
+    pub diagnostics: Diagnostics,
 }
 
 /// Parse-tree in, checked program out. Runs, in order: symbol construction,
 /// memop validation, then the combined type-and-effect pass over every
 /// handler. Collects as many diagnostics as it can.
 pub fn check(program: Program) -> Result<CheckedProgram, Diagnostics> {
-    let info = match ProgramInfo::build(&program) {
-        Ok(i) => i,
-        Err(d) => {
-            let mut ds = Diagnostics::new();
-            ds.push(d);
-            return Err(ds);
-        }
-    };
-    let memops = match validate_memops(&program, &info) {
+    let analysis = analyze(program, &CheckOptions::default());
+    match analysis.program {
+        Some(p) => Ok(p),
+        None => Err(analysis.diagnostics),
+    }
+}
+
+/// Full semantic analysis, accumulating diagnostics across declarations and
+/// phases instead of stopping at the first error: every bad memop, every
+/// handler's violations, and all type errors are reported in one pass.
+/// (Symbol-table errors still gate the later phases — a broken symbol table
+/// would only produce cascades.)
+pub fn analyze(program: Program, opts: &CheckOptions) -> Analysis {
+    let (info, mut diags) = ProgramInfo::build_all(&program);
+    if diags.has_errors() {
+        return Analysis {
+            program: None,
+            diagnostics: diags,
+        };
+    }
+
+    // Memop validation already reports every bad memop; the type-and-effect
+    // pass still runs afterwards (membership checks resolve through the
+    // declaration table, so missing IR for an invalid memop cannot cascade).
+    let memops: HashMap<String, MemopIr> = match validate_memops(&program, &info) {
         Ok(irs) => irs.into_iter().map(|m| (m.name.clone(), m)).collect(),
-        Err(ds) => return Err(ds),
+        Err(ds) => {
+            // (validate_memops already stamped the E0300 phase code.)
+            diags.extend(ds);
+            HashMap::new()
+        }
     };
 
     let mut checker = Checker {
@@ -79,12 +131,25 @@ pub fn check(program: Program) -> Result<CheckedProgram, Diagnostics> {
         memops: &memops,
         diags: Diagnostics::new(),
         call_stack: Vec::new(),
+        opts: opts.clone(),
     };
     checker.check_all();
-    if checker.diags.has_errors() {
-        return Err(checker.diags);
+    diags.extend(checker.diags.or_code_all("E0400"));
+
+    if diags.has_errors() {
+        return Analysis {
+            program: None,
+            diagnostics: diags,
+        };
     }
-    Ok(CheckedProgram { program, info, memops })
+    Analysis {
+        program: Some(CheckedProgram {
+            program,
+            info,
+            memops,
+        }),
+        diagnostics: diags,
+    }
 }
 
 /// What a name is bound to during checking.
@@ -105,7 +170,10 @@ struct Stage {
 
 impl Stage {
     fn start() -> Self {
-        Stage { current: 0, last: None }
+        Stage {
+            current: 0,
+            last: None,
+        }
     }
 
     /// Join of two control-flow branches: the pipeline must be laid out for
@@ -125,7 +193,9 @@ struct Scopes {
 
 impl Scopes {
     fn new() -> Self {
-        Scopes { frames: vec![HashMap::new()] }
+        Scopes {
+            frames: vec![HashMap::new()],
+        }
     }
 
     fn push(&mut self) {
@@ -147,7 +217,10 @@ impl Scopes {
         if self.lookup(name).is_some() {
             return false;
         }
-        self.frames.last_mut().expect("scope stack never empty").insert(name.to_string(), ty);
+        self.frames
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(name.to_string(), ty);
         true
     }
 }
@@ -158,6 +231,7 @@ struct Checker<'a> {
     memops: &'a HashMap<String, MemopIr>,
     diags: Diagnostics,
     call_stack: Vec<String>,
+    opts: CheckOptions,
 }
 
 impl<'a> Checker<'a> {
@@ -181,9 +255,7 @@ impl<'a> Checker<'a> {
                         if ev_tys != h_tys {
                             self.diags.push(
                                 Diagnostic::error(
-                                    format!(
-                                        "handler `{name}` signature does not match its event"
-                                    ),
+                                    format!("handler `{name}` signature does not match its event"),
                                     name.span,
                                 )
                                 .with_note("event declared here", ev.span),
@@ -198,15 +270,18 @@ impl<'a> Checker<'a> {
         // from a handler would require instantiation choices for their array
         // parameters, so uncalled functions are only syntax-checked (the
         // parser already did that). Warn so dead code is visible.
-        for decl in &self.program.decls {
-            if let DeclKind::Fun { name, .. } = &decl.kind {
-                let called = self.diags.items.iter().any(|_| false) // placeholder: cheap scan below
-                    || program_calls(self.program, &name.name);
-                if !called {
-                    self.diags.push(Diagnostic::warning(
-                        format!("function `{name}` is never called"),
-                        name.span,
-                    ));
+        if self.opts.warn_dead_code {
+            for decl in &self.program.decls {
+                if let DeclKind::Fun { name, .. } = &decl.kind {
+                    if !program_calls(self.program, &name.name) {
+                        self.diags.push(
+                            Diagnostic::warning(
+                                format!("function `{name}` is never called"),
+                                name.span,
+                            )
+                            .with_code("W0001"),
+                        );
+                    }
                 }
             }
         }
@@ -284,14 +359,12 @@ impl<'a> Checker<'a> {
         }
         if self.call_stack.contains(&callee.name) {
             self.diags.push(
-                Diagnostic::error(
-                    format!("recursive call to `{}`", callee.name),
-                    callee.span,
-                )
-                .with_help(
-                    "functions execute within a single pipeline pass and cannot recurse; \
+                Diagnostic::error(format!("recursive call to `{}`", callee.name), callee.span)
+                    .with_help(
+                        "functions execute within a single pipeline pass and cannot recurse; \
                      to iterate over time, `generate` a recursive *event* instead (§3.1)",
-                ),
+                    )
+                    .with_code("E0402"),
             );
             return (CkTy::Val(ret_ty), stage);
         }
@@ -346,7 +419,10 @@ impl<'a> Checker<'a> {
         self.call_stack.pop();
         if ret_ty != Ty::Void && !returns {
             self.diags.push(Diagnostic::error(
-                format!("function `{}` does not return a value on every path", callee.name),
+                format!(
+                    "function `{}` does not return a value on every path",
+                    callee.name
+                ),
                 callee.span,
             ));
         }
@@ -364,11 +440,8 @@ impl<'a> Checker<'a> {
                     return Some(g.id);
                 }
                 self.diags.push(
-                    Diagnostic::error(
-                        format!("`{}` is not a global array", id.name),
-                        id.span,
-                    )
-                    .with_help("declare it with `global name = new Array<<w>>(n);`"),
+                    Diagnostic::error(format!("`{}` is not a global array", id.name), id.span)
+                        .with_help("declare it with `global name = new Array<<w>>(n);`"),
                 );
                 None
             }
@@ -393,8 +466,10 @@ impl<'a> Checker<'a> {
         scopes.push();
         let mut returns = false;
         for stmt in &block.stmts {
-            if returns {
-                self.diags.push(Diagnostic::warning("unreachable statement", stmt.span));
+            if returns && self.opts.warn_dead_code {
+                self.diags.push(
+                    Diagnostic::warning("unreachable statement", stmt.span).with_code("W0002"),
+                );
             }
             let (s2, r) = self.check_stmt(stmt, scopes, stage, ret_ty);
             stage = s2;
@@ -465,7 +540,11 @@ impl<'a> Checker<'a> {
                     }
                 }
             }
-            StmtKind::If { cond, then_blk, else_blk } => {
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 let (cty, s0) = self.check_expr(cond, scopes, stage, Some(Ty::Bool));
                 self.expect_val(&cty, Ty::Bool, cond.span);
                 let (s_then, r_then) = self.check_block(then_blk, scopes, s0.clone(), ret_ty);
@@ -486,10 +565,8 @@ impl<'a> Checker<'a> {
                 match (ret_ty, val) {
                     (None, None) => {}
                     (None, Some(v)) => {
-                        self.diags.push(Diagnostic::error(
-                            "handlers cannot return a value",
-                            v.span,
-                        ));
+                        self.diags
+                            .push(Diagnostic::error("handlers cannot return a value", v.span));
                     }
                     (Some(Ty::Void), Some(v)) => {
                         self.diags.push(Diagnostic::error(
@@ -557,9 +634,7 @@ impl<'a> Checker<'a> {
     ) -> (CkTy, Stage) {
         match &e.kind {
             ExprKind::Int { value, width } => {
-                let w = width
-                    .or(expected.and_then(|t| t.int_width()))
-                    .unwrap_or(32);
+                let w = width.or(expected.and_then(|t| t.int_width())).unwrap_or(32);
                 if w < 64 && *value >= (1u64 << w) {
                     self.diags.push(Diagnostic::error(
                         format!("literal {value} does not fit in int<<{w}>>"),
@@ -585,14 +660,9 @@ impl<'a> Checker<'a> {
                 if let Some(g) = self.info.global(&id.name) {
                     return (CkTy::ArrayRef(g.id), stage);
                 }
-                let mut d = Diagnostic::error(
-                    format!("unbound variable `{}`", id.name),
-                    id.span,
-                );
+                let mut d = Diagnostic::error(format!("unbound variable `{}`", id.name), id.span);
                 if self.info.memops.contains_key(&id.name) {
-                    d = d.with_help(
-                        "memops can only be used as arguments to Array.get/set/update",
-                    );
+                    d = d.with_help("memops can only be used as arguments to Array.get/set/update");
                 }
                 self.diags.push(d);
                 (CkTy::Val(Ty::Int(32)), stage)
@@ -618,7 +688,9 @@ impl<'a> Checker<'a> {
                     (CkTy::Val(Ty::Int(w)), s)
                 }
             },
-            ExprKind::Binary { op, lhs, rhs } => self.check_binary(e, *op, lhs, rhs, scopes, stage, expected),
+            ExprKind::Binary { op, lhs, rhs } => {
+                self.check_binary(e, *op, lhs, rhs, scopes, stage, expected)
+            }
             ExprKind::Cast { width, arg } => {
                 let (t, s) = self.check_expr(arg, scopes, stage, None);
                 if !matches!(t, CkTy::Val(Ty::Int(_)) | CkTy::Val(Ty::Bool)) {
@@ -690,9 +762,11 @@ impl<'a> Checker<'a> {
                 }
                 (CkTy::Val(Ty::Int(32)), stage)
             }
-            ExprKind::BuiltinCall { builtin, args, span_path } => {
-                self.check_builtin(e, *builtin, args, *span_path, scopes, stage)
-            }
+            ExprKind::BuiltinCall {
+                builtin,
+                args,
+                span_path,
+            } => self.check_builtin(e, *builtin, args, *span_path, scopes, stage),
         }
     }
 
@@ -783,7 +857,11 @@ impl<'a> Checker<'a> {
     ) -> (CkTy, Stage) {
         let argc_err = |this: &mut Self, want: &str| {
             this.diags.push(Diagnostic::error(
-                format!("{} expects {want} argument(s), got {}", builtin.path(), args.len()),
+                format!(
+                    "{} expects {want} argument(s), got {}",
+                    builtin.path(),
+                    args.len()
+                ),
                 span_path,
             ));
         };
@@ -836,8 +914,7 @@ impl<'a> Checker<'a> {
                             self.check_expr(&args[3], scopes, cur, Some(Ty::Int(cell_w)));
                         self.expect_val(&gt, Ty::Int(cell_w), args[3].span);
                         self.expect_memop(&args[4]);
-                        let (st, s3) =
-                            self.check_expr(&args[5], scopes, s2, Some(Ty::Int(cell_w)));
+                        let (st, s3) = self.check_expr(&args[5], scopes, s2, Some(Ty::Int(cell_w)));
                         self.expect_val(&st, Ty::Int(cell_w), args[5].span);
                         cur = s3;
                     }
@@ -898,13 +975,13 @@ impl<'a> Checker<'a> {
         let g = &self.info.globals[gid.0];
         if gid.0 < stage.current {
             let mut d = Diagnostic::error(
-                format!(
-                    "global `{}` is accessed out of declaration order",
-                    g.name
-                ),
+                format!("global `{}` is accessed out of declaration order", g.name),
                 span,
             )
-            .with_note(format!("`{}` was declared here (stage {})", g.name, gid.0), g.span);
+            .with_note(
+                format!("`{}` was declared here (stage {})", g.name, gid.0),
+                g.span,
+            );
             if let Some((prev, pspan)) = &stage.last {
                 d = d.with_note(
                     format!(
@@ -920,12 +997,15 @@ impl<'a> Checker<'a> {
                  reorder the `global` declarations, or split this computation into a second \
                  event so it traverses the pipeline again",
             );
-            self.diags.push(d);
+            self.diags.push(d.with_code("E0401"));
             // Recover: leave the stage unchanged so we report each bad
             // access once.
             return stage;
         }
-        Stage { current: gid.0 + 1, last: Some((g.name.clone(), span)) }
+        Stage {
+            current: gid.0 + 1,
+            last: Some((g.name.clone(), span)),
+        }
     }
 
     /// Appendix C: a compound-condition memop consumes the sALU's whole
@@ -953,15 +1033,15 @@ impl<'a> Checker<'a> {
     }
 
     fn expect_memop(&mut self, e: &Expr) {
+        // Membership resolves through the declaration table so that a memop
+        // whose *body* failed validation does not also cascade into a bogus
+        // "not a declared memop" here.
         match &e.kind {
-            ExprKind::Var(id) if self.memops.contains_key(&id.name) => {}
+            ExprKind::Var(id) if self.info.memops.contains_key(&id.name) => {}
             ExprKind::Var(id) => {
                 self.diags.push(
-                    Diagnostic::error(
-                        format!("`{}` is not a declared memop", id.name),
-                        id.span,
-                    )
-                    .with_help("declare it with `memop name(int stored, int arg) { .. }`"),
+                    Diagnostic::error(format!("`{}` is not a declared memop", id.name), id.span)
+                        .with_help("declare it with `memop name(int stored, int arg) { .. }`"),
                 );
             }
             _ => {
@@ -996,7 +1076,8 @@ impl<'a> Checker<'a> {
         match t {
             CkTy::Val(Ty::Int(w)) => *w,
             _ => {
-                self.diags.push(Diagnostic::error("expected an integer", span));
+                self.diags
+                    .push(Diagnostic::error("expected an integer", span));
                 32
             }
         }
@@ -1008,7 +1089,8 @@ impl<'a> Checker<'a> {
                 format!("operand widths differ: int<<{a}>> vs int<<{b}>>"),
                 e.span,
             )
-            .with_help("insert an explicit cast, e.g. `(int<<{w}>>) x`"),
+            .with_help("insert an explicit cast, e.g. `(int<<{w}>>) x`")
+            .with_code("E0403"),
         );
     }
 }
@@ -1032,7 +1114,11 @@ fn program_calls(program: &Program, fun_name: &str) -> bool {
         b.stmts.iter().any(|s| match &s.kind {
             StmtKind::Local { init, .. } => expr_calls(init, fun),
             StmtKind::Assign { value, .. } => expr_calls(value, fun),
-            StmtKind::If { cond, then_blk, else_blk } => {
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 expr_calls(cond, fun)
                     || block_calls(then_blk, fun)
                     || else_blk.as_ref().is_some_and(|e| block_calls(e, fun))
@@ -1046,9 +1132,7 @@ fn program_calls(program: &Program, fun_name: &str) -> bool {
         })
     }
     program.decls.iter().any(|d| match &d.kind {
-        DeclKind::Handler { body, .. } | DeclKind::Fun { body, .. } => {
-            block_calls(body, fun_name)
-        }
+        DeclKind::Handler { body, .. } | DeclKind::Fun { body, .. } => block_calls(body, fun_name),
         _ => false,
     })
 }
@@ -1064,7 +1148,10 @@ mod tests {
 
     fn first_error(src: &str) -> Diagnostic {
         let ds = check_src(src).expect_err("expected check failure");
-        ds.items.into_iter().find(|d| d.level == crate::Level::Error).expect("an error")
+        ds.items
+            .into_iter()
+            .find(|d| d.level == crate::Level::Error)
+            .expect("an error")
     }
 
     // --- the paper's Figure 5 -------------------------------------------

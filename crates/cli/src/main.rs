@@ -1,109 +1,386 @@
 //! `lucidc` — command-line front end for the Lucid reproduction.
 //!
 //! ```text
-//! lucidc check <file.lucid>          syntax + memop + effect checking
-//! lucidc compile <file.lucid>        emit P4_16 to stdout, stats to stderr
-//! lucidc stages <file.lucid>         print the pipeline layout
-//! lucidc apps                        list the bundled Figure 9 applications
-//! lucidc app <key>                   dump a bundled app's Lucid source
+//! lucidc check [OPTIONS] <file.lucid>      syntax + memop + effect checking
+//! lucidc compile [OPTIONS] <file.lucid>    emit an artifact (default P4_16)
+//! lucidc stages [OPTIONS] <file.lucid>     print the pipeline layout
+//! lucidc apps                              list the bundled Figure 9 applications
+//! lucidc app <key>                         dump a bundled app's Lucid source
+//!
+//! OPTIONS:
+//!   --emit=ast|ir|layout|p4   artifact for `compile` (default p4)
+//!   --target=tofino|pisa      pipeline model to compile against
+//!   --no-opt                  disable the IR clean-up pass
+//!   --json-diagnostics        report diagnostics as a JSON array on stderr
 //! ```
+//!
+//! Exit codes: 0 success, 1 the program had diagnostics, 2 usage or I/O
+//! error.
 
+use lucid_core::{Build, Compiler, LayoutOptions, PipelineSpec};
 use std::process::ExitCode;
+
+const EXIT_DIAGNOSTICS: u8 = 1;
+const EXIT_USAGE: u8 = 2;
+
+const USAGE: &str = "usage: lucidc <check|compile|stages> [--emit=ast|ir|layout|p4] \
+[--target=tofino|pisa] [--no-opt] [--json-diagnostics] <file.lucid>\n       \
+lucidc apps | app <key>";
+
+const SUBCOMMANDS: &[&str] = &["check", "compile", "stages", "apps", "app"];
+
+/// What `compile` should print.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Emit {
+    Ast,
+    Ir,
+    Layout,
+    P4,
+}
+
+/// Parsed command line for the file-taking subcommands.
+struct Options {
+    emit: Emit,
+    target: PipelineSpec,
+    optimize: bool,
+    json_diagnostics: bool,
+    file: String,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.as_slice() {
-        [cmd, file] if cmd == "check" => with_source(file, |name, src| {
-            match lucid_core::check_source(name, src) {
-                Ok(p) => {
-                    println!(
-                        "ok: {} globals, {} events, {} handlers, {} memops",
-                        p.info.globals.len(),
-                        p.info.events.len(),
-                        p.info.handlers.len(),
-                        p.memops.len()
-                    );
-                    ExitCode::SUCCESS
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(EXIT_USAGE);
+    };
+    match cmd.as_str() {
+        "check" | "compile" | "stages" => {
+            let opts = match parse_options(cmd, &args[1..]) {
+                Ok(o) => o,
+                Err(msg) => {
+                    eprintln!("error: {msg}\n{USAGE}");
+                    return ExitCode::from(EXIT_USAGE);
                 }
+            };
+            let src = match std::fs::read_to_string(&opts.file) {
+                Ok(s) => s,
                 Err(e) => {
-                    eprintln!("{e}");
-                    ExitCode::FAILURE
+                    eprintln!("error: cannot read {}: {e}", opts.file);
+                    return ExitCode::from(EXIT_USAGE);
                 }
+            };
+            let compiler = Compiler::new()
+                .target(opts.target.clone())
+                .layout(LayoutOptions::default())
+                .optimize(opts.optimize);
+            let mut build = compiler.build(&opts.file, &src);
+            match cmd.as_str() {
+                "check" => run_check(&mut build, &opts),
+                "compile" => run_compile(&mut build, &opts),
+                _ => run_stages(&mut build, &opts),
             }
-        }),
-        [cmd, file] if cmd == "compile" => with_source(file, |name, src| {
-            match lucid_core::compile_source(name, src) {
-                Ok(art) => {
-                    println!("{}", art.compiled.p4.source);
-                    eprintln!(
-                        "stages: {} (unoptimized {}), p4 lines: {}",
-                        art.compiled.layout.total_stages,
-                        art.compiled.layout.unoptimized_stages,
-                        art.compiled.p4.loc.total()
-                    );
-                    ExitCode::SUCCESS
-                }
-                Err(e) => {
-                    eprintln!("{e}");
-                    ExitCode::FAILURE
-                }
-            }
-        }),
-        [cmd, file] if cmd == "stages" => with_source(file, |name, src| {
-            match lucid_core::compile_source(name, src) {
-                Ok(art) => {
-                    let l = &art.compiled.layout;
-                    println!("total stages: {} (dispatcher included)", l.total_stages);
-                    println!("unoptimized:  {}", l.unoptimized_stages);
-                    println!("stage ratio:  {:.2}", l.stage_ratio());
-                    for (i, st) in l.stage_stats.iter().enumerate() {
-                        if st.tables == 0 {
-                            continue;
-                        }
-                        println!(
-                            "stage {i:>2}: {:>2} tables ({} merged), {} sALUs, {} action ops",
-                            st.tables, st.merged_tables, st.salus, st.action_ops
-                        );
-                    }
-                    ExitCode::SUCCESS
-                }
-                Err(e) => {
-                    eprintln!("{e}");
-                    ExitCode::FAILURE
-                }
-            }
-        }),
-        [cmd] if cmd == "apps" => {
+        }
+        "apps" => {
             for app in lucid_apps::all() {
-                println!("{:<12} {:<36} {} Lucid lines", app.key, app.name, app.lucid_loc());
+                println!(
+                    "{:<12} {:<36} {} Lucid lines",
+                    app.key,
+                    app.name,
+                    app.lucid_loc()
+                );
             }
             ExitCode::SUCCESS
         }
-        [cmd, key] if cmd == "app" => match lucid_apps::by_key(key) {
-            Some(app) => {
-                print!("{}", app.source);
-                ExitCode::SUCCESS
+        "app" => {
+            let Some(key) = args.get(1) else {
+                eprintln!("error: missing <key>; try `lucidc apps`");
+                return ExitCode::from(EXIT_USAGE);
+            };
+            match lucid_apps::by_key(key) {
+                Some(app) => {
+                    print!("{}", app.source);
+                    ExitCode::SUCCESS
+                }
+                None => {
+                    eprintln!("error: unknown app `{key}`; try `lucidc apps`");
+                    ExitCode::from(EXIT_USAGE)
+                }
             }
-            None => {
-                eprintln!("unknown app `{key}`; try `lucidc apps`");
-                ExitCode::FAILURE
+        }
+        unknown => {
+            match nearest(unknown, SUBCOMMANDS) {
+                Some(hint) => {
+                    eprintln!("error: unknown subcommand `{unknown}` (did you mean `{hint}`?)")
+                }
+                None => eprintln!("error: unknown subcommand `{unknown}`"),
             }
-        },
-        _ => {
-            eprintln!(
-                "usage: lucidc <check|compile|stages> <file.lucid>\n       lucidc apps | app <key>"
-            );
-            ExitCode::FAILURE
+            eprintln!("{USAGE}");
+            ExitCode::from(EXIT_USAGE)
         }
     }
 }
 
-fn with_source(path: &str, f: impl FnOnce(&str, &str) -> ExitCode) -> ExitCode {
-    match std::fs::read_to_string(path) {
-        Ok(src) => f(path, &src),
-        Err(e) => {
-            eprintln!("cannot read {path}: {e}");
-            ExitCode::FAILURE
+fn parse_options(cmd: &str, args: &[String]) -> Result<Options, String> {
+    let mut emit = Emit::P4;
+    let mut target = PipelineSpec::tofino();
+    let mut optimize = true;
+    let mut json_diagnostics = false;
+    let mut file = None;
+    for a in args {
+        if let Some(v) = a.strip_prefix("--emit=") {
+            // Silently ignoring a flag the subcommand cannot honor would
+            // mislead; reject it instead.
+            if cmd != "compile" {
+                return Err(format!("`--emit` only applies to `compile`, not `{cmd}`"));
+            }
+            emit = match v {
+                "ast" => Emit::Ast,
+                "ir" => Emit::Ir,
+                "layout" => Emit::Layout,
+                "p4" => Emit::P4,
+                other => return Err(format!("unknown --emit value `{other}`")),
+            };
+        } else if let Some(v) = a.strip_prefix("--target=") {
+            if cmd == "check" {
+                return Err(
+                    "`--target` has no effect on `check` (checking is target-independent)"
+                        .to_string(),
+                );
+            }
+            target = match v {
+                "tofino" => PipelineSpec::tofino(),
+                "pisa" => PipelineSpec::idealized_pisa(),
+                other => return Err(format!("unknown --target value `{other}`")),
+            };
+        } else if a == "--no-opt" {
+            if cmd == "check" {
+                return Err(
+                    "`--no-opt` has no effect on `check` (the backend does not run)".to_string(),
+                );
+            }
+            optimize = false;
+        } else if a == "--json-diagnostics" {
+            json_diagnostics = true;
+        } else if a.starts_with("--") {
+            return Err(format!("unknown option `{a}`"));
+        } else if file.is_some() {
+            return Err(format!("unexpected argument `{a}`"));
+        } else {
+            file = Some(a.clone());
         }
+    }
+    let file = file.ok_or_else(|| "missing <file.lucid>".to_string())?;
+    Ok(Options {
+        emit,
+        target,
+        optimize,
+        json_diagnostics,
+        file,
+    })
+}
+
+/// Report a failed build on stderr (rendered or JSON) and exit 1.
+fn diag_failure(build: &Build, opts: &Options) -> ExitCode {
+    if opts.json_diagnostics {
+        eprintln!("{}", build.diagnostics_json());
+    } else {
+        eprintln!("{}", build.render_diagnostics());
+    }
+    ExitCode::from(EXIT_DIAGNOSTICS)
+}
+
+fn run_check(build: &mut Build, opts: &Options) -> ExitCode {
+    match build.checked() {
+        Ok(p) => {
+            println!(
+                "ok: {} globals, {} events, {} handlers, {} memops",
+                p.info.globals.len(),
+                p.info.events.len(),
+                p.info.handlers.len(),
+                p.memops.len()
+            );
+            emit_success_warnings(build, opts);
+            ExitCode::SUCCESS
+        }
+        Err(_) => diag_failure(build, opts),
+    }
+}
+
+fn run_compile(build: &mut Build, opts: &Options) -> ExitCode {
+    let out = match opts.emit {
+        Emit::Ast => build
+            .ast()
+            .map(lucid_core::frontend::pretty::program)
+            .map_err(|_| ()),
+        Emit::Ir => build
+            .handlers()
+            .map(|handlers| {
+                let mut s = String::new();
+                for h in handlers {
+                    s.push_str(&format!(
+                        "handler {} (event {}), {} atomic tables, unoptimized depth {}\n",
+                        h.name,
+                        h.event_id,
+                        h.tables.len(),
+                        h.unoptimized_depth
+                    ));
+                    for t in &h.tables {
+                        s.push_str(&format!(
+                            "  t{:<3} guard={:?} op={:?}\n",
+                            t.id, t.guard, t.op
+                        ));
+                    }
+                }
+                s
+            })
+            .map_err(|_| ()),
+        Emit::Layout => build.layout().map(render_layout).map_err(|_| ()),
+        Emit::P4 => build.p4().map(|p4| p4.source.clone()).map_err(|_| ()),
+    };
+    match out {
+        Ok(text) => {
+            print!("{text}");
+            if !text.ends_with('\n') {
+                println!();
+            }
+            // The human stats line stays off stderr under --json-diagnostics
+            // so that stream parses as one JSON document.
+            if opts.emit == Emit::P4 && !opts.json_diagnostics {
+                if let (Ok(loc), Ok(l)) = (
+                    build.p4().map(|p| p.loc.total()),
+                    build
+                        .layout()
+                        .map(|l| (l.total_stages, l.unoptimized_stages)),
+                ) {
+                    eprintln!("stages: {} (unoptimized {}), p4 lines: {}", l.0, l.1, loc);
+                }
+            }
+            emit_success_warnings(build, opts);
+            ExitCode::SUCCESS
+        }
+        Err(()) => diag_failure(build, opts),
+    }
+}
+
+fn run_stages(build: &mut Build, opts: &Options) -> ExitCode {
+    match build.layout() {
+        Ok(_) => {
+            let text = render_layout(build.layout().expect("just succeeded"));
+            print!("{text}");
+            emit_success_warnings(build, opts);
+            ExitCode::SUCCESS
+        }
+        Err(_) => diag_failure(build, opts),
+    }
+}
+
+/// On success, report accumulated warnings on stderr — as a JSON array
+/// under `--json-diagnostics`, rendered rustc-style otherwise — so both
+/// output modes carry the same information from every subcommand.
+fn emit_success_warnings(build: &Build, opts: &Options) {
+    if opts.json_diagnostics {
+        eprintln!("{}", build.diagnostics_json());
+    } else if !build.diagnostics().is_empty() {
+        eprintln!("{}", build.render_diagnostics());
+    }
+}
+
+fn render_layout(l: &lucid_core::Layout) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "total stages: {} (dispatcher included)\n",
+        l.total_stages
+    ));
+    out.push_str(&format!("unoptimized:  {}\n", l.unoptimized_stages));
+    out.push_str(&format!("stage ratio:  {:.2}\n", l.stage_ratio()));
+    for (i, st) in l.stage_stats.iter().enumerate() {
+        if st.tables == 0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "stage {i:>2}: {:>2} tables ({} merged), {} sALUs, {} action ops\n",
+            st.tables, st.merged_tables, st.salus, st.action_ops
+        ));
+    }
+    out
+}
+
+/// Nearest subcommand by edit distance, for typo hints. Only suggests when
+/// the distance is small relative to the input.
+fn nearest<'a>(input: &str, candidates: &[&'a str]) -> Option<&'a str> {
+    let (best, dist) = candidates
+        .iter()
+        .map(|c| (*c, edit_distance(input, c)))
+        .min_by_key(|(_, d)| *d)?;
+    (dist <= 1 + input.len() / 3).then_some(best)
+}
+
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for i in 1..=a.len() {
+        cur[0] = i;
+        for j in 1..=b.len() {
+            let sub = prev[j - 1] + usize::from(a[i - 1] != b[j - 1]);
+            cur[j] = sub.min(prev[j] + 1).min(cur[j - 1] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("check", "check"), 0);
+        assert_eq!(edit_distance("chek", "check"), 1);
+        assert_eq!(edit_distance("comple", "compile"), 1);
+    }
+
+    #[test]
+    fn nearest_suggests_close_matches_only() {
+        assert_eq!(nearest("chek", SUBCOMMANDS), Some("check"));
+        assert_eq!(nearest("stgaes", SUBCOMMANDS), Some("stages"));
+        assert_eq!(nearest("frobnicate", SUBCOMMANDS), None);
+    }
+
+    #[test]
+    fn options_parse() {
+        let o = parse_options(
+            "compile",
+            &[
+                "--emit=layout".into(),
+                "--target=pisa".into(),
+                "--no-opt".into(),
+                "f.lucid".into(),
+            ],
+        )
+        .unwrap();
+        assert_eq!(o.emit, Emit::Layout);
+        assert_eq!(o.target.front_panel_ports, 10);
+        assert!(!o.optimize);
+        assert_eq!(o.file, "f.lucid");
+        assert!(parse_options("compile", &["--emit=wat".into(), "f".into()]).is_err());
+        assert!(parse_options("compile", &[]).is_err());
+    }
+
+    #[test]
+    fn inapplicable_flags_rejected_per_subcommand() {
+        assert!(parse_options("check", &["--emit=ast".into(), "f".into()]).is_err());
+        assert!(parse_options("stages", &["--emit=ast".into(), "f".into()]).is_err());
+        assert!(parse_options("check", &["--no-opt".into(), "f".into()]).is_err());
+        assert!(parse_options("check", &["--target=pisa".into(), "f".into()]).is_err());
+        // stages legitimately uses the backend: target and opt apply.
+        assert!(parse_options(
+            "stages",
+            &["--no-opt".into(), "--target=pisa".into(), "f".into()]
+        )
+        .is_ok());
+        assert!(parse_options("check", &["--json-diagnostics".into(), "f".into()]).is_ok());
     }
 }

@@ -1,0 +1,125 @@
+//! End-to-end tests of the `lucidc` binary: flags, output artifacts,
+//! JSON diagnostics, and the exit-code contract (0 success, 1 program
+//! diagnostics, 2 usage/I-O errors).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn lucidc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_lucidc"))
+        .args(args)
+        .output()
+        .expect("lucidc runs")
+}
+
+fn write_temp(name: &str, contents: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("lucidc-test-{}-{name}", std::process::id()));
+    std::fs::write(&path, contents).expect("write temp source");
+    path
+}
+
+const GOOD: &str = r#"
+global cts = new Array<<32>>(64);
+memop plus(int m, int x) { return m + x; }
+event pkt(int idx);
+handle pkt(int idx) { Array.setm(cts, idx, plus, 1); }
+"#;
+
+const BAD_TWO_MEMOPS: &str = r#"
+memop one(int m, int x) { return m * x; }
+memop two(int m, int x) { return x + x; }
+"#;
+
+#[test]
+fn check_good_program_exits_zero() {
+    let f = write_temp("good.lucid", GOOD);
+    let out = lucidc(&["check", f.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ok: 1 globals"), "{stdout}");
+}
+
+#[test]
+fn diagnostics_exit_code_is_one() {
+    let f = write_temp("bad.lucid", BAD_TWO_MEMOPS);
+    let out = lucidc(&["check", f.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // Both independent memop violations, rendered with codes and carets.
+    assert!(stderr.matches("error[E03").count() >= 2, "{stderr}");
+    assert!(stderr.contains("m * x"), "{stderr}");
+}
+
+#[test]
+fn json_diagnostics_are_structured() {
+    let f = write_temp("bad2.lucid", BAD_TWO_MEMOPS);
+    let out = lucidc(&["check", "--json-diagnostics", f.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let json = stderr.trim();
+    assert!(json.starts_with('[') && json.ends_with(']'), "{json}");
+    assert!(
+        json.matches("\"severity\":\"error\"").count() >= 2,
+        "{json}"
+    );
+    assert!(json.contains("\"code\":\"E03"), "{json}");
+    assert!(json.contains("\"line\":"), "{json}");
+}
+
+#[test]
+fn io_and_usage_errors_exit_two() {
+    let out = lucidc(&["check", "/nonexistent/definitely-missing.lucid"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = lucidc(&["check"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = lucidc(&["compile", "--emit=wat", "x.lucid"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn unknown_subcommand_hints_nearest() {
+    let out = lucidc(&["chek", "x.lucid"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown subcommand `chek`"), "{stderr}");
+    assert!(stderr.contains("did you mean `check`?"), "{stderr}");
+}
+
+#[test]
+fn emit_variants_produce_artifacts() {
+    let f = write_temp("emit.lucid", GOOD);
+    let path = f.to_str().unwrap();
+
+    let ast = lucidc(&["compile", "--emit=ast", path]);
+    assert_eq!(ast.status.code(), Some(0));
+    let s = String::from_utf8_lossy(&ast.stdout);
+    assert!(s.contains("handle pkt"), "{s}");
+
+    let ir = lucidc(&["compile", "--emit=ir", path]);
+    assert_eq!(ir.status.code(), Some(0));
+    let s = String::from_utf8_lossy(&ir.stdout);
+    assert!(
+        s.contains("handler pkt") && s.contains("atomic tables"),
+        "{s}"
+    );
+
+    let layout = lucidc(&["compile", "--emit=layout", path]);
+    assert_eq!(layout.status.code(), Some(0));
+    let s = String::from_utf8_lossy(&layout.stdout);
+    assert!(s.contains("total stages:"), "{s}");
+
+    let p4 = lucidc(&["compile", path]);
+    assert_eq!(p4.status.code(), Some(0));
+    let s = String::from_utf8_lossy(&p4.stdout);
+    assert!(s.contains("RegisterAction"), "{s}");
+}
+
+#[test]
+fn no_opt_and_target_flags_are_accepted() {
+    let f = write_temp("flags.lucid", GOOD);
+    let path = f.to_str().unwrap();
+    let out = lucidc(&["stages", "--no-opt", "--target=pisa", path]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("total stages:"), "{s}");
+}

@@ -2,22 +2,52 @@
 //!
 //! The umbrella crate for this Rust reproduction of *Lucid: A Language for
 //! Control in the Data Plane* (SIGCOMM 2021). It re-exports the pipeline
-//! stages and provides one-call drivers:
+//! stages and provides the staged driver API:
 //!
-//! * [`compile_source`] — parse → check (memops §4.2, ordered effects §5)
-//!   → elaborate → place → generate P4 (§6);
-//! * [`check_source`] — front half only, for interpreter users;
+//! * [`Compiler`] — a reusable configuration (target [`PipelineSpec`],
+//!   [`LayoutOptions`], optimization toggle, [`CheckOptions`]);
+//! * [`Build`] — a per-source compilation session with lazily computed,
+//!   cached stage artifacts: [`ast`](Build::ast), [`checked`](Build::checked),
+//!   [`handlers`](Build::handlers), [`layout`](Build::layout),
+//!   [`p4`](Build::p4). Callers pay only for the stages they ask for, and
+//!   can re-run the backend under a different target without re-parsing
+//!   ([`reconfigure`](Build::reconfigure));
+//! * structured diagnostics: every failure is a set of
+//!   [`Diagnostic`](lucid_frontend::Diagnostic)s with severity, stable
+//!   code, and spans, rendered rustc-style
+//!   ([`render_diagnostics`](Build::render_diagnostics)) or as JSON
+//!   ([`diagnostics_json`](Build::diagnostics_json)) against the session's
+//!   owned [`SourceMap`];
 //! * [`Interp`] re-export — the event-driven network simulator (§3).
 //!
 //! ```
-//! let art = lucid_core::compile_source("counter.lucid", r#"
+//! use lucid_core::Compiler;
+//!
+//! let mut build = Compiler::new().build("counter.lucid", r#"
 //!     global cts = new Array<<32>>(64);
 //!     memop plus(int m, int x) { return m + x; }
 //!     event pkt(int idx);
 //!     handle pkt(int idx) { Array.setm(cts, idx, plus, 1); }
-//! "#).unwrap();
-//! assert!(art.compiled.layout.total_stages <= 12);
-//! assert!(art.compiled.p4.source.contains("RegisterAction"));
+//! "#);
+//! let stages = build.layout().unwrap().total_stages;
+//! assert!(stages <= 12);
+//! assert!(build.p4().unwrap().source.contains("RegisterAction"));
+//! ```
+//!
+//! Errors accumulate across declarations instead of stopping at the first:
+//!
+//! ```
+//! use lucid_core::Compiler;
+//!
+//! let mut bad = Compiler::new().build("bad.lucid", r#"
+//!     memop one(int m, int x) { return m * x; }
+//!     memop two(int m, int x) { return x + x; }
+//! "#);
+//! assert!(bad.checked().is_err());
+//! let diags = bad.diagnostics();
+//! assert!(diags.error_count() >= 2);
+//! assert!(bad.render_diagnostics().contains("error[E03"));
+//! assert!(bad.diagnostics_json().starts_with('['));
 //! ```
 
 pub use lucid_backend as backend;
@@ -26,15 +56,343 @@ pub use lucid_frontend as frontend;
 pub use lucid_interp as interp;
 pub use lucid_tofino as tofino;
 
-pub use lucid_backend::{Compiled, Layout, P4Program};
-pub use lucid_check::CheckedProgram;
+pub use lucid_backend::{BackendOptions, Compiled, HandlerIr, Layout, LayoutOptions, P4Program};
+pub use lucid_check::{Analysis, CheckOptions, CheckedProgram};
+pub use lucid_frontend::{Diagnostic, Diagnostics, Program, SourceMap};
 pub use lucid_interp::{Interp, NetConfig};
 pub use lucid_tofino::PipelineSpec;
 
-use lucid_frontend::SourceMap;
+/// A reusable compiler configuration. `Compiler` is a builder: chain
+/// [`target`](Compiler::target), [`layout`](Compiler::layout),
+/// [`optimize`](Compiler::optimize), and
+/// [`check_options`](Compiler::check_options), then call
+/// [`build`](Compiler::build) once per source file to open a session.
+#[derive(Debug, Clone, Default)]
+pub struct Compiler {
+    backend: BackendOptions,
+    check: CheckOptions,
+}
+
+impl Compiler {
+    /// Default configuration: the Tofino target, default layout options,
+    /// optimizations on.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compile against `spec` instead of the default Tofino pipeline.
+    pub fn target(mut self, spec: PipelineSpec) -> Self {
+        self.backend.target = spec;
+        self
+    }
+
+    /// Override the layout knobs (rearrangement, merge budget, dispatcher).
+    pub fn layout(mut self, opts: LayoutOptions) -> Self {
+        self.backend.layout = opts;
+        self
+    }
+
+    /// Toggle the IR clean-up pass (copy propagation + dead-table
+    /// elimination). On by default.
+    pub fn optimize(mut self, on: bool) -> Self {
+        self.backend.optimize = on;
+        self
+    }
+
+    /// Override the semantic-analysis options.
+    pub fn check_options(mut self, opts: CheckOptions) -> Self {
+        self.check = opts;
+        self
+    }
+
+    /// Open a compilation session for one source file. Nothing runs until
+    /// a stage artifact is requested.
+    pub fn build(&self, name: &str, src: &str) -> Build {
+        Build {
+            cfg: self.clone(),
+            sm: SourceMap::new(name, src),
+            stats: BuildStats::default(),
+            warnings: Diagnostics::new(),
+            ast: None,
+            checked: None,
+            handlers: None,
+            layout: None,
+            p4: None,
+        }
+    }
+}
+
+/// How many times each stage actually ran in a [`Build`] session. Stage
+/// artifacts are cached, so repeated accessor calls do not re-run earlier
+/// stages; tests assert on these counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BuildStats {
+    pub parse_runs: u32,
+    pub check_runs: u32,
+    pub elaborate_runs: u32,
+    pub layout_runs: u32,
+    pub p4_runs: u32,
+}
+
+/// A per-source compilation session. Stage artifacts are computed on first
+/// access and cached; an error in any stage is also cached and returned
+/// from every later stage without recomputation.
+///
+/// The session owns the [`SourceMap`], so diagnostics from any stage render
+/// against the original source without the caller re-supplying it.
+pub struct Build {
+    cfg: Compiler,
+    sm: SourceMap,
+    stats: BuildStats,
+    /// Non-fatal diagnostics (warnings) accumulated by successful stages.
+    warnings: Diagnostics,
+    ast: Option<Result<Program, Diagnostics>>,
+    checked: Option<Result<CheckedProgram, Diagnostics>>,
+    handlers: Option<Result<Vec<HandlerIr>, Diagnostics>>,
+    layout: Option<Result<Layout, Diagnostics>>,
+    p4: Option<Result<P4Program, Diagnostics>>,
+}
+
+impl Build {
+    /// The session's source map (file name + text + line index).
+    pub fn source_map(&self) -> &SourceMap {
+        &self.sm
+    }
+
+    /// The configuration this session compiles under.
+    pub fn config(&self) -> &Compiler {
+        &self.cfg
+    }
+
+    /// Per-stage execution counters (see [`BuildStats`]).
+    pub fn stats(&self) -> &BuildStats {
+        &self.stats
+    }
+
+    /// Parse stage: the AST.
+    pub fn ast(&mut self) -> Result<&Program, Diagnostics> {
+        self.ensure_ast();
+        as_result(self.ast.as_ref())
+    }
+
+    /// Semantic analysis stage: symbols, memop validation, and the ordered
+    /// type-and-effect system, with diagnostics accumulated across
+    /// declarations.
+    pub fn checked(&mut self) -> Result<&CheckedProgram, Diagnostics> {
+        self.ensure_checked();
+        as_result(self.checked.as_ref())
+    }
+
+    /// Elaboration stage: per-handler atomic tables (optimized when the
+    /// session's configuration says so).
+    pub fn handlers(&mut self) -> Result<&[HandlerIr], Diagnostics> {
+        self.ensure_handlers();
+        as_result(self.handlers.as_ref()).map(|v| v.as_slice())
+    }
+
+    /// Layout stage: table placement against the session's target.
+    pub fn layout(&mut self) -> Result<&Layout, Diagnostics> {
+        self.ensure_layout();
+        as_result(self.layout.as_ref())
+    }
+
+    /// Code-generation stage: the P4_16 program.
+    pub fn p4(&mut self) -> Result<&P4Program, Diagnostics> {
+        self.ensure_p4();
+        as_result(self.p4.as_ref())
+    }
+
+    /// Swap in a different configuration, keeping every cache the new
+    /// configuration cannot invalidate. The parse artifact always
+    /// survives; the check artifact survives unless the check options
+    /// changed; elaboration, layout, and P4 are recomputed on next access
+    /// — this is how one session compiles the same (already-checked)
+    /// program for several targets.
+    pub fn reconfigure(&mut self, cfg: &Compiler) {
+        if self.cfg.check != cfg.check {
+            self.checked = None;
+            self.warnings = Diagnostics::new();
+        }
+        self.cfg = cfg.clone();
+        self.handlers = None;
+        self.layout = None;
+        self.p4 = None;
+    }
+
+    /// Everything known about this session right now: warnings from
+    /// successful stages plus the error set of the first failed stage (if
+    /// any). Does not force any stage to run.
+    pub fn diagnostics(&self) -> Diagnostics {
+        // The checked-stage error set already contains the warnings that
+        // analysis produced alongside the errors, so it stands alone.
+        if let Some(Err(ds)) = &self.ast {
+            return ds.clone();
+        }
+        if let Some(Err(ds)) = &self.checked {
+            return ds.clone();
+        }
+        let mut out = self.warnings.clone();
+        // A backend failure propagates through later stage caches as clones
+        // of the same set, so only the first failed stage contributes.
+        let backend_err = self
+            .handlers
+            .as_ref()
+            .and_then(|r| r.as_ref().err())
+            .or_else(|| self.layout.as_ref().and_then(|r| r.as_ref().err()))
+            .or_else(|| self.p4.as_ref().and_then(|r| r.as_ref().err()));
+        if let Some(ds) = backend_err {
+            out.extend(ds.clone());
+        }
+        out
+    }
+
+    /// Render all current diagnostics rustc-style against the session's
+    /// source map.
+    pub fn render_diagnostics(&self) -> String {
+        self.diagnostics().render(&self.sm)
+    }
+
+    /// Serialize all current diagnostics as a JSON array (for `lucidc
+    /// --json-diagnostics`, editors, CI).
+    pub fn diagnostics_json(&self) -> String {
+        self.diagnostics().to_json(&self.sm)
+    }
+
+    /// Drive the whole pipeline and bundle owned artifacts (the shape the
+    /// pre-session API returned). Prefer the borrowing accessors unless the
+    /// artifacts must outlive the session.
+    pub fn artifacts(&mut self) -> Result<Artifacts, Diagnostics> {
+        self.ensure_p4();
+        let checked = as_result(self.checked.as_ref())?.clone();
+        let handlers = as_result(self.handlers.as_ref())?.clone();
+        let layout = as_result(self.layout.as_ref())?.clone();
+        let p4 = as_result(self.p4.as_ref())?.clone();
+        Ok(Artifacts {
+            checked,
+            compiled: Compiled {
+                handlers,
+                layout,
+                p4,
+            },
+        })
+    }
+
+    // ------------------------------------------------------ stage drivers
+
+    fn ensure_ast(&mut self) {
+        if self.ast.is_some() {
+            return;
+        }
+        self.stats.parse_runs += 1;
+        self.ast = Some(lucid_frontend::parse_program(&self.sm.src).map_err(|d| {
+            let mut ds = Diagnostics::new();
+            ds.push(d);
+            ds
+        }));
+    }
+
+    fn ensure_checked(&mut self) {
+        if self.checked.is_some() {
+            return;
+        }
+        self.ensure_ast();
+        let result = match self.ast.as_ref().expect("ensured") {
+            Err(ds) => Err(ds.clone()),
+            Ok(program) => {
+                self.stats.check_runs += 1;
+                let analysis = lucid_check::analyze(program.clone(), &self.cfg.check);
+                match analysis.program {
+                    Some(p) => {
+                        self.warnings.extend(analysis.diagnostics);
+                        Ok(p)
+                    }
+                    None => Err(analysis.diagnostics),
+                }
+            }
+        };
+        self.checked = Some(result);
+    }
+
+    fn ensure_handlers(&mut self) {
+        if self.handlers.is_some() {
+            return;
+        }
+        self.ensure_checked();
+        let result = match self.checked.as_ref().expect("ensured") {
+            Err(ds) => Err(ds.clone()),
+            Ok(prog) => {
+                self.stats.elaborate_runs += 1;
+                lucid_backend::elaborate(prog).map(|mut handlers| {
+                    if self.cfg.backend.optimize {
+                        lucid_backend::optimize(&mut handlers);
+                    }
+                    handlers
+                })
+            }
+        };
+        self.handlers = Some(result);
+    }
+
+    fn ensure_layout(&mut self) {
+        if self.layout.is_some() {
+            return;
+        }
+        self.ensure_handlers();
+        let result = match (self.checked.as_ref(), self.handlers.as_ref()) {
+            (Some(Ok(prog)), Some(Ok(handlers))) => {
+                self.stats.layout_runs += 1;
+                lucid_backend::place(
+                    prog,
+                    handlers,
+                    &self.cfg.backend.target,
+                    self.cfg.backend.layout,
+                )
+            }
+            (_, Some(Err(ds))) => Err(ds.clone()),
+            _ => Err(self
+                .checked
+                .as_ref()
+                .and_then(|r| r.as_ref().err().cloned())
+                .unwrap_or_default()),
+        };
+        self.layout = Some(result);
+    }
+
+    fn ensure_p4(&mut self) {
+        if self.p4.is_some() {
+            return;
+        }
+        self.ensure_layout();
+        let result = match (
+            self.checked.as_ref(),
+            self.handlers.as_ref(),
+            self.layout.as_ref(),
+        ) {
+            (Some(Ok(prog)), Some(Ok(handlers)), Some(Ok(layout))) => {
+                self.stats.p4_runs += 1;
+                Ok(lucid_backend::generate(prog, handlers, layout))
+            }
+            (_, _, Some(Err(ds))) => Err(ds.clone()),
+            _ => Err(self
+                .layout
+                .as_ref()
+                .and_then(|r| r.as_ref().err().cloned())
+                .unwrap_or_default()),
+        };
+        self.p4 = Some(result);
+    }
+}
+
+fn as_result<T>(slot: Option<&Result<T, Diagnostics>>) -> Result<&T, Diagnostics> {
+    match slot.expect("stage driver ran") {
+        Ok(v) => Ok(v),
+        Err(ds) => Err(ds.clone()),
+    }
+}
 
 /// A fully rendered compile error: diagnostics already formatted against
-/// the source text.
+/// the source text. Kept for the deprecated one-shot entry points; new code
+/// should use [`Build`] and its structured [`Diagnostics`].
 #[derive(Debug, Clone)]
 pub struct CompileError {
     pub rendered: String,
@@ -56,63 +414,121 @@ pub struct Artifacts {
 }
 
 /// Parse and semantically check a source file.
+#[deprecated(note = "use `Compiler::new().build(name, src)` and `Build::checked()`")]
 pub fn check_source(name: &str, src: &str) -> Result<CheckedProgram, CompileError> {
-    let sm = SourceMap::new(name, src);
-    let program = lucid_frontend::parse_program(src).map_err(|d| CompileError {
-        rendered: d.render(&sm),
-    })?;
-    lucid_check::check(program).map_err(|ds| CompileError { rendered: ds.render(&sm) })
+    let mut build = Compiler::new().build(name, src);
+    match build.checked() {
+        Ok(p) => Ok(p.clone()),
+        Err(_) => Err(CompileError {
+            rendered: build.render_diagnostics(),
+        }),
+    }
 }
 
 /// Full pipeline: source text → checked program → Tofino layout → P4.
+#[deprecated(note = "use `Compiler::new().build(name, src)` and the `Build` stage accessors")]
 pub fn compile_source(name: &str, src: &str) -> Result<Artifacts, CompileError> {
-    let sm = SourceMap::new(name, src);
-    let checked = check_source(name, src)?;
-    let compiled = lucid_backend::compile(&checked)
-        .map_err(|ds| CompileError { rendered: ds.render(&sm) })?;
-    Ok(Artifacts { checked, compiled })
+    let mut build = Compiler::new().build(name, src);
+    build.artifacts().map_err(|_| CompileError {
+        rendered: build.render_diagnostics(),
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    const COUNTER: &str = r#"
+        global a = new Array<<32>>(8);
+        event go(int i);
+        handle go(int i) { Array.set(a, i, 1); }
+    "#;
+
     #[test]
-    fn compile_source_end_to_end() {
-        let art = compile_source(
-            "t.lucid",
-            r#"
-            global a = new Array<<32>>(8);
-            event go(int i);
-            handle go(int i) { Array.set(a, i, 1); }
-            "#,
-        )
-        .unwrap();
-        assert!(art.compiled.layout.total_stages >= 2);
-        assert!(art.compiled.p4.loc.total() > 40);
+    fn build_end_to_end() {
+        let mut b = Compiler::new().build("t.lucid", COUNTER);
+        assert!(b.layout().unwrap().total_stages >= 2);
+        assert!(b.p4().unwrap().loc.total() > 40);
+    }
+
+    #[test]
+    fn stage_artifacts_are_cached() {
+        let mut b = Compiler::new().build("t.lucid", COUNTER);
+        b.p4().unwrap();
+        b.p4().unwrap();
+        b.layout().unwrap();
+        b.checked().unwrap();
+        let s = *b.stats();
+        assert_eq!(
+            (
+                s.parse_runs,
+                s.check_runs,
+                s.elaborate_runs,
+                s.layout_runs,
+                s.p4_runs
+            ),
+            (1, 1, 1, 1, 1),
+            "{s:?}"
+        );
+    }
+
+    #[test]
+    fn reconfigure_keeps_front_end() {
+        let mut b = Compiler::new().build("t.lucid", COUNTER);
+        let stages_default = b.layout().unwrap().total_stages;
+        let tall = PipelineSpec {
+            stages: 256,
+            ..PipelineSpec::tofino()
+        };
+        b.reconfigure(&Compiler::new().target(tall).layout(LayoutOptions {
+            dispatcher_stages: 3,
+            ..LayoutOptions::default()
+        }));
+        let stages_tall = b.layout().unwrap().total_stages;
+        assert_eq!(stages_tall, stages_default + 2, "dispatcher grew by 2");
+        let s = *b.stats();
+        assert_eq!(
+            (s.parse_runs, s.check_runs),
+            (1, 1),
+            "front end not re-run: {s:?}"
+        );
+        assert_eq!(s.layout_runs, 2);
     }
 
     #[test]
     fn errors_render_with_source_excerpt() {
-        let err = compile_source(
+        let mut b = Compiler::new().build(
             "bad.lucid",
             "global a = new Array<<32>>(8);\nglobal b = new Array<<32>>(8);\n\
              event go(int i);\nhandle go(int i) {\n  int x = Array.get(b, i);\n  \
              Array.set(a, i, x);\n}\n",
-        )
-        .unwrap_err();
-        assert!(err.rendered.contains("out of declaration order"), "{err}");
-        assert!(err.rendered.contains("bad.lucid:6"), "{err}");
-        assert!(err.rendered.contains("Array.set(a, i, x);"), "{err}");
+        );
+        assert!(b.p4().is_err());
+        let msg = b.render_diagnostics();
+        assert!(msg.contains("out of declaration order"), "{msg}");
+        assert!(msg.contains("bad.lucid:6"), "{msg}");
+        assert!(msg.contains("Array.set(a, i, x);"), "{msg}");
+        assert!(msg.contains("[E0401]"), "{msg}");
     }
 
     #[test]
     fn memop_error_renders_at_the_operator() {
-        let err = compile_source(
-            "m.lucid",
-            "memop bad(int m, int x) { return m * x; }\n",
-        )
-        .unwrap_err();
-        assert!(err.rendered.contains('*'), "{err}");
+        let mut b = Compiler::new().build("m.lucid", "memop bad(int m, int x) { return m * x; }\n");
+        assert!(b.checked().is_err());
+        assert!(
+            b.render_diagnostics().contains('*'),
+            "{}",
+            b.render_diagnostics()
+        );
+    }
+
+    #[test]
+    fn deprecated_shims_still_work() {
+        #[allow(deprecated)]
+        let art = compile_source("t.lucid", COUNTER).unwrap();
+        assert!(art.compiled.layout.total_stages >= 2);
+        #[allow(deprecated)]
+        let err = check_source("m.lucid", "memop bad(int m, int x) { return m * x; }").unwrap_err();
+        assert!(err.rendered.contains("memop"), "{err}");
     }
 }

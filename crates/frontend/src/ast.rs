@@ -20,12 +20,18 @@ pub struct Ident {
 
 impl Ident {
     pub fn new(name: impl Into<String>, span: Span) -> Self {
-        Ident { name: name.into(), span }
+        Ident {
+            name: name.into(),
+            span,
+        }
     }
 
     /// An identifier with a dummy span, for compiler-synthesized names.
     pub fn synth(name: impl Into<String>) -> Self {
-        Ident { name: name.into(), span: Span::DUMMY }
+        Ident {
+            name: name.into(),
+            span: Span::DUMMY,
+        }
     }
 }
 
@@ -109,7 +115,10 @@ pub enum BinOp {
 impl BinOp {
     /// True for operators whose result is `bool`.
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::Neq | BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge)
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Neq | BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge
+        )
     }
 
     /// True for the boolean connectives `&&` and `||`.
@@ -287,21 +296,44 @@ impl Expr {
 pub enum ExprKind {
     /// Integer literal, optionally width-annotated (`5` or, via cast
     /// desugaring, a fixed width).
-    Int { value: u64, width: Option<u32> },
+    Int {
+        value: u64,
+        width: Option<u32>,
+    },
     Bool(bool),
     Var(Ident),
-    Unary { op: UnOp, arg: Box<Expr> },
-    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    Unary {
+        op: UnOp,
+        arg: Box<Expr>,
+    },
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
     /// Call to a user function, a declared event constructor, or a memop
     /// (memops are only callable from `Array` method argument position; the
     /// checker enforces this).
-    Call { callee: Ident, args: Vec<Expr> },
+    Call {
+        callee: Ident,
+        args: Vec<Expr>,
+    },
     /// Call to a builtin module operation.
-    BuiltinCall { builtin: Builtin, args: Vec<Expr>, span_path: Span },
+    BuiltinCall {
+        builtin: Builtin,
+        args: Vec<Expr>,
+        span_path: Span,
+    },
     /// `hash<<w>>(seed, e1, .., en)` — a w-bit hash of the arguments.
-    Hash { width: u32, args: Vec<Expr> },
+    Hash {
+        width: u32,
+        args: Vec<Expr>,
+    },
     /// `(int<<w>>) e` — truncating/zero-extending cast.
-    Cast { width: u32, arg: Box<Expr> },
+    Cast {
+        width: u32,
+        arg: Box<Expr>,
+    },
 }
 
 /// A block of statements.
@@ -328,11 +360,19 @@ pub struct Stmt {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StmtKind {
     /// `ty x = e;` — local binding. `auto` infers the type.
-    Local { ty: Option<Ty>, name: Ident, init: Expr },
+    Local {
+        ty: Option<Ty>,
+        name: Ident,
+        init: Expr,
+    },
     /// `x = e;` — assignment to a local.
     Assign { name: Ident, value: Expr },
     /// `if (c) { .. } else { .. }`.
-    If { cond: Expr, then_blk: Block, else_blk: Option<Block> },
+    If {
+        cond: Expr,
+        then_blk: Block,
+        else_blk: Option<Block>,
+    },
     /// `generate e;` — schedule an event (possibly located/delayed).
     Generate(Expr),
     /// `mgenerate e;` — schedule an event at every member of its group
@@ -364,15 +404,32 @@ pub enum DeclKind {
     /// `global name = new Array<<w>>(size);` — persistent state. The
     /// *declaration order* of globals defines the pipeline stage order that
     /// the type-and-effect system enforces (§5.1).
-    GlobalArray { name: Ident, cell_width: u32, size: Expr },
+    GlobalArray {
+        name: Ident,
+        cell_width: u32,
+        size: Expr,
+    },
     /// `event name(params);`
     Event { name: Ident, params: Vec<Param> },
     /// `handle name(params) { .. }`
-    Handler { name: Ident, params: Vec<Param>, body: Block },
+    Handler {
+        name: Ident,
+        params: Vec<Param>,
+        body: Block,
+    },
     /// `fun ty name(params) { .. }`
-    Fun { ret_ty: Ty, name: Ident, params: Vec<Param>, body: Block },
+    Fun {
+        ret_ty: Ty,
+        name: Ident,
+        params: Vec<Param>,
+        body: Block,
+    },
     /// `memop name(int a, int b) { .. }` — restricted per §4.2.
-    Memop { name: Ident, params: Vec<Param>, body: Block },
+    Memop {
+        name: Ident,
+        params: Vec<Param>,
+        body: Block,
+    },
 }
 
 impl DeclKind {
@@ -400,7 +457,11 @@ impl Program {
     /// Iterate over global array declarations in declaration order.
     pub fn globals(&self) -> impl Iterator<Item = (&Ident, u32, &Expr)> {
         self.decls.iter().filter_map(|d| match &d.kind {
-            DeclKind::GlobalArray { name, cell_width, size } => Some((name, *cell_width, size)),
+            DeclKind::GlobalArray {
+                name,
+                cell_width,
+                size,
+            } => Some((name, *cell_width, size)),
             _ => None,
         })
     }
@@ -476,7 +537,9 @@ mod tests {
             },
             span: Span::DUMMY,
         };
-        let p = Program { decls: vec![mk("a"), mk("b")] };
+        let p = Program {
+            decls: vec![mk("a"), mk("b")],
+        };
         let names: Vec<_> = p.globals().map(|(n, _, _)| n.name.clone()).collect();
         assert_eq!(names, vec!["a", "b"]);
     }

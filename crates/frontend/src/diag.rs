@@ -36,6 +36,11 @@ impl fmt::Display for Level {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
     pub level: Level,
+    /// Stable machine-readable code, assigned by the emitting phase.
+    /// Errors use `E0xxx` (`E01xx` lexer/parser, `E02xx` symbols, `E03xx`
+    /// memops, `E04xx` type-and-effect, `E06xx` elaboration, `E07xx`
+    /// layout); warnings use `W0xxx`.
+    pub code: Option<&'static str>,
     pub message: String,
     /// Primary location of the problem.
     pub span: Option<Span>,
@@ -46,17 +51,48 @@ pub struct Diagnostic {
 impl Diagnostic {
     /// A fatal error at `span`.
     pub fn error(message: impl Into<String>, span: Span) -> Self {
-        Diagnostic { level: Level::Error, message: message.into(), span: Some(span), notes: Vec::new() }
+        Diagnostic {
+            level: Level::Error,
+            code: None,
+            message: message.into(),
+            span: Some(span),
+            notes: Vec::new(),
+        }
     }
 
     /// A fatal error with no location (e.g. "no main handler defined").
     pub fn error_global(message: impl Into<String>) -> Self {
-        Diagnostic { level: Level::Error, message: message.into(), span: None, notes: Vec::new() }
+        Diagnostic {
+            level: Level::Error,
+            code: None,
+            message: message.into(),
+            span: None,
+            notes: Vec::new(),
+        }
     }
 
     /// A warning at `span`.
     pub fn warning(message: impl Into<String>, span: Span) -> Self {
-        Diagnostic { level: Level::Warning, message: message.into(), span: Some(span), notes: Vec::new() }
+        Diagnostic {
+            level: Level::Warning,
+            code: None,
+            message: message.into(),
+            span: Some(span),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Set the stable diagnostic code.
+    pub fn with_code(mut self, code: &'static str) -> Self {
+        self.code = Some(code);
+        self
+    }
+
+    /// Set the code only if none was assigned yet — phases use this to give
+    /// every diagnostic at least a phase-level code at their boundary.
+    pub fn or_code(mut self, code: &'static str) -> Self {
+        self.code.get_or_insert(code);
+        self
     }
 
     /// Attach a secondary note pointing at `span`.
@@ -83,7 +119,10 @@ impl Diagnostic {
     /// ```
     pub fn render(&self, sm: &SourceMap) -> String {
         let mut out = String::new();
-        out.push_str(&format!("{}: {}\n", self.level, self.message));
+        match self.code {
+            Some(code) => out.push_str(&format!("{}[{code}]: {}\n", self.level, self.message)),
+            None => out.push_str(&format!("{}: {}\n", self.level, self.message)),
+        }
         if let Some(span) = self.span {
             render_span(&mut out, sm, span);
         }
@@ -95,6 +134,74 @@ impl Diagnostic {
         }
         out
     }
+}
+
+impl Diagnostic {
+    /// Serialize to a JSON object against `sm`, for tooling (`lucidc
+    /// --json-diagnostics`, editors, CI annotations). Spans carry both byte
+    /// offsets and 1-based line/column resolved through the source map.
+    pub fn to_json(&self, sm: &SourceMap) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"severity\":{},",
+            json_str(&self.level.to_string())
+        ));
+        match self.code {
+            Some(c) => out.push_str(&format!("\"code\":{},", json_str(c))),
+            None => out.push_str("\"code\":null,"),
+        }
+        out.push_str(&format!("\"message\":{},", json_str(&self.message)));
+        out.push_str(&format!("\"span\":{},", json_span(sm, self.span)));
+        out.push_str("\"notes\":[");
+        for (i, (msg, nspan)) in self.notes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"message\":{},\"span\":{}}}",
+                json_str(msg),
+                json_span(sm, *nspan)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn json_span(sm: &SourceMap, span: Option<Span>) -> String {
+    match span {
+        None => "null".to_string(),
+        Some(s) => {
+            let lc = sm.line_col(s.start);
+            format!(
+                "{{\"file\":{},\"start\":{},\"end\":{},\"line\":{},\"col\":{}}}",
+                json_str(&sm.name),
+                s.start,
+                s.end,
+                lc.line,
+                lc.col
+            )
+        }
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 fn render_span(out: &mut String, sm: &SourceMap, span: Span) {
@@ -157,9 +264,41 @@ impl Diagnostics {
         self.items.len()
     }
 
+    /// Give every code-less diagnostic the phase-level default `code`.
+    /// Called at phase boundaries so downstream tooling always sees a code.
+    pub fn or_code_all(mut self, code: &'static str) -> Self {
+        for d in &mut self.items {
+            d.code.get_or_insert(code);
+        }
+        self
+    }
+
+    /// Append all of `other`'s diagnostics.
+    pub fn extend(&mut self, other: Diagnostics) {
+        self.items.extend(other.items);
+    }
+
+    /// Number of error-level diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|d| d.level == Level::Error)
+            .count()
+    }
+
     /// Render all diagnostics, separated by blank lines.
     pub fn render(&self, sm: &SourceMap) -> String {
-        self.items.iter().map(|d| d.render(sm)).collect::<Vec<_>>().join("\n")
+        self.items
+            .iter()
+            .map(|d| d.render(sm))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Serialize the whole collection as a JSON array.
+    pub fn to_json(&self, sm: &SourceMap) -> String {
+        let items: Vec<String> = self.items.iter().map(|d| d.to_json(sm)).collect();
+        format!("[{}]", items.join(","))
     }
 }
 
@@ -197,6 +336,42 @@ mod tests {
         ds.push(Diagnostic::error("bad", Span::new(0, 1)));
         assert!(ds.has_errors());
         assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn code_renders_in_brackets() {
+        let sm = SourceMap::new("t.lucid", "int x = 3;\n");
+        let d = Diagnostic::error("bad", Span::new(0, 3)).with_code("E0401");
+        assert!(
+            d.render(&sm).starts_with("error[E0401]: bad"),
+            "{}",
+            d.render(&sm)
+        );
+        // or_code does not overwrite an explicit code.
+        let d2 = d.or_code("E0400");
+        assert_eq!(d2.code, Some("E0401"));
+    }
+
+    #[test]
+    fn json_escapes_and_resolves_spans() {
+        let sm = SourceMap::new("t.lucid", "int x = \"a\";\nint y = z;\n");
+        let d = Diagnostic::error("unbound \"z\"", Span::new(21, 22))
+            .with_code("E0400")
+            .with_help("declare it");
+        let j = d.to_json(&sm);
+        assert!(j.contains("\"severity\":\"error\""), "{j}");
+        assert!(j.contains("\"code\":\"E0400\""), "{j}");
+        assert!(j.contains("\"message\":\"unbound \\\"z\\\"\""), "{j}");
+        assert!(j.contains("\"line\":2"), "{j}");
+        assert!(j.contains("\"col\":9"), "{j}");
+        assert!(
+            j.contains("\"notes\":[{\"message\":\"declare it\",\"span\":null}]"),
+            "{j}"
+        );
+        let mut ds = Diagnostics::new();
+        ds.push(d);
+        let arr = ds.to_json(&sm);
+        assert!(arr.starts_with('[') && arr.ends_with(']'), "{arr}");
     }
 
     #[test]

@@ -23,7 +23,10 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn peek(&self) -> u8 {
@@ -50,11 +53,17 @@ impl<'a> Lexer<'a> {
             self.skip_trivia()?;
             let start = self.pos;
             if self.pos >= self.src.len() {
-                out.push(Token { kind: TokenKind::Eof, span: self.span_from(start) });
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    span: self.span_from(start),
+                });
                 return Ok(out);
             }
             let kind = self.token()?;
-            out.push(Token { kind, span: self.span_from(start) });
+            out.push(Token {
+                kind,
+                span: self.span_from(start),
+            });
         }
     }
 
@@ -256,9 +265,7 @@ impl<'a> Lexer<'a> {
             self.bump();
         }
         // Dotted builtin path: keep consuming `.segment`.
-        while self.peek() == b'.'
-            && (self.peek2().is_ascii_alphabetic() || self.peek2() == b'_')
-        {
+        while self.peek() == b'.' && (self.peek2().is_ascii_alphabetic() || self.peek2() == b'_') {
             self.bump();
             while self.peek().is_ascii_alphanumeric() || self.peek() == b'_' {
                 self.bump();
@@ -293,7 +300,15 @@ mod tests {
     fn lexes_declaration() {
         assert_eq!(
             kinds("const int SIZE = 16;"),
-            vec![KwConst, KwInt, Ident("SIZE".into()), Assign, Int(16), Semi, Eof]
+            vec![
+                KwConst,
+                KwInt,
+                Ident("SIZE".into()),
+                Assign,
+                Int(16),
+                Semi,
+                Eof
+            ]
         );
     }
 
@@ -355,10 +370,7 @@ mod tests {
 
     #[test]
     fn string_escapes() {
-        assert_eq!(
-            kinds(r#""a\nb\"c""#),
-            vec![Str("a\nb\"c".into()), Eof]
-        );
+        assert_eq!(kinds(r#""a\nb\"c""#), vec![Str("a\nb\"c".into()), Eof]);
     }
 
     #[test]

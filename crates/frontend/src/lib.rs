@@ -27,7 +27,9 @@ pub mod pretty;
 pub mod span;
 pub mod token;
 
-pub use ast::{Block, Builtin, Decl, DeclKind, Expr, ExprKind, Ident, Param, Program, Stmt, StmtKind, Ty};
+pub use ast::{
+    Block, Builtin, Decl, DeclKind, Expr, ExprKind, Ident, Param, Program, Stmt, StmtKind, Ty,
+};
 pub use diag::{Diagnostic, Diagnostics, Level};
 pub use parser::{parse_expr, parse_program};
 pub use span::{LineCol, SourceMap, Span};

@@ -30,10 +30,13 @@ use crate::lexer::lex;
 use crate::span::Span;
 use crate::token::{Token, TokenKind};
 
-/// Parse a complete program. On failure, returns the first diagnostic.
+/// Parse a complete program. On failure, returns the first diagnostic
+/// (code `E0100`: parsing stops at the first syntax error by design).
 pub fn parse_program(src: &str) -> Result<Program, Diagnostic> {
-    let tokens = lex(src)?;
-    Parser { tokens, pos: 0 }.program()
+    let tokens = lex(src).map_err(|d| d.or_code("E0100"))?;
+    Parser { tokens, pos: 0 }
+        .program()
+        .map_err(|d| d.or_code("E0100"))
 }
 
 /// Parse a single expression (used by tests and the REPL-style tools).
@@ -146,14 +149,20 @@ impl Parser {
                     }
                     self.expect(TokenKind::RBrace)?;
                     let end = self.expect(TokenKind::Semi)?.span;
-                    Ok(Decl { kind: DeclKind::Group { name, members }, span: start.merge(end) })
+                    Ok(Decl {
+                        kind: DeclKind::Group { name, members },
+                        span: start.merge(end),
+                    })
                 } else {
                     let ty = self.ty()?;
                     let name = self.ident()?;
                     self.expect(TokenKind::Assign)?;
                     let value = self.expr()?;
                     let end = self.expect(TokenKind::Semi)?.span;
-                    Ok(Decl { kind: DeclKind::Const { ty, name, value }, span: start.merge(end) })
+                    Ok(Decl {
+                        kind: DeclKind::Const { ty, name, value },
+                        span: start.merge(end),
+                    })
                 }
             }
             TokenKind::KwGlobal => {
@@ -175,7 +184,11 @@ impl Parser {
                 self.expect(TokenKind::RParen)?;
                 let end = self.expect(TokenKind::Semi)?.span;
                 Ok(Decl {
-                    kind: DeclKind::GlobalArray { name, cell_width, size },
+                    kind: DeclKind::GlobalArray {
+                        name,
+                        cell_width,
+                        size,
+                    },
                     span: start.merge(end),
                 })
             }
@@ -184,7 +197,10 @@ impl Parser {
                 let name = self.ident()?;
                 let params = self.params()?;
                 let end = self.expect(TokenKind::Semi)?.span;
-                Ok(Decl { kind: DeclKind::Event { name, params }, span: start.merge(end) })
+                Ok(Decl {
+                    kind: DeclKind::Event { name, params },
+                    span: start.merge(end),
+                })
             }
             TokenKind::KwHandle => {
                 self.bump();
@@ -192,7 +208,10 @@ impl Parser {
                 let params = self.params()?;
                 let body = self.block()?;
                 let span = start.merge(body.span);
-                Ok(Decl { kind: DeclKind::Handler { name, params, body }, span })
+                Ok(Decl {
+                    kind: DeclKind::Handler { name, params, body },
+                    span,
+                })
             }
             TokenKind::KwFun => {
                 self.bump();
@@ -201,7 +220,15 @@ impl Parser {
                 let params = self.params()?;
                 let body = self.block()?;
                 let span = start.merge(body.span);
-                Ok(Decl { kind: DeclKind::Fun { ret_ty, name, params, body }, span })
+                Ok(Decl {
+                    kind: DeclKind::Fun {
+                        ret_ty,
+                        name,
+                        params,
+                        body,
+                    },
+                    span,
+                })
             }
             TokenKind::KwMemop => {
                 self.bump();
@@ -209,7 +236,10 @@ impl Parser {
                 let params = self.params()?;
                 let body = self.block()?;
                 let span = start.merge(body.span);
-                Ok(Decl { kind: DeclKind::Memop { name, params, body }, span })
+                Ok(Decl {
+                    kind: DeclKind::Memop { name, params, body },
+                    span,
+                })
             }
             _ => Err(self.unexpected(
                 "expected a declaration (`const`, `global`, `event`, `handle`, `fun`, or `memop`)",
@@ -341,25 +371,45 @@ impl Parser {
                 } else {
                     None
                 };
-                Ok(Stmt { kind: StmtKind::If { cond, then_blk, else_blk }, span })
+                Ok(Stmt {
+                    kind: StmtKind::If {
+                        cond,
+                        then_blk,
+                        else_blk,
+                    },
+                    span,
+                })
             }
             TokenKind::KwGenerate => {
                 self.bump();
                 let e = self.expr()?;
                 let end = self.expect(TokenKind::Semi)?.span;
-                Ok(Stmt { kind: StmtKind::Generate(e), span: start.merge(end) })
+                Ok(Stmt {
+                    kind: StmtKind::Generate(e),
+                    span: start.merge(end),
+                })
             }
             TokenKind::KwMGenerate => {
                 self.bump();
                 let e = self.expr()?;
                 let end = self.expect(TokenKind::Semi)?.span;
-                Ok(Stmt { kind: StmtKind::MGenerate(e), span: start.merge(end) })
+                Ok(Stmt {
+                    kind: StmtKind::MGenerate(e),
+                    span: start.merge(end),
+                })
             }
             TokenKind::KwReturn => {
                 self.bump();
-                let e = if self.at(&TokenKind::Semi) { None } else { Some(self.expr()?) };
+                let e = if self.at(&TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 let end = self.expect(TokenKind::Semi)?.span;
-                Ok(Stmt { kind: StmtKind::Return(e), span: start.merge(end) })
+                Ok(Stmt {
+                    kind: StmtKind::Return(e),
+                    span: start.merge(end),
+                })
             }
             TokenKind::KwPrintf => {
                 self.bump();
@@ -377,7 +427,10 @@ impl Parser {
                 }
                 self.expect(TokenKind::RParen)?;
                 let end = self.expect(TokenKind::Semi)?.span;
-                Ok(Stmt { kind: StmtKind::Printf { fmt, args }, span: start.merge(end) })
+                Ok(Stmt {
+                    kind: StmtKind::Printf { fmt, args },
+                    span: start.merge(end),
+                })
             }
             TokenKind::KwAuto => {
                 self.bump();
@@ -386,7 +439,11 @@ impl Parser {
                 let init = self.expr()?;
                 let end = self.expect(TokenKind::Semi)?.span;
                 Ok(Stmt {
-                    kind: StmtKind::Local { ty: None, name, init },
+                    kind: StmtKind::Local {
+                        ty: None,
+                        name,
+                        init,
+                    },
                     span: start.merge(end),
                 })
             }
@@ -397,7 +454,11 @@ impl Parser {
                 let init = self.expr()?;
                 let end = self.expect(TokenKind::Semi)?.span;
                 Ok(Stmt {
-                    kind: StmtKind::Local { ty: Some(ty), name, init },
+                    kind: StmtKind::Local {
+                        ty: Some(ty),
+                        name,
+                        init,
+                    },
                     span: start.merge(end),
                 })
             }
@@ -408,12 +469,18 @@ impl Parser {
                 self.expect(TokenKind::Assign)?;
                 let value = self.expr()?;
                 let end = self.expect(TokenKind::Semi)?.span;
-                Ok(Stmt { kind: StmtKind::Assign { name, value }, span: start.merge(end) })
+                Ok(Stmt {
+                    kind: StmtKind::Assign { name, value },
+                    span: start.merge(end),
+                })
             }
             _ => {
                 let e = self.expr()?;
                 let end = self.expect(TokenKind::Semi)?.span;
-                Ok(Stmt { kind: StmtKind::Expr(e), span: start.merge(end) })
+                Ok(Stmt {
+                    kind: StmtKind::Expr(e),
+                    span: start.merge(end),
+                })
             }
         }
     }
@@ -457,7 +524,11 @@ impl Parser {
             let rhs = self.binary(prec + 1)?;
             let span = lhs.span.merge(rhs.span);
             lhs = Expr::new(
-                ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
                 span,
             );
         }
@@ -476,7 +547,13 @@ impl Parser {
             self.bump();
             let arg = self.unary()?;
             let span = start.merge(arg.span);
-            return Ok(Expr::new(ExprKind::Unary { op, arg: Box::new(arg) }, span));
+            return Ok(Expr::new(
+                ExprKind::Unary {
+                    op,
+                    arg: Box::new(arg),
+                },
+                span,
+            ));
         }
         self.primary()
     }
@@ -511,7 +588,13 @@ impl Parser {
                     self.expect(TokenKind::RParen)?;
                     let arg = self.unary()?;
                     let span = start.merge(arg.span);
-                    return Ok(Expr::new(ExprKind::Cast { width, arg: Box::new(arg) }, span));
+                    return Ok(Expr::new(
+                        ExprKind::Cast {
+                            width,
+                            arg: Box::new(arg),
+                        },
+                        span,
+                    ));
                 }
                 let e = self.expr()?;
                 let end = self.expect(TokenKind::RParen)?.span;
@@ -549,7 +632,11 @@ impl Parser {
                     (b, _) => b,
                 };
                 Ok(Expr::new(
-                    ExprKind::BuiltinCall { builtin, args, span_path: t.span },
+                    ExprKind::BuiltinCall {
+                        builtin,
+                        args,
+                        span_path: t.span,
+                    },
                     span,
                 ))
             }
@@ -643,7 +730,11 @@ mod tests {
         let e = parse_expr("1 + 2 * 3 == 7 && true").unwrap();
         // ((1 + (2*3)) == 7) && true
         match e.kind {
-            ExprKind::Binary { op: BinOp::And, lhs, .. } => match lhs.kind {
+            ExprKind::Binary {
+                op: BinOp::And,
+                lhs,
+                ..
+            } => match lhs.kind {
                 ExprKind::Binary { op: BinOp::Eq, .. } => {}
                 other => panic!("expected ==, got {other:?}"),
             },
@@ -668,7 +759,11 @@ mod tests {
         let e = parse_expr("(int<<16>>) x + 1").unwrap();
         // Cast binds tighter than +.
         match e.kind {
-            ExprKind::Binary { op: BinOp::Add, lhs, .. } => match lhs.kind {
+            ExprKind::Binary {
+                op: BinOp::Add,
+                lhs,
+                ..
+            } => match lhs.kind {
                 ExprKind::Cast { width: 16, .. } => {}
                 other => panic!("expected cast, got {other:?}"),
             },
@@ -694,7 +789,9 @@ mod tests {
         let p = parse_ok(src);
         let (_, _, body) = p.handlers().next().unwrap();
         match &body.stmts[0].kind {
-            StmtKind::If { else_blk: Some(e), .. } => {
+            StmtKind::If {
+                else_blk: Some(e), ..
+            } => {
                 assert!(matches!(e.stmts[0].kind, StmtKind::If { .. }));
             }
             other => panic!("expected if, got {other:?}"),
@@ -729,7 +826,10 @@ mod tests {
         let (_, _, body) = p.handlers().next().unwrap();
         assert!(matches!(
             body.stmts[0].kind,
-            StmtKind::Local { ty: Some(Ty::Event), .. }
+            StmtKind::Local {
+                ty: Some(Ty::Event),
+                ..
+            }
         ));
     }
 
@@ -737,7 +837,10 @@ mod tests {
     fn auto_local_binding() {
         let p = parse_ok("handle h(int x) { auto y = x + 1; }");
         let (_, _, body) = p.handlers().next().unwrap();
-        assert!(matches!(body.stmts[0].kind, StmtKind::Local { ty: None, .. }));
+        assert!(matches!(
+            body.stmts[0].kind,
+            StmtKind::Local { ty: None, .. }
+        ));
     }
 
     #[test]
@@ -748,7 +851,8 @@ mod tests {
 
     #[test]
     fn mgenerate_statement() {
-        let src = "const group G = {2,3}; event c(); handle h() { mgenerate Event.mlocate(c(), G); }";
+        let src =
+            "const group G = {2,3}; event c(); handle h() { mgenerate Event.mlocate(c(), G); }";
         let p = parse_ok(src);
         let (_, _, body) = p.handlers().next().unwrap();
         assert!(matches!(body.stmts[0].kind, StmtKind::MGenerate(_)));

@@ -22,28 +22,37 @@ pub fn program(p: &Program) -> String {
 pub fn decl(out: &mut String, d: &Decl) {
     match &d.kind {
         DeclKind::Const { ty, name, value } => {
-            let _ = write!(out, "const {ty} {name} = {};\n", expr_str(value));
+            let _ = writeln!(out, "const {ty} {name} = {};", expr_str(value));
         }
         DeclKind::Group { name, members } => {
             let ms: Vec<_> = members.iter().map(expr_str).collect();
-            let _ = write!(out, "const group {name} = {{{}}};\n", ms.join(", "));
+            let _ = writeln!(out, "const group {name} = {{{}}};", ms.join(", "));
         }
-        DeclKind::GlobalArray { name, cell_width, size } => {
-            let _ = write!(
+        DeclKind::GlobalArray {
+            name,
+            cell_width,
+            size,
+        } => {
+            let _ = writeln!(
                 out,
-                "global {name} = new Array<<{cell_width}>>({});\n",
+                "global {name} = new Array<<{cell_width}>>({});",
                 expr_str(size)
             );
         }
         DeclKind::Event { name, params } => {
-            let _ = write!(out, "event {name}({});\n", params_str(params));
+            let _ = writeln!(out, "event {name}({});", params_str(params));
         }
         DeclKind::Handler { name, params, body } => {
             let _ = write!(out, "handle {name}({}) ", params_str(params));
             block(out, body, 0);
             out.push('\n');
         }
-        DeclKind::Fun { ret_ty, name, params, body } => {
+        DeclKind::Fun {
+            ret_ty,
+            name,
+            params,
+            body,
+        } => {
             let _ = write!(out, "fun {ret_ty} {name}({}) ", params_str(params));
             block(out, body, 0);
             out.push('\n');
@@ -87,17 +96,21 @@ pub fn stmt(out: &mut String, s: &Stmt, depth: usize) {
         StmtKind::Local { ty, name, init } => {
             match ty {
                 Some(t) => {
-                    let _ = write!(out, "{t} {name} = {};\n", expr_str(init));
+                    let _ = writeln!(out, "{t} {name} = {};", expr_str(init));
                 }
                 None => {
-                    let _ = write!(out, "auto {name} = {};\n", expr_str(init));
+                    let _ = writeln!(out, "auto {name} = {};", expr_str(init));
                 }
             };
         }
         StmtKind::Assign { name, value } => {
-            let _ = write!(out, "{name} = {};\n", expr_str(value));
+            let _ = writeln!(out, "{name} = {};", expr_str(value));
         }
-        StmtKind::If { cond, then_blk, else_blk } => {
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
             let _ = write!(out, "if ({}) ", expr_str(cond));
             block(out, then_blk, depth);
             if let Some(e) = else_blk {
@@ -107,26 +120,29 @@ pub fn stmt(out: &mut String, s: &Stmt, depth: usize) {
             out.push('\n');
         }
         StmtKind::Generate(e) => {
-            let _ = write!(out, "generate {};\n", expr_str(e));
+            let _ = writeln!(out, "generate {};", expr_str(e));
         }
         StmtKind::MGenerate(e) => {
-            let _ = write!(out, "mgenerate {};\n", expr_str(e));
+            let _ = writeln!(out, "mgenerate {};", expr_str(e));
         }
         StmtKind::Return(None) => out.push_str("return;\n"),
         StmtKind::Return(Some(e)) => {
-            let _ = write!(out, "return {};\n", expr_str(e));
+            let _ = writeln!(out, "return {};", expr_str(e));
         }
         StmtKind::Printf { fmt, args } => {
-            let escaped = fmt.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n");
+            let escaped = fmt
+                .replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n");
             if args.is_empty() {
-                let _ = write!(out, "printf(\"{escaped}\");\n");
+                let _ = writeln!(out, "printf(\"{escaped}\");");
             } else {
                 let a: Vec<_> = args.iter().map(expr_str).collect();
-                let _ = write!(out, "printf(\"{escaped}\", {});\n", a.join(", "));
+                let _ = writeln!(out, "printf(\"{escaped}\", {});", a.join(", "));
             }
         }
         StmtKind::Expr(e) => {
-            let _ = write!(out, "{};\n", expr_str(e));
+            let _ = writeln!(out, "{};", expr_str(e));
         }
     }
 }
@@ -137,7 +153,10 @@ pub fn stmt(out: &mut String, s: &Stmt, depth: usize) {
 pub fn expr_str(e: &Expr) -> String {
     match &e.kind {
         ExprKind::Int { value, width: None } => format!("{value}"),
-        ExprKind::Int { value, width: Some(w) } => format!("(int<<{w}>>) {value}"),
+        ExprKind::Int {
+            value,
+            width: Some(w),
+        } => format!("(int<<{w}>>) {value}"),
         ExprKind::Bool(b) => format!("{b}"),
         ExprKind::Var(id) => id.name.clone(),
         ExprKind::Unary { op, arg } => format!("{}{}", op.symbol(), atom(arg)),

@@ -36,7 +36,10 @@ impl Span {
         if other == Span::DUMMY {
             return self;
         }
-        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
     }
 
     /// Length of the span in bytes.
@@ -91,7 +94,11 @@ impl SourceMap {
                 line_starts.push(i as u32 + 1);
             }
         }
-        SourceMap { name: name.into(), src, line_starts }
+        SourceMap {
+            name: name.into(),
+            src,
+            line_starts,
+        }
     }
 
     /// Translate a byte offset to a 1-based line/column pair.
@@ -101,7 +108,10 @@ impl SourceMap {
             Err(i) => i - 1,
         };
         let col = offset - self.line_starts[line_idx];
-        LineCol { line: line_idx as u32 + 1, col: col + 1 }
+        LineCol {
+            line: line_idx as u32 + 1,
+            col: col + 1,
+        }
     }
 
     /// The text of the (1-based) line number, without its trailing newline.

@@ -31,7 +31,11 @@ pub struct NetConfig {
 
 impl Default for NetConfig {
     fn default() -> Self {
-        NetConfig { switches: vec![1], link_latency_ns: 1_000, recirc_latency_ns: 600 }
+        NetConfig {
+            switches: vec![1],
+            link_latency_ns: 1_000,
+            recirc_latency_ns: 600,
+        }
     }
 }
 
@@ -43,7 +47,10 @@ impl NetConfig {
 
     /// A fully-connected network of `n` switches with ids `1..=n`.
     pub fn mesh(n: u64) -> Self {
-        NetConfig { switches: (1..=n).collect(), ..Self::default() }
+        NetConfig {
+            switches: (1..=n).collect(),
+            ..Self::default()
+        }
     }
 }
 
@@ -79,19 +86,33 @@ pub struct Stats {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum InterpError {
     /// Array index outside the declared length.
-    IndexOutOfBounds { array: String, index: u64, len: u64, switch: u64 },
+    IndexOutOfBounds {
+        array: String,
+        index: u64,
+        len: u64,
+        switch: u64,
+    },
     /// The run exceeded its event budget (likely a runaway recursion).
     FuelExhausted { handled: u64 },
     /// An event was scheduled by name that does not exist.
     NoSuchEvent(String),
     /// Wrong number of arguments in an externally injected event.
-    BadArity { event: String, want: usize, got: usize },
+    BadArity {
+        event: String,
+        want: usize,
+        got: usize,
+    },
 }
 
 impl fmt::Display for InterpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            InterpError::IndexOutOfBounds { array, index, len, switch } => write!(
+            InterpError::IndexOutOfBounds {
+                array,
+                index,
+                len,
+                switch,
+            } => write!(
                 f,
                 "index {index} out of bounds for array `{array}` (len {len}) on switch {switch}"
             ),
@@ -163,9 +184,18 @@ pub struct Interp<'p> {
 impl<'p> Interp<'p> {
     pub fn new(prog: &'p CheckedProgram, config: NetConfig) -> Self {
         let state = SwitchState {
-            arrays: prog.info.globals.iter().map(|g| vec![0u64; g.len as usize]).collect(),
+            arrays: prog
+                .info
+                .globals
+                .iter()
+                .map(|g| vec![0u64; g.len as usize])
+                .collect(),
         };
-        let states = config.switches.iter().map(|&s| (s, state.clone())).collect();
+        let states = config
+            .switches
+            .iter()
+            .map(|&s| (s, state.clone()))
+            .collect();
         Interp {
             prog,
             config,
@@ -212,7 +242,13 @@ impl<'p> Interp<'p> {
             .zip(args)
             .map(|(p, a)| mask(*a, p.ty.int_width().unwrap_or(32)))
             .collect();
-        self.push(Scheduled { time_ns, seq: 0, switch, event_id: ev.id, args: masked });
+        self.push(Scheduled {
+            time_ns,
+            seq: 0,
+            switch,
+            event_id: ev.id,
+            args: masked,
+        });
         Ok(())
     }
 
@@ -247,7 +283,13 @@ impl<'p> Interp<'p> {
     /// rebooted switch does not remember its arrays).
     pub fn recover_switch(&mut self, id: u64) {
         let state = SwitchState {
-            arrays: self.prog.info.globals.iter().map(|g| vec![0u64; g.len as usize]).collect(),
+            arrays: self
+                .prog
+                .info
+                .globals
+                .iter()
+                .map(|g| vec![0u64; g.len as usize])
+                .collect(),
         };
         self.states.insert(id, state);
     }
@@ -271,7 +313,9 @@ impl<'p> Interp<'p> {
                 return Ok(());
             }
             if handled_this_run >= max_events {
-                return Err(InterpError::FuelExhausted { handled: handled_this_run });
+                return Err(InterpError::FuelExhausted {
+                    handled: handled_this_run,
+                });
             }
             let Reverse(sched) = self.queue.pop().expect("peeked");
             self.now_ns = self.now_ns.max(sched.time_ns);
@@ -358,7 +402,11 @@ impl<'p> Interp<'p> {
                 cx.env.insert(name.name.clone(), v);
                 Ok(Flow::Normal)
             }
-            StmtKind::If { cond, then_blk, else_blk } => {
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 let c = self.eval(cond, cx)?.as_bool().expect("checked: bool");
                 if c {
                     self.exec_block(then_blk, cx)
@@ -370,7 +418,9 @@ impl<'p> Interp<'p> {
             }
             StmtKind::Generate(e) | StmtKind::MGenerate(e) => {
                 let v = self.eval(e, cx)?;
-                let Value::Event(ev) = v else { panic!("checked: generate of non-event") };
+                let Value::Event(ev) = v else {
+                    panic!("checked: generate of non-event")
+                };
                 self.emit(cx.switch, ev);
                 Ok(Flow::Normal)
             }
@@ -514,8 +564,11 @@ impl<'p> Interp<'p> {
                 // Event constructor.
                 if let Some(ev) = self.prog.info.event(&callee.name) {
                     let id = ev.id;
-                    let widths: Vec<u32> =
-                        ev.params.iter().map(|p| p.ty.int_width().unwrap_or(32)).collect();
+                    let widths: Vec<u32> = ev
+                        .params
+                        .iter()
+                        .map(|p| p.ty.int_width().unwrap_or(32))
+                        .collect();
                     let name = ev.name.clone();
                     let mut vals = Vec::with_capacity(args.len());
                     for (a, w) in args.iter().zip(widths) {
@@ -530,8 +583,10 @@ impl<'p> Interp<'p> {
                     }));
                 }
                 // User function: evaluate args, bind, run body.
-                let (_, params, body) =
-                    self.prog.fun_body(&callee.name).expect("checked: function exists");
+                let (_, params, body) = self
+                    .prog
+                    .fun_body(&callee.name)
+                    .expect("checked: function exists");
                 let params = params.clone();
                 let body = body.clone();
                 let mut env = HashMap::new();
@@ -556,7 +611,10 @@ impl<'p> Interp<'p> {
                 cx.env = saved_env;
                 cx.array_params.truncate(
                     array_params_mark.saturating_sub(
-                        params.iter().filter(|p| matches!(p.ty, Ty::Array(_))).count(),
+                        params
+                            .iter()
+                            .filter(|p| matches!(p.ty, Ty::Array(_)))
+                            .count(),
                     ),
                 );
                 Ok(match flow {
@@ -572,9 +630,7 @@ impl<'p> Interp<'p> {
         match &e.kind {
             ExprKind::Var(id) => {
                 // A function's array parameter shadows globals.
-                if let Some((_, gid)) =
-                    cx.array_params.iter().rev().find(|(n, _)| *n == id.name)
-                {
+                if let Some((_, gid)) = cx.array_params.iter().rev().find(|(n, _)| *n == id.name) {
                     return *gid;
                 }
                 self.prog.info.globals_by_name[&id.name]
@@ -632,7 +688,12 @@ impl<'p> Interp<'p> {
                         let setop = self.memop_of(&args[4]);
                         let setarg = self.eval(&args[5], cx)?.as_int().expect("checked");
                         let ret = eval_memop(&getop, cur, getarg, w);
-                        self.store(cx.switch, gid, idx as usize, eval_memop(&setop, cur, setarg, w));
+                        self.store(
+                            cx.switch,
+                            gid,
+                            idx as usize,
+                            eval_memop(&setop, cur, setarg, w),
+                        );
                         Ok(Value::int(ret, w))
                     }
                     _ => unreachable!(),
@@ -693,7 +754,11 @@ struct ExecCx {
 
 impl ExecCx {
     fn new(switch: u64, env: HashMap<String, Value>) -> Self {
-        ExecCx { switch, env, array_params: Vec::new() }
+        ExecCx {
+            switch,
+            env,
+            array_params: Vec::new(),
+        }
     }
 }
 
@@ -741,20 +806,9 @@ fn eval_binop(op: BinOp, l: &Value, r: &Value) -> Value {
         BinOp::Add => a.wrapping_add(b),
         BinOp::Sub => a.wrapping_sub(b),
         BinOp::Mul => a.wrapping_mul(b),
-        BinOp::Div => {
-            if b == 0 {
-                0
-            } else {
-                a / b
-            }
-        }
-        BinOp::Mod => {
-            if b == 0 {
-                0
-            } else {
-                a % b
-            }
-        }
+        // Division by zero yields zero in the data plane.
+        BinOp::Div => a.checked_div(b).unwrap_or(0),
+        BinOp::Mod => a.checked_rem(b).unwrap_or(0),
         BinOp::BitAnd => a & b,
         BinOp::BitOr => a | b,
         BinOp::BitXor => a ^ b,
@@ -954,7 +1008,11 @@ mod tests {
         i.schedule(1, 100, "swap", &[2, 88]).unwrap();
         i.run_to_quiescence().unwrap();
         assert_eq!(i.array(1, "slots")[2], 88);
-        assert_eq!(i.array(1, "log")[2], 77, "second swap must observe the first value");
+        assert_eq!(
+            i.array(1, "log")[2],
+            77,
+            "second swap must observe the first value"
+        );
     }
 
     #[test]
@@ -993,7 +1051,10 @@ mod tests {
         let mut i = Interp::single(&prog);
         i.schedule(1, 0, "go", &[9]).unwrap();
         let err = i.run_to_quiescence().unwrap_err();
-        assert!(matches!(err, InterpError::IndexOutOfBounds { index: 9, .. }), "{err}");
+        assert!(
+            matches!(err, InterpError::IndexOutOfBounds { index: 9, .. }),
+            "{err}"
+        );
     }
 
     #[test]

@@ -31,7 +31,10 @@ pub struct EventVal {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Value {
     /// A fixed-width unsigned integer.
-    Int { v: u64, width: u32 },
+    Int {
+        v: u64,
+        width: u32,
+    },
     Bool(bool),
     Event(EventVal),
     Group(Vec<u64>),
@@ -41,7 +44,10 @@ pub enum Value {
 
 impl Value {
     pub fn int(v: u64, width: u32) -> Value {
-        Value::Int { v: lucid_check::mask(v, width), width }
+        Value::Int {
+            v: lucid_check::mask(v, width),
+            width,
+        }
     }
 
     /// The integer payload, if this is an integer.
@@ -71,7 +77,14 @@ impl fmt::Display for Value {
                 let args: Vec<String> = e.args.iter().map(|a| a.to_string()).collect();
                 write!(f, "{}({})", e.name, args.join(", "))
             }
-            Value::Group(g) => write!(f, "{{{}}}", g.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(", ")),
+            Value::Group(g) => write!(
+                f,
+                "{{{}}}",
+                g.iter()
+                    .map(|x| x.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
             Value::Void => write!(f, "()"),
         }
     }

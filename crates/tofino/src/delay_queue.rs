@@ -186,7 +186,11 @@ mod tests {
         // §7.2: "storing 90 64B events in a queue uses around 7KB".
         let q = DelayQueue::default();
         let r = q.delay_events(64, &vec![1_000_000; 90]);
-        assert!(r.buffer_bytes >= 5_000 && r.buffer_bytes <= 9_000, "{}", r.buffer_bytes);
+        assert!(
+            r.buffer_bytes >= 5_000 && r.buffer_bytes <= 9_000,
+            "{}",
+            r.buffer_bytes
+        );
     }
 
     #[test]
@@ -226,8 +230,14 @@ mod tests {
 
     #[test]
     fn longer_interval_lowers_bandwidth_raises_error() {
-        let short = DelayQueue { release_interval_ns: 10_000, ..DelayQueue::default() };
-        let long = DelayQueue { release_interval_ns: 100_000, ..DelayQueue::default() };
+        let short = DelayQueue {
+            release_interval_ns: 10_000,
+            ..DelayQueue::default()
+        };
+        let long = DelayQueue {
+            release_interval_ns: 100_000,
+            ..DelayQueue::default()
+        };
         let delays: Vec<u64> = (0..40).map(|i| 500_000 + i * 11_003).collect();
         let rs = short.delay_events(64, &delays);
         let rl = long.delay_events(64, &delays);
@@ -239,6 +249,6 @@ mod tests {
     fn all_events_execute_at_or_after_release_grid() {
         let q = DelayQueue::default();
         let r = q.delay_events(64, &[123_456, 999_999, 1]);
-        assert_eq!(r.total_passes >= 3, true);
+        assert!(r.total_passes >= 3);
     }
 }

@@ -67,7 +67,11 @@ pub fn figure16_rows(spec: &PipelineSpec) -> Vec<SfwModelRow> {
         .map(|flow_rate| {
             sfw_recirc_model(
                 spec,
-                SfwModelParams { table_size: 1 << 16, check_interval_s: 0.1, flow_rate },
+                SfwModelParams {
+                    table_size: 1 << 16,
+                    check_interval_s: 0.1,
+                    flow_rate,
+                },
             )
         })
         .collect()
@@ -116,7 +120,11 @@ mod tests {
         let spec = PipelineSpec::idealized_pisa();
         let r = sfw_recirc_model(
             &spec,
-            SfwModelParams { table_size: 1, check_interval_s: 1e12, flow_rate: 0.0 },
+            SfwModelParams {
+                table_size: 1,
+                check_interval_s: 1e12,
+                flow_rate: 0.0,
+            },
         );
         assert!((r.min_pkt_size_bytes - 125.0).abs() < 0.001);
     }
@@ -127,7 +135,11 @@ mod tests {
         let mk = |f| {
             sfw_recirc_model(
                 &spec,
-                SfwModelParams { table_size: 1 << 16, check_interval_s: 0.1, flow_rate: f },
+                SfwModelParams {
+                    table_size: 1 << 16,
+                    check_interval_s: 0.1,
+                    flow_rate: f,
+                },
             )
             .recirc_rate_pps
         };

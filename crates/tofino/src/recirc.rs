@@ -25,7 +25,10 @@ pub struct RecircPort {
 
 impl Default for RecircPort {
     fn default() -> Self {
-        RecircPort { rate_bps: 100_000_000_000, loop_ns: 600 }
+        RecircPort {
+            rate_bps: 100_000_000_000,
+            loop_ns: 600,
+        }
     }
 }
 
@@ -76,8 +79,8 @@ impl RecircPort {
         // longer than the unloaded loop time, the loop time *is* the
         // serialization backlog.
         let effective_loop = (self.loop_ns as f64).max(n as f64 * ser);
-        let bandwidth = (n as f64 * (pkt_bytes + WIRE_OVERHEAD_BYTES) as f64 * 8.0)
-            / (effective_loop * 1e-9);
+        let bandwidth =
+            (n as f64 * (pkt_bytes + WIRE_OVERHEAD_BYTES) as f64 * 8.0) / (effective_loop * 1e-9);
         let bandwidth = bandwidth.min(self.rate_bps as f64);
 
         let mut total_err = 0.0;
@@ -121,7 +124,11 @@ mod tests {
         let p = RecircPort::default();
         let r = p.delay_baseline(64, &[1_000_000]);
         // 672 bits / 600 ns = 1.12 Gb/s.
-        assert!((r.bandwidth_bps / 1e9 - 1.12).abs() < 0.01, "{}", r.bandwidth_bps);
+        assert!(
+            (r.bandwidth_bps / 1e9 - 1.12).abs() < 0.01,
+            "{}",
+            r.bandwidth_bps
+        );
     }
 
     #[test]
@@ -138,8 +145,8 @@ mod tests {
     #[test]
     fn bandwidth_grows_linearly_before_saturation() {
         let p = RecircPort::default();
-        let r10 = p.delay_baseline(64, &vec![1_000_000; 10]);
-        let r20 = p.delay_baseline(64, &vec![1_000_000; 20]);
+        let r10 = p.delay_baseline(64, &[1_000_000; 10]);
+        let r20 = p.delay_baseline(64, &[1_000_000; 20]);
         let ratio = r20.bandwidth_bps / r10.bandwidth_bps;
         assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
     }
@@ -147,7 +154,7 @@ mod tests {
     #[test]
     fn baseline_timing_error_is_small_when_unsaturated() {
         let p = RecircPort::default();
-        let r = p.delay_baseline(64, &vec![1_000_000; 10]);
+        let r = p.delay_baseline(64, &[1_000_000; 10]);
         // Error bounded by one loop (600 ns) on a 1 ms delay: < 0.1%.
         assert!(r.mean_relative_error < 0.001, "{}", r.mean_relative_error);
     }

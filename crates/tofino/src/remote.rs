@@ -29,7 +29,10 @@ pub struct RemoteControlModel {
 
 impl Default for RemoteControlModel {
     fn default() -> Self {
-        RemoteControlModel { floor_ns: 12_000.0, excess_mean_ns: 5_500.0 }
+        RemoteControlModel {
+            floor_ns: 12_000.0,
+            excess_mean_ns: 5_500.0,
+        }
     }
 }
 
@@ -37,8 +40,12 @@ impl RemoteControlModel {
     /// Sample `n` installation latencies (ns), deterministically from `seed`.
     pub fn sample(&self, n: usize, seed: u64) -> Vec<f64> {
         let mut rng = StdRng::seed_from_u64(seed);
-        let exp = Exp { mean: self.excess_mean_ns };
-        (0..n).map(|_| self.floor_ns + exp.sample(&mut rng)).collect()
+        let exp = Exp {
+            mean: self.excess_mean_ns,
+        };
+        (0..n)
+            .map(|_| self.floor_ns + exp.sample(&mut rng))
+            .collect()
     }
 
     /// Theoretical mean of the model.

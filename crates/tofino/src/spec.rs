@@ -51,7 +51,10 @@ impl PipelineSpec {
     /// The idealized PISA processor of §7.3: 1 B packets/s, 10 front-panel
     /// ports at 100 Gb/s plus a 100 Gb/s recirculation port.
     pub fn idealized_pisa() -> Self {
-        PipelineSpec { front_panel_ports: 10, ..Self::tofino() }
+        PipelineSpec {
+            front_panel_ports: 10,
+            ..Self::tofino()
+        }
     }
 
     /// Fair share of packet buffer per port (§7.2 quotes "a bit more than
@@ -79,8 +82,14 @@ pub struct StageUsage {
 
 impl StageUsage {
     /// Can this stage still take a table needing the given resources?
-    pub fn fits(&self, spec: &PipelineSpec, salus: usize, action_slots: usize, register_bits: u64) -> bool {
-        self.tables + 1 <= spec.tables_per_stage
+    pub fn fits(
+        &self,
+        spec: &PipelineSpec,
+        salus: usize,
+        action_slots: usize,
+        register_bits: u64,
+    ) -> bool {
+        self.tables < spec.tables_per_stage
             && self.salus + salus <= spec.salus_per_stage
             && self.action_slots + action_slots <= spec.action_slots_per_stage
             && self.register_bits + register_bits <= spec.register_bits_per_stage

@@ -27,7 +27,8 @@ fn main() {
     // handler inserts the victim into the Bloom blocklist on its own.
     sim.clear_trace();
     for i in 0..150u64 {
-        sim.schedule(1, 10_000 + i * 100, "dns_resp", &[VICTIM]).unwrap();
+        sim.schedule(1, 10_000 + i * 100, "dns_resp", &[VICTIM])
+            .unwrap();
     }
     sim.run_to_quiescence().unwrap();
     println!(
@@ -48,7 +49,8 @@ fn main() {
     sim.run(10_000_000, 2_200_000_000).unwrap();
 
     sim.clear_trace();
-    sim.schedule(1, sim.now_ns + 1_000, "client_pkt", &[1, VICTIM]).unwrap();
+    sim.schedule(1, sim.now_ns + 1_000, "client_pkt", &[1, VICTIM])
+        .unwrap();
     sim.run(100_000, sim.now_ns + 1_000_000).unwrap();
     println!("after aging sweep: victim reachable = {}", delivered(&sim));
 }

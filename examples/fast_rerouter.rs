@@ -32,7 +32,10 @@ fn main() {
     // Healthy phase.
     sim.schedule(1, 500_000, "pkt", &[DST]).unwrap();
     sim.run(500_000, 600_000).unwrap();
-    println!("healthy:             switch 1 delivers dst {DST} via {:?}", last_delivery(&sim));
+    println!(
+        "healthy:             switch 1 delivers dst {DST} via {:?}",
+        last_delivery(&sim)
+    );
 
     // Switch 2 dies. Its pongs stop; within STALE_US (500 µs) switch 1's
     // link-status entry for it goes stale.
@@ -45,13 +48,19 @@ fn main() {
     sim.clear_trace();
     sim.schedule(1, 1_400_000, "pkt", &[DST]).unwrap();
     sim.run(500_000, 1_500_000).unwrap();
-    let reroutes =
-        sim.trace.iter().filter(|h| h.event == "route_reply" && h.switch == 1).count();
+    let reroutes = sim
+        .trace
+        .iter()
+        .filter(|h| h.event == "route_reply" && h.switch == 1)
+        .count();
     println!("reroute triggered:   {} route replies received", reroutes);
 
     sim.schedule(1, 1_600_000, "pkt", &[DST]).unwrap();
     sim.run(500_000, 1_700_000).unwrap();
-    println!("after failover:      switch 1 delivers dst {DST} via {:?}", last_delivery(&sim));
+    println!(
+        "after failover:      switch 1 delivers dst {DST} via {:?}",
+        last_delivery(&sim)
+    );
 
     println!(
         "totals: {} events handled, {} recirculated, {} sent between switches, {} dropped at dead switch",

@@ -5,7 +5,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use lucid_core::{compile_source, Interp};
+use lucid_core::{Compiler, Interp};
 
 const PROGRAM: &str = r#"
     // A per-destination packet counter with a control event that ages it:
@@ -33,9 +33,13 @@ const PROGRAM: &str = r#"
 "#;
 
 fn main() {
-    // 1. Parse, type-check (memops + ordered effects), compile to the
-    //    Tofino pipeline model, and generate P4_16.
-    let art = compile_source("quickstart.lucid", PROGRAM).expect("program compiles");
+    // 1. Open a build session: parse, type-check (memops + ordered
+    //    effects), lay out against the Tofino pipeline model, and generate
+    //    P4_16 — each stage computed once, on demand.
+    let mut build = Compiler::new().build("quickstart.lucid", PROGRAM);
+    let art = build
+        .artifacts()
+        .unwrap_or_else(|_| panic!("program compiles:\n{}", build.render_diagnostics()));
     println!(
         "compiled: {} pipeline stages ({} before optimization), {} lines of P4",
         art.compiled.layout.total_stages,
@@ -48,7 +52,8 @@ fn main() {
     let mut sim = Interp::single(&art.checked);
     sim.schedule(1, 0, "reset", &[0]).expect("reset scheduled");
     for i in 0..1000u64 {
-        sim.schedule(1, 1_000 + i * 977, "pkt", &[i % 7]).expect("pkt scheduled");
+        sim.schedule(1, 1_000 + i * 977, "pkt", &[i % 7])
+            .expect("pkt scheduled");
     }
     // The aging thread never terminates, so run for a bounded window.
     sim.run(100_000, 2_000_000).expect("simulation runs");

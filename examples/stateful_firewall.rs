@@ -21,15 +21,24 @@ fn main() {
     let remote_mean = remote_times.iter().sum::<f64>() / remote_times.len() as f64;
 
     println!("integrated control (Lucid, in the data plane):");
-    println!("  inline installs (0 ns):  {:5.1}%", bench.frac_inline * 100.0);
+    println!(
+        "  inline installs (0 ns):  {:5.1}%",
+        bench.frac_inline * 100.0
+    );
     println!("  mean install time:       {mean:8.0} ns");
-    println!("  p99 install time:        {:8.0} ns", percentile(&bench.times_ns, 99.0));
+    println!(
+        "  p99 install time:        {:8.0} ns",
+        percentile(&bench.times_ns, 99.0)
+    );
     println!("  failed installs:         {:5}", bench.failures);
 
     println!("\nremote control (Mantis-style baseline on the switch CPU):");
     println!("  floor:                   {:8.0} ns", 12_000.0);
     println!("  mean install time:       {remote_mean:8.0} ns");
-    println!("  p99 install time:        {:8.0} ns", percentile(&remote_times, 99.0));
+    println!(
+        "  p99 install time:        {:8.0} ns",
+        percentile(&remote_times, 99.0)
+    );
 
     println!("\nspeedup (mean): {:.0}x", remote_mean / mean.max(1.0));
     println!("paper reports: avg 49 ns integrated vs 17.5 us remote — over 300x.");

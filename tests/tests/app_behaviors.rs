@@ -7,7 +7,9 @@ use lucid_check::CheckedProgram;
 use lucid_interp::{Interp, NetConfig};
 
 fn app(key: &str) -> CheckedProgram {
-    lucid_apps::by_key(key).unwrap_or_else(|| panic!("app {key}")).checked()
+    lucid_apps::by_key(key)
+        .unwrap_or_else(|| panic!("app {key}"))
+        .checked()
 }
 
 fn count(sim: &Interp<'_>, event: &str) -> usize {
@@ -26,7 +28,12 @@ fn rr_delivers_via_healthy_next_hop() {
     }
     sim.schedule(1, 400_000, "pkt", &[5]).unwrap();
     sim.run(200_000, 450_000).unwrap();
-    let d = sim.trace.iter().rev().find(|h| h.event == "deliver").expect("delivered");
+    let d = sim
+        .trace
+        .iter()
+        .rev()
+        .find(|h| h.event == "deliver")
+        .expect("delivered");
     assert_eq!(d.args, vec![5, 2], "delivered toward next hop 2");
 }
 
@@ -49,7 +56,12 @@ fn rr_reroutes_around_failed_switch() {
     sim.clear_trace();
     sim.schedule(1, 1_500_000, "pkt", &[5]).unwrap();
     sim.run(400_000, 1_600_000).unwrap();
-    let d = sim.trace.iter().rev().find(|h| h.event == "deliver").expect("delivered");
+    let d = sim
+        .trace
+        .iter()
+        .rev()
+        .find(|h| h.event == "deliver")
+        .expect("delivered");
     assert_eq!(d.args[1], 3, "rerouted via switch 3");
 }
 
@@ -119,7 +131,8 @@ fn dns_other_destinations_unaffected_by_block() {
     for i in 0..150u64 {
         sim.schedule(1, i * 100, "dns_resp", &[777]).unwrap();
     }
-    sim.schedule(1, 1_000_000, "client_pkt", &[1, 12345]).unwrap();
+    sim.schedule(1, 1_000_000, "client_pkt", &[1, 12345])
+        .unwrap();
     sim.run_to_quiescence().unwrap();
     assert_eq!(count(&sim, "deliver"), 1, "unrelated destination must pass");
 }
@@ -155,7 +168,11 @@ fn starflow_batches_same_flow() {
     let total_bytes: u64 = sim.array(1, "bytes").iter().sum();
     assert_eq!(total_pkts, 10);
     assert_eq!(total_bytes, 1_000);
-    assert_eq!(count(&sim, "flow_record"), 0, "no eviction for a single flow");
+    assert_eq!(
+        count(&sim, "flow_record"),
+        0,
+        "no eviction for a single flow"
+    );
 }
 
 #[test]
@@ -164,7 +181,8 @@ fn starflow_flush_exports_and_clears() {
     let mut sim = Interp::single(&prog);
     for key in [1u64, 2, 3] {
         for i in 0..5u64 {
-            sim.schedule(1, key * 10_000 + i * 100, "pkt", &[key, 64]).unwrap();
+            sim.schedule(1, key * 10_000 + i * 100, "pkt", &[key, 64])
+                .unwrap();
         }
     }
     sim.run_to_quiescence().unwrap();
@@ -188,13 +206,19 @@ fn starflow_eviction_exports_previous_batch() {
     // Find two keys that collide in the 1024-slot cache.
     let slot_of = |k: u64| lucid_interp::lucid_hash(10, 7, &[k]);
     let a = 1u64;
-    let b = (2..100_000u64).find(|&b| slot_of(b) == slot_of(a)).expect("collision exists");
+    let b = (2..100_000u64)
+        .find(|&b| slot_of(b) == slot_of(a))
+        .expect("collision exists");
     for i in 0..4u64 {
         sim.schedule(1, i * 1_000, "pkt", &[a, 100]).unwrap();
     }
     sim.schedule(1, 10_000, "pkt", &[b, 60]).unwrap();
     sim.run_to_quiescence().unwrap();
-    let rec = sim.trace.iter().find(|h| h.event == "flow_record").expect("evicted");
+    let rec = sim
+        .trace
+        .iter()
+        .find(|h| h.event == "flow_record")
+        .expect("evicted");
     assert_eq!(rec.args[0], a & 0xffff_ffff, "old flow exported");
     assert_eq!(rec.args[1], 4, "with its packet count");
     assert_eq!(sim.array(1, "evictions")[0], 1);
@@ -223,7 +247,8 @@ fn sro_sequencer_orders_concurrent_writes() {
     let mut sim = Interp::new(&prog, NetConfig::mesh(3));
     for i in 0..10u64 {
         let origin = 1 + (i % 3);
-        sim.schedule(origin, i * 10, "write_req", &[5, 1000 + i]).unwrap();
+        sim.schedule(origin, i * 10, "write_req", &[5, 1000 + i])
+            .unwrap();
     }
     sim.run_to_quiescence().unwrap();
     assert_eq!(sim.array(1, "seq")[0], 10);
@@ -246,9 +271,16 @@ fn sro_reads_are_local() {
     let remote_before = sim.stats.sent_remote;
     sim.schedule(2, 100_000, "read_req", &[3]).unwrap();
     sim.run_to_quiescence().unwrap();
-    let reply = sim.trace.iter().find(|h| h.event == "read_reply").expect("replied");
+    let reply = sim
+        .trace
+        .iter()
+        .find(|h| h.event == "read_reply")
+        .expect("replied");
     assert_eq!(reply.args, vec![3, 42]);
-    assert_eq!(sim.stats.sent_remote, remote_before, "no cross-switch traffic for reads");
+    assert_eq!(
+        sim.stats.sent_remote, remote_before,
+        "no cross-switch traffic for reads"
+    );
 }
 
 // --------------------------------------------------------------- DFW ----
@@ -303,7 +335,8 @@ fn dfw_aging_expires_idle_flows_after_two_rotations() {
     sim.run(20_000, 120_000_000).unwrap();
     assert!(sim.array(2, "active")[0] <= 1);
     sim.clear_trace();
-    sim.schedule(2, sim.now_ns + 1_000, "pkt_in", &[20, 10]).unwrap();
+    sim.schedule(2, sim.now_ns + 1_000, "pkt_in", &[20, 10])
+        .unwrap();
     sim.run(100_000, sim.now_ns + 5_000_000).unwrap();
     assert_eq!(count(&sim, "dropped"), 1, "both generations aged out");
 }
@@ -349,7 +382,11 @@ fn rip_forwards_data_packets_toward_destination() {
     sim.clear_trace();
     sim.schedule(1, 1_100_000, "pkt", &[4242]).unwrap();
     sim.run(50_000, 2_000_000).unwrap();
-    let d = sim.trace.iter().find(|h| h.event == "deliver").expect("delivered");
+    let d = sim
+        .trace
+        .iter()
+        .find(|h| h.event == "deliver")
+        .expect("delivered");
     assert_eq!(d.switch, 3, "delivered at the destination switch");
     assert_eq!(d.args[0], 4242);
 }
@@ -374,7 +411,11 @@ fn nat_allocates_and_translates_outbound() {
     sim.run_to_quiescence().unwrap();
     // The first packet was buffered (delayed recirculation) until the
     // alloc event installed the mapping, then translated.
-    let tx = sim.trace.iter().find(|h| h.event == "tx_out").expect("translated");
+    let tx = sim
+        .trace
+        .iter()
+        .find(|h| h.event == "tx_out")
+        .expect("translated");
     assert_eq!(tx.args[0], 1234);
     let port = tx.args[1];
     assert!(port > 0);
@@ -382,7 +423,11 @@ fn nat_allocates_and_translates_outbound() {
     sim.clear_trace();
     sim.schedule(1, 1_000_000, "pkt_in", &[port]).unwrap();
     sim.run_to_quiescence().unwrap();
-    let rx = sim.trace.iter().find(|h| h.event == "tx_in").expect("reverse translated");
+    let rx = sim
+        .trace
+        .iter()
+        .find(|h| h.event == "tx_in")
+        .expect("reverse translated");
     assert_eq!(rx.args, vec![port, 1234]);
 }
 
@@ -441,8 +486,16 @@ fn cm_sketch_counts_and_export_resets() {
         .map(|h| h.args[2])
         .sum();
     assert_eq!(exported_a, 25, "every count exported exactly once");
-    assert_eq!(sim.array(1, "cm_a").iter().sum::<u64>(), 0, "reset after export");
-    assert_eq!(sim.array(1, "epoch")[0], 1, "epoch bumped after a full sweep");
+    assert_eq!(
+        sim.array(1, "cm_a").iter().sum::<u64>(),
+        0,
+        "reset after export"
+    );
+    assert_eq!(
+        sim.array(1, "epoch")[0],
+        1,
+        "epoch bumped after a full sweep"
+    );
 }
 
 #[test]
@@ -453,7 +506,8 @@ fn cm_records_carry_epoch() {
     sim.run_to_quiescence().unwrap();
     sim.schedule(1, 10_000, "report", &[0]).unwrap();
     // Two full sweeps.
-    sim.run(50_000, 10_000 + 2 * 512 * 21_000 + 400_000).unwrap();
+    sim.run(50_000, 10_000 + 2 * 512 * 21_000 + 400_000)
+        .unwrap();
     let epochs: Vec<u64> = sim
         .trace
         .iter()
@@ -461,5 +515,8 @@ fn cm_records_carry_epoch() {
         .map(|h| h.args[0])
         .collect();
     assert!(!epochs.is_empty());
-    assert!(epochs.contains(&0), "first-epoch records tagged 0: {epochs:?}");
+    assert!(
+        epochs.contains(&0),
+        "first-epoch records tagged 0: {epochs:?}"
+    );
 }

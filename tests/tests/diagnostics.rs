@@ -28,11 +28,23 @@ handle setArr1(int idx, int data) {
     let (msg, _) = check_err(src);
     // Which array, at which line, conflicting with which earlier access,
     // and the remediation — all present.
-    assert!(msg.contains("`arr1` is accessed out of declaration order"), "{msg}");
-    assert!(msg.contains("test.lucid:7"), "points at the offending line: {msg}");
+    assert!(
+        msg.contains("`arr1` is accessed out of declaration order"),
+        "{msg}"
+    );
+    assert!(
+        msg.contains("test.lucid:7"),
+        "points at the offending line: {msg}"
+    );
     assert!(msg.contains("arr2"), "names the conflicting access: {msg}");
-    assert!(msg.contains("reorder the `global` declarations"), "suggests the fix: {msg}");
-    assert!(msg.contains("Array.set(arr1, idx, x);"), "quotes the source line: {msg}");
+    assert!(
+        msg.contains("reorder the `global` declarations"),
+        "suggests the fix: {msg}"
+    );
+    assert!(
+        msg.contains("Array.set(arr1, idx, x);"),
+        "quotes the source line: {msg}"
+    );
 }
 
 #[test]
@@ -45,7 +57,10 @@ handle go(int i) {
 }
 "#;
     let (msg, _) = check_err(src);
-    assert!(msg.contains("split this computation into a second"), "{msg}");
+    assert!(
+        msg.contains("split this computation into a second"),
+        "{msg}"
+    );
 }
 
 // --- §4.2: memop rejection ---------------------------------------------
@@ -58,7 +73,10 @@ fn memop_multiply_error_points_at_expression() {
     let err = lucid_check::check(program).unwrap_err();
     let msg = err.render(&sm);
     assert!(msg.contains("not supported inside a memop"), "{msg}");
-    assert!(msg.contains("`+`, `-`, `&`, `|`, `^`"), "lists what *is* allowed: {msg}");
+    assert!(
+        msg.contains("`+`, `-`, `&`, `|`, `^`"),
+        "lists what *is* allowed: {msg}"
+    );
     assert!(msg.contains("m * x"), "quotes the expression: {msg}");
 }
 
@@ -103,7 +121,10 @@ fn complex_memop_rejected_in_update_but_fine_in_set() {
     let err = lucid_check::parse_and_check(&bad).unwrap_err();
     let d = &err.items[0];
     assert!(d.message.contains("compound condition"), "{d}");
-    assert!(d.notes.iter().any(|(n, _)| n.contains("predicate slots")), "{d:?}");
+    assert!(
+        d.notes.iter().any(|(n, _)| n.contains("predicate slots")),
+        "{d:?}"
+    );
 }
 
 // --- recursion & events --------------------------------------------------
@@ -114,7 +135,10 @@ fn recursion_error_teaches_generate() {
         "fun int f(int x) { return f(x); }\nevent go(int x);\nhandle go(int x) { int y = f(x); }\n",
     );
     assert!(msg.contains("recursive call"), "{msg}");
-    assert!(msg.contains("generate"), "points to the event-based idiom: {msg}");
+    assert!(
+        msg.contains("generate"),
+        "points to the event-based idiom: {msg}"
+    );
 }
 
 #[test]
@@ -150,20 +174,28 @@ fn parse_error_has_caret_under_token() {
     let msg = err.render(&SourceMap::new("p.lucid", src));
     assert!(msg.contains("expected an expression"), "{msg}");
     let caret_line = msg.lines().last().unwrap();
-    assert!(caret_line.trim_end().ends_with('^'), "caret under the token: {msg}");
+    assert!(
+        caret_line.trim_end().ends_with('^'),
+        "caret under the token: {msg}"
+    );
 }
 
 // --- backend-level --------------------------------------------------------
 
 #[test]
 fn backend_rejects_variable_multiplication_with_advice() {
-    let err = lucid_core::compile_source(
+    let mut build = lucid_core::Compiler::new().build(
         "b.lucid",
         "event go(int x, int y);\nevent out(int x);\nhandle go(int x, int y) { generate out(x * y); }\n",
-    )
-    .unwrap_err();
-    assert!(err.rendered.contains("match-action ALU"), "{err}");
-    assert!(err.rendered.contains("restructure"), "{err}");
+    );
+    assert!(build.p4().is_err());
+    let msg = build.render_diagnostics();
+    assert!(msg.contains("match-action ALU"), "{msg}");
+    assert!(msg.contains("restructure"), "{msg}");
+    assert!(
+        msg.contains("[E0600]"),
+        "backend errors carry the phase code: {msg}"
+    );
 }
 
 #[test]
@@ -176,8 +208,14 @@ fn backend_reports_pipeline_exhaustion_with_stage_count() {
     let src = format!(
         "event go(int a);\nevent out(int x);\nhandle go(int a) {{ {body} generate out(x13); }}\n"
     );
-    let err = lucid_core::compile_source("deep.lucid", &src).unwrap_err();
-    assert!(err.rendered.contains("stages are exhausted"), "{err}");
+    let mut build = lucid_core::Compiler::new().build("deep.lucid", &src);
+    assert!(build.layout().is_err());
+    let msg = build.render_diagnostics();
+    assert!(msg.contains("stages are exhausted"), "{msg}");
+    assert!(
+        msg.contains("[E0700]"),
+        "layout errors carry the phase code: {msg}"
+    );
 }
 
 // --- contrast: the P4 experience the paper describes ----------------------

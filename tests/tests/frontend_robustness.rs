@@ -49,17 +49,18 @@ proptest! {
         }
     }
 
-    /// Truncating a valid program anywhere never panics any phase.
+    /// Truncating a valid program anywhere never panics any phase: a build
+    /// session driven to P4 either succeeds or reports diagnostics.
     #[test]
     fn pipeline_total_on_truncated_apps(idx in 0usize..10, frac in 0.0f64..1.0) {
         let app = lucid_apps::all().swap_remove(idx);
         let cut = (app.source.len() as f64 * frac) as usize;
         let cut = (0..=cut).rev().find(|&p| app.source.is_char_boundary(p)).unwrap_or(0);
         let src = &app.source[..cut];
-        if let Ok(program) = lucid_frontend::parse_program(src) {
-            if let Ok(checked) = lucid_check::check(program) {
-                let _ = lucid_backend::compile(&checked);
-            }
+        let mut build = lucid_core::Compiler::new().build("truncated.lucid", src);
+        if build.p4().is_err() {
+            let _ = build.render_diagnostics();
+            let _ = build.diagnostics_json();
         }
     }
 }

@@ -3,15 +3,22 @@
 //! P4 is structurally complete, and the evaluation metrics are internally
 //! consistent.
 
-use lucid_backend::{compile, elaborate, place, LayoutOptions};
-use lucid_tofino::PipelineSpec;
+use lucid_core::{Artifacts, Compiler, LayoutOptions, PipelineSpec};
 use std::collections::HashMap;
+
+/// Compile one bundled app through a build session.
+fn build_app(app: &lucid_apps::AppInfo) -> Artifacts {
+    let mut build = Compiler::new().build(app.key, app.source);
+    build
+        .artifacts()
+        .unwrap_or_else(|_| panic!("{} compiles:\n{}", app.key, build.render_diagnostics()))
+}
 
 #[test]
 fn every_array_lives_in_exactly_one_stage() {
     for app in lucid_apps::all() {
-        let prog = app.checked();
-        let c = compile(&prog).unwrap();
+        let art = build_app(&app);
+        let c = art.compiled;
         // Each array appears in the stage map once, and in stage_stats in
         // exactly that stage.
         for (gid, stage) in &c.layout.array_stage {
@@ -34,8 +41,8 @@ fn placement_respects_data_dependencies() {
     // committed placement honors them (writer strictly before reader on
     // non-exclusive paths).
     for app in lucid_apps::all() {
-        let prog = app.checked();
-        let c = compile(&prog).unwrap();
+        let art = build_app(&app);
+        let c = art.compiled;
         let stage_of: HashMap<(String, usize), usize> = c
             .layout
             .placements
@@ -74,8 +81,8 @@ fn placement_respects_data_dependencies() {
 fn stage_resources_stay_within_the_spec() {
     let spec = PipelineSpec::tofino();
     for app in lucid_apps::all() {
-        let prog = app.checked();
-        let c = compile(&prog).unwrap();
+        let art = build_app(&app);
+        let c = art.compiled;
         for (i, st) in c.layout.stage_stats.iter().enumerate() {
             assert!(
                 st.arrays.len() <= spec.salus_per_stage,
@@ -103,24 +110,43 @@ fn stage_resources_stay_within_the_spec() {
 #[test]
 fn generated_p4_is_structurally_complete() {
     for app in lucid_apps::all() {
-        let prog = app.checked();
-        let c = compile(&prog).unwrap();
+        let art = build_app(&app);
+        let (prog, c) = (art.checked, art.compiled);
         let p4 = &c.p4.source;
         // One header + one parser state per event.
         for ev in &prog.info.events {
-            assert!(p4.contains(&format!("header ev_{}_t", ev.name)), "{}: {}", app.key, ev.name);
-            assert!(p4.contains(&format!("parse_ev_{}", ev.name)), "{}: {}", app.key, ev.name);
+            assert!(
+                p4.contains(&format!("header ev_{}_t", ev.name)),
+                "{}: {}",
+                app.key,
+                ev.name
+            );
+            assert!(
+                p4.contains(&format!("parse_ev_{}", ev.name)),
+                "{}: {}",
+                app.key,
+                ev.name
+            );
         }
         // One register per global.
         for g in &prog.info.globals {
-            assert!(p4.contains(&format!("reg_{}", g.name)), "{}: {}", app.key, g.name);
+            assert!(
+                p4.contains(&format!("reg_{}", g.name)),
+                "{}: {}",
+                app.key,
+                g.name
+            );
         }
         // Scheduler skeleton present.
         assert!(p4.contains("lucid_dispatch"), "{}", app.key);
         assert!(p4.contains("control LucidEgress"), "{}", app.key);
         // Every memory table got a RegisterAction.
-        let mem_tables: usize =
-            c.handlers.iter().flat_map(|h| &h.tables).filter(|t| t.op.salus() > 0).count();
+        let mem_tables: usize = c
+            .handlers
+            .iter()
+            .flat_map(|h| &h.tables)
+            .filter(|t| t.op.salus() > 0)
+            .count();
         let reg_actions = p4.matches("RegisterAction<").count();
         assert_eq!(reg_actions, mem_tables, "{}", app.key);
     }
@@ -129,8 +155,8 @@ fn generated_p4_is_structurally_complete() {
 #[test]
 fn loc_classification_is_complete_and_disjoint() {
     for app in lucid_apps::all() {
-        let prog = app.checked();
-        let c = compile(&prog).unwrap();
+        let art = build_app(&app);
+        let c = art.compiled;
         let nonblank = c.p4.source.lines().filter(|l| !l.trim().is_empty()).count();
         assert_eq!(c.p4.loc.total(), nonblank, "{}", app.key);
     }
@@ -140,53 +166,49 @@ fn loc_classification_is_complete_and_disjoint() {
 fn merge_key_budget_trades_tables_for_stages() {
     // DESIGN.md §4 ablation: a tighter merge budget means more logical
     // tables per stage are needed, which can only lengthen the pipeline.
+    // One session, retargeted: the front end runs once for both layouts.
     let app = lucid_apps::by_key("dns").unwrap();
-    let prog = app.checked();
-    let handlers = elaborate(&prog).unwrap();
-    let tall = PipelineSpec { stages: 256, ..PipelineSpec::tofino() };
-    let tight = place(
-        &prog,
-        &handlers,
-        &tall,
-        LayoutOptions { merge_key_budget: 1, ..LayoutOptions::default() },
-    )
-    .unwrap();
-    let loose = place(
-        &prog,
-        &handlers,
-        &tall,
-        LayoutOptions { merge_key_budget: 8, ..LayoutOptions::default() },
-    )
-    .unwrap();
-    assert!(
-        tight.total_stages >= loose.total_stages,
-        "tight {} vs loose {}",
-        tight.total_stages,
-        loose.total_stages
+    let tall = PipelineSpec {
+        stages: 256,
+        ..PipelineSpec::tofino()
+    };
+    let mut build = Compiler::new()
+        .target(tall.clone())
+        .layout(LayoutOptions {
+            merge_key_budget: 1,
+            ..LayoutOptions::default()
+        })
+        .build(app.key, app.source);
+    let tight = build.layout().unwrap().total_stages;
+    build.reconfigure(&Compiler::new().target(tall).layout(LayoutOptions {
+        merge_key_budget: 8,
+        ..LayoutOptions::default()
+    }));
+    let loose = build.layout().unwrap().total_stages;
+    assert!(tight >= loose, "tight {tight} vs loose {loose}");
+    assert_eq!(
+        build.stats().check_runs,
+        1,
+        "front end ran once for both targets"
     );
 }
 
 #[test]
 fn dispatcher_overhead_is_exactly_configured() {
     let app = lucid_apps::by_key("cm").unwrap();
-    let prog = app.checked();
-    let handlers = elaborate(&prog).unwrap();
-    let spec = PipelineSpec::tofino();
-    let with0 = place(
-        &prog,
-        &handlers,
-        &spec,
-        LayoutOptions { dispatcher_stages: 0, ..LayoutOptions::default() },
-    )
-    .unwrap();
-    let with2 = place(
-        &prog,
-        &handlers,
-        &spec,
-        LayoutOptions { dispatcher_stages: 2, ..LayoutOptions::default() },
-    )
-    .unwrap();
-    assert_eq!(with2.total_stages, with0.total_stages + 2);
+    let mut build = Compiler::new()
+        .layout(LayoutOptions {
+            dispatcher_stages: 0,
+            ..LayoutOptions::default()
+        })
+        .build(app.key, app.source);
+    let with0 = build.layout().unwrap().total_stages;
+    build.reconfigure(&Compiler::new().layout(LayoutOptions {
+        dispatcher_stages: 2,
+        ..LayoutOptions::default()
+    }));
+    let with2 = build.layout().unwrap().total_stages;
+    assert_eq!(with2, with0 + 2);
 }
 
 #[test]
@@ -212,11 +234,10 @@ fn unoptimized_depth_counts_branch_tables() {
             }
         }
     "#;
-    let prog = lucid_check::parse_and_check(src).unwrap();
-    let handlers = elaborate(&prog).unwrap();
-    assert_eq!(handlers[0].unoptimized_depth, 7);
-    let c = compile(&prog).unwrap();
-    assert!(c.layout.total_stages <= 5, "optimized to {}", c.layout.total_stages);
+    let mut build = Compiler::new().build("fig6.lucid", src);
+    assert_eq!(build.handlers().unwrap()[0].unoptimized_depth, 7);
+    let stages = build.layout().unwrap().total_stages;
+    assert!(stages <= 5, "optimized to {stages}");
 }
 
 #[test]
@@ -224,8 +245,8 @@ fn stage_counts_are_in_the_papers_range() {
     // Figure 9 reports 5–12 stages across the suite; our model should land
     // every app in 4–12 (SRO is naturally small).
     for app in lucid_apps::all() {
-        let prog = app.checked();
-        let c = compile(&prog).unwrap();
+        let art = build_app(&app);
+        let c = art.compiled;
         assert!(
             (4..=12).contains(&c.layout.total_stages),
             "{}: {} stages",
@@ -242,8 +263,8 @@ fn lucid_shorter_than_generated_register_actions_plus_tables() {
     let mut total_lucid = 0usize;
     let mut total_p4 = 0usize;
     for app in lucid_apps::all() {
-        let prog = app.checked();
-        let c = compile(&prog).unwrap();
+        let art = build_app(&app);
+        let c = art.compiled;
         total_lucid += app.lucid_loc();
         total_p4 += c.p4.loc.total();
     }

@@ -37,9 +37,11 @@ proptest! {
         let order: Vec<usize> =
             mask.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
         let src = program_with_access_order(8, &order);
-        let prog = parse_and_check(&src).expect("ordered program must check");
-        // Compiles (8 arrays + dispatcher fits the 12-stage Tofino).
-        lucid_backend::compile(&prog).expect("ordered program must place");
+        // One session drives check → layout → P4 (8 arrays + dispatcher
+        // fits the 12-stage Tofino).
+        let mut build = lucid_core::Compiler::new().build("ordered.lucid", &src);
+        prop_assert!(build.p4().is_ok(), "{}", build.render_diagnostics());
+        let prog = build.checked().expect("checks").clone();
         // And runs: one event touches each selected array once.
         let mut sim = Interp::single(&prog);
         sim.schedule(1, 0, "go", &[3]).unwrap();
@@ -188,14 +190,22 @@ fn pretty_printer_roundtrips_all_apps() {
 }
 
 /// Compilation is deterministic: identical input yields identical layout
-/// and identical P4 text.
+/// and identical P4 text, across independent build sessions.
 #[test]
 fn compilation_is_deterministic() {
     for app in lucid_apps::all() {
-        let prog = app.checked();
-        let a = lucid_backend::compile(&prog).unwrap();
-        let b = lucid_backend::compile(&prog).unwrap();
-        assert_eq!(a.p4.source, b.p4.source, "{}", app.key);
-        assert_eq!(a.layout.total_stages, b.layout.total_stages);
+        let compiler = lucid_core::Compiler::new();
+        let mut a = compiler.build(app.key, app.source);
+        let mut b = compiler.build(app.key, app.source);
+        assert_eq!(
+            a.p4().unwrap().source,
+            b.p4().unwrap().source,
+            "{}",
+            app.key
+        );
+        assert_eq!(
+            a.layout().unwrap().total_stages,
+            b.layout().unwrap().total_stages
+        );
     }
 }

@@ -1,0 +1,269 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! A plain timing loop behind criterion's API shape: each benchmark runs
+//! `sample_size` timed iterations after a short warm-up and prints the mean
+//! wall time per iteration (plus element throughput when configured). No
+//! statistical analysis, outlier detection, or HTML reports.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    #[allow(dead_code)]
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let report = run_bench(self, &mut f);
+        print_report(name, &report, None);
+        self
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let report = run_bench(self.criterion, &mut f);
+        print_report(
+            &format!("{}/{}", self.name, id),
+            &report,
+            self.throughput.as_ref(),
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let report = run_bench(self.criterion, &mut |b: &mut Bencher| f(b, input));
+        print_report(
+            &format!("{}/{}", self.name, id),
+            &report,
+            self.throughput.as_ref(),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifier of one parameterized benchmark.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Units processed per iteration, for throughput reporting.
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Handed to benchmark closures; `iter` runs the measured routine.
+pub struct Bencher {
+    mode: Mode,
+    total: Duration,
+    iters: u64,
+}
+
+enum Mode {
+    WarmUp { until: Instant },
+    Measure { samples: usize },
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match self.mode {
+            Mode::WarmUp { until } => {
+                while Instant::now() < until {
+                    black_box(routine());
+                }
+            }
+            Mode::Measure { samples } => {
+                let start = Instant::now();
+                for _ in 0..samples {
+                    black_box(routine());
+                }
+                self.total += start.elapsed();
+                self.iters += samples as u64;
+            }
+        }
+    }
+}
+
+/// Prevent the optimizer from deleting a benchmark's result.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+struct Report {
+    mean: Duration,
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(c: &Criterion, f: &mut F) -> Report {
+    let mut warm = Bencher {
+        mode: Mode::WarmUp {
+            until: Instant::now() + c.warm_up_time,
+        },
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut warm);
+    let mut bench = Bencher {
+        mode: Mode::Measure {
+            samples: c.sample_size,
+        },
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut bench);
+    let iters = bench.iters.max(1);
+    Report {
+        mean: bench.total / iters as u32,
+    }
+}
+
+fn print_report(name: &str, report: &Report, throughput: Option<&Throughput>) {
+    let mean_ns = report.mean.as_nanos();
+    match throughput {
+        Some(Throughput::Elements(n)) if mean_ns > 0 => {
+            let rate = *n as f64 / report.mean.as_secs_f64();
+            println!("{name:<50} {mean_ns:>12} ns/iter  {rate:>14.0} elem/s");
+        }
+        Some(Throughput::Bytes(n)) if mean_ns > 0 => {
+            let rate = *n as f64 / report.mean.as_secs_f64();
+            println!("{name:<50} {mean_ns:>12} ns/iter  {rate:>14.0} B/s");
+        }
+        _ => println!("{name:<50} {mean_ns:>12} ns/iter"),
+    }
+}
+
+/// Collect benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = <$crate::Criterion as ::std::default::Default>::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Entry point running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("scaled", 7), &7u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn group_and_macros_run() {
+        criterion_group! {
+            name = benches;
+            config = Criterion::default().sample_size(2)
+                .warm_up_time(std::time::Duration::from_millis(1))
+                .measurement_time(std::time::Duration::from_millis(1));
+            targets = sample_bench
+        }
+        benches();
+    }
+}
