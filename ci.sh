@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# CI gate: tier-1 verification plus style and lint checks.
+# CI gate: tier-1 verification plus style, lint, simulation, and bench checks.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -14,5 +14,41 @@ cargo fmt --check
 
 echo "== clippy"
 cargo clippy --all-targets --workspace -- -D warnings
+
+echo "== sim gate"
+# Every checked-in scenario must run green against its app: the file
+# crates/apps/scenarios/<app>[.variant].sim.json pairs with
+# crates/apps/programs/<app>.lucid. Run each under both engines.
+shopt -s nullglob
+scenarios=(crates/apps/scenarios/*.sim.json)
+if [ "${#scenarios[@]}" -lt 4 ]; then
+  echo "sim gate: expected at least 4 scenarios, found ${#scenarios[@]}" >&2
+  exit 1
+fi
+for sc in "${scenarios[@]}"; do
+  base=$(basename "$sc" .sim.json)
+  app=${base%%.*}
+  prog="crates/apps/programs/$app.lucid"
+  for engine in sequential sharded; do
+    echo "-- sim [$engine] $sc"
+    target/release/lucidc sim --engine="$engine" "$prog" "$sc"
+  done
+done
+
+echo "== bench smoke"
+# Every figure binary must run in smoke mode and emit parseable JSON.
+json_check() {
+  if command -v jq >/dev/null 2>&1; then
+    jq -e . >/dev/null
+  else
+    python3 -c 'import json,sys; json.load(sys.stdin)'
+  fi
+}
+for bin in fig09_apps fig10_loc_breakdown fig11_compile_times fig12_stage_ratio \
+           fig13_parallelism fig14_delay_queue fig15_recirc_uses fig16_sfw_model \
+           fig17_sfw_install fig_sim_throughput; do
+  echo "-- bench $bin"
+  target/release/"$bin" --smoke --json | json_check
+done
 
 echo "CI OK"

@@ -2,8 +2,26 @@
 //! LoC, (generated) P4 LoC, and Tofino pipeline stages.
 
 fn main() {
+    let mode = lucid_bench::BenchMode::from_args();
+    let data = lucid_bench::figure09();
+    if mode.json {
+        use lucid_bench::jsonout;
+        let rows: Vec<String> = data
+            .iter()
+            .map(|r| {
+                jsonout::obj(&[
+                    ("app", jsonout::s(r.app.key)),
+                    ("lucid_loc", r.lucid_loc.to_string()),
+                    ("p4_loc", r.p4_loc.to_string()),
+                    ("stages", r.stages.to_string()),
+                ])
+            })
+            .collect();
+        jsonout::emit("fig09", &rows);
+        return;
+    }
     println!("Figure 9 — applications with data-plane integrated control\n");
-    let rows: Vec<Vec<String>> = lucid_bench::figure09()
+    let rows: Vec<Vec<String>> = data
         .into_iter()
         .map(|r| {
             vec![

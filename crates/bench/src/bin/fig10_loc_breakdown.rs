@@ -3,8 +3,31 @@
 //! whole Lucid program's line count.
 
 fn main() {
+    let mode = lucid_bench::BenchMode::from_args();
+    let data = lucid_bench::figure10();
+    if mode.json {
+        use lucid_bench::jsonout;
+        let rows: Vec<String> = data
+            .iter()
+            .map(|r| {
+                jsonout::obj(&[
+                    ("app", jsonout::s(r.key)),
+                    ("actions", r.p4.actions.to_string()),
+                    ("reg_actions", r.p4.reg_actions.to_string()),
+                    ("tables", r.p4.tables.to_string()),
+                    ("headers", r.p4.headers.to_string()),
+                    ("parsers", r.p4.parsers.to_string()),
+                    ("other", r.p4.control.to_string()),
+                    ("total", r.p4.total().to_string()),
+                    ("lucid_loc", r.lucid_loc.to_string()),
+                ])
+            })
+            .collect();
+        jsonout::emit("fig10", &rows);
+        return;
+    }
     println!("Figure 10 — breakdown of P4 code vs Lucid\n");
-    let rows: Vec<Vec<String>> = lucid_bench::figure10()
+    let rows: Vec<Vec<String>> = data
         .into_iter()
         .map(|r| {
             vec![

@@ -5,8 +5,30 @@
 //! developer actually feels.
 
 fn main() {
+    let mode = lucid_bench::BenchMode::from_args();
+    let data = lucid_bench::figure11();
+    if mode.json {
+        use lucid_bench::jsonout;
+        let rows: Vec<String> = data
+            .iter()
+            .map(|r| {
+                jsonout::obj(&[
+                    ("app", jsonout::s(r.key)),
+                    ("compile_time_us", jsonout::f(r.compile_time_us)),
+                    (
+                        "paper_dev_time",
+                        r.paper_dev_time
+                            .map(jsonout::s)
+                            .unwrap_or_else(|| "null".to_string()),
+                    ),
+                ])
+            })
+            .collect();
+        jsonout::emit("fig11", &rows);
+        return;
+    }
     println!("Figure 11 — development time (paper, human study) and compile time (ours)\n");
-    let rows: Vec<Vec<String>> = lucid_bench::figure11()
+    let rows: Vec<Vec<String>> = data
         .into_iter()
         .map(|r| {
             vec![

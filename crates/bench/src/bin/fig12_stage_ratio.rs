@@ -3,8 +3,32 @@
 //! tables included), plus the rearrangement ablation.
 
 fn main() {
+    let mode = lucid_bench::BenchMode::from_args();
+    let data = lucid_bench::figure12();
+    if mode.json {
+        use lucid_bench::jsonout;
+        let rows: Vec<String> = data
+            .iter()
+            .map(|r| {
+                jsonout::obj(&[
+                    ("app", jsonout::s(r.key)),
+                    ("unoptimized", r.unoptimized_stages.to_string()),
+                    ("optimized", r.optimized_stages.to_string()),
+                    ("ratio", jsonout::f(r.ratio)),
+                    (
+                        "no_rearrange",
+                        r.no_rearrange_stages
+                            .map(|n| n.to_string())
+                            .unwrap_or_else(|| "null".to_string()),
+                    ),
+                ])
+            })
+            .collect();
+        jsonout::emit("fig12", &rows);
+        return;
+    }
     println!("Figure 12 — optimized stage count vs unoptimized\n");
-    let rows: Vec<Vec<String>> = lucid_bench::figure12()
+    let rows: Vec<Vec<String>> = data
         .into_iter()
         .map(|r| {
             vec![

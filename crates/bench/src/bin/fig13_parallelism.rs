@@ -3,8 +3,25 @@
 //! how much instruction-level parallelism the merge/rearrange passes find.
 
 fn main() {
+    let mode = lucid_bench::BenchMode::from_args();
+    let data = lucid_bench::figure13();
+    if mode.json {
+        use lucid_bench::jsonout;
+        let rows: Vec<String> = data
+            .iter()
+            .map(|r| {
+                jsonout::obj(&[
+                    ("app", jsonout::s(r.key)),
+                    ("mean_alu_per_stage", jsonout::f(r.mean_alu_per_stage)),
+                    ("max_alu_per_stage", r.max_alu_per_stage.to_string()),
+                ])
+            })
+            .collect();
+        jsonout::emit("fig13", &rows);
+        return;
+    }
     println!("Figure 13 — ALU instructions per stage in optimized code\n");
-    let rows: Vec<Vec<String>> = lucid_bench::figure13()
+    let rows: Vec<Vec<String>> = data
         .into_iter()
         .map(|r| {
             vec![

@@ -4,8 +4,27 @@
 //! 100 Gb/s recirculation port.
 
 fn main() {
+    let mode = lucid_bench::BenchMode::from_args();
+    let data = lucid_bench::figure14();
+    if mode.json {
+        use lucid_bench::jsonout;
+        let rows: Vec<String> = data
+            .iter()
+            .map(|p| {
+                jsonout::obj(&[
+                    ("events", p.concurrent_events.to_string()),
+                    ("baseline_gbps", jsonout::f(p.baseline_gbps)),
+                    ("delay_queue_gbps", jsonout::f(p.delay_queue_gbps)),
+                    ("baseline_rel_err", jsonout::f(p.baseline_rel_err)),
+                    ("delay_queue_rel_err", jsonout::f(p.delay_queue_rel_err)),
+                ])
+            })
+            .collect();
+        jsonout::emit("fig14", &rows);
+        return;
+    }
     println!("Figure 14 — pausable queue overhead and accuracy\n");
-    let rows: Vec<Vec<String>> = lucid_bench::figure14()
+    let rows: Vec<Vec<String>> = data
         .into_iter()
         .map(|p| {
             vec![

@@ -2,8 +2,26 @@
 //! the asymptotic recirculation rate per class.
 
 fn main() {
+    let mode = lucid_bench::BenchMode::from_args();
+    let data = lucid_bench::figure15();
+    if mode.json {
+        use lucid_bench::jsonout;
+        let rows: Vec<String> = data
+            .iter()
+            .map(|(class, apps)| {
+                let app_list: Vec<String> = apps.iter().map(|a| jsonout::s(a)).collect();
+                jsonout::obj(&[
+                    ("class", jsonout::s(class.label())),
+                    ("rate", jsonout::s(class.rate())),
+                    ("apps", format!("[{}]", app_list.join(","))),
+                ])
+            })
+            .collect();
+        jsonout::emit("fig15", &rows);
+        return;
+    }
     println!("Figure 15 — recirculation uses in the Figure 9 applications\n");
-    let rows: Vec<Vec<String>> = lucid_bench::figure15()
+    let rows: Vec<Vec<String>> = data
         .into_iter()
         .map(|(class, apps)| {
             vec![

@@ -3,9 +3,27 @@
 //! the idealized PISA processor of §7.3.
 
 fn main() {
+    let mode = lucid_bench::BenchMode::from_args();
+    let data = lucid_bench::figure16();
+    if mode.json {
+        use lucid_bench::jsonout;
+        let rows: Vec<String> = data
+            .iter()
+            .map(|r| {
+                jsonout::obj(&[
+                    ("flow_rate", jsonout::f(r.flow_rate)),
+                    ("recirc_rate_pps", jsonout::f(r.recirc_rate_pps)),
+                    ("pipeline_utilization", jsonout::f(r.pipeline_utilization)),
+                    ("min_pkt_size_bytes", jsonout::f(r.min_pkt_size_bytes)),
+                ])
+            })
+            .collect();
+        jsonout::emit("fig16", &rows);
+        return;
+    }
     println!("Figure 16 — modeled worst-case SFW recirculation overhead");
     println!("(N = 2^16, i = 100 ms; r = N/i + f*log2(N))\n");
-    let rows: Vec<Vec<String>> = lucid_bench::figure16()
+    let rows: Vec<Vec<String>> = data
         .into_iter()
         .map(|r| {
             vec![

@@ -4,8 +4,22 @@
 //! baseline (Mantis latency model).
 
 fn main() {
-    println!("Figure 17 — SFW flow installation times (1000 trials)\n");
-    let f = lucid_bench::figure17(1000, 2021);
+    let mode = lucid_bench::BenchMode::from_args();
+    let trials = mode.trials(1000, 100);
+    let f = lucid_bench::figure17(trials, 2021);
+    if mode.json {
+        use lucid_bench::jsonout;
+        let row = jsonout::obj(&[
+            ("trials", trials.to_string()),
+            ("integrated_mean_ns", jsonout::f(f.integrated_mean_ns)),
+            ("remote_mean_ns", jsonout::f(f.remote_mean_ns)),
+            ("speedup", jsonout::f(f.speedup)),
+            ("frac_inline", jsonout::f(f.frac_inline)),
+        ]);
+        jsonout::emit("fig17", &[row]);
+        return;
+    }
+    println!("Figure 17 — SFW flow installation times ({trials} trials)\n");
 
     println!("integrated control (Lucid):");
     print_cdf(&f.integrated);

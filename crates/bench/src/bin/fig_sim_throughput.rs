@@ -1,0 +1,75 @@
+//! Simulation throughput: the sequential reference engine vs the sharded
+//! epoch-barrier engine on a cross-traffic-heavy switch mesh (not a paper
+//! figure — it benchmarks this reproduction's own `lucidc sim` subsystem).
+//!
+//! Correctness gate first: the two engines must produce byte-identical
+//! final array state. Then events/sec. The speedup column reflects the
+//! host: with one core the sharded engine only pays barrier overhead;
+//! with many it spreads per-switch handler work across the worker pool.
+
+fn main() {
+    let mode = lucid_bench::BenchMode::from_args();
+    let (switches, injected, ttl) = if mode.smoke { (8, 40, 3) } else { (16, 400, 4) };
+    let t = lucid_bench::sim_throughput(switches, injected, ttl, 0);
+    assert!(
+        t.identical,
+        "engines disagree on final array state — determinism bug"
+    );
+
+    if mode.json {
+        use lucid_bench::jsonout;
+        let rows: Vec<String> = t
+            .rows
+            .iter()
+            .map(|r| {
+                jsonout::obj(&[
+                    ("engine", jsonout::s(r.engine)),
+                    ("events_processed", r.events_processed.to_string()),
+                    ("wall_ms", jsonout::f(r.wall_ms)),
+                    ("events_per_sec", jsonout::f(r.events_per_sec)),
+                ])
+            })
+            .collect();
+        let doc = format!(
+            "{{\"figure\":\"fig_sim_throughput\",\"switches\":{},\"injected_per_switch\":{},\
+             \"workers\":{},\"identical\":{},\"speedup\":{},\"rows\":[{}]}}",
+            t.switches,
+            t.injected_per_switch,
+            t.workers,
+            t.identical,
+            jsonout::f(t.speedup),
+            rows.join(",")
+        );
+        println!("{doc}");
+        return;
+    }
+
+    println!(
+        "Simulation throughput — {} switches, {} injected events/switch, {} workers\n",
+        t.switches, t.injected_per_switch, t.workers
+    );
+    let rows: Vec<Vec<String>> = t
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.engine.to_string(),
+                r.events_processed.to_string(),
+                format!("{:.1}", r.wall_ms),
+                format!("{:.0}", r.events_per_sec),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        lucid_bench::render_table(&["engine", "events", "wall ms", "events/sec"], &rows)
+    );
+    println!(
+        "\nfinal array state identical across engines: {}",
+        t.identical
+    );
+    println!(
+        "sharded speedup: {:.2}x ({} worker threads; expect ~1x on single-core hosts)",
+        t.speedup, t.workers
+    );
+}

@@ -19,9 +19,76 @@
 
 use lucid_apps::AppInfo;
 use lucid_backend::P4Loc;
-use lucid_core::{Build, Compiler, LayoutOptions, PipelineSpec};
+use lucid_core::{Build, Compiler, Engine, Interp, LayoutOptions, NetConfig, PipelineSpec};
 use lucid_tofino::{ecdf, figure16_rows, DelayQueue, RecircPort, RemoteControlModel, SfwModelRow};
 use std::time::Instant;
+
+/// Shared command-line switches of the `fig*` binaries: `--smoke` shrinks
+/// trial counts so CI can afford every binary, `--json` swaps the table
+/// for one machine-parseable JSON line (see [`jsonout`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BenchMode {
+    pub smoke: bool,
+    pub json: bool,
+}
+
+impl BenchMode {
+    /// Parse the process arguments, ignoring anything unrecognized (the
+    /// binaries have no other flags).
+    pub fn from_args() -> BenchMode {
+        let mut mode = BenchMode::default();
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--smoke" => mode.smoke = true,
+                "--json" => mode.json = true,
+                _ => {}
+            }
+        }
+        mode
+    }
+
+    /// `full` normally, `quick` under `--smoke`.
+    pub fn trials(&self, full: usize, quick: usize) -> usize {
+        if self.smoke {
+            quick
+        } else {
+            full
+        }
+    }
+}
+
+/// Just enough JSON writing for `fig* --json` (the workspace builds
+/// offline, without serde). Each binary emits one line:
+/// `{"figure": "...", "rows": [...]}`.
+pub mod jsonout {
+    /// Quote and escape a string value.
+    pub fn s(v: &str) -> String {
+        format!("\"{}\"", lucid_core::json_escape(v))
+    }
+
+    /// A float value JSON accepts (`NaN`/`inf` degrade to `null`).
+    pub fn f(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v:.4}")
+        } else {
+            "null".to_string()
+        }
+    }
+
+    /// `{"k": v, ...}` from already-encoded values.
+    pub fn obj(pairs: &[(&str, String)]) -> String {
+        let body: Vec<String> = pairs
+            .iter()
+            .map(|(k, v)| format!("{}:{}", s(k), v))
+            .collect();
+        format!("{{{}}}", body.join(","))
+    }
+
+    /// Print the standard one-line document for a figure binary.
+    pub fn emit(figure: &str, rows: &[String]) {
+        println!("{{\"figure\":{},\"rows\":[{}]}}", s(figure), rows.join(","));
+    }
+}
 
 /// Open a default-target build session for a bundled app.
 fn session(app: &AppInfo) -> Build {
@@ -291,6 +358,130 @@ pub fn figure17(trials: usize, seed: u64) -> Fig17 {
     }
 }
 
+/// The mesh workload of the `fig_sim_throughput` benchmark: every packet
+/// updates a per-switch sketch, recirculates a decremented copy, and
+/// forwards a mixed copy to a hash-picked neighbor — cross-traffic heavy
+/// enough that the sharded engine's epoch barriers actually matter.
+fn mesh_workload(switches: u64) -> String {
+    assert!(
+        switches.is_power_of_two(),
+        "mesh size must be a power of two"
+    );
+    format!(
+        r#"
+        global cnt = new Array<<32>>(1024);
+        global mix = new Array<<32>>(1024);
+        memop plus(int m, int x) {{ return m + x; }}
+        event pkt(int a, int b, int ttl);
+        handle pkt(int a, int b, int ttl) {{
+            auto i = hash<<10>>(1, a, b);
+            int c = Array.update(cnt, i, plus, 1, plus, 1);
+            auto j = hash<<10>>(2, c, a);
+            Array.setm(mix, j, plus, b);
+            if (ttl > 0) {{
+                generate pkt(a + 1, b, ttl - 1);
+                generate Event.locate(pkt(a, b + c, ttl - 1), ((a + b) & {mask}) + 1);
+            }}
+        }}
+        "#,
+        mask = switches - 1
+    )
+}
+
+/// One engine's measurement on the mesh workload.
+#[derive(Debug, Clone)]
+pub struct SimThroughputRow {
+    pub engine: &'static str,
+    pub events_processed: u64,
+    pub wall_ms: f64,
+    pub events_per_sec: f64,
+}
+
+/// The sequential-vs-sharded comparison `fig_sim_throughput` prints.
+#[derive(Debug, Clone)]
+pub struct SimThroughput {
+    pub switches: u64,
+    pub injected_per_switch: u64,
+    pub workers: usize,
+    pub rows: Vec<SimThroughputRow>,
+    /// Final array state of every switch was byte-identical across
+    /// engines (the correctness gate for the comparison).
+    pub identical: bool,
+    /// Sharded events/sec over sequential events/sec.
+    pub speedup: f64,
+}
+
+/// Run the mesh workload under both engines and compare. `workers == 0`
+/// means one per core. Deterministic: both engines must produce identical
+/// final array state, statistics, and traces.
+pub fn sim_throughput(
+    switches: u64,
+    injected_per_switch: u64,
+    ttl: u64,
+    workers: usize,
+) -> SimThroughput {
+    let src = mesh_workload(switches);
+    let prog = lucid_core::check::parse_and_check(&src).expect("workload checks");
+    let engines = [
+        ("sequential", Engine::Sequential),
+        (
+            "sharded",
+            Engine::Sharded {
+                workers,
+                epoch_ns: 0,
+            },
+        ),
+    ];
+    let mut rows = Vec::new();
+    let mut finals: Vec<Vec<Vec<u64>>> = Vec::new();
+    for (label, engine) in engines {
+        let mut cfg = NetConfig::mesh(switches);
+        cfg.engine = engine;
+        let mut sim = Interp::new(&prog, cfg);
+        for s in 1..=switches {
+            for k in 0..injected_per_switch {
+                sim.schedule(s, k * 2_000, "pkt", &[s * 1_000 + k, k, ttl])
+                    .expect("workload event");
+            }
+        }
+        let t0 = Instant::now();
+        sim.run(u64::MAX, u64::MAX).expect("workload quiesces");
+        let wall = t0.elapsed().as_secs_f64();
+        rows.push(SimThroughputRow {
+            engine: label,
+            events_processed: sim.stats.processed,
+            wall_ms: wall * 1e3,
+            events_per_sec: if wall > 0.0 {
+                sim.stats.processed as f64 / wall
+            } else {
+                0.0
+            },
+        });
+        finals.push(
+            (1..=switches)
+                .flat_map(|s| [sim.array(s, "cnt").to_vec(), sim.array(s, "mix").to_vec()])
+                .collect(),
+        );
+    }
+    let identical = finals[0] == finals[1] && rows[0].events_processed == rows[1].events_processed;
+    let actual_workers = if workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(switches as usize)
+    } else {
+        workers
+    };
+    SimThroughput {
+        switches,
+        injected_per_switch,
+        workers: actual_workers,
+        speedup: rows[1].events_per_sec / rows[0].events_per_sec.max(1.0),
+        rows,
+        identical,
+    }
+}
+
 /// Render a plain-text table (all figure binaries share this).
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
@@ -386,6 +577,27 @@ mod tests {
         assert!(f.speedup > 50.0, "speedup {}", f.speedup);
         assert!(f.frac_inline > 0.8);
         assert!(f.remote_mean_ns > 12_000.0);
+    }
+
+    #[test]
+    fn sim_throughput_engines_agree_on_state() {
+        let t = sim_throughput(4, 10, 2, 2);
+        assert!(t.identical, "sequential and sharded engines must agree");
+        assert_eq!(t.rows.len(), 2);
+        // 40 injected events, each spawning a 2^3 - 1 = 7-event tree.
+        assert_eq!(t.rows[0].events_processed, 40 * 7);
+        assert_eq!(t.rows[1].events_processed, 40 * 7);
+    }
+
+    #[test]
+    fn jsonout_escapes_and_nests() {
+        let row = jsonout::obj(&[
+            ("name", jsonout::s("a\"b\\c")),
+            ("n", 7.to_string()),
+            ("x", jsonout::f(1.5)),
+        ]);
+        assert_eq!(row, r#"{"name":"a\"b\\c","n":7,"x":1.5000}"#);
+        assert_eq!(jsonout::f(f64::NAN), "null");
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //! lucidc check [OPTIONS] <file.lucid>      syntax + memop + effect checking
 //! lucidc compile [OPTIONS] <file.lucid>    emit an artifact (default P4_16)
 //! lucidc stages [OPTIONS] <file.lucid>     print the pipeline layout
+//! lucidc sim [OPTIONS] <file.lucid> <scenario.sim.json>
+//!                                          run a simulation scenario
 //! lucidc apps                              list the bundled Figure 9 applications
 //! lucidc app <key>                         dump a bundled app's Lucid source
 //!
@@ -12,12 +14,16 @@
 //!   --target=tofino|pisa      pipeline model to compile against
 //!   --no-opt                  disable the IR clean-up pass
 //!   --json-diagnostics        report diagnostics as a JSON array on stderr
+//!   --engine=sequential|sharded   override the scenario's engine (`sim`)
+//!   --workers=N               sharded-engine worker threads (`sim`; 0 = cores)
+//!   --json                    print the `sim` report as one JSON object
 //! ```
 //!
-//! Exit codes: 0 success, 1 the program had diagnostics, 2 usage or I/O
-//! error.
+//! Exit codes: 0 success, 1 the program had diagnostics or the scenario
+//! failed (bad scenario, runtime fault, or expectation mismatch), 2 usage
+//! or I/O error.
 
-use lucid_core::{Build, Compiler, LayoutOptions, PipelineSpec};
+use lucid_core::{Build, Compiler, Engine, LayoutOptions, PipelineSpec, Scenario, SimError};
 use std::process::ExitCode;
 
 const EXIT_DIAGNOSTICS: u8 = 1;
@@ -25,9 +31,10 @@ const EXIT_USAGE: u8 = 2;
 
 const USAGE: &str = "usage: lucidc <check|compile|stages> [--emit=ast|ir|layout|p4] \
 [--target=tofino|pisa] [--no-opt] [--json-diagnostics] <file.lucid>\n       \
+lucidc sim [--engine=sequential|sharded] [--workers=N] [--json] <file.lucid> <scenario.sim.json>\n       \
 lucidc apps | app <key>";
 
-const SUBCOMMANDS: &[&str] = &["check", "compile", "stages", "apps", "app"];
+const SUBCOMMANDS: &[&str] = &["check", "compile", "stages", "sim", "apps", "app"];
 
 /// What `compile` should print.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,6 +87,7 @@ fn main() -> ExitCode {
                 _ => run_stages(&mut build, &opts),
             }
         }
+        "sim" => run_sim(&args[1..]),
         "apps" => {
             for app in lucid_apps::all() {
                 println!(
@@ -118,6 +126,148 @@ fn main() -> ExitCode {
             ExitCode::from(EXIT_USAGE)
         }
     }
+}
+
+/// Parsed command line for `sim`.
+struct SimOptions {
+    engine: Option<Engine>,
+    json: bool,
+    program: String,
+    scenario: String,
+}
+
+fn parse_sim_options(args: &[String]) -> Result<SimOptions, String> {
+    let mut engine: Option<Engine> = None;
+    let mut workers: Option<usize> = None;
+    let mut json = false;
+    let mut files: Vec<String> = Vec::new();
+    for a in args {
+        if let Some(v) = a.strip_prefix("--engine=") {
+            engine = Some(Engine::parse(v).ok_or_else(|| format!("unknown --engine value `{v}`"))?);
+        } else if let Some(v) = a.strip_prefix("--workers=") {
+            workers = Some(
+                v.parse::<usize>()
+                    .map_err(|_| format!("bad --workers value `{v}`"))?,
+            );
+        } else if a == "--json" {
+            json = true;
+        } else if a.starts_with("--") {
+            return Err(format!("unknown option `{a}`"));
+        } else {
+            files.push(a.clone());
+        }
+    }
+    if let Some(w) = workers {
+        match &mut engine {
+            Some(Engine::Sharded { workers, .. }) => *workers = w,
+            Some(Engine::Sequential) => {
+                return Err("`--workers` only applies to `--engine=sharded`".to_string())
+            }
+            None => {
+                engine = Some(Engine::Sharded {
+                    workers: w,
+                    epoch_ns: 0,
+                })
+            }
+        }
+    }
+    let [program, scenario] = files.as_slice() else {
+        return Err("`sim` wants exactly <file.lucid> <scenario.sim.json>".to_string());
+    };
+    Ok(SimOptions {
+        engine,
+        json,
+        program: program.clone(),
+        scenario: scenario.clone(),
+    })
+}
+
+fn run_sim(args: &[String]) -> ExitCode {
+    let opts = match parse_sim_options(args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("error: {msg}\n{USAGE}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    let src = match std::fs::read_to_string(&opts.program) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", opts.program);
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    let sc_text = match std::fs::read_to_string(&opts.scenario) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", opts.scenario);
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    let scenario = match Scenario::from_json(&sc_text) {
+        Ok(sc) => sc,
+        Err(e) => {
+            if opts.json {
+                println!("{}", e.to_json());
+            } else {
+                eprintln!("error in {}: {e}", opts.scenario);
+            }
+            return ExitCode::from(EXIT_DIAGNOSTICS);
+        }
+    };
+    let mut build = Compiler::new().build(&opts.program, &src);
+    match build.interp_with(&scenario, opts.engine) {
+        Ok(report) => {
+            if opts.json {
+                println!("{}", report.to_json());
+            } else {
+                print!("{}", report.render());
+            }
+            if report.passed() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(EXIT_DIAGNOSTICS)
+            }
+        }
+        Err(SimError::Diagnostics(_)) => {
+            if opts.json {
+                // Keep stdout a single JSON document; the program's own
+                // diagnostics go to stderr as JSON too.
+                println!(
+                    "{{\"kind\":\"diagnostics\",\"msg\":{}}}",
+                    json_str("the program has diagnostics (see stderr)")
+                );
+                eprintln!("{}", build.diagnostics_json());
+            } else {
+                eprintln!("{}", build.render_diagnostics());
+            }
+            ExitCode::from(EXIT_DIAGNOSTICS)
+        }
+        Err(SimError::Scenario(e)) => {
+            if opts.json {
+                println!("{}", e.to_json());
+            } else {
+                eprintln!("error in {}: {e}", opts.scenario);
+            }
+            ExitCode::from(EXIT_DIAGNOSTICS)
+        }
+        Err(SimError::Runtime(e)) => {
+            if opts.json {
+                println!(
+                    "{{\"kind\":\"runtime\",\"msg\":{}}}",
+                    json_str(&e.to_string())
+                );
+            } else {
+                eprintln!("runtime fault: {e}");
+            }
+            ExitCode::from(EXIT_DIAGNOSTICS)
+        }
+    }
+}
+
+/// Quote and escape one JSON string value.
+fn json_str(s: &str) -> String {
+    format!("\"{}\"", lucid_core::json_escape(s))
 }
 
 fn parse_options(cmd: &str, args: &[String]) -> Result<Options, String> {
@@ -367,6 +517,42 @@ mod tests {
         assert_eq!(o.file, "f.lucid");
         assert!(parse_options("compile", &["--emit=wat".into(), "f".into()]).is_err());
         assert!(parse_options("compile", &[]).is_err());
+    }
+
+    #[test]
+    fn sim_options_parse() {
+        let o = parse_sim_options(&[
+            "--engine=sharded".into(),
+            "--workers=3".into(),
+            "--json".into(),
+            "p.lucid".into(),
+            "s.sim.json".into(),
+        ])
+        .unwrap();
+        assert_eq!(
+            o.engine,
+            Some(Engine::Sharded {
+                workers: 3,
+                epoch_ns: 0
+            })
+        );
+        assert!(o.json);
+        assert_eq!(
+            (o.program.as_str(), o.scenario.as_str()),
+            ("p.lucid", "s.sim.json")
+        );
+        // --workers alone implies the sharded engine.
+        let o = parse_sim_options(&["--workers=2".into(), "p".into(), "s".into()]).unwrap();
+        assert!(matches!(o.engine, Some(Engine::Sharded { workers: 2, .. })));
+        assert!(parse_sim_options(&["p".into()]).is_err());
+        assert!(parse_sim_options(&["--engine=warp".into(), "p".into(), "s".into()]).is_err());
+        assert!(parse_sim_options(&[
+            "--engine=sequential".into(),
+            "--workers=2".into(),
+            "p".into(),
+            "s".into()
+        ])
+        .is_err());
     }
 
     #[test]

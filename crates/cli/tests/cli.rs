@@ -123,3 +123,137 @@ fn no_opt_and_target_flags_are_accepted() {
     let s = String::from_utf8_lossy(&out.stdout);
     assert!(s.contains("total stages:"), "{s}");
 }
+
+// ------------------------------------------------------------------- sim
+
+const SIM_SCENARIO: &str = r#"{
+  "name": "counter-cli",
+  "net": {"switches": 2},
+  "events": [
+    {"time_ns": 0,   "switch": 1, "event": "pkt", "args": [3]},
+    {"time_ns": 100, "switch": 2, "event": "pkt", "args": [3]},
+    {"time_ns": 200, "switch": 1, "event": "pkt", "args": [5]}
+  ],
+  "expect": {
+    "handled": 3,
+    "arrays": [
+      {"switch": 1, "array": "cts", "index": 3, "value": 1},
+      {"switch": 2, "array": "cts", "index": 3, "value": 1},
+      {"switch": 1, "array": "cts", "index": 5, "value": 1}
+    ]
+  }
+}"#;
+
+#[test]
+fn sim_runs_scenario_green() {
+    let prog = write_temp("sim-good.lucid", GOOD);
+    let sc = write_temp("sim-good.sim.json", SIM_SCENARIO);
+    let out = lucidc(&["sim", prog.to_str().unwrap(), sc.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("expectations: all met"), "{s}");
+    assert!(s.contains("events: 3 processed"), "{s}");
+}
+
+#[test]
+fn sim_engines_agree_and_json_is_structured() {
+    let prog = write_temp("sim-json.lucid", GOOD);
+    let sc = write_temp("sim-json.sim.json", SIM_SCENARIO);
+    for engine in ["sequential", "sharded"] {
+        let out = lucidc(&[
+            "sim",
+            &format!("--engine={engine}"),
+            "--json",
+            prog.to_str().unwrap(),
+            sc.to_str().unwrap(),
+        ]);
+        assert_eq!(out.status.code(), Some(0), "{engine}: {out:?}");
+        let s = String::from_utf8_lossy(&out.stdout);
+        let line = s.trim();
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains(&format!("\"engine\":\"{engine}\"")), "{line}");
+        assert!(line.contains("\"events_handled\":3"), "{line}");
+        assert!(line.contains("\"ok\":true"), "{line}");
+        assert!(line.contains("\"events_per_sec\":"), "{line}");
+    }
+}
+
+#[test]
+fn sim_expectation_mismatch_exits_one_with_report() {
+    let prog = write_temp("sim-miss.lucid", GOOD);
+    let wrong = SIM_SCENARIO.replace("\"value\": 1", "\"value\": 7");
+    let sc = write_temp("sim-miss.sim.json", &wrong);
+    let out = lucidc(&["sim", prog.to_str().unwrap(), sc.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("FAILED"), "{s}");
+    assert!(s.contains("expected 7, got 1"), "{s}");
+
+    let out = lucidc(&[
+        "sim",
+        "--json",
+        prog.to_str().unwrap(),
+        sc.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("\"ok\":false"), "{s}");
+    assert!(s.contains("\"kind\":\"array\""), "{s}");
+}
+
+#[test]
+fn sim_scenario_errors_exit_one_with_structure() {
+    let prog = write_temp("sim-err.lucid", GOOD);
+    // Malformed JSON.
+    let bad = write_temp("sim-bad.sim.json", "{ not json ");
+    let out = lucidc(&["sim", prog.to_str().unwrap(), bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let s = String::from_utf8_lossy(&out.stderr);
+    assert!(s.contains("not valid JSON"), "{s}");
+
+    // Unknown event, structured path in the JSON form.
+    let unk = write_temp(
+        "sim-unk.sim.json",
+        r#"{"events": [{"time_ns": 0, "switch": 1, "event": "zap", "args": []}]}"#,
+    );
+    let out = lucidc(&[
+        "sim",
+        "--json",
+        prog.to_str().unwrap(),
+        unk.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("\"kind\":\"validate\""), "{s}");
+    assert!(s.contains("$.events[0].event"), "{s}");
+
+    // Usage errors stay 2.
+    let out = lucidc(&["sim", prog.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = lucidc(&["sim", "--workers=x", "a", "b"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn sim_runtime_fault_still_emits_json() {
+    let prog = write_temp("sim-oob.lucid", GOOD);
+    // Index 100 is in range of the 32-bit event arg but out of bounds for
+    // the 64-cell array: a data-dependent runtime fault, not a scenario
+    // validation error.
+    let sc = write_temp(
+        "sim-oob.sim.json",
+        r#"{"events": [{"time_ns": 0, "switch": 1, "event": "pkt", "args": [100]}]}"#,
+    );
+    let out = lucidc(&[
+        "sim",
+        "--json",
+        prog.to_str().unwrap(),
+        sc.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let s = String::from_utf8_lossy(&out.stdout);
+    let line = s.trim();
+    assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    assert!(line.contains("\"kind\":\"runtime\""), "{line}");
+    assert!(line.contains("out of bounds"), "{line}");
+}

@@ -59,7 +59,10 @@ pub use lucid_tofino as tofino;
 pub use lucid_backend::{BackendOptions, Compiled, HandlerIr, Layout, LayoutOptions, P4Program};
 pub use lucid_check::{Analysis, CheckOptions, CheckedProgram};
 pub use lucid_frontend::{Diagnostic, Diagnostics, Program, SourceMap};
-pub use lucid_interp::{Interp, NetConfig};
+pub use lucid_interp::{
+    json_escape, run_scenario, Engine, Interp, InterpError, Mismatch, NetConfig, Scenario,
+    ScenarioError, SimReport, SimRunError,
+};
 pub use lucid_tofino::PipelineSpec;
 
 /// A reusable compiler configuration. `Compiler` is a builder: chain
@@ -132,6 +135,7 @@ pub struct BuildStats {
     pub elaborate_runs: u32,
     pub layout_runs: u32,
     pub p4_runs: u32,
+    pub interp_runs: u32,
 }
 
 /// A per-source compilation session. Stage artifacts are computed on first
@@ -200,6 +204,32 @@ impl Build {
     pub fn p4(&mut self) -> Result<&P4Program, Diagnostics> {
         self.ensure_p4();
         as_result(self.p4.as_ref())
+    }
+
+    /// Simulation stage: execute a [`Scenario`] in the interpreter against
+    /// this session's checked program. Lazy like the other stages about
+    /// its prerequisite — the first call pays for parse + check, later
+    /// calls reuse the cached artifact — but each invocation runs the
+    /// simulation afresh (a run is effectful, so its report is not
+    /// cached). Runs counted in [`BuildStats::interp_runs`].
+    pub fn interp(&mut self, scenario: &Scenario) -> Result<SimReport, SimError> {
+        self.interp_with(scenario, None)
+    }
+
+    /// [`Build::interp`] with the engine choice overridden (e.g. from
+    /// `lucidc sim --engine=...`).
+    pub fn interp_with(
+        &mut self,
+        scenario: &Scenario,
+        engine_override: Option<Engine>,
+    ) -> Result<SimReport, SimError> {
+        self.ensure_checked();
+        self.stats.interp_runs += 1;
+        let prog = match self.checked.as_ref().expect("ensured") {
+            Ok(p) => p,
+            Err(ds) => return Err(SimError::Diagnostics(ds.clone())),
+        };
+        run_scenario(prog, scenario, engine_override).map_err(SimError::from)
     }
 
     /// Swap in a different configuration, keeping every cache the new
@@ -390,6 +420,41 @@ fn as_result<T>(slot: Option<&Result<T, Diagnostics>>) -> Result<&T, Diagnostics
     }
 }
 
+/// Why [`Build::interp`] failed outright (mismatched expectations are not
+/// errors — they come back inside the [`SimReport`]).
+#[derive(Debug, Clone)]
+pub enum SimError {
+    /// The program itself does not parse or check.
+    Diagnostics(Diagnostics),
+    /// The scenario does not fit the schema or the program.
+    Scenario(ScenarioError),
+    /// The simulation hit a runtime fault (out-of-bounds index, fuel).
+    Runtime(InterpError),
+}
+
+impl From<SimRunError> for SimError {
+    fn from(e: SimRunError) -> Self {
+        match e {
+            SimRunError::Scenario(s) => SimError::Scenario(s),
+            SimRunError::Runtime(r) => SimError::Runtime(r),
+        }
+    }
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Diagnostics(ds) => {
+                write!(f, "the program has {} diagnostics", ds.error_count())
+            }
+            SimError::Scenario(e) => write!(f, "{e}"),
+            SimError::Runtime(e) => write!(f, "runtime fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
 /// A fully rendered compile error: diagnostics already formatted against
 /// the source text. Kept for the deprecated one-shot entry points; new code
 /// should use [`Build`] and its structured [`Diagnostics`].
@@ -413,25 +478,30 @@ pub struct Artifacts {
     pub compiled: Compiled,
 }
 
+/// Shared body of the deprecated one-shot entry points: open a default
+/// session, drive one stage, and trade structured diagnostics for the
+/// pre-session rendered form.
+fn one_shot<T>(
+    name: &str,
+    src: &str,
+    stage: impl FnOnce(&mut Build) -> Result<T, Diagnostics>,
+) -> Result<T, CompileError> {
+    let mut build = Compiler::new().build(name, src);
+    stage(&mut build).map_err(|_| CompileError {
+        rendered: build.render_diagnostics(),
+    })
+}
+
 /// Parse and semantically check a source file.
 #[deprecated(note = "use `Compiler::new().build(name, src)` and `Build::checked()`")]
 pub fn check_source(name: &str, src: &str) -> Result<CheckedProgram, CompileError> {
-    let mut build = Compiler::new().build(name, src);
-    match build.checked() {
-        Ok(p) => Ok(p.clone()),
-        Err(_) => Err(CompileError {
-            rendered: build.render_diagnostics(),
-        }),
-    }
+    one_shot(name, src, |b| b.checked().cloned())
 }
 
 /// Full pipeline: source text → checked program → Tofino layout → P4.
 #[deprecated(note = "use `Compiler::new().build(name, src)` and the `Build` stage accessors")]
 pub fn compile_source(name: &str, src: &str) -> Result<Artifacts, CompileError> {
-    let mut build = Compiler::new().build(name, src);
-    build.artifacts().map_err(|_| CompileError {
-        rendered: build.render_diagnostics(),
-    })
+    one_shot(name, src, Build::artifacts)
 }
 
 #[cfg(test)]
@@ -520,6 +590,40 @@ mod tests {
             "{}",
             b.render_diagnostics()
         );
+    }
+
+    #[test]
+    fn interp_stage_runs_scenarios_on_the_cached_check() {
+        let mut b = Compiler::new().build("t.lucid", COUNTER);
+        let sc = Scenario::from_json(
+            r#"{"name": "poke-and-count",
+                "events": [{"time_ns": 0, "switch": 1, "event": "go", "args": [2]}],
+                "expect": {"handled": 1,
+                           "arrays": [{"switch": 1, "array": "a", "index": 2, "value": 1}]}}"#,
+        )
+        .unwrap();
+        let report = b.interp(&sc).unwrap();
+        assert!(report.passed(), "{:?}", report.mismatches);
+        let report2 = b.interp(&sc).unwrap();
+        assert!(report2.passed());
+        let s = *b.stats();
+        assert_eq!(
+            (s.parse_runs, s.check_runs, s.interp_runs),
+            (1, 1, 2),
+            "check artifact is reused across sim runs: {s:?}"
+        );
+        assert_eq!(s.p4_runs, 0, "simulation never touches the backend");
+
+        // A scenario that does not fit the program is a structured error.
+        let bad =
+            Scenario::from_json(r#"{"events": [{"time_ns": 0, "switch": 1, "event": "nope"}]}"#)
+                .unwrap();
+        assert!(matches!(b.interp(&bad), Err(SimError::Scenario(_))));
+
+        // A broken program surfaces its diagnostics.
+        let mut broken =
+            Compiler::new().build("m.lucid", "memop bad(int m, int x) { return m * x; }");
+        assert!(matches!(broken.interp(&sc), Err(SimError::Diagnostics(_))));
     }
 
     #[test]

@@ -31,7 +31,11 @@
 //! ```
 
 pub mod machine;
+pub mod scenario;
 pub mod value;
 
-pub use machine::{Handled, Interp, InterpError, NetConfig, Stats, SwitchState};
+pub use machine::{Engine, Handled, Interp, InterpError, NetConfig, Stats, SwitchState};
+pub use scenario::{
+    json_escape, run_scenario, Mismatch, Scenario, ScenarioError, SimReport, SimRunError,
+};
 pub use value::{lucid_hash, EventVal, Location, Value};

@@ -8,13 +8,86 @@
 //! pipeline, `generate` to the local switch costs one recirculation
 //! (~600 ns on a Tofino, Fig. 17), and events sent to a neighbor take a
 //! ~1 µs wire hop.
+//!
+//! # Engines
+//!
+//! Per-switch state is an independent *shard*: its register arrays, its
+//! event queue, and its emission counter. Two drivers execute the shards:
+//!
+//! * [`Engine::Sequential`] — the reference: one global queue, events
+//!   dispatched strictly in [`Key`] order (virtual time, then origin).
+//! * [`Engine::Sharded`] — a conservative parallel discrete-event
+//!   simulation: each shard runs its own queue on a small worker pool,
+//!   synchronizing at virtual-clock *epoch barriers* no wider than the
+//!   wire latency. Because a cross-switch event can never arrive sooner
+//!   than one wire hop, events exchanged at a barrier always belong to a
+//!   later epoch, so each shard observes exactly the event order the
+//!   sequential engine would produce. Successful runs are bit-identical
+//!   between the two engines: final array state, statistics, trace, and
+//!   printf output all match (the trace is merged back into global
+//!   [`Key`] order at each run's end).
+//!
+//! Error runs differ in bookkeeping only: the sharded engine checks the
+//! event budget at epoch barriers (so it may overshoot `max_events`
+//! before reporting [`InterpError::FuelExhausted`]), and a runtime fault
+//! aborts the faulting shard's epoch while sibling shards finish theirs.
+//! The *reported* error is still deterministic (the fault with the
+//! smallest event key wins).
 
 use crate::value::{lucid_hash, EventVal, Location, Value};
 use lucid_check::{eval_memop, mask, CheckedProgram, GlobalId};
 use lucid_frontend::ast::*;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::fmt;
+use std::sync::mpsc;
+
+// The sharded engine shares `&CheckedProgram` across worker threads; this
+// fails to compile if the checked AST ever grows thread-unsafe interior
+// mutability (e.g. `Rc`).
+fn _assert_prog_thread_safe() {
+    fn check<T: Send + Sync>() {}
+    check::<CheckedProgram>();
+}
+
+/// Which driver executes the shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// One global queue, one thread: the reference engine.
+    #[default]
+    Sequential,
+    /// Epoch-barrier parallel execution on a worker pool.
+    Sharded {
+        /// Worker threads; `0` means one per available core (capped at
+        /// the number of switches).
+        workers: usize,
+        /// Epoch width in sim-nanoseconds; `0` means "the wire latency"
+        /// (the widest epoch that is still conservative). Values larger
+        /// than the wire latency are clamped down to it.
+        epoch_ns: u64,
+    },
+}
+
+impl Engine {
+    /// Parse a CLI/scenario engine name.
+    pub fn parse(name: &str) -> Option<Engine> {
+        match name {
+            "sequential" | "seq" => Some(Engine::Sequential),
+            "sharded" | "parallel" => Some(Engine::Sharded {
+                workers: 0,
+                epoch_ns: 0,
+            }),
+            _ => None,
+        }
+    }
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            Engine::Sequential => "sequential",
+            Engine::Sharded { .. } => "sharded",
+        }
+    }
+}
 
 /// Network and hardware timing parameters.
 #[derive(Debug, Clone)]
@@ -27,6 +100,8 @@ pub struct NetConfig {
     pub link_latency_ns: u64,
     /// Latency of one recirculation pass (§7.4: one recirculation ≈ 600 ns).
     pub recirc_latency_ns: u64,
+    /// Which driver to run the shards with.
+    pub engine: Engine,
 }
 
 impl Default for NetConfig {
@@ -35,6 +110,7 @@ impl Default for NetConfig {
             switches: vec![1],
             link_latency_ns: 1_000,
             recirc_latency_ns: 600,
+            engine: Engine::Sequential,
         }
     }
 }
@@ -52,6 +128,15 @@ impl NetConfig {
             ..Self::default()
         }
     }
+
+    /// Select the sharded parallel engine (`workers == 0`: one per core).
+    pub fn sharded(mut self, workers: usize) -> Self {
+        self.engine = Engine::Sharded {
+            workers,
+            epoch_ns: 0,
+        };
+        self
+    }
 }
 
 /// A record of one handled event, for assertions and tracing.
@@ -64,8 +149,10 @@ pub struct Handled {
 }
 
 /// Aggregate execution statistics.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Stats {
+    /// Events popped from a queue (handled + exported + dropped-at-switch).
+    pub processed: u64,
     /// Events whose handler ran.
     pub handled: u64,
     /// Events generated to the local switch (each costs a recirculation).
@@ -74,10 +161,31 @@ pub struct Stats {
     pub sent_remote: u64,
     /// Events for which no handler exists (treated as exported packets).
     pub exported: u64,
-    /// Events dropped because their destination switch does not exist.
+    /// Events dropped because their destination switch does not exist or
+    /// is failed.
     pub dropped: u64,
-    /// Handled-event counts per event name.
+    /// Per-event-name counts of everything dispatched on a live switch
+    /// (handled *and* exported events; dropped ones are not counted).
     pub per_event: HashMap<String, u64>,
+}
+
+impl Stats {
+    /// Move `other`'s counts into `self`, leaving `other` zeroed.
+    fn absorb(&mut self, other: &mut Stats) {
+        self.processed += other.processed;
+        self.handled += other.handled;
+        self.recirculated += other.recirculated;
+        self.sent_remote += other.sent_remote;
+        self.exported += other.exported;
+        self.dropped += other.dropped;
+        for (name, n) in other.per_event.drain() {
+            *self.per_event.entry(name).or_insert(0) += n;
+        }
+        *other = Stats {
+            per_event: std::mem::take(&mut other.per_event),
+            ..Stats::default()
+        };
+    }
 }
 
 /// Runtime failure. The checker rules out type errors, so what remains are
@@ -136,25 +244,42 @@ pub struct SwitchState {
     pub arrays: Vec<Vec<u64>>,
 }
 
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct Scheduled {
+impl SwitchState {
+    fn zeroed(prog: &CheckedProgram) -> Self {
+        SwitchState {
+            arrays: prog
+                .info
+                .globals
+                .iter()
+                .map(|g| vec![0u64; g.len as usize])
+                .collect(),
+        }
+    }
+}
+
+/// The deterministic total order on events. Ties in virtual time break on
+/// origin: externally injected events come first (in injection order),
+/// then generated events by source switch and per-source emission count.
+/// Both engines schedule with the same keys, which is what makes their
+/// per-shard execution orders — and therefore their results — identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
     time_ns: u64,
+    /// 0 = externally injected, 1 = handler-generated.
+    class: u8,
+    /// Source switch for generated events; 0 for injections.
+    origin: u64,
+    /// Injection counter / per-source emission counter.
     seq: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Scheduled {
+    key: Key,
+    /// Destination switch.
     switch: u64,
     event_id: usize,
     args: Vec<u64>,
-}
-
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time_ns, self.seq).cmp(&(other.time_ns, other.seq))
-    }
-}
-
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
 }
 
 /// Flow of control inside a handler body.
@@ -163,217 +288,139 @@ enum Flow {
     Returned(Value),
 }
 
-/// The interpreter. Borrows the checked program; owns all simulation state.
-pub struct Interp<'p> {
-    prog: &'p CheckedProgram,
-    pub config: NetConfig,
-    states: HashMap<u64, SwitchState>,
+/// One switch's independent slice of the simulation: persistent arrays,
+/// the local event queue, and run-local buffers that the drivers drain
+/// back into the [`Interp`] at barriers.
+#[derive(Debug)]
+struct Shard {
+    switch: u64,
+    /// A failed switch keeps its shard (so queued events can be counted
+    /// as dropped) but loses its state.
+    alive: bool,
+    state: SwitchState,
     queue: BinaryHeap<Reverse<Scheduled>>,
-    seq: u64,
-    /// Simulation clock, nanoseconds.
-    pub now_ns: u64,
-    /// Every handled event, in order. Cleared with [`Interp::clear_trace`].
-    pub trace: Vec<Handled>,
-    /// `printf` output lines.
-    pub output: Vec<String>,
-    pub stats: Stats,
-    /// When true, `printf` also writes to stdout.
-    pub echo: bool,
+    /// Per-source emission counter feeding [`Key::seq`].
+    emit_seq: u64,
+    /// This shard's virtual clock: the latest event time it has executed.
+    now_ns: u64,
+    trace: Vec<(Key, Handled)>,
+    output: Vec<(Key, String)>,
+    stats: Stats,
+    /// Events generated for *other* switches, awaiting routing.
+    outbox: Vec<Scheduled>,
 }
 
-impl<'p> Interp<'p> {
-    pub fn new(prog: &'p CheckedProgram, config: NetConfig) -> Self {
-        let state = SwitchState {
-            arrays: prog
-                .info
-                .globals
-                .iter()
-                .map(|g| vec![0u64; g.len as usize])
-                .collect(),
-        };
-        let states = config
-            .switches
-            .iter()
-            .map(|&s| (s, state.clone()))
-            .collect();
-        Interp {
-            prog,
-            config,
-            states,
+impl Shard {
+    fn new(switch: u64, prog: &CheckedProgram) -> Self {
+        Shard {
+            switch,
+            alive: true,
+            state: SwitchState::zeroed(prog),
             queue: BinaryHeap::new(),
-            seq: 0,
+            emit_seq: 0,
             now_ns: 0,
             trace: Vec::new(),
             output: Vec::new(),
             stats: Stats::default(),
-            echo: false,
+            outbox: Vec::new(),
         }
     }
 
-    /// Single-switch interpreter with default timing.
-    pub fn single(prog: &'p CheckedProgram) -> Self {
-        Interp::new(prog, NetConfig::single())
+    fn next_time(&self) -> Option<u64> {
+        self.queue.peek().map(|Reverse(s)| s.key.time_ns)
     }
+}
 
-    /// Schedule an externally injected event (e.g. a packet arrival) by
-    /// name at an absolute time.
-    pub fn schedule(
-        &mut self,
-        switch: u64,
-        time_ns: u64,
-        event: &str,
-        args: &[u64],
-    ) -> Result<(), InterpError> {
-        let ev = self
-            .prog
-            .info
-            .event(event)
-            .ok_or_else(|| InterpError::NoSuchEvent(event.to_string()))?;
-        if ev.params.len() != args.len() {
-            return Err(InterpError::BadArity {
-                event: event.to_string(),
-                want: ev.params.len(),
-                got: args.len(),
-            });
-        }
-        let masked: Vec<u64> = ev
-            .params
-            .iter()
-            .zip(args)
-            .map(|(p, a)| mask(*a, p.ty.int_width().unwrap_or(32)))
-            .collect();
-        self.push(Scheduled {
-            time_ns,
-            seq: 0,
-            switch,
-            event_id: ev.id,
-            args: masked,
-        });
-        Ok(())
-    }
+/// The handler-execution engine: immutable program + timing parameters.
+/// It mutates exactly one shard at a time, which is what lets the worker
+/// pool run shards concurrently.
+#[derive(Clone, Copy)]
+struct Exec<'p> {
+    prog: &'p CheckedProgram,
+    recirc_ns: u64,
+    link_ns: u64,
+    echo: bool,
+    /// Sharded drivers want local recirculations straight on the shard's
+    /// own queue (they can land within the current epoch); the sequential
+    /// driver routes everything through its global queue via the outbox.
+    local_to_queue: bool,
+}
 
-    fn push(&mut self, mut s: Scheduled) {
-        self.seq += 1;
-        s.seq = self.seq;
-        self.queue.push(Reverse(s));
-    }
+/// Execution context of one handler activation.
+struct ExecCx {
+    switch: u64,
+    key: Key,
+    env: HashMap<String, Value>,
+    /// Array-typed function parameters in scope: name → resolved global.
+    array_params: Vec<(String, GlobalId)>,
+}
 
-    /// Read a global array on a switch (for assertions).
-    pub fn array(&self, switch: u64, name: &str) -> &[u64] {
-        let gid = self.prog.info.globals_by_name[name];
-        &self.states[&switch].arrays[gid.0]
-    }
-
-    /// Overwrite a global array cell (test setup / fault injection).
-    pub fn poke(&mut self, switch: u64, name: &str, index: usize, value: u64) {
-        let gid = self.prog.info.globals_by_name[name];
-        let g = &self.prog.info.globals[gid.0];
-        let v = mask(value, g.cell_width);
-        self.states.get_mut(&switch).expect("switch exists").arrays[gid.0][index] = v;
-    }
-
-    /// Fault injection: take a switch offline. Its state is lost and any
-    /// event destined to it is dropped (counted in [`Stats::dropped`]),
-    /// exactly like a dead box on the wire.
-    pub fn fail_switch(&mut self, id: u64) {
-        self.states.remove(&id);
-    }
-
-    /// Bring a previously failed switch back with zeroed registers (a
-    /// rebooted switch does not remember its arrays).
-    pub fn recover_switch(&mut self, id: u64) {
-        let state = SwitchState {
-            arrays: self
-                .prog
-                .info
-                .globals
-                .iter()
-                .map(|g| vec![0u64; g.len as usize])
-                .collect(),
-        };
-        self.states.insert(id, state);
-    }
-
-    /// Number of events still queued.
-    pub fn pending(&self) -> usize {
-        self.queue.len()
-    }
-
-    pub fn clear_trace(&mut self) {
-        self.trace.clear();
-        self.output.clear();
-    }
-
-    /// Run until the queue drains, `max_events` have been handled, or the
-    /// clock passes `max_time_ns` (events after the horizon stay queued).
-    pub fn run(&mut self, max_events: u64, max_time_ns: u64) -> Result<(), InterpError> {
-        let mut handled_this_run = 0u64;
-        while let Some(Reverse(next)) = self.queue.peek() {
-            if next.time_ns > max_time_ns {
-                return Ok(());
-            }
-            if handled_this_run >= max_events {
-                return Err(InterpError::FuelExhausted {
-                    handled: handled_this_run,
-                });
-            }
-            let Reverse(sched) = self.queue.pop().expect("peeked");
-            self.now_ns = self.now_ns.max(sched.time_ns);
-            handled_this_run += 1;
-            self.dispatch(sched)?;
-        }
-        Ok(())
-    }
-
-    /// Run with a generous default budget; most tests use this.
-    pub fn run_to_quiescence(&mut self) -> Result<(), InterpError> {
-        self.run(1_000_000, u64::MAX)
-    }
-
-    fn dispatch(&mut self, sched: Scheduled) -> Result<(), InterpError> {
+impl<'p> Exec<'p> {
+    /// Run one event on its shard. The caller has already popped it from
+    /// the shard queue and advanced the shard clock.
+    fn dispatch(&self, shard: &mut Shard, sched: Scheduled) -> Result<(), InterpError> {
         let ev = &self.prog.info.events[sched.event_id];
         let name = ev.name.clone();
-        if !self.states.contains_key(&sched.switch) {
-            self.stats.dropped += 1;
+        if !shard.alive {
+            shard.stats.dropped += 1;
             return Ok(());
         }
         let Some((params, body)) = self.prog.handler_body(&name) else {
             // Declared event with no handler: it leaves the simulated
-            // network (e.g. a report exported to a collector).
-            self.stats.exported += 1;
-            self.trace.push(Handled {
-                time_ns: sched.time_ns,
-                switch: sched.switch,
-                event: name,
-                args: sched.args,
-            });
+            // network (e.g. a report exported to a collector). It still
+            // counts in `per_event`, so scenario expectations can assert
+            // on exported reports.
+            shard.stats.exported += 1;
+            *shard.stats.per_event.entry(name.clone()).or_insert(0) += 1;
+            shard.trace.push((
+                sched.key,
+                Handled {
+                    time_ns: sched.key.time_ns,
+                    switch: sched.switch,
+                    event: name,
+                    args: sched.args,
+                },
+            ));
             return Ok(());
         };
 
-        self.stats.handled += 1;
-        *self.stats.per_event.entry(name.clone()).or_insert(0) += 1;
-        self.trace.push(Handled {
-            time_ns: sched.time_ns,
-            switch: sched.switch,
-            event: name,
-            args: sched.args.clone(),
-        });
+        shard.stats.handled += 1;
+        *shard.stats.per_event.entry(name.clone()).or_insert(0) += 1;
+        shard.trace.push((
+            sched.key,
+            Handled {
+                time_ns: sched.key.time_ns,
+                switch: sched.switch,
+                event: name,
+                args: sched.args.clone(),
+            },
+        ));
 
         let mut env: HashMap<String, Value> = HashMap::new();
         for (p, a) in params.iter().zip(&sched.args) {
             env.insert(p.name.name.clone(), value_of(p.ty, *a));
         }
-        let mut cx = ExecCx::new(sched.switch, env);
+        let mut cx = ExecCx {
+            switch: sched.switch,
+            key: sched.key,
+            env,
+            array_params: Vec::new(),
+        };
         let body = body.clone();
-        self.exec_block(&body, &mut cx)?;
+        self.exec_block(shard, &body, &mut cx)?;
         Ok(())
     }
 
     // ------------------------------------------------------------ handlers
 
-    fn exec_block(&mut self, b: &Block, cx: &mut ExecCx) -> Result<Flow, InterpError> {
+    fn exec_block(
+        &self,
+        shard: &mut Shard,
+        b: &Block,
+        cx: &mut ExecCx,
+    ) -> Result<Flow, InterpError> {
         for s in &b.stmts {
-            match self.exec_stmt(s, cx)? {
+            match self.exec_stmt(shard, s, cx)? {
                 Flow::Normal => {}
                 r @ Flow::Returned(_) => return Ok(r),
             }
@@ -381,10 +428,10 @@ impl<'p> Interp<'p> {
         Ok(Flow::Normal)
     }
 
-    fn exec_stmt(&mut self, s: &Stmt, cx: &mut ExecCx) -> Result<Flow, InterpError> {
+    fn exec_stmt(&self, shard: &mut Shard, s: &Stmt, cx: &mut ExecCx) -> Result<Flow, InterpError> {
         match &s.kind {
             StmtKind::Local { ty, name, init } => {
-                let mut v = self.eval(init, cx)?;
+                let mut v = self.eval(shard, init, cx)?;
                 if let (Some(Ty::Int(w)), Value::Int { v: x, .. }) = (ty, &v) {
                     v = Value::int(*x, *w);
                 }
@@ -392,7 +439,7 @@ impl<'p> Interp<'p> {
                 Ok(Flow::Normal)
             }
             StmtKind::Assign { name, value } => {
-                let v = self.eval(value, cx)?;
+                let v = self.eval(shard, value, cx)?;
                 let v = match (cx.env.get(&name.name), v) {
                     (Some(Value::Int { width, .. }), Value::Int { v: x, .. }) => {
                         Value::int(x, *width)
@@ -407,56 +454,63 @@ impl<'p> Interp<'p> {
                 then_blk,
                 else_blk,
             } => {
-                let c = self.eval(cond, cx)?.as_bool().expect("checked: bool");
+                let c = self
+                    .eval(shard, cond, cx)?
+                    .as_bool()
+                    .expect("checked: bool");
                 if c {
-                    self.exec_block(then_blk, cx)
+                    self.exec_block(shard, then_blk, cx)
                 } else if let Some(e) = else_blk {
-                    self.exec_block(e, cx)
+                    self.exec_block(shard, e, cx)
                 } else {
                     Ok(Flow::Normal)
                 }
             }
             StmtKind::Generate(e) | StmtKind::MGenerate(e) => {
-                let v = self.eval(e, cx)?;
+                let v = self.eval(shard, e, cx)?;
                 let Value::Event(ev) = v else {
                     panic!("checked: generate of non-event")
                 };
-                self.emit(cx.switch, ev);
+                self.emit(shard, ev);
                 Ok(Flow::Normal)
             }
             StmtKind::Return(None) => Ok(Flow::Returned(Value::Void)),
             StmtKind::Return(Some(e)) => {
-                let v = self.eval(e, cx)?;
+                let v = self.eval(shard, e, cx)?;
                 Ok(Flow::Returned(v))
             }
             StmtKind::Printf { fmt, args } => {
                 let mut vals = Vec::new();
                 for a in args {
-                    vals.push(self.eval(a, cx)?);
+                    vals.push(self.eval(shard, a, cx)?);
                 }
                 let line = format_printf(fmt, &vals);
                 if self.echo {
-                    println!("[{} @{}ns] {}", cx.switch, self.now_ns, line);
+                    println!("[{} @{}ns] {}", cx.switch, shard.now_ns, line);
                 }
-                self.output.push(line);
+                shard.output.push((cx.key, line));
                 Ok(Flow::Normal)
             }
             StmtKind::Expr(e) => {
-                self.eval(e, cx)?;
+                self.eval(shard, e, cx)?;
                 Ok(Flow::Normal)
             }
         }
     }
 
     /// Schedule a generated event according to its location and delay.
-    fn emit(&mut self, from: u64, ev: EventVal) {
+    /// Local targets go straight onto the shard's queue (a recirculation
+    /// can land within the current epoch); every other target goes to the
+    /// outbox for the driver to route.
+    fn emit(&self, shard: &mut Shard, ev: EventVal) {
+        let from = shard.switch;
         let targets: Vec<(u64, u64)> = match &ev.location {
-            Location::Here => vec![(from, self.config.recirc_latency_ns)],
+            Location::Here => vec![(from, self.recirc_ns)],
             Location::Switch(s) => {
                 let lat = if *s == from {
-                    self.config.recirc_latency_ns
+                    self.recirc_ns
                 } else {
-                    self.config.link_latency_ns
+                    self.link_ns
                 };
                 vec![(*s, lat)]
             }
@@ -464,34 +518,44 @@ impl<'p> Interp<'p> {
                 .iter()
                 .map(|&m| {
                     let lat = if m == from {
-                        self.config.recirc_latency_ns
+                        self.recirc_ns
                     } else {
-                        self.config.link_latency_ns
+                        self.link_ns
                     };
                     (m, lat)
                 })
                 .collect(),
         };
         for (target, lat) in targets {
-            if target == from {
-                self.stats.recirculated += 1;
-            } else {
-                self.stats.sent_remote += 1;
-            }
-            let time_ns = self.now_ns + lat + ev.delay_ns;
-            self.push(Scheduled {
-                time_ns,
-                seq: 0,
+            shard.emit_seq += 1;
+            let sched = Scheduled {
+                key: Key {
+                    time_ns: shard.now_ns + lat + ev.delay_ns,
+                    class: 1,
+                    origin: from,
+                    seq: shard.emit_seq,
+                },
                 switch: target,
                 event_id: ev.event_id,
                 args: ev.args.clone(),
-            });
+            };
+            if target == from {
+                shard.stats.recirculated += 1;
+                if self.local_to_queue {
+                    shard.queue.push(Reverse(sched));
+                } else {
+                    shard.outbox.push(sched);
+                }
+            } else {
+                shard.stats.sent_remote += 1;
+                shard.outbox.push(sched);
+            }
         }
     }
 
     // --------------------------------------------------------- expressions
 
-    fn eval(&mut self, e: &Expr, cx: &mut ExecCx) -> Result<Value, InterpError> {
+    fn eval(&self, shard: &mut Shard, e: &Expr, cx: &mut ExecCx) -> Result<Value, InterpError> {
         match &e.kind {
             ExprKind::Int { value, width } => Ok(Value::int(*value, width.unwrap_or(32))),
             ExprKind::Bool(b) => Ok(Value::Bool(*b)),
@@ -515,7 +579,7 @@ impl<'p> Interp<'p> {
                 panic!("checked program has unbound var `{}`", id.name)
             }
             ExprKind::Unary { op, arg } => {
-                let v = self.eval(arg, cx)?;
+                let v = self.eval(shard, arg, cx)?;
                 Ok(match op {
                     UnOp::Not => Value::Bool(!v.as_bool().expect("checked")),
                     UnOp::Neg => match v {
@@ -531,31 +595,35 @@ impl<'p> Interp<'p> {
             ExprKind::Binary { op, lhs, rhs } => {
                 // Short-circuit the logical connectives.
                 if *op == BinOp::And {
-                    let l = self.eval(lhs, cx)?.as_bool().expect("checked");
+                    let l = self.eval(shard, lhs, cx)?.as_bool().expect("checked");
                     if !l {
                         return Ok(Value::Bool(false));
                     }
-                    return Ok(Value::Bool(self.eval(rhs, cx)?.as_bool().expect("checked")));
+                    return Ok(Value::Bool(
+                        self.eval(shard, rhs, cx)?.as_bool().expect("checked"),
+                    ));
                 }
                 if *op == BinOp::Or {
-                    let l = self.eval(lhs, cx)?.as_bool().expect("checked");
+                    let l = self.eval(shard, lhs, cx)?.as_bool().expect("checked");
                     if l {
                         return Ok(Value::Bool(true));
                     }
-                    return Ok(Value::Bool(self.eval(rhs, cx)?.as_bool().expect("checked")));
+                    return Ok(Value::Bool(
+                        self.eval(shard, rhs, cx)?.as_bool().expect("checked"),
+                    ));
                 }
-                let l = self.eval(lhs, cx)?;
-                let r = self.eval(rhs, cx)?;
+                let l = self.eval(shard, lhs, cx)?;
+                let r = self.eval(shard, rhs, cx)?;
                 Ok(eval_binop(*op, &l, &r))
             }
             ExprKind::Cast { width, arg } => {
-                let v = self.eval(arg, cx)?.as_int().expect("checked");
+                let v = self.eval(shard, arg, cx)?.as_int().expect("checked");
                 Ok(Value::int(v, *width))
             }
             ExprKind::Hash { width, args } => {
                 let mut vals = Vec::with_capacity(args.len());
                 for a in args {
-                    vals.push(self.eval(a, cx)?.as_int().expect("checked"));
+                    vals.push(self.eval(shard, a, cx)?.as_int().expect("checked"));
                 }
                 let (seed, rest) = vals.split_first().expect("parser: nonempty");
                 Ok(Value::int(lucid_hash(*width, *seed, rest), *width))
@@ -572,7 +640,7 @@ impl<'p> Interp<'p> {
                     let name = ev.name.clone();
                     let mut vals = Vec::with_capacity(args.len());
                     for (a, w) in args.iter().zip(widths) {
-                        vals.push(mask(self.eval(a, cx)?.as_int().expect("checked"), w));
+                        vals.push(mask(self.eval(shard, a, cx)?.as_int().expect("checked"), w));
                     }
                     return Ok(Value::Event(EventVal {
                         event_id: id,
@@ -600,14 +668,14 @@ impl<'p> Interp<'p> {
                             cx.array_params.push((p.name.name.clone(), gid));
                         }
                         _ => {
-                            let v = self.eval(a, cx)?;
+                            let v = self.eval(shard, a, cx)?;
                             env.insert(p.name.name.clone(), v);
                         }
                     }
                 }
                 let saved_env = std::mem::replace(&mut cx.env, env);
                 let array_params_mark = cx.array_params.len();
-                let flow = self.exec_block(&body, cx)?;
+                let flow = self.exec_block(shard, &body, cx)?;
                 cx.env = saved_env;
                 cx.array_params.truncate(
                     array_params_mark.saturating_sub(
@@ -622,7 +690,9 @@ impl<'p> Interp<'p> {
                     Flow::Normal => Value::Void,
                 })
             }
-            ExprKind::BuiltinCall { builtin, args, .. } => self.eval_builtin(*builtin, args, cx),
+            ExprKind::BuiltinCall { builtin, args, .. } => {
+                self.eval_builtin(shard, *builtin, args, cx)
+            }
         }
     }
 
@@ -640,7 +710,8 @@ impl<'p> Interp<'p> {
     }
 
     fn eval_builtin(
-        &mut self,
+        &self,
+        shard: &mut Shard,
         builtin: Builtin,
         args: &[Expr],
         cx: &mut ExecCx,
@@ -653,7 +724,7 @@ impl<'p> Interp<'p> {
             | Builtin::ArrayUpdate => {
                 let gid = self.resolve_array(&args[0], cx);
                 let g = self.prog.info.globals[gid.0].clone();
-                let idx = self.eval(&args[1], cx)?.as_int().expect("checked");
+                let idx = self.eval(shard, &args[1], cx)?.as_int().expect("checked");
                 if idx >= g.len {
                     return Err(InterpError::IndexOutOfBounds {
                         array: g.name.clone(),
@@ -662,62 +733,58 @@ impl<'p> Interp<'p> {
                         switch: cx.switch,
                     });
                 }
-                let cur = self.states[&cx.switch].arrays[gid.0][idx as usize];
+                let cur = shard.state.arrays[gid.0][idx as usize];
                 let w = g.cell_width;
                 match builtin {
                     Builtin::ArrayGet => Ok(Value::int(cur, w)),
                     Builtin::ArrayGetm => {
                         let m = self.memop_of(&args[2]);
-                        let local = self.eval(&args[3], cx)?.as_int().expect("checked");
+                        let local = self.eval(shard, &args[3], cx)?.as_int().expect("checked");
                         Ok(Value::int(eval_memop(&m, cur, local, w), w))
                     }
                     Builtin::ArraySet => {
-                        let v = self.eval(&args[2], cx)?.as_int().expect("checked");
-                        self.store(cx.switch, gid, idx as usize, mask(v, w));
+                        let v = self.eval(shard, &args[2], cx)?.as_int().expect("checked");
+                        shard.state.arrays[gid.0][idx as usize] = mask(v, w);
                         Ok(Value::Void)
                     }
                     Builtin::ArraySetm => {
                         let m = self.memop_of(&args[2]);
-                        let local = self.eval(&args[3], cx)?.as_int().expect("checked");
-                        self.store(cx.switch, gid, idx as usize, eval_memop(&m, cur, local, w));
+                        let local = self.eval(shard, &args[3], cx)?.as_int().expect("checked");
+                        shard.state.arrays[gid.0][idx as usize] = eval_memop(&m, cur, local, w);
                         Ok(Value::Void)
                     }
                     Builtin::ArrayUpdate => {
                         let getop = self.memop_of(&args[2]);
-                        let getarg = self.eval(&args[3], cx)?.as_int().expect("checked");
+                        let getarg = self.eval(shard, &args[3], cx)?.as_int().expect("checked");
                         let setop = self.memop_of(&args[4]);
-                        let setarg = self.eval(&args[5], cx)?.as_int().expect("checked");
+                        let setarg = self.eval(shard, &args[5], cx)?.as_int().expect("checked");
                         let ret = eval_memop(&getop, cur, getarg, w);
-                        self.store(
-                            cx.switch,
-                            gid,
-                            idx as usize,
-                            eval_memop(&setop, cur, setarg, w),
-                        );
+                        shard.state.arrays[gid.0][idx as usize] =
+                            eval_memop(&setop, cur, setarg, w);
                         Ok(Value::int(ret, w))
                     }
                     _ => unreachable!(),
                 }
             }
             Builtin::EventDelay => {
-                let mut v = self.eval(&args[0], cx)?;
-                let d_us = self.eval(&args[1], cx)?.as_int().expect("checked");
+                let mut v = self.eval(shard, &args[0], cx)?;
+                let d_us = self.eval(shard, &args[1], cx)?.as_int().expect("checked");
                 if let Value::Event(ev) = &mut v {
                     ev.delay_ns += d_us * 1_000;
                 }
                 Ok(v)
             }
             Builtin::EventLocate => {
-                let mut v = self.eval(&args[0], cx)?;
-                let loc = self.eval(&args[1], cx)?.as_int().expect("checked");
+                let mut v = self.eval(shard, &args[0], cx)?;
+                let loc = self.eval(shard, &args[1], cx)?.as_int().expect("checked");
                 if let Value::Event(ev) = &mut v {
                     ev.location = Location::Switch(loc);
                 }
                 Ok(v)
             }
             Builtin::EventMLocate => {
-                let mut v = self.eval(&args[0], cx)?;
-                let g = match self.eval(&args[1], cx)? {
+                let mut v = self.eval(shard, &args[0], cx)?;
+                let g = match self.eval(shard, &args[1], cx)? {
                     Value::Group(g) => g,
                     _ => panic!("checked: group"),
                 };
@@ -726,7 +793,7 @@ impl<'p> Interp<'p> {
                 }
                 Ok(v)
             }
-            Builtin::SysTime => Ok(Value::int(self.now_ns / 1_000, 32)),
+            Builtin::SysTime => Ok(Value::int(shard.now_ns / 1_000, 32)),
             Builtin::SysSelf => Ok(Value::int(cx.switch, 32)),
             Builtin::SysPort => Ok(Value::int(0, 32)),
         }
@@ -738,34 +805,541 @@ impl<'p> Interp<'p> {
             _ => panic!("checked: memop position holds a name"),
         }
     }
-
-    fn store(&mut self, switch: u64, gid: GlobalId, idx: usize, v: u64) {
-        self.states.get_mut(&switch).expect("switch exists").arrays[gid.0][idx] = v;
-    }
 }
 
-/// Execution context of one handler activation.
-struct ExecCx {
-    switch: u64,
-    env: HashMap<String, Value>,
-    /// Array-typed function parameters in scope: name → resolved global.
-    array_params: Vec<(String, GlobalId)>,
+// ------------------------------------------------------------------ pool
+
+/// One barrier round's instructions to a worker.
+enum Cmd {
+    Epoch {
+        /// Exclusive virtual-time horizon of this epoch.
+        end_ns: u64,
+        /// Maximum events this worker may process in the epoch — the
+        /// liveness bound for zero-latency recirculation loops, which
+        /// would otherwise never leave the epoch.
+        budget: u64,
+        /// Cross-shard events routed to this worker's shards.
+        deliveries: Vec<Scheduled>,
+    },
+    Stop,
 }
 
-impl ExecCx {
-    fn new(switch: u64, env: HashMap<String, Value>) -> Self {
-        ExecCx {
-            switch,
-            env,
-            array_params: Vec::new(),
+/// One worker's barrier report.
+#[derive(Default)]
+struct Rsp {
+    processed: u64,
+    outbox: Vec<Scheduled>,
+    next_ns: Option<u64>,
+    error: Option<(Key, InterpError)>,
+    /// The worker panicked; the coordinator must stop and join.
+    died: bool,
+}
+
+/// Sends a `died` report if its worker unwinds, so the coordinator's
+/// barrier `recv` cannot block forever on a panicked worker.
+struct DeathWatch {
+    tx: mpsc::Sender<Rsp>,
+    armed: bool,
+}
+
+impl Drop for DeathWatch {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            let _ = self.tx.send(Rsp {
+                died: true,
+                ..Rsp::default()
+            });
         }
     }
 }
 
-// Allow struct-literal construction in dispatch (kept in sync with new()).
-impl From<(u64, HashMap<String, Value>)> for ExecCx {
-    fn from((switch, env): (u64, HashMap<String, Value>)) -> Self {
-        ExecCx::new(switch, env)
+fn min_opt(a: Option<u64>, b: Option<u64>) -> Option<u64> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+/// The interpreter. Borrows the checked program; owns all simulation state.
+pub struct Interp<'p> {
+    prog: &'p CheckedProgram,
+    pub config: NetConfig,
+    /// One shard per configured switch, keyed by switch id.
+    shards: BTreeMap<u64, Shard>,
+    /// Pending events between runs (and the sequential driver's queue).
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    /// Injection counter feeding [`Key::seq`] for external events.
+    inj_seq: u64,
+    /// Simulation clock, nanoseconds.
+    pub now_ns: u64,
+    /// Every handled event, in deterministic [`Key`] order. Cleared with
+    /// [`Interp::clear_trace`].
+    pub trace: Vec<Handled>,
+    /// `printf` output lines, in the same deterministic order.
+    pub output: Vec<String>,
+    pub stats: Stats,
+    /// When true, `printf` also writes to stdout.
+    pub echo: bool,
+}
+
+impl<'p> Interp<'p> {
+    pub fn new(prog: &'p CheckedProgram, config: NetConfig) -> Self {
+        let shards = config
+            .switches
+            .iter()
+            .map(|&s| (s, Shard::new(s, prog)))
+            .collect();
+        Interp {
+            prog,
+            config,
+            shards,
+            queue: BinaryHeap::new(),
+            inj_seq: 0,
+            now_ns: 0,
+            trace: Vec::new(),
+            output: Vec::new(),
+            stats: Stats::default(),
+            echo: false,
+        }
+    }
+
+    /// Single-switch interpreter with default timing.
+    pub fn single(prog: &'p CheckedProgram) -> Self {
+        Interp::new(prog, NetConfig::single())
+    }
+
+    fn exec(&self, local_to_queue: bool) -> Exec<'p> {
+        Exec {
+            prog: self.prog,
+            recirc_ns: self.config.recirc_latency_ns,
+            link_ns: self.config.link_latency_ns,
+            echo: self.echo,
+            local_to_queue,
+        }
+    }
+
+    /// Schedule an externally injected event (e.g. a packet arrival) by
+    /// name at an absolute time. Injections to switches outside the
+    /// configured topology are counted as dropped immediately.
+    pub fn schedule(
+        &mut self,
+        switch: u64,
+        time_ns: u64,
+        event: &str,
+        args: &[u64],
+    ) -> Result<(), InterpError> {
+        let ev = self
+            .prog
+            .info
+            .event(event)
+            .ok_or_else(|| InterpError::NoSuchEvent(event.to_string()))?;
+        if ev.params.len() != args.len() {
+            return Err(InterpError::BadArity {
+                event: event.to_string(),
+                want: ev.params.len(),
+                got: args.len(),
+            });
+        }
+        let masked: Vec<u64> = ev
+            .params
+            .iter()
+            .zip(args)
+            .map(|(p, a)| mask(*a, p.ty.int_width().unwrap_or(32)))
+            .collect();
+        if !self.shards.contains_key(&switch) {
+            self.stats.dropped += 1;
+            return Ok(());
+        }
+        self.inj_seq += 1;
+        self.queue.push(Reverse(Scheduled {
+            key: Key {
+                time_ns,
+                class: 0,
+                origin: 0,
+                seq: self.inj_seq,
+            },
+            switch,
+            event_id: ev.id,
+            args: masked,
+        }));
+        Ok(())
+    }
+
+    /// Read a global array on a switch (for assertions). Panics if the
+    /// switch is unknown or currently failed; see [`Interp::try_array`].
+    pub fn array(&self, switch: u64, name: &str) -> &[u64] {
+        self.try_array(switch, name)
+            .unwrap_or_else(|| panic!("switch {switch} is unknown or failed"))
+    }
+
+    /// Read a global array on a switch, `None` when the switch is unknown
+    /// or failed.
+    pub fn try_array(&self, switch: u64, name: &str) -> Option<&[u64]> {
+        let gid = self.prog.info.globals_by_name[name];
+        let shard = self.shards.get(&switch)?;
+        if !shard.alive {
+            return None;
+        }
+        Some(&shard.state.arrays[gid.0])
+    }
+
+    /// Whether a switch is configured and currently alive.
+    pub fn alive(&self, switch: u64) -> bool {
+        self.shards.get(&switch).is_some_and(|s| s.alive)
+    }
+
+    /// Overwrite a global array cell (test setup / fault injection).
+    pub fn poke(&mut self, switch: u64, name: &str, index: usize, value: u64) {
+        let gid = self.prog.info.globals_by_name[name];
+        let g = &self.prog.info.globals[gid.0];
+        let v = mask(value, g.cell_width);
+        self.shards
+            .get_mut(&switch)
+            .expect("switch exists")
+            .state
+            .arrays[gid.0][index] = v;
+    }
+
+    /// Fault injection: take a switch offline. Its state is lost and any
+    /// event destined to it is dropped (counted in [`Stats::dropped`]),
+    /// exactly like a dead box on the wire.
+    pub fn fail_switch(&mut self, id: u64) {
+        if let Some(shard) = self.shards.get_mut(&id) {
+            shard.alive = false;
+            shard.state = SwitchState::zeroed(self.prog);
+        }
+    }
+
+    /// Bring a previously failed switch back with zeroed registers (a
+    /// rebooted switch does not remember its arrays).
+    pub fn recover_switch(&mut self, id: u64) {
+        if let Some(shard) = self.shards.get_mut(&id) {
+            shard.alive = true;
+            shard.state = SwitchState::zeroed(self.prog);
+        }
+    }
+
+    /// Number of events still queued.
+    pub fn pending(&self) -> usize {
+        self.queue.len() + self.shards.values().map(|s| s.queue.len()).sum::<usize>()
+    }
+
+    pub fn clear_trace(&mut self) {
+        self.trace.clear();
+        self.output.clear();
+    }
+
+    /// Run until the queue drains, `max_events` have been handled, or the
+    /// clock passes `max_time_ns` (events after the horizon stay queued).
+    /// Dispatches to the driver named by [`NetConfig::engine`].
+    pub fn run(&mut self, max_events: u64, max_time_ns: u64) -> Result<(), InterpError> {
+        match self.config.engine {
+            Engine::Sequential => self.run_sequential(max_events, max_time_ns),
+            Engine::Sharded { workers, epoch_ns } => {
+                self.run_sharded(max_events, max_time_ns, workers, epoch_ns)
+            }
+        }
+    }
+
+    /// Run with a generous default budget; most tests use this.
+    pub fn run_to_quiescence(&mut self) -> Result<(), InterpError> {
+        self.run(1_000_000, u64::MAX)
+    }
+
+    // ------------------------------------------------- sequential driver
+
+    fn run_sequential(&mut self, max_events: u64, max_time_ns: u64) -> Result<(), InterpError> {
+        let exec = self.exec(false);
+        let known: std::collections::HashSet<u64> = self.shards.keys().copied().collect();
+        let mut processed_this_run = 0u64;
+        while let Some(Reverse(next)) = self.queue.peek() {
+            if next.key.time_ns > max_time_ns {
+                return Ok(());
+            }
+            if processed_this_run >= max_events {
+                return Err(InterpError::FuelExhausted {
+                    handled: processed_this_run,
+                });
+            }
+            let Reverse(sched) = self.queue.pop().expect("peeked");
+            processed_this_run += 1;
+            self.stats.processed += 1;
+            self.now_ns = self.now_ns.max(sched.key.time_ns);
+            let shard = self
+                .shards
+                .get_mut(&sched.switch)
+                .expect("routed to known switch");
+            shard.now_ns = shard.now_ns.max(sched.key.time_ns);
+            let res = exec.dispatch(shard, sched);
+            // Route everything the handler produced (local and remote —
+            // the sequential exec sends both through the outbox) back to
+            // the global queue, and surface the shard's buffers
+            // immediately (the pop order already is the deterministic
+            // key order).
+            let mut dropped_unknown = 0;
+            for ev in shard.outbox.drain(..) {
+                if known.contains(&ev.switch) {
+                    self.queue.push(Reverse(ev));
+                } else {
+                    dropped_unknown += 1;
+                }
+            }
+            self.trace.extend(shard.trace.drain(..).map(|(_, h)| h));
+            self.output.extend(shard.output.drain(..).map(|(_, s)| s));
+            self.stats.absorb(&mut shard.stats);
+            self.stats.dropped += dropped_unknown;
+            res?;
+        }
+        Ok(())
+    }
+
+    /// Move every shard's run-local buffers into the interpreter-level
+    /// trace/output/stats, in deterministic key order.
+    fn drain_all_buffers(&mut self) {
+        let mut trace: Vec<(Key, Handled)> = Vec::new();
+        let mut output: Vec<(Key, String)> = Vec::new();
+        for shard in self.shards.values_mut() {
+            trace.append(&mut shard.trace);
+            output.append(&mut shard.output);
+            self.stats.absorb(&mut shard.stats);
+            self.now_ns = self.now_ns.max(shard.now_ns);
+        }
+        trace.sort_by_key(|(k, _)| *k);
+        output.sort_by_key(|(k, _)| *k);
+        self.trace.extend(trace.into_iter().map(|(_, h)| h));
+        self.output.extend(output.into_iter().map(|(_, s)| s));
+    }
+
+    // ---------------------------------------------------- sharded driver
+
+    fn run_sharded(
+        &mut self,
+        max_events: u64,
+        max_time_ns: u64,
+        workers: usize,
+        epoch_ns: u64,
+    ) -> Result<(), InterpError> {
+        let link = self.config.link_latency_ns;
+        // A zero-latency wire admits no conservative epoch; a single shard
+        // has nothing to parallelize. Fall back to the reference engine.
+        if link == 0 || self.shards.len() <= 1 {
+            return self.run_sequential(max_events, max_time_ns);
+        }
+        let epoch = if epoch_ns == 0 {
+            link
+        } else {
+            epoch_ns.min(link)
+        };
+        let nworkers = if workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            workers
+        }
+        .clamp(1, self.shards.len());
+
+        // Distribute pending events onto their shards' queues.
+        let mut q = std::mem::take(&mut self.queue);
+        for Reverse(ev) in q.drain() {
+            match self.shards.get_mut(&ev.switch) {
+                Some(sh) => sh.queue.push(Reverse(ev)),
+                None => self.stats.dropped += 1,
+            }
+        }
+
+        // Static partition: shard i (in switch-id order) → worker i % W.
+        let shard_map = std::mem::take(&mut self.shards);
+        let mut owner: HashMap<u64, usize> = HashMap::new();
+        let mut partitions: Vec<Vec<Shard>> = (0..nworkers).map(|_| Vec::new()).collect();
+        let mut next_ns: Option<u64> = None;
+        for (i, (id, shard)) in shard_map.into_iter().enumerate() {
+            next_ns = min_opt(next_ns, shard.next_time());
+            owner.insert(id, i % nworkers);
+            partitions[i % nworkers].push(shard);
+        }
+
+        let exec = self.exec(true);
+        let mut total_processed = 0u64;
+        let mut first_error: Option<(Key, InterpError)> = None;
+        let mut fuel_exhausted = false;
+        let mut returned: Vec<Vec<Shard>> = Vec::new();
+
+        std::thread::scope(|scope| {
+            let (rsp_tx, rsp_rx) = mpsc::channel::<Rsp>();
+            let mut cmd_txs = Vec::with_capacity(nworkers);
+            let mut handles = Vec::with_capacity(nworkers);
+            for mut shards in partitions.into_iter() {
+                let (cmd_tx, cmd_rx) = mpsc::channel::<Cmd>();
+                cmd_txs.push(cmd_tx);
+                let rsp_tx = rsp_tx.clone();
+                handles.push(scope.spawn(move || {
+                    // If this worker unwinds, tell the coordinator rather
+                    // than leaving it blocked on a response forever.
+                    let mut watch = DeathWatch {
+                        tx: rsp_tx.clone(),
+                        armed: true,
+                    };
+                    while let Ok(cmd) = cmd_rx.recv() {
+                        let Cmd::Epoch {
+                            end_ns,
+                            budget,
+                            deliveries,
+                        } = cmd
+                        else {
+                            break;
+                        };
+                        for ev in deliveries {
+                            let sh = shards
+                                .iter_mut()
+                                .find(|s| s.switch == ev.switch)
+                                .expect("routed to owned shard");
+                            sh.queue.push(Reverse(ev));
+                        }
+                        let mut rsp = Rsp::default();
+                        for shard in shards.iter_mut() {
+                            while let Some(Reverse(head)) = shard.queue.peek() {
+                                // The per-epoch budget keeps zero-latency
+                                // recirculation loops from spinning forever
+                                // inside one epoch; leftover events simply
+                                // surface at the barrier as fuel exhaustion.
+                                if head.key.time_ns >= end_ns || rsp.processed >= budget {
+                                    break;
+                                }
+                                let Reverse(sched) = shard.queue.pop().expect("peeked");
+                                shard.now_ns = shard.now_ns.max(sched.key.time_ns);
+                                rsp.processed += 1;
+                                let key = sched.key;
+                                if let Err(e) = exec.dispatch(shard, sched) {
+                                    // Keep the smallest-key fault; abandon
+                                    // this shard's epoch.
+                                    if rsp.error.as_ref().is_none_or(|(k, _)| key < *k) {
+                                        rsp.error = Some((key, e));
+                                    }
+                                    break;
+                                }
+                            }
+                            rsp.outbox.append(&mut shard.outbox);
+                            rsp.next_ns = min_opt(rsp.next_ns, shard.next_time());
+                        }
+                        if rsp_tx.send(rsp).is_err() {
+                            break;
+                        }
+                    }
+                    watch.armed = false;
+                    shards
+                }));
+            }
+            drop(rsp_tx);
+
+            let mut deliveries: Vec<Vec<Scheduled>> = (0..nworkers).map(|_| Vec::new()).collect();
+            let mut dropped_unknown = 0u64;
+            while let Some(t) = next_ns {
+                if t > max_time_ns {
+                    break;
+                }
+                if total_processed >= max_events {
+                    fuel_exhausted = true;
+                    break;
+                }
+                let end_ns = t.saturating_add(epoch).min(max_time_ns.saturating_add(1));
+                let budget = max_events.saturating_sub(total_processed);
+                for (w, tx) in cmd_txs.iter().enumerate() {
+                    let cmd = Cmd::Epoch {
+                        end_ns,
+                        budget,
+                        deliveries: std::mem::take(&mut deliveries[w]),
+                    };
+                    // A send only fails when the worker died; its
+                    // DeathWatch message is (or will be) in the response
+                    // queue, so the recv loop below still completes.
+                    let _ = tx.send(cmd);
+                }
+                let mut round_next: Option<u64> = None;
+                let mut ok = true;
+                for _ in 0..nworkers {
+                    let Ok(rsp) = rsp_rx.recv() else {
+                        ok = false;
+                        break;
+                    };
+                    if rsp.died {
+                        // A worker panicked; joining below re-raises it.
+                        ok = false;
+                        break;
+                    }
+                    total_processed += rsp.processed;
+                    round_next = min_opt(round_next, rsp.next_ns);
+                    if let Some((k, e)) = rsp.error {
+                        if first_error.as_ref().is_none_or(|(fk, _)| k < *fk) {
+                            first_error = Some((k, e));
+                        }
+                    }
+                    for ev in rsp.outbox {
+                        match owner.get(&ev.switch) {
+                            Some(&w) => {
+                                round_next = min_opt(round_next, Some(ev.key.time_ns));
+                                deliveries[w].push(ev);
+                            }
+                            None => dropped_unknown += 1,
+                        }
+                    }
+                }
+                if !ok || first_error.is_some() {
+                    break;
+                }
+                next_ns = round_next;
+                // Workers each get the full remaining budget, so a round
+                // can overshoot it even while draining the queue; report
+                // that as fuel exhaustion exactly like the sequential
+                // engine would have at event `max_events + 1`.
+                if total_processed > max_events {
+                    fuel_exhausted = true;
+                    break;
+                }
+            }
+
+            for tx in &cmd_txs {
+                let _ = tx.send(Cmd::Stop);
+            }
+            drop(cmd_txs);
+            // Undelivered cross-shard events stay pending for a later run.
+            self.stats.dropped += dropped_unknown;
+            for handle in handles {
+                returned.push(handle.join().expect("worker panicked"));
+            }
+            for (w, devs) in deliveries.into_iter().enumerate() {
+                for ev in devs {
+                    let sh = returned[w]
+                        .iter_mut()
+                        .find(|s| s.switch == ev.switch)
+                        .expect("owned shard returned");
+                    sh.queue.push(Reverse(ev));
+                }
+            }
+        });
+
+        for shard in returned.into_iter().flatten() {
+            self.shards.insert(shard.switch, shard);
+        }
+        self.stats.processed += total_processed;
+        self.drain_all_buffers();
+        // Park leftover shard-queue events back on the global queue so a
+        // later run (under either engine) sees them.
+        for shard in self.shards.values_mut() {
+            while let Some(ev) = shard.queue.pop() {
+                self.queue.push(ev);
+            }
+        }
+        if let Some((_, e)) = first_error {
+            return Err(e);
+        }
+        if fuel_exhausted {
+            return Err(InterpError::FuelExhausted {
+                handled: total_processed,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -1131,5 +1705,230 @@ mod tests {
         let mut sorted = times.clone();
         sorted.sort();
         assert_eq!(times, sorted);
+    }
+
+    // ------------------------------------------------- sharded engine
+
+    /// A mesh program with heavy cross-switch traffic: every packet bumps
+    /// a local sketch, then forwards to a hash-picked neighbor until its
+    /// TTL drains. Exercises recirculation, remote sends, and timer ties.
+    const MESH_MIX: &str = r#"
+        global cnt = new Array<<32>>(64);
+        global mix = new Array<<32>>(64);
+        memop plus(int m, int x) { return m + x; }
+        event pkt(int a, int b, int ttl);
+        handle pkt(int a, int b, int ttl) {
+            auto i = hash<<6>>(1, a, b);
+            int c = Array.update(cnt, i, plus, 1, plus, 1);
+            auto j = hash<<6>>(2, c, a);
+            Array.setm(mix, j, plus, b);
+            if (ttl > 0) {
+                generate pkt(a + 1, b, ttl - 1);
+                generate Event.locate(pkt(a, b + c, ttl - 1), ((a + b) & 7) + 1);
+            }
+        }
+        "#;
+
+    fn run_mesh(engine: Engine) -> (Vec<Vec<u64>>, Stats, Vec<Handled>, Vec<String>) {
+        let prog = checked(MESH_MIX);
+        let mut cfg = NetConfig::mesh(8);
+        cfg.engine = engine;
+        let mut i = Interp::new(&prog, cfg);
+        for s in 1..=8u64 {
+            for k in 0..6u64 {
+                i.schedule(s, k * 400, "pkt", &[s * 17 + k, k, 4]).unwrap();
+            }
+        }
+        i.run_to_quiescence().unwrap();
+        let arrays: Vec<Vec<u64>> = (1..=8u64)
+            .flat_map(|s| vec![i.array(s, "cnt").to_vec(), i.array(s, "mix").to_vec()])
+            .collect();
+        (arrays, i.stats.clone(), i.trace.clone(), i.output.clone())
+    }
+
+    #[test]
+    fn sharded_engine_is_bit_identical_to_sequential() {
+        let (seq_arrays, seq_stats, seq_trace, seq_out) = run_mesh(Engine::Sequential);
+        let (sh_arrays, sh_stats, sh_trace, sh_out) = run_mesh(Engine::Sharded {
+            workers: 4,
+            epoch_ns: 0,
+        });
+        assert_eq!(seq_arrays, sh_arrays, "final array state must match");
+        assert_eq!(seq_stats, sh_stats, "statistics must match");
+        assert_eq!(seq_trace, sh_trace, "merged trace must match");
+        assert_eq!(seq_out, sh_out);
+        assert!(seq_stats.sent_remote > 100, "workload must cross switches");
+    }
+
+    #[test]
+    fn sharded_engine_narrow_epoch_still_identical() {
+        let (seq_arrays, seq_stats, ..) = run_mesh(Engine::Sequential);
+        let (sh_arrays, sh_stats, ..) = run_mesh(Engine::Sharded {
+            workers: 2,
+            epoch_ns: 250,
+        });
+        assert_eq!(seq_arrays, sh_arrays);
+        assert_eq!(seq_stats, sh_stats);
+    }
+
+    #[test]
+    fn sharded_fuel_exhaustion_reports_error() {
+        let prog = checked(
+            r#"
+            event spin();
+            handle spin() { generate spin(); }
+            "#,
+        );
+        let mut cfg = NetConfig::mesh(2);
+        cfg.engine = Engine::Sharded {
+            workers: 2,
+            epoch_ns: 0,
+        };
+        let mut i = Interp::new(&prog, cfg);
+        i.schedule(1, 0, "spin", &[]).unwrap();
+        let err = i.run(1_000, u64::MAX).unwrap_err();
+        assert!(matches!(err, InterpError::FuelExhausted { .. }), "{err}");
+    }
+
+    #[test]
+    fn sharded_zero_latency_loop_hits_fuel_instead_of_hanging() {
+        // recirc_latency_ns == 0 lets a self-generating event stay inside
+        // one epoch forever; the per-epoch budget must bound it.
+        let prog = checked(
+            r#"
+            event spin();
+            handle spin() { generate spin(); }
+            "#,
+        );
+        let mut cfg = NetConfig::mesh(2);
+        cfg.recirc_latency_ns = 0;
+        cfg.engine = Engine::Sharded {
+            workers: 2,
+            epoch_ns: 0,
+        };
+        let mut i = Interp::new(&prog, cfg);
+        i.schedule(1, 0, "spin", &[]).unwrap();
+        let err = i.run(500, u64::MAX).unwrap_err();
+        assert!(matches!(err, InterpError::FuelExhausted { .. }), "{err}");
+    }
+
+    #[test]
+    fn sharded_overshoot_that_drains_the_queue_still_errs() {
+        // 12 same-epoch events across 2 workers, budget 10: each worker
+        // gets the full remaining budget, so the round drains the queue
+        // while exceeding max_events — that must still be FuelExhausted,
+        // as the sequential engine would have reported at event 11.
+        let prog = checked(
+            r#"
+            global n = new Array<<32>>(1);
+            memop plus(int m, int x) { return m + x; }
+            event ping();
+            handle ping() { Array.setm(n, 0, plus, 1); }
+            "#,
+        );
+        let mut cfg = NetConfig::mesh(2);
+        cfg.engine = Engine::Sharded {
+            workers: 2,
+            epoch_ns: 0,
+        };
+        let mut i = Interp::new(&prog, cfg);
+        for s in [1u64, 2] {
+            for k in 0..6u64 {
+                i.schedule(s, k, "ping", &[]).unwrap();
+            }
+        }
+        let err = i.run(10, u64::MAX).unwrap_err();
+        assert!(matches!(err, InterpError::FuelExhausted { .. }), "{err}");
+    }
+
+    #[test]
+    fn sharded_runtime_fault_is_deterministic() {
+        let prog = checked(
+            r#"
+            global a = new Array<<32>>(4);
+            event go(int i);
+            handle go(int i) { Array.set(a, i, 1); }
+            "#,
+        );
+        let mut cfg = NetConfig::mesh(4);
+        cfg.engine = Engine::Sharded {
+            workers: 4,
+            epoch_ns: 0,
+        };
+        let mut i = Interp::new(&prog, cfg);
+        // Two out-of-bounds faults in the same epoch: the smaller key
+        // (earlier time) must win every run.
+        i.schedule(3, 100, "go", &[9]).unwrap();
+        i.schedule(2, 50, "go", &[7]).unwrap();
+        let err = i.run_to_quiescence().unwrap_err();
+        assert!(
+            matches!(err, InterpError::IndexOutOfBounds { index: 7, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn failed_switch_drops_and_recovers_under_both_engines() {
+        for engine in [
+            Engine::Sequential,
+            Engine::Sharded {
+                workers: 2,
+                epoch_ns: 0,
+            },
+        ] {
+            let prog = checked(
+                r#"
+                global seen = new Array<<32>>(4);
+                memop plus(int m, int x) { return m + x; }
+                event pkt();
+                handle pkt() { Array.setm(seen, 0, plus, 1); }
+                "#,
+            );
+            let mut cfg = NetConfig::mesh(2);
+            cfg.engine = engine;
+            let mut i = Interp::new(&prog, cfg);
+            i.fail_switch(2);
+            i.schedule(2, 0, "pkt", &[]).unwrap();
+            i.schedule(1, 0, "pkt", &[]).unwrap();
+            i.run_to_quiescence().unwrap();
+            assert_eq!(i.stats.dropped, 1, "{engine:?}");
+            assert_eq!(i.array(1, "seen")[0], 1);
+            assert!(i.try_array(2, "seen").is_none());
+            i.recover_switch(2);
+            i.schedule(2, 10_000, "pkt", &[]).unwrap();
+            i.run_to_quiescence().unwrap();
+            assert_eq!(i.array(2, "seen")[0], 1, "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn resumed_runs_cross_engines() {
+        // A run under the sequential engine can be resumed under the
+        // sharded one: pending events survive in the global queue.
+        let prog = checked(MESH_MIX);
+        let mut i = Interp::new(&prog, NetConfig::mesh(8));
+        for s in 1..=8u64 {
+            i.schedule(s, 0, "pkt", &[s, 3, 6]).unwrap();
+        }
+        i.run(1_000_000, 2_000).unwrap();
+        let mid_pending = i.pending();
+        assert!(mid_pending > 0, "horizon must leave events queued");
+        i.config.engine = Engine::Sharded {
+            workers: 3,
+            epoch_ns: 0,
+        };
+        i.run_to_quiescence().unwrap();
+        assert_eq!(i.pending(), 0);
+
+        let mut j = Interp::new(&prog, NetConfig::mesh(8));
+        for s in 1..=8u64 {
+            j.schedule(s, 0, "pkt", &[s, 3, 6]).unwrap();
+        }
+        j.run_to_quiescence().unwrap();
+        for s in 1..=8u64 {
+            assert_eq!(i.array(s, "cnt"), j.array(s, "cnt"));
+            assert_eq!(i.array(s, "mix"), j.array(s, "mix"));
+        }
+        assert_eq!(i.stats, j.stats);
     }
 }

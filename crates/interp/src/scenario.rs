@@ -1,0 +1,1506 @@
+//! Scenario-driven simulation: JSON-specified traffic traces, topology,
+//! fault schedules, and expected outcomes, mirroring the paper artifact's
+//! "interpreter specification" files that let Lucid programs be tested
+//! against event traces without the Tofino toolchain.
+//!
+//! A scenario file (`*.sim.json`) holds:
+//!
+//! * `net` — the topology and timing ([`NetConfig`]): a switch list (or a
+//!   mesh size) plus wire/recirculation latencies;
+//! * `engine` — which driver runs it (`"sequential"` or `"sharded"`);
+//! * `limits` — event budget and virtual-time horizon;
+//! * `init` — initial array state, applied with [`Interp::poke`];
+//! * `events` — timed external injections;
+//! * `failures` — a switch fail/recover schedule;
+//! * `expect` — final array cells/contents and event-count expectations.
+//!
+//! [`Scenario::from_json`] parses and shape-checks the file;
+//! [`Scenario::validate`] resolves it against a checked program (unknown
+//! events, bad arity, out-of-range switches and indices all become
+//! structured [`ScenarioError`]s); [`run_scenario`] executes it and
+//! returns a [`SimReport`] whose [`Mismatch`] list is empty exactly when
+//! every expectation held.
+
+use crate::machine::{Engine, Interp, InterpError, NetConfig, Stats};
+use lucid_check::CheckedProgram;
+use std::fmt;
+use std::time::Instant;
+
+// ----------------------------------------------------------------- errors
+
+/// A structured scenario failure: where in the file (JSON position or
+/// field path) and what went wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// The file is not well-formed JSON.
+    Json {
+        line: usize,
+        col: usize,
+        msg: String,
+    },
+    /// The JSON is well-formed but does not fit the scenario schema.
+    Schema { path: String, msg: String },
+    /// The scenario does not fit the program or topology (unknown event,
+    /// wrong arity, out-of-range switch id or array index, ...).
+    Validate { path: String, msg: String },
+}
+
+impl ScenarioError {
+    fn schema(path: &str, msg: impl Into<String>) -> Self {
+        ScenarioError::Schema {
+            path: path.to_string(),
+            msg: msg.into(),
+        }
+    }
+
+    fn validate(path: &str, msg: impl Into<String>) -> Self {
+        ScenarioError::Validate {
+            path: path.to_string(),
+            msg: msg.into(),
+        }
+    }
+
+    /// One-line JSON rendering (for `lucidc sim --json`).
+    pub fn to_json(&self) -> String {
+        match self {
+            ScenarioError::Json { line, col, msg } => format!(
+                "{{\"kind\":\"json\",\"line\":{line},\"col\":{col},\"msg\":\"{}\"}}",
+                json_escape(msg)
+            ),
+            ScenarioError::Schema { path, msg } => format!(
+                "{{\"kind\":\"schema\",\"path\":\"{}\",\"msg\":\"{}\"}}",
+                json_escape(path),
+                json_escape(msg)
+            ),
+            ScenarioError::Validate { path, msg } => format!(
+                "{{\"kind\":\"validate\",\"path\":\"{}\",\"msg\":\"{}\"}}",
+                json_escape(path),
+                json_escape(msg)
+            ),
+        }
+    }
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Json { line, col, msg } => {
+                write!(
+                    f,
+                    "scenario is not valid JSON (line {line}, col {col}): {msg}"
+                )
+            }
+            ScenarioError::Schema { path, msg } => {
+                write!(f, "scenario schema error at `{path}`: {msg}")
+            }
+            ScenarioError::Validate { path, msg } => {
+                write!(f, "scenario does not fit the program at `{path}`: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// Why a scenario run failed outright (as opposed to finishing with
+/// expectation mismatches, which land in [`SimReport::mismatches`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimRunError {
+    Scenario(ScenarioError),
+    Runtime(InterpError),
+}
+
+impl fmt::Display for SimRunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimRunError::Scenario(e) => write!(f, "{e}"),
+            SimRunError::Runtime(e) => write!(f, "runtime fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimRunError {}
+
+impl From<ScenarioError> for SimRunError {
+    fn from(e: ScenarioError) -> Self {
+        SimRunError::Scenario(e)
+    }
+}
+
+impl From<InterpError> for SimRunError {
+    fn from(e: InterpError) -> Self {
+        SimRunError::Runtime(e)
+    }
+}
+
+// ------------------------------------------------------------ the schema
+
+/// One initial-state write: `arrays[array][index] = value` on `switch`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Poke {
+    pub switch: u64,
+    pub array: String,
+    pub index: u64,
+    pub value: u64,
+}
+
+/// One timed external event injection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Injection {
+    pub time_ns: u64,
+    pub switch: u64,
+    pub event: String,
+    pub args: Vec<u64>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    Fail,
+    Recover,
+}
+
+/// One scheduled fault action, applied when the virtual clock reaches
+/// `time_ns` (before any event at or after that instant runs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureAction {
+    pub time_ns: u64,
+    pub switch: u64,
+    pub kind: FailureKind,
+}
+
+/// One expected final array cell (or whole-array contents).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayExpect {
+    pub switch: u64,
+    pub array: String,
+    /// `Some((index, value))` for a single cell; `None` when `values`
+    /// pins the whole array.
+    pub cell: Option<(u64, u64)>,
+    pub values: Option<Vec<u64>>,
+}
+
+/// Expected outcomes checked after the run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Expectations {
+    pub arrays: Vec<ArrayExpect>,
+    pub handled: Option<u64>,
+    pub dropped: Option<u64>,
+    pub exported: Option<u64>,
+    pub per_event: Vec<(String, u64)>,
+}
+
+/// A parsed scenario file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scenario {
+    pub name: String,
+    pub description: String,
+    pub switches: Vec<u64>,
+    pub link_latency_ns: u64,
+    pub recirc_latency_ns: u64,
+    pub engine: Engine,
+    pub max_events: u64,
+    pub max_time_ns: u64,
+    pub init: Vec<Poke>,
+    pub events: Vec<Injection>,
+    pub failures: Vec<FailureAction>,
+    pub expect: Expectations,
+}
+
+impl Scenario {
+    /// The [`NetConfig`] this scenario describes, with an optional engine
+    /// override (e.g. from `lucidc sim --engine=...`).
+    pub fn net_config(&self, engine_override: Option<Engine>) -> NetConfig {
+        NetConfig {
+            switches: self.switches.clone(),
+            link_latency_ns: self.link_latency_ns,
+            recirc_latency_ns: self.recirc_latency_ns,
+            engine: engine_override.unwrap_or(self.engine),
+        }
+    }
+
+    /// Parse a `*.sim.json` document. Shape errors carry the offending
+    /// field path; syntax errors carry line/column.
+    pub fn from_json(src: &str) -> Result<Scenario, ScenarioError> {
+        let doc = json::parse(src)?;
+        let fields = obj(&doc, "$")?;
+        check_keys(
+            fields,
+            &[
+                "name",
+                "description",
+                "net",
+                "engine",
+                "limits",
+                "init",
+                "events",
+                "failures",
+                "expect",
+            ],
+            "$",
+        )?;
+
+        let name = match get(fields, "name") {
+            Some(j) => str_of(j, "$.name")?.to_string(),
+            None => "unnamed".to_string(),
+        };
+        let description = match get(fields, "description") {
+            Some(j) => str_of(j, "$.description")?.to_string(),
+            None => String::new(),
+        };
+
+        let mut switches: Vec<u64> = vec![1];
+        let mut link_latency_ns = 1_000;
+        let mut recirc_latency_ns = 600;
+        if let Some(net) = get(fields, "net") {
+            let nf = obj(net, "$.net")?;
+            check_keys(
+                nf,
+                &["switches", "link_latency_ns", "recirc_latency_ns"],
+                "$.net",
+            )?;
+            if let Some(sw) = get(nf, "switches") {
+                switches = match sw {
+                    json::Json::Num(_) => {
+                        let n = u64_of(sw, "$.net.switches")?;
+                        if n == 0 {
+                            return Err(ScenarioError::schema(
+                                "$.net.switches",
+                                "a mesh needs at least one switch",
+                            ));
+                        }
+                        (1..=n).collect()
+                    }
+                    json::Json::Arr(items) => {
+                        let mut ids = Vec::with_capacity(items.len());
+                        for (i, item) in items.iter().enumerate() {
+                            ids.push(u64_of(item, &format!("$.net.switches[{i}]"))?);
+                        }
+                        if ids.is_empty() {
+                            return Err(ScenarioError::schema(
+                                "$.net.switches",
+                                "topology needs at least one switch",
+                            ));
+                        }
+                        let mut sorted = ids.clone();
+                        sorted.sort_unstable();
+                        sorted.dedup();
+                        if sorted.len() != ids.len() {
+                            return Err(ScenarioError::schema(
+                                "$.net.switches",
+                                "duplicate switch id",
+                            ));
+                        }
+                        ids
+                    }
+                    _ => {
+                        return Err(ScenarioError::schema(
+                            "$.net.switches",
+                            "expected a switch-id array or a mesh size",
+                        ))
+                    }
+                };
+            }
+            if let Some(j) = get(nf, "link_latency_ns") {
+                link_latency_ns = u64_of(j, "$.net.link_latency_ns")?;
+            }
+            if let Some(j) = get(nf, "recirc_latency_ns") {
+                recirc_latency_ns = u64_of(j, "$.net.recirc_latency_ns")?;
+            }
+        }
+
+        let engine = match get(fields, "engine") {
+            None => Engine::Sequential,
+            Some(json::Json::Str(s)) => Engine::parse(s).ok_or_else(|| {
+                ScenarioError::schema(
+                    "$.engine",
+                    format!("unknown engine `{s}` (expected `sequential` or `sharded`)"),
+                )
+            })?,
+            Some(j @ json::Json::Obj(_)) => {
+                let ef = obj(j, "$.engine")?;
+                check_keys(ef, &["kind", "workers", "epoch_ns"], "$.engine")?;
+                let kind = str_of(req(ef, "kind", "$.engine")?, "$.engine.kind")?;
+                match Engine::parse(kind) {
+                    Some(Engine::Sequential) => Engine::Sequential,
+                    Some(Engine::Sharded { .. }) => Engine::Sharded {
+                        workers: get(ef, "workers")
+                            .map(|j| u64_of(j, "$.engine.workers"))
+                            .transpose()?
+                            .unwrap_or(0) as usize,
+                        epoch_ns: get(ef, "epoch_ns")
+                            .map(|j| u64_of(j, "$.engine.epoch_ns"))
+                            .transpose()?
+                            .unwrap_or(0),
+                    },
+                    None => {
+                        return Err(ScenarioError::schema(
+                            "$.engine.kind",
+                            format!("unknown engine `{kind}`"),
+                        ))
+                    }
+                }
+            }
+            Some(_) => {
+                return Err(ScenarioError::schema(
+                    "$.engine",
+                    "expected an engine name or {kind, workers, epoch_ns}",
+                ))
+            }
+        };
+
+        let mut max_events = 1_000_000;
+        let mut max_time_ns = u64::MAX;
+        if let Some(limits) = get(fields, "limits") {
+            let lf = obj(limits, "$.limits")?;
+            check_keys(lf, &["max_events", "max_time_ns"], "$.limits")?;
+            if let Some(j) = get(lf, "max_events") {
+                max_events = u64_of(j, "$.limits.max_events")?;
+            }
+            if let Some(j) = get(lf, "max_time_ns") {
+                max_time_ns = u64_of(j, "$.limits.max_time_ns")?;
+            }
+        }
+
+        let mut init = Vec::new();
+        if let Some(items) = get(fields, "init") {
+            for (i, item) in arr(items, "$.init")?.iter().enumerate() {
+                let path = format!("$.init[{i}]");
+                let pf = obj(item, &path)?;
+                check_keys(pf, &["switch", "array", "index", "value"], &path)?;
+                init.push(Poke {
+                    switch: u64_of(req(pf, "switch", &path)?, &format!("{path}.switch"))?,
+                    array: str_of(req(pf, "array", &path)?, &format!("{path}.array"))?.to_string(),
+                    index: u64_of(req(pf, "index", &path)?, &format!("{path}.index"))?,
+                    value: u64_of(req(pf, "value", &path)?, &format!("{path}.value"))?,
+                });
+            }
+        }
+
+        let mut events = Vec::new();
+        if let Some(items) = get(fields, "events") {
+            for (i, item) in arr(items, "$.events")?.iter().enumerate() {
+                let path = format!("$.events[{i}]");
+                let ef = obj(item, &path)?;
+                check_keys(ef, &["time_ns", "switch", "event", "args"], &path)?;
+                let mut args = Vec::new();
+                if let Some(list) = get(ef, "args") {
+                    for (k, a) in arr(list, &format!("{path}.args"))?.iter().enumerate() {
+                        args.push(u64_of(a, &format!("{path}.args[{k}]"))?);
+                    }
+                }
+                events.push(Injection {
+                    time_ns: u64_of(req(ef, "time_ns", &path)?, &format!("{path}.time_ns"))?,
+                    switch: u64_of(req(ef, "switch", &path)?, &format!("{path}.switch"))?,
+                    event: str_of(req(ef, "event", &path)?, &format!("{path}.event"))?.to_string(),
+                    args,
+                });
+            }
+        }
+
+        let mut failures = Vec::new();
+        if let Some(items) = get(fields, "failures") {
+            for (i, item) in arr(items, "$.failures")?.iter().enumerate() {
+                let path = format!("$.failures[{i}]");
+                let ff = obj(item, &path)?;
+                check_keys(ff, &["time_ns", "switch", "action"], &path)?;
+                let action = str_of(req(ff, "action", &path)?, &format!("{path}.action"))?;
+                let kind = match action {
+                    "fail" => FailureKind::Fail,
+                    "recover" => FailureKind::Recover,
+                    other => {
+                        return Err(ScenarioError::schema(
+                            &format!("{path}.action"),
+                            format!("unknown action `{other}` (expected `fail` or `recover`)"),
+                        ))
+                    }
+                };
+                let time_ns = u64_of(req(ff, "time_ns", &path)?, &format!("{path}.time_ns"))?;
+                if time_ns == 0 {
+                    return Err(ScenarioError::schema(
+                        &format!("{path}.time_ns"),
+                        "failure actions must be scheduled at time >= 1 ns \
+                         (use `init` for time-zero state)",
+                    ));
+                }
+                failures.push(FailureAction {
+                    time_ns,
+                    switch: u64_of(req(ff, "switch", &path)?, &format!("{path}.switch"))?,
+                    kind,
+                });
+            }
+        }
+
+        let mut expect = Expectations::default();
+        if let Some(exp) = get(fields, "expect") {
+            let xf = obj(exp, "$.expect")?;
+            check_keys(
+                xf,
+                &["arrays", "handled", "dropped", "exported", "per_event"],
+                "$.expect",
+            )?;
+            if let Some(j) = get(xf, "handled") {
+                expect.handled = Some(u64_of(j, "$.expect.handled")?);
+            }
+            if let Some(j) = get(xf, "dropped") {
+                expect.dropped = Some(u64_of(j, "$.expect.dropped")?);
+            }
+            if let Some(j) = get(xf, "exported") {
+                expect.exported = Some(u64_of(j, "$.expect.exported")?);
+            }
+            if let Some(pe) = get(xf, "per_event") {
+                for (name, j) in obj(pe, "$.expect.per_event")? {
+                    expect.per_event.push((
+                        name.clone(),
+                        u64_of(j, &format!("$.expect.per_event.{name}"))?,
+                    ));
+                }
+            }
+            if let Some(items) = get(xf, "arrays") {
+                for (i, item) in arr(items, "$.expect.arrays")?.iter().enumerate() {
+                    let path = format!("$.expect.arrays[{i}]");
+                    let af = obj(item, &path)?;
+                    check_keys(af, &["switch", "array", "index", "value", "values"], &path)?;
+                    let switch = u64_of(req(af, "switch", &path)?, &format!("{path}.switch"))?;
+                    let array =
+                        str_of(req(af, "array", &path)?, &format!("{path}.array"))?.to_string();
+                    let cell = match (get(af, "index"), get(af, "value")) {
+                        (Some(i_), Some(v)) => Some((
+                            u64_of(i_, &format!("{path}.index"))?,
+                            u64_of(v, &format!("{path}.value"))?,
+                        )),
+                        (None, None) => None,
+                        _ => {
+                            return Err(ScenarioError::schema(
+                                &path,
+                                "`index` and `value` must be given together",
+                            ))
+                        }
+                    };
+                    let values = match get(af, "values") {
+                        Some(list) => {
+                            let mut vs = Vec::new();
+                            for (k, v) in arr(list, &format!("{path}.values"))?.iter().enumerate() {
+                                vs.push(u64_of(v, &format!("{path}.values[{k}]"))?);
+                            }
+                            Some(vs)
+                        }
+                        None => None,
+                    };
+                    if cell.is_none() && values.is_none() {
+                        return Err(ScenarioError::schema(
+                            &path,
+                            "expected either `index`+`value` or `values`",
+                        ));
+                    }
+                    expect.arrays.push(ArrayExpect {
+                        switch,
+                        array,
+                        cell,
+                        values,
+                    });
+                }
+            }
+        }
+
+        Ok(Scenario {
+            name,
+            description,
+            switches,
+            link_latency_ns,
+            recirc_latency_ns,
+            engine,
+            max_events,
+            max_time_ns,
+            init,
+            events,
+            failures,
+            expect,
+        })
+    }
+
+    /// Resolve the scenario against a checked program: every event name,
+    /// arity, array name, switch id, and array index must fit.
+    pub fn validate(&self, prog: &CheckedProgram) -> Result<(), ScenarioError> {
+        let known_switch = |s: u64| self.switches.contains(&s);
+        let array_len = |name: &str| -> Option<u64> {
+            prog.info
+                .globals_by_name
+                .get(name)
+                .map(|gid| prog.info.globals[gid.0].len)
+        };
+
+        for (i, p) in self.init.iter().enumerate() {
+            let path = format!("$.init[{i}]");
+            if !known_switch(p.switch) {
+                return Err(ScenarioError::validate(
+                    &format!("{path}.switch"),
+                    format!("switch {} is not in the topology", p.switch),
+                ));
+            }
+            let Some(len) = array_len(&p.array) else {
+                return Err(ScenarioError::validate(
+                    &format!("{path}.array"),
+                    format!("no global array named `{}`", p.array),
+                ));
+            };
+            if p.index >= len {
+                return Err(ScenarioError::validate(
+                    &format!("{path}.index"),
+                    format!(
+                        "index {} out of range for `{}` (len {len})",
+                        p.index, p.array
+                    ),
+                ));
+            }
+        }
+
+        for (i, inj) in self.events.iter().enumerate() {
+            let path = format!("$.events[{i}]");
+            if !known_switch(inj.switch) {
+                return Err(ScenarioError::validate(
+                    &format!("{path}.switch"),
+                    format!("switch {} is not in the topology", inj.switch),
+                ));
+            }
+            let Some(ev) = prog.info.event(&inj.event) else {
+                return Err(ScenarioError::validate(
+                    &format!("{path}.event"),
+                    format!("no event named `{}`", inj.event),
+                ));
+            };
+            if ev.params.len() != inj.args.len() {
+                return Err(ScenarioError::validate(
+                    &format!("{path}.args"),
+                    format!(
+                        "event `{}` wants {} args, got {}",
+                        inj.event,
+                        ev.params.len(),
+                        inj.args.len()
+                    ),
+                ));
+            }
+        }
+
+        for (i, f) in self.failures.iter().enumerate() {
+            if !known_switch(f.switch) {
+                return Err(ScenarioError::validate(
+                    &format!("$.failures[{i}].switch"),
+                    format!("switch {} is not in the topology", f.switch),
+                ));
+            }
+        }
+
+        for (i, x) in self.expect.arrays.iter().enumerate() {
+            let path = format!("$.expect.arrays[{i}]");
+            if !known_switch(x.switch) {
+                return Err(ScenarioError::validate(
+                    &format!("{path}.switch"),
+                    format!("switch {} is not in the topology", x.switch),
+                ));
+            }
+            let Some(len) = array_len(&x.array) else {
+                return Err(ScenarioError::validate(
+                    &format!("{path}.array"),
+                    format!("no global array named `{}`", x.array),
+                ));
+            };
+            if let Some((idx, _)) = x.cell {
+                if idx >= len {
+                    return Err(ScenarioError::validate(
+                        &format!("{path}.index"),
+                        format!("index {idx} out of range for `{}` (len {len})", x.array),
+                    ));
+                }
+            }
+            if let Some(vs) = &x.values {
+                if vs.len() as u64 != len {
+                    return Err(ScenarioError::validate(
+                        &format!("{path}.values"),
+                        format!(
+                            "`{}` has {len} cells but {} values were given",
+                            x.array,
+                            vs.len()
+                        ),
+                    ));
+                }
+            }
+        }
+
+        for (name, _) in &self.expect.per_event {
+            if prog.info.event(name).is_none() {
+                return Err(ScenarioError::validate(
+                    &format!("$.expect.per_event.{name}"),
+                    format!("no event named `{name}`"),
+                ));
+            }
+        }
+
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------------------- report
+
+/// One failed expectation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mismatch {
+    /// A final array cell differed.
+    Array {
+        switch: u64,
+        array: String,
+        index: u64,
+        want: u64,
+        got: u64,
+    },
+    /// An expected array sits on a switch that ended the run failed.
+    FailedSwitch { switch: u64, array: String },
+    /// An event-count expectation differed (`what` is `handled`,
+    /// `dropped`, `exported`, or `event:<name>`).
+    Count { what: String, want: u64, got: u64 },
+}
+
+impl fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mismatch::Array {
+                switch,
+                array,
+                index,
+                want,
+                got,
+            } => write!(
+                f,
+                "switch {switch} `{array}[{index}]`: expected {want}, got {got}"
+            ),
+            Mismatch::FailedSwitch { switch, array } => write!(
+                f,
+                "switch {switch} `{array}`: switch ended the run failed; its arrays are gone"
+            ),
+            Mismatch::Count { what, want, got } => {
+                write!(f, "{what}: expected {want}, got {got}")
+            }
+        }
+    }
+}
+
+impl Mismatch {
+    pub fn to_json(&self) -> String {
+        match self {
+            Mismatch::Array {
+                switch,
+                array,
+                index,
+                want,
+                got,
+            } => format!(
+                "{{\"kind\":\"array\",\"switch\":{switch},\"array\":\"{}\",\
+                 \"index\":{index},\"want\":{want},\"got\":{got}}}",
+                json_escape(array)
+            ),
+            Mismatch::FailedSwitch { switch, array } => format!(
+                "{{\"kind\":\"failed_switch\",\"switch\":{switch},\"array\":\"{}\"}}",
+                json_escape(array)
+            ),
+            Mismatch::Count { what, want, got } => format!(
+                "{{\"kind\":\"count\",\"what\":\"{}\",\"want\":{want},\"got\":{got}}}",
+                json_escape(what)
+            ),
+        }
+    }
+}
+
+/// The outcome of one scenario run: statistics, timings, and every failed
+/// expectation.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    pub scenario: String,
+    pub engine: &'static str,
+    pub switches: usize,
+    pub stats: Stats,
+    /// Final virtual clock, nanoseconds.
+    pub sim_ns: u64,
+    /// Wall-clock run time, milliseconds.
+    pub wall_ms: f64,
+    /// Processed events per wall-clock second.
+    pub events_per_sec: f64,
+    /// FNV-1a digest of every switch's final array state, in switch and
+    /// declaration order (failed switches hash as a marker). Two runs of
+    /// one scenario agree on this exactly when their final states are
+    /// byte-identical — the cheap cross-engine determinism check.
+    pub state_digest: u64,
+    pub mismatches: Vec<Mismatch>,
+}
+
+impl SimReport {
+    /// True when every expectation held.
+    pub fn passed(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+
+    /// The machine-readable form `lucidc sim --json` prints.
+    pub fn to_json(&self) -> String {
+        let mm: Vec<String> = self.mismatches.iter().map(|m| m.to_json()).collect();
+        format!(
+            "{{\"scenario\":\"{}\",\"engine\":\"{}\",\"switches\":{},\
+             \"events_processed\":{},\"events_handled\":{},\"recirculated\":{},\
+             \"sent_remote\":{},\"exported\":{},\"dropped\":{},\
+             \"sim_ns\":{},\"wall_ms\":{:.3},\"events_per_sec\":{:.0},\
+             \"state_digest\":\"{:016x}\",\"ok\":{},\"mismatches\":[{}]}}",
+            json_escape(&self.scenario),
+            self.engine,
+            self.switches,
+            self.stats.processed,
+            self.stats.handled,
+            self.stats.recirculated,
+            self.stats.sent_remote,
+            self.stats.exported,
+            self.stats.dropped,
+            self.sim_ns,
+            self.wall_ms,
+            self.events_per_sec,
+            self.state_digest,
+            self.passed(),
+            mm.join(",")
+        )
+    }
+
+    /// Human-readable summary (the default `lucidc sim` output).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "scenario `{}`: {} switches, {} engine\n\
+             events: {} processed ({} handled, {} recirculated, {} remote, \
+             {} exported, {} dropped)\n\
+             time:   {} sim-ns in {:.3} wall-ms ({:.0} events/sec)\n",
+            self.scenario,
+            self.switches,
+            self.engine,
+            self.stats.processed,
+            self.stats.handled,
+            self.stats.recirculated,
+            self.stats.sent_remote,
+            self.stats.exported,
+            self.stats.dropped,
+            self.sim_ns,
+            self.wall_ms,
+            self.events_per_sec,
+        );
+        if self.passed() {
+            out.push_str("expectations: all met\n");
+        } else {
+            out.push_str(&format!("expectations: {} FAILED\n", self.mismatches.len()));
+            for m in &self.mismatches {
+                out.push_str(&format!("  mismatch: {m}\n"));
+            }
+        }
+        out
+    }
+}
+
+// ----------------------------------------------------------------- runner
+
+/// Validate and execute a scenario against a checked program. The engine
+/// can be overridden (CLI `--engine`); otherwise the scenario's own choice
+/// runs. Expectation failures are *not* errors — they come back in
+/// [`SimReport::mismatches`] so the caller can render all of them.
+pub fn run_scenario(
+    prog: &CheckedProgram,
+    sc: &Scenario,
+    engine_override: Option<Engine>,
+) -> Result<SimReport, SimRunError> {
+    sc.validate(prog)?;
+    let cfg = sc.net_config(engine_override);
+    let engine = cfg.engine.label();
+    let t0 = Instant::now();
+    let mut sim = Interp::new(prog, cfg);
+
+    for p in &sc.init {
+        sim.poke(p.switch, &p.array, p.index as usize, p.value);
+    }
+    for inj in &sc.events {
+        sim.schedule(inj.switch, inj.time_ns, &inj.event, &inj.args)?;
+    }
+
+    // Fault schedule: run up to each action's instant, apply it, resume.
+    // Both engines segment identically, so determinism is preserved.
+    let mut actions = sc.failures.clone();
+    actions.sort_by_key(|a| a.time_ns);
+    let fuel = |sim: &Interp| sc.max_events.saturating_sub(sim.stats.processed);
+    for a in &actions {
+        let horizon = (a.time_ns - 1).min(sc.max_time_ns);
+        sim.run(fuel(&sim), horizon)?;
+        if a.time_ns > sc.max_time_ns {
+            break;
+        }
+        match a.kind {
+            FailureKind::Fail => sim.fail_switch(a.switch),
+            FailureKind::Recover => sim.recover_switch(a.switch),
+        }
+    }
+    sim.run(fuel(&sim), sc.max_time_ns)?;
+
+    let wall = t0.elapsed().as_secs_f64();
+    let mut mismatches = Vec::new();
+    check_expectations(&sim, &sc.expect, &mut mismatches);
+    let state_digest = digest_state(prog, &sim, &sc.switches);
+    Ok(SimReport {
+        scenario: sc.name.clone(),
+        engine,
+        switches: sc.switches.len(),
+        sim_ns: sim.now_ns,
+        wall_ms: wall * 1e3,
+        events_per_sec: if wall > 0.0 {
+            sim.stats.processed as f64 / wall
+        } else {
+            0.0
+        },
+        stats: sim.stats.clone(),
+        state_digest,
+        mismatches,
+    })
+}
+
+/// FNV-1a over every configured switch's final arrays. Sorted switch
+/// order and declaration order make it engine-independent.
+fn digest_state(prog: &CheckedProgram, sim: &Interp, switches: &[u64]) -> u64 {
+    let mut sorted = switches.to_vec();
+    sorted.sort_unstable();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |x: u64| {
+        for i in 0..8 {
+            h ^= (x >> (8 * i)) & 0xff;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for s in sorted {
+        mix(s);
+        if !sim.alive(s) {
+            mix(u64::MAX); // failed switch marker
+            continue;
+        }
+        for g in &prog.info.globals {
+            for &cell in sim.try_array(s, &g.name).expect("alive switch") {
+                mix(cell);
+            }
+        }
+    }
+    h
+}
+
+fn check_expectations(sim: &Interp, expect: &Expectations, out: &mut Vec<Mismatch>) {
+    for x in &expect.arrays {
+        let Some(actual) = sim.try_array(x.switch, &x.array) else {
+            out.push(Mismatch::FailedSwitch {
+                switch: x.switch,
+                array: x.array.clone(),
+            });
+            continue;
+        };
+        if let Some((idx, want)) = x.cell {
+            let got = actual[idx as usize];
+            if got != want {
+                out.push(Mismatch::Array {
+                    switch: x.switch,
+                    array: x.array.clone(),
+                    index: idx,
+                    want,
+                    got,
+                });
+            }
+        }
+        if let Some(want_all) = &x.values {
+            for (idx, (&want, &got)) in want_all.iter().zip(actual.iter()).enumerate() {
+                if want != got {
+                    out.push(Mismatch::Array {
+                        switch: x.switch,
+                        array: x.array.clone(),
+                        index: idx as u64,
+                        want,
+                        got,
+                    });
+                }
+            }
+        }
+    }
+    let mut count = |what: &str, want: Option<u64>, got: u64| {
+        if let Some(want) = want {
+            if want != got {
+                out.push(Mismatch::Count {
+                    what: what.to_string(),
+                    want,
+                    got,
+                });
+            }
+        }
+    };
+    count("handled", expect.handled, sim.stats.handled);
+    count("dropped", expect.dropped, sim.stats.dropped);
+    count("exported", expect.exported, sim.stats.exported);
+    for (name, want) in &expect.per_event {
+        let got = sim.stats.per_event.get(name).copied().unwrap_or(0);
+        count(&format!("event:{name}"), Some(*want), got);
+    }
+}
+
+/// Escape a string's content for embedding inside a JSON string literal
+/// (surrounding quotes not included). The workspace builds offline with
+/// no serde, so every hand-built JSON emitter shares this one table.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// -------------------------------------------------------- JSON accessors
+
+fn obj<'a>(j: &'a json::Json, path: &str) -> Result<&'a [(String, json::Json)], ScenarioError> {
+    match j {
+        json::Json::Obj(fields) => Ok(fields),
+        other => Err(ScenarioError::schema(
+            path,
+            format!("expected an object, found {}", other.kind()),
+        )),
+    }
+}
+
+fn arr<'a>(j: &'a json::Json, path: &str) -> Result<&'a [json::Json], ScenarioError> {
+    match j {
+        json::Json::Arr(items) => Ok(items),
+        other => Err(ScenarioError::schema(
+            path,
+            format!("expected an array, found {}", other.kind()),
+        )),
+    }
+}
+
+fn get<'a>(fields: &'a [(String, json::Json)], key: &str) -> Option<&'a json::Json> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn req<'a>(
+    fields: &'a [(String, json::Json)],
+    key: &str,
+    path: &str,
+) -> Result<&'a json::Json, ScenarioError> {
+    get(fields, key)
+        .ok_or_else(|| ScenarioError::schema(path, format!("missing required field `{key}`")))
+}
+
+fn str_of<'a>(j: &'a json::Json, path: &str) -> Result<&'a str, ScenarioError> {
+    match j {
+        json::Json::Str(s) => Ok(s),
+        other => Err(ScenarioError::schema(
+            path,
+            format!("expected a string, found {}", other.kind()),
+        )),
+    }
+}
+
+fn u64_of(j: &json::Json, path: &str) -> Result<u64, ScenarioError> {
+    match j {
+        json::Json::Num(n) => {
+            if *n < 0.0 || n.fract() != 0.0 || *n > 9_007_199_254_740_992.0 {
+                Err(ScenarioError::schema(
+                    path,
+                    format!("expected a non-negative integer, found {n}"),
+                ))
+            } else {
+                Ok(*n as u64)
+            }
+        }
+        other => Err(ScenarioError::schema(
+            path,
+            format!("expected a number, found {}", other.kind()),
+        )),
+    }
+}
+
+fn check_keys(
+    fields: &[(String, json::Json)],
+    allowed: &[&str],
+    path: &str,
+) -> Result<(), ScenarioError> {
+    for (k, _) in fields {
+        if !allowed.contains(&k.as_str()) {
+            return Err(ScenarioError::schema(
+                path,
+                format!(
+                    "unknown field `{k}` (expected one of: {})",
+                    allowed.join(", ")
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+// ------------------------------------------------------------- mini-JSON
+
+/// A minimal JSON reader. The workspace builds offline (no serde), and
+/// scenarios only need objects/arrays/strings/numbers/bools, so a small
+/// recursive-descent parser with line/column errors is all it takes.
+pub mod json {
+    use super::ScenarioError;
+
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Json {
+        Null,
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Arr(Vec<Json>),
+        /// Field order is preserved (useful for error paths).
+        Obj(Vec<(String, Json)>),
+    }
+
+    impl Json {
+        pub fn kind(&self) -> &'static str {
+            match self {
+                Json::Null => "null",
+                Json::Bool(_) => "a bool",
+                Json::Num(_) => "a number",
+                Json::Str(_) => "a string",
+                Json::Arr(_) => "an array",
+                Json::Obj(_) => "an object",
+            }
+        }
+    }
+
+    pub fn parse(src: &str) -> Result<Json, ScenarioError> {
+        let mut p = Parser {
+            bytes: src.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the document"));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn err(&self, msg: impl Into<String>) -> ScenarioError {
+            let mut line = 1;
+            let mut col = 1;
+            for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+                if b == b'\n' {
+                    line += 1;
+                    col = 1;
+                } else {
+                    col += 1;
+                }
+            }
+            ScenarioError::Json {
+                line,
+                col,
+                msg: msg.into(),
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), ScenarioError> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(self.err(format!("expected `{}`", b as char)))
+            }
+        }
+
+        fn value(&mut self) -> Result<Json, ScenarioError> {
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Json::Str(self.string()?)),
+                Some(b't') => self.literal("true", Json::Bool(true)),
+                Some(b'f') => self.literal("false", Json::Bool(false)),
+                Some(b'n') => self.literal("null", Json::Null),
+                Some(b'-' | b'0'..=b'9') => self.number(),
+                Some(c) => Err(self.err(format!("unexpected character `{}`", c as char))),
+                None => Err(self.err("unexpected end of input")),
+            }
+        }
+
+        fn literal(&mut self, word: &str, v: Json) -> Result<Json, ScenarioError> {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                Ok(v)
+            } else {
+                Err(self.err(format!("expected `{word}`")))
+            }
+        }
+
+        fn object(&mut self) -> Result<Json, ScenarioError> {
+            self.expect(b'{')?;
+            let mut fields = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                let val = self.value()?;
+                fields.push((key, val));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(self.err("expected `,` or `}` in object")),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Json, ScenarioError> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(self.err("expected `,` or `]` in array")),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, ScenarioError> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return Err(self.err("unterminated string")),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        match self.peek() {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b'b') => out.push('\u{8}'),
+                            Some(b'f') => out.push('\u{c}'),
+                            Some(b'u') => {
+                                if self.pos + 5 > self.bytes.len() {
+                                    return Err(self.err("truncated \\u escape"));
+                                }
+                                let hex =
+                                    std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                        .ok()
+                                        .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                        .ok_or_else(|| self.err("bad \\u escape"))?;
+                                out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                                self.pos += 4;
+                            }
+                            _ => return Err(self.err("bad escape sequence")),
+                        }
+                        self.pos += 1;
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 scalar (the input is &str, so
+                        // boundaries are valid).
+                        let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                            .map_err(|_| self.err("invalid UTF-8"))?;
+                        let c = rest.chars().next().expect("peeked");
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Json, ScenarioError> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.peek() == Some(b'.') {
+                self.pos += 1;
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            if matches!(self.peek(), Some(b'e' | b'E')) {
+                self.pos += 1;
+                if matches!(self.peek(), Some(b'+' | b'-')) {
+                    self.pos += 1;
+                }
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits");
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| self.err(format!("bad number `{text}`")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lucid_check::parse_and_check;
+
+    const COUNTER: &str = r#"
+        global cts = new Array<<32>>(8);
+        memop plus(int m, int x) { return m + x; }
+        event pkt(int idx);
+        event done();
+        handle pkt(int idx) { Array.setm(cts, idx, plus, 1); }
+    "#;
+
+    fn prog() -> CheckedProgram {
+        parse_and_check(COUNTER).expect("counter checks")
+    }
+
+    #[test]
+    fn json_parser_handles_nesting_and_escapes() {
+        let j = json::parse(r#"{"a": [1, 2.5, -3], "b": {"c": "x\n\"y\""}, "d": true}"#).unwrap();
+        let json::Json::Obj(fields) = &j else {
+            panic!()
+        };
+        assert_eq!(fields.len(), 3);
+        let json::Json::Arr(items) = &fields[0].1 else {
+            panic!()
+        };
+        assert_eq!(items[1], json::Json::Num(2.5));
+    }
+
+    #[test]
+    fn malformed_json_reports_position() {
+        let err = Scenario::from_json("{\n  \"name\": \"x\",\n  oops\n}").unwrap_err();
+        let ScenarioError::Json { line, col, .. } = err else {
+            panic!("want Json error, got {err:?}")
+        };
+        assert_eq!(line, 3);
+        assert!(col >= 3, "col {col}");
+    }
+
+    #[test]
+    fn unknown_field_is_a_schema_error_with_path() {
+        let err = Scenario::from_json(r#"{"net": {"switchez": 3}}"#).unwrap_err();
+        let ScenarioError::Schema { path, msg } = err else {
+            panic!()
+        };
+        assert_eq!(path, "$.net");
+        assert!(msg.contains("switchez"), "{msg}");
+    }
+
+    #[test]
+    fn minimal_scenario_defaults() {
+        let sc = Scenario::from_json(r#"{"name": "t"}"#).unwrap();
+        assert_eq!(sc.switches, vec![1]);
+        assert_eq!(sc.link_latency_ns, 1_000);
+        assert_eq!(sc.engine, Engine::Sequential);
+        assert_eq!(sc.max_events, 1_000_000);
+        assert_eq!(sc.max_time_ns, u64::MAX);
+    }
+
+    #[test]
+    fn mesh_shorthand_and_engine_object() {
+        let sc = Scenario::from_json(
+            r#"{"net": {"switches": 4},
+                "engine": {"kind": "sharded", "workers": 2, "epoch_ns": 500}}"#,
+        )
+        .unwrap();
+        assert_eq!(sc.switches, vec![1, 2, 3, 4]);
+        assert_eq!(
+            sc.engine,
+            Engine::Sharded {
+                workers: 2,
+                epoch_ns: 500
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_event_name_is_structured() {
+        let sc = Scenario::from_json(
+            r#"{"events": [{"time_ns": 0, "switch": 1, "event": "nope", "args": []}]}"#,
+        )
+        .unwrap();
+        let err = sc.validate(&prog()).unwrap_err();
+        let ScenarioError::Validate { path, msg } = err else {
+            panic!()
+        };
+        assert_eq!(path, "$.events[0].event");
+        assert!(msg.contains("nope"), "{msg}");
+    }
+
+    #[test]
+    fn out_of_range_switch_id_is_structured() {
+        let sc = Scenario::from_json(
+            r#"{"net": {"switches": 2},
+                "events": [{"time_ns": 0, "switch": 7, "event": "pkt", "args": [1]}]}"#,
+        )
+        .unwrap();
+        let err = sc.validate(&prog()).unwrap_err();
+        assert!(
+            matches!(&err, ScenarioError::Validate { path, .. } if path == "$.events[0].switch"),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn bad_arity_and_bad_index_are_structured() {
+        let sc = Scenario::from_json(
+            r#"{"events": [{"time_ns": 0, "switch": 1, "event": "pkt", "args": [1, 2]}]}"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            sc.validate(&prog()).unwrap_err(),
+            ScenarioError::Validate { .. }
+        ));
+        let sc = Scenario::from_json(
+            r#"{"init": [{"switch": 1, "array": "cts", "index": 99, "value": 1}]}"#,
+        )
+        .unwrap();
+        let err = sc.validate(&prog()).unwrap_err();
+        assert!(
+            matches!(&err, ScenarioError::Validate { path, .. } if path == "$.init[0].index"),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn run_reports_structured_mismatches() {
+        let p = prog();
+        let sc = Scenario::from_json(
+            r#"{"name": "count",
+                "events": [{"time_ns": 0, "switch": 1, "event": "pkt", "args": [3]},
+                           {"time_ns": 100, "switch": 1, "event": "pkt", "args": [3]}],
+                "expect": {"handled": 2,
+                           "per_event": {"done": 1},
+                           "arrays": [{"switch": 1, "array": "cts", "index": 3, "value": 9}]}}"#,
+        )
+        .unwrap();
+        let report = run_scenario(&p, &sc, None).unwrap();
+        assert!(!report.passed());
+        assert_eq!(report.mismatches.len(), 2, "{:?}", report.mismatches);
+        assert!(report.mismatches.contains(&Mismatch::Array {
+            switch: 1,
+            array: "cts".into(),
+            index: 3,
+            want: 9,
+            got: 2
+        }));
+        assert!(report.mismatches.contains(&Mismatch::Count {
+            what: "event:done".into(),
+            want: 1,
+            got: 0
+        }));
+        let j = report.to_json();
+        assert!(j.contains("\"ok\":false"), "{j}");
+        assert!(j.contains("\"kind\":\"array\""), "{j}");
+    }
+
+    #[test]
+    fn passing_scenario_has_empty_mismatches() {
+        let p = prog();
+        let sc = Scenario::from_json(
+            r#"{"name": "count",
+                "init": [{"switch": 1, "array": "cts", "index": 0, "value": 5}],
+                "events": [{"time_ns": 0, "switch": 1, "event": "pkt", "args": [3]}],
+                "expect": {"handled": 1,
+                           "arrays": [{"switch": 1, "array": "cts", "values": [5,0,0,1,0,0,0,0]}]}}"#,
+        )
+        .unwrap();
+        let report = run_scenario(&p, &sc, None).unwrap();
+        assert!(report.passed(), "{:?}", report.mismatches);
+        assert!(report.to_json().contains("\"ok\":true"));
+    }
+
+    #[test]
+    fn failure_schedule_drops_and_recovers() {
+        let p = prog();
+        let sc = Scenario::from_json(
+            r#"{"name": "fail",
+                "net": {"switches": 2},
+                "events": [{"time_ns": 0,    "switch": 2, "event": "pkt", "args": [1]},
+                           {"time_ns": 2000, "switch": 2, "event": "pkt", "args": [1]},
+                           {"time_ns": 9000, "switch": 2, "event": "pkt", "args": [2]}],
+                "failures": [{"time_ns": 1000, "switch": 2, "action": "fail"},
+                             {"time_ns": 5000, "switch": 2, "action": "recover"}],
+                "expect": {"handled": 2, "dropped": 1,
+                           "arrays": [{"switch": 2, "array": "cts", "index": 1, "value": 0},
+                                      {"switch": 2, "array": "cts", "index": 2, "value": 1}]}}"#,
+        )
+        .unwrap();
+        let report = run_scenario(&p, &sc, None).unwrap();
+        assert!(report.passed(), "{:?}", report.mismatches);
+    }
+
+    #[test]
+    fn engine_override_wins_and_matches() {
+        let p = prog();
+        let sc = Scenario::from_json(
+            r#"{"name": "x", "net": {"switches": 3},
+                "events": [{"time_ns": 0, "switch": 2, "event": "pkt", "args": [1]}]}"#,
+        )
+        .unwrap();
+        let seq = run_scenario(&p, &sc, None).unwrap();
+        let sh = run_scenario(
+            &p,
+            &sc,
+            Some(Engine::Sharded {
+                workers: 2,
+                epoch_ns: 0,
+            }),
+        )
+        .unwrap();
+        assert_eq!(seq.engine, "sequential");
+        assert_eq!(sh.engine, "sharded");
+        assert_eq!(seq.stats, sh.stats);
+    }
+}
