@@ -15,14 +15,21 @@ cargo fmt --check
 echo "== clippy"
 cargo clippy --all-targets --workspace -- -D warnings
 
+echo "== fuzz smoke"
+# Bounded differential fuzzing: the vendored proptest shim is seeded, so
+# this is deterministic; 64 cases across the Figure-9 apps must agree
+# between the AST walker, the bytecode executor, and the sharded engine.
+LUCID_FUZZ_CASES=64 cargo test -q -p lucid-tests --test differential
+
 echo "== sim gate"
 # Every checked-in scenario must run green against its app: the file
 # crates/apps/scenarios/<app>[.variant].sim.json pairs with
-# crates/apps/programs/<app>.lucid. Run each under both engines.
+# crates/apps/programs/<app>.lucid. Run each under both engines and both
+# handler executors.
 shopt -s nullglob
 scenarios=(crates/apps/scenarios/*.sim.json)
-if [ "${#scenarios[@]}" -lt 4 ]; then
-  echo "sim gate: expected at least 4 scenarios, found ${#scenarios[@]}" >&2
+if [ "${#scenarios[@]}" -lt 6 ]; then
+  echo "sim gate: expected at least 6 scenarios, found ${#scenarios[@]}" >&2
   exit 1
 fi
 for sc in "${scenarios[@]}"; do
@@ -30,8 +37,10 @@ for sc in "${scenarios[@]}"; do
   app=${base%%.*}
   prog="crates/apps/programs/$app.lucid"
   for engine in sequential sharded; do
-    echo "-- sim [$engine] $sc"
-    target/release/lucidc sim --engine="$engine" "$prog" "$sc"
+    for exec in ast bytecode; do
+      echo "-- sim [$engine/$exec] $sc"
+      target/release/lucidc sim --engine="$engine" --exec="$exec" "$prog" "$sc"
+    done
   done
 done
 

@@ -1,19 +1,32 @@
-//! Simulation throughput: the sequential reference engine vs the sharded
-//! epoch-barrier engine on a cross-traffic-heavy switch mesh (not a paper
-//! figure — it benchmarks this reproduction's own `lucidc sim` subsystem).
+//! Simulation throughput: the engine x executor matrix on a
+//! cross-traffic-heavy 16-switch mesh (not a paper figure — it
+//! benchmarks this reproduction's own `lucidc sim` subsystem).
 //!
-//! Correctness gate first: the two engines must produce byte-identical
-//! final array state. Then events/sec. The speedup column reflects the
-//! host: with one core the sharded engine only pays barrier overhead;
-//! with many it spreads per-switch handler work across the worker pool.
+//! Correctness gate first: all four combinations (sequential/sharded
+//! engine x AST-walker/bytecode executor) must produce byte-identical
+//! final array state, statistics, traces, and printf output. Then
+//! events/sec. Two speedups are reported: sharded-over-sequential
+//! reflects the host's core count (~1x on single-core boxes), while
+//! bytecode-over-AST is the flat-dispatch payoff and must be >= 2x
+//! everywhere — CI runs this binary in smoke mode and this assertion is
+//! the gate.
 
 fn main() {
     let mode = lucid_bench::BenchMode::from_args();
-    let (switches, injected, ttl) = if mode.smoke { (8, 40, 3) } else { (16, 400, 4) };
+    let (switches, injected, ttl) = if mode.smoke {
+        (16, 100, 3)
+    } else {
+        (16, 400, 4)
+    };
     let t = lucid_bench::sim_throughput(switches, injected, ttl, 0);
     assert!(
         t.identical,
-        "engines disagree on final array state — determinism bug"
+        "engine x exec combinations disagree on state/stats/trace/output — determinism bug"
+    );
+    assert!(
+        t.bytecode_speedup >= 2.0,
+        "bytecode must be at least 2x the AST walker, got {:.2}x",
+        t.bytecode_speedup
     );
 
     if mode.json {
@@ -24,6 +37,7 @@ fn main() {
             .map(|r| {
                 jsonout::obj(&[
                     ("engine", jsonout::s(r.engine)),
+                    ("exec", jsonout::s(r.exec)),
                     ("events_processed", r.events_processed.to_string()),
                     ("wall_ms", jsonout::f(r.wall_ms)),
                     ("events_per_sec", jsonout::f(r.events_per_sec)),
@@ -32,12 +46,13 @@ fn main() {
             .collect();
         let doc = format!(
             "{{\"figure\":\"fig_sim_throughput\",\"switches\":{},\"injected_per_switch\":{},\
-             \"workers\":{},\"identical\":{},\"speedup\":{},\"rows\":[{}]}}",
+             \"workers\":{},\"identical\":{},\"speedup\":{},\"bytecode_speedup\":{},\"rows\":[{}]}}",
             t.switches,
             t.injected_per_switch,
             t.workers,
             t.identical,
             jsonout::f(t.speedup),
+            jsonout::f(t.bytecode_speedup),
             rows.join(",")
         );
         println!("{doc}");
@@ -54,6 +69,7 @@ fn main() {
         .map(|r| {
             vec![
                 r.engine.to_string(),
+                r.exec.to_string(),
                 r.events_processed.to_string(),
                 format!("{:.1}", r.wall_ms),
                 format!("{:.0}", r.events_per_sec),
@@ -62,11 +78,18 @@ fn main() {
         .collect();
     print!(
         "{}",
-        lucid_bench::render_table(&["engine", "events", "wall ms", "events/sec"], &rows)
+        lucid_bench::render_table(
+            &["engine", "exec", "events", "wall ms", "events/sec"],
+            &rows
+        )
     );
     println!(
-        "\nfinal array state identical across engines: {}",
+        "\nstate/stats/trace/printf identical across the matrix: {}",
         t.identical
+    );
+    println!(
+        "bytecode speedup over the AST walker: {:.2}x (sequential engine)",
+        t.bytecode_speedup
     );
     println!(
         "sharded speedup: {:.2}x ({} worker threads; expect ~1x on single-core hosts)",

@@ -19,7 +19,9 @@
 
 use lucid_apps::AppInfo;
 use lucid_backend::P4Loc;
-use lucid_core::{Build, Compiler, Engine, Interp, LayoutOptions, NetConfig, PipelineSpec};
+use lucid_core::{
+    Build, Compiler, Engine, ExecMode, Interp, LayoutOptions, NetConfig, PipelineSpec,
+};
 use lucid_tofino::{ecdf, figure16_rows, DelayQueue, RecircPort, RemoteControlModel, SfwModelRow};
 use std::time::Instant;
 
@@ -388,32 +390,39 @@ fn mesh_workload(switches: u64) -> String {
     )
 }
 
-/// One engine's measurement on the mesh workload.
+/// One engine x executor combination's measurement on the mesh workload.
 #[derive(Debug, Clone)]
 pub struct SimThroughputRow {
     pub engine: &'static str,
+    pub exec: &'static str,
     pub events_processed: u64,
     pub wall_ms: f64,
     pub events_per_sec: f64,
 }
 
-/// The sequential-vs-sharded comparison `fig_sim_throughput` prints.
+/// The engine x executor comparison `fig_sim_throughput` prints.
 #[derive(Debug, Clone)]
 pub struct SimThroughput {
     pub switches: u64,
     pub injected_per_switch: u64,
     pub workers: usize,
+    /// One row per engine x exec combination, sequential/ast first.
     pub rows: Vec<SimThroughputRow>,
-    /// Final array state of every switch was byte-identical across
-    /// engines (the correctness gate for the comparison).
+    /// Final array state, statistics, trace, and printf output were
+    /// byte-identical across every combination (the correctness gate
+    /// for the comparison).
     pub identical: bool,
-    /// Sharded events/sec over sequential events/sec.
+    /// Sharded events/sec over sequential events/sec (AST executor).
     pub speedup: f64,
+    /// Bytecode events/sec over AST events/sec (sequential engine) —
+    /// the flat-dispatch payoff; CI requires >= 2x.
+    pub bytecode_speedup: f64,
 }
 
-/// Run the mesh workload under both engines and compare. `workers == 0`
-/// means one per core. Deterministic: both engines must produce identical
-/// final array state, statistics, and traces.
+/// Run the mesh workload under every engine x executor combination and
+/// compare. `workers == 0` means one per core. Deterministic: all four
+/// combinations must produce identical final array state, statistics,
+/// traces, and printf output.
 pub fn sim_throughput(
     switches: u64,
     injected_per_switch: u64,
@@ -422,21 +431,39 @@ pub fn sim_throughput(
 ) -> SimThroughput {
     let src = mesh_workload(switches);
     let prog = lucid_core::check::parse_and_check(&src).expect("workload checks");
-    let engines = [
-        ("sequential", Engine::Sequential),
+    let combos = [
+        ("sequential", Engine::Sequential, ExecMode::Ast),
+        ("sequential", Engine::Sequential, ExecMode::Bytecode),
         (
             "sharded",
             Engine::Sharded {
                 workers,
                 epoch_ns: 0,
             },
+            ExecMode::Ast,
+        ),
+        (
+            "sharded",
+            Engine::Sharded {
+                workers,
+                epoch_ns: 0,
+            },
+            ExecMode::Bytecode,
         ),
     ];
+    /// Everything a combination's run leaves observable.
+    type Observed = (
+        Vec<Vec<u64>>,
+        lucid_core::interp::Stats,
+        Vec<lucid_core::interp::Handled>,
+        Vec<String>,
+    );
     let mut rows = Vec::new();
-    let mut finals: Vec<Vec<Vec<u64>>> = Vec::new();
-    for (label, engine) in engines {
+    let mut observed: Vec<Observed> = Vec::new();
+    for (label, engine, exec) in combos {
         let mut cfg = NetConfig::mesh(switches);
         cfg.engine = engine;
+        cfg.exec = exec;
         let mut sim = Interp::new(&prog, cfg);
         for s in 1..=switches {
             for k in 0..injected_per_switch {
@@ -449,6 +476,7 @@ pub fn sim_throughput(
         let wall = t0.elapsed().as_secs_f64();
         rows.push(SimThroughputRow {
             engine: label,
+            exec: exec.label(),
             events_processed: sim.stats.processed,
             wall_ms: wall * 1e3,
             events_per_sec: if wall > 0.0 {
@@ -457,13 +485,16 @@ pub fn sim_throughput(
                 0.0
             },
         });
-        finals.push(
+        observed.push((
             (1..=switches)
                 .flat_map(|s| [sim.array(s, "cnt").to_vec(), sim.array(s, "mix").to_vec()])
                 .collect(),
-        );
+            sim.stats.clone(),
+            sim.trace.clone(),
+            sim.output.clone(),
+        ));
     }
-    let identical = finals[0] == finals[1] && rows[0].events_processed == rows[1].events_processed;
+    let identical = observed.iter().all(|o| *o == observed[0]);
     let actual_workers = if workers == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -476,7 +507,8 @@ pub fn sim_throughput(
         switches,
         injected_per_switch,
         workers: actual_workers,
-        speedup: rows[1].events_per_sec / rows[0].events_per_sec.max(1.0),
+        speedup: rows[2].events_per_sec / rows[0].events_per_sec.max(1.0),
+        bytecode_speedup: rows[1].events_per_sec / rows[0].events_per_sec.max(1.0),
         rows,
         identical,
     }
@@ -580,13 +612,19 @@ mod tests {
     }
 
     #[test]
-    fn sim_throughput_engines_agree_on_state() {
+    fn sim_throughput_matrix_agrees_on_state() {
         let t = sim_throughput(4, 10, 2, 2);
-        assert!(t.identical, "sequential and sharded engines must agree");
-        assert_eq!(t.rows.len(), 2);
+        assert!(t.identical, "every engine x exec combination must agree");
+        assert_eq!(t.rows.len(), 4);
+        assert_eq!(
+            (t.rows[0].engine, t.rows[0].exec),
+            ("sequential", "ast"),
+            "row order is the reference first"
+        );
         // 40 injected events, each spawning a 2^3 - 1 = 7-event tree.
-        assert_eq!(t.rows[0].events_processed, 40 * 7);
-        assert_eq!(t.rows[1].events_processed, 40 * 7);
+        for row in &t.rows {
+            assert_eq!(row.events_processed, 40 * 7, "{}/{}", row.engine, row.exec);
+        }
     }
 
     #[test]

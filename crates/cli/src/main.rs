@@ -6,6 +6,7 @@
 //! lucidc stages [OPTIONS] <file.lucid>     print the pipeline layout
 //! lucidc sim [OPTIONS] <file.lucid> <scenario.sim.json>
 //!                                          run a simulation scenario
+//! lucidc sim --dump-bytecode <file.lucid>  print the compiled bytecode
 //! lucidc apps                              list the bundled Figure 9 applications
 //! lucidc app <key>                         dump a bundled app's Lucid source
 //!
@@ -16,6 +17,11 @@
 //!   --json-diagnostics        report diagnostics as a JSON array on stderr
 //!   --engine=sequential|sharded   override the scenario's engine (`sim`)
 //!   --workers=N               sharded-engine worker threads (`sim`; 0 = cores)
+//!   --exec=ast|bytecode       override the scenario's handler executor (`sim`)
+//!   --dump-bytecode           print the program's bytecode listing (`sim`);
+//!                             with a scenario, dumps and then runs it
+//!                             (under `--json` the listing goes to stderr so
+//!                             stdout stays one JSON document)
 //!   --json                    print the `sim` report as one JSON object
 //! ```
 //!
@@ -23,7 +29,9 @@
 //! failed (bad scenario, runtime fault, or expectation mismatch), 2 usage
 //! or I/O error.
 
-use lucid_core::{Build, Compiler, Engine, LayoutOptions, PipelineSpec, Scenario, SimError};
+use lucid_core::{
+    Build, Compiler, Engine, ExecMode, LayoutOptions, PipelineSpec, Scenario, SimError,
+};
 use std::process::ExitCode;
 
 const EXIT_DIAGNOSTICS: u8 = 1;
@@ -31,7 +39,9 @@ const EXIT_USAGE: u8 = 2;
 
 const USAGE: &str = "usage: lucidc <check|compile|stages> [--emit=ast|ir|layout|p4] \
 [--target=tofino|pisa] [--no-opt] [--json-diagnostics] <file.lucid>\n       \
-lucidc sim [--engine=sequential|sharded] [--workers=N] [--json] <file.lucid> <scenario.sim.json>\n       \
+lucidc sim [--engine=sequential|sharded] [--workers=N] [--exec=ast|bytecode] [--json] \
+<file.lucid> <scenario.sim.json>\n       \
+lucidc sim --dump-bytecode <file.lucid> [<scenario.sim.json>]\n       \
 lucidc apps | app <key>";
 
 const SUBCOMMANDS: &[&str] = &["check", "compile", "stages", "sim", "apps", "app"];
@@ -131,19 +141,26 @@ fn main() -> ExitCode {
 /// Parsed command line for `sim`.
 struct SimOptions {
     engine: Option<Engine>,
+    exec: Option<ExecMode>,
     json: bool,
+    dump_bytecode: bool,
     program: String,
-    scenario: String,
+    /// `None` only under `--dump-bytecode` (dump-only invocation).
+    scenario: Option<String>,
 }
 
 fn parse_sim_options(args: &[String]) -> Result<SimOptions, String> {
     let mut engine: Option<Engine> = None;
+    let mut exec: Option<ExecMode> = None;
     let mut workers: Option<usize> = None;
     let mut json = false;
+    let mut dump_bytecode = false;
     let mut files: Vec<String> = Vec::new();
     for a in args {
         if let Some(v) = a.strip_prefix("--engine=") {
             engine = Some(Engine::parse(v).ok_or_else(|| format!("unknown --engine value `{v}`"))?);
+        } else if let Some(v) = a.strip_prefix("--exec=") {
+            exec = Some(ExecMode::parse(v).ok_or_else(|| format!("unknown --exec value `{v}`"))?);
         } else if let Some(v) = a.strip_prefix("--workers=") {
             workers = Some(
                 v.parse::<usize>()
@@ -151,6 +168,8 @@ fn parse_sim_options(args: &[String]) -> Result<SimOptions, String> {
             );
         } else if a == "--json" {
             json = true;
+        } else if a == "--dump-bytecode" {
+            dump_bytecode = true;
         } else if a.starts_with("--") {
             return Err(format!("unknown option `{a}`"));
         } else {
@@ -171,14 +190,24 @@ fn parse_sim_options(args: &[String]) -> Result<SimOptions, String> {
             }
         }
     }
-    let [program, scenario] = files.as_slice() else {
-        return Err("`sim` wants exactly <file.lucid> <scenario.sim.json>".to_string());
+    let (program, scenario) = match files.as_slice() {
+        [program, scenario] => (program.clone(), Some(scenario.clone())),
+        [program] if dump_bytecode => (program.clone(), None),
+        _ => {
+            return Err(if dump_bytecode {
+                "`sim --dump-bytecode` wants <file.lucid> [<scenario.sim.json>]".to_string()
+            } else {
+                "`sim` wants exactly <file.lucid> <scenario.sim.json>".to_string()
+            })
+        }
     };
     Ok(SimOptions {
         engine,
+        exec,
         json,
-        program: program.clone(),
-        scenario: scenario.clone(),
+        dump_bytecode,
+        program,
+        scenario,
     })
 }
 
@@ -197,10 +226,37 @@ fn run_sim(args: &[String]) -> ExitCode {
             return ExitCode::from(EXIT_USAGE);
         }
     };
-    let sc_text = match std::fs::read_to_string(&opts.scenario) {
+    let mut build = Compiler::new().build(&opts.program, &src);
+    if opts.dump_bytecode {
+        match build.disassemble() {
+            // Under --json, stdout stays one machine-readable document;
+            // the listing goes to stderr instead.
+            Ok(listing) if opts.json => eprint!("{listing}"),
+            Ok(listing) => print!("{listing}"),
+            Err(_) => {
+                // Same error shape as the run path below: one JSON
+                // document on stdout under --json, rustc-style otherwise.
+                if opts.json {
+                    println!(
+                        "{{\"kind\":\"diagnostics\",\"msg\":{}}}",
+                        json_str("the program has diagnostics (see stderr)")
+                    );
+                    eprintln!("{}", build.diagnostics_json());
+                } else {
+                    eprintln!("{}", build.render_diagnostics());
+                }
+                return ExitCode::from(EXIT_DIAGNOSTICS);
+            }
+        }
+        if opts.scenario.is_none() {
+            return ExitCode::SUCCESS;
+        }
+    }
+    let scenario_path = opts.scenario.as_deref().expect("checked by parser");
+    let sc_text = match std::fs::read_to_string(scenario_path) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("error: cannot read {}: {e}", opts.scenario);
+            eprintln!("error: cannot read {scenario_path}: {e}");
             return ExitCode::from(EXIT_USAGE);
         }
     };
@@ -210,13 +266,12 @@ fn run_sim(args: &[String]) -> ExitCode {
             if opts.json {
                 println!("{}", e.to_json());
             } else {
-                eprintln!("error in {}: {e}", opts.scenario);
+                eprintln!("error in {scenario_path}: {e}");
             }
             return ExitCode::from(EXIT_DIAGNOSTICS);
         }
     };
-    let mut build = Compiler::new().build(&opts.program, &src);
-    match build.interp_with(&scenario, opts.engine) {
+    match build.interp_with(&scenario, opts.engine, opts.exec) {
         Ok(report) => {
             if opts.json {
                 println!("{}", report.to_json());
@@ -247,16 +302,15 @@ fn run_sim(args: &[String]) -> ExitCode {
             if opts.json {
                 println!("{}", e.to_json());
             } else {
-                eprintln!("error in {}: {e}", opts.scenario);
+                eprintln!("error in {scenario_path}: {e}");
             }
             ExitCode::from(EXIT_DIAGNOSTICS)
         }
         Err(SimError::Runtime(e)) => {
             if opts.json {
-                println!(
-                    "{{\"kind\":\"runtime\",\"msg\":{}}}",
-                    json_str(&e.to_string())
-                );
+                // The fault carries the offending event's key (time,
+                // switch, name, origin) so tooling can point at it.
+                println!("{{\"kind\":\"runtime\",\"fault\":{}}}", e.to_json());
             } else {
                 eprintln!("runtime fault: {e}");
             }
@@ -524,6 +578,7 @@ mod tests {
         let o = parse_sim_options(&[
             "--engine=sharded".into(),
             "--workers=3".into(),
+            "--exec=bytecode".into(),
             "--json".into(),
             "p.lucid".into(),
             "s.sim.json".into(),
@@ -536,16 +591,18 @@ mod tests {
                 epoch_ns: 0
             })
         );
+        assert_eq!(o.exec, Some(ExecMode::Bytecode));
         assert!(o.json);
         assert_eq!(
-            (o.program.as_str(), o.scenario.as_str()),
-            ("p.lucid", "s.sim.json")
+            (o.program.as_str(), o.scenario.as_deref()),
+            ("p.lucid", Some("s.sim.json"))
         );
         // --workers alone implies the sharded engine.
         let o = parse_sim_options(&["--workers=2".into(), "p".into(), "s".into()]).unwrap();
         assert!(matches!(o.engine, Some(Engine::Sharded { workers: 2, .. })));
         assert!(parse_sim_options(&["p".into()]).is_err());
         assert!(parse_sim_options(&["--engine=warp".into(), "p".into(), "s".into()]).is_err());
+        assert!(parse_sim_options(&["--exec=jit".into(), "p".into(), "s".into()]).is_err());
         assert!(parse_sim_options(&[
             "--engine=sequential".into(),
             "--workers=2".into(),
@@ -553,6 +610,16 @@ mod tests {
             "s".into()
         ])
         .is_err());
+    }
+
+    #[test]
+    fn dump_bytecode_allows_program_only() {
+        let o = parse_sim_options(&["--dump-bytecode".into(), "p.lucid".into()]).unwrap();
+        assert!(o.dump_bytecode);
+        assert_eq!(o.scenario, None);
+        let o = parse_sim_options(&["--dump-bytecode".into(), "p".into(), "s".into()]).unwrap();
+        assert_eq!(o.scenario.as_deref(), Some("s"));
+        assert!(parse_sim_options(&["--dump-bytecode".into()]).is_err());
     }
 
     #[test]

@@ -257,3 +257,124 @@ fn sim_runtime_fault_still_emits_json() {
     assert!(line.contains("\"kind\":\"runtime\""), "{line}");
     assert!(line.contains("out of bounds"), "{line}");
 }
+
+#[test]
+fn sim_exec_modes_agree_and_are_labeled() {
+    let prog = write_temp("sim-exec.lucid", GOOD);
+    let sc = write_temp(
+        "sim-exec.sim.json",
+        r#"{"name": "exec-matrix",
+            "events": [{"time_ns": 0, "switch": 1, "event": "pkt", "args": [9]},
+                       {"time_ns": 100, "switch": 1, "event": "pkt", "args": [9]}],
+            "expect": {"handled": 2,
+                       "arrays": [{"switch": 1, "array": "cts", "index": 9, "value": 2}]}}"#,
+    );
+    let mut digests = Vec::new();
+    for exec in ["ast", "bytecode"] {
+        let out = lucidc(&[
+            "sim",
+            &format!("--exec={exec}"),
+            "--json",
+            prog.to_str().unwrap(),
+            sc.to_str().unwrap(),
+        ]);
+        assert_eq!(out.status.code(), Some(0), "{exec}: {out:?}");
+        let s = String::from_utf8_lossy(&out.stdout);
+        assert!(s.contains(&format!("\"exec\":\"{exec}\"")), "{s}");
+        assert!(s.contains("\"ok\":true"), "{s}");
+        let digest = s
+            .split("\"state_digest\":\"")
+            .nth(1)
+            .and_then(|r| r.split('"').next())
+            .expect("digest in report")
+            .to_string();
+        digests.push(digest);
+    }
+    assert_eq!(digests[0], digests[1], "executors must agree on state");
+
+    // Unknown exec value is a usage error.
+    let out = lucidc(&["sim", "--exec=jit", "a", "b"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn sim_dump_bytecode_prints_listing() {
+    let prog = write_temp("sim-dump.lucid", GOOD);
+    // Program-only invocation dumps and exits 0.
+    let out = lucidc(&["sim", "--dump-bytecode", prog.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("handler `pkt`"), "{s}");
+    assert!(s.contains("halt"), "{s}");
+    assert!(s.contains("; array g0 `cts`: 64 x 32-bit"), "{s}");
+
+    // The CLI surface and the library agree on the listing.
+    let lib =
+        lucid_core::disassemble(&lucid_core::check::parse_and_check(GOOD).expect("GOOD checks"));
+    assert_eq!(s, lib);
+
+    // With a scenario, the dump precedes the run's report.
+    let sc = write_temp(
+        "sim-dump.sim.json",
+        r#"{"events": [{"time_ns": 0, "switch": 1, "event": "pkt", "args": [1]}]}"#,
+    );
+    let out = lucidc(&[
+        "sim",
+        "--dump-bytecode",
+        prog.to_str().unwrap(),
+        sc.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("handler `pkt`"), "{s}");
+    assert!(s.contains("expectations: all met"), "{s}");
+
+    // A broken program still reports diagnostics with exit 1.
+    let bad = write_temp("sim-dump-bad.lucid", BAD_TWO_MEMOPS);
+    let out = lucidc(&["sim", "--dump-bytecode", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+
+    // Under --json the listing moves to stderr; stdout stays one
+    // machine-readable document.
+    let out = lucidc(&[
+        "sim",
+        "--dump-bytecode",
+        "--json",
+        prog.to_str().unwrap(),
+        sc.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout.trim();
+    assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("handler `pkt`"),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn sim_runtime_fault_json_names_the_offending_event() {
+    let prog = write_temp("sim-fault-at.lucid", GOOD);
+    let sc = write_temp(
+        "sim-fault-at.sim.json",
+        r#"{"events": [{"time_ns": 70, "switch": 1, "event": "pkt", "args": [100]}]}"#,
+    );
+    let out = lucidc(&[
+        "sim",
+        "--json",
+        prog.to_str().unwrap(),
+        sc.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let line = String::from_utf8_lossy(&out.stdout).trim().to_string();
+    assert!(line.contains("\"kind\":\"runtime\""), "{line}");
+    assert!(line.contains("\"kind\":\"index_out_of_bounds\""), "{line}");
+    assert!(line.contains("\"time_ns\":70"), "{line}");
+    assert!(line.contains("\"event\":\"pkt\""), "{line}");
+
+    // Human-readable form names the event too.
+    let out = lucidc(&["sim", prog.to_str().unwrap(), sc.to_str().unwrap()]);
+    let s = String::from_utf8_lossy(&out.stderr);
+    assert!(s.contains("`pkt` on switch 1 at 70ns"), "{s}");
+}

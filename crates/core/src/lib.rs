@@ -60,8 +60,8 @@ pub use lucid_backend::{BackendOptions, Compiled, HandlerIr, Layout, LayoutOptio
 pub use lucid_check::{Analysis, CheckOptions, CheckedProgram};
 pub use lucid_frontend::{Diagnostic, Diagnostics, Program, SourceMap};
 pub use lucid_interp::{
-    json_escape, run_scenario, Engine, Interp, InterpError, Mismatch, NetConfig, Scenario,
-    ScenarioError, SimReport, SimRunError,
+    disassemble, json_escape, run_scenario, Engine, ExecMode, FaultAt, Interp, InterpError,
+    InterpFault, Mismatch, NetConfig, Scenario, ScenarioError, SimReport, SimRunError,
 };
 pub use lucid_tofino::PipelineSpec;
 
@@ -213,15 +213,16 @@ impl Build {
     /// simulation afresh (a run is effectful, so its report is not
     /// cached). Runs counted in [`BuildStats::interp_runs`].
     pub fn interp(&mut self, scenario: &Scenario) -> Result<SimReport, SimError> {
-        self.interp_with(scenario, None)
+        self.interp_with(scenario, None, None)
     }
 
-    /// [`Build::interp`] with the engine choice overridden (e.g. from
-    /// `lucidc sim --engine=...`).
+    /// [`Build::interp`] with the engine and executor choices overridden
+    /// (e.g. from `lucidc sim --engine=... --exec=...`).
     pub fn interp_with(
         &mut self,
         scenario: &Scenario,
         engine_override: Option<Engine>,
+        exec_override: Option<ExecMode>,
     ) -> Result<SimReport, SimError> {
         self.ensure_checked();
         self.stats.interp_runs += 1;
@@ -229,7 +230,13 @@ impl Build {
             Ok(p) => p,
             Err(ds) => return Err(SimError::Diagnostics(ds.clone())),
         };
-        run_scenario(prog, scenario, engine_override).map_err(SimError::from)
+        run_scenario(prog, scenario, engine_override, exec_override).map_err(SimError::from)
+    }
+
+    /// Compile this session's checked program to interpreter bytecode and
+    /// render the listing (`lucidc sim --dump-bytecode`).
+    pub fn disassemble(&mut self) -> Result<String, Diagnostics> {
+        self.checked().map(lucid_interp::disassemble)
     }
 
     /// Swap in a different configuration, keeping every cache the new

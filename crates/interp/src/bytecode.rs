@@ -1,0 +1,2141 @@
+//! Bytecode compilation and execution for the interpreter's hot path.
+//!
+//! The AST walker in [`machine`](crate::machine) is the reference
+//! semantics: it re-clones handler bodies and threads a `HashMap` of
+//! locals through every event. This module lowers each checked handler
+//! once, at [`Interp`](crate::Interp) construction, into a compact
+//! register bytecode that a flat dispatch loop executes with no
+//! allocation beyond what the program itself asks for (event values,
+//! printf lines). Selecting it is [`ExecMode::Bytecode`] on
+//! [`NetConfig`](crate::NetConfig); results are bit-identical to the
+//! walker — state, statistics, trace, and printf output — which the
+//! differential property suite in `tests/tests/differential.rs` and the
+//! `fig_sim_throughput` bench both enforce.
+//!
+//! # The ISA
+//!
+//! * **Registers** (`r0`, `r1`, ...) hold a 64-bit value *and its bit
+//!   width*. The reference walker gives every integer a dynamic width
+//!   (literals default to 32 bits regardless of what the checker
+//!   inferred, binary operators take the wider operand, casts re-mask),
+//!   so widths travel with values at runtime rather than being guessed
+//!   at compile time — this is what makes the two engines agree bit for
+//!   bit even on width-mixing programs.
+//! * **Object slots** (`o0`, `o1`, ...) hold event values and multicast
+//!   groups — things a register cannot.
+//! * **Handlers** are straight-line code with forward jumps only (Lucid
+//!   has no loops; iteration happens through `generate`). Handler
+//!   parameters arrive pre-masked in `r0..rN`.
+//! * **Functions are inlined per call site**, mirroring the checker's
+//!   per-instantiation analysis: array-typed parameters resolve to
+//!   concrete global ids at compile time, value parameters become
+//!   registers, `return` becomes a jump to the inlined epilogue.
+//!
+//! Array lengths, cell widths, memop bodies, event signatures, group
+//! memberships, and printf format strings live in per-program pools so
+//! instructions stay small.
+
+use crate::machine::{format_printf, Exec, InterpError, InterpFault, Key, Shard};
+use crate::value::{lucid_hash, EventVal, Location, Value};
+use lucid_check::{eval_memop, mask, CheckedProgram, GlobalId, MemopIr};
+use lucid_frontend::ast::*;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Which executor runs handler bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Tree-walk the checked AST — the reference semantics.
+    #[default]
+    Ast,
+    /// Flat dispatch loop over compiled register bytecode.
+    Bytecode,
+}
+
+impl ExecMode {
+    /// Parse a CLI/scenario exec-mode name.
+    pub fn parse(name: &str) -> Option<ExecMode> {
+        match name {
+            "ast" | "walker" => Some(ExecMode::Ast),
+            "bytecode" | "bc" => Some(ExecMode::Bytecode),
+            _ => None,
+        }
+    }
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExecMode::Ast => "ast",
+            ExecMode::Bytecode => "bytecode",
+        }
+    }
+}
+
+/// A register value: the payload and its current bit width (the same
+/// pair [`Value::Int`] carries in the walker).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Rv {
+    pub v: u64,
+    pub w: u32,
+}
+
+impl Default for Rv {
+    fn default() -> Self {
+        Rv { v: 0, w: 32 }
+    }
+}
+
+/// An object slot: an event value, a multicast group, or empty.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) enum Obj {
+    #[default]
+    None,
+    Ev(EventVal),
+    Group(Vec<u64>),
+}
+
+/// One printf argument: which register, and whether the walker would
+/// have held a `bool` there (bools print as `true`/`false`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrintArg {
+    reg: u16,
+    is_bool: bool,
+}
+
+/// One bytecode instruction. `dst`/`a`/`b`/... index registers; `obj`
+/// fields index object slots; `gid`, `memop`, `group`, `fmt`, and
+/// `event_id` index the per-program pools.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instr {
+    /// `r[dst] = (imm, w)`.
+    Const {
+        dst: u16,
+        imm: u64,
+        w: u32,
+    },
+    /// `r[dst] = r[src]` (value and width).
+    Mov {
+        dst: u16,
+        src: u16,
+    },
+    /// `r[dst] = mask(r[src], r[dst].w)` — assignment keeps the
+    /// destination variable's width, as the walker does.
+    StoreMasked {
+        dst: u16,
+        src: u16,
+    },
+    /// `r[dst] = (r[src] != 0, 1)` — normalize to a boolean.
+    BoolOf {
+        dst: u16,
+        src: u16,
+    },
+    /// `r[dst] = (r[src] == 0, 1)` — logical not.
+    Not {
+        dst: u16,
+        src: u16,
+    },
+    /// `r[dst] = mask(-r[src], r[src].w)`.
+    Neg {
+        dst: u16,
+        src: u16,
+    },
+    /// `r[dst] = mask(!r[src], r[src].w)`.
+    BitNot {
+        dst: u16,
+        src: u16,
+    },
+    /// Arithmetic/bitwise/shift op; result width is the wider operand's.
+    Bin {
+        op: BinOp,
+        dst: u16,
+        a: u16,
+        b: u16,
+    },
+    /// Comparison; result is a boolean.
+    Cmp {
+        op: BinOp,
+        dst: u16,
+        a: u16,
+        b: u16,
+    },
+    /// `r[dst] = (mask(r[src], w), w)` — cast / typed-local write.
+    MaskW {
+        dst: u16,
+        src: u16,
+        w: u32,
+    },
+    /// `r[dst] = (hash<<w>>(args[0]; args[1..]), w)`.
+    Hash {
+        dst: u16,
+        w: u32,
+        args: Box<[u16]>,
+    },
+    Jmp {
+        to: u32,
+    },
+    /// Jump when `r[cond] == 0`.
+    Jz {
+        cond: u16,
+        to: u32,
+    },
+    /// Jump when `r[cond] != 0`.
+    Jnz {
+        cond: u16,
+        to: u32,
+    },
+    /// Bounds-check `r[idx]` against array `gid` (faults exactly where
+    /// the walker would, before any memop argument evaluates).
+    ArrCheck {
+        gid: u32,
+        idx: u16,
+    },
+    /// `r[dst] = (cells[r[idx]], cell_w)`.
+    ArrGet {
+        dst: u16,
+        gid: u32,
+        idx: u16,
+    },
+    /// `cells[r[idx]] = mask(r[val], cell_w)`.
+    ArrSet {
+        gid: u32,
+        idx: u16,
+        val: u16,
+    },
+    /// `r[dst] = (mask(memop(cell, r[local]), cell_w), cell_w)`.
+    ArrGetm {
+        dst: u16,
+        gid: u32,
+        idx: u16,
+        memop: u16,
+        local: u16,
+    },
+    /// `cells[r[idx]] = memop(cell, r[local])`.
+    ArrSetm {
+        gid: u32,
+        idx: u16,
+        memop: u16,
+        local: u16,
+    },
+    /// Parallel read-and-write through two memops.
+    ArrUpdate {
+        dst: u16,
+        gid: u32,
+        idx: u16,
+        getop: u16,
+        getarg: u16,
+        setop: u16,
+        setarg: u16,
+    },
+    /// `o[dst] = event_id(args...)` — args masked to parameter widths.
+    MkEvent {
+        dst: u16,
+        event_id: u32,
+        args: Box<[u16]>,
+    },
+    /// `o[dst] = o[src].clone()`.
+    ObjCopy {
+        dst: u16,
+        src: u16,
+    },
+    /// `o[dst] = groups[group].clone()`.
+    LoadGroup {
+        dst: u16,
+        group: u16,
+    },
+    /// `o[obj].delay_ns += r[us] * 1000` (events only; others pass).
+    EvDelay {
+        obj: u16,
+        us: u16,
+    },
+    /// `o[obj].location = Switch(r[loc])`.
+    EvLocate {
+        obj: u16,
+        loc: u16,
+    },
+    /// `o[obj].location = Group(o[group])`.
+    EvMLocate {
+        obj: u16,
+        group: u16,
+    },
+    /// Emit `o[obj]` into the shard's schedule (consumes the slot).
+    Generate {
+        obj: u16,
+    },
+    /// `r[dst] = (switch_id, 32)`.
+    LoadSelf {
+        dst: u16,
+    },
+    /// `r[dst] = (mask(now_ns / 1000, 32), 32)`.
+    LoadTime {
+        dst: u16,
+    },
+    /// `r[dst] = (0, 32)` — `Sys.port()` is always 0 in the simulator.
+    LoadPort {
+        dst: u16,
+    },
+    /// Format `fmts[fmt]` with the given registers and record the line.
+    Printf {
+        fmt: u16,
+        args: Box<[PrintArg]>,
+    },
+    /// End of handler.
+    Halt,
+}
+
+/// How one handler parameter binds into its register at dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ParamBind {
+    /// `(raw, w)` — raw values arrive pre-masked from the scheduler.
+    Int(u32),
+    /// `(raw != 0, 1)` — the walker's `value_of(Ty::Bool, raw)`.
+    Bool,
+}
+
+/// One handler's compiled body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HandlerCode {
+    event_id: usize,
+    name: String,
+    /// Parameter names, for the disassembly header.
+    param_names: Vec<String>,
+    binds: Vec<ParamBind>,
+    nregs: usize,
+    nobjs: usize,
+    code: Vec<Instr>,
+}
+
+impl HandlerCode {
+    pub fn instrs(&self) -> &[Instr] {
+        &self.code
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ArrayMeta {
+    name: String,
+    len: u64,
+    width: u32,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct EventMeta {
+    name: String,
+    widths: Box<[u32]>,
+}
+
+/// A whole checked program lowered to bytecode: per-event handler code
+/// plus the pools instructions index into.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledProg {
+    /// Indexed by event id; `None` = declared event with no handler.
+    handlers: Vec<Option<HandlerCode>>,
+    arrays: Vec<ArrayMeta>,
+    events: Vec<EventMeta>,
+    memops: Vec<MemopIr>,
+    groups: Vec<(String, Vec<u64>)>,
+    fmts: Vec<String>,
+}
+
+impl CompiledProg {
+    /// Lower every handler of a checked program.
+    pub fn compile(prog: &CheckedProgram) -> CompiledProg {
+        let arrays = prog
+            .info
+            .globals
+            .iter()
+            .map(|g| ArrayMeta {
+                name: g.name.clone(),
+                len: g.len,
+                width: g.cell_width,
+            })
+            .collect();
+        let events = prog
+            .info
+            .events
+            .iter()
+            .map(|e| EventMeta {
+                name: e.name.clone(),
+                widths: e
+                    .params
+                    .iter()
+                    .map(|p| p.ty.int_width().unwrap_or(32))
+                    .collect(),
+            })
+            .collect();
+        let mut cp = CompiledProg {
+            handlers: Vec::new(),
+            arrays,
+            events,
+            memops: Vec::new(),
+            groups: Vec::new(),
+            fmts: Vec::new(),
+        };
+        // Event-id order keeps pool numbering (and the disassembly)
+        // deterministic.
+        for id in 0..prog.info.events.len() {
+            let name = prog.info.events[id].name.clone();
+            let code = prog
+                .handler_body(&name)
+                .map(|(params, body)| compile_handler(prog, &mut cp, id, &name, params, body));
+            cp.handlers.push(code);
+        }
+        cp
+    }
+
+    /// The compiled code for an event, if it has a handler.
+    pub fn handler(&self, event_id: usize) -> Option<&HandlerCode> {
+        self.handlers.get(event_id).and_then(|h| h.as_ref())
+    }
+
+    fn memop_id(&mut self, m: &MemopIr) -> u16 {
+        match self.memops.iter().position(|x| x.name == m.name) {
+            Some(i) => i as u16,
+            None => {
+                self.memops.push(m.clone());
+                (self.memops.len() - 1) as u16
+            }
+        }
+    }
+
+    fn group_id(&mut self, name: &str, members: &[u64]) -> u16 {
+        match self.groups.iter().position(|(n, _)| n == name) {
+            Some(i) => i as u16,
+            None => {
+                self.groups.push((name.to_string(), members.to_vec()));
+                (self.groups.len() - 1) as u16
+            }
+        }
+    }
+
+    fn fmt_id(&mut self, fmt: &str) -> u16 {
+        match self.fmts.iter().position(|f| f == fmt) {
+            Some(i) => i as u16,
+            None => {
+                self.fmts.push(fmt.to_string());
+                (self.fmts.len() - 1) as u16
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- compiler
+
+/// What a variable name is bound to during compilation.
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    Reg {
+        r: u16,
+        is_bool: bool,
+    },
+    Obj(u16),
+    /// An array-typed function parameter, resolved to its global.
+    ArrayRef(GlobalId),
+    /// A local bound to a void function call's "result".
+    Void,
+}
+
+/// The result of compiling one expression.
+#[derive(Debug, Clone, Copy)]
+enum Val {
+    Reg { r: u16, is_bool: bool, temp: bool },
+    Obj { o: u16, temp: bool },
+    Void,
+}
+
+/// Return-value plumbing for one inlined function activation.
+struct RetCtx {
+    slot: Slot,
+    /// `Jmp` sites to patch to the inlined epilogue.
+    jumps: Vec<usize>,
+}
+
+/// One activation frame: the handler itself, or an inlined function.
+struct Frame {
+    vars: HashMap<String, Slot>,
+    /// `None` for the handler frame (its `return` halts).
+    ret: Option<RetCtx>,
+}
+
+/// Register / object-slot allocator: a free list plus high-water mark.
+#[derive(Default)]
+struct Alloc {
+    next: u16,
+    free: Vec<u16>,
+}
+
+impl Alloc {
+    fn get(&mut self) -> u16 {
+        self.free.pop().unwrap_or_else(|| {
+            let r = self.next;
+            self.next = self.next.checked_add(1).expect("register file overflow");
+            r
+        })
+    }
+
+    fn put(&mut self, r: u16) {
+        self.free.push(r);
+    }
+}
+
+struct Cc<'p> {
+    prog: &'p CheckedProgram,
+    pools: &'p mut CompiledProg,
+    code: Vec<Instr>,
+    regs: Alloc,
+    objs: Alloc,
+    frames: Vec<Frame>,
+    /// Array-typed parameters of every live (inlined) activation, in
+    /// binding order — the compile-time image of the walker's dynamic
+    /// `cx.array_params` stack. Array-position names resolve through
+    /// this stack (innermost first), *not* through lexical frames,
+    /// because the walker is the semantics of record.
+    array_stack: Vec<(String, GlobalId)>,
+    /// Inlining depth guard (the checker rules out recursion; this turns
+    /// a hypothetical checker bug into a clean panic, not a hang).
+    depth: usize,
+}
+
+fn compile_handler(
+    prog: &CheckedProgram,
+    pools: &mut CompiledProg,
+    event_id: usize,
+    name: &str,
+    params: &[Param],
+    body: &Block,
+) -> HandlerCode {
+    let mut cc = Cc {
+        prog,
+        pools,
+        code: Vec::new(),
+        regs: Alloc::default(),
+        objs: Alloc::default(),
+        frames: Vec::new(),
+        array_stack: Vec::new(),
+        depth: 0,
+    };
+    let mut vars = HashMap::new();
+    let mut binds = Vec::with_capacity(params.len());
+    let mut param_names = Vec::with_capacity(params.len());
+    for p in params {
+        let r = cc.regs.get();
+        let is_bool = p.ty == Ty::Bool;
+        binds.push(match p.ty {
+            Ty::Bool => ParamBind::Bool,
+            ty => ParamBind::Int(ty.int_width().unwrap_or(32)),
+        });
+        vars.insert(p.name.name.clone(), Slot::Reg { r, is_bool });
+        param_names.push(p.name.name.clone());
+    }
+    cc.frames.push(Frame { vars, ret: None });
+    cc.block(body);
+    cc.code.push(Instr::Halt);
+    HandlerCode {
+        event_id,
+        name: name.to_string(),
+        param_names,
+        binds,
+        nregs: cc.regs.next as usize,
+        nobjs: cc.objs.next as usize,
+        code: cc.code,
+    }
+}
+
+impl Cc<'_> {
+    fn emit(&mut self, i: Instr) -> usize {
+        self.code.push(i);
+        self.code.len() - 1
+    }
+
+    /// Point a forward jump at the current end of the code.
+    fn patch(&mut self, at: usize) {
+        let to = self.code.len() as u32;
+        match &mut self.code[at] {
+            Instr::Jmp { to: t } | Instr::Jz { to: t, .. } | Instr::Jnz { to: t, .. } => *t = to,
+            other => panic!("patching a non-jump {other:?}"),
+        }
+    }
+
+    /// Free the storage a consumed temporary held.
+    fn release(&mut self, v: Val) {
+        match v {
+            Val::Reg { r, temp: true, .. } => self.regs.put(r),
+            Val::Obj { o, temp: true, .. } => self.objs.put(o),
+            _ => {}
+        }
+    }
+
+    fn reg_of(&self, v: Val) -> u16 {
+        match v {
+            Val::Reg { r, .. } => r,
+            other => panic!("checked program used {other:?} as an integer"),
+        }
+    }
+
+    /// Get `v` into an object slot we may mutate (clone a variable's
+    /// slot, exactly as the walker clones on env lookup).
+    fn owned_obj(&mut self, v: Val) -> u16 {
+        match v {
+            Val::Obj { o, temp: true } => o,
+            Val::Obj { o, temp: false } => {
+                let dst = self.objs.get();
+                self.emit(Instr::ObjCopy { dst, src: o });
+                dst
+            }
+            other => panic!("checked program used {other:?} as an event/group"),
+        }
+    }
+
+    /// Pin an expression result as a variable binding (reusing a
+    /// temporary's storage, copying out of another variable's).
+    fn bind_value(&mut self, v: Val) -> Slot {
+        match v {
+            Val::Reg {
+                r,
+                is_bool,
+                temp: true,
+            } => Slot::Reg { r, is_bool },
+            Val::Reg {
+                r,
+                is_bool,
+                temp: false,
+            } => {
+                let dst = self.regs.get();
+                self.emit(Instr::Mov { dst, src: r });
+                Slot::Reg { r: dst, is_bool }
+            }
+            Val::Obj { o, temp: true } => Slot::Obj(o),
+            Val::Obj { o, temp: false } => {
+                let dst = self.objs.get();
+                self.emit(Instr::ObjCopy { dst, src: o });
+                Slot::Obj(dst)
+            }
+            Val::Void => Slot::Void,
+        }
+    }
+
+    // ------------------------------------------------------- statements
+
+    fn block(&mut self, b: &Block) {
+        for s in &b.stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Local { ty, name, init } => {
+                let v = self.expr(init);
+                // The walker re-masks only int-typed locals holding ints.
+                let slot = match (ty, v) {
+                    (Some(Ty::Int(w)), Val::Reg { r, temp, .. }) => {
+                        let dst = if temp { r } else { self.regs.get() };
+                        self.emit(Instr::MaskW { dst, src: r, w: *w });
+                        Slot::Reg {
+                            r: dst,
+                            is_bool: false,
+                        }
+                    }
+                    _ => self.bind_value(v),
+                };
+                self.frames
+                    .last_mut()
+                    .expect("frame")
+                    .vars
+                    .insert(name.name.clone(), slot);
+            }
+            StmtKind::Assign { name, value } => {
+                let slot = *self
+                    .frames
+                    .last()
+                    .expect("frame")
+                    .vars
+                    .get(&name.name)
+                    .unwrap_or_else(|| panic!("checked program assigns unbound `{}`", name.name));
+                let v = self.expr(value);
+                match slot {
+                    Slot::Reg { r: dst, is_bool } => {
+                        let src = self.reg_of(v);
+                        // Ints keep the variable's width; bools just move.
+                        if is_bool {
+                            self.emit(Instr::Mov { dst, src });
+                        } else {
+                            self.emit(Instr::StoreMasked { dst, src });
+                        }
+                    }
+                    Slot::Obj(dst) => {
+                        let src = match v {
+                            Val::Obj { o, .. } => o,
+                            other => panic!("checked program assigns {other:?} to an event"),
+                        };
+                        self.emit(Instr::ObjCopy { dst, src });
+                    }
+                    Slot::ArrayRef(_) | Slot::Void => {
+                        panic!("checked program assigns to `{}`", name.name)
+                    }
+                }
+                self.release(v);
+            }
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let c = self.expr(cond);
+                let jz = self.emit(Instr::Jz {
+                    cond: self.reg_of(c),
+                    to: u32::MAX,
+                });
+                self.release(c);
+                // Branch-local declarations must not leak bindings into
+                // the untaken path's compilation (the checker scopes
+                // them lexically; the runtime env never observes a leak
+                // because only one branch executes).
+                let saved = self.frames.last().expect("frame").vars.clone();
+                self.block(then_blk);
+                if let Some(e) = else_blk {
+                    let jend = self.emit(Instr::Jmp { to: u32::MAX });
+                    self.patch(jz);
+                    self.frames.last_mut().expect("frame").vars = saved.clone();
+                    self.block(e);
+                    self.patch(jend);
+                } else {
+                    self.patch(jz);
+                }
+                self.frames.last_mut().expect("frame").vars = saved;
+            }
+            StmtKind::Generate(e) | StmtKind::MGenerate(e) => {
+                let v = self.expr(e);
+                let obj = self.owned_obj(v);
+                self.emit(Instr::Generate { obj });
+                self.objs.put(obj);
+            }
+            StmtKind::Return(val) => {
+                let v = val.as_ref().map(|e| self.expr(e));
+                let in_fun = self.frames.last().expect("frame").ret.is_some();
+                if !in_fun {
+                    // Handler-level return: evaluate (for effects) and stop.
+                    if let Some(v) = v {
+                        self.release(v);
+                    }
+                    self.emit(Instr::Halt);
+                    return;
+                }
+                if let Some(v) = v {
+                    let slot = self
+                        .frames
+                        .last()
+                        .expect("frame")
+                        .ret
+                        .as_ref()
+                        .expect("fun")
+                        .slot;
+                    match (slot, v) {
+                        (Slot::Reg { r: dst, .. }, Val::Reg { r: src, .. }) => {
+                            self.emit(Instr::Mov { dst, src });
+                        }
+                        (Slot::Obj(dst), Val::Obj { o: src, .. }) => {
+                            self.emit(Instr::ObjCopy { dst, src });
+                        }
+                        (Slot::Void, _) | (_, Val::Void) => {}
+                        (s, v) => panic!("checked function returns {v:?} into {s:?}"),
+                    }
+                    self.release(v);
+                }
+                let j = self.emit(Instr::Jmp { to: u32::MAX });
+                self.frames
+                    .last_mut()
+                    .expect("frame")
+                    .ret
+                    .as_mut()
+                    .expect("fun")
+                    .jumps
+                    .push(j);
+            }
+            StmtKind::Printf { fmt, args } => {
+                let vals: Vec<Val> = args.iter().map(|a| self.expr(a)).collect();
+                let pargs: Box<[PrintArg]> = vals
+                    .iter()
+                    .map(|v| match *v {
+                        Val::Reg { r, is_bool, .. } => PrintArg { reg: r, is_bool },
+                        other => panic!("checked printf arg {other:?}"),
+                    })
+                    .collect();
+                let fmt = self.pools.fmt_id(fmt);
+                self.emit(Instr::Printf { fmt, args: pargs });
+                for v in vals {
+                    self.release(v);
+                }
+            }
+            StmtKind::Expr(e) => {
+                let v = self.expr(e);
+                self.release(v);
+            }
+        }
+    }
+
+    // ------------------------------------------------------ expressions
+
+    fn expr(&mut self, e: &Expr) -> Val {
+        match &e.kind {
+            ExprKind::Int { value, width } => {
+                let w = width.unwrap_or(32);
+                let dst = self.regs.get();
+                self.emit(Instr::Const {
+                    dst,
+                    imm: mask(*value, w),
+                    w,
+                });
+                Val::Reg {
+                    r: dst,
+                    is_bool: false,
+                    temp: true,
+                }
+            }
+            ExprKind::Bool(b) => {
+                let dst = self.regs.get();
+                self.emit(Instr::Const {
+                    dst,
+                    imm: *b as u64,
+                    w: 1,
+                });
+                Val::Reg {
+                    r: dst,
+                    is_bool: true,
+                    temp: true,
+                }
+            }
+            ExprKind::Var(id) => self.var(id),
+            ExprKind::Unary { op, arg } => {
+                let v = self.expr(arg);
+                let src = self.reg_of(v);
+                self.release(v);
+                let dst = self.regs.get();
+                let is_bool = match op {
+                    UnOp::Not => {
+                        self.emit(Instr::Not { dst, src });
+                        true
+                    }
+                    UnOp::Neg => {
+                        self.emit(Instr::Neg { dst, src });
+                        false
+                    }
+                    UnOp::BitNot => {
+                        self.emit(Instr::BitNot { dst, src });
+                        false
+                    }
+                };
+                Val::Reg {
+                    r: dst,
+                    is_bool,
+                    temp: true,
+                }
+            }
+            ExprKind::Binary { op, lhs, rhs } => self.binary(*op, lhs, rhs),
+            ExprKind::Cast { width, arg } => {
+                let v = self.expr(arg);
+                let src = self.reg_of(v);
+                self.release(v);
+                let dst = self.regs.get();
+                self.emit(Instr::MaskW {
+                    dst,
+                    src,
+                    w: *width,
+                });
+                Val::Reg {
+                    r: dst,
+                    is_bool: false,
+                    temp: true,
+                }
+            }
+            ExprKind::Hash { width, args } => {
+                let vals: Vec<Val> = args.iter().map(|a| self.expr(a)).collect();
+                let regs: Box<[u16]> = vals.iter().map(|v| self.reg_of(*v)).collect();
+                for v in vals {
+                    self.release(v);
+                }
+                let dst = self.regs.get();
+                self.emit(Instr::Hash {
+                    dst,
+                    w: *width,
+                    args: regs,
+                });
+                Val::Reg {
+                    r: dst,
+                    is_bool: false,
+                    temp: true,
+                }
+            }
+            ExprKind::Call { callee, args } => self.call(callee, args),
+            ExprKind::BuiltinCall { builtin, args, .. } => self.builtin(*builtin, args),
+        }
+    }
+
+    fn var(&mut self, id: &Ident) -> Val {
+        if let Some(slot) = self.frames.last().expect("frame").vars.get(&id.name) {
+            return match *slot {
+                Slot::Reg { r, is_bool } => Val::Reg {
+                    r,
+                    is_bool,
+                    temp: false,
+                },
+                Slot::Obj(o) => Val::Obj { o, temp: false },
+                // The walker binds array params as their global id.
+                Slot::ArrayRef(gid) => {
+                    let dst = self.regs.get();
+                    self.emit(Instr::Const {
+                        dst,
+                        imm: gid.0 as u64,
+                        w: 32,
+                    });
+                    Val::Reg {
+                        r: dst,
+                        is_bool: false,
+                        temp: true,
+                    }
+                }
+                Slot::Void => Val::Void,
+            };
+        }
+        if id.name == "SELF" {
+            let dst = self.regs.get();
+            self.emit(Instr::LoadSelf { dst });
+            return Val::Reg {
+                r: dst,
+                is_bool: false,
+                temp: true,
+            };
+        }
+        if let Some(c) = self.prog.info.consts.get(&id.name) {
+            let (imm, w, is_bool) = match c.ty {
+                Ty::Bool => ((c.value != 0) as u64, 1, true),
+                Ty::Int(w) => (c.value, w, false),
+                _ => (c.value, 32, false),
+            };
+            let dst = self.regs.get();
+            self.emit(Instr::Const { dst, imm, w });
+            return Val::Reg {
+                r: dst,
+                is_bool,
+                temp: true,
+            };
+        }
+        if let Some(g) = self.prog.info.groups.get(&id.name) {
+            let members = g.members.clone();
+            let group = self.pools.group_id(&id.name, &members);
+            let dst = self.objs.get();
+            self.emit(Instr::LoadGroup { dst, group });
+            return Val::Obj { o: dst, temp: true };
+        }
+        panic!("checked program has unbound var `{}`", id.name)
+    }
+
+    fn binary(&mut self, op: BinOp, lhs: &Expr, rhs: &Expr) -> Val {
+        // The logical connectives short-circuit, exactly as the walker
+        // does: the right operand must not run when the left decides.
+        if op == BinOp::And || op == BinOp::Or {
+            let dst = self.regs.get();
+            let l = self.expr(lhs);
+            self.emit(Instr::BoolOf {
+                dst,
+                src: self.reg_of(l),
+            });
+            self.release(l);
+            let j = if op == BinOp::And {
+                self.emit(Instr::Jz {
+                    cond: dst,
+                    to: u32::MAX,
+                })
+            } else {
+                self.emit(Instr::Jnz {
+                    cond: dst,
+                    to: u32::MAX,
+                })
+            };
+            let r = self.expr(rhs);
+            self.emit(Instr::BoolOf {
+                dst,
+                src: self.reg_of(r),
+            });
+            self.release(r);
+            self.patch(j);
+            return Val::Reg {
+                r: dst,
+                is_bool: true,
+                temp: true,
+            };
+        }
+        let l = self.expr(lhs);
+        let r = self.expr(rhs);
+        let (a, b) = (self.reg_of(l), self.reg_of(r));
+        self.release(l);
+        self.release(r);
+        let dst = self.regs.get();
+        if op.is_comparison() {
+            self.emit(Instr::Cmp { op, dst, a, b });
+            Val::Reg {
+                r: dst,
+                is_bool: true,
+                temp: true,
+            }
+        } else {
+            self.emit(Instr::Bin { op, dst, a, b });
+            Val::Reg {
+                r: dst,
+                is_bool: false,
+                temp: true,
+            }
+        }
+    }
+
+    /// Event construction, or a user function inlined at this call site.
+    fn call(&mut self, callee: &Ident, args: &[Expr]) -> Val {
+        if let Some(ev) = self.prog.info.event(&callee.name) {
+            let event_id = ev.id as u32;
+            let vals: Vec<Val> = args.iter().map(|a| self.expr(a)).collect();
+            let regs: Box<[u16]> = vals.iter().map(|v| self.reg_of(*v)).collect();
+            for v in vals {
+                self.release(v);
+            }
+            let dst = self.objs.get();
+            self.emit(Instr::MkEvent {
+                dst,
+                event_id,
+                args: regs,
+            });
+            return Val::Obj { o: dst, temp: true };
+        }
+
+        let (ret_ty, params, body) = self
+            .prog
+            .fun_body(&callee.name)
+            .unwrap_or_else(|| panic!("checked program calls unknown `{}`", callee.name));
+        let (ret_ty, params, body) = (*ret_ty, params.clone(), body.clone());
+        self.depth += 1;
+        assert!(self.depth <= 64, "function inlining depth exceeded");
+
+        // Bind arguments in declaration order, evaluating value args in
+        // the caller's frame and pushing array bindings onto the dynamic
+        // stack as they resolve (the same interleaving the walker uses).
+        let array_stack_mark = self.array_stack.len();
+        let mut vars = HashMap::new();
+        for (p, a) in params.iter().zip(args) {
+            let slot = match p.ty {
+                Ty::Array(_) => {
+                    let gid = self.resolve_array(a);
+                    self.array_stack.push((p.name.name.clone(), gid));
+                    Slot::ArrayRef(gid)
+                }
+                _ => {
+                    let v = self.expr(a);
+                    self.bind_value(v)
+                }
+            };
+            vars.insert(p.name.name.clone(), slot);
+        }
+        let ret_slot = match ret_ty {
+            Ty::Void => Slot::Void,
+            Ty::Event | Ty::Group => Slot::Obj(self.objs.get()),
+            Ty::Bool => Slot::Reg {
+                r: self.regs.get(),
+                is_bool: true,
+            },
+            _ => Slot::Reg {
+                r: self.regs.get(),
+                is_bool: false,
+            },
+        };
+        self.frames.push(Frame {
+            vars,
+            ret: Some(RetCtx {
+                slot: ret_slot,
+                jumps: Vec::new(),
+            }),
+        });
+        self.block(&body);
+        let frame = self.frames.pop().expect("fun frame");
+        for j in frame.ret.expect("fun").jumps {
+            self.patch(j);
+        }
+        self.array_stack.truncate(array_stack_mark);
+        self.depth -= 1;
+        match ret_slot {
+            Slot::Reg { r, is_bool } => Val::Reg {
+                r,
+                is_bool,
+                temp: true,
+            },
+            Slot::Obj(o) => Val::Obj { o, temp: true },
+            _ => Val::Void,
+        }
+    }
+
+    /// Resolve an array-position argument to a concrete global.
+    /// Resolve an array-position name the way the walker's
+    /// `resolve_array` does: innermost binding on the dynamic
+    /// array-parameter stack first (spanning *all* live activations,
+    /// not just the current frame), then the globals.
+    fn resolve_array(&self, e: &Expr) -> GlobalId {
+        match &e.kind {
+            ExprKind::Var(id) => {
+                if let Some((_, gid)) = self
+                    .array_stack
+                    .iter()
+                    .rev()
+                    .find(|(name, _)| *name == id.name)
+                {
+                    return *gid;
+                }
+                self.prog.info.globals_by_name[&id.name]
+            }
+            _ => panic!("checked: array argument is a name"),
+        }
+    }
+
+    fn memop_id(&mut self, e: &Expr) -> u16 {
+        let ExprKind::Var(id) = &e.kind else {
+            panic!("checked: memop position holds a name")
+        };
+        let ir = self.prog.memops[&id.name].clone();
+        self.pools.memop_id(&ir)
+    }
+
+    fn builtin(&mut self, builtin: Builtin, args: &[Expr]) -> Val {
+        match builtin {
+            Builtin::ArrayGet
+            | Builtin::ArrayGetm
+            | Builtin::ArraySet
+            | Builtin::ArraySetm
+            | Builtin::ArrayUpdate => {
+                let gid = self.resolve_array(&args[0]).0 as u32;
+                let iv = self.expr(&args[1]);
+                let idx = self.reg_of(iv);
+                // The walker bounds-checks before evaluating any memop
+                // argument; keeping that order keeps error runs
+                // bit-identical too.
+                self.emit(Instr::ArrCheck { gid, idx });
+                let out = match builtin {
+                    Builtin::ArrayGet => {
+                        let dst = self.regs.get();
+                        self.emit(Instr::ArrGet { dst, gid, idx });
+                        Val::Reg {
+                            r: dst,
+                            is_bool: false,
+                            temp: true,
+                        }
+                    }
+                    Builtin::ArrayGetm => {
+                        let memop = self.memop_id(&args[2]);
+                        let lv = self.expr(&args[3]);
+                        let local = self.reg_of(lv);
+                        self.release(lv);
+                        let dst = self.regs.get();
+                        self.emit(Instr::ArrGetm {
+                            dst,
+                            gid,
+                            idx,
+                            memop,
+                            local,
+                        });
+                        Val::Reg {
+                            r: dst,
+                            is_bool: false,
+                            temp: true,
+                        }
+                    }
+                    Builtin::ArraySet => {
+                        let vv = self.expr(&args[2]);
+                        let val = self.reg_of(vv);
+                        self.release(vv);
+                        self.emit(Instr::ArrSet { gid, idx, val });
+                        Val::Void
+                    }
+                    Builtin::ArraySetm => {
+                        let memop = self.memop_id(&args[2]);
+                        let lv = self.expr(&args[3]);
+                        let local = self.reg_of(lv);
+                        self.release(lv);
+                        self.emit(Instr::ArrSetm {
+                            gid,
+                            idx,
+                            memop,
+                            local,
+                        });
+                        Val::Void
+                    }
+                    Builtin::ArrayUpdate => {
+                        let getop = self.memop_id(&args[2]);
+                        let gv = self.expr(&args[3]);
+                        let setop = self.memop_id(&args[4]);
+                        let sv = self.expr(&args[5]);
+                        let (getarg, setarg) = (self.reg_of(gv), self.reg_of(sv));
+                        self.release(gv);
+                        self.release(sv);
+                        let dst = self.regs.get();
+                        self.emit(Instr::ArrUpdate {
+                            dst,
+                            gid,
+                            idx,
+                            getop,
+                            getarg,
+                            setop,
+                            setarg,
+                        });
+                        Val::Reg {
+                            r: dst,
+                            is_bool: false,
+                            temp: true,
+                        }
+                    }
+                    _ => unreachable!(),
+                };
+                self.release(iv);
+                out
+            }
+            Builtin::EventDelay | Builtin::EventLocate => {
+                let ev = self.expr(&args[0]);
+                let obj = self.owned_obj(ev);
+                let av = self.expr(&args[1]);
+                let arg = self.reg_of(av);
+                self.release(av);
+                if builtin == Builtin::EventDelay {
+                    self.emit(Instr::EvDelay { obj, us: arg });
+                } else {
+                    self.emit(Instr::EvLocate { obj, loc: arg });
+                }
+                Val::Obj { o: obj, temp: true }
+            }
+            Builtin::EventMLocate => {
+                let ev = self.expr(&args[0]);
+                let obj = self.owned_obj(ev);
+                let gv = self.expr(&args[1]);
+                let group = match gv {
+                    Val::Obj { o, .. } => o,
+                    other => panic!("checked: group argument, got {other:?}"),
+                };
+                self.emit(Instr::EvMLocate { obj, group });
+                self.release(gv);
+                Val::Obj { o: obj, temp: true }
+            }
+            Builtin::SysTime => {
+                let dst = self.regs.get();
+                self.emit(Instr::LoadTime { dst });
+                Val::Reg {
+                    r: dst,
+                    is_bool: false,
+                    temp: true,
+                }
+            }
+            Builtin::SysSelf => {
+                let dst = self.regs.get();
+                self.emit(Instr::LoadSelf { dst });
+                Val::Reg {
+                    r: dst,
+                    is_bool: false,
+                    temp: true,
+                }
+            }
+            Builtin::SysPort => {
+                let dst = self.regs.get();
+                self.emit(Instr::LoadPort { dst });
+                Val::Reg {
+                    r: dst,
+                    is_bool: false,
+                    temp: true,
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- executor
+
+impl CompiledProg {
+    /// Run one handler activation on its shard. Mirrors the AST walker's
+    /// `exec_block` bit for bit; the caller (dispatch) has already
+    /// recorded trace and statistics.
+    pub(crate) fn run_handler(
+        &self,
+        h: &HandlerCode,
+        exec: &Exec,
+        shard: &mut Shard,
+        switch: u64,
+        key: Key,
+        args: &[u64],
+    ) -> Result<(), InterpError> {
+        // Reuse the shard's scratch buffers across events.
+        let mut regs = std::mem::take(&mut shard.bc_regs);
+        let mut objs = std::mem::take(&mut shard.bc_objs);
+        regs.clear();
+        regs.resize(h.nregs, Rv::default());
+        objs.clear();
+        objs.resize(h.nobjs, Obj::None);
+        for (i, (bind, raw)) in h.binds.iter().zip(args).enumerate() {
+            regs[i] = match bind {
+                ParamBind::Int(w) => Rv { v: *raw, w: *w },
+                ParamBind::Bool => Rv {
+                    v: (*raw != 0) as u64,
+                    w: 1,
+                },
+            };
+        }
+        let res = self.exec_loop(&h.code, &mut regs, &mut objs, exec, shard, switch, key);
+        shard.bc_regs = regs;
+        shard.bc_objs = objs;
+        res
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_loop(
+        &self,
+        code: &[Instr],
+        regs: &mut [Rv],
+        objs: &mut [Obj],
+        exec: &Exec,
+        shard: &mut Shard,
+        switch: u64,
+        key: Key,
+    ) -> Result<(), InterpError> {
+        let mut pc = 0usize;
+        loop {
+            match &code[pc] {
+                Instr::Const { dst, imm, w } => {
+                    regs[*dst as usize] = Rv { v: *imm, w: *w };
+                }
+                Instr::Mov { dst, src } => {
+                    regs[*dst as usize] = regs[*src as usize];
+                }
+                Instr::StoreMasked { dst, src } => {
+                    let w = regs[*dst as usize].w;
+                    regs[*dst as usize] = Rv {
+                        v: mask(regs[*src as usize].v, w),
+                        w,
+                    };
+                }
+                Instr::BoolOf { dst, src } => {
+                    regs[*dst as usize] = Rv {
+                        v: (regs[*src as usize].v != 0) as u64,
+                        w: 1,
+                    };
+                }
+                Instr::Not { dst, src } => {
+                    regs[*dst as usize] = Rv {
+                        v: (regs[*src as usize].v == 0) as u64,
+                        w: 1,
+                    };
+                }
+                Instr::Neg { dst, src } => {
+                    let Rv { v, w } = regs[*src as usize];
+                    regs[*dst as usize] = Rv {
+                        v: mask(v.wrapping_neg(), w),
+                        w,
+                    };
+                }
+                Instr::BitNot { dst, src } => {
+                    let Rv { v, w } = regs[*src as usize];
+                    regs[*dst as usize] = Rv { v: mask(!v, w), w };
+                }
+                Instr::Bin { op, dst, a, b } => {
+                    let Rv { v: a, w: wa } = regs[*a as usize];
+                    let Rv { v: b, w: wb } = regs[*b as usize];
+                    let w = wa.max(wb);
+                    let v = match op {
+                        BinOp::Add => a.wrapping_add(b),
+                        BinOp::Sub => a.wrapping_sub(b),
+                        BinOp::Mul => a.wrapping_mul(b),
+                        // Division by zero yields zero in the data plane.
+                        BinOp::Div => a.checked_div(b).unwrap_or(0),
+                        BinOp::Mod => a.checked_rem(b).unwrap_or(0),
+                        BinOp::BitAnd => a & b,
+                        BinOp::BitOr => a | b,
+                        BinOp::BitXor => a ^ b,
+                        BinOp::Shl => {
+                            if b >= 64 {
+                                0
+                            } else {
+                                a.wrapping_shl(b as u32)
+                            }
+                        }
+                        BinOp::Shr => {
+                            if b >= 64 {
+                                0
+                            } else {
+                                a.wrapping_shr(b as u32)
+                            }
+                        }
+                        other => unreachable!("comparison {other:?} compiled as Bin"),
+                    };
+                    regs[*dst as usize] = Rv { v: mask(v, w), w };
+                }
+                Instr::Cmp { op, dst, a, b } => {
+                    let a = regs[*a as usize].v;
+                    let b = regs[*b as usize].v;
+                    let v = match op {
+                        BinOp::Eq => a == b,
+                        BinOp::Neq => a != b,
+                        BinOp::Lt => a < b,
+                        BinOp::Gt => a > b,
+                        BinOp::Le => a <= b,
+                        BinOp::Ge => a >= b,
+                        other => unreachable!("{other:?} compiled as Cmp"),
+                    };
+                    regs[*dst as usize] = Rv { v: v as u64, w: 1 };
+                }
+                Instr::MaskW { dst, src, w } => {
+                    regs[*dst as usize] = Rv {
+                        v: mask(regs[*src as usize].v, *w),
+                        w: *w,
+                    };
+                }
+                Instr::Hash { dst, w, args } => {
+                    let seed = regs[args[0] as usize].v;
+                    // Reuse the shard's buffer: no per-hash allocation.
+                    shard.bc_hash.clear();
+                    shard
+                        .bc_hash
+                        .extend(args[1..].iter().map(|r| regs[*r as usize].v));
+                    regs[*dst as usize] = Rv {
+                        v: lucid_hash(*w, seed, &shard.bc_hash),
+                        w: *w,
+                    };
+                }
+                Instr::Jmp { to } => {
+                    pc = *to as usize;
+                    continue;
+                }
+                Instr::Jz { cond, to } => {
+                    if regs[*cond as usize].v == 0 {
+                        pc = *to as usize;
+                        continue;
+                    }
+                }
+                Instr::Jnz { cond, to } => {
+                    if regs[*cond as usize].v != 0 {
+                        pc = *to as usize;
+                        continue;
+                    }
+                }
+                Instr::ArrCheck { gid, idx } => {
+                    let idx = regs[*idx as usize].v;
+                    let m = &self.arrays[*gid as usize];
+                    if idx >= m.len {
+                        return Err(InterpFault::IndexOutOfBounds {
+                            array: m.name.clone(),
+                            index: idx,
+                            len: m.len,
+                        }
+                        .into());
+                    }
+                }
+                Instr::ArrGet { dst, gid, idx } => {
+                    let idx = regs[*idx as usize].v as usize;
+                    let w = self.arrays[*gid as usize].width;
+                    // The walker masks on read (`Value::int(cur, w)`);
+                    // cells can legally hold over-width values because
+                    // `Array.setm` stores memop results unmasked.
+                    regs[*dst as usize] = Rv {
+                        v: mask(shard.state.arrays[*gid as usize][idx], w),
+                        w,
+                    };
+                }
+                Instr::ArrSet { gid, idx, val } => {
+                    let idx = regs[*idx as usize].v as usize;
+                    let w = self.arrays[*gid as usize].width;
+                    shard.state.arrays[*gid as usize][idx] = mask(regs[*val as usize].v, w);
+                }
+                Instr::ArrGetm {
+                    dst,
+                    gid,
+                    idx,
+                    memop,
+                    local,
+                } => {
+                    let idx = regs[*idx as usize].v as usize;
+                    let w = self.arrays[*gid as usize].width;
+                    let cur = shard.state.arrays[*gid as usize][idx];
+                    let local = regs[*local as usize].v;
+                    regs[*dst as usize] = Rv {
+                        v: mask(eval_memop(&self.memops[*memop as usize], cur, local, w), w),
+                        w,
+                    };
+                }
+                Instr::ArrSetm {
+                    gid,
+                    idx,
+                    memop,
+                    local,
+                } => {
+                    let idx = regs[*idx as usize].v as usize;
+                    let w = self.arrays[*gid as usize].width;
+                    let cur = shard.state.arrays[*gid as usize][idx];
+                    let local = regs[*local as usize].v;
+                    shard.state.arrays[*gid as usize][idx] =
+                        eval_memop(&self.memops[*memop as usize], cur, local, w);
+                }
+                Instr::ArrUpdate {
+                    dst,
+                    gid,
+                    idx,
+                    getop,
+                    getarg,
+                    setop,
+                    setarg,
+                } => {
+                    let idx = regs[*idx as usize].v as usize;
+                    let w = self.arrays[*gid as usize].width;
+                    let cur = shard.state.arrays[*gid as usize][idx];
+                    let ret = eval_memop(
+                        &self.memops[*getop as usize],
+                        cur,
+                        regs[*getarg as usize].v,
+                        w,
+                    );
+                    shard.state.arrays[*gid as usize][idx] = eval_memop(
+                        &self.memops[*setop as usize],
+                        cur,
+                        regs[*setarg as usize].v,
+                        w,
+                    );
+                    regs[*dst as usize] = Rv { v: mask(ret, w), w };
+                }
+                Instr::MkEvent {
+                    dst,
+                    event_id,
+                    args,
+                } => {
+                    let meta = &self.events[*event_id as usize];
+                    let vals: Vec<u64> = args
+                        .iter()
+                        .zip(meta.widths.iter())
+                        .map(|(r, w)| mask(regs[*r as usize].v, *w))
+                        .collect();
+                    objs[*dst as usize] = Obj::Ev(EventVal {
+                        event_id: *event_id as usize,
+                        name: meta.name.clone(),
+                        args: vals,
+                        delay_ns: 0,
+                        location: Location::Here,
+                    });
+                }
+                Instr::ObjCopy { dst, src } => {
+                    objs[*dst as usize] = objs[*src as usize].clone();
+                }
+                Instr::LoadGroup { dst, group } => {
+                    objs[*dst as usize] = Obj::Group(self.groups[*group as usize].1.clone());
+                }
+                Instr::EvDelay { obj, us } => {
+                    let d_us = regs[*us as usize].v;
+                    if let Obj::Ev(ev) = &mut objs[*obj as usize] {
+                        ev.delay_ns += d_us * 1_000;
+                    }
+                }
+                Instr::EvLocate { obj, loc } => {
+                    let loc = regs[*loc as usize].v;
+                    if let Obj::Ev(ev) = &mut objs[*obj as usize] {
+                        ev.location = Location::Switch(loc);
+                    }
+                }
+                Instr::EvMLocate { obj, group } => {
+                    let members = match &objs[*group as usize] {
+                        Obj::Group(g) => g.clone(),
+                        other => panic!("checked: group operand holds {other:?}"),
+                    };
+                    if let Obj::Ev(ev) = &mut objs[*obj as usize] {
+                        ev.location = Location::Group(members);
+                    }
+                }
+                Instr::Generate { obj } => {
+                    let Obj::Ev(ev) = std::mem::take(&mut objs[*obj as usize]) else {
+                        panic!("checked: generate of non-event")
+                    };
+                    exec.emit(shard, ev);
+                }
+                Instr::LoadSelf { dst } => {
+                    regs[*dst as usize] = Rv { v: switch, w: 32 };
+                }
+                Instr::LoadTime { dst } => {
+                    regs[*dst as usize] = Rv {
+                        v: mask(shard.now_ns / 1_000, 32),
+                        w: 32,
+                    };
+                }
+                Instr::LoadPort { dst } => {
+                    regs[*dst as usize] = Rv { v: 0, w: 32 };
+                }
+                Instr::Printf { fmt, args } => {
+                    let vals: Vec<Value> = args
+                        .iter()
+                        .map(|p| {
+                            let r = regs[p.reg as usize];
+                            if p.is_bool {
+                                Value::Bool(r.v != 0)
+                            } else {
+                                Value::Int { v: r.v, width: r.w }
+                            }
+                        })
+                        .collect();
+                    let line = format_printf(&self.fmts[*fmt as usize], &vals);
+                    if exec.echo {
+                        println!("[{} @{}ns] {}", switch, shard.now_ns, line);
+                    }
+                    shard.output.push((key, line));
+                }
+                Instr::Halt => return Ok(()),
+            }
+            pc += 1;
+        }
+    }
+}
+
+// --------------------------------------------------------- disassembler
+
+/// Compile `prog` and render the listing (`lucidc sim --dump-bytecode`).
+pub fn disassemble(prog: &CheckedProgram) -> String {
+    CompiledProg::compile(prog).disasm()
+}
+
+impl CompiledProg {
+    /// A stable, human-readable listing of the whole compiled program:
+    /// the pools, then each handler's code. Golden-file tests pin this
+    /// format (`tests/golden/*.bc.txt`).
+    pub fn disasm(&self) -> String {
+        let mut out = String::new();
+        let handlers = self.handlers.iter().flatten().count();
+        let _ = writeln!(
+            out,
+            "; {} events, {} handlers, {} arrays, {} memops, {} groups",
+            self.events.len(),
+            handlers,
+            self.arrays.len(),
+            self.memops.len(),
+            self.groups.len(),
+        );
+        for (i, a) in self.arrays.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "; array g{i} `{}`: {} x {}-bit",
+                a.name, a.len, a.width
+            );
+        }
+        for (i, m) in self.memops.iter().enumerate() {
+            let _ = writeln!(out, "; memop m{i} `{}`", m.name);
+        }
+        for (i, (name, members)) in self.groups.iter().enumerate() {
+            let list: Vec<String> = members.iter().map(|m| m.to_string()).collect();
+            let _ = writeln!(out, "; group G{i} `{name}`: {{{}}}", list.join(", "));
+        }
+        for h in self.handlers.iter().flatten() {
+            out.push('\n');
+            let _ = writeln!(
+                out,
+                "handler `{}` (event {}): {} regs, {} objs, {} instrs",
+                h.name,
+                h.event_id,
+                h.nregs,
+                h.nobjs,
+                h.code.len()
+            );
+            if !h.param_names.is_empty() {
+                let args: Vec<String> = h
+                    .param_names
+                    .iter()
+                    .enumerate()
+                    .map(|(i, n)| format!("r{i}={n}"))
+                    .collect();
+                let _ = writeln!(out, "  args: {}", args.join(" "));
+            }
+            for (pc, i) in h.code.iter().enumerate() {
+                let _ = writeln!(out, "  {pc:>4}: {}", self.instr_text(i));
+            }
+        }
+        out
+    }
+
+    fn instr_text(&self, i: &Instr) -> String {
+        let arr = |gid: &u32| format!("g{gid}");
+        match i {
+            Instr::Const { dst, imm, w } => format!("r{dst} = const {imm} <<{w}>>"),
+            Instr::Mov { dst, src } => format!("r{dst} = r{src}"),
+            Instr::StoreMasked { dst, src } => format!("r{dst} =mask r{src}"),
+            Instr::BoolOf { dst, src } => format!("r{dst} = bool r{src}"),
+            Instr::Not { dst, src } => format!("r{dst} = !r{src}"),
+            Instr::Neg { dst, src } => format!("r{dst} = -r{src}"),
+            Instr::BitNot { dst, src } => format!("r{dst} = ~r{src}"),
+            Instr::Bin { op, dst, a, b } => format!("r{dst} = r{a} {} r{b}", op.symbol()),
+            Instr::Cmp { op, dst, a, b } => format!("r{dst} = r{a} {} r{b}", op.symbol()),
+            Instr::MaskW { dst, src, w } => format!("r{dst} = mask<<{w}>> r{src}"),
+            Instr::Hash { dst, w, args } => {
+                let rest: Vec<String> = args[1..].iter().map(|r| format!("r{r}")).collect();
+                format!("r{dst} = hash<<{w}>>(r{}; {})", args[0], rest.join(", "))
+            }
+            Instr::Jmp { to } => format!("jmp {to}"),
+            Instr::Jz { cond, to } => format!("jz r{cond} -> {to}"),
+            Instr::Jnz { cond, to } => format!("jnz r{cond} -> {to}"),
+            Instr::ArrCheck { gid, idx } => format!("check {}[r{idx}]", arr(gid)),
+            Instr::ArrGet { dst, gid, idx } => format!("r{dst} = {}[r{idx}]", arr(gid)),
+            Instr::ArrSet { gid, idx, val } => format!("{}[r{idx}] = r{val}", arr(gid)),
+            Instr::ArrGetm {
+                dst,
+                gid,
+                idx,
+                memop,
+                local,
+            } => format!("r{dst} = {}[r{idx}].m{memop}(r{local})", arr(gid)),
+            Instr::ArrSetm {
+                gid,
+                idx,
+                memop,
+                local,
+            } => format!("{}[r{idx}] = m{memop}(r{local})", arr(gid)),
+            Instr::ArrUpdate {
+                dst,
+                gid,
+                idx,
+                getop,
+                getarg,
+                setop,
+                setarg,
+            } => format!(
+                "r{dst} = update {}[r{idx}] get m{getop}(r{getarg}) set m{setop}(r{setarg})",
+                arr(gid)
+            ),
+            Instr::MkEvent {
+                dst,
+                event_id,
+                args,
+            } => {
+                let list: Vec<String> = args.iter().map(|r| format!("r{r}")).collect();
+                format!(
+                    "o{dst} = event `{}`({})",
+                    self.events[*event_id as usize].name,
+                    list.join(", ")
+                )
+            }
+            Instr::ObjCopy { dst, src } => format!("o{dst} = o{src}"),
+            Instr::LoadGroup { dst, group } => format!("o{dst} = group G{group}"),
+            Instr::EvDelay { obj, us } => format!("o{obj}.delay += r{us} us"),
+            Instr::EvLocate { obj, loc } => format!("o{obj}.loc = switch r{loc}"),
+            Instr::EvMLocate { obj, group } => format!("o{obj}.loc = o{group}"),
+            Instr::Generate { obj } => format!("generate o{obj}"),
+            Instr::LoadSelf { dst } => format!("r{dst} = self"),
+            Instr::LoadTime { dst } => format!("r{dst} = time"),
+            Instr::LoadPort { dst } => format!("r{dst} = port"),
+            Instr::Printf { fmt, args } => {
+                let list: Vec<String> = args
+                    .iter()
+                    .map(|p| {
+                        if p.is_bool {
+                            format!("r{}:b", p.reg)
+                        } else {
+                            format!("r{}", p.reg)
+                        }
+                    })
+                    .collect();
+                format!(
+                    "printf {:?} ({})",
+                    self.fmts[*fmt as usize],
+                    list.join(", ")
+                )
+            }
+            Instr::Halt => "halt".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{Engine, Interp, NetConfig};
+    use lucid_check::parse_and_check;
+    use proptest::prelude::*;
+
+    fn checked(src: &str) -> CheckedProgram {
+        match parse_and_check(src) {
+            Ok(p) => p,
+            Err(ds) => panic!("check failed:\n{ds}"),
+        }
+    }
+
+    /// A program that exercises the whole ISA: functions (with array
+    /// params and early returns), short-circuit logic, width-mixing
+    /// literals, casts, hashes, memops, all five array ops, delay /
+    /// locate / mlocate, exported reports, and printf.
+    const KITCHEN_SINK: &str = r#"
+        const int THRESH = 3;
+        const group PEERS = {1, 2};
+        global cnt = new Array<<32>>(32);
+        global tag = new Array<<8>>(32);
+        global log = new Array<<32>>(4);
+        memop plus(int m, int x) { return m + x; }
+        memop mget(int m, int x) { return m; }
+        memop mset(int m, int x) { return x; }
+        event pkt(int key, int ttl);
+        event report(int val);
+        fun int clamp(int v, int hi) {
+            if (v > hi) { return hi; }
+            return v;
+        }
+        fun int bump(Array<<32>> arr, int i, int by) {
+            return Array.update(arr, i, mget, 0, plus, by);
+        }
+        handle pkt(int key, int ttl) {
+            auto h = hash<<5>>(7, key, ttl);
+            int i = (int<<32>>) h;
+            int old = bump(cnt, i, 1);
+            int<<8>> t = (int<<8>>) (old + 1);
+            Array.setm(tag, i, mset, t);
+            bool hot = old > THRESH && ttl > 0;
+            if (hot || key == 0) {
+                printf("hot key=%d old=%x hot=%d", key, old, hot);
+                generate Event.delay(report(clamp(old, 9) + 200), 5);
+            }
+            int x = bump(log, key & 3, 7);
+            if (ttl > 0) {
+                generate pkt(key + 1, ttl - 1);
+                generate Event.locate(pkt(key, ttl - 1), ((key + ttl) & 1) + 1);
+                mgenerate Event.mlocate(report(x), PEERS);
+            }
+        }
+    "#;
+
+    /// Everything observable about a finished run.
+    type Snapshot = (
+        Vec<Vec<Vec<u64>>>,
+        crate::machine::Stats,
+        Vec<crate::machine::Handled>,
+        Vec<String>,
+    );
+
+    fn run_snapshot(
+        prog: &CheckedProgram,
+        engine: Engine,
+        exec: ExecMode,
+        switches: u64,
+        schedule: &[(u64, u64, &str, Vec<u64>)],
+    ) -> Result<Snapshot, crate::machine::InterpError> {
+        let mut cfg = NetConfig::mesh(switches);
+        cfg.engine = engine;
+        cfg.exec = exec;
+        let mut sim = Interp::new(prog, cfg);
+        for (sw, t, ev, args) in schedule {
+            sim.schedule(*sw, *t, ev, args)?;
+        }
+        sim.run(200_000, u64::MAX)?;
+        let arrays = (1..=switches)
+            .map(|s| {
+                prog.info
+                    .globals
+                    .iter()
+                    .map(|g| sim.array(s, &g.name).to_vec())
+                    .collect()
+            })
+            .collect();
+        Ok((
+            arrays,
+            sim.stats.clone(),
+            sim.trace.clone(),
+            sim.output.clone(),
+        ))
+    }
+
+    #[test]
+    fn kitchen_sink_bytecode_matches_walker_everywhere() {
+        let prog = checked(KITCHEN_SINK);
+        let mut schedule = Vec::new();
+        for s in 1..=2u64 {
+            for k in 0..6u64 {
+                schedule.push((s, k * 300, "pkt", vec![s * 40 + k, 3]));
+            }
+        }
+        let reference =
+            run_snapshot(&prog, Engine::Sequential, ExecMode::Ast, 2, &schedule).unwrap();
+        for (engine, label) in [
+            (Engine::Sequential, "sequential"),
+            (
+                Engine::Sharded {
+                    workers: 2,
+                    epoch_ns: 0,
+                },
+                "sharded",
+            ),
+        ] {
+            let got = run_snapshot(&prog, engine, ExecMode::Bytecode, 2, &schedule).unwrap();
+            assert_eq!(reference.0, got.0, "{label}/bytecode: array state");
+            assert_eq!(reference.1, got.1, "{label}/bytecode: stats");
+            assert_eq!(reference.2, got.2, "{label}/bytecode: trace");
+            assert_eq!(reference.3, got.3, "{label}/bytecode: printf output");
+        }
+        // The workload actually exercised the interesting paths.
+        assert!(!reference.3.is_empty(), "printf must fire");
+        assert!(reference.1.exported > 0, "reports must export");
+        assert!(reference.1.sent_remote > 0, "locate/mlocate must send");
+    }
+
+    #[test]
+    fn out_of_bounds_is_bit_identical_including_prior_writes() {
+        // The fault must hit at the same event, leave identical state
+        // behind (writes before the faulting op included), and carry the
+        // same location under both executors.
+        let src = r#"
+            global a = new Array<<32>>(4);
+            global b = new Array<<32>>(4);
+            memop plus(int m, int x) { return m + x; }
+            event go(int i);
+            handle go(int i) {
+                Array.setm(a, 0, plus, 1);
+                Array.set(b, i, 7);
+            }
+        "#;
+        let prog = checked(src);
+        let mut results = Vec::new();
+        for exec in [ExecMode::Ast, ExecMode::Bytecode] {
+            let mut cfg = NetConfig::single();
+            cfg.exec = exec;
+            let mut sim = Interp::new(&prog, cfg);
+            sim.schedule(1, 0, "go", &[1]).unwrap();
+            sim.schedule(1, 50, "go", &[9]).unwrap();
+            let err = sim.run_to_quiescence().unwrap_err();
+            results.push((
+                err,
+                sim.array(1, "a").to_vec(),
+                sim.array(1, "b").to_vec(),
+                sim.stats.clone(),
+            ));
+        }
+        assert_eq!(results[0], results[1]);
+        let (err, a, ..) = &results[0];
+        assert!(
+            matches!(
+                &err.kind,
+                InterpFault::IndexOutOfBounds {
+                    index: 9,
+                    len: 4,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        let at = err.at.as_ref().expect("located");
+        assert_eq!((at.time_ns, at.switch, at.event.as_str()), (50, 1, "go"));
+        assert_eq!(a[0], 2, "the write before the fault must have landed");
+    }
+
+    #[test]
+    fn width_mixing_literals_match_walker() {
+        // Literals keep their syntactic width at runtime (32 unless
+        // annotated); the walker's max-width rule must survive
+        // compilation exactly.
+        let src = r#"
+            global o0 = new Array<<32>>(1);
+            global o1 = new Array<<32>>(1);
+            global o2 = new Array<<32>>(1);
+            global o3 = new Array<<32>>(1);
+            event go(int<<8>> x);
+            handle go(int<<8>> x) {
+                auto wide = x + 250;
+                int<<8>> narrow = x;
+                narrow = narrow + 250;
+                Array.set(o0, 0, (int<<32>>) wide);
+                Array.set(o1, 0, (int<<32>>) narrow);
+                if (x + 250 > 255) { Array.set(o2, 0, 1); }
+                Array.set(o3, 0, (int<<32>>) ((int<<8>>) (x + 250)));
+            }
+        "#;
+        let prog = checked(src);
+        let mut outs = Vec::new();
+        for exec in [ExecMode::Ast, ExecMode::Bytecode] {
+            let mut cfg = NetConfig::single();
+            cfg.exec = exec;
+            let mut sim = Interp::new(&prog, cfg);
+            sim.schedule(1, 0, "go", &[10]).unwrap();
+            sim.run_to_quiescence().unwrap();
+            outs.push(
+                (0..4)
+                    .map(|k| sim.array(1, &format!("o{k}"))[0])
+                    .collect::<Vec<u64>>(),
+            );
+        }
+        assert_eq!(outs[0], outs[1]);
+        // Literals run at width 32 (the walker's `unwrap_or(32)` rule), so
+        // `x + 250` is 260 even though the checker typed it int<<8>>; the
+        // re-assignment to `narrow` masks back to 8 bits.
+        assert_eq!(outs[0], vec![260, 4, 1, 4]);
+    }
+
+    #[test]
+    fn booleans_print_and_compute_like_the_walker() {
+        let src = r#"
+            global out = new Array<<32>>(2);
+            event go(bool flag, int v);
+            handle go(bool flag, int v) {
+                bool both = flag && v > 2;
+                printf("flag=%d both=%d v=%d", flag, both, v);
+                if (!both) { Array.set(out, 0, 1); } else { Array.set(out, 1, 1); }
+            }
+        "#;
+        let prog = checked(src);
+        let mut outs = Vec::new();
+        for exec in [ExecMode::Ast, ExecMode::Bytecode] {
+            let mut cfg = NetConfig::single();
+            cfg.exec = exec;
+            let mut sim = Interp::new(&prog, cfg);
+            sim.schedule(1, 0, "go", &[1, 7]).unwrap();
+            sim.schedule(1, 10, "go", &[0, 1]).unwrap();
+            sim.run_to_quiescence().unwrap();
+            outs.push((sim.output.clone(), sim.array(1, "out").to_vec()));
+        }
+        assert_eq!(outs[0], outs[1]);
+        assert_eq!(outs[0].0[0], "flag=true both=true v=7");
+        assert_eq!(outs[0].0[1], "flag=false both=false v=1");
+    }
+
+    #[test]
+    fn disassembly_is_stable_and_complete() {
+        let prog = checked(KITCHEN_SINK);
+        let text = disassemble(&prog);
+        assert_eq!(
+            text,
+            disassemble(&prog),
+            "disassembly must be deterministic"
+        );
+        for needle in [
+            "handler `pkt`",
+            "args: r0=key r1=ttl",
+            "halt",
+            "generate o",
+            "; array g0 `cnt`: 32 x 32-bit",
+            "; group G0 `PEERS`: {1, 2}",
+            "printf",
+            "hash<<5>>",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        // Handler-less events compile to no code block.
+        assert!(!text.contains("handler `report`"), "{text}");
+    }
+
+    #[test]
+    fn array_get_masks_over_width_cells_like_the_walker() {
+        // `Array.setm` stores memop results unmasked, so a cell can hold
+        // an over-width value; the walker masks on *read* and the
+        // bytecode executor must too.
+        let src = r#"
+            global tag = new Array<<8>>(4);
+            global out = new Array<<32>>(1);
+            memop mset(int m, int x) { return x; }
+            event wr(int<<8>> x);
+            handle wr(int<<8>> x) { Array.setm(tag, 0, mset, x + 250); }
+            event rd();
+            handle rd() { Array.set(out, 0, (int<<32>>) Array.get(tag, 0)); }
+        "#;
+        let prog = checked(src);
+        let mut outs = Vec::new();
+        for exec in [ExecMode::Ast, ExecMode::Bytecode] {
+            let mut cfg = NetConfig::single();
+            cfg.exec = exec;
+            let mut sim = Interp::new(&prog, cfg);
+            sim.schedule(1, 0, "wr", &[10]).unwrap();
+            sim.schedule(1, 100, "rd", &[]).unwrap();
+            sim.run_to_quiescence().unwrap();
+            outs.push((sim.array(1, "tag").to_vec(), sim.array(1, "out").to_vec()));
+        }
+        assert_eq!(outs[0], outs[1]);
+        // 10 + 250 runs at width 32 (literal rule) -> the memop stores
+        // 260 raw; the read masks it back to 8 bits.
+        assert_eq!(outs[0].0[0], 260, "the cell itself holds the raw value");
+        assert_eq!(outs[0].1[0], 4, "reads mask to the cell width");
+    }
+
+    #[test]
+    fn nested_calls_resolve_arrays_through_the_dynamic_stack() {
+        // The walker resolves array-position names against the dynamic
+        // `array_params` stack spanning *all* live activations: inside
+        // `inner`, called from `outer(b, ..)`, the bare name `a` means
+        // outer's parameter (bound to global `b`), not the global `a`.
+        // The compiler must reproduce that, not lexical scoping.
+        let src = r#"
+            global a = new Array<<32>>(4);
+            global b = new Array<<32>>(4);
+            global c = new Array<<32>>(4);
+            fun int inner(int i) { return Array.get(a, i); }
+            fun int outer(Array<<32>> a, int i) { return inner(i); }
+            event go(int i);
+            handle go(int i) {
+                int v = outer(b, i);
+                Array.set(c, 0, v);
+            }
+        "#;
+        let prog = checked(src);
+        let mut outs = Vec::new();
+        for exec in [ExecMode::Ast, ExecMode::Bytecode] {
+            let mut cfg = NetConfig::single();
+            cfg.exec = exec;
+            let mut sim = Interp::new(&prog, cfg);
+            sim.poke(1, "a", 1, 111);
+            sim.poke(1, "b", 1, 222);
+            sim.schedule(1, 0, "go", &[1]).unwrap();
+            sim.run_to_quiescence().unwrap();
+            outs.push(sim.array(1, "c")[0]);
+        }
+        assert_eq!(outs[0], outs[1]);
+        assert_eq!(outs[0], 222, "`a` inside inner must mean outer's binding");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Random schedules, topology sizes, and worker counts over the
+        /// kitchen-sink program: every engine x exec combination must
+        /// agree with the sequential AST walker on state, stats, trace,
+        /// and printf output.
+        #[test]
+        fn differential_random_schedules(
+            switches in 1u64..=4,
+            workers in 1usize..=4,
+            raw in proptest::collection::vec((1u64..=4, 0u64..=5_000, 0u64..=255, 0u64..=4), 1..24)
+        ) {
+            let prog = checked(KITCHEN_SINK);
+            let schedule: Vec<(u64, u64, &str, Vec<u64>)> = raw
+                .iter()
+                .map(|(sw, t, key, ttl)| {
+                    ((sw - 1) % switches + 1, *t, "pkt", vec![*key, *ttl])
+                })
+                .collect();
+            let reference =
+                run_snapshot(&prog, Engine::Sequential, ExecMode::Ast, switches, &schedule)
+                    .expect("bounded workload quiesces");
+            for engine in [Engine::Sequential, Engine::Sharded { workers, epoch_ns: 0 }] {
+                for exec in [ExecMode::Ast, ExecMode::Bytecode] {
+                    let got = run_snapshot(&prog, engine, exec, switches, &schedule)
+                        .expect("deterministic workload");
+                    prop_assert_eq!(&reference.0, &got.0);
+                    prop_assert_eq!(&reference.1, &got.1);
+                    prop_assert_eq!(&reference.2, &got.2);
+                    prop_assert_eq!(&reference.3, &got.3);
+                }
+            }
+        }
+
+        /// Random *unvalidated* indices: runs that fault must fault
+        /// identically (same kind, same location) under both executors,
+        /// and runs that succeed must match.
+        #[test]
+        fn differential_faulting_runs(
+            idx in proptest::collection::vec(0u64..=6, 1..8)
+        ) {
+            let src = r#"
+                global a = new Array<<32>>(4);
+                memop plus(int m, int x) { return m + x; }
+                event go(int i);
+                handle go(int i) { Array.setm(a, i, plus, 1); }
+            "#;
+            let prog = checked(src);
+            let schedule: Vec<(u64, u64, &str, Vec<u64>)> = idx
+                .iter()
+                .enumerate()
+                .map(|(k, i)| (1u64, k as u64 * 100, "go", vec![*i]))
+                .collect();
+            let ast = run_snapshot(&prog, Engine::Sequential, ExecMode::Ast, 1, &schedule);
+            let bc = run_snapshot(&prog, Engine::Sequential, ExecMode::Bytecode, 1, &schedule);
+            prop_assert_eq!(ast, bc);
+        }
+    }
+}

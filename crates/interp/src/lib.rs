@@ -30,11 +30,15 @@
 //! assert_eq!(sim.array(1, "cts")[7], 1);
 //! ```
 
+pub mod bytecode;
 pub mod machine;
 pub mod scenario;
 pub mod value;
 
-pub use machine::{Engine, Handled, Interp, InterpError, NetConfig, Stats, SwitchState};
+pub use bytecode::{disassemble, CompiledProg, ExecMode};
+pub use machine::{
+    Engine, FaultAt, Handled, Interp, InterpError, InterpFault, NetConfig, Stats, SwitchState,
+};
 pub use scenario::{
     json_escape, run_scenario, Mismatch, Scenario, ScenarioError, SimReport, SimRunError,
 };

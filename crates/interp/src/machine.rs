@@ -29,18 +29,19 @@
 //!
 //! Error runs differ in bookkeeping only: the sharded engine checks the
 //! event budget at epoch barriers (so it may overshoot `max_events`
-//! before reporting [`InterpError::FuelExhausted`]), and a runtime fault
+//! before reporting [`InterpFault::FuelExhausted`]), and a runtime fault
 //! aborts the faulting shard's epoch while sibling shards finish theirs.
 //! The *reported* error is still deterministic (the fault with the
 //! smallest event key wins).
 
+use crate::bytecode::{CompiledProg, ExecMode};
 use crate::value::{lucid_hash, EventVal, Location, Value};
 use lucid_check::{eval_memop, mask, CheckedProgram, GlobalId};
 use lucid_frontend::ast::*;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::fmt;
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 
 // The sharded engine shares `&CheckedProgram` across worker threads; this
 // fails to compile if the checked AST ever grows thread-unsafe interior
@@ -102,6 +103,8 @@ pub struct NetConfig {
     pub recirc_latency_ns: u64,
     /// Which driver to run the shards with.
     pub engine: Engine,
+    /// Which executor runs handler bodies (orthogonal to `engine`).
+    pub exec: ExecMode,
 }
 
 impl Default for NetConfig {
@@ -111,6 +114,7 @@ impl Default for NetConfig {
             link_latency_ns: 1_000,
             recirc_latency_ns: 600,
             engine: Engine::Sequential,
+            exec: ExecMode::Ast,
         }
     }
 }
@@ -135,6 +139,12 @@ impl NetConfig {
             workers,
             epoch_ns: 0,
         };
+        self
+    }
+
+    /// Select the bytecode executor.
+    pub fn bytecode(mut self) -> Self {
+        self.exec = ExecMode::Bytecode;
         self
     }
 }
@@ -188,18 +198,13 @@ impl Stats {
     }
 }
 
-/// Runtime failure. The checker rules out type errors, so what remains are
-/// data-dependent faults — exactly the ones a hardware target would also
-/// hit.
+/// What went wrong at runtime. The checker rules out type errors, so what
+/// remains are data-dependent faults — exactly the ones a hardware target
+/// would also hit.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum InterpError {
+pub enum InterpFault {
     /// Array index outside the declared length.
-    IndexOutOfBounds {
-        array: String,
-        index: u64,
-        len: u64,
-        switch: u64,
-    },
+    IndexOutOfBounds { array: String, index: u64, len: u64 },
     /// The run exceeded its event budget (likely a runaway recursion).
     FuelExhausted { handled: u64 },
     /// An event was scheduled by name that does not exist.
@@ -212,26 +217,116 @@ pub enum InterpError {
     },
 }
 
-impl fmt::Display for InterpError {
+/// Where a fault happened: the deterministic key of the event being
+/// handled (or the injection being scheduled) plus its destination
+/// switch, so a failing scenario points at the offending event instead
+/// of a bare message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultAt {
+    /// Virtual time of the event, nanoseconds.
+    pub time_ns: u64,
+    /// Destination switch.
+    pub switch: u64,
+    /// Event name.
+    pub event: String,
+    /// `None` for externally injected events, `Some(src)` for events a
+    /// handler on switch `src` generated.
+    pub origin: Option<u64>,
+    /// The event key's tie-breaker: the injection counter for external
+    /// events, the per-source emission counter for generated ones.
+    pub seq: u64,
+}
+
+impl fmt::Display for FaultAt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "`{}` on switch {} at {}ns ({})",
+            self.event,
+            self.switch,
+            self.time_ns,
+            match self.origin {
+                None => format!("injection #{}", self.seq),
+                Some(src) => format!("generated by switch {src}, #{}", self.seq),
+            }
+        )
+    }
+}
+
+/// Runtime failure: the fault itself plus, when known, the event whose
+/// handling (or injection) triggered it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterpError {
+    pub kind: InterpFault,
+    pub at: Option<FaultAt>,
+}
+
+impl From<InterpFault> for InterpError {
+    fn from(kind: InterpFault) -> Self {
+        InterpError { kind, at: None }
+    }
+}
+
+impl InterpError {
+    /// Attach a fault location, keeping an earlier (more precise) one.
+    pub(crate) fn located(mut self, at: FaultAt) -> Self {
+        if self.at.is_none() {
+            self.at = Some(at);
+        }
+        self
+    }
+
+    /// One-line JSON rendering (for `lucidc sim --json`).
+    pub fn to_json(&self) -> String {
+        let kind = match &self.kind {
+            InterpFault::IndexOutOfBounds { .. } => "index_out_of_bounds",
+            InterpFault::FuelExhausted { .. } => "fuel_exhausted",
+            InterpFault::NoSuchEvent(_) => "no_such_event",
+            InterpFault::BadArity { .. } => "bad_arity",
+        };
+        let at = match &self.at {
+            None => "null".to_string(),
+            Some(at) => format!(
+                "{{\"time_ns\":{},\"switch\":{},\"event\":\"{}\",\"origin\":{},\"seq\":{}}}",
+                at.time_ns,
+                at.switch,
+                crate::scenario::json_escape(&at.event),
+                at.origin.map_or("null".to_string(), |o| o.to_string()),
+                at.seq,
+            ),
+        };
+        format!(
+            "{{\"kind\":\"{kind}\",\"msg\":\"{}\",\"at\":{at}}}",
+            crate::scenario::json_escape(&self.kind.to_string())
+        )
+    }
+}
+
+impl fmt::Display for InterpFault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            InterpError::IndexOutOfBounds {
-                array,
-                index,
-                len,
-                switch,
-            } => write!(
+            InterpFault::IndexOutOfBounds { array, index, len } => write!(
                 f,
-                "index {index} out of bounds for array `{array}` (len {len}) on switch {switch}"
+                "index {index} out of bounds for array `{array}` (len {len})"
             ),
-            InterpError::FuelExhausted { handled } => {
+            InterpFault::FuelExhausted { handled } => {
                 write!(f, "event budget exhausted after {handled} events")
             }
-            InterpError::NoSuchEvent(n) => write!(f, "no event named `{n}`"),
-            InterpError::BadArity { event, want, got } => {
+            InterpFault::NoSuchEvent(n) => write!(f, "no event named `{n}`"),
+            InterpFault::BadArity { event, want, got } => {
                 write!(f, "event `{event}` wants {want} args, got {got}")
             }
         }
+    }
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind)?;
+        if let Some(at) = &self.at {
+            write!(f, " — at {at}")?;
+        }
+        Ok(())
     }
 }
 
@@ -263,7 +358,7 @@ impl SwitchState {
 /// Both engines schedule with the same keys, which is what makes their
 /// per-shard execution orders — and therefore their results — identical.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct Key {
+pub(crate) struct Key {
     time_ns: u64,
     /// 0 = externally injected, 1 = handler-generated.
     class: u8,
@@ -271,6 +366,19 @@ struct Key {
     origin: u64,
     /// Injection counter / per-source emission counter.
     seq: u64,
+}
+
+impl Key {
+    /// The fault location this key describes, for error reports.
+    fn fault_at(&self, switch: u64, event: &str) -> FaultAt {
+        FaultAt {
+            time_ns: self.time_ns,
+            switch,
+            event: event.to_string(),
+            origin: (self.class == 1).then_some(self.origin),
+            seq: self.seq,
+        }
+    }
 }
 
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -292,22 +400,26 @@ enum Flow {
 /// the local event queue, and run-local buffers that the drivers drain
 /// back into the [`Interp`] at barriers.
 #[derive(Debug)]
-struct Shard {
+pub(crate) struct Shard {
     switch: u64,
     /// A failed switch keeps its shard (so queued events can be counted
     /// as dropped) but loses its state.
     alive: bool,
-    state: SwitchState,
+    pub(crate) state: SwitchState,
     queue: BinaryHeap<Reverse<Scheduled>>,
     /// Per-source emission counter feeding [`Key::seq`].
     emit_seq: u64,
     /// This shard's virtual clock: the latest event time it has executed.
-    now_ns: u64,
+    pub(crate) now_ns: u64,
     trace: Vec<(Key, Handled)>,
-    output: Vec<(Key, String)>,
+    pub(crate) output: Vec<(Key, String)>,
     stats: Stats,
     /// Events generated for *other* switches, awaiting routing.
     outbox: Vec<Scheduled>,
+    /// Reusable bytecode register / object-slot / hash-argument buffers.
+    pub(crate) bc_regs: Vec<crate::bytecode::Rv>,
+    pub(crate) bc_objs: Vec<crate::bytecode::Obj>,
+    pub(crate) bc_hash: Vec<u64>,
 }
 
 impl Shard {
@@ -323,6 +435,9 @@ impl Shard {
             output: Vec::new(),
             stats: Stats::default(),
             outbox: Vec::new(),
+            bc_regs: Vec::new(),
+            bc_objs: Vec::new(),
+            bc_hash: Vec::new(),
         }
     }
 
@@ -334,16 +449,19 @@ impl Shard {
 /// The handler-execution engine: immutable program + timing parameters.
 /// It mutates exactly one shard at a time, which is what lets the worker
 /// pool run shards concurrently.
-#[derive(Clone, Copy)]
-struct Exec<'p> {
+#[derive(Clone)]
+pub(crate) struct Exec<'p> {
     prog: &'p CheckedProgram,
     recirc_ns: u64,
     link_ns: u64,
-    echo: bool,
+    pub(crate) echo: bool,
     /// Sharded drivers want local recirculations straight on the shard's
     /// own queue (they can land within the current epoch); the sequential
     /// driver routes everything through its global queue via the outbox.
     local_to_queue: bool,
+    /// Compiled bytecode when [`ExecMode::Bytecode`] is selected; `None`
+    /// runs the AST walker (the reference semantics).
+    compiled: Option<Arc<CompiledProg>>,
 }
 
 /// Execution context of one handler activation.
@@ -356,6 +474,38 @@ struct ExecCx {
 }
 
 impl<'p> Exec<'p> {
+    /// Declared event with no handler: it leaves the simulated network
+    /// (e.g. a report exported to a collector). It still counts in
+    /// `per_event`, so scenario expectations can assert on exported
+    /// reports.
+    fn note_exported(&self, shard: &mut Shard, name: String, sched: Scheduled) {
+        shard.stats.exported += 1;
+        *shard.stats.per_event.entry(name.clone()).or_insert(0) += 1;
+        shard.trace.push((
+            sched.key,
+            Handled {
+                time_ns: sched.key.time_ns,
+                switch: sched.switch,
+                event: name,
+                args: sched.args,
+            },
+        ));
+    }
+
+    fn note_handled(&self, shard: &mut Shard, name: &str, sched: &Scheduled) {
+        shard.stats.handled += 1;
+        *shard.stats.per_event.entry(name.to_string()).or_insert(0) += 1;
+        shard.trace.push((
+            sched.key,
+            Handled {
+                time_ns: sched.key.time_ns,
+                switch: sched.switch,
+                event: name.to_string(),
+                args: sched.args.clone(),
+            },
+        ));
+    }
+
     /// Run one event on its shard. The caller has already popped it from
     /// the shard queue and advanced the shard clock.
     fn dispatch(&self, shard: &mut Shard, sched: Scheduled) -> Result<(), InterpError> {
@@ -365,37 +515,29 @@ impl<'p> Exec<'p> {
             shard.stats.dropped += 1;
             return Ok(());
         }
+
+        // Bytecode fast path: flat dispatch over the compiled handler.
+        if let Some(cp) = self.compiled.as_deref() {
+            return match cp.handler(sched.event_id) {
+                Some(h) => {
+                    self.note_handled(shard, &name, &sched);
+                    let (key, switch) = (sched.key, sched.switch);
+                    cp.run_handler(h, self, shard, switch, key, &sched.args)
+                        .map_err(|e| e.located(key.fault_at(switch, &name)))
+                }
+                None => {
+                    self.note_exported(shard, name, sched);
+                    Ok(())
+                }
+            };
+        }
+
         let Some((params, body)) = self.prog.handler_body(&name) else {
-            // Declared event with no handler: it leaves the simulated
-            // network (e.g. a report exported to a collector). It still
-            // counts in `per_event`, so scenario expectations can assert
-            // on exported reports.
-            shard.stats.exported += 1;
-            *shard.stats.per_event.entry(name.clone()).or_insert(0) += 1;
-            shard.trace.push((
-                sched.key,
-                Handled {
-                    time_ns: sched.key.time_ns,
-                    switch: sched.switch,
-                    event: name,
-                    args: sched.args,
-                },
-            ));
+            self.note_exported(shard, name, sched);
             return Ok(());
         };
 
-        shard.stats.handled += 1;
-        *shard.stats.per_event.entry(name.clone()).or_insert(0) += 1;
-        shard.trace.push((
-            sched.key,
-            Handled {
-                time_ns: sched.key.time_ns,
-                switch: sched.switch,
-                event: name,
-                args: sched.args.clone(),
-            },
-        ));
-
+        self.note_handled(shard, &name, &sched);
         let mut env: HashMap<String, Value> = HashMap::new();
         for (p, a) in params.iter().zip(&sched.args) {
             env.insert(p.name.name.clone(), value_of(p.ty, *a));
@@ -407,7 +549,8 @@ impl<'p> Exec<'p> {
             array_params: Vec::new(),
         };
         let body = body.clone();
-        self.exec_block(shard, &body, &mut cx)?;
+        self.exec_block(shard, &body, &mut cx)
+            .map_err(|e| e.located(sched.key.fault_at(sched.switch, &name)))?;
         Ok(())
     }
 
@@ -502,7 +645,7 @@ impl<'p> Exec<'p> {
     /// Local targets go straight onto the shard's queue (a recirculation
     /// can land within the current epoch); every other target goes to the
     /// outbox for the driver to route.
-    fn emit(&self, shard: &mut Shard, ev: EventVal) {
+    pub(crate) fn emit(&self, shard: &mut Shard, ev: EventVal) {
         let from = shard.switch;
         let targets: Vec<(u64, u64)> = match &ev.location {
             Location::Here => vec![(from, self.recirc_ns)],
@@ -726,12 +869,12 @@ impl<'p> Exec<'p> {
                 let g = self.prog.info.globals[gid.0].clone();
                 let idx = self.eval(shard, &args[1], cx)?.as_int().expect("checked");
                 if idx >= g.len {
-                    return Err(InterpError::IndexOutOfBounds {
+                    return Err(InterpFault::IndexOutOfBounds {
                         array: g.name.clone(),
                         index: idx,
                         len: g.len,
-                        switch: cx.switch,
-                    });
+                    }
+                    .into());
                 }
                 let cur = shard.state.arrays[gid.0][idx as usize];
                 let w = g.cell_width;
@@ -881,6 +1024,9 @@ pub struct Interp<'p> {
     pub stats: Stats,
     /// When true, `printf` also writes to stdout.
     pub echo: bool,
+    /// Lazily compiled bytecode, populated when [`NetConfig::exec`] is
+    /// [`ExecMode::Bytecode`] (shared with the worker pool).
+    compiled: Option<Arc<CompiledProg>>,
 }
 
 impl<'p> Interp<'p> {
@@ -890,7 +1036,7 @@ impl<'p> Interp<'p> {
             .iter()
             .map(|&s| (s, Shard::new(s, prog)))
             .collect();
-        Interp {
+        let mut interp = Interp {
             prog,
             config,
             shards,
@@ -901,12 +1047,24 @@ impl<'p> Interp<'p> {
             output: Vec::new(),
             stats: Stats::default(),
             echo: false,
-        }
+            compiled: None,
+        };
+        interp.ensure_compiled();
+        interp
     }
 
     /// Single-switch interpreter with default timing.
     pub fn single(prog: &'p CheckedProgram) -> Self {
         Interp::new(prog, NetConfig::single())
+    }
+
+    /// Compile the program once if the bytecode executor is selected.
+    /// `config` is public, so re-check on every run: flipping
+    /// [`NetConfig::exec`] between runs is supported.
+    fn ensure_compiled(&mut self) {
+        if self.config.exec == ExecMode::Bytecode && self.compiled.is_none() {
+            self.compiled = Some(Arc::new(CompiledProg::compile(self.prog)));
+        }
     }
 
     fn exec(&self, local_to_queue: bool) -> Exec<'p> {
@@ -916,6 +1074,11 @@ impl<'p> Interp<'p> {
             link_ns: self.config.link_latency_ns,
             echo: self.echo,
             local_to_queue,
+            compiled: if self.config.exec == ExecMode::Bytecode {
+                self.compiled.clone()
+            } else {
+                None
+            },
         }
     }
 
@@ -929,17 +1092,25 @@ impl<'p> Interp<'p> {
         event: &str,
         args: &[u64],
     ) -> Result<(), InterpError> {
-        let ev = self
-            .prog
-            .info
-            .event(event)
-            .ok_or_else(|| InterpError::NoSuchEvent(event.to_string()))?;
+        // Failed injections point at themselves: the offending time,
+        // switch, and name, so a scenario error names the bad line.
+        let at = FaultAt {
+            time_ns,
+            switch,
+            event: event.to_string(),
+            origin: None,
+            seq: self.inj_seq + 1,
+        };
+        let ev = self.prog.info.event(event).ok_or_else(|| {
+            InterpError::from(InterpFault::NoSuchEvent(event.to_string())).located(at.clone())
+        })?;
         if ev.params.len() != args.len() {
-            return Err(InterpError::BadArity {
+            return Err(InterpError::from(InterpFault::BadArity {
                 event: event.to_string(),
                 want: ev.params.len(),
                 got: args.len(),
-            });
+            })
+            .located(at));
         }
         let masked: Vec<u64> = ev
             .params
@@ -1034,6 +1205,7 @@ impl<'p> Interp<'p> {
     /// clock passes `max_time_ns` (events after the horizon stay queued).
     /// Dispatches to the driver named by [`NetConfig::engine`].
     pub fn run(&mut self, max_events: u64, max_time_ns: u64) -> Result<(), InterpError> {
+        self.ensure_compiled();
         match self.config.engine {
             Engine::Sequential => self.run_sequential(max_events, max_time_ns),
             Engine::Sharded { workers, epoch_ns } => {
@@ -1058,9 +1230,10 @@ impl<'p> Interp<'p> {
                 return Ok(());
             }
             if processed_this_run >= max_events {
-                return Err(InterpError::FuelExhausted {
+                return Err(InterpFault::FuelExhausted {
                     handled: processed_this_run,
-                });
+                }
+                .into());
             }
             let Reverse(sched) = self.queue.pop().expect("peeked");
             processed_this_run += 1;
@@ -1174,6 +1347,7 @@ impl<'p> Interp<'p> {
                 let (cmd_tx, cmd_rx) = mpsc::channel::<Cmd>();
                 cmd_txs.push(cmd_tx);
                 let rsp_tx = rsp_tx.clone();
+                let exec = exec.clone();
                 handles.push(scope.spawn(move || {
                     // If this worker unwinds, tell the coordinator rather
                     // than leaving it blocked on a response forever.
@@ -1335,9 +1509,10 @@ impl<'p> Interp<'p> {
             return Err(e);
         }
         if fuel_exhausted {
-            return Err(InterpError::FuelExhausted {
+            return Err(InterpFault::FuelExhausted {
                 handled: total_processed,
-            });
+            }
+            .into());
         }
         Ok(())
     }
@@ -1407,7 +1582,7 @@ fn eval_binop(op: BinOp, l: &Value, r: &Value) -> Value {
 }
 
 /// Minimal printf: `%d` decimal, `%x` hex, `%b` binary, `%%` literal.
-fn format_printf(fmt: &str, args: &[Value]) -> String {
+pub(crate) fn format_printf(fmt: &str, args: &[Value]) -> String {
     let mut out = String::new();
     let mut it = args.iter();
     let mut chars = fmt.chars().peekable();
@@ -1626,7 +1801,7 @@ mod tests {
         i.schedule(1, 0, "go", &[9]).unwrap();
         let err = i.run_to_quiescence().unwrap_err();
         assert!(
-            matches!(err, InterpError::IndexOutOfBounds { index: 9, .. }),
+            matches!(err.kind, InterpFault::IndexOutOfBounds { index: 9, .. }),
             "{err}"
         );
     }
@@ -1642,7 +1817,7 @@ mod tests {
         let mut i = Interp::single(&prog);
         i.schedule(1, 0, "spin", &[]).unwrap();
         let err = i.run(1_000, u64::MAX).unwrap_err();
-        assert!(matches!(err, InterpError::FuelExhausted { .. }));
+        assert!(matches!(err.kind, InterpFault::FuelExhausted { .. }));
     }
 
     #[test]
@@ -1787,7 +1962,10 @@ mod tests {
         let mut i = Interp::new(&prog, cfg);
         i.schedule(1, 0, "spin", &[]).unwrap();
         let err = i.run(1_000, u64::MAX).unwrap_err();
-        assert!(matches!(err, InterpError::FuelExhausted { .. }), "{err}");
+        assert!(
+            matches!(err.kind, InterpFault::FuelExhausted { .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -1809,7 +1987,10 @@ mod tests {
         let mut i = Interp::new(&prog, cfg);
         i.schedule(1, 0, "spin", &[]).unwrap();
         let err = i.run(500, u64::MAX).unwrap_err();
-        assert!(matches!(err, InterpError::FuelExhausted { .. }), "{err}");
+        assert!(
+            matches!(err.kind, InterpFault::FuelExhausted { .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -1838,7 +2019,10 @@ mod tests {
             }
         }
         let err = i.run(10, u64::MAX).unwrap_err();
-        assert!(matches!(err, InterpError::FuelExhausted { .. }), "{err}");
+        assert!(
+            matches!(err.kind, InterpFault::FuelExhausted { .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -1862,7 +2046,7 @@ mod tests {
         i.schedule(2, 50, "go", &[7]).unwrap();
         let err = i.run_to_quiescence().unwrap_err();
         assert!(
-            matches!(err, InterpError::IndexOutOfBounds { index: 7, .. }),
+            matches!(err.kind, InterpFault::IndexOutOfBounds { index: 7, .. }),
             "{err}"
         );
     }

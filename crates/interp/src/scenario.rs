@@ -21,6 +21,7 @@
 //! returns a [`SimReport`] whose [`Mismatch`] list is empty exactly when
 //! every expectation held.
 
+use crate::bytecode::ExecMode;
 use crate::machine::{Engine, Interp, InterpError, NetConfig, Stats};
 use lucid_check::CheckedProgram;
 use std::fmt;
@@ -198,6 +199,7 @@ pub struct Scenario {
     pub link_latency_ns: u64,
     pub recirc_latency_ns: u64,
     pub engine: Engine,
+    pub exec: ExecMode,
     pub max_events: u64,
     pub max_time_ns: u64,
     pub init: Vec<Poke>,
@@ -207,14 +209,20 @@ pub struct Scenario {
 }
 
 impl Scenario {
-    /// The [`NetConfig`] this scenario describes, with an optional engine
-    /// override (e.g. from `lucidc sim --engine=...`).
-    pub fn net_config(&self, engine_override: Option<Engine>) -> NetConfig {
+    /// The [`NetConfig`] this scenario describes, with optional engine
+    /// and executor overrides (e.g. from `lucidc sim --engine=...`
+    /// / `--exec=...`).
+    pub fn net_config(
+        &self,
+        engine_override: Option<Engine>,
+        exec_override: Option<ExecMode>,
+    ) -> NetConfig {
         NetConfig {
             switches: self.switches.clone(),
             link_latency_ns: self.link_latency_ns,
             recirc_latency_ns: self.recirc_latency_ns,
             engine: engine_override.unwrap_or(self.engine),
+            exec: exec_override.unwrap_or(self.exec),
         }
     }
 
@@ -230,6 +238,7 @@ impl Scenario {
                 "description",
                 "net",
                 "engine",
+                "exec",
                 "limits",
                 "init",
                 "events",
@@ -344,6 +353,22 @@ impl Scenario {
                 return Err(ScenarioError::schema(
                     "$.engine",
                     "expected an engine name or {kind, workers, epoch_ns}",
+                ))
+            }
+        };
+
+        let exec = match get(fields, "exec") {
+            None => ExecMode::Ast,
+            Some(json::Json::Str(s)) => ExecMode::parse(s).ok_or_else(|| {
+                ScenarioError::schema(
+                    "$.exec",
+                    format!("unknown exec mode `{s}` (expected `ast` or `bytecode`)"),
+                )
+            })?,
+            Some(_) => {
+                return Err(ScenarioError::schema(
+                    "$.exec",
+                    "expected an exec-mode name (`ast` or `bytecode`)",
                 ))
             }
         };
@@ -509,6 +534,7 @@ impl Scenario {
             link_latency_ns,
             recirc_latency_ns,
             engine,
+            exec,
             max_events,
             max_time_ns,
             init,
@@ -715,6 +741,8 @@ impl Mismatch {
 pub struct SimReport {
     pub scenario: String,
     pub engine: &'static str,
+    /// Which executor ran handler bodies (`ast` or `bytecode`).
+    pub exec: &'static str,
     pub switches: usize,
     pub stats: Stats,
     /// Final virtual clock, nanoseconds.
@@ -741,13 +769,14 @@ impl SimReport {
     pub fn to_json(&self) -> String {
         let mm: Vec<String> = self.mismatches.iter().map(|m| m.to_json()).collect();
         format!(
-            "{{\"scenario\":\"{}\",\"engine\":\"{}\",\"switches\":{},\
+            "{{\"scenario\":\"{}\",\"engine\":\"{}\",\"exec\":\"{}\",\"switches\":{},\
              \"events_processed\":{},\"events_handled\":{},\"recirculated\":{},\
              \"sent_remote\":{},\"exported\":{},\"dropped\":{},\
              \"sim_ns\":{},\"wall_ms\":{:.3},\"events_per_sec\":{:.0},\
              \"state_digest\":\"{:016x}\",\"ok\":{},\"mismatches\":[{}]}}",
             json_escape(&self.scenario),
             self.engine,
+            self.exec,
             self.switches,
             self.stats.processed,
             self.stats.handled,
@@ -767,13 +796,14 @@ impl SimReport {
     /// Human-readable summary (the default `lucidc sim` output).
     pub fn render(&self) -> String {
         let mut out = format!(
-            "scenario `{}`: {} switches, {} engine\n\
+            "scenario `{}`: {} switches, {} engine, {} exec\n\
              events: {} processed ({} handled, {} recirculated, {} remote, \
              {} exported, {} dropped)\n\
              time:   {} sim-ns in {:.3} wall-ms ({:.0} events/sec)\n",
             self.scenario,
             self.switches,
             self.engine,
+            self.exec,
             self.stats.processed,
             self.stats.handled,
             self.stats.recirculated,
@@ -799,17 +829,20 @@ impl SimReport {
 // ----------------------------------------------------------------- runner
 
 /// Validate and execute a scenario against a checked program. The engine
-/// can be overridden (CLI `--engine`); otherwise the scenario's own choice
-/// runs. Expectation failures are *not* errors — they come back in
-/// [`SimReport::mismatches`] so the caller can render all of them.
+/// and executor can be overridden (CLI `--engine` / `--exec`); otherwise
+/// the scenario's own choices run. Expectation failures are *not* errors
+/// — they come back in [`SimReport::mismatches`] so the caller can render
+/// all of them.
 pub fn run_scenario(
     prog: &CheckedProgram,
     sc: &Scenario,
     engine_override: Option<Engine>,
+    exec_override: Option<ExecMode>,
 ) -> Result<SimReport, SimRunError> {
     sc.validate(prog)?;
-    let cfg = sc.net_config(engine_override);
+    let cfg = sc.net_config(engine_override, exec_override);
     let engine = cfg.engine.label();
+    let exec = cfg.exec.label();
     let t0 = Instant::now();
     let mut sim = Interp::new(prog, cfg);
 
@@ -845,6 +878,7 @@ pub fn run_scenario(
     Ok(SimReport {
         scenario: sc.name.clone(),
         engine,
+        exec,
         switches: sc.switches.len(),
         sim_ns: sim.now_ns,
         wall_ms: wall * 1e3,
@@ -1425,7 +1459,7 @@ mod tests {
                            "arrays": [{"switch": 1, "array": "cts", "index": 3, "value": 9}]}}"#,
         )
         .unwrap();
-        let report = run_scenario(&p, &sc, None).unwrap();
+        let report = run_scenario(&p, &sc, None, None).unwrap();
         assert!(!report.passed());
         assert_eq!(report.mismatches.len(), 2, "{:?}", report.mismatches);
         assert!(report.mismatches.contains(&Mismatch::Array {
@@ -1456,7 +1490,7 @@ mod tests {
                            "arrays": [{"switch": 1, "array": "cts", "values": [5,0,0,1,0,0,0,0]}]}}"#,
         )
         .unwrap();
-        let report = run_scenario(&p, &sc, None).unwrap();
+        let report = run_scenario(&p, &sc, None, None).unwrap();
         assert!(report.passed(), "{:?}", report.mismatches);
         assert!(report.to_json().contains("\"ok\":true"));
     }
@@ -1477,7 +1511,7 @@ mod tests {
                                       {"switch": 2, "array": "cts", "index": 2, "value": 1}]}}"#,
         )
         .unwrap();
-        let report = run_scenario(&p, &sc, None).unwrap();
+        let report = run_scenario(&p, &sc, None, None).unwrap();
         assert!(report.passed(), "{:?}", report.mismatches);
     }
 
@@ -1489,7 +1523,7 @@ mod tests {
                 "events": [{"time_ns": 0, "switch": 2, "event": "pkt", "args": [1]}]}"#,
         )
         .unwrap();
-        let seq = run_scenario(&p, &sc, None).unwrap();
+        let seq = run_scenario(&p, &sc, None, None).unwrap();
         let sh = run_scenario(
             &p,
             &sc,
@@ -1497,10 +1531,57 @@ mod tests {
                 workers: 2,
                 epoch_ns: 0,
             }),
+            None,
         )
         .unwrap();
         assert_eq!(seq.engine, "sequential");
         assert_eq!(sh.engine, "sharded");
         assert_eq!(seq.stats, sh.stats);
+    }
+
+    #[test]
+    fn exec_override_and_field_select_bytecode() {
+        let p = prog();
+        let sc = Scenario::from_json(
+            r#"{"name": "bc", "exec": "bytecode",
+                "events": [{"time_ns": 0, "switch": 1, "event": "pkt", "args": [3]}],
+                "expect": {"arrays": [{"switch": 1, "array": "cts", "index": 3, "value": 1}]}}"#,
+        )
+        .unwrap();
+        assert_eq!(sc.exec, ExecMode::Bytecode);
+        let bc = run_scenario(&p, &sc, None, None).unwrap();
+        assert_eq!(bc.exec, "bytecode");
+        assert!(bc.passed(), "{:?}", bc.mismatches);
+        assert!(bc.to_json().contains("\"exec\":\"bytecode\""));
+        let ast = run_scenario(&p, &sc, None, Some(ExecMode::Ast)).unwrap();
+        assert_eq!(ast.exec, "ast");
+        assert_eq!(ast.state_digest, bc.state_digest);
+        assert_eq!(ast.stats, bc.stats);
+
+        let err = Scenario::from_json(r#"{"exec": "jit"}"#).unwrap_err();
+        assert!(
+            matches!(&err, ScenarioError::Schema { path, .. } if path == "$.exec"),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn runtime_fault_names_the_offending_injection() {
+        let p = prog();
+        let sc = Scenario::from_json(
+            r#"{"name": "oob",
+                "events": [{"time_ns": 40, "switch": 1, "event": "pkt", "args": [99]}]}"#,
+        )
+        .unwrap();
+        let err = run_scenario(&p, &sc, None, None).unwrap_err();
+        let SimRunError::Runtime(e) = err else {
+            panic!("want runtime fault, got {err:?}")
+        };
+        let at = e.at.as_ref().expect("fault location");
+        assert_eq!((at.time_ns, at.switch, at.event.as_str()), (40, 1, "pkt"));
+        assert_eq!(at.origin, None, "an injected event has no origin switch");
+        let msg = e.to_string();
+        assert!(msg.contains("`pkt` on switch 1 at 40ns"), "{msg}");
+        assert!(e.to_json().contains("\"time_ns\":40"), "{}", e.to_json());
     }
 }

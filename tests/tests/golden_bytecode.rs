@@ -1,0 +1,60 @@
+//! Golden-file tests for the bytecode disassembler: the
+//! `lucidc sim --dump-bytecode` listing of every bundled Figure-9 app is
+//! pinned under `tests/golden/<key>.bc.txt`. A diff means the compiler's
+//! lowering (or the listing format) changed — regenerate deliberately
+//! with `UPDATE_GOLDEN=1 cargo test -p lucid-tests --test golden_bytecode`
+//! and review the diff like any other code change.
+
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("golden")
+}
+
+#[test]
+fn bundled_app_bytecode_matches_golden_files() {
+    let update = std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1");
+    let dir = golden_dir();
+    if update {
+        std::fs::create_dir_all(&dir).expect("create golden dir");
+    }
+    let mut checked = 0;
+    for app in lucid_apps::all() {
+        let listing = lucid_interp::disassemble(&app.checked());
+        let path = dir.join(format!("{}.bc.txt", app.key));
+        if update {
+            std::fs::write(&path, &listing).expect("write golden");
+            checked += 1;
+            continue;
+        }
+        let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{}: missing golden file {} ({e}); regenerate with UPDATE_GOLDEN=1",
+                app.key,
+                path.display()
+            )
+        });
+        assert_eq!(
+            listing,
+            want,
+            "{}: bytecode listing drifted from {}; if intended, regenerate \
+             with UPDATE_GOLDEN=1 and review the diff",
+            app.key,
+            path.display()
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, 10, "all ten Figure-9 apps must have goldens");
+}
+
+/// The listing is deterministic across compilations (pool numbering,
+/// register allocation, and instruction order never depend on hash-map
+/// iteration).
+#[test]
+fn disassembly_is_deterministic() {
+    for app in lucid_apps::all().into_iter().take(3) {
+        let a = lucid_interp::disassemble(&app.checked());
+        let b = lucid_interp::disassemble(&app.checked());
+        assert_eq!(a, b, "{}", app.key);
+    }
+}

@@ -3,7 +3,7 @@
 //! (the same files CI's sim gate runs), and sequential/sharded engine
 //! determinism on an 8-switch mesh.
 
-use lucid_core::{run_scenario, Compiler, Engine, Scenario, ScenarioError};
+use lucid_core::{run_scenario, Compiler, Engine, ExecMode, Scenario, ScenarioError};
 use std::path::PathBuf;
 
 fn repo_root() -> PathBuf {
@@ -93,7 +93,7 @@ fn expectation_mismatches_are_structured_and_rendered() {
                        "arrays": [{"switch": 1, "array": "a", "values": [0, 0, 2, 0]}]}}"#,
     )
     .unwrap();
-    let report = run_scenario(&prog, &sc, None).unwrap();
+    let report = run_scenario(&prog, &sc, None, None).unwrap();
     assert!(!report.passed());
     // One count mismatch + one cell mismatch, each structured.
     assert_eq!(report.mismatches.len(), 2, "{:?}", report.mismatches);
@@ -171,21 +171,22 @@ fn bundled_scenarios_are_engine_deterministic() {
                 .unwrap();
         let prog = checked(&src);
         let sc = Scenario::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
-        let seq = run_scenario(&prog, &sc, Some(Engine::Sequential)).unwrap();
-        let sh = run_scenario(
-            &prog,
-            &sc,
-            Some(Engine::Sharded {
+        let seq = run_scenario(&prog, &sc, Some(Engine::Sequential), None).unwrap();
+        // Full engine x exec matrix against the sequential AST reference.
+        for engine in [
+            Engine::Sequential,
+            Engine::Sharded {
                 workers: 3,
                 epoch_ns: 0,
-            }),
-        )
-        .unwrap();
-        assert_eq!(
-            seq.state_digest, sh.state_digest,
-            "{app}: final state differs"
-        );
-        assert_eq!(seq.stats, sh.stats, "{app}: statistics differ");
+            },
+        ] {
+            for exec in [ExecMode::Ast, ExecMode::Bytecode] {
+                let got = run_scenario(&prog, &sc, Some(engine), Some(exec)).unwrap();
+                let combo = format!("{app} [{}/{}]", engine.label(), exec.label());
+                assert_eq!(seq.state_digest, got.state_digest, "{combo}: state differs");
+                assert_eq!(seq.stats, got.stats, "{combo}: statistics differ");
+            }
+        }
     }
 }
 
@@ -229,22 +230,27 @@ fn sharded_equals_sequential_on_eight_switch_mesh() {
     ))
     .unwrap();
 
-    let seq = run_scenario(&prog, &sc, Some(Engine::Sequential)).unwrap();
+    let seq = run_scenario(&prog, &sc, Some(Engine::Sequential), None).unwrap();
     for workers in [2, 4, 8] {
-        let sh = run_scenario(
-            &prog,
-            &sc,
-            Some(Engine::Sharded {
-                workers,
-                epoch_ns: 0,
-            }),
-        )
-        .unwrap();
-        assert_eq!(
-            seq.state_digest, sh.state_digest,
-            "{workers} workers: final array state differs from sequential"
-        );
-        assert_eq!(seq.stats, sh.stats, "{workers} workers: stats differ");
+        for exec in [ExecMode::Ast, ExecMode::Bytecode] {
+            let sh = run_scenario(
+                &prog,
+                &sc,
+                Some(Engine::Sharded {
+                    workers,
+                    epoch_ns: 0,
+                }),
+                Some(exec),
+            )
+            .unwrap();
+            assert_eq!(
+                seq.state_digest,
+                sh.state_digest,
+                "{workers} workers ({}): final array state differs from sequential",
+                exec.label()
+            );
+            assert_eq!(seq.stats, sh.stats, "{workers} workers: stats differ");
+        }
     }
     // The workload really is distributed and cross-switch.
     assert!(seq.stats.sent_remote > 200, "{:?}", seq.stats);
