@@ -28,8 +28,8 @@ echo "== sim gate"
 # handler executors.
 shopt -s nullglob
 scenarios=(crates/apps/scenarios/*.sim.json)
-if [ "${#scenarios[@]}" -lt 6 ]; then
-  echo "sim gate: expected at least 6 scenarios, found ${#scenarios[@]}" >&2
+if [ "${#scenarios[@]}" -lt 8 ]; then
+  echo "sim gate: expected at least 8 scenarios, found ${#scenarios[@]}" >&2
   exit 1
 fi
 for sc in "${scenarios[@]}"; do
@@ -44,6 +44,25 @@ for sc in "${scenarios[@]}"; do
   done
 done
 
+echo "== workload scale"
+# The generator subsystem's scale proof: rescale the bundled dns_flood
+# scenario past one million injected events with `--events` (the stream
+# is pulled lazily — no event vector is ever materialized) and require
+# both engines to agree on the final state digest.
+digest() {
+  target/release/lucidc sim --engine="$1" --exec=bytecode --events=1000000 --json \
+    crates/apps/programs/dns_defense.lucid \
+    crates/apps/scenarios/dns_defense.flood.sim.json \
+    | sed -n 's/.*"state_digest":"\([0-9a-f]*\)".*/\1/p'
+}
+d_seq=$(digest sequential)
+d_sh=$(digest sharded)
+if [ -z "$d_seq" ] || [ "$d_seq" != "$d_sh" ]; then
+  echo "workload scale: engine digests differ at 1M events (seq=$d_seq sharded=$d_sh)" >&2
+  exit 1
+fi
+echo "-- 1M-event dns_flood digests agree: $d_seq"
+
 echo "== bench smoke"
 # Every figure binary must run in smoke mode and emit parseable JSON.
 json_check() {
@@ -55,7 +74,7 @@ json_check() {
 }
 for bin in fig09_apps fig10_loc_breakdown fig11_compile_times fig12_stage_ratio \
            fig13_parallelism fig14_delay_queue fig15_recirc_uses fig16_sfw_model \
-           fig17_sfw_install fig_sim_throughput; do
+           fig17_sfw_install fig_sim_throughput fig_workload_scale; do
   echo "-- bench $bin"
   target/release/"$bin" --smoke --json | json_check
 done

@@ -851,6 +851,39 @@ mod tests {
     }
 
     #[test]
+    fn empty_handler_elaborates_to_empty_ir() {
+        // A handler with no statements is legal Lucid (a sink that only
+        // consumes its event); it must produce an empty table list, not
+        // trip any nonempty-iterator assumption downstream.
+        let hs = elab("event noop(); handle noop() { }");
+        assert_eq!(hs.len(), 1);
+        assert!(hs[0].tables.is_empty());
+        assert_eq!(hs[0].unoptimized_depth, 0);
+        let max_guard = hs[0].tables.iter().map(|t| t.guard.len()).max();
+        assert_eq!(max_guard, None, "no tables, no guards — and no panic");
+    }
+
+    #[test]
+    fn effectless_bodies_elaborate_to_empty_ir() {
+        // Bodies whose statements generate no hardware (printf, a bare
+        // return, a branch around nothing) reduce to zero tables too.
+        for body in [
+            "{ }",
+            "{ printf(\"seen %d\", x); }",
+            "{ return; }",
+            "{ if (x == 0) { } }",
+            "{ if (x == 0) { } else { printf(\"odd\"); } }",
+        ] {
+            let hs = elab(&format!("event go(int x); handle go(int x) {body}"));
+            assert!(
+                hs[0].tables.is_empty(),
+                "body {body} left tables: {:#?}",
+                hs[0].tables
+            );
+        }
+    }
+
+    #[test]
     fn figure6_count_pkt_depths() {
         // The paper's Figure 6 handler: 7 tables on the longest unoptimized
         // path (nexthops_get, if, nested if, idx write, pcts, if, hcts).

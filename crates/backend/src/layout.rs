@@ -590,6 +590,22 @@ mod tests {
     }
 
     #[test]
+    fn empty_handler_occupies_only_the_dispatcher() {
+        // Zero tables → zero body stages; the stage-count folds must not
+        // assume a nonempty placement.
+        let l = layout_of("event noop(); handle noop() { }");
+        assert_eq!(l.body_stages, 0);
+        assert_eq!(l.total_stages, LayoutOptions::default().dispatcher_stages);
+        assert_eq!(
+            l.unoptimized_stages,
+            LayoutOptions::default().dispatcher_stages
+        );
+        assert!(l.placements.is_empty());
+        assert_eq!(l.max_alu_per_stage(), 0);
+        assert_eq!(l.mean_alu_per_stage(), 0.0);
+    }
+
+    #[test]
     fn alu_parallelism_reported() {
         let l = layout_of(FIG6);
         assert!(l.mean_alu_per_stage() >= 1.0);

@@ -514,6 +514,131 @@ pub fn sim_throughput(
     }
 }
 
+/// One engine x executor measurement on the generator-driven workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadScaleRow {
+    pub engine: &'static str,
+    pub exec: &'static str,
+    pub events_processed: u64,
+    pub injected: u64,
+    pub wall_ms: f64,
+    pub events_per_sec: f64,
+    pub state_digest: u64,
+}
+
+/// The `fig_workload_scale` result: the engine x exec matrix driven by
+/// streaming generators (zipf keys, a uniform background, and an attack
+/// burst) — the scale gate for the workload-generator subsystem.
+#[derive(Debug, Clone)]
+pub struct WorkloadScale {
+    pub switches: u64,
+    /// Total generator-sourced injections per run.
+    pub target_events: u64,
+    /// One row per engine x exec combination, sequential/ast first.
+    pub rows: Vec<WorkloadScaleRow>,
+    /// State digest, statistics, and per-generator counts agreed across
+    /// every combination.
+    pub identical: bool,
+    /// Slowest combination's sustained events/sec — what the gate checks.
+    pub min_events_per_sec: f64,
+}
+
+/// The generator scenario behind `fig_workload_scale`: an 8-switch mesh
+/// running a telemetry sketch, fed by three seeded sources. The event
+/// list is never materialized — the engines pull the stream lazily, so
+/// `target_events` can be millions without a matching allocation.
+fn workload_scale_scenario(switches: u64, target_events: u64) -> lucid_core::Scenario {
+    // Thirds: steady zipf flows, uniform background, and a burst window
+    // at 10x rate (phases) — diverse enough to exercise every
+    // distribution kind at scale.
+    let per = target_events / 3;
+    let burst = target_events - 2 * per;
+    let doc = format!(
+        r#"{{
+        "name": "workload_scale",
+        "net": {{"switches": {switches}}},
+        "seed": 42,
+        "limits": {{"max_events": {budget}}},
+        "generators": [
+          {{"name": "flows", "event": "pkt", "switches": [{all}],
+            "rate_eps": 2000000, "jitter_ns": 120, "count": {per},
+            "args": [{{"zipf": {{"n": 65536, "s": 1.1}}}},
+                     {{"uniform": [0, 1023]}}, 0]}},
+          {{"name": "background", "event": "pkt", "switches": [{all}],
+            "rate_eps": 1000000, "count": {per},
+            "args": [{{"uniform": [0, 1048575]}}, {{"seq": 4096}}, 0]}},
+          {{"name": "burst", "event": "pkt", "switch": 1,
+            "rate_eps": 500000, "start_ns": 200000, "count": {burst},
+            "phases": [{{"at_ns": 400000, "rate_eps": 5000000}}],
+            "args": [{{"zipf": {{"n": 64, "s": 1.3}}}}, 7, 0]}}
+        ]
+      }}"#,
+        budget = target_events * 2 + 1_000,
+        all = (1..=switches)
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    lucid_core::Scenario::from_json(&doc).expect("workload scenario parses")
+}
+
+/// Run the generator workload under every engine x executor combination.
+/// Deterministic: every combination must agree on the state digest,
+/// statistics, and per-generator injection counts.
+pub fn workload_scale(switches: u64, target_events: u64, workers: usize) -> WorkloadScale {
+    let src = mesh_workload(switches);
+    let prog = lucid_core::check::parse_and_check(&src).expect("workload checks");
+    let sc = workload_scale_scenario(switches, target_events);
+    let combos = [
+        (Engine::Sequential, ExecMode::Ast),
+        (Engine::Sequential, ExecMode::Bytecode),
+        (
+            Engine::Sharded {
+                workers,
+                epoch_ns: 0,
+            },
+            ExecMode::Ast,
+        ),
+        (
+            Engine::Sharded {
+                workers,
+                epoch_ns: 0,
+            },
+            ExecMode::Bytecode,
+        ),
+    ];
+    /// Everything a combination's run must agree on.
+    type Observed = (u64, lucid_core::interp::Stats, Vec<(String, u64)>);
+    let mut rows = Vec::new();
+    let mut observed: Vec<Observed> = Vec::new();
+    for (engine, exec) in combos {
+        let report = lucid_core::run_scenario(&prog, &sc, Some(engine), Some(exec))
+            .expect("workload scenario runs");
+        rows.push(WorkloadScaleRow {
+            engine: engine.label(),
+            exec: exec.label(),
+            events_processed: report.stats.processed,
+            injected: report.gens.iter().map(|(_, n)| n).sum(),
+            wall_ms: report.wall_ms,
+            events_per_sec: report.events_per_sec,
+            state_digest: report.state_digest,
+        });
+        observed.push((report.state_digest, report.stats, report.gens));
+    }
+    let identical = observed.iter().all(|o| *o == observed[0]);
+    let min_events_per_sec = rows
+        .iter()
+        .map(|r| r.events_per_sec)
+        .fold(f64::INFINITY, f64::min);
+    WorkloadScale {
+        switches,
+        target_events,
+        rows,
+        identical,
+        min_events_per_sec,
+    }
+}
+
 /// Render a plain-text table (all figure binaries share this).
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();

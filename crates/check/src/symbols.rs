@@ -278,8 +278,24 @@ impl ProgramInfo {
                     BinOp::BitAnd => a & b,
                     BinOp::BitOr => a | b,
                     BinOp::BitXor => a ^ b,
-                    BinOp::Shl => a.wrapping_shl(b as u32),
-                    BinOp::Shr => a.wrapping_shr(b as u32),
+                    // Match the interpreter: a shift count at or past the
+                    // operand width (64 here — const arithmetic is
+                    // width-free) clears the value instead of wrapping the
+                    // count mod 64.
+                    BinOp::Shl => {
+                        if b >= 64 {
+                            0
+                        } else {
+                            a.wrapping_shl(b as u32)
+                        }
+                    }
+                    BinOp::Shr => {
+                        if b >= 64 {
+                            0
+                        } else {
+                            a.wrapping_shr(b as u32)
+                        }
+                    }
                     BinOp::Eq => (a == b) as u64,
                     BinOp::Neq => (a != b) as u64,
                     BinOp::Lt => (a < b) as u64,

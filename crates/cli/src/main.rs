@@ -18,6 +18,12 @@
 //!   --engine=sequential|sharded   override the scenario's engine (`sim`)
 //!   --workers=N               sharded-engine worker threads (`sim`; 0 = cores)
 //!   --exec=ast|bytecode       override the scenario's handler executor (`sim`)
+//!   --seed=S                  override the scenario's workload seed (`sim`)
+//!   --events=N                cap total generator-sourced injections (`sim`)
+//!   --gen=<spec>              replace the scenario's generators (`sim`);
+//!                             <spec> is inline JSON or a spec-file path.
+//!                             Workload overrides (--seed/--events/--gen)
+//!                             skip the scenario's authored expectations
 //!   --dump-bytecode           print the program's bytecode listing (`sim`);
 //!                             with a scenario, dumps and then runs it
 //!                             (under `--json` the listing goes to stderr so
@@ -31,6 +37,7 @@
 
 use lucid_core::{
     Build, Compiler, Engine, ExecMode, LayoutOptions, PipelineSpec, Scenario, SimError,
+    SimOverrides,
 };
 use std::process::ExitCode;
 
@@ -39,7 +46,8 @@ const EXIT_USAGE: u8 = 2;
 
 const USAGE: &str = "usage: lucidc <check|compile|stages> [--emit=ast|ir|layout|p4] \
 [--target=tofino|pisa] [--no-opt] [--json-diagnostics] <file.lucid>\n       \
-lucidc sim [--engine=sequential|sharded] [--workers=N] [--exec=ast|bytecode] [--json] \
+lucidc sim [--engine=sequential|sharded] [--workers=N] [--exec=ast|bytecode] \
+[--seed=S] [--events=N] [--gen=<spec>] [--json] \
 <file.lucid> <scenario.sim.json>\n       \
 lucidc sim --dump-bytecode <file.lucid> [<scenario.sim.json>]\n       \
 lucidc apps | app <key>";
@@ -142,6 +150,12 @@ fn main() -> ExitCode {
 struct SimOptions {
     engine: Option<Engine>,
     exec: Option<ExecMode>,
+    /// Workload overrides: `--seed=S` reshuffles every generator stream,
+    /// `--events=N` caps total generated injections.
+    seed: Option<u64>,
+    events: Option<u64>,
+    /// `--gen=<file-or-inline-json>`: replace the scenario's generators.
+    gen: Option<String>,
     json: bool,
     dump_bytecode: bool,
     program: String,
@@ -153,6 +167,9 @@ fn parse_sim_options(args: &[String]) -> Result<SimOptions, String> {
     let mut engine: Option<Engine> = None;
     let mut exec: Option<ExecMode> = None;
     let mut workers: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut events: Option<u64> = None;
+    let mut gen: Option<String> = None;
     let mut json = false;
     let mut dump_bytecode = false;
     let mut files: Vec<String> = Vec::new();
@@ -166,6 +183,18 @@ fn parse_sim_options(args: &[String]) -> Result<SimOptions, String> {
                 v.parse::<usize>()
                     .map_err(|_| format!("bad --workers value `{v}`"))?,
             );
+        } else if let Some(v) = a.strip_prefix("--seed=") {
+            seed = Some(
+                v.parse::<u64>()
+                    .map_err(|_| format!("bad --seed value `{v}`"))?,
+            );
+        } else if let Some(v) = a.strip_prefix("--events=") {
+            events = Some(
+                v.parse::<u64>()
+                    .map_err(|_| format!("bad --events value `{v}`"))?,
+            );
+        } else if let Some(v) = a.strip_prefix("--gen=") {
+            gen = Some(v.to_string());
         } else if a == "--json" {
             json = true;
         } else if a == "--dump-bytecode" {
@@ -204,6 +233,9 @@ fn parse_sim_options(args: &[String]) -> Result<SimOptions, String> {
     Ok(SimOptions {
         engine,
         exec,
+        seed,
+        events,
+        gen,
         json,
         dump_bytecode,
         program,
@@ -260,7 +292,7 @@ fn run_sim(args: &[String]) -> ExitCode {
             return ExitCode::from(EXIT_USAGE);
         }
     };
-    let scenario = match Scenario::from_json(&sc_text) {
+    let mut scenario = match Scenario::from_json(&sc_text) {
         Ok(sc) => sc,
         Err(e) => {
             if opts.json {
@@ -271,7 +303,45 @@ fn run_sim(args: &[String]) -> ExitCode {
             return ExitCode::from(EXIT_DIAGNOSTICS);
         }
     };
-    match build.interp_with(&scenario, opts.engine, opts.exec) {
+    if let Some(spec) = &opts.gen {
+        // `--gen` takes inline JSON (starts with `{` or `[`) or a path to
+        // a spec file; the parsed generators replace the scenario's own.
+        let text = if spec.trim_start().starts_with(['{', '[']) {
+            spec.clone()
+        } else {
+            match std::fs::read_to_string(spec) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot read --gen spec {spec}: {e}");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            }
+        };
+        match Scenario::parse_generators(&text) {
+            Ok(gens) => {
+                scenario.generators = gens;
+                // The authored expectations describe the authored
+                // workload; a replaced one invalidates them (mirrors the
+                // --seed/--events behavior inside the runner).
+                scenario.expect = Default::default();
+            }
+            Err(e) => {
+                if opts.json {
+                    println!("{}", e.to_json());
+                } else {
+                    eprintln!("error in --gen spec: {e}");
+                }
+                return ExitCode::from(EXIT_DIAGNOSTICS);
+            }
+        }
+    }
+    let overrides = SimOverrides {
+        engine: opts.engine,
+        exec: opts.exec,
+        seed: opts.seed,
+        events: opts.events,
+    };
+    match build.interp_overrides(&scenario, &overrides) {
         Ok(report) => {
             if opts.json {
                 println!("{}", report.to_json());
@@ -600,6 +670,22 @@ mod tests {
         // --workers alone implies the sharded engine.
         let o = parse_sim_options(&["--workers=2".into(), "p".into(), "s".into()]).unwrap();
         assert!(matches!(o.engine, Some(Engine::Sharded { workers: 2, .. })));
+        // Workload knobs parse and default to None.
+        let o = parse_sim_options(&[
+            "--seed=17".into(),
+            "--events=1000000".into(),
+            "--gen=spec.json".into(),
+            "p".into(),
+            "s".into(),
+        ])
+        .unwrap();
+        assert_eq!(o.seed, Some(17));
+        assert_eq!(o.events, Some(1_000_000));
+        assert_eq!(o.gen.as_deref(), Some("spec.json"));
+        let o = parse_sim_options(&["p".into(), "s".into()]).unwrap();
+        assert_eq!((o.seed, o.events, o.gen), (None, None, None));
+        assert!(parse_sim_options(&["--seed=zz".into(), "p".into(), "s".into()]).is_err());
+        assert!(parse_sim_options(&["--events=-1".into(), "p".into(), "s".into()]).is_err());
         assert!(parse_sim_options(&["p".into()]).is_err());
         assert!(parse_sim_options(&["--engine=warp".into(), "p".into(), "s".into()]).is_err());
         assert!(parse_sim_options(&["--exec=jit".into(), "p".into(), "s".into()]).is_err());

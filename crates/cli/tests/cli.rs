@@ -378,3 +378,90 @@ fn sim_runtime_fault_json_names_the_offending_event() {
     let s = String::from_utf8_lossy(&out.stderr);
     assert!(s.contains("`pkt` on switch 1 at 70ns"), "{s}");
 }
+
+#[test]
+fn sim_generator_flags_drive_the_workload() {
+    let prog = write_temp("sim-gen.lucid", GOOD);
+    let sc = write_temp(
+        "sim-gen.sim.json",
+        r#"{"name": "gen",
+            "seed": 1,
+            "generators": [{"name": "src", "event": "pkt", "rate_eps": 1000000,
+                            "count": 500, "args": [{"zipf": {"n": 64, "s": 1.1}}]}],
+            "expect": {"handled": 500}}"#,
+    );
+    // As authored: expectations checked, per-generator counts reported.
+    let out = lucidc(&[
+        "sim",
+        "--json",
+        prog.to_str().unwrap(),
+        sc.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("\"name\":\"src\",\"injected\":500"), "{s}");
+    assert!(s.contains("\"ok\":true"), "{s}");
+
+    // --events scales the stream up lazily; --seed reshuffles it. Both
+    // bypass the authored expectations (the run is no longer that run).
+    let out = lucidc(&[
+        "sim",
+        "--events=2000",
+        "--seed=9",
+        "--json",
+        prog.to_str().unwrap(),
+        sc.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("\"injected\":2000"), "{s}");
+    assert!(s.contains("\"events_handled\":2000"), "{s}");
+
+    // --gen replaces the scenario's generators (inline JSON form).
+    let out = lucidc(&[
+        "sim",
+        "--gen={\"name\": \"inline\", \"event\": \"pkt\", \"interval_ns\": 50, \
+         \"count\": 77, \"args\": [{\"uniform\": [0, 63]}]}",
+        "--json",
+        prog.to_str().unwrap(),
+        sc.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("\"name\":\"inline\",\"injected\":77"), "{s}");
+
+    // --gen from a spec file.
+    let spec = write_temp(
+        "sim-gen.gen.json",
+        r#"[{"name": "filed", "event": "pkt", "rate_eps": 500000,
+             "count": 33, "args": [{"seq": 64}]}]"#,
+    );
+    let out = lucidc(&[
+        "sim",
+        &format!("--gen={}", spec.to_str().unwrap()),
+        "--json",
+        prog.to_str().unwrap(),
+        sc.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("\"name\":\"filed\",\"injected\":33"), "{s}");
+
+    // A broken --gen spec is a structured diagnostic, exit 1.
+    let out = lucidc(&[
+        "sim",
+        "--gen={\"event\": \"pkt\", \"rate_eps\": 10}",
+        "--json",
+        prog.to_str().unwrap(),
+        sc.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("unbounded"), "{s}");
+
+    // Bad numeric values are usage errors.
+    let out = lucidc(&["sim", "--seed=x", "a", "b"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = lucidc(&["sim", "--events=x", "a", "b"]);
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -60,8 +60,9 @@ pub use lucid_backend::{BackendOptions, Compiled, HandlerIr, Layout, LayoutOptio
 pub use lucid_check::{Analysis, CheckOptions, CheckedProgram};
 pub use lucid_frontend::{Diagnostic, Diagnostics, Program, SourceMap};
 pub use lucid_interp::{
-    disassemble, json_escape, run_scenario, Engine, ExecMode, FaultAt, Interp, InterpError,
-    InterpFault, Mismatch, NetConfig, Scenario, ScenarioError, SimReport, SimRunError,
+    disassemble, json_escape, run_scenario, run_scenario_with, ArgDist, Engine, EventSource,
+    ExecMode, FaultAt, GenSpec, Interp, InterpError, InterpFault, Mismatch, NetConfig, Phase,
+    Scenario, ScenarioError, SimOverrides, SimReport, SimRunError, SourcedEvent, Workload,
 };
 pub use lucid_tofino::PipelineSpec;
 
@@ -224,13 +225,30 @@ impl Build {
         engine_override: Option<Engine>,
         exec_override: Option<ExecMode>,
     ) -> Result<SimReport, SimError> {
+        self.interp_overrides(
+            scenario,
+            &SimOverrides {
+                engine: engine_override,
+                exec: exec_override,
+                ..SimOverrides::default()
+            },
+        )
+    }
+
+    /// [`Build::interp`] with the full override set, including the
+    /// workload knobs (`lucidc sim --seed=... --events=...`).
+    pub fn interp_overrides(
+        &mut self,
+        scenario: &Scenario,
+        overrides: &SimOverrides,
+    ) -> Result<SimReport, SimError> {
         self.ensure_checked();
         self.stats.interp_runs += 1;
         let prog = match self.checked.as_ref().expect("ensured") {
             Ok(p) => p,
             Err(ds) => return Err(SimError::Diagnostics(ds.clone())),
         };
-        run_scenario(prog, scenario, engine_override, exec_override).map_err(SimError::from)
+        run_scenario_with(prog, scenario, overrides).map_err(SimError::from)
     }
 
     /// Compile this session's checked program to interpreter bytecode and
@@ -526,6 +544,26 @@ mod tests {
         let mut b = Compiler::new().build("t.lucid", COUNTER);
         assert!(b.layout().unwrap().total_stages >= 2);
         assert!(b.p4().unwrap().loc.total() > 40);
+    }
+
+    #[test]
+    fn empty_handler_builds_and_simulates_end_to_end() {
+        // An empty handler body must survive the whole pipeline — empty
+        // IR, dispatcher-only layout, P4 text — and run under both
+        // executors (the event is consumed, not exported).
+        let mut b = Compiler::new().build("sink.lucid", "event noop(); handle noop() { }");
+        assert!(b.handlers().unwrap()[0].tables.is_empty());
+        assert_eq!(b.layout().unwrap().body_stages, 0);
+        assert!(b.p4().is_ok());
+        let sc = Scenario::from_json(
+            r#"{"events": [{"time_ns": 0, "switch": 1, "event": "noop", "args": []}],
+                "expect": {"handled": 1, "exported": 0}}"#,
+        )
+        .unwrap();
+        for exec in [ExecMode::Ast, ExecMode::Bytecode] {
+            let report = b.interp_with(&sc, None, Some(exec)).unwrap();
+            assert!(report.passed(), "{exec:?}: {:?}", report.mismatches);
+        }
     }
 
     #[test]

@@ -1336,7 +1336,13 @@ impl CompiledProg {
                 Instr::Bin { op, dst, a, b } => {
                     let Rv { v: a, w: wa } = regs[*a as usize];
                     let Rv { v: b, w: wb } = regs[*b as usize];
-                    let w = wa.max(wb);
+                    // Mirrors the AST walker's `eval_binop` exactly: shifts
+                    // keep the shifted operand's width and a count at or
+                    // past that width yields 0.
+                    let w = match op {
+                        BinOp::Shl | BinOp::Shr => wa,
+                        _ => wa.max(wb),
+                    };
                     let v = match op {
                         BinOp::Add => a.wrapping_add(b),
                         BinOp::Sub => a.wrapping_sub(b),
@@ -1348,14 +1354,14 @@ impl CompiledProg {
                         BinOp::BitOr => a | b,
                         BinOp::BitXor => a ^ b,
                         BinOp::Shl => {
-                            if b >= 64 {
+                            if b >= w as u64 {
                                 0
                             } else {
                                 a.wrapping_shl(b as u32)
                             }
                         }
                         BinOp::Shr => {
-                            if b >= 64 {
+                            if b >= w as u64 {
                                 0
                             } else {
                                 a.wrapping_shr(b as u32)

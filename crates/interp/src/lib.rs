@@ -34,12 +34,15 @@ pub mod bytecode;
 pub mod machine;
 pub mod scenario;
 pub mod value;
+pub mod workload;
 
 pub use bytecode::{disassemble, CompiledProg, ExecMode};
 pub use machine::{
     Engine, FaultAt, Handled, Interp, InterpError, InterpFault, NetConfig, Stats, SwitchState,
 };
 pub use scenario::{
-    json_escape, run_scenario, Mismatch, Scenario, ScenarioError, SimReport, SimRunError,
+    json_escape, run_scenario, run_scenario_with, Mismatch, Scenario, ScenarioError, SimOverrides,
+    SimReport, SimRunError,
 };
 pub use value::{lucid_hash, EventVal, Location, Value};
+pub use workload::{ArgDist, EventSource, GenSpec, Generator, Phase, SourcedEvent, Workload};

@@ -36,6 +36,7 @@
 
 use crate::bytecode::{CompiledProg, ExecMode};
 use crate::value::{lucid_hash, EventVal, Location, Value};
+use crate::workload::EventSource;
 use lucid_check::{eval_memop, mask, CheckedProgram, GlobalId};
 use lucid_frontend::ast::*;
 use std::cmp::Reverse;
@@ -1027,6 +1028,12 @@ pub struct Interp<'p> {
     /// Lazily compiled bytecode, populated when [`NetConfig::exec`] is
     /// [`ExecMode::Bytecode`] (shared with the worker pool).
     compiled: Option<Arc<CompiledProg>>,
+    /// Attached streaming injection source ([`Interp::set_source`]). Both
+    /// drivers drain it lazily — events materialize only when due, so a
+    /// ten-million-event workload never builds an event vector.
+    source: Option<Box<dyn EventSource>>,
+    /// Events injected per source index (for per-generator report rows).
+    source_counts: Vec<u64>,
 }
 
 impl<'p> Interp<'p> {
@@ -1048,6 +1055,8 @@ impl<'p> Interp<'p> {
             stats: Stats::default(),
             echo: false,
             compiled: None,
+            source: None,
+            source_counts: Vec::new(),
         };
         interp.ensure_compiled();
         interp
@@ -1135,6 +1144,74 @@ impl<'p> Interp<'p> {
             args: masked,
         }));
         Ok(())
+    }
+
+    /// Attach a streaming injection source. Subsequent [`Interp::run`]
+    /// calls drain it lazily, interleaved with explicitly scheduled
+    /// events in deterministic key order (sourced events are class-0
+    /// injections, sequenced in pull order). The source persists across
+    /// runs until exhausted or replaced.
+    pub fn set_source(&mut self, source: Box<dyn EventSource>) {
+        self.source_counts = vec![0; source.source_count()];
+        self.source = Some(source);
+    }
+
+    /// Whether the attached source still has events to emit.
+    pub fn source_pending(&self) -> bool {
+        self.source.as_ref().is_some_and(|s| s.peek_ns().is_some())
+    }
+
+    /// Events injected so far per source index (empty without a source).
+    pub fn source_counts(&self) -> &[u64] {
+        &self.source_counts
+    }
+
+    /// Pull one event from the attached source and shape it into a
+    /// scheduled injection. Events bound for switches `known` rejects are
+    /// dropped (counted) and skipped, mirroring [`Interp::schedule`].
+    /// `None` means the source is exhausted.
+    fn pull_sourced(&mut self, known: impl Fn(u64) -> bool) -> Option<Scheduled> {
+        loop {
+            let ev = self.source.as_mut()?.next_event()?;
+            if let Some(n) = self.source_counts.get_mut(ev.source) {
+                *n += 1;
+            }
+            if !known(ev.switch) {
+                self.stats.dropped += 1;
+                continue;
+            }
+            self.inj_seq += 1;
+            let params = &self.prog.info.events[ev.event_id].params;
+            // Exactly one value per parameter, masked to its width —
+            // short custom-source arg lists pad with zeros rather than
+            // leaving handler parameters unbound.
+            let args = params
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    mask(
+                        ev.args.get(i).copied().unwrap_or(0),
+                        p.ty.int_width().unwrap_or(32),
+                    )
+                })
+                .collect();
+            return Some(Scheduled {
+                key: Key {
+                    time_ns: ev.time_ns,
+                    class: 0,
+                    origin: 0,
+                    seq: self.inj_seq,
+                },
+                switch: ev.switch,
+                event_id: ev.event_id,
+                args,
+            });
+        }
+    }
+
+    /// The source's next event time, if any.
+    fn source_peek(&self) -> Option<u64> {
+        self.source.as_ref().and_then(|s| s.peek_ns())
     }
 
     /// Read a global array on a switch (for assertions). Panics if the
@@ -1225,7 +1302,27 @@ impl<'p> Interp<'p> {
         let exec = self.exec(false);
         let known: std::collections::HashSet<u64> = self.shards.keys().copied().collect();
         let mut processed_this_run = 0u64;
-        while let Some(Reverse(next)) = self.queue.peek() {
+        loop {
+            // Lazy refill: materialize exactly the sourced injections due
+            // at or before the queue head (all of them when the queue is
+            // empty would pull the whole stream, so pull one and re-check).
+            // Memory stays bounded by the in-flight frontier.
+            while let Some(t) = self.source_peek() {
+                if t > max_time_ns {
+                    break;
+                }
+                if let Some(Reverse(h)) = self.queue.peek() {
+                    if h.key.time_ns < t {
+                        break;
+                    }
+                }
+                if let Some(s) = self.pull_sourced(|sw| known.contains(&sw)) {
+                    self.queue.push(Reverse(s));
+                }
+            }
+            let Some(Reverse(next)) = self.queue.peek() else {
+                return Ok(());
+            };
             if next.key.time_ns > max_time_ns {
                 return Ok(());
             }
@@ -1264,7 +1361,6 @@ impl<'p> Interp<'p> {
             self.stats.dropped += dropped_unknown;
             res?;
         }
-        Ok(())
     }
 
     /// Move every shard's run-local buffers into the interpreter-level
@@ -1332,6 +1428,7 @@ impl<'p> Interp<'p> {
             owner.insert(id, i % nworkers);
             partitions[i % nworkers].push(shard);
         }
+        next_ns = min_opt(next_ns, self.source_peek());
 
         let exec = self.exec(true);
         let mut total_processed = 0u64;
@@ -1418,6 +1515,19 @@ impl<'p> Interp<'p> {
                     break;
                 }
                 let end_ns = t.saturating_add(epoch).min(max_time_ns.saturating_add(1));
+                // Materialize the sourced injections due inside this epoch
+                // and route them with the epoch's deliveries. Pull order is
+                // global time order — the same order the sequential driver
+                // pulls in — so the assigned keys (and therefore execution)
+                // are engine-independent.
+                while let Some(st) = self.source_peek() {
+                    if st >= end_ns {
+                        break;
+                    }
+                    if let Some(s) = self.pull_sourced(|sw| owner.contains_key(&sw)) {
+                        deliveries[owner[&s.switch]].push(s);
+                    }
+                }
                 let budget = max_events.saturating_sub(total_processed);
                 for (w, tx) in cmd_txs.iter().enumerate() {
                     let cmd = Cmd::Epoch {
@@ -1462,7 +1572,7 @@ impl<'p> Interp<'p> {
                 if !ok || first_error.is_some() {
                     break;
                 }
-                next_ns = round_next;
+                next_ns = min_opt(round_next, self.source_peek());
                 // Workers each get the full remaining budget, so a round
                 // can overshoot it even while draining the queue; report
                 // that as fuel exhaustion exactly like the sequential
@@ -1550,7 +1660,12 @@ fn eval_binop(op: BinOp, l: &Value, r: &Value) -> Value {
         Value::Bool(b) => (*b as u64, 1),
         _ => panic!("checked: arithmetic on non-int"),
     };
-    let w = wa.max(wb);
+    // Shifts keep the shifted operand's width (the checker types `a << b`
+    // as `a`'s width regardless of `b`'s); everything else joins widths.
+    let w = match op {
+        BinOp::Shl | BinOp::Shr => wa,
+        _ => wa.max(wb),
+    };
     let v = match op {
         BinOp::Add => a.wrapping_add(b),
         BinOp::Sub => a.wrapping_sub(b),
@@ -1561,15 +1676,18 @@ fn eval_binop(op: BinOp, l: &Value, r: &Value) -> Value {
         BinOp::BitAnd => a & b,
         BinOp::BitOr => a | b,
         BinOp::BitXor => a ^ b,
+        // A shift count at or past the operand width clears every bit of
+        // a `width`-bit register; `wrapping_shl` alone would wrap the
+        // count mod 64 and leave bits behind for 64-bit operands.
         BinOp::Shl => {
-            if b >= 64 {
+            if b >= w as u64 {
                 0
             } else {
                 a.wrapping_shl(b as u32)
             }
         }
         BinOp::Shr => {
-            if b >= 64 {
+            if b >= w as u64 {
                 0
             } else {
                 a.wrapping_shr(b as u32)
@@ -1832,6 +1950,59 @@ mod tests {
         i.schedule(1, 0, "go", &[255]).unwrap();
         i.run_to_quiescence().unwrap();
         assert_eq!(i.output, vec!["x=255 hex=ff pct=%"]);
+    }
+
+    #[test]
+    fn shift_by_width_or_more_clears_narrow_registers() {
+        // `x << n` / `x >> n` keep x's width; a count at or past that
+        // width must zero the register — not wrap the count mod 64, and
+        // not widen the result to the count's width.
+        let prog = checked(
+            r#"
+            global a = new Array<<8>>(1);
+            global b = new Array<<8>>(1);
+            global c = new Array<<8>>(1);
+            global d = new Array<<8>>(1);
+            event go(int<<8>> x, int n);
+            handle go(int<<8>> x, int n) {
+                Array.set(a, 0, x << 1);
+                Array.set(b, 0, x << n);
+                Array.set(c, 0, x >> n);
+                Array.set(d, 0, x >> 2);
+            }
+            "#,
+        );
+        let mut i = Interp::single(&prog);
+        i.schedule(1, 0, "go", &[0xAB, 9]).unwrap();
+        i.run_to_quiescence().unwrap();
+        assert_eq!(i.array(1, "a")[0], 0x56, "0xAB << 1 masked to 8 bits");
+        assert_eq!(i.array(1, "b")[0], 0, "count 9 >= width 8 clears");
+        assert_eq!(i.array(1, "c")[0], 0, "right shift past the width too");
+        assert_eq!(i.array(1, "d")[0], 0x2A);
+    }
+
+    #[test]
+    fn shift_by_64_or_more_clears_wide_registers() {
+        // The 64-bit case is where `wrapping_shl` alone went wrong: a
+        // count of 64 wraps to 0 and leaves the value untouched.
+        let prog = checked(
+            r#"
+            global lo = new Array<<64>>(1);
+            global hi = new Array<<64>>(1);
+            event go(int<<64>> x, int n);
+            handle go(int<<64>> x, int n) {
+                Array.set(lo, 0, x << n);
+                Array.set(hi, 0, x >> n);
+            }
+            "#,
+        );
+        for (n, want_shl) in [(63u64, 0x8000_0000_0000_0000u64), (64, 0), (200, 0)] {
+            let mut i = Interp::single(&prog);
+            i.schedule(1, 0, "go", &[1, n]).unwrap();
+            i.run_to_quiescence().unwrap();
+            assert_eq!(i.array(1, "lo")[0], want_shl, "1 << {n}");
+            assert_eq!(i.array(1, "hi")[0], 0, "1 >> {n}");
+        }
     }
 
     #[test]

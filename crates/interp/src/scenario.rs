@@ -23,7 +23,8 @@
 
 use crate::bytecode::ExecMode;
 use crate::machine::{Engine, Interp, InterpError, NetConfig, Stats};
-use lucid_check::CheckedProgram;
+use crate::workload::{ArgDist, GenSpec, Phase, Workload};
+use lucid_check::{mask, CheckedProgram};
 use std::fmt;
 use std::time::Instant;
 
@@ -190,8 +191,9 @@ pub struct Expectations {
     pub per_event: Vec<(String, u64)>,
 }
 
-/// A parsed scenario file.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// A parsed scenario file. (`Eq` stops at `PartialEq`: zipf exponents in
+/// generator specs are floats.)
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     pub name: String,
     pub description: String,
@@ -202,8 +204,13 @@ pub struct Scenario {
     pub exec: ExecMode,
     pub max_events: u64,
     pub max_time_ns: u64,
+    /// Base seed mixed into every generator's stream (`lucidc sim
+    /// --seed` overrides it).
+    pub seed: u64,
     pub init: Vec<Poke>,
     pub events: Vec<Injection>,
+    /// Streaming workload generators, drained lazily alongside `events`.
+    pub generators: Vec<GenSpec>,
     pub failures: Vec<FailureAction>,
     pub expect: Expectations,
 }
@@ -240,8 +247,10 @@ impl Scenario {
                 "engine",
                 "exec",
                 "limits",
+                "seed",
                 "init",
                 "events",
+                "generators",
                 "failures",
                 "expect",
             ],
@@ -385,6 +394,16 @@ impl Scenario {
                 max_time_ns = u64_of(j, "$.limits.max_time_ns")?;
             }
         }
+
+        let seed = match get(fields, "seed") {
+            Some(j) => u64_of(j, "$.seed")?,
+            None => 0,
+        };
+
+        let generators = match get(fields, "generators") {
+            Some(j) => generators_of(j, "$.generators")?,
+            None => Vec::new(),
+        };
 
         let mut init = Vec::new();
         if let Some(items) = get(fields, "init") {
@@ -537,15 +556,36 @@ impl Scenario {
             exec,
             max_events,
             max_time_ns,
+            seed,
             init,
             events,
+            generators,
             failures,
             expect,
         })
     }
 
+    /// Parse a standalone generator-spec document (`lucidc sim --gen`):
+    /// either one generator object or an array of them, using the same
+    /// schema as the scenario's `generators` section.
+    pub fn parse_generators(src: &str) -> Result<Vec<GenSpec>, ScenarioError> {
+        let doc = json::parse(src)?;
+        match &doc {
+            json::Json::Arr(_) => generators_of(&doc, "$"),
+            json::Json::Obj(_) => Ok(vec![generator_of(&doc, "$", 0)?]),
+            other => Err(ScenarioError::schema(
+                "$",
+                format!(
+                    "expected a generator object or an array of them, found {}",
+                    other.kind()
+                ),
+            )),
+        }
+    }
+
     /// Resolve the scenario against a checked program: every event name,
-    /// arity, array name, switch id, and array index must fit.
+    /// arity, array name, switch id, array index, and initial cell value
+    /// must fit.
     pub fn validate(&self, prog: &CheckedProgram) -> Result<(), ScenarioError> {
         let known_switch = |s: u64| self.switches.contains(&s);
         let array_len = |name: &str| -> Option<u64> {
@@ -577,6 +617,56 @@ impl Scenario {
                         p.index, p.array
                     ),
                 ));
+            }
+            // An oversized value used to be masked silently on write,
+            // leaving the author none the wiser that their initial state
+            // was not what they asked for.
+            let width = prog.info.globals[prog.info.globals_by_name[&p.array].0].cell_width;
+            if mask(p.value, width) != p.value {
+                return Err(ScenarioError::validate(
+                    &format!("{path}.value"),
+                    format!(
+                        "value {} does not fit `{}`'s {width}-bit cells \
+                         (max {})",
+                        p.value,
+                        p.array,
+                        mask(u64::MAX, width)
+                    ),
+                ));
+            }
+        }
+
+        for (i, g) in self.generators.iter().enumerate() {
+            let path = format!("$.generators[{i}]");
+            let Some(ev) = prog.info.event(&g.event) else {
+                return Err(ScenarioError::validate(
+                    &format!("{path}.event"),
+                    format!("no event named `{}`", g.event),
+                ));
+            };
+            if ev.params.len() != g.args.len() {
+                return Err(ScenarioError::validate(
+                    &format!("{path}.args"),
+                    format!(
+                        "event `{}` wants {} args, got {}",
+                        g.event,
+                        ev.params.len(),
+                        g.args.len()
+                    ),
+                ));
+            }
+            for (k, s) in g.switches.iter().enumerate() {
+                if !known_switch(*s) {
+                    let field = if g.switches.len() == 1 {
+                        format!("{path}.switch")
+                    } else {
+                        format!("{path}.switches[{k}]")
+                    };
+                    return Err(ScenarioError::validate(
+                        &field,
+                        format!("switch {s} is not in the topology"),
+                    ));
+                }
             }
         }
 
@@ -756,6 +846,9 @@ pub struct SimReport {
     /// one scenario agree on this exactly when their final states are
     /// byte-identical — the cheap cross-engine determinism check.
     pub state_digest: u64,
+    /// Per-generator injection counts, in declaration order (empty when
+    /// the scenario has no `generators` section).
+    pub gens: Vec<(String, u64)>,
     pub mismatches: Vec<Mismatch>,
 }
 
@@ -768,12 +861,17 @@ impl SimReport {
     /// The machine-readable form `lucidc sim --json` prints.
     pub fn to_json(&self) -> String {
         let mm: Vec<String> = self.mismatches.iter().map(|m| m.to_json()).collect();
+        let gens: Vec<String> = self
+            .gens
+            .iter()
+            .map(|(name, n)| format!("{{\"name\":\"{}\",\"injected\":{n}}}", json_escape(name)))
+            .collect();
         format!(
             "{{\"scenario\":\"{}\",\"engine\":\"{}\",\"exec\":\"{}\",\"switches\":{},\
              \"events_processed\":{},\"events_handled\":{},\"recirculated\":{},\
              \"sent_remote\":{},\"exported\":{},\"dropped\":{},\
              \"sim_ns\":{},\"wall_ms\":{:.3},\"events_per_sec\":{:.0},\
-             \"state_digest\":\"{:016x}\",\"ok\":{},\"mismatches\":[{}]}}",
+             \"state_digest\":\"{:016x}\",\"generators\":[{}],\"ok\":{},\"mismatches\":[{}]}}",
             json_escape(&self.scenario),
             self.engine,
             self.exec,
@@ -788,6 +886,7 @@ impl SimReport {
             self.wall_ms,
             self.events_per_sec,
             self.state_digest,
+            gens.join(","),
             self.passed(),
             mm.join(",")
         )
@@ -814,6 +913,14 @@ impl SimReport {
             self.wall_ms,
             self.events_per_sec,
         );
+        if !self.gens.is_empty() {
+            let parts: Vec<String> = self
+                .gens
+                .iter()
+                .map(|(name, n)| format!("{name}={n}"))
+                .collect();
+            out.push_str(&format!("generators: {}\n", parts.join(", ")));
+        }
         if self.passed() {
             out.push_str("expectations: all met\n");
         } else {
@@ -828,6 +935,28 @@ impl SimReport {
 
 // ----------------------------------------------------------------- runner
 
+/// Run-time knobs layered over a scenario's own choices (`lucidc sim
+/// --engine/--exec/--seed/--events`). [`Default`] overrides nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimOverrides {
+    pub engine: Option<Engine>,
+    pub exec: Option<ExecMode>,
+    /// Replaces the scenario's top-level `seed` (reshuffles every
+    /// generator stream).
+    pub seed: Option<u64>,
+    /// Sets the total number of generator-sourced injections. Below the
+    /// authored total the merged stream just stops early; above it,
+    /// per-generator `count` caps scale up proportionally so the stream
+    /// can reach the target. The event budget is raised to at least 4x
+    /// the target so scaling past the authored `limits.max_events` does
+    /// not trip the fuel limit.
+    ///
+    /// Either workload override (`seed` or `events`) invalidates the
+    /// scenario's authored expectations — the run reports its statistics
+    /// and digest but skips the `expect` checks.
+    pub events: Option<u64>,
+}
+
 /// Validate and execute a scenario against a checked program. The engine
 /// and executor can be overridden (CLI `--engine` / `--exec`); otherwise
 /// the scenario's own choices run. Expectation failures are *not* errors
@@ -839,12 +968,73 @@ pub fn run_scenario(
     engine_override: Option<Engine>,
     exec_override: Option<ExecMode>,
 ) -> Result<SimReport, SimRunError> {
+    run_scenario_with(
+        prog,
+        sc,
+        &SimOverrides {
+            engine: engine_override,
+            exec: exec_override,
+            ..SimOverrides::default()
+        },
+    )
+}
+
+/// [`run_scenario`] with the full override set, including the workload
+/// knobs (`--seed`, `--events`).
+pub fn run_scenario_with(
+    prog: &CheckedProgram,
+    sc: &Scenario,
+    ov: &SimOverrides,
+) -> Result<SimReport, SimRunError> {
     sc.validate(prog)?;
-    let cfg = sc.net_config(engine_override, exec_override);
+    let cfg = sc.net_config(ov.engine, ov.exec);
     let engine = cfg.engine.label();
     let exec = cfg.exec.label();
     let t0 = Instant::now();
     let mut sim = Interp::new(prog, cfg);
+
+    let gen_names: Vec<String> = sc.generators.iter().map(|g| g.name.clone()).collect();
+    if sc.generators.is_empty() {
+        // Workload overrides against a generator-less scenario would be
+        // silent no-ops; surface the mismatch instead.
+        if ov.events.is_some() || ov.seed.is_some() {
+            return Err(ScenarioError::validate(
+                "$.generators",
+                "--seed/--events override the generator workload, \
+                 but this scenario has no `generators` section",
+            )
+            .into());
+        }
+    } else {
+        let seed = ov.seed.unwrap_or(sc.seed);
+        let mut specs = sc.generators.clone();
+        if let Some(target) = ov.events {
+            // Scaling up: stretch authored `count` caps proportionally so
+            // the stream can actually reach the target. Generators bounded
+            // only by `stop_ns` keep their windows and are left out of the
+            // proportion (the total cap still trims the stream at exactly
+            // `target`).
+            let total: u64 = specs.iter().filter_map(|g| g.count).sum();
+            if total > 0 && target > total {
+                for g in &mut specs {
+                    if let Some(c) = g.count {
+                        let scaled = (c as u128 * target as u128).div_ceil(total as u128);
+                        g.count = Some(scaled as u64);
+                    }
+                }
+            }
+        }
+        let gens = specs
+            .iter()
+            .enumerate()
+            .map(|(i, g)| g.compile(prog, seed, i))
+            .collect();
+        sim.set_source(Box::new(Workload::new(gens, ov.events)));
+    }
+    let max_events = match ov.events {
+        Some(n) => sc.max_events.max(n.saturating_mul(4)),
+        None => sc.max_events,
+    };
 
     for p in &sc.init {
         sim.poke(p.switch, &p.array, p.index as usize, p.value);
@@ -857,7 +1047,7 @@ pub fn run_scenario(
     // Both engines segment identically, so determinism is preserved.
     let mut actions = sc.failures.clone();
     actions.sort_by_key(|a| a.time_ns);
-    let fuel = |sim: &Interp| sc.max_events.saturating_sub(sim.stats.processed);
+    let fuel = |sim: &Interp| max_events.saturating_sub(sim.stats.processed);
     for a in &actions {
         let horizon = (a.time_ns - 1).min(sc.max_time_ns);
         sim.run(fuel(&sim), horizon)?;
@@ -871,10 +1061,40 @@ pub fn run_scenario(
     }
     sim.run(fuel(&sim), sc.max_time_ns)?;
 
+    // `--events=N` promises exactly N injections; if the generators'
+    // windows or the scenario horizon capped the stream short of that,
+    // failing loudly beats a caller comparing digests of a smaller run
+    // than it thinks it ran.
+    if let Some(target) = ov.events {
+        let injected: u64 = sim.source_counts().iter().sum();
+        if injected < target {
+            return Err(ScenarioError::validate(
+                "$.generators",
+                format!(
+                    "--events asked for {target} injections but the generators \
+                     supplied only {injected} (emission windows or the scenario \
+                     horizon cap the stream)"
+                ),
+            )
+            .into());
+        }
+    }
+
     let wall = t0.elapsed().as_secs_f64();
     let mut mismatches = Vec::new();
-    check_expectations(&sim, &sc.expect, &mut mismatches);
+    // A reseeded or rescaled workload is not the run the author wrote
+    // expectations for; check them only when the workload ran as authored.
+    let workload_overridden =
+        !sc.generators.is_empty() && (ov.seed.is_some() || ov.events.is_some());
+    if !workload_overridden {
+        check_expectations(&sim, &sc.expect, &mut mismatches);
+    }
     let state_digest = digest_state(prog, &sim, &sc.switches);
+    let gens = gen_names
+        .into_iter()
+        .enumerate()
+        .map(|(i, name)| (name, sim.source_counts().get(i).copied().unwrap_or(0)))
+        .collect();
     Ok(SimReport {
         scenario: sc.name.clone(),
         engine,
@@ -889,6 +1109,7 @@ pub fn run_scenario(
         },
         stats: sim.stats.clone(),
         state_digest,
+        gens,
         mismatches,
     })
 }
@@ -994,6 +1215,273 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
+// ------------------------------------------------------ generator schema
+
+fn generators_of(j: &json::Json, path: &str) -> Result<Vec<GenSpec>, ScenarioError> {
+    let items = arr(j, path)?;
+    let mut out = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        out.push(generator_of(item, &format!("{path}[{i}]"), i)?);
+    }
+    // Names key the per-generator report rows; duplicates would merge.
+    for (i, g) in out.iter().enumerate() {
+        if out[..i].iter().any(|h| h.name == g.name) {
+            return Err(ScenarioError::schema(
+                &format!("{path}[{i}].name"),
+                format!("duplicate generator name `{}`", g.name),
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// A required rate expressed either way: `rate_eps` (events per virtual
+/// second) or a raw `interval_ns` gap.
+fn interval_of(fields: &[(String, json::Json)], path: &str) -> Result<u64, ScenarioError> {
+    match (get(fields, "rate_eps"), get(fields, "interval_ns")) {
+        (Some(_), Some(_)) => Err(ScenarioError::schema(
+            path,
+            "give either `rate_eps` or `interval_ns`, not both",
+        )),
+        (Some(r), None) => {
+            let rate = u64_of(r, &format!("{path}.rate_eps"))?;
+            if rate == 0 {
+                return Err(ScenarioError::schema(
+                    &format!("{path}.rate_eps"),
+                    "rate must be at least 1 event per second",
+                ));
+            }
+            Ok((1_000_000_000 / rate).max(1))
+        }
+        (None, Some(iv)) => {
+            let iv = u64_of(iv, &format!("{path}.interval_ns"))?;
+            if iv == 0 {
+                return Err(ScenarioError::schema(
+                    &format!("{path}.interval_ns"),
+                    "the inter-arrival interval must be at least 1 ns",
+                ));
+            }
+            Ok(iv)
+        }
+        (None, None) => Err(ScenarioError::schema(
+            path,
+            "missing rate: give `rate_eps` or `interval_ns`",
+        )),
+    }
+}
+
+fn generator_of(j: &json::Json, path: &str, index: usize) -> Result<GenSpec, ScenarioError> {
+    let gf = obj(j, path)?;
+    check_keys(
+        gf,
+        &[
+            "name",
+            "event",
+            "switch",
+            "switches",
+            "rate_eps",
+            "interval_ns",
+            "jitter_ns",
+            "start_ns",
+            "stop_ns",
+            "count",
+            "seed",
+            "args",
+            "phases",
+        ],
+        path,
+    )?;
+    let name = match get(gf, "name") {
+        Some(n) => str_of(n, &format!("{path}.name"))?.to_string(),
+        None => format!("gen{index}"),
+    };
+    let event = str_of(req(gf, "event", path)?, &format!("{path}.event"))?.to_string();
+    let switches = match (get(gf, "switch"), get(gf, "switches")) {
+        (Some(_), Some(_)) => {
+            return Err(ScenarioError::schema(
+                path,
+                "give either `switch` or `switches`, not both",
+            ))
+        }
+        (Some(s), None) => vec![u64_of(s, &format!("{path}.switch"))?],
+        (None, Some(list)) => {
+            let spath = format!("{path}.switches");
+            let items = arr(list, &spath)?;
+            if items.is_empty() {
+                return Err(ScenarioError::schema(&spath, "needs at least one switch"));
+            }
+            let mut ids = Vec::with_capacity(items.len());
+            for (k, s) in items.iter().enumerate() {
+                ids.push(u64_of(s, &format!("{spath}[{k}]"))?);
+            }
+            ids
+        }
+        (None, None) => vec![1],
+    };
+    let interval_ns = interval_of(gf, path)?;
+    let jitter_ns = match get(gf, "jitter_ns") {
+        Some(v) => u64_of(v, &format!("{path}.jitter_ns"))?,
+        None => 0,
+    };
+    let start_ns = match get(gf, "start_ns") {
+        Some(v) => u64_of(v, &format!("{path}.start_ns"))?,
+        None => 0,
+    };
+    let stop_ns = get(gf, "stop_ns")
+        .map(|v| u64_of(v, &format!("{path}.stop_ns")))
+        .transpose()?;
+    let count = get(gf, "count")
+        .map(|v| u64_of(v, &format!("{path}.count")))
+        .transpose()?;
+    if stop_ns.is_none() && count.is_none() {
+        return Err(ScenarioError::schema(
+            path,
+            "the generator is unbounded: give `count`, `stop_ns`, or both",
+        ));
+    }
+    if let Some(stop) = stop_ns {
+        if stop < start_ns {
+            return Err(ScenarioError::schema(
+                &format!("{path}.stop_ns"),
+                format!("stop ({stop}) precedes start ({start_ns})"),
+            ));
+        }
+    }
+    let seed = match get(gf, "seed") {
+        Some(v) => u64_of(v, &format!("{path}.seed"))?,
+        None => index as u64,
+    };
+    let mut args = Vec::new();
+    if let Some(list) = get(gf, "args") {
+        for (k, a) in arr(list, &format!("{path}.args"))?.iter().enumerate() {
+            args.push(arg_dist_of(a, &format!("{path}.args[{k}]"))?);
+        }
+    }
+    let mut phases = Vec::new();
+    if let Some(list) = get(gf, "phases") {
+        for (k, p) in arr(list, &format!("{path}.phases"))?.iter().enumerate() {
+            let ppath = format!("{path}.phases[{k}]");
+            let pf = obj(p, &ppath)?;
+            check_keys(pf, &["at_ns", "rate_eps", "interval_ns"], &ppath)?;
+            let at_ns = u64_of(req(pf, "at_ns", &ppath)?, &format!("{ppath}.at_ns"))?;
+            let interval_ns = interval_of(pf, &ppath)?;
+            phases.push(Phase { at_ns, interval_ns });
+        }
+        for w in phases.windows(2) {
+            if w[1].at_ns <= w[0].at_ns {
+                return Err(ScenarioError::schema(
+                    &format!("{path}.phases"),
+                    "phases must be strictly increasing in `at_ns`",
+                ));
+            }
+        }
+    }
+    Ok(GenSpec {
+        name,
+        event,
+        switches,
+        interval_ns,
+        jitter_ns,
+        start_ns,
+        stop_ns,
+        count,
+        seed,
+        args,
+        phases,
+    })
+}
+
+fn arg_dist_of(j: &json::Json, path: &str) -> Result<ArgDist, ScenarioError> {
+    match j {
+        json::Json::Num(_) => Ok(ArgDist::Const(u64_of(j, path)?)),
+        json::Json::Obj(fields) => {
+            check_keys(fields, &["const", "uniform", "zipf", "seq"], path)?;
+            if fields.len() != 1 {
+                return Err(ScenarioError::schema(
+                    path,
+                    "an argument distribution is exactly one of \
+                     `const`, `uniform`, `zipf`, or `seq`",
+                ));
+            }
+            let (kind, body) = &fields[0];
+            match kind.as_str() {
+                "const" => Ok(ArgDist::Const(u64_of(body, &format!("{path}.const"))?)),
+                "uniform" => {
+                    let upath = format!("{path}.uniform");
+                    let (lo, hi) = match body {
+                        // Compact form: "uniform": [lo, hi].
+                        json::Json::Arr(items) if items.len() == 2 => (
+                            u64_of(&items[0], &format!("{upath}[0]"))?,
+                            u64_of(&items[1], &format!("{upath}[1]"))?,
+                        ),
+                        json::Json::Obj(uf) => {
+                            check_keys(uf, &["lo", "hi"], &upath)?;
+                            (
+                                u64_of(req(uf, "lo", &upath)?, &format!("{upath}.lo"))?,
+                                u64_of(req(uf, "hi", &upath)?, &format!("{upath}.hi"))?,
+                            )
+                        }
+                        _ => {
+                            return Err(ScenarioError::schema(
+                                &upath,
+                                "expected {lo, hi} or a two-element array",
+                            ))
+                        }
+                    };
+                    if lo > hi {
+                        return Err(ScenarioError::schema(
+                            &upath,
+                            format!("empty range: lo ({lo}) > hi ({hi})"),
+                        ));
+                    }
+                    Ok(ArgDist::Uniform { lo, hi })
+                }
+                "zipf" => {
+                    let zpath = format!("{path}.zipf");
+                    let zf = obj(body, &zpath)?;
+                    check_keys(zf, &["n", "s"], &zpath)?;
+                    let n = u64_of(req(zf, "n", &zpath)?, &format!("{zpath}.n"))?;
+                    if n == 0 {
+                        return Err(ScenarioError::schema(
+                            &format!("{zpath}.n"),
+                            "zipf needs at least one key",
+                        ));
+                    }
+                    let s = match get(zf, "s") {
+                        Some(v) => f64_of(v, &format!("{zpath}.s"))?,
+                        None => 1.0,
+                    };
+                    if !(s > 0.0 && s.is_finite()) {
+                        return Err(ScenarioError::schema(
+                            &format!("{zpath}.s"),
+                            format!("the exponent must be positive and finite, got {s}"),
+                        ));
+                    }
+                    Ok(ArgDist::Zipf { n, s })
+                }
+                "seq" => {
+                    let n = u64_of(body, &format!("{path}.seq"))?;
+                    if n == 0 {
+                        return Err(ScenarioError::schema(
+                            &format!("{path}.seq"),
+                            "seq needs a nonzero modulus",
+                        ));
+                    }
+                    Ok(ArgDist::Seq { n })
+                }
+                _ => unreachable!("check_keys filtered"),
+            }
+        }
+        other => Err(ScenarioError::schema(
+            path,
+            format!(
+                "expected a constant or a distribution object, found {}",
+                other.kind()
+            ),
+        )),
+    }
+}
+
 // -------------------------------------------------------- JSON accessors
 
 fn obj<'a>(j: &'a json::Json, path: &str) -> Result<&'a [(String, json::Json)], ScenarioError> {
@@ -1051,6 +1539,16 @@ fn u64_of(j: &json::Json, path: &str) -> Result<u64, ScenarioError> {
                 Ok(*n as u64)
             }
         }
+        other => Err(ScenarioError::schema(
+            path,
+            format!("expected a number, found {}", other.kind()),
+        )),
+    }
+}
+
+fn f64_of(j: &json::Json, path: &str) -> Result<f64, ScenarioError> {
+    match j {
+        json::Json::Num(n) => Ok(*n),
         other => Err(ScenarioError::schema(
             path,
             format!("expected a number, found {}", other.kind()),
@@ -1563,6 +2061,310 @@ mod tests {
             matches!(&err, ScenarioError::Schema { path, .. } if path == "$.exec"),
             "{err:?}"
         );
+    }
+
+    #[test]
+    fn oversized_init_value_is_a_structured_error() {
+        // Silent masking used to hide this; now the loader points at the
+        // exact field.
+        let sc = Scenario::from_json(
+            r#"{"init": [{"switch": 1, "array": "cts", "index": 0, "value": 4294967296}]}"#,
+        )
+        .unwrap();
+        let err = sc.validate(&prog()).unwrap_err();
+        let ScenarioError::Validate { path, msg } = &err else {
+            panic!("want Validate, got {err:?}")
+        };
+        assert_eq!(path, "$.init[0].value");
+        assert!(msg.contains("32-bit"), "{msg}");
+        // The maximum representable value is still fine.
+        let sc = Scenario::from_json(
+            r#"{"init": [{"switch": 1, "array": "cts", "index": 0, "value": 4294967295}]}"#,
+        )
+        .unwrap();
+        sc.validate(&prog()).unwrap();
+    }
+
+    #[test]
+    fn generator_schema_errors_carry_paths() {
+        for (body, want_path, want_msg) in [
+            (
+                r#"{"generators": [{"event": "pkt", "count": 5}]}"#,
+                "$.generators[0]",
+                "rate",
+            ),
+            (
+                r#"{"generators": [{"event": "pkt", "rate_eps": 100}]}"#,
+                "$.generators[0]",
+                "unbounded",
+            ),
+            (
+                r#"{"generators": [{"event": "pkt", "rate_eps": 100, "interval_ns": 5, "count": 1}]}"#,
+                "$.generators[0]",
+                "not both",
+            ),
+            (
+                r#"{"generators": [{"event": "pkt", "rate_eps": 100, "count": 1,
+                    "args": [{"uniform": [9, 2]}]}]}"#,
+                "$.generators[0].args[0].uniform",
+                "empty range",
+            ),
+            (
+                r#"{"generators": [{"event": "pkt", "rate_eps": 100, "count": 1,
+                    "args": [{"zipf": {"n": 0}}]}]}"#,
+                "$.generators[0].args[0].zipf.n",
+                "at least one",
+            ),
+            (
+                r#"{"generators": [{"name": "a", "event": "pkt", "rate_eps": 1, "count": 1},
+                                   {"name": "a", "event": "pkt", "rate_eps": 1, "count": 1}]}"#,
+                "$.generators[1].name",
+                "duplicate",
+            ),
+            (
+                r#"{"generators": [{"event": "pkt", "rate_eps": 100, "count": 1,
+                    "phases": [{"at_ns": 5, "rate_eps": 1}, {"at_ns": 5, "rate_eps": 2}]}]}"#,
+                "$.generators[0].phases",
+                "strictly increasing",
+            ),
+        ] {
+            let err = Scenario::from_json(body).unwrap_err();
+            let ScenarioError::Schema { path, msg } = &err else {
+                panic!("{body}: want Schema, got {err:?}")
+            };
+            assert_eq!(path, want_path, "{body}: {msg}");
+            assert!(msg.contains(want_msg), "{body}: {msg}");
+        }
+    }
+
+    #[test]
+    fn generator_validation_resolves_against_the_program() {
+        // Unknown event.
+        let sc = Scenario::from_json(
+            r#"{"generators": [{"event": "nope", "rate_eps": 10, "count": 1}]}"#,
+        )
+        .unwrap();
+        let err = sc.validate(&prog()).unwrap_err();
+        assert!(
+            matches!(&err, ScenarioError::Validate { path, .. } if path == "$.generators[0].event"),
+            "{err:?}"
+        );
+        // Wrong arity.
+        let sc = Scenario::from_json(
+            r#"{"generators": [{"event": "pkt", "rate_eps": 10, "count": 1, "args": [1, 2]}]}"#,
+        )
+        .unwrap();
+        let err = sc.validate(&prog()).unwrap_err();
+        assert!(
+            matches!(&err, ScenarioError::Validate { path, .. } if path == "$.generators[0].args"),
+            "{err:?}"
+        );
+        // Switch outside the topology.
+        let sc = Scenario::from_json(
+            r#"{"generators": [{"event": "pkt", "switch": 9, "rate_eps": 10,
+                                "count": 1, "args": [1]}]}"#,
+        )
+        .unwrap();
+        let err = sc.validate(&prog()).unwrap_err();
+        assert!(
+            matches!(&err, ScenarioError::Validate { path, .. } if path == "$.generators[0].switch"),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn generator_scenario_runs_and_reports_per_source_counts() {
+        let p = prog();
+        let sc = Scenario::from_json(
+            r#"{"name": "gen",
+                "seed": 3,
+                "generators": [
+                  {"name": "hot", "event": "pkt", "rate_eps": 1000000, "count": 120,
+                   "args": [{"zipf": {"n": 8, "s": 1.3}}]},
+                  {"name": "sweep", "event": "pkt", "rate_eps": 500000, "count": 80,
+                   "args": [{"seq": 8}]}],
+                "expect": {"handled": 200, "per_event": {"pkt": 200}}}"#,
+        )
+        .unwrap();
+        let report = run_scenario(&p, &sc, None, None).unwrap();
+        assert!(report.passed(), "{:?}", report.mismatches);
+        assert_eq!(
+            report.gens,
+            vec![("hot".to_string(), 120), ("sweep".to_string(), 80)]
+        );
+        let j = report.to_json();
+        assert!(j.contains("\"name\":\"hot\",\"injected\":120"), "{j}");
+        assert!(report.render().contains("generators: hot=120, sweep=80"));
+        // Injections arrived exactly once each through the lazy path.
+        let injected: u64 = report.gens.iter().map(|(_, n)| n).sum();
+        assert_eq!(injected, report.stats.processed);
+    }
+
+    #[test]
+    fn workload_overrides_scale_reseed_and_skip_expectations() {
+        let p = prog();
+        let sc = Scenario::from_json(
+            r#"{"name": "gen",
+                "generators": [
+                  {"name": "a", "event": "pkt", "rate_eps": 1000000, "count": 30,
+                   "args": [{"uniform": [0, 7]}]},
+                  {"name": "b", "event": "pkt", "rate_eps": 1000000, "count": 10,
+                   "args": [{"uniform": [0, 7]}]}],
+                "expect": {"handled": 40}}"#,
+        )
+        .unwrap();
+        // --events below the authored total: the stream stops early.
+        let capped = run_scenario_with(
+            &p,
+            &sc,
+            &SimOverrides {
+                events: Some(12),
+                ..SimOverrides::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(capped.stats.handled, 12);
+        assert!(
+            capped.passed(),
+            "expectations must be skipped under --events: {:?}",
+            capped.mismatches
+        );
+        // --events above it: counts scale proportionally (3:1 ratio kept).
+        let scaled = run_scenario_with(
+            &p,
+            &sc,
+            &SimOverrides {
+                events: Some(400),
+                ..SimOverrides::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(scaled.stats.handled, 400);
+        assert_eq!(scaled.gens[0].1, 300, "{:?}", scaled.gens);
+        assert_eq!(scaled.gens[1].1, 100, "{:?}", scaled.gens);
+        // --seed changes the stream but not the volume; expectations are
+        // skipped there too.
+        let reseeded = run_scenario_with(
+            &p,
+            &sc,
+            &SimOverrides {
+                seed: Some(99),
+                ..SimOverrides::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(reseeded.stats.handled, 40);
+        assert!(reseeded.passed());
+        let baseline = run_scenario(&p, &sc, None, None).unwrap();
+        assert_ne!(
+            baseline.state_digest, reseeded.state_digest,
+            "a different seed must spread keys differently"
+        );
+    }
+
+    #[test]
+    fn events_scaling_skips_window_bounded_generators_but_still_hits_target() {
+        // `a` is count-bounded and scales; `b` is stop_ns-bounded and
+        // keeps its window. The total cap still lands exactly on target.
+        let p = prog();
+        let sc = Scenario::from_json(
+            r#"{"generators": [
+                  {"name": "a", "event": "pkt", "interval_ns": 100, "count": 50,
+                   "args": [{"uniform": [0, 7]}]},
+                  {"name": "b", "event": "pkt", "interval_ns": 100, "stop_ns": 100000,
+                   "args": [{"uniform": [0, 7]}]}]}"#,
+        )
+        .unwrap();
+        let report = run_scenario_with(
+            &p,
+            &sc,
+            &SimOverrides {
+                events: Some(800),
+                ..SimOverrides::default()
+            },
+        )
+        .unwrap();
+        let injected: u64 = report.gens.iter().map(|(_, n)| n).sum();
+        assert_eq!(injected, 800, "{:?}", report.gens);
+        assert!(
+            report.gens[0].1 > 50,
+            "counted gen must scale: {:?}",
+            report.gens
+        );
+    }
+
+    #[test]
+    fn events_target_unreachable_through_windows_is_a_loud_error() {
+        // Every generator is window-bounded, so scaling cannot stretch
+        // the stream to the target; the run must fail, not silently
+        // deliver a smaller workload.
+        let p = prog();
+        let sc = Scenario::from_json(
+            r#"{"generators": [{"event": "pkt", "interval_ns": 100, "stop_ns": 1000,
+                                "args": [{"uniform": [0, 7]}]}]}"#,
+        )
+        .unwrap();
+        let err = run_scenario_with(
+            &p,
+            &sc,
+            &SimOverrides {
+                events: Some(500),
+                ..SimOverrides::default()
+            },
+        )
+        .unwrap_err();
+        let SimRunError::Scenario(ScenarioError::Validate { path, msg }) = &err else {
+            panic!("want a Validate error, got {err:?}")
+        };
+        assert_eq!(path, "$.generators");
+        assert!(msg.contains("supplied only"), "{msg}");
+    }
+
+    #[test]
+    fn workload_overrides_without_generators_are_rejected() {
+        let p = prog();
+        let sc = Scenario::from_json(
+            r#"{"events": [{"time_ns": 0, "switch": 1, "event": "pkt", "args": [1]}]}"#,
+        )
+        .unwrap();
+        for ov in [
+            SimOverrides {
+                events: Some(10),
+                ..SimOverrides::default()
+            },
+            SimOverrides {
+                seed: Some(1),
+                ..SimOverrides::default()
+            },
+        ] {
+            let err = run_scenario_with(&p, &sc, &ov).unwrap_err();
+            assert!(
+                matches!(
+                    &err,
+                    SimRunError::Scenario(ScenarioError::Validate { path, .. })
+                        if path == "$.generators"
+                ),
+                "{err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn standalone_generator_spec_parses_for_cli_gen_flag() {
+        let one = Scenario::parse_generators(
+            r#"{"event": "pkt", "rate_eps": 10, "count": 3, "args": [1]}"#,
+        )
+        .unwrap();
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].name, "gen0");
+        let many = Scenario::parse_generators(
+            r#"[{"event": "pkt", "rate_eps": 10, "count": 3, "args": [1]},
+                {"name": "x", "event": "pkt", "interval_ns": 5, "stop_ns": 100, "args": [2]}]"#,
+        )
+        .unwrap();
+        assert_eq!(many.len(), 2);
+        assert_eq!(many[1].name, "x");
+        assert!(Scenario::parse_generators("42").is_err());
     }
 
     #[test]

@@ -1,0 +1,622 @@
+//! Streaming workload generators: parameterized synthetic traffic for the
+//! simulator, pulled lazily by both engines so a ten-million-event run
+//! never materializes an event vector.
+//!
+//! A scenario's `"generators"` section compiles (against a checked
+//! program) into one [`Workload`] — a deterministic, seeded stream of
+//! timed injections. Each generator is an independent flow source with:
+//!
+//! * an **event** to inject and one destination **switch** (or a set the
+//!   source picks from uniformly);
+//! * a **rate** (`rate_eps`, events per virtual second, or a raw
+//!   `interval_ns`) with optional ± `jitter_ns` on every gap;
+//! * a **start/stop window** and/or a total event `count`;
+//! * **phase changes** (`phases`: rate switches at given instants — e.g.
+//!   an attack burst that multiplies the rate for a window);
+//! * per-argument **distributions**: a constant, `uniform` over a closed
+//!   range, `zipf` over `n` keys with exponent `s` (heavy hitters), or
+//!   `seq` (a cycling counter, for full-range sweeps).
+//!
+//! Determinism is the load-bearing property: a generator's stream is a
+//! pure function of its effective seed (scenario seed mixed with the
+//! generator's own), so the same scenario produces bit-identical runs
+//! under every engine × executor combination. Event times within one
+//! source are nondecreasing, and [`Workload`] merges sources in global
+//! (time, source-index) order — both drivers pull the identical sequence.
+
+use crate::machine::{Interp, InterpError, InterpFault};
+use lucid_check::{mask, CheckedProgram};
+
+/// One event pulled from a source: an external injection the interpreter
+/// schedules with the usual class-0 key (so generated workload and
+/// hand-written `events` share one deterministic order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourcedEvent {
+    pub time_ns: u64,
+    pub switch: u64,
+    /// Index into `prog.info.events`.
+    pub event_id: usize,
+    /// Already masked to the event's parameter widths.
+    pub args: Vec<u64>,
+    /// Which source produced it (index into the workload's generators),
+    /// for per-generator injection counts in the report.
+    pub source: usize,
+}
+
+/// A pull-based injection stream. Both engines drain one lazily: the
+/// sequential driver pulls everything due at or before its queue head,
+/// the sharded driver pulls everything due inside the coming epoch.
+/// `peek_ns` must be nondecreasing across pulls.
+pub trait EventSource {
+    /// Virtual time of the next event, `None` when exhausted.
+    fn peek_ns(&self) -> Option<u64>;
+    /// Pull the next event. `None` exactly when `peek_ns` is `None`.
+    fn next_event(&mut self) -> Option<SourcedEvent>;
+    /// How many sources feed this stream (sizes the per-source counters).
+    fn source_count(&self) -> usize {
+        1
+    }
+}
+
+// ------------------------------------------------------------------- rng
+
+/// Self-contained deterministic generator (xoshiro256++ seeded through
+/// splitmix64 — the same construction as the vendored `rand` shim, kept
+/// local so `lucid-interp` stays dependency-free and the stream is pinned
+/// by this crate alone).
+#[derive(Debug, Clone)]
+pub(crate) struct Rng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    pub(crate) fn seeded(seed: u64) -> Rng {
+        let mut sm = seed;
+        Rng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let out = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform in `[0, n)` (multiply-shift; `n = 0` yields 0).
+    pub(crate) fn below(&mut self, n: u64) -> u64 {
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform in `[0, span]` inclusive — safe for `span = u64::MAX`,
+    /// where `below(span + 1)` would overflow.
+    fn below_incl(&mut self, span: u64) -> u64 {
+        if span == u64::MAX {
+            self.next_u64()
+        } else {
+            self.below(span + 1)
+        }
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Mix a scenario-level seed with a per-generator one into the effective
+/// stream seed. Both levels matter: `--seed` reshuffles every source, a
+/// generator's own `seed` decorrelates it from its siblings.
+pub fn mix_seed(scenario_seed: u64, gen_seed: u64) -> u64 {
+    let mut s = scenario_seed ^ gen_seed.rotate_left(32) ^ 0x9E37_79B9_7F4A_7C15;
+    splitmix64(&mut s)
+}
+
+// ----------------------------------------------------------------- specs
+
+/// How one event argument is drawn.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgDist {
+    /// The same value every time.
+    Const(u64),
+    /// Uniform over the closed range `[lo, hi]`.
+    Uniform { lo: u64, hi: u64 },
+    /// Zipf-like heavy-hitter distribution over keys `0..n`: key `k` is
+    /// drawn with probability ∝ `(k+1)^-s` (continuous bounded power-law
+    /// inversion — rank 0 is the hottest key).
+    Zipf { n: u64, s: f64 },
+    /// A cycling counter `0, 1, .., n-1, 0, ..` (deterministic sweeps).
+    Seq { n: u64 },
+}
+
+/// One rate change: from `at_ns` on, gaps follow the new interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Phase {
+    pub at_ns: u64,
+    pub interval_ns: u64,
+}
+
+/// A parsed generator spec (schema-level; compile with
+/// [`GenSpec::compile`] against a checked program).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenSpec {
+    pub name: String,
+    pub event: String,
+    /// Destination switches; one entry means a fixed destination, more
+    /// mean a uniform pick per event.
+    pub switches: Vec<u64>,
+    /// Base inter-arrival gap, nanoseconds (≥ 1).
+    pub interval_ns: u64,
+    /// Uniform ± jitter applied to every gap.
+    pub jitter_ns: u64,
+    pub start_ns: u64,
+    /// Inclusive horizon: no event is emitted after this instant.
+    pub stop_ns: Option<u64>,
+    /// Total event cap.
+    pub count: Option<u64>,
+    /// Per-generator seed (mixed with the scenario seed).
+    pub seed: u64,
+    pub args: Vec<ArgDist>,
+    /// Rate changes, strictly increasing in `at_ns`.
+    pub phases: Vec<Phase>,
+}
+
+impl GenSpec {
+    /// Instantiate the runtime source. The caller has validated the spec
+    /// against the program (event exists, arity matches, switches are in
+    /// the topology), so resolution here cannot fail.
+    pub fn compile(&self, prog: &CheckedProgram, scenario_seed: u64, index: usize) -> Generator {
+        let ev = self.event_info(prog);
+        let widths: Vec<u32> = ev
+            .params
+            .iter()
+            .map(|p| p.ty.int_width().unwrap_or(32))
+            .collect();
+        Generator {
+            spec: self.clone(),
+            event_id: ev.id,
+            widths,
+            index,
+            rng: Rng::seeded(mix_seed(scenario_seed, self.seed)),
+            seq_counters: vec![0; self.args.len()],
+            emitted: 0,
+            // `count: 0` is a disabled source, not a one-shot: the cap
+            // must hold before the first emission too.
+            next_time: if self.count == Some(0) {
+                None
+            } else {
+                Some(self.start_ns)
+            },
+        }
+    }
+
+    fn event_info<'p>(&self, prog: &'p CheckedProgram) -> &'p lucid_check::EventInfo {
+        prog.info.event(&self.event).expect("validated event name")
+    }
+}
+
+// ------------------------------------------------------------- generator
+
+/// One compiled flow source: spec + RNG + cursor. Emission is lazy — the
+/// next event's time is precomputed (for `peek_ns`) but its payload is
+/// drawn only when pulled.
+#[derive(Debug, Clone)]
+pub struct Generator {
+    spec: GenSpec,
+    event_id: usize,
+    widths: Vec<u32>,
+    index: usize,
+    rng: Rng,
+    seq_counters: Vec<u64>,
+    emitted: u64,
+    /// Time of the next emission; `None` when the source is exhausted.
+    next_time: Option<u64>,
+}
+
+impl Generator {
+    pub fn name(&self) -> &str {
+        &self.spec.name
+    }
+
+    /// The inter-arrival interval in force at instant `t` (phases are
+    /// sorted; the last one at or before `t` wins).
+    fn interval_at(&self, t: u64) -> u64 {
+        let mut iv = self.spec.interval_ns;
+        for p in &self.spec.phases {
+            if p.at_ns <= t {
+                iv = p.interval_ns;
+            } else {
+                break;
+            }
+        }
+        iv.max(1)
+    }
+
+    /// Advance the cursor past an emission at `t`.
+    fn advance(&mut self, t: u64) {
+        self.emitted += 1;
+        if let Some(c) = self.spec.count {
+            if self.emitted >= c {
+                self.next_time = None;
+                return;
+            }
+        }
+        let iv = self.interval_at(t);
+        let gap = if self.spec.jitter_ns == 0 {
+            iv
+        } else {
+            // Uniform in [iv - j, iv + j], floored at zero so time never
+            // runs backwards (same-instant bursts are legal; keys break
+            // the tie deterministically). Saturating arithmetic keeps
+            // absurd library-supplied jitters from overflowing.
+            let j = self.spec.jitter_ns;
+            let lo = iv.saturating_sub(j);
+            let hi = iv.saturating_add(j);
+            lo.saturating_add(self.rng.below_incl(hi - lo))
+        };
+        let next = t.saturating_add(gap);
+        self.next_time = match self.spec.stop_ns {
+            Some(stop) if next > stop => None,
+            _ => Some(next),
+        };
+    }
+
+    fn draw_args(&mut self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.spec.args.len());
+        for (i, d) in self.spec.args.iter().enumerate() {
+            let raw = match d {
+                ArgDist::Const(v) => *v,
+                ArgDist::Uniform { lo, hi } => lo + self.rng.below_incl(hi - lo),
+                ArgDist::Zipf { n, s } => zipf_draw(&mut self.rng, *n, *s),
+                ArgDist::Seq { n } => {
+                    let v = self.seq_counters[i];
+                    self.seq_counters[i] = (v + 1) % n;
+                    v
+                }
+            };
+            out.push(mask(raw, self.widths.get(i).copied().unwrap_or(32)));
+        }
+        out
+    }
+}
+
+impl EventSource for Generator {
+    fn peek_ns(&self) -> Option<u64> {
+        self.next_time
+    }
+
+    fn next_event(&mut self) -> Option<SourcedEvent> {
+        let t = self.next_time?;
+        let switch = match self.spec.switches.as_slice() {
+            [s] => *s,
+            many => many[self.rng.below(many.len() as u64) as usize],
+        };
+        let args = self.draw_args();
+        self.advance(t);
+        Some(SourcedEvent {
+            time_ns: t,
+            switch,
+            event_id: self.event_id,
+            args,
+            source: self.index,
+        })
+    }
+}
+
+/// Draw from a Zipf-like distribution over `0..n` with exponent `s`, by
+/// inverting the CDF of the continuous bounded power-law `x^-s` on
+/// `[1, n+1)`. O(1) per draw, no tables — rank 0 is the hottest key and
+/// the skew tracks Zipf(s) closely for the workload sizes we model.
+fn zipf_draw(rng: &mut Rng, n: u64, s: f64) -> u64 {
+    if n <= 1 {
+        return 0;
+    }
+    let u = rng.unit_f64();
+    let nf = (n + 1) as f64;
+    let x = if (s - 1.0).abs() < 1e-9 {
+        // s = 1: F(x) = ln x / ln(n+1).
+        nf.powf(u)
+    } else {
+        let e = 1.0 - s;
+        // F(x) = (x^e - 1) / ((n+1)^e - 1).
+        (1.0 + u * (nf.powf(e) - 1.0)).powf(1.0 / e)
+    };
+    // x ∈ [1, n+1): floor lands in [1, n]; clamp guards FP edge cases.
+    (x as u64).clamp(1, n) - 1
+}
+
+// -------------------------------------------------------------- workload
+
+/// The merged stream the interpreter drains: all generators of a
+/// scenario, pulled in global (time, generator-index) order, optionally
+/// capped at a total event budget (`lucidc sim --events N`).
+#[derive(Debug, Clone)]
+pub struct Workload {
+    gens: Vec<Generator>,
+    /// Remaining total-event budget (`None`: uncapped).
+    remaining: Option<u64>,
+    /// Memoized `(time, index)` of the next source, invalidated on pull.
+    /// The drivers peek (sometimes twice) before every pull, so without
+    /// this the merge would scan the generator list three times per
+    /// event on the hot injection path.
+    head: std::cell::Cell<Option<(u64, usize)>>,
+}
+
+impl Workload {
+    pub fn new(gens: Vec<Generator>, total_cap: Option<u64>) -> Workload {
+        Workload {
+            gens,
+            remaining: total_cap,
+            head: std::cell::Cell::new(None),
+        }
+    }
+
+    /// Generator names, in index order (for per-source report rows).
+    pub fn names(&self) -> Vec<String> {
+        self.gens.iter().map(|g| g.name().to_string()).collect()
+    }
+
+    fn head(&self) -> Option<(u64, usize)> {
+        if self.remaining == Some(0) {
+            return None;
+        }
+        if let Some(h) = self.head.get() {
+            return Some(h);
+        }
+        let mut best: Option<(u64, usize)> = None;
+        for (i, g) in self.gens.iter().enumerate() {
+            if let Some(t) = g.peek_ns() {
+                // Strict `<` keeps the lowest index on ties — the merge
+                // order both engines must agree on.
+                if best.is_none_or(|(bt, _)| t < bt) {
+                    best = Some((t, i));
+                }
+            }
+        }
+        self.head.set(best);
+        best
+    }
+}
+
+impl EventSource for Workload {
+    fn peek_ns(&self) -> Option<u64> {
+        self.head().map(|(t, _)| t)
+    }
+
+    fn next_event(&mut self) -> Option<SourcedEvent> {
+        let (_, i) = self.head()?;
+        self.head.set(None);
+        let ev = self.gens[i].next_event();
+        if ev.is_some() {
+            if let Some(r) = &mut self.remaining {
+                *r -= 1;
+            }
+        }
+        ev
+    }
+
+    fn source_count(&self) -> usize {
+        self.gens.len()
+    }
+}
+
+/// Drive a standalone source through an [`Interp`] until it drains (a
+/// library convenience for custom sources; `run_scenario` wires bundled
+/// generators through the engines itself).
+pub fn drain_into(
+    sim: &mut Interp,
+    source: impl EventSource + 'static,
+    max_events: u64,
+    max_time_ns: u64,
+) -> Result<(), InterpError> {
+    sim.set_source(Box::new(source));
+    let r = sim.run(max_events, max_time_ns);
+    if sim.source_pending() && r.is_ok() && max_time_ns == u64::MAX {
+        return Err(InterpFault::FuelExhausted {
+            handled: sim.stats.processed,
+        }
+        .into());
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lucid_check::parse_and_check;
+
+    const PROG: &str = r#"
+        global cts = new Array<<32>>(64);
+        memop plus(int m, int x) { return m + x; }
+        event pkt(int<<8>> key, int val);
+        handle pkt(int<<8>> key, int val) { Array.setm(cts, 0, plus, 1); }
+    "#;
+
+    fn spec() -> GenSpec {
+        GenSpec {
+            name: "g".into(),
+            event: "pkt".into(),
+            switches: vec![1],
+            interval_ns: 100,
+            jitter_ns: 30,
+            start_ns: 0,
+            stop_ns: None,
+            count: Some(500),
+            seed: 7,
+            args: vec![
+                ArgDist::Zipf { n: 40, s: 1.2 },
+                ArgDist::Uniform { lo: 5, hi: 9 },
+            ],
+            phases: vec![],
+        }
+    }
+
+    fn pull_all(src: &mut impl EventSource) -> Vec<SourcedEvent> {
+        let mut out = Vec::new();
+        while let Some(ev) = src.next_event() {
+            out.push(ev);
+        }
+        out
+    }
+
+    #[test]
+    fn times_are_nondecreasing_and_count_capped() {
+        let prog = parse_and_check(PROG).unwrap();
+        let mut g = spec().compile(&prog, 0, 0);
+        let evs = pull_all(&mut g);
+        assert_eq!(evs.len(), 500);
+        for w in evs.windows(2) {
+            assert!(w[0].time_ns <= w[1].time_ns);
+        }
+        assert!(g.peek_ns().is_none());
+    }
+
+    #[test]
+    fn same_seed_is_bit_identical_different_seed_is_not() {
+        let prog = parse_and_check(PROG).unwrap();
+        let a = pull_all(&mut spec().compile(&prog, 3, 0));
+        let b = pull_all(&mut spec().compile(&prog, 3, 0));
+        assert_eq!(a, b);
+        let c = pull_all(&mut spec().compile(&prog, 4, 0));
+        assert_ne!(a, c, "scenario seed must reshuffle the stream");
+    }
+
+    #[test]
+    fn args_respect_distributions_and_widths() {
+        let prog = parse_and_check(PROG).unwrap();
+        let evs = pull_all(&mut spec().compile(&prog, 0, 0));
+        let mut hist = [0u64; 40];
+        for ev in &evs {
+            let key = ev.args[0];
+            assert!(key < 40, "zipf key {key} out of range");
+            assert!((5..=9).contains(&ev.args[1]), "uniform {}", ev.args[1]);
+            hist[key as usize] += 1;
+        }
+        // Heavy-hitter shape: rank 0 clearly hotter than the median rank.
+        assert!(hist[0] > 4 * hist[20].max(1), "zipf skew missing: {hist:?}");
+    }
+
+    #[test]
+    fn count_zero_is_a_disabled_source() {
+        let prog = parse_and_check(PROG).unwrap();
+        let mut s = spec();
+        s.count = Some(0);
+        let mut g = s.compile(&prog, 0, 0);
+        assert!(g.peek_ns().is_none(), "count 0 must emit nothing");
+        assert!(g.next_event().is_none());
+    }
+
+    #[test]
+    fn uniform_and_jitter_survive_extreme_bounds() {
+        // `hi = u64::MAX` and huge jitters must not overflow (the JSON
+        // path caps values at 2^53, but the library path does not).
+        let prog = parse_and_check(PROG).unwrap();
+        let mut s = spec();
+        s.count = Some(50);
+        s.jitter_ns = u64::MAX / 2;
+        s.args = vec![
+            ArgDist::Uniform {
+                lo: 0,
+                hi: u64::MAX,
+            },
+            ArgDist::Const(0),
+        ];
+        let evs = pull_all(&mut s.compile(&prog, 1, 0));
+        assert_eq!(evs.len(), 50);
+        // The 8-bit first parameter masks the draw; the draws themselves
+        // must vary (a wrapped `below(0)` would pin them to `lo`).
+        let distinct: std::collections::HashSet<u64> = evs.iter().map(|e| e.args[0]).collect();
+        assert!(distinct.len() > 10, "{distinct:?}");
+        for w in evs.windows(2) {
+            assert!(w[0].time_ns <= w[1].time_ns);
+        }
+    }
+
+    #[test]
+    fn seq_distribution_cycles() {
+        let prog = parse_and_check(PROG).unwrap();
+        let mut s = spec();
+        s.args = vec![ArgDist::Seq { n: 3 }, ArgDist::Const(1)];
+        s.count = Some(7);
+        let evs = pull_all(&mut s.compile(&prog, 0, 0));
+        let keys: Vec<u64> = evs.iter().map(|e| e.args[0]).collect();
+        assert_eq!(keys, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn stop_window_and_phase_changes_apply() {
+        let prog = parse_and_check(PROG).unwrap();
+        let mut s = spec();
+        s.jitter_ns = 0;
+        s.count = None;
+        s.stop_ns = Some(10_000);
+        // Burst: 10x the rate from t=5000 on.
+        s.phases = vec![Phase {
+            at_ns: 5_000,
+            interval_ns: 10,
+        }];
+        let evs = pull_all(&mut s.compile(&prog, 0, 0));
+        let before = evs.iter().filter(|e| e.time_ns < 5_000).count();
+        let after = evs.len() - before;
+        assert_eq!(before, 50, "base rate: one event per 100 ns");
+        assert!(after > 400, "burst phase must dominate: {after}");
+        assert!(evs.iter().all(|e| e.time_ns <= 10_000));
+    }
+
+    #[test]
+    fn workload_merges_in_time_then_index_order_and_caps_total() {
+        let prog = parse_and_check(PROG).unwrap();
+        let mut a = spec();
+        a.name = "a".into();
+        a.jitter_ns = 0;
+        a.count = Some(10);
+        let mut b = a.clone();
+        b.name = "b".into();
+        let w = Workload::new(
+            vec![a.compile(&prog, 0, 0), b.compile(&prog, 0, 1)],
+            Some(15),
+        );
+        let mut w = w;
+        let evs = pull_all(&mut w);
+        assert_eq!(evs.len(), 15, "total cap");
+        for pair in evs.windows(2) {
+            let k0 = (pair[0].time_ns, pair[0].source);
+            let k1 = (pair[1].time_ns, pair[1].source);
+            assert!(k0 <= k1, "merge order violated: {k0:?} then {k1:?}");
+        }
+        // Same instant → source index breaks the tie.
+        assert_eq!((evs[0].source, evs[1].source), (0, 1));
+    }
+
+    #[test]
+    fn zipf_draw_covers_bounds() {
+        let mut rng = Rng::seeded(1);
+        for n in [1u64, 2, 10, 1 << 20] {
+            for _ in 0..200 {
+                assert!(zipf_draw(&mut rng, n, 1.0) < n);
+                assert!(zipf_draw(&mut rng, n, 1.5) < n);
+                assert!(zipf_draw(&mut rng, n, 0.5) < n);
+            }
+        }
+    }
+}

@@ -193,3 +193,74 @@ fn every_app_runs_identically_across_the_matrix() {
         }
     }
 }
+
+/// Regression for shift-overflow semantics: `x << n` / `x >> n` keep
+/// `x`'s width and a count at or past that width yields 0 — identically
+/// in the AST walker and the bytecode executor, for every operand width
+/// and every count up to well past 64 (where `wrapping_shl` would have
+/// wrapped the count instead).
+#[test]
+fn shift_counts_past_the_width_agree_across_executors() {
+    let src = r#"
+        global shl8  = new Array<<8>>(80);
+        global shr8  = new Array<<8>>(80);
+        global shl16 = new Array<<16>>(80);
+        global shr16 = new Array<<16>>(80);
+        global shl32 = new Array<<32>>(80);
+        global shr32 = new Array<<32>>(80);
+        global shl64 = new Array<<64>>(80);
+        global shr64 = new Array<<64>>(80);
+        event go(int<<8>> a, int<<16>> b, int<<32>> c, int<<64>> d, int n);
+        handle go(int<<8>> a, int<<16>> b, int<<32>> c, int<<64>> d, int n) {
+            Array.set(shl8,  n, a << n);
+            Array.set(shr8,  n, a >> n);
+            Array.set(shl16, n, b << n);
+            Array.set(shr16, n, b >> n);
+            Array.set(shl32, n, c << n);
+            Array.set(shr32, n, c >> n);
+            Array.set(shl64, n, d << n);
+            Array.set(shr64, n, d >> n);
+        }
+    "#;
+    let prog = lucid_core::check::parse_and_check(src).expect("program checks");
+    let vals: [u64; 4] = [0xAB, 0xBEEF, 0xDEAD_BEEF, 0xDEAD_BEEF_CAFE_F00D];
+    let mut observed = Vec::new();
+    for exec in [ExecMode::Ast, ExecMode::Bytecode] {
+        let mut cfg = NetConfig::single();
+        cfg.exec = exec;
+        let mut sim = Interp::new(&prog, cfg);
+        for n in 0..80u64 {
+            sim.schedule(1, n * 100, "go", &[vals[0], vals[1], vals[2], vals[3], n])
+                .unwrap();
+        }
+        sim.run_to_quiescence().unwrap();
+        let arrays: Vec<Vec<u64>> = [
+            "shl8", "shr8", "shl16", "shr16", "shl32", "shr32", "shl64", "shr64",
+        ]
+        .iter()
+        .map(|a| sim.array(1, a).to_vec())
+        .collect();
+        observed.push(arrays);
+    }
+    assert_eq!(observed[0], observed[1], "executors disagree on shifts");
+
+    // Pin the semantics themselves, not just executor agreement.
+    let mask = |w: u32| if w >= 64 { u64::MAX } else { (1u64 << w) - 1 };
+    for (i, &w) in [8u32, 16, 32, 64].iter().enumerate() {
+        let x = vals[i] & mask(w);
+        for n in 0..80u64 {
+            let want_shl = if n >= w as u64 { 0 } else { (x << n) & mask(w) };
+            let want_shr = if n >= w as u64 { 0 } else { x >> n };
+            assert_eq!(
+                observed[0][2 * i][n as usize],
+                want_shl,
+                "width {w}: {x:#x} << {n}"
+            );
+            assert_eq!(
+                observed[0][2 * i + 1][n as usize],
+                want_shr,
+                "width {w}: {x:#x} >> {n}"
+            );
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Integration tests of the streaming workload-generator subsystem:
+//! seed-determinism of generator scenarios across the full engine x
+//! executor matrix, lazy scaling through the `--events` override, and a
+//! property sweep over randomly drawn generator specs.
+
+use lucid_core::{
+    run_scenario, run_scenario_with, ArgDist, Engine, ExecMode, GenSpec, Phase, Scenario,
+    SimOverrides, SimReport,
+};
+use proptest::prelude::*;
+
+/// A mesh program with cross-switch forwarding, so the sharded engine's
+/// epoch barriers are actually exercised by generated traffic.
+const MESH: &str = r#"
+    global cnt = new Array<<32>>(256);
+    global mix = new Array<<32>>(256);
+    memop plus(int m, int x) { return m + x; }
+    event pkt(int key, int ttl);
+    handle pkt(int key, int ttl) {
+        auto i = hash<<8>>(1, key);
+        int c = Array.update(cnt, i, plus, 1, plus, 1);
+        auto j = hash<<8>>(2, c, key);
+        Array.setm(mix, j, plus, key);
+        if (ttl > 0) {
+            generate Event.locate(pkt(key + c, ttl - 1), ((key + c) & 3) + 1);
+        }
+    }
+"#;
+
+fn checked(src: &str) -> lucid_core::CheckedProgram {
+    lucid_core::check::parse_and_check(src).expect("program checks")
+}
+
+const GEN_SCENARIO: &str = r#"{
+    "name": "gen-mesh",
+    "net": {"switches": 4},
+    "seed": 5,
+    "limits": {"max_events": 500000},
+    "generators": [
+      {"name": "hot", "event": "pkt", "switches": [1, 2, 3, 4],
+       "rate_eps": 1000000, "jitter_ns": 150, "count": 4000,
+       "args": [{"zipf": {"n": 512, "s": 1.2}}, 2]},
+      {"name": "sweep", "event": "pkt", "switch": 2,
+       "rate_eps": 400000, "count": 2000,
+       "args": [{"seq": 300}, 1]},
+      {"name": "burst", "event": "pkt", "switch": 3,
+       "interval_ns": 900, "start_ns": 1000, "count": 1500,
+       "phases": [{"at_ns": 500000, "rate_eps": 4000000}],
+       "args": [{"uniform": [0, 4095]}, 0]}
+    ]
+}"#;
+
+/// What "bit-identical" means for a report: everything except wall-clock.
+fn fingerprint(r: &SimReport) -> (u64, lucid_core::interp::Stats, Vec<(String, u64)>, u64) {
+    (r.state_digest, r.stats.clone(), r.gens.clone(), r.sim_ns)
+}
+
+#[test]
+fn generator_matrix_is_bit_identical_and_seed_sensitive() {
+    let prog = checked(MESH);
+    let sc = Scenario::from_json(GEN_SCENARIO).unwrap();
+    let reference =
+        run_scenario(&prog, &sc, Some(Engine::Sequential), Some(ExecMode::Ast)).unwrap();
+    assert_eq!(
+        reference.gens,
+        vec![
+            ("hot".to_string(), 4000),
+            ("sweep".to_string(), 2000),
+            ("burst".to_string(), 1500)
+        ]
+    );
+    assert!(
+        reference.stats.sent_remote > 1000,
+        "workload must cross switches: {:?}",
+        reference.stats
+    );
+    for engine in [
+        Engine::Sequential,
+        Engine::Sharded {
+            workers: 2,
+            epoch_ns: 0,
+        },
+        Engine::Sharded {
+            workers: 4,
+            epoch_ns: 250,
+        },
+    ] {
+        for exec in [ExecMode::Ast, ExecMode::Bytecode] {
+            let got = run_scenario(&prog, &sc, Some(engine), Some(exec)).unwrap();
+            assert_eq!(
+                fingerprint(&reference),
+                fingerprint(&got),
+                "[{}/{}] diverged from sequential/ast",
+                engine.label(),
+                exec.label()
+            );
+        }
+    }
+    // Same seed, same run — different seed, different traffic.
+    let again = run_scenario(&prog, &sc, Some(Engine::Sequential), Some(ExecMode::Ast)).unwrap();
+    assert_eq!(fingerprint(&reference), fingerprint(&again));
+    let reseeded = run_scenario_with(
+        &prog,
+        &sc,
+        &SimOverrides {
+            seed: Some(6),
+            ..SimOverrides::default()
+        },
+    )
+    .unwrap();
+    assert_ne!(reference.state_digest, reseeded.state_digest);
+    assert_eq!(
+        reseeded.stats.processed, reference.stats.processed,
+        "a reseed moves keys around but not the volume"
+    );
+}
+
+#[test]
+fn events_override_scales_lazily_and_engines_still_agree() {
+    let prog = checked(MESH);
+    let sc = Scenario::from_json(GEN_SCENARIO).unwrap();
+    // 7500 authored events scaled to 60k: per-generator counts stretch
+    // proportionally and the stream still never materializes.
+    let ov = SimOverrides {
+        events: Some(60_000),
+        ..SimOverrides::default()
+    };
+    let seq = run_scenario_with(&prog, &sc, &ov).unwrap();
+    let injected: u64 = seq.gens.iter().map(|(_, n)| n).sum();
+    assert_eq!(injected, 60_000);
+    assert_eq!(seq.gens[0].1, 32_000, "{:?}", seq.gens);
+    assert_eq!(seq.gens[1].1, 16_000, "{:?}", seq.gens);
+    let sh = run_scenario_with(
+        &prog,
+        &sc,
+        &SimOverrides {
+            engine: Some(Engine::Sharded {
+                workers: 3,
+                epoch_ns: 0,
+            }),
+            exec: Some(ExecMode::Bytecode),
+            ..ov
+        },
+    )
+    .unwrap();
+    assert_eq!(fingerprint(&seq), fingerprint(&sh));
+}
+
+/// The bundled generator scenarios must be reproducible from their files
+/// alone: same file, same seed, same digest on every engine x executor.
+#[test]
+fn bundled_generator_scenarios_are_matrix_deterministic() {
+    let root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..");
+    let mut found = 0;
+    for entry in std::fs::read_dir(root.join("crates/apps/scenarios")).unwrap() {
+        let path = entry.unwrap().path();
+        let name = path.file_name().unwrap().to_str().unwrap().to_string();
+        let Some(base) = name.strip_suffix(".sim.json") else {
+            continue;
+        };
+        let sc = Scenario::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        if sc.generators.is_empty() {
+            continue;
+        }
+        found += 1;
+        let app = base.split('.').next().unwrap();
+        let prog = checked(
+            &std::fs::read_to_string(root.join(format!("crates/apps/programs/{app}.lucid")))
+                .unwrap(),
+        );
+        let reference =
+            run_scenario(&prog, &sc, Some(Engine::Sequential), Some(ExecMode::Ast)).unwrap();
+        assert!(reference.passed(), "{name}: {:?}", reference.mismatches);
+        for engine in [
+            Engine::Sequential,
+            Engine::Sharded {
+                workers: 2,
+                epoch_ns: 0,
+            },
+        ] {
+            for exec in [ExecMode::Ast, ExecMode::Bytecode] {
+                let got = run_scenario(&prog, &sc, Some(engine), Some(exec)).unwrap();
+                assert_eq!(
+                    fingerprint(&reference),
+                    fingerprint(&got),
+                    "{name} [{}/{}]",
+                    engine.label(),
+                    exec.label()
+                );
+            }
+        }
+    }
+    assert!(found >= 2, "expected >= 2 bundled generator scenarios");
+}
+
+// --------------------------------------------------------------- proptest
+
+/// Build a scenario around randomly drawn generator specs.
+fn scenario_of(switches: u64, seed: u64, gens: Vec<GenSpec>) -> Scenario {
+    Scenario {
+        name: "prop".into(),
+        description: String::new(),
+        switches: (1..=switches).collect(),
+        link_latency_ns: 1_000,
+        recirc_latency_ns: 600,
+        engine: Engine::Sequential,
+        exec: ExecMode::Ast,
+        max_events: 1_000_000,
+        max_time_ns: u64::MAX,
+        seed,
+        init: Vec::new(),
+        events: Vec::new(),
+        generators: gens,
+        failures: Vec::new(),
+        expect: Default::default(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random generator specs (every distribution kind, random rates,
+    /// jitter, windows, phases): the engine x executor matrix must stay
+    /// bit-identical, and injection counts must satisfy the spec bounds.
+    #[test]
+    fn random_generator_specs_stay_deterministic(
+        switches in 1u64..=4,
+        seed in 0u64..=1_000,
+        raw in proptest::collection::vec(
+            (1u64..=400, 0u64..=200, 1u64..=120, 0u64..=3, 1u64..=64, 0u64..=2),
+            1..4
+        )
+    ) {
+        let prog = checked(MESH);
+        let gens: Vec<GenSpec> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, (interval, jitter, count, dist, n, s_sel))| {
+                let key_dist = match dist {
+                    0 => ArgDist::Const(n % 7),
+                    1 => ArgDist::Uniform { lo: 0, hi: *n },
+                    2 => ArgDist::Zipf {
+                        n: *n,
+                        s: [0.8, 1.0, 1.3][*s_sel as usize],
+                    },
+                    _ => ArgDist::Seq { n: *n },
+                };
+                GenSpec {
+                    name: format!("g{i}"),
+                    event: "pkt".into(),
+                    switches: (1..=(1 + (n % switches))).collect(),
+                    interval_ns: *interval,
+                    jitter_ns: *jitter,
+                    start_ns: i as u64 * 50,
+                    stop_ns: None,
+                    count: Some(*count),
+                    seed: *n,
+                    args: vec![key_dist, ArgDist::Const(1)],
+                    phases: if *s_sel == 2 {
+                        vec![Phase { at_ns: 5_000, interval_ns: (*interval / 2).max(1) }]
+                    } else {
+                        Vec::new()
+                    },
+                }
+            })
+            .collect();
+        let total: u64 = gens.iter().map(|g| g.count.unwrap()).sum();
+        let sc = scenario_of(switches, seed, gens);
+        let reference =
+            run_scenario(&prog, &sc, Some(Engine::Sequential), Some(ExecMode::Ast)).unwrap();
+        let injected: u64 = reference.gens.iter().map(|(_, n)| n).sum();
+        prop_assert_eq!(injected, total);
+        for (engine, exec) in [
+            (Engine::Sequential, ExecMode::Bytecode),
+            (Engine::Sharded { workers: 2, epoch_ns: 0 }, ExecMode::Ast),
+            (Engine::Sharded { workers: 3, epoch_ns: 0 }, ExecMode::Bytecode),
+        ] {
+            let got = run_scenario(&prog, &sc, Some(engine), Some(exec)).unwrap();
+            prop_assert_eq!(&fingerprint(&reference), &fingerprint(&got));
+        }
+    }
+}

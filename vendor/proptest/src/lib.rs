@@ -260,6 +260,23 @@ pub mod strategy {
         }
     }
 
+    #[allow(clippy::type_complexity)]
+    impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy, E: Strategy, F: Strategy> Strategy
+        for (A, B, C, D, E, F)
+    {
+        type Value = (A::Value, B::Value, C::Value, D::Value, E::Value, F::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+                self.3.generate(rng),
+                self.4.generate(rng),
+                self.5.generate(rng),
+            )
+        }
+    }
+
     /// String strategies from a printable-character regex: `\PC{m,n}`
     /// (and bare `\PC`). Anything else is unsupported and panics, which is
     /// the honest failure mode for a shim.
