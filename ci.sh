@@ -15,10 +15,29 @@ cargo fmt --check
 echo "== clippy"
 cargo clippy --all-targets --workspace -- -D warnings
 
+echo "== golden drift guard"
+# Regenerate the per-opt-level bytecode disassembly into a temp dir and
+# diff against the checked-in goldens: a stale golden file fails here
+# with a readable diff instead of deep inside `cargo test`.
+golden_tmp=$(mktemp -d)
+trap 'rm -rf "$golden_tmp"' EXIT
+UPDATE_GOLDEN=1 GOLDEN_DIR="$golden_tmp" \
+  cargo test -q -p lucid-tests --test golden_bytecode >/dev/null
+if ! diff -ru tests/golden "$golden_tmp"; then
+  echo "golden drift: tests/golden is stale; regenerate with" >&2
+  echo "  UPDATE_GOLDEN=1 cargo test -p lucid-tests --test golden_bytecode" >&2
+  echo "and review the diff like any other code change" >&2
+  exit 1
+fi
+echo "-- 30 golden listings match"
+
 echo "== fuzz smoke"
 # Bounded differential fuzzing: the vendored proptest shim is seeded, so
 # this is deterministic; 64 cases across the Figure-9 apps must agree
-# between the AST walker, the bytecode executor, and the sharded engine.
+# between the AST walker, the bytecode executor at BOTH --opt=0 and
+# --opt=2 (an optimizer miscompile cannot hide behind an equally-wrong
+# lowering, and vice versa), and the sharded engine — the opt sweep is
+# inside the test itself (tests/tests/differential.rs).
 LUCID_FUZZ_CASES=64 cargo test -q -p lucid-tests --test differential
 
 echo "== sim gate"
@@ -36,10 +55,18 @@ for sc in "${scenarios[@]}"; do
   base=$(basename "$sc" .sim.json)
   app=${base%%.*}
   prog="crates/apps/programs/$app.lucid"
+  # One run exactly as authored (no overrides), so scenario-pinned
+  # engine/exec/opt fields stay exercised end to end.
+  echo "-- sim [authored] $sc"
+  target/release/lucidc sim "$prog" "$sc"
   for engine in sequential sharded; do
-    for exec in ast bytecode; do
-      echo "-- sim [$engine/$exec] $sc"
-      target/release/lucidc sim --engine="$engine" --exec="$exec" "$prog" "$sc"
+    echo "-- sim [$engine/ast] $sc"
+    target/release/lucidc sim --engine="$engine" --exec=ast "$prog" "$sc"
+    # The bytecode executor runs at both ends of the optimizer pipeline:
+    # raw lowering and the full superinstruction + regalloc stack.
+    for opt in 0 2; do
+      echo "-- sim [$engine/bytecode/o$opt] $sc"
+      target/release/lucidc sim --engine="$engine" --exec=bytecode --opt="$opt" "$prog" "$sc"
     done
   done
 done
@@ -74,9 +101,39 @@ json_check() {
 }
 for bin in fig09_apps fig10_loc_breakdown fig11_compile_times fig12_stage_ratio \
            fig13_parallelism fig14_delay_queue fig15_recirc_uses fig16_sfw_model \
-           fig17_sfw_install fig_sim_throughput fig_workload_scale; do
+           fig17_sfw_install; do
   echo "-- bench $bin"
   target/release/"$bin" --smoke --json | json_check
 done
+
+echo "== perf trajectory gate (BENCH_PR.json)"
+# The two interpreter-speed benchmarks run in smoke mode and their JSON
+# is recorded at the repo root; the GitHub workflow uploads it as a
+# build artifact, so every PR carries its measured numbers. Recorded
+# floors (all measured with ~20-40% headroom on a single-core dev
+# container) fail the gate when the bytecode-over-walker speedup or the
+# sustained events/sec regresses:
+#   fig_sim_throughput  bytecode_speedup >= 6.0   (measured ~13x)
+#   fig_workload_scale  bytecode_speedup >= 8.0   (measured ~9.5x; the
+#                       binary itself asserts the same floor)
+#   fig_workload_scale  min_events_per_sec >= 20000 (measured ~170k)
+st_json=$(target/release/fig_sim_throughput --smoke --json)
+ws_json=$(target/release/fig_workload_scale --smoke --json)
+printf '{"fig_sim_throughput":%s,"fig_workload_scale":%s}\n' \
+  "$st_json" "$ws_json" > BENCH_PR.json
+json_check < BENCH_PR.json
+field() { # field <json> <key> — first numeric value of "key":N
+  printf '%s' "$1" | sed -n "s/.*\"$2\":\([0-9.][0-9.]*\).*/\1/p" | head -n1
+}
+floor() { # floor <label> <value> <min>
+  if ! awk -v v="$2" -v f="$3" 'BEGIN { exit !(v + 0 >= f + 0) }'; then
+    echo "perf gate: $1 = $2 fell below the recorded floor $3" >&2
+    exit 1
+  fi
+  echo "-- $1 = $2 (floor $3)"
+}
+floor "fig_sim_throughput bytecode_speedup" "$(field "$st_json" bytecode_speedup)" 6.0
+floor "fig_workload_scale bytecode_speedup" "$(field "$ws_json" bytecode_speedup)" 8.0
+floor "fig_workload_scale min_events_per_sec" "$(field "$ws_json" min_events_per_sec)" 20000
 
 echo "CI OK"

@@ -13,7 +13,14 @@
 //! OPTIONS:
 //!   --emit=ast|ir|layout|p4   artifact for `compile` (default p4)
 //!   --target=tofino|pisa      pipeline model to compile against
-//!   --no-opt                  disable the IR clean-up pass
+//!   --opt=0|1|2               optimization level; one flag story for both
+//!                             backends. `compile`/`stages`: 0 disables the
+//!                             P4 IR clean-up pass, 1 and 2 enable it
+//!                             (default). `sim`: the bytecode pipeline —
+//!                             0 = raw lowering, 1 = peephole fusion,
+//!                             2 = peephole + register allocation (default)
+//!   --no-opt                  alias for --opt=0 (kept from the days when
+//!                             only the P4 backend had an optimizer)
 //!   --json-diagnostics        report diagnostics as a JSON array on stderr
 //!   --engine=sequential|sharded   override the scenario's engine (`sim`)
 //!   --workers=N               sharded-engine worker threads (`sim`; 0 = cores)
@@ -24,10 +31,13 @@
 //!                             <spec> is inline JSON or a spec-file path.
 //!                             Workload overrides (--seed/--events/--gen)
 //!                             skip the scenario's authored expectations
-//!   --dump-bytecode           print the program's bytecode listing (`sim`);
-//!                             with a scenario, dumps and then runs it
-//!                             (under `--json` the listing goes to stderr so
-//!                             stdout stays one JSON document)
+//!   --dump-bytecode           print the program's bytecode listing (`sim`),
+//!                             rendered at the `--opt` level (default 2, so
+//!                             fused superinstructions and the post-regalloc
+//!                             register frames show); with a scenario, dumps
+//!                             and then runs it (under `--json` the listing
+//!                             goes to stderr so stdout stays one JSON
+//!                             document)
 //!   --json                    print the `sim` report as one JSON object
 //! ```
 //!
@@ -36,7 +46,7 @@
 //! or I/O error.
 
 use lucid_core::{
-    Build, Compiler, Engine, ExecMode, LayoutOptions, PipelineSpec, Scenario, SimError,
+    Build, Compiler, Engine, ExecMode, LayoutOptions, OptLevel, PipelineSpec, Scenario, SimError,
     SimOverrides,
 };
 use std::process::ExitCode;
@@ -45,11 +55,11 @@ const EXIT_DIAGNOSTICS: u8 = 1;
 const EXIT_USAGE: u8 = 2;
 
 const USAGE: &str = "usage: lucidc <check|compile|stages> [--emit=ast|ir|layout|p4] \
-[--target=tofino|pisa] [--no-opt] [--json-diagnostics] <file.lucid>\n       \
+[--target=tofino|pisa] [--opt=0|1|2] [--no-opt] [--json-diagnostics] <file.lucid>\n       \
 lucidc sim [--engine=sequential|sharded] [--workers=N] [--exec=ast|bytecode] \
-[--seed=S] [--events=N] [--gen=<spec>] [--json] \
+[--opt=0|1|2] [--seed=S] [--events=N] [--gen=<spec>] [--json] \
 <file.lucid> <scenario.sim.json>\n       \
-lucidc sim --dump-bytecode <file.lucid> [<scenario.sim.json>]\n       \
+lucidc sim --dump-bytecode [--opt=0|1|2] <file.lucid> [<scenario.sim.json>]\n       \
 lucidc apps | app <key>";
 
 const SUBCOMMANDS: &[&str] = &["check", "compile", "stages", "sim", "apps", "app"];
@@ -150,6 +160,8 @@ fn main() -> ExitCode {
 struct SimOptions {
     engine: Option<Engine>,
     exec: Option<ExecMode>,
+    /// `--opt=0|1|2` (or `--no-opt` = level 0): the bytecode pipeline.
+    opt: Option<OptLevel>,
     /// Workload overrides: `--seed=S` reshuffles every generator stream,
     /// `--events=N` caps total generated injections.
     seed: Option<u64>,
@@ -166,6 +178,8 @@ struct SimOptions {
 fn parse_sim_options(args: &[String]) -> Result<SimOptions, String> {
     let mut engine: Option<Engine> = None;
     let mut exec: Option<ExecMode> = None;
+    let mut opt: Option<OptLevel> = None;
+    let mut no_opt = false;
     let mut workers: Option<usize> = None;
     let mut seed: Option<u64> = None;
     let mut events: Option<u64> = None;
@@ -178,6 +192,13 @@ fn parse_sim_options(args: &[String]) -> Result<SimOptions, String> {
             engine = Some(Engine::parse(v).ok_or_else(|| format!("unknown --engine value `{v}`"))?);
         } else if let Some(v) = a.strip_prefix("--exec=") {
             exec = Some(ExecMode::parse(v).ok_or_else(|| format!("unknown --exec value `{v}`"))?);
+        } else if let Some(v) = a.strip_prefix("--opt=") {
+            opt = Some(
+                OptLevel::parse(v)
+                    .ok_or_else(|| format!("unknown --opt value `{v}` (expected 0, 1, or 2)"))?,
+            );
+        } else if a == "--no-opt" {
+            no_opt = true;
         } else if let Some(v) = a.strip_prefix("--workers=") {
             workers = Some(
                 v.parse::<usize>()
@@ -204,6 +225,14 @@ fn parse_sim_options(args: &[String]) -> Result<SimOptions, String> {
         } else {
             files.push(a.clone());
         }
+    }
+    if no_opt {
+        // `--no-opt` is the historical spelling of `--opt=0`; an explicit
+        // `--opt=` beside it is ambiguous at best.
+        if opt.is_some() {
+            return Err("pass either `--no-opt` or `--opt=N`, not both".to_string());
+        }
+        opt = Some(OptLevel::O0);
     }
     if let Some(w) = workers {
         match &mut engine {
@@ -233,6 +262,7 @@ fn parse_sim_options(args: &[String]) -> Result<SimOptions, String> {
     Ok(SimOptions {
         engine,
         exec,
+        opt,
         seed,
         events,
         gen,
@@ -259,30 +289,13 @@ fn run_sim(args: &[String]) -> ExitCode {
         }
     };
     let mut build = Compiler::new().build(&opts.program, &src);
-    if opts.dump_bytecode {
-        match build.disassemble() {
-            // Under --json, stdout stays one machine-readable document;
-            // the listing goes to stderr instead.
-            Ok(listing) if opts.json => eprint!("{listing}"),
-            Ok(listing) => print!("{listing}"),
-            Err(_) => {
-                // Same error shape as the run path below: one JSON
-                // document on stdout under --json, rustc-style otherwise.
-                if opts.json {
-                    println!(
-                        "{{\"kind\":\"diagnostics\",\"msg\":{}}}",
-                        json_str("the program has diagnostics (see stderr)")
-                    );
-                    eprintln!("{}", build.diagnostics_json());
-                } else {
-                    eprintln!("{}", build.render_diagnostics());
-                }
-                return ExitCode::from(EXIT_DIAGNOSTICS);
-            }
-        }
-        if opts.scenario.is_none() {
-            return ExitCode::SUCCESS;
-        }
+    // Dump-only invocation: no scenario to consult, so `--opt` (or the
+    // default level) picks the listing.
+    if opts.dump_bytecode && opts.scenario.is_none() {
+        return match dump_listing(&mut build, opts.opt.unwrap_or_default(), opts.json) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(code) => code,
+        };
     }
     let scenario_path = opts.scenario.as_deref().expect("checked by parser");
     let sc_text = match std::fs::read_to_string(scenario_path) {
@@ -303,6 +316,14 @@ fn run_sim(args: &[String]) -> ExitCode {
             return ExitCode::from(EXIT_DIAGNOSTICS);
         }
     };
+    // Dump-then-run: without an explicit `--opt`, render the listing at
+    // the scenario's own level so the dump describes the bytecode that
+    // actually runs below.
+    if opts.dump_bytecode {
+        if let Err(code) = dump_listing(&mut build, opts.opt.unwrap_or(scenario.opt), opts.json) {
+            return code;
+        }
+    }
     if let Some(spec) = &opts.gen {
         // `--gen` takes inline JSON (starts with `{` or `[`) or a path to
         // a spec file; the parsed generators replace the scenario's own.
@@ -338,6 +359,7 @@ fn run_sim(args: &[String]) -> ExitCode {
     let overrides = SimOverrides {
         engine: opts.engine,
         exec: opts.exec,
+        opt: opts.opt,
         seed: opts.seed,
         events: opts.events,
     };
@@ -394,10 +416,40 @@ fn json_str(s: &str) -> String {
     format!("\"{}\"", lucid_core::json_escape(s))
 }
 
+/// Print the bytecode listing at `level` (`sim --dump-bytecode`). Under
+/// `--json`, stdout stays one machine-readable document, so the listing
+/// goes to stderr; a program with diagnostics reports them in the same
+/// shape as the run path and yields the exit code to return.
+fn dump_listing(build: &mut Build, level: OptLevel, json: bool) -> Result<(), ExitCode> {
+    match build.disassemble_opt(level) {
+        Ok(listing) if json => {
+            eprint!("{listing}");
+            Ok(())
+        }
+        Ok(listing) => {
+            print!("{listing}");
+            Ok(())
+        }
+        Err(_) => {
+            if json {
+                println!(
+                    "{{\"kind\":\"diagnostics\",\"msg\":{}}}",
+                    json_str("the program has diagnostics (see stderr)")
+                );
+                eprintln!("{}", build.diagnostics_json());
+            } else {
+                eprintln!("{}", build.render_diagnostics());
+            }
+            Err(ExitCode::from(EXIT_DIAGNOSTICS))
+        }
+    }
+}
+
 fn parse_options(cmd: &str, args: &[String]) -> Result<Options, String> {
     let mut emit = Emit::P4;
     let mut target = PipelineSpec::tofino();
-    let mut optimize = true;
+    let mut opt: Option<OptLevel> = None;
+    let mut no_opt = false;
     let mut json_diagnostics = false;
     let mut file = None;
     for a in args {
@@ -432,7 +484,17 @@ fn parse_options(cmd: &str, args: &[String]) -> Result<Options, String> {
                     "`--no-opt` has no effect on `check` (the backend does not run)".to_string(),
                 );
             }
-            optimize = false;
+            no_opt = true;
+        } else if let Some(v) = a.strip_prefix("--opt=") {
+            if cmd == "check" {
+                return Err(
+                    "`--opt` has no effect on `check` (the backend does not run)".to_string(),
+                );
+            }
+            opt = Some(
+                OptLevel::parse(v)
+                    .ok_or_else(|| format!("unknown --opt value `{v}` (expected 0, 1, or 2)"))?,
+            );
         } else if a == "--json-diagnostics" {
             json_diagnostics = true;
         } else if a.starts_with("--") {
@@ -443,6 +505,13 @@ fn parse_options(cmd: &str, args: &[String]) -> Result<Options, String> {
             file = Some(a.clone());
         }
     }
+    if no_opt && opt.is_some() {
+        return Err("pass either `--no-opt` or `--opt=N`, not both".to_string());
+    }
+    // One flag story across backends: level 0 disables the P4 IR
+    // clean-up pass; 1 and 2 (the default) enable it. The finer-grained
+    // distinction only exists in the interpreter's bytecode pipeline.
+    let optimize = !no_opt && opt.unwrap_or_default() != OptLevel::O0;
     let file = file.ok_or_else(|| "missing <file.lucid>".to_string())?;
     Ok(Options {
         emit,
@@ -641,6 +710,40 @@ mod tests {
         assert_eq!(o.file, "f.lucid");
         assert!(parse_options("compile", &["--emit=wat".into(), "f".into()]).is_err());
         assert!(parse_options("compile", &[]).is_err());
+    }
+
+    #[test]
+    fn opt_levels_unify_with_no_opt() {
+        // `--opt=0` is `--no-opt`; 1 and 2 leave the backend pass on.
+        let o = parse_options("compile", &["--opt=0".into(), "f".into()]).unwrap();
+        assert!(!o.optimize);
+        for lvl in ["1", "2"] {
+            let o = parse_options("compile", &[format!("--opt={lvl}"), "f".into()]).unwrap();
+            assert!(o.optimize, "--opt={lvl}");
+        }
+        let o = parse_options("compile", &["f".into()]).unwrap();
+        assert!(o.optimize, "default is optimized");
+        // The two spellings conflict rather than silently racing.
+        assert!(parse_options(
+            "compile",
+            &["--no-opt".into(), "--opt=2".into(), "f".into()]
+        )
+        .is_err());
+        assert!(parse_options("compile", &["--opt=3".into(), "f".into()]).is_err());
+        assert!(parse_options("check", &["--opt=1".into(), "f".into()]).is_err());
+
+        // The sim side: same flag, the bytecode pipeline's level.
+        let o = parse_sim_options(&["--opt=1".into(), "p".into(), "s".into()]).unwrap();
+        assert_eq!(o.opt, Some(OptLevel::O1));
+        let o = parse_sim_options(&["--no-opt".into(), "p".into(), "s".into()]).unwrap();
+        assert_eq!(o.opt, Some(OptLevel::O0));
+        let o = parse_sim_options(&["p".into(), "s".into()]).unwrap();
+        assert_eq!(o.opt, None, "no override: the scenario decides");
+        assert!(parse_sim_options(&["--opt=9".into(), "p".into(), "s".into()]).is_err());
+        assert!(
+            parse_sim_options(&["--no-opt".into(), "--opt=2".into(), "p".into(), "s".into()])
+                .is_err()
+        );
     }
 
     #[test]

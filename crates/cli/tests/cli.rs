@@ -380,6 +380,137 @@ fn sim_runtime_fault_json_names_the_offending_event() {
 }
 
 #[test]
+fn opt_flag_unifies_both_backends() {
+    let prog = write_temp("opt-flag.lucid", GOOD);
+    let sc = write_temp("opt-flag.sim.json", SIM_SCENARIO);
+    let path = prog.to_str().unwrap();
+
+    // One flag story: `--opt` works on the P4 side...
+    let out = lucidc(&["compile", "--opt=0", path]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let out = lucidc(&["stages", "--opt=2", path]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    // ...and on the sim side, where every level must agree on state.
+    let mut digests = Vec::new();
+    for opt in ["0", "1", "2"] {
+        let out = lucidc(&[
+            "sim",
+            "--exec=bytecode",
+            &format!("--opt={opt}"),
+            "--json",
+            path,
+            sc.to_str().unwrap(),
+        ]);
+        assert_eq!(out.status.code(), Some(0), "--opt={opt}: {out:?}");
+        let s = String::from_utf8_lossy(&out.stdout);
+        assert!(s.contains(&format!("\"opt\":{opt}")), "{s}");
+        assert!(s.contains("\"ok\":true"), "{s}");
+        let digest = s
+            .split("\"state_digest\":\"")
+            .nth(1)
+            .and_then(|r| r.split('"').next())
+            .expect("digest in report")
+            .to_string();
+        digests.push(digest);
+    }
+    assert!(
+        digests.iter().all(|d| d == &digests[0]),
+        "opt levels disagree on state: {digests:?}"
+    );
+
+    // `--no-opt` is the alias for level 0.
+    let out = lucidc(&[
+        "sim",
+        "--exec=bytecode",
+        "--no-opt",
+        "--json",
+        path,
+        sc.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("\"opt\":0"),
+        "{out:?}"
+    );
+
+    // Conflicts and bad values are usage errors (exit 2), and the
+    // usage text documents the unified flag.
+    for args in [
+        vec!["sim", "--no-opt", "--opt=2", "a", "b"],
+        vec!["compile", "--no-opt", "--opt=1", "x.lucid"],
+        vec!["sim", "--opt=3", "a", "b"],
+        vec!["check", "--opt=1", "x.lucid"],
+    ] {
+        let out = lucidc(&args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}: {out:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("--opt=0|1|2"), "usage text: {stderr}");
+    }
+}
+
+#[test]
+fn dump_bytecode_respects_opt_level() {
+    // A program whose check cannot be elided (array smaller than the
+    // index domain), so the optimized listing must show fused ops.
+    let prog = write_temp(
+        "opt-dump.lucid",
+        r#"
+        global small = new Array<<32>>(3);
+        memop plus(int m, int x) { return m + x; }
+        event pkt(int idx);
+        handle pkt(int idx) { Array.setm(small, idx, plus, 1); }
+        "#,
+    );
+    let path = prog.to_str().unwrap();
+
+    let raw = lucidc(&["sim", "--dump-bytecode", "--opt=0", path]);
+    assert_eq!(raw.status.code(), Some(0), "{raw:?}");
+    let raw = String::from_utf8_lossy(&raw.stdout).to_string();
+    assert!(raw.contains("; opt level 0"), "{raw}");
+    assert!(
+        raw.contains("check small") || raw.contains("check g0"),
+        "{raw}"
+    );
+    assert!(!raw.contains("chk g0"), "{raw}");
+
+    let opt = lucidc(&["sim", "--dump-bytecode", path]);
+    assert_eq!(opt.status.code(), Some(0), "{opt:?}");
+    let opt = String::from_utf8_lossy(&opt.stdout).to_string();
+    assert!(opt.contains("; opt level 2"), "{opt}");
+    assert!(opt.contains("chk g0"), "fused op missing:\n{opt}");
+    assert!(
+        opt.lines().count() <= raw.lines().count(),
+        "optimized listing should not be longer"
+    );
+
+    // Dump-then-run without --opt renders at the *scenario's* level, so
+    // the listing describes the bytecode that actually runs; an explicit
+    // --opt still wins.
+    let sc = write_temp(
+        "opt-dump.sim.json",
+        r#"{"exec": "bytecode", "opt": 1,
+            "events": [{"time_ns": 0, "switch": 1, "event": "pkt", "args": [1]}]}"#,
+    );
+    let out = lucidc(&["sim", "--dump-bytecode", path, sc.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("; opt level 1"), "{s}");
+    assert!(s.contains("(opt 1)"), "report runs the same level: {s}");
+    let out = lucidc(&[
+        "sim",
+        "--dump-bytecode",
+        "--opt=0",
+        path,
+        sc.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("; opt level 0"), "{s}");
+    assert!(s.contains("(opt 0)"), "{s}");
+}
+
+#[test]
 fn sim_generator_flags_drive_the_workload() {
     let prog = write_temp("sim-gen.lucid", GOOD);
     let sc = write_temp(

@@ -60,9 +60,10 @@ pub use lucid_backend::{BackendOptions, Compiled, HandlerIr, Layout, LayoutOptio
 pub use lucid_check::{Analysis, CheckOptions, CheckedProgram};
 pub use lucid_frontend::{Diagnostic, Diagnostics, Program, SourceMap};
 pub use lucid_interp::{
-    disassemble, json_escape, run_scenario, run_scenario_with, ArgDist, Engine, EventSource,
-    ExecMode, FaultAt, GenSpec, Interp, InterpError, InterpFault, Mismatch, NetConfig, Phase,
-    Scenario, ScenarioError, SimOverrides, SimReport, SimRunError, SourcedEvent, Workload,
+    disassemble, disassemble_opt, json_escape, run_scenario, run_scenario_with, ArgDist, Engine,
+    EventSource, ExecMode, FaultAt, GenSpec, Interp, InterpError, InterpFault, Mismatch, NetConfig,
+    OptLevel, Phase, Scenario, ScenarioError, SimOverrides, SimReport, SimRunError, SourcedEvent,
+    Workload,
 };
 pub use lucid_tofino::PipelineSpec;
 
@@ -251,10 +252,18 @@ impl Build {
         run_scenario_with(prog, scenario, overrides).map_err(SimError::from)
     }
 
-    /// Compile this session's checked program to interpreter bytecode and
-    /// render the listing (`lucidc sim --dump-bytecode`).
+    /// Compile this session's checked program to interpreter bytecode at
+    /// the default optimization level and render the listing
+    /// (`lucidc sim --dump-bytecode`).
     pub fn disassemble(&mut self) -> Result<String, Diagnostics> {
-        self.checked().map(lucid_interp::disassemble)
+        self.disassemble_opt(OptLevel::default())
+    }
+
+    /// [`Build::disassemble`] at an explicit optimization level
+    /// (`lucidc sim --opt=N --dump-bytecode`).
+    pub fn disassemble_opt(&mut self, level: OptLevel) -> Result<String, Diagnostics> {
+        self.checked()
+            .map(|p| lucid_interp::disassemble_opt(p, level))
     }
 
     /// Swap in a different configuration, keeping every cache the new

@@ -36,7 +36,7 @@ pub mod scenario;
 pub mod value;
 pub mod workload;
 
-pub use bytecode::{disassemble, CompiledProg, ExecMode};
+pub use bytecode::{disassemble, disassemble_opt, CompiledProg, ExecMode, OptLevel};
 pub use machine::{
     Engine, FaultAt, Handled, Interp, InterpError, InterpFault, NetConfig, Stats, SwitchState,
 };

@@ -34,7 +34,7 @@
 //! The *reported* error is still deterministic (the fault with the
 //! smallest event key wins).
 
-use crate::bytecode::{CompiledProg, ExecMode};
+use crate::bytecode::{CompiledProg, ExecMode, OptLevel};
 use crate::value::{lucid_hash, EventVal, Location, Value};
 use crate::workload::EventSource;
 use lucid_check::{eval_memop, mask, CheckedProgram, GlobalId};
@@ -106,6 +106,10 @@ pub struct NetConfig {
     pub engine: Engine,
     /// Which executor runs handler bodies (orthogonal to `engine`).
     pub exec: ExecMode,
+    /// How hard the bytecode pipeline optimizes (ignored by the AST
+    /// walker). Every level is bit-identical; the default is the full
+    /// pipeline.
+    pub opt: OptLevel,
 }
 
 impl Default for NetConfig {
@@ -116,6 +120,7 @@ impl Default for NetConfig {
             recirc_latency_ns: 600,
             engine: Engine::Sequential,
             exec: ExecMode::Ast,
+            opt: OptLevel::default(),
         }
     }
 }
@@ -421,6 +426,10 @@ pub(crate) struct Shard {
     pub(crate) bc_regs: Vec<crate::bytecode::Rv>,
     pub(crate) bc_objs: Vec<crate::bytecode::Obj>,
     pub(crate) bc_hash: Vec<u64>,
+    /// Per-event-id dispatch counts; folded into the name-keyed
+    /// [`Stats::per_event`] once per run (keeps the dispatch hot path
+    /// free of string allocation and hashing).
+    per_event_ids: Vec<u64>,
 }
 
 impl Shard {
@@ -439,6 +448,7 @@ impl Shard {
             bc_regs: Vec::new(),
             bc_objs: Vec::new(),
             bc_hash: Vec::new(),
+            per_event_ids: vec![0; prog.info.events.len()],
         }
     }
 
@@ -481,7 +491,7 @@ impl<'p> Exec<'p> {
     /// reports.
     fn note_exported(&self, shard: &mut Shard, name: String, sched: Scheduled) {
         shard.stats.exported += 1;
-        *shard.stats.per_event.entry(name.clone()).or_insert(0) += 1;
+        shard.per_event_ids[sched.event_id] += 1;
         shard.trace.push((
             sched.key,
             Handled {
@@ -493,16 +503,20 @@ impl<'p> Exec<'p> {
         ));
     }
 
-    fn note_handled(&self, shard: &mut Shard, name: &str, sched: &Scheduled) {
+    /// Record a handled event's trace entry. Called *after* the handler
+    /// body ran (faulted or not) so the schedule entry's args move into
+    /// the trace instead of being cloned — observably identical: the
+    /// entry lands before the next event dispatches, faulting events
+    /// included, and printf output lives in its own keyed buffer.
+    fn note_handled(&self, shard: &mut Shard, name: &str, key: Key, switch: u64, args: Vec<u64>) {
         shard.stats.handled += 1;
-        *shard.stats.per_event.entry(name.to_string()).or_insert(0) += 1;
         shard.trace.push((
-            sched.key,
+            key,
             Handled {
-                time_ns: sched.key.time_ns,
-                switch: sched.switch,
+                time_ns: key.time_ns,
+                switch,
                 event: name.to_string(),
-                args: sched.args.clone(),
+                args,
             },
         ));
     }
@@ -510,8 +524,9 @@ impl<'p> Exec<'p> {
     /// Run one event on its shard. The caller has already popped it from
     /// the shard queue and advanced the shard clock.
     fn dispatch(&self, shard: &mut Shard, sched: Scheduled) -> Result<(), InterpError> {
-        let ev = &self.prog.info.events[sched.event_id];
-        let name = ev.name.clone();
+        // Borrow the event name from the program — the hot path never
+        // clones it (only trace records and fault payloads allocate).
+        let name = &self.prog.info.events[sched.event_id].name;
         if !shard.alive {
             shard.stats.dropped += 1;
             return Ok(());
@@ -521,24 +536,27 @@ impl<'p> Exec<'p> {
         if let Some(cp) = self.compiled.as_deref() {
             return match cp.handler(sched.event_id) {
                 Some(h) => {
-                    self.note_handled(shard, &name, &sched);
+                    shard.per_event_ids[sched.event_id] += 1;
                     let (key, switch) = (sched.key, sched.switch);
-                    cp.run_handler(h, self, shard, switch, key, &sched.args)
-                        .map_err(|e| e.located(key.fault_at(switch, &name)))
+                    let res = cp
+                        .run_handler(h, self, shard, switch, key, &sched.args)
+                        .map_err(|e| e.located(key.fault_at(switch, name)));
+                    self.note_handled(shard, name, key, switch, sched.args);
+                    res
                 }
                 None => {
-                    self.note_exported(shard, name, sched);
+                    self.note_exported(shard, name.clone(), sched);
                     Ok(())
                 }
             };
         }
 
-        let Some((params, body)) = self.prog.handler_body(&name) else {
-            self.note_exported(shard, name, sched);
+        let Some((params, body)) = self.prog.handler_body(name) else {
+            self.note_exported(shard, name.clone(), sched);
             return Ok(());
         };
 
-        self.note_handled(shard, &name, &sched);
+        shard.per_event_ids[sched.event_id] += 1;
         let mut env: HashMap<String, Value> = HashMap::new();
         for (p, a) in params.iter().zip(&sched.args) {
             env.insert(p.name.name.clone(), value_of(p.ty, *a));
@@ -550,8 +568,11 @@ impl<'p> Exec<'p> {
             array_params: Vec::new(),
         };
         let body = body.clone();
-        self.exec_block(shard, &body, &mut cx)
-            .map_err(|e| e.located(sched.key.fault_at(sched.switch, &name)))?;
+        let res = self
+            .exec_block(shard, &body, &mut cx)
+            .map_err(|e| e.located(sched.key.fault_at(sched.switch, name)));
+        self.note_handled(shard, name, sched.key, sched.switch, sched.args);
+        res?;
         Ok(())
     }
 
@@ -646,54 +667,60 @@ impl<'p> Exec<'p> {
     /// Local targets go straight onto the shard's queue (a recirculation
     /// can land within the current epoch); every other target goes to the
     /// outbox for the driver to route.
-    pub(crate) fn emit(&self, shard: &mut Shard, ev: EventVal) {
+    pub(crate) fn emit(&self, shard: &mut Shard, mut ev: EventVal) {
         let from = shard.switch;
-        let targets: Vec<(u64, u64)> = match &ev.location {
-            Location::Here => vec![(from, self.recirc_ns)],
-            Location::Switch(s) => {
-                let lat = if *s == from {
-                    self.recirc_ns
-                } else {
-                    self.link_ns
-                };
-                vec![(*s, lat)]
-            }
-            Location::Group(members) => members
-                .iter()
-                .map(|&m| {
-                    let lat = if m == from {
-                        self.recirc_ns
-                    } else {
-                        self.link_ns
-                    };
-                    (m, lat)
-                })
-                .collect(),
-        };
-        for (target, lat) in targets {
-            shard.emit_seq += 1;
-            let sched = Scheduled {
-                key: Key {
-                    time_ns: shard.now_ns + lat + ev.delay_ns,
-                    class: 1,
-                    origin: from,
-                    seq: shard.emit_seq,
-                },
-                switch: target,
-                event_id: ev.event_id,
-                args: ev.args.clone(),
-            };
+        let lat_to = |target: u64| {
             if target == from {
-                shard.stats.recirculated += 1;
-                if self.local_to_queue {
-                    shard.queue.push(Reverse(sched));
-                } else {
-                    shard.outbox.push(sched);
-                }
+                self.recirc_ns
             } else {
-                shard.stats.sent_remote += 1;
+                self.link_ns
+            }
+        };
+        // Unicast (the overwhelmingly common case) moves the event's
+        // args straight into the schedule entry: no clone, no target
+        // vector. Multicast clones once per member.
+        match std::mem::replace(&mut ev.location, Location::Here) {
+            Location::Here => {
+                let args = std::mem::take(&mut ev.args);
+                self.emit_one(shard, from, self.recirc_ns, &ev, args);
+            }
+            Location::Switch(s) => {
+                let args = std::mem::take(&mut ev.args);
+                self.emit_one(shard, s, lat_to(s), &ev, args);
+            }
+            Location::Group(members) => {
+                for &m in &members {
+                    self.emit_one(shard, m, lat_to(m), &ev, ev.args.clone());
+                }
+            }
+        }
+    }
+
+    /// Schedule one copy of a generated event at one target.
+    fn emit_one(&self, shard: &mut Shard, target: u64, lat: u64, ev: &EventVal, args: Vec<u64>) {
+        let from = shard.switch;
+        shard.emit_seq += 1;
+        let sched = Scheduled {
+            key: Key {
+                time_ns: shard.now_ns + lat + ev.delay_ns,
+                class: 1,
+                origin: from,
+                seq: shard.emit_seq,
+            },
+            switch: target,
+            event_id: ev.event_id,
+            args,
+        };
+        if target == from {
+            shard.stats.recirculated += 1;
+            if self.local_to_queue {
+                shard.queue.push(Reverse(sched));
+            } else {
                 shard.outbox.push(sched);
             }
+        } else {
+            shard.stats.sent_remote += 1;
+            shard.outbox.push(sched);
         }
     }
 
@@ -781,7 +808,7 @@ impl<'p> Exec<'p> {
                         .iter()
                         .map(|p| p.ty.int_width().unwrap_or(32))
                         .collect();
-                    let name = ev.name.clone();
+                    let name: std::sync::Arc<str> = ev.name.as_str().into();
                     let mut vals = Vec::with_capacity(args.len());
                     for (a, w) in args.iter().zip(widths) {
                         vals.push(mask(self.eval(shard, a, cx)?.as_int().expect("checked"), w));
@@ -1069,10 +1096,20 @@ impl<'p> Interp<'p> {
 
     /// Compile the program once if the bytecode executor is selected.
     /// `config` is public, so re-check on every run: flipping
-    /// [`NetConfig::exec`] between runs is supported.
+    /// [`NetConfig::exec`] (or [`NetConfig::opt`]) between runs is
+    /// supported — a cached artifact compiled at a different level is
+    /// recompiled.
     fn ensure_compiled(&mut self) {
-        if self.config.exec == ExecMode::Bytecode && self.compiled.is_none() {
-            self.compiled = Some(Arc::new(CompiledProg::compile(self.prog)));
+        if self.config.exec == ExecMode::Bytecode
+            && self
+                .compiled
+                .as_ref()
+                .is_none_or(|cp| cp.opt_level() != self.config.opt)
+        {
+            self.compiled = Some(Arc::new(CompiledProg::compile_opt(
+                self.prog,
+                self.config.opt,
+            )));
         }
     }
 
@@ -1283,10 +1320,34 @@ impl<'p> Interp<'p> {
     /// Dispatches to the driver named by [`NetConfig::engine`].
     pub fn run(&mut self, max_events: u64, max_time_ns: u64) -> Result<(), InterpError> {
         self.ensure_compiled();
-        match self.config.engine {
+        let res = match self.config.engine {
             Engine::Sequential => self.run_sequential(max_events, max_time_ns),
             Engine::Sharded { workers, epoch_ns } => {
                 self.run_sharded(max_events, max_time_ns, workers, epoch_ns)
+            }
+        };
+        // Per-event counts accumulate as plain id-indexed counters on
+        // the shards (the dispatch path never touches a hash map); they
+        // materialize into `Stats::per_event` once per run — faulted
+        // runs included, since tests compare those stats too.
+        self.fold_per_event_counts();
+        res
+    }
+
+    /// Fold every shard's id-indexed per-event counters into the
+    /// name-keyed [`Stats::per_event`] map, zeroing the counters (safe
+    /// to call any number of times).
+    fn fold_per_event_counts(&mut self) {
+        for shard in self.shards.values_mut() {
+            for (id, n) in shard.per_event_ids.iter_mut().enumerate() {
+                if *n > 0 {
+                    *self
+                        .stats
+                        .per_event
+                        .entry(self.prog.info.events[id].name.clone())
+                        .or_insert(0) += *n;
+                    *n = 0;
+                }
             }
         }
     }

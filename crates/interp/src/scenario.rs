@@ -21,7 +21,7 @@
 //! returns a [`SimReport`] whose [`Mismatch`] list is empty exactly when
 //! every expectation held.
 
-use crate::bytecode::ExecMode;
+use crate::bytecode::{ExecMode, OptLevel};
 use crate::machine::{Engine, Interp, InterpError, NetConfig, Stats};
 use crate::workload::{ArgDist, GenSpec, Phase, Workload};
 use lucid_check::{mask, CheckedProgram};
@@ -202,6 +202,9 @@ pub struct Scenario {
     pub recirc_latency_ns: u64,
     pub engine: Engine,
     pub exec: ExecMode,
+    /// Bytecode optimization level (`"opt"`; default 2, the full
+    /// pipeline). `lucidc sim --opt` overrides it.
+    pub opt: OptLevel,
     pub max_events: u64,
     pub max_time_ns: u64,
     /// Base seed mixed into every generator's stream (`lucidc sim
@@ -216,13 +219,14 @@ pub struct Scenario {
 }
 
 impl Scenario {
-    /// The [`NetConfig`] this scenario describes, with optional engine
-    /// and executor overrides (e.g. from `lucidc sim --engine=...`
-    /// / `--exec=...`).
+    /// The [`NetConfig`] this scenario describes, with optional engine,
+    /// executor, and opt-level overrides (e.g. from `lucidc sim
+    /// --engine=...` / `--exec=...` / `--opt=...`).
     pub fn net_config(
         &self,
         engine_override: Option<Engine>,
         exec_override: Option<ExecMode>,
+        opt_override: Option<OptLevel>,
     ) -> NetConfig {
         NetConfig {
             switches: self.switches.clone(),
@@ -230,6 +234,7 @@ impl Scenario {
             recirc_latency_ns: self.recirc_latency_ns,
             engine: engine_override.unwrap_or(self.engine),
             exec: exec_override.unwrap_or(self.exec),
+            opt: opt_override.unwrap_or(self.opt),
         }
     }
 
@@ -246,6 +251,7 @@ impl Scenario {
                 "net",
                 "engine",
                 "exec",
+                "opt",
                 "limits",
                 "seed",
                 "init",
@@ -378,6 +384,27 @@ impl Scenario {
                 return Err(ScenarioError::schema(
                     "$.exec",
                     "expected an exec-mode name (`ast` or `bytecode`)",
+                ))
+            }
+        };
+
+        let opt = match get(fields, "opt") {
+            None => OptLevel::default(),
+            Some(j @ json::Json::Num(_)) => match u64_of(j, "$.opt")? {
+                0 => OptLevel::O0,
+                1 => OptLevel::O1,
+                2 => OptLevel::O2,
+                n => {
+                    return Err(ScenarioError::schema(
+                        "$.opt",
+                        format!("unknown opt level `{n}` (expected 0, 1, or 2)"),
+                    ))
+                }
+            },
+            Some(_) => {
+                return Err(ScenarioError::schema(
+                    "$.opt",
+                    "expected an optimization level (0, 1, or 2)",
                 ))
             }
         };
@@ -554,6 +581,7 @@ impl Scenario {
             recirc_latency_ns,
             engine,
             exec,
+            opt,
             max_events,
             max_time_ns,
             seed,
@@ -833,6 +861,9 @@ pub struct SimReport {
     pub engine: &'static str,
     /// Which executor ran handler bodies (`ast` or `bytecode`).
     pub exec: &'static str,
+    /// The bytecode optimization level the run used (`"0"`/`"1"`/`"2"`;
+    /// reported even under the AST walker, which ignores it).
+    pub opt: &'static str,
     pub switches: usize,
     pub stats: Stats,
     /// Final virtual clock, nanoseconds.
@@ -867,7 +898,7 @@ impl SimReport {
             .map(|(name, n)| format!("{{\"name\":\"{}\",\"injected\":{n}}}", json_escape(name)))
             .collect();
         format!(
-            "{{\"scenario\":\"{}\",\"engine\":\"{}\",\"exec\":\"{}\",\"switches\":{},\
+            "{{\"scenario\":\"{}\",\"engine\":\"{}\",\"exec\":\"{}\",\"opt\":{},\"switches\":{},\
              \"events_processed\":{},\"events_handled\":{},\"recirculated\":{},\
              \"sent_remote\":{},\"exported\":{},\"dropped\":{},\
              \"sim_ns\":{},\"wall_ms\":{:.3},\"events_per_sec\":{:.0},\
@@ -875,6 +906,7 @@ impl SimReport {
             json_escape(&self.scenario),
             self.engine,
             self.exec,
+            self.opt,
             self.switches,
             self.stats.processed,
             self.stats.handled,
@@ -895,7 +927,7 @@ impl SimReport {
     /// Human-readable summary (the default `lucidc sim` output).
     pub fn render(&self) -> String {
         let mut out = format!(
-            "scenario `{}`: {} switches, {} engine, {} exec\n\
+            "scenario `{}`: {} switches, {} engine, {} exec (opt {})\n\
              events: {} processed ({} handled, {} recirculated, {} remote, \
              {} exported, {} dropped)\n\
              time:   {} sim-ns in {:.3} wall-ms ({:.0} events/sec)\n",
@@ -903,6 +935,7 @@ impl SimReport {
             self.switches,
             self.engine,
             self.exec,
+            self.opt,
             self.stats.processed,
             self.stats.handled,
             self.stats.recirculated,
@@ -936,11 +969,15 @@ impl SimReport {
 // ----------------------------------------------------------------- runner
 
 /// Run-time knobs layered over a scenario's own choices (`lucidc sim
-/// --engine/--exec/--seed/--events`). [`Default`] overrides nothing.
+/// --engine/--exec/--opt/--seed/--events`). [`Default`] overrides
+/// nothing.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SimOverrides {
     pub engine: Option<Engine>,
     pub exec: Option<ExecMode>,
+    /// Replaces the scenario's bytecode optimization level (`--opt`;
+    /// a no-op under the AST walker).
+    pub opt: Option<OptLevel>,
     /// Replaces the scenario's top-level `seed` (reshuffles every
     /// generator stream).
     pub seed: Option<u64>,
@@ -987,9 +1024,10 @@ pub fn run_scenario_with(
     ov: &SimOverrides,
 ) -> Result<SimReport, SimRunError> {
     sc.validate(prog)?;
-    let cfg = sc.net_config(ov.engine, ov.exec);
+    let cfg = sc.net_config(ov.engine, ov.exec, ov.opt);
     let engine = cfg.engine.label();
     let exec = cfg.exec.label();
+    let opt = cfg.opt.label();
     let t0 = Instant::now();
     let mut sim = Interp::new(prog, cfg);
 
@@ -1099,6 +1137,7 @@ pub fn run_scenario_with(
         scenario: sc.name.clone(),
         engine,
         exec,
+        opt,
         switches: sc.switches.len(),
         sim_ns: sim.now_ns,
         wall_ms: wall * 1e3,
@@ -2061,6 +2100,47 @@ mod tests {
             matches!(&err, ScenarioError::Schema { path, .. } if path == "$.exec"),
             "{err:?}"
         );
+    }
+
+    #[test]
+    fn opt_field_and_override_select_the_level() {
+        // Unspecified: the full pipeline.
+        let sc = Scenario::from_json(r#"{"name": "d"}"#).unwrap();
+        assert_eq!(sc.opt, OptLevel::O2);
+        // Authored level flows into the config and the report.
+        let sc = Scenario::from_json(
+            r#"{"name": "o1", "exec": "bytecode", "opt": 1,
+                "events": [{"time_ns": 0, "switch": 1, "event": "pkt", "args": [3]}]}"#,
+        )
+        .unwrap();
+        assert_eq!(sc.opt, OptLevel::O1);
+        assert_eq!(sc.net_config(None, None, None).opt, OptLevel::O1);
+        let report = run_scenario(&prog(), &sc, None, None).unwrap();
+        assert_eq!(report.opt, "1");
+        assert!(
+            report.to_json().contains("\"opt\":1"),
+            "{}",
+            report.to_json()
+        );
+        // The CLI override wins.
+        let report = run_scenario_with(
+            &prog(),
+            &sc,
+            &SimOverrides {
+                opt: Some(OptLevel::O0),
+                ..SimOverrides::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.opt, "0");
+        // Out-of-range and non-numeric levels are schema errors at $.opt.
+        for bad in [r#"{"opt": 3}"#, r#"{"opt": "two"}"#] {
+            let err = Scenario::from_json(bad).unwrap_err();
+            assert!(
+                matches!(&err, ScenarioError::Schema { path, .. } if path == "$.opt"),
+                "{err:?}"
+            );
+        }
     }
 
     #[test]

@@ -19,7 +19,10 @@ pub enum Location {
 pub struct EventVal {
     /// Index into [`ProgramInfo::events`](lucid_check::ProgramInfo).
     pub event_id: usize,
-    pub name: String,
+    /// Shared, not owned: event values are constructed on the hot path,
+    /// and an `Arc<str>` clone is a refcount bump instead of a heap
+    /// allocation per `generate`.
+    pub name: std::sync::Arc<str>,
     /// Carried data, already masked to each parameter's width.
     pub args: Vec<u64>,
     /// Extra delay accumulated from `Event.delay`, in nanoseconds.

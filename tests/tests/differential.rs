@@ -1,15 +1,18 @@
-//! Differential property testing of the interpreter's two executors:
+//! Differential property testing of the interpreter's executors:
 //! random event schedules, initial array states, and topologies for the
-//! bundled Figure-9 applications, asserting AST-walker == bytecode ==
-//! sharded-bytecode on everything observable — final array state,
-//! statistics, trace, and printf output — and on runtime faults.
+//! bundled Figure-9 applications, asserting AST-walker == unoptimized
+//! bytecode == optimized bytecode == sharded-bytecode on everything
+//! observable — final array state, statistics, trace, and printf output
+//! — and on runtime faults. Sweeping the bytecode executor at both
+//! `--opt=0` and `--opt=2` means an optimizer miscompile cannot hide
+//! behind an equally-wrong lowering (and vice versa).
 //!
 //! The case count defaults low so `cargo test` stays quick; CI's
 //! fuzz-smoke step raises it with `LUCID_FUZZ_CASES=64`. The vendored
 //! proptest shim always starts from one fixed seed, so failures
 //! reproduce run-to-run.
 
-use lucid_core::{CheckedProgram, Engine, ExecMode, Interp, InterpError, NetConfig};
+use lucid_core::{CheckedProgram, Engine, ExecMode, Interp, InterpError, NetConfig, OptLevel};
 use proptest::prelude::*;
 use std::sync::OnceLock;
 
@@ -58,11 +61,12 @@ type Outcome = Result<
     InterpError,
 >;
 
-fn run(w: &Workload, engine: Engine, exec: ExecMode) -> Outcome {
+fn run(w: &Workload, engine: Engine, exec: ExecMode, opt: OptLevel) -> Outcome {
     let (_, prog) = &apps()[w.app];
     let mut cfg = NetConfig::mesh(w.switches);
     cfg.engine = engine;
     cfg.exec = exec;
+    cfg.opt = opt;
     let mut sim = Interp::new(prog, cfg);
     for (sw, arr, idx, val) in &w.pokes {
         let g = &prog.info.globals[(*arr as usize) % prog.info.globals.len()];
@@ -127,18 +131,22 @@ proptest! {
                 .map(|(sw, t, ev, (a, b, c, d))| (sw, t, ev, [a, b, c, d]))
                 .collect(),
         };
-        let reference = run(&w, Engine::Sequential, ExecMode::Ast);
-        let bytecode = run(&w, Engine::Sequential, ExecMode::Bytecode);
+        let reference = run(&w, Engine::Sequential, ExecMode::Ast, OptLevel::O2);
         // Sequential runs must agree on *everything*, faults included:
         // same fault kind, same offending event key, same state left
-        // behind by the writes that preceded the fault.
-        prop_assert_eq!(&reference, &bytecode);
+        // behind by the writes that preceded the fault — at the raw
+        // lowering AND under the full optimizer pipeline.
+        for opt in [OptLevel::O0, OptLevel::O2] {
+            let bytecode = run(&w, Engine::Sequential, ExecMode::Bytecode, opt);
+            prop_assert_eq!(&reference, &bytecode);
+        }
 
         if reference.is_ok() {
             let sharded = run(
                 &w,
                 Engine::Sharded { workers: w.workers, epoch_ns: 0 },
                 ExecMode::Bytecode,
+                OptLevel::O2,
             );
             prop_assert_eq!(&reference, &sharded);
         }
@@ -146,8 +154,9 @@ proptest! {
 }
 
 /// A deterministic (non-random) sweep: one representative schedule per
-/// app through the full engine x exec matrix. This keeps every app on
-/// the differential path even when the property above samples few cases.
+/// app through the full engine x exec x opt matrix. This keeps every
+/// app on the differential path even when the property above samples
+/// few cases.
 #[test]
 fn every_app_runs_identically_across_the_matrix() {
     for (i, (key, _)) in apps().iter().enumerate() {
@@ -161,7 +170,7 @@ fn every_app_runs_identically_across_the_matrix() {
             pokes: vec![(0, 0, 0, 5)],
             events,
         };
-        let reference = run(&w, Engine::Sequential, ExecMode::Ast);
+        let reference = run(&w, Engine::Sequential, ExecMode::Ast, OptLevel::O2);
         for (engine, elabel) in [
             (Engine::Sequential, "sequential"),
             (
@@ -172,18 +181,25 @@ fn every_app_runs_identically_across_the_matrix() {
                 "sharded",
             ),
         ] {
-            for exec in [ExecMode::Ast, ExecMode::Bytecode] {
+            let combos = [
+                (ExecMode::Ast, OptLevel::O2),
+                (ExecMode::Bytecode, OptLevel::O0),
+                (ExecMode::Bytecode, OptLevel::O1),
+                (ExecMode::Bytecode, OptLevel::O2),
+            ];
+            for (exec, opt) in combos {
                 if reference.is_err() && elabel == "sharded" {
                     // Error runs differ in sharded bookkeeping only; the
                     // sequential comparison above still pins them.
                     continue;
                 }
-                let got = run(&w, engine, exec);
+                let got = run(&w, engine, exec, opt);
                 assert_eq!(
                     reference,
                     got,
-                    "{key}: {elabel}/{} diverges from the reference",
-                    exec.label()
+                    "{key}: {elabel}/{}/O{} diverges from the reference",
+                    exec.label(),
+                    opt.label()
                 );
             }
         }
@@ -196,9 +212,10 @@ fn every_app_runs_identically_across_the_matrix() {
 
 /// Regression for shift-overflow semantics: `x << n` / `x >> n` keep
 /// `x`'s width and a count at or past that width yields 0 — identically
-/// in the AST walker and the bytecode executor, for every operand width
-/// and every count up to well past 64 (where `wrapping_shl` would have
-/// wrapped the count instead).
+/// in the AST walker and the bytecode executor at every optimization
+/// level (const-operand fusion must not change shift-width rules), for
+/// every operand width and every count up to well past 64 (where
+/// `wrapping_shl` would have wrapped the count instead).
 #[test]
 fn shift_counts_past_the_width_agree_across_executors() {
     let src = r#"
@@ -225,9 +242,12 @@ fn shift_counts_past_the_width_agree_across_executors() {
     let prog = lucid_core::check::parse_and_check(src).expect("program checks");
     let vals: [u64; 4] = [0xAB, 0xBEEF, 0xDEAD_BEEF, 0xDEAD_BEEF_CAFE_F00D];
     let mut observed = Vec::new();
-    for exec in [ExecMode::Ast, ExecMode::Bytecode] {
+    let mut combos = vec![(ExecMode::Ast, OptLevel::O2)];
+    combos.extend([OptLevel::O0, OptLevel::O1, OptLevel::O2].map(|l| (ExecMode::Bytecode, l)));
+    for (exec, opt) in combos {
         let mut cfg = NetConfig::single();
         cfg.exec = exec;
+        cfg.opt = opt;
         let mut sim = Interp::new(&prog, cfg);
         for n in 0..80u64 {
             sim.schedule(1, n * 100, "go", &[vals[0], vals[1], vals[2], vals[3], n])
@@ -242,7 +262,9 @@ fn shift_counts_past_the_width_agree_across_executors() {
         .collect();
         observed.push(arrays);
     }
-    assert_eq!(observed[0], observed[1], "executors disagree on shifts");
+    for o in &observed[1..] {
+        assert_eq!(&observed[0], o, "executors disagree on shifts");
+    }
 
     // Pin the semantics themselves, not just executor agreement.
     let mask = |w: u32| if w >= 64 { u64::MAX } else { (1u64 << w) - 1 };

@@ -1,15 +1,28 @@
 //! Golden-file tests for the bytecode disassembler: the
 //! `lucidc sim --dump-bytecode` listing of every bundled Figure-9 app is
-//! pinned under `tests/golden/<key>.bc.txt`. A diff means the compiler's
-//! lowering (or the listing format) changed — regenerate deliberately
-//! with `UPDATE_GOLDEN=1 cargo test -p lucid-tests --test golden_bytecode`
+//! pinned **per optimization level** under
+//! `tests/golden/<key>.o<level>.bc.txt` — o0 is the raw lowering, o1 the
+//! peephole/superinstruction pass, o2 adds register allocation. A diff
+//! means the compiler's lowering, an optimizer pass, or the listing
+//! format changed — regenerate deliberately with
+//! `UPDATE_GOLDEN=1 cargo test -p lucid-tests --test golden_bytecode`
 //! and review the diff like any other code change.
+//!
+//! `GOLDEN_DIR=<dir>` redirects reads/writes (the `ci.sh` golden-drift
+//! guard regenerates into a temp dir and diffs against the checked-in
+//! tree, so stale goldens fail fast with a readable diff).
 
+use lucid_core::OptLevel;
 use std::path::PathBuf;
 
 fn golden_dir() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("golden")
+    match std::env::var_os("GOLDEN_DIR") {
+        Some(dir) => PathBuf::from(dir),
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("golden"),
+    }
 }
+
+const LEVELS: [OptLevel; 3] = [OptLevel::O0, OptLevel::O1, OptLevel::O2];
 
 #[test]
 fn bundled_app_bytecode_matches_golden_files() {
@@ -20,41 +33,86 @@ fn bundled_app_bytecode_matches_golden_files() {
     }
     let mut checked = 0;
     for app in lucid_apps::all() {
-        let listing = lucid_interp::disassemble(&app.checked());
-        let path = dir.join(format!("{}.bc.txt", app.key));
-        if update {
-            std::fs::write(&path, &listing).expect("write golden");
-            checked += 1;
-            continue;
-        }
-        let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-            panic!(
-                "{}: missing golden file {} ({e}); regenerate with UPDATE_GOLDEN=1",
+        let prog = app.checked();
+        for level in LEVELS {
+            let listing = lucid_interp::disassemble_opt(&prog, level);
+            let path = dir.join(format!("{}.o{}.bc.txt", app.key, level.label()));
+            if update {
+                std::fs::write(&path, &listing).expect("write golden");
+                checked += 1;
+                continue;
+            }
+            let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                panic!(
+                    "{}: missing golden file {} ({e}); regenerate with UPDATE_GOLDEN=1",
+                    app.key,
+                    path.display()
+                )
+            });
+            assert_eq!(
+                listing,
+                want,
+                "{} at O{}: bytecode listing drifted from {}; if intended, regenerate \
+                 with UPDATE_GOLDEN=1 and review the diff",
                 app.key,
+                level.label(),
                 path.display()
-            )
-        });
-        assert_eq!(
-            listing,
-            want,
-            "{}: bytecode listing drifted from {}; if intended, regenerate \
-             with UPDATE_GOLDEN=1 and review the diff",
-            app.key,
-            path.display()
-        );
-        checked += 1;
+            );
+            checked += 1;
+        }
     }
-    assert_eq!(checked, 10, "all ten Figure-9 apps must have goldens");
+    assert_eq!(
+        checked, 30,
+        "all ten Figure-9 apps must have goldens at all three opt levels"
+    );
 }
 
 /// The listing is deterministic across compilations (pool numbering,
 /// register allocation, and instruction order never depend on hash-map
-/// iteration).
+/// iteration) — at every optimization level.
 #[test]
 fn disassembly_is_deterministic() {
     for app in lucid_apps::all().into_iter().take(3) {
-        let a = lucid_interp::disassemble(&app.checked());
-        let b = lucid_interp::disassemble(&app.checked());
-        assert_eq!(a, b, "{}", app.key);
+        let prog = app.checked();
+        for level in LEVELS {
+            let a = lucid_interp::disassemble_opt(&prog, level);
+            let b = lucid_interp::disassemble_opt(&prog, level);
+            assert_eq!(a, b, "{} at O{}", app.key, level.label());
+        }
     }
+}
+
+/// Optimization monotonically helps on the bundled apps: O1 never emits
+/// more instructions than O0, O2 never more than O1 and never a larger
+/// register frame — and across the whole app suite both passes must
+/// actually fire somewhere.
+#[test]
+fn optimizer_improves_the_bundled_apps() {
+    let (mut o1_shrank, mut o2_shrank_regs) = (false, false);
+    for app in lucid_apps::all() {
+        let prog = app.checked();
+        let sizes: Vec<(usize, usize)> = LEVELS
+            .iter()
+            .map(|&l| {
+                let cp = lucid_interp::CompiledProg::compile_opt(&prog, l);
+                let instrs: usize = cp.handlers().map(|h| h.instrs().len()).sum();
+                let regs: usize = cp.handlers().map(|h| h.nregs()).sum();
+                (instrs, regs)
+            })
+            .collect();
+        let [(i0, _), (i1, r1), (i2, r2)] = sizes[..] else {
+            unreachable!()
+        };
+        assert!(i1 <= i0, "{}: peephole grew the code {i0} -> {i1}", app.key);
+        assert!(i2 <= i1, "{}: regalloc grew the code {i1} -> {i2}", app.key);
+        assert!(
+            r2 <= r1,
+            "{}: regalloc grew the register frames {r1} -> {r2}",
+            app.key
+        );
+        o1_shrank |= i1 < i0;
+        o2_shrank_regs |= r2 < r1;
+    }
+    assert!(o1_shrank, "peephole fired on no app at all");
+    assert!(o2_shrank_regs, "regalloc shrank no frame on any app");
 }

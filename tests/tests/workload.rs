@@ -205,6 +205,7 @@ fn scenario_of(switches: u64, seed: u64, gens: Vec<GenSpec>) -> Scenario {
         recirc_latency_ns: 600,
         engine: Engine::Sequential,
         exec: ExecMode::Ast,
+        opt: Default::default(),
         max_events: 1_000_000,
         max_time_ns: u64::MAX,
         seed,
