@@ -7,6 +7,8 @@
 //! (Figures 9, 15) and the `sfw` module hosts the Figure 17 installation-
 //! time benchmark.
 
+#![forbid(unsafe_code)]
+
 pub mod rerouter;
 pub mod sfw;
 

@@ -108,8 +108,8 @@ pub fn install_benchmark(trials: usize, load_factor: f64, seed: u64) -> InstallB
         if failed {
             failures += 1;
         }
-        times.push(first_step.map(|ts| (ts - t0) as f64).unwrap_or(0.0));
-        settle.push(last_step.map(|ts| (ts - t0) as f64).unwrap_or(0.0));
+        times.push(first_step.map_or(0.0, |ts| (ts - t0) as f64));
+        settle.push(last_step.map_or(0.0, |ts| (ts - t0) as f64));
     }
     let inline = times.iter().filter(|&&x| x == 0.0).count();
     InstallBench {

@@ -77,7 +77,7 @@ fn stmt_depth(s: &Stmt) -> usize {
             then_blk, else_blk, ..
         } => {
             let t = control_graph_depth(then_blk);
-            let e = else_blk.as_ref().map(control_graph_depth).unwrap_or(0);
+            let e = else_blk.as_ref().map_or(0, control_graph_depth);
             1 + t.max(e)
         }
         // `printf` is interpreter-only; it occupies no table.
@@ -120,7 +120,7 @@ fn normalize_stmts(stmts: Vec<Stmt>, ret_var: Option<&str>) -> Vec<Stmt> {
                 else_blk,
             } => {
                 let then_returns = may_return(&then_blk);
-                let else_returns = else_blk.as_ref().map(may_return).unwrap_or(false);
+                let else_returns = else_blk.as_ref().is_some_and(may_return);
                 if (then_returns || else_returns) && !stmts.is_empty() {
                     let rest: Vec<Stmt> = stmts.drain(..).collect();
                     // Push the continuation into each branch; branches that
@@ -174,7 +174,7 @@ fn may_return(b: &Block) -> bool {
         StmtKind::Return(_) => true,
         StmtKind::If {
             then_blk, else_blk, ..
-        } => may_return(then_blk) || else_blk.as_ref().map(may_return).unwrap_or(false),
+        } => may_return(then_blk) || else_blk.as_ref().is_some_and(may_return),
         _ => false,
     })
 }
@@ -188,8 +188,7 @@ fn block_definitely_returns(stmts: &[Stmt]) -> bool {
             block_definitely_returns(&then_blk.stmts)
                 && else_blk
                     .as_ref()
-                    .map(|e| block_definitely_returns(&e.stmts))
-                    .unwrap_or(false)
+                    .is_some_and(|e| block_definitely_returns(&e.stmts))
         }
         _ => false,
     })
@@ -405,7 +404,10 @@ impl Elab<'_, '_> {
                                 spec.location = LocSpec::Group(gi.members.clone());
                             }
                             None => {
-                                self.err(format!("`{}` is not a const group", g.name), args[1].span)
+                                self.err(
+                                    format!("`{}` is not a const group", g.name),
+                                    args[1].span,
+                                );
                             }
                         },
                         _ => self.err(
@@ -522,7 +524,7 @@ impl Elab<'_, '_> {
                 }
                 match env.get(&id.name) {
                     Some(Binding::Value(op)) => op.clone(),
-                    Some(Binding::Array(_)) | Some(Binding::Event(_)) | None => {
+                    Some(Binding::Array(_) | Binding::Event(_)) | None => {
                         // Arrays/events are consumed by their special
                         // contexts; reaching here is a checker-guaranteed
                         // impossibility for valid programs.
@@ -580,9 +582,8 @@ impl Elab<'_, '_> {
                 });
             }
             ExprKind::Binary { op, lhs, rhs } => {
-                let (op, lhs, rhs) = match self.lower_binop(*op, lhs, rhs, e) {
-                    Some(x) => x,
-                    None => return,
+                let Some((op, lhs, rhs)) = self.lower_binop(*op, lhs, rhs, e) else {
+                    return;
                 };
                 let a = self.flatten(&lhs, env);
                 let b = self.flatten(&rhs, env);

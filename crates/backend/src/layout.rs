@@ -116,7 +116,7 @@ impl Layout {
     pub fn max_alu_per_stage(&self) -> usize {
         self.stage_stats
             .iter()
-            .map(|s| s.alu_ops())
+            .map(StageStats::alu_ops)
             .max()
             .unwrap_or(0)
     }
@@ -251,8 +251,7 @@ fn try_place(
     let body_stages = stages
         .iter()
         .rposition(|s| s.stats.tables > 0)
-        .map(|i| i + 1)
-        .unwrap_or(0);
+        .map_or(0, |i| i + 1);
     let total_stages = body_stages + opts.dispatcher_stages;
     if total_stages > spec.stages {
         return Err(PlaceError::Hard(Diagnostic::error_global(format!(

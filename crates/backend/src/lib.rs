@@ -17,6 +17,8 @@
 //!
 //! [`compile`] runs all three.
 
+#![forbid(unsafe_code)]
+
 pub mod elaborate;
 pub mod ir;
 pub mod layout;

@@ -92,7 +92,7 @@ fn propagate_copies(h: &mut HandlerIr, stats: &mut OptStats) {
     }
     // Resolve chains (a = b; c = a) up front.
     let resolve = |mut op: Operand, subst: &HashMap<String, Operand>| -> Operand {
-        for _ in 0..subst.len() + 1 {
+        for _ in 0..=subst.len() {
             match &op {
                 Operand::Var(v) => match subst.get(v) {
                     Some(next) => op = next.clone(),
@@ -255,7 +255,7 @@ fn eliminate_dead_tables(h: &mut HandlerIr, stats: &mut OptStats) {
                     }
                     AtomicOp::Generate { .. } => false,
                 };
-                pure && t.op.def().map(|d| !used.contains_key(d)).unwrap_or(false)
+                pure && t.op.def().is_some_and(|d| !used.contains_key(d))
             })
             .map(|(i, _)| i)
             .collect();

@@ -11,11 +11,11 @@ fn bench_frontend(c: &mut Criterion) {
     let mut g = c.benchmark_group("frontend");
     for app in lucid_apps::all() {
         g.bench_with_input(BenchmarkId::new("parse", app.key), &app, |b, app| {
-            b.iter(|| lucid_frontend::parse_program(app.source).expect("parses"))
+            b.iter(|| lucid_frontend::parse_program(app.source).expect("parses"));
         });
         g.bench_with_input(BenchmarkId::new("check", app.key), &app, |b, app| {
             let program = lucid_frontend::parse_program(app.source).expect("parses");
-            b.iter(|| lucid_check::check(program.clone()).expect("checks"))
+            b.iter(|| lucid_check::check(program.clone()).expect("checks"));
         });
     }
     g.finish();
@@ -26,7 +26,7 @@ fn bench_backend(c: &mut Criterion) {
     for app in lucid_apps::all() {
         let prog = app.checked();
         g.bench_with_input(BenchmarkId::new("elaborate", app.key), &prog, |b, prog| {
-            b.iter(|| elaborate(prog).expect("elaborates"))
+            b.iter(|| elaborate(prog).expect("elaborates"));
         });
         let handlers = elaborate(&prog).expect("elaborates");
         g.bench_with_input(
@@ -40,8 +40,8 @@ fn bench_backend(c: &mut Criterion) {
                         &PipelineSpec::tofino(),
                         LayoutOptions::default(),
                     )
-                    .expect("places")
-                })
+                    .expect("places");
+                });
             },
         );
         g.bench_with_input(BenchmarkId::new("full_compile", app.key), &app, |b, app| {
@@ -49,7 +49,7 @@ fn bench_backend(c: &mut Criterion) {
             b.iter(|| {
                 let mut build = lucid_core::Compiler::new().build(app.key, app.source);
                 build.p4().expect("compiles").loc.total()
-            })
+            });
         });
     }
     g.finish();
@@ -67,7 +67,7 @@ fn bench_ablations(c: &mut Criterion) {
         ..PipelineSpec::tofino()
     };
     g.bench_function("place_rearranged", |b| {
-        b.iter(|| place(&prog, &handlers, &tall, LayoutOptions::default()).expect("places"))
+        b.iter(|| place(&prog, &handlers, &tall, LayoutOptions::default()).expect("places"));
     });
     g.bench_function("place_serialized", |b| {
         b.iter(|| {
@@ -80,8 +80,8 @@ fn bench_ablations(c: &mut Criterion) {
                     ..LayoutOptions::default()
                 },
             )
-            .expect("places")
-        })
+            .expect("places");
+        });
     });
     for budget in [1usize, 2, 4, 8, 16] {
         g.bench_with_input(
@@ -98,8 +98,8 @@ fn bench_ablations(c: &mut Criterion) {
                             ..LayoutOptions::default()
                         },
                     )
-                    .expect("places")
-                })
+                    .expect("places");
+                });
             },
         );
     }

@@ -26,7 +26,7 @@ fn bench_event_throughput(c: &mut Criterion) {
                 }
                 sim.run_to_quiescence().expect("runs");
                 sim.stats.handled
-            })
+            });
         });
     }
     g.finish();
@@ -46,10 +46,10 @@ fn bench_sfw_packets(c: &mut Criterion) {
             }
             sim.run_to_quiescence().expect("runs");
             sim.stats.handled
-        })
+        });
     });
     g.bench_function("install_benchmark_100", |b| {
-        b.iter(|| lucid_apps::sfw::install_benchmark(100, 0.3125, 5))
+        b.iter(|| lucid_apps::sfw::install_benchmark(100, 0.3125, 5));
     });
     g.finish();
 }
@@ -68,7 +68,7 @@ fn bench_multiswitch(c: &mut Criterion) {
             }
             sim.run_to_quiescence().expect("runs");
             sim.stats.handled
-        })
+        });
     });
     g.finish();
 }

@@ -13,11 +13,11 @@ fn bench_delay_mechanisms(c: &mut Criterion) {
     let delays: Vec<u64> = (0..90).map(|i| 800_000 + i * 3_733).collect();
     g.bench_function("baseline_90_events", |b| {
         let port = RecircPort::default();
-        b.iter(|| port.delay_baseline(64, &delays))
+        b.iter(|| port.delay_baseline(64, &delays));
     });
     g.bench_function("pausable_queue_90_events", |b| {
         let q = DelayQueue::default();
-        b.iter(|| q.delay_events(64, &delays))
+        b.iter(|| q.delay_events(64, &delays));
     });
     // Ablation: release interval vs simulation cost (the accuracy trade is
     // asserted in tests; this measures the simulator).
@@ -30,7 +30,7 @@ fn bench_delay_mechanisms(c: &mut Criterion) {
                     release_interval_ns: iv * 1_000,
                     ..DelayQueue::default()
                 };
-                b.iter(|| q.delay_events(64, &delays))
+                b.iter(|| q.delay_events(64, &delays));
             },
         );
     }
@@ -49,12 +49,12 @@ fn bench_models(c: &mut Criterion) {
                     check_interval_s: 0.1,
                     flow_rate: 1_000_000.0,
                 },
-            )
-        })
+            );
+        });
     });
     g.bench_function("remote_control_1000_samples", |b| {
         let m = RemoteControlModel::default();
-        b.iter(|| m.sample(1_000, 42))
+        b.iter(|| m.sample(1_000, 42));
     });
     g.finish();
 }

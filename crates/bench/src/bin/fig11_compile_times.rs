@@ -18,8 +18,7 @@ fn main() {
                     (
                         "paper_dev_time",
                         r.paper_dev_time
-                            .map(jsonout::s)
-                            .unwrap_or_else(|| "null".to_string()),
+                            .map_or_else(|| "null".to_string(), jsonout::s),
                     ),
                 ])
             })

@@ -18,8 +18,7 @@ fn main() {
                     (
                         "no_rearrange",
                         r.no_rearrange_stages
-                            .map(|n| n.to_string())
-                            .unwrap_or_else(|| "null".to_string()),
+                            .map_or_else(|| "null".to_string(), |n| n.to_string()),
                     ),
                 ])
             })
@@ -37,8 +36,7 @@ fn main() {
                 r.optimized_stages.to_string(),
                 format!("{:.2}", r.ratio),
                 r.no_rearrange_stages
-                    .map(|n| n.to_string())
-                    .unwrap_or_else(|| "-".into()),
+                    .map_or_else(|| "-".into(), |n| n.to_string()),
             ]
         })
         .collect();

@@ -17,6 +17,8 @@
 //! | Figure 16 (SFW recirc model) | [`figure16`] | `fig16_sfw_model` |
 //! | Figure 17 (install time CDF) | [`figure17`] | `fig17_sfw_install` |
 
+#![forbid(unsafe_code)]
+
 use lucid_apps::AppInfo;
 use lucid_backend::P4Loc;
 use lucid_core::{
@@ -519,8 +521,7 @@ pub fn sim_throughput(
     }
     let actual_workers = if workers == 0 {
         std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+            .map_or(1, std::num::NonZeroUsize::get)
             .min(switches as usize)
     } else {
         workers
@@ -717,7 +718,7 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    let head: Vec<String> = headers.iter().map(ToString::to_string).collect();
     out.push_str(&fmt_row(&head, &widths));
     out.push('\n');
     out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));

@@ -15,11 +15,15 @@
 //! formal system, with property tests standing in for the paper-and-pencil
 //! soundness proof.
 
+#![forbid(unsafe_code)]
+
 pub mod calculus;
+pub mod lint;
 pub mod memop;
 pub mod symbols;
 pub mod typecheck;
 
+pub use lint::lint;
 pub use lucid_frontend::diag::{Diagnostic, Diagnostics, Level};
 pub use memop::{eval_memop, validate_memops, MemopAtom, MemopBody, MemopCell, MemopIr};
 pub use symbols::{mask, ConstInfo, EventInfo, GlobalId, GlobalInfo, GroupInfo, ProgramInfo};

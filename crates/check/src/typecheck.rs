@@ -634,7 +634,7 @@ impl<'a> Checker<'a> {
     ) -> (CkTy, Stage) {
         match &e.kind {
             ExprKind::Int { value, width } => {
-                let w = width.or(expected.and_then(|t| t.int_width())).unwrap_or(32);
+                let w = width.or(expected.and_then(Ty::int_width)).unwrap_or(32);
                 if w < 64 && *value >= (1u64 << w) {
                     self.diags.push(Diagnostic::error(
                         format!("literal {value} does not fit in int<<{w}>>"),
@@ -693,7 +693,7 @@ impl<'a> Checker<'a> {
             }
             ExprKind::Cast { width, arg } => {
                 let (t, s) = self.check_expr(arg, scopes, stage, None);
-                if !matches!(t, CkTy::Val(Ty::Int(_)) | CkTy::Val(Ty::Bool)) {
+                if !matches!(t, CkTy::Val(Ty::Int(_) | Ty::Bool)) {
                     self.diags.push(Diagnostic::error(
                         "only integers and booleans can be cast",
                         arg.span,
@@ -706,7 +706,7 @@ impl<'a> Checker<'a> {
                 for a in args {
                     let (t, s) = self.check_expr(a, scopes, cur, None);
                     cur = s;
-                    if !matches!(t, CkTy::Val(Ty::Int(_)) | CkTy::Val(Ty::Bool)) {
+                    if !matches!(t, CkTy::Val(Ty::Int(_) | Ty::Bool)) {
                         self.diags.push(Diagnostic::error(
                             "hash arguments must be integers or booleans",
                             a.span,
@@ -882,9 +882,8 @@ impl<'a> Checker<'a> {
                     argc_err(self, &format!("{want:?}"));
                     return (CkTy::Val(Ty::Int(32)), stage);
                 }
-                let gid = match self.resolve_array_arg(&args[0], scopes) {
-                    Some(g) => g,
-                    None => return (CkTy::Val(Ty::Int(32)), stage),
+                let Some(gid) = self.resolve_array_arg(&args[0], scopes) else {
+                    return (CkTy::Val(Ty::Int(32)), stage);
                 };
                 let cell_w = self.info.globals[gid.0].cell_width;
                 // Index.

@@ -21,6 +21,11 @@
 //!                             2 = peephole + register allocation (default)
 //!   --no-opt                  alias for --opt=0 (kept from the days when
 //!                             only the P4 backend had an optimizer)
+//!   --lint                    run the lint pass (`check`/`compile`): style
+//!                             and dead-state warnings with stable W05xx
+//!                             codes, reported like any other warnings
+//!   --deny-lints              promote lint warnings to errors and exit 1
+//!                             when any fire (implies --lint; CI gate)
 //!   --json-diagnostics        report diagnostics as a JSON array on stderr
 //!   --engine=sequential|sharded   override the scenario's engine (`sim`)
 //!   --workers=N               sharded-engine worker threads (`sim`; 0 = cores)
@@ -38,12 +43,18 @@
 //!                             and then runs it (under `--json` the listing
 //!                             goes to stderr so stdout stays one JSON
 //!                             document)
+//!   --verify-bytecode         run the bytecode verifier over every handler
+//!                             after every compiler pass before simulating
+//!                             (`sim`); violations report with stable V0xxx
+//!                             codes and exit 1
 //!   --json                    print the `sim` report as one JSON object
 //! ```
 //!
 //! Exit codes: 0 success, 1 the program had diagnostics or the scenario
 //! failed (bad scenario, runtime fault, or expectation mismatch), 2 usage
 //! or I/O error.
+
+#![forbid(unsafe_code)]
 
 use lucid_core::{
     Build, Compiler, Engine, ExecMode, LayoutOptions, OptLevel, PipelineSpec, Scenario, SimError,
@@ -55,11 +66,13 @@ const EXIT_DIAGNOSTICS: u8 = 1;
 const EXIT_USAGE: u8 = 2;
 
 const USAGE: &str = "usage: lucidc <check|compile|stages> [--emit=ast|ir|layout|p4] \
-[--target=tofino|pisa] [--opt=0|1|2] [--no-opt] [--json-diagnostics] <file.lucid>\n       \
+[--target=tofino|pisa] [--opt=0|1|2] [--no-opt] [--lint] [--deny-lints] \
+[--json-diagnostics] <file.lucid>\n       \
 lucidc sim [--engine=sequential|sharded] [--workers=N] [--exec=ast|bytecode] \
-[--opt=0|1|2] [--seed=S] [--events=N] [--gen=<spec>] [--json] \
+[--opt=0|1|2] [--seed=S] [--events=N] [--gen=<spec>] [--verify-bytecode] [--json] \
 <file.lucid> <scenario.sim.json>\n       \
-lucidc sim --dump-bytecode [--opt=0|1|2] <file.lucid> [<scenario.sim.json>]\n       \
+lucidc sim --dump-bytecode [--opt=0|1|2] [--verify-bytecode] <file.lucid> \
+[<scenario.sim.json>]\n       \
 lucidc apps | app <key>";
 
 const SUBCOMMANDS: &[&str] = &["check", "compile", "stages", "sim", "apps", "app"];
@@ -78,6 +91,10 @@ struct Options {
     emit: Emit,
     target: PipelineSpec,
     optimize: bool,
+    /// `--lint`: run the W05xx lint pass after a successful check.
+    lint: bool,
+    /// `--deny-lints`: promote lint warnings to errors (implies `--lint`).
+    deny_lints: bool,
     json_diagnostics: bool,
     file: String,
 }
@@ -146,7 +163,7 @@ fn main() -> ExitCode {
         unknown => {
             match nearest(unknown, SUBCOMMANDS) {
                 Some(hint) => {
-                    eprintln!("error: unknown subcommand `{unknown}` (did you mean `{hint}`?)")
+                    eprintln!("error: unknown subcommand `{unknown}` (did you mean `{hint}`?)");
                 }
                 None => eprintln!("error: unknown subcommand `{unknown}`"),
             }
@@ -170,6 +187,9 @@ struct SimOptions {
     gen: Option<String>,
     json: bool,
     dump_bytecode: bool,
+    /// `--verify-bytecode`: run the bytecode verifier after every compiler
+    /// pass before dumping or simulating.
+    verify_bytecode: bool,
     program: String,
     /// `None` only under `--dump-bytecode` (dump-only invocation).
     scenario: Option<String>,
@@ -186,6 +206,7 @@ fn parse_sim_options(args: &[String]) -> Result<SimOptions, String> {
     let mut gen: Option<String> = None;
     let mut json = false;
     let mut dump_bytecode = false;
+    let mut verify_bytecode = false;
     let mut files: Vec<String> = Vec::new();
     for a in args {
         if let Some(v) = a.strip_prefix("--engine=") {
@@ -220,6 +241,8 @@ fn parse_sim_options(args: &[String]) -> Result<SimOptions, String> {
             json = true;
         } else if a == "--dump-bytecode" {
             dump_bytecode = true;
+        } else if a == "--verify-bytecode" {
+            verify_bytecode = true;
         } else if a.starts_with("--") {
             return Err(format!("unknown option `{a}`"));
         } else {
@@ -238,13 +261,13 @@ fn parse_sim_options(args: &[String]) -> Result<SimOptions, String> {
         match &mut engine {
             Some(Engine::Sharded { workers, .. }) => *workers = w,
             Some(Engine::Sequential) => {
-                return Err("`--workers` only applies to `--engine=sharded`".to_string())
+                return Err("`--workers` only applies to `--engine=sharded`".to_string());
             }
             None => {
                 engine = Some(Engine::Sharded {
                     workers: w,
                     epoch_ns: 0,
-                })
+                });
             }
         }
     }
@@ -268,6 +291,7 @@ fn parse_sim_options(args: &[String]) -> Result<SimOptions, String> {
         gen,
         json,
         dump_bytecode,
+        verify_bytecode,
         program,
         scenario,
     })
@@ -292,7 +316,13 @@ fn run_sim(args: &[String]) -> ExitCode {
     // Dump-only invocation: no scenario to consult, so `--opt` (or the
     // default level) picks the listing.
     if opts.dump_bytecode && opts.scenario.is_none() {
-        return match dump_listing(&mut build, opts.opt.unwrap_or_default(), opts.json) {
+        let level = opts.opt.unwrap_or_default();
+        if opts.verify_bytecode {
+            if let Err(code) = verify_listing(&mut build, level, opts.json) {
+                return code;
+            }
+        }
+        return match dump_listing(&mut build, level, opts.json) {
             Ok(()) => ExitCode::SUCCESS,
             Err(code) => code,
         };
@@ -316,6 +346,13 @@ fn run_sim(args: &[String]) -> ExitCode {
             return ExitCode::from(EXIT_DIAGNOSTICS);
         }
     };
+    // The verifier runs at the level the simulation will actually use, so
+    // a clean report vouches for exactly the code about to execute.
+    if opts.verify_bytecode {
+        if let Err(code) = verify_listing(&mut build, opts.opt.unwrap_or(scenario.opt), opts.json) {
+            return code;
+        }
+    }
     // Dump-then-run: without an explicit `--opt`, render the listing at
     // the scenario's own level so the dump describes the bytecode that
     // actually runs below.
@@ -416,6 +453,42 @@ fn json_str(s: &str) -> String {
     format!("\"{}\"", lucid_core::json_escape(s))
 }
 
+/// Run the bytecode verifier at `level` (`sim --verify-bytecode`). Clean
+/// handlers are silent — the verifier is a gate, not a report. Violations
+/// render as V0xxx diagnostics on stderr (JSON under `--json`, with a
+/// one-document stdout marker) and yield exit 1.
+fn verify_listing(build: &mut Build, level: OptLevel, json: bool) -> Result<(), ExitCode> {
+    let emit_program_diags = |build: &Build| {
+        if json {
+            println!(
+                "{{\"kind\":\"diagnostics\",\"msg\":{}}}",
+                json_str("the program has diagnostics (see stderr)")
+            );
+            eprintln!("{}", build.diagnostics_json());
+        } else {
+            eprintln!("{}", build.render_diagnostics());
+        }
+        Err(ExitCode::from(EXIT_DIAGNOSTICS))
+    };
+    match build.verify_bytecode(level) {
+        Ok(violations) if violations.is_empty() => Ok(()),
+        Ok(violations) => {
+            let ds = lucid_core::interp::violations_to_diagnostics(&violations);
+            if json {
+                println!(
+                    "{{\"kind\":\"diagnostics\",\"msg\":{}}}",
+                    json_str("the bytecode verifier found violations (see stderr)")
+                );
+                eprintln!("{}", ds.to_json(build.source_map()));
+            } else {
+                eprintln!("{}", ds.render(build.source_map()));
+            }
+            Err(ExitCode::from(EXIT_DIAGNOSTICS))
+        }
+        Err(_) => emit_program_diags(build),
+    }
+}
+
 /// Print the bytecode listing at `level` (`sim --dump-bytecode`). Under
 /// `--json`, stdout stays one machine-readable document, so the listing
 /// goes to stderr; a program with diagnostics reports them in the same
@@ -450,6 +523,8 @@ fn parse_options(cmd: &str, args: &[String]) -> Result<Options, String> {
     let mut target = PipelineSpec::tofino();
     let mut opt: Option<OptLevel> = None;
     let mut no_opt = false;
+    let mut lint = false;
+    let mut deny_lints = false;
     let mut json_diagnostics = false;
     let mut file = None;
     for a in args {
@@ -495,6 +570,16 @@ fn parse_options(cmd: &str, args: &[String]) -> Result<Options, String> {
                 OptLevel::parse(v)
                     .ok_or_else(|| format!("unknown --opt value `{v}` (expected 0, 1, or 2)"))?,
             );
+        } else if a == "--lint" || a == "--deny-lints" {
+            // Linting runs on the checked program, which `stages` also
+            // produces — but its output is a layout report, not a
+            // diagnostic listing, so keep the flag where the output
+            // channel makes sense.
+            if cmd == "stages" {
+                return Err(format!("`{a}` only applies to `check` and `compile`"));
+            }
+            lint = true;
+            deny_lints |= a == "--deny-lints";
         } else if a == "--json-diagnostics" {
             json_diagnostics = true;
         } else if a.starts_with("--") {
@@ -517,6 +602,8 @@ fn parse_options(cmd: &str, args: &[String]) -> Result<Options, String> {
         emit,
         target,
         optimize,
+        lint,
+        deny_lints,
         json_diagnostics,
         file,
     })
@@ -542,8 +629,7 @@ fn run_check(build: &mut Build, opts: &Options) -> ExitCode {
                 p.info.handlers.len(),
                 p.memops.len()
             );
-            emit_success_warnings(build, opts);
-            ExitCode::SUCCESS
+            emit_success_warnings(build, opts)
         }
         Err(_) => diag_failure(build, opts),
     }
@@ -598,8 +684,7 @@ fn run_compile(build: &mut Build, opts: &Options) -> ExitCode {
                     eprintln!("stages: {} (unoptimized {}), p4 lines: {}", l.0, l.1, loc);
                 }
             }
-            emit_success_warnings(build, opts);
-            ExitCode::SUCCESS
+            emit_success_warnings(build, opts)
         }
         Err(()) => diag_failure(build, opts),
     }
@@ -610,21 +695,40 @@ fn run_stages(build: &mut Build, opts: &Options) -> ExitCode {
         Ok(_) => {
             let text = render_layout(build.layout().expect("just succeeded"));
             print!("{text}");
-            emit_success_warnings(build, opts);
-            ExitCode::SUCCESS
+            emit_success_warnings(build, opts)
         }
         Err(_) => diag_failure(build, opts),
     }
 }
 
-/// On success, report accumulated warnings on stderr — as a JSON array
-/// under `--json-diagnostics`, rendered rustc-style otherwise — so both
-/// output modes carry the same information from every subcommand.
-fn emit_success_warnings(build: &Build, opts: &Options) {
+/// On success, report accumulated warnings — plus the lint pass under
+/// `--lint` — on stderr, as a JSON array under `--json-diagnostics` or
+/// rendered rustc-style otherwise, so both output modes carry the same
+/// information from every subcommand. `--deny-lints` promotes the lint
+/// warnings to errors, and any error in the combined set exits 1.
+fn emit_success_warnings(build: &mut Build, opts: &Options) -> ExitCode {
+    let mut all = build.diagnostics();
+    if opts.lint {
+        let mut lints = match build.lint() {
+            Ok(ds) => ds.clone(),
+            // Unreachable after a successful stage, but keep the honest
+            // shape: a failed check already reported via `diag_failure`.
+            Err(ds) => ds,
+        };
+        if opts.deny_lints {
+            lints.promote_warnings_to_errors();
+        }
+        all.extend(lints);
+    }
     if opts.json_diagnostics {
-        eprintln!("{}", build.diagnostics_json());
-    } else if !build.diagnostics().is_empty() {
-        eprintln!("{}", build.render_diagnostics());
+        eprintln!("{}", all.to_json(build.source_map()));
+    } else if !all.is_empty() {
+        eprintln!("{}", all.render(build.source_map()));
+    }
+    if all.has_errors() {
+        ExitCode::from(EXIT_DIAGNOSTICS)
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
@@ -799,6 +903,35 @@ mod tests {
             "s".into()
         ])
         .is_err());
+    }
+
+    #[test]
+    fn lint_flags_parse() {
+        let o = parse_options("check", &["--lint".into(), "f".into()]).unwrap();
+        assert!(o.lint && !o.deny_lints);
+        // --deny-lints implies the lint pass itself.
+        let o = parse_options("compile", &["--deny-lints".into(), "f".into()]).unwrap();
+        assert!(o.lint && o.deny_lints);
+        let o = parse_options("check", &["f".into()]).unwrap();
+        assert!(!o.lint && !o.deny_lints);
+        assert!(parse_options("stages", &["--lint".into(), "f".into()]).is_err());
+        assert!(parse_options("stages", &["--deny-lints".into(), "f".into()]).is_err());
+    }
+
+    #[test]
+    fn verify_bytecode_flag_parses() {
+        let o = parse_sim_options(&["--verify-bytecode".into(), "p".into(), "s".into()]).unwrap();
+        assert!(o.verify_bytecode);
+        let o = parse_sim_options(&["p".into(), "s".into()]).unwrap();
+        assert!(!o.verify_bytecode);
+        // Composes with a dump-only invocation.
+        let o = parse_sim_options(&[
+            "--dump-bytecode".into(),
+            "--verify-bytecode".into(),
+            "p".into(),
+        ])
+        .unwrap();
+        assert!(o.dump_bytecode && o.verify_bytecode);
     }
 
     #[test]

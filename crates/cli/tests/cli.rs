@@ -124,6 +124,75 @@ fn no_opt_and_target_flags_are_accepted() {
     assert!(s.contains("total stages:"), "{s}");
 }
 
+/// A program that checks cleanly but trips the lint pass: an unused
+/// local (W0501), an unused parameter (W0502), and an unused global
+/// (W0503).
+const LINTY: &str = r#"
+global cts = new Array<<32>>(64);
+global idle = new Array<<32>>(8);
+memop plus(int m, int x) { return m + x; }
+event pkt(int idx, int extra);
+handle pkt(int idx, int extra) {
+    int scratch = 7;
+    Array.setm(cts, idx, plus, 1);
+}
+"#;
+
+#[test]
+fn lint_flag_reports_w_codes_as_warnings() {
+    let f = write_temp("linty.lucid", LINTY);
+    let path = f.to_str().unwrap();
+
+    // Without --lint the program is quietly clean.
+    let out = lucidc(&["check", path]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("W05"), "{stderr}");
+
+    // With --lint the W05xx warnings appear but the exit stays 0.
+    let out = lucidc(&["check", "--lint", path]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("warning[W0501]"), "{stderr}");
+    assert!(stderr.contains("warning[W0502]"), "{stderr}");
+    assert!(stderr.contains("warning[W0503]"), "{stderr}");
+    assert!(stderr.contains("scratch"), "{stderr}");
+
+    // `compile --lint` carries the same diagnostics beside the artifact.
+    let out = lucidc(&["compile", "--lint", path]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("warning[W0501]"), "{stderr}");
+
+    // JSON mode reports the same codes, machine-readable.
+    let out = lucidc(&["check", "--lint", "--json-diagnostics", path]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let json = String::from_utf8_lossy(&out.stderr).trim().to_string();
+    assert!(json.starts_with('[') && json.ends_with(']'), "{json}");
+    assert!(json.contains("\"code\":\"W0501\""), "{json}");
+    assert!(json.contains("\"severity\":\"warning\""), "{json}");
+}
+
+#[test]
+fn deny_lints_promotes_warnings_and_exits_one() {
+    let f = write_temp("linty-deny.lucid", LINTY);
+    let path = f.to_str().unwrap();
+    let out = lucidc(&["check", "--deny-lints", path]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error[W0501]"), "{stderr}");
+    assert!(!stderr.contains("warning[W0501]"), "{stderr}");
+
+    // A lint-clean program passes the gate.
+    let clean = write_temp("lint-clean.lucid", GOOD);
+    let out = lucidc(&["check", "--deny-lints", clean.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    // `stages` rejects the flags (its output is a layout, not a listing).
+    let out = lucidc(&["stages", "--lint", path]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
 // ------------------------------------------------------------------- sim
 
 const SIM_SCENARIO: &str = r#"{
@@ -349,6 +418,49 @@ fn sim_dump_bytecode_prints_listing() {
     assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
     assert!(
         String::from_utf8_lossy(&out.stderr).contains("handler `pkt`"),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn sim_verify_bytecode_gates_the_run() {
+    let prog = write_temp("sim-verify.lucid", GOOD);
+    let sc = write_temp("sim-verify.sim.json", SIM_SCENARIO);
+
+    // A clean pipeline verifies silently and the scenario runs after it.
+    let out = lucidc(&[
+        "sim",
+        "--verify-bytecode",
+        prog.to_str().unwrap(),
+        sc.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("expectations: all met"), "{s}");
+
+    // Dump-only invocations accept the gate too, at every level.
+    for opt in ["0", "1", "2"] {
+        let out = lucidc(&[
+            "sim",
+            "--dump-bytecode",
+            "--verify-bytecode",
+            &format!("--opt={opt}"),
+            prog.to_str().unwrap(),
+        ]);
+        assert_eq!(out.status.code(), Some(0), "--opt={opt}: {out:?}");
+    }
+
+    // A broken program reports its diagnostics through the same path.
+    let bad = write_temp("sim-verify-bad.lucid", BAD_TWO_MEMOPS);
+    let out = lucidc(&[
+        "sim",
+        "--verify-bytecode",
+        bad.to_str().unwrap(),
+        sc.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("error[E03"),
         "{out:?}"
     );
 }

@@ -50,6 +50,8 @@
 //! assert!(bad.diagnostics_json().starts_with('['));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use lucid_backend as backend;
 pub use lucid_check as check;
 pub use lucid_frontend as frontend;
@@ -63,7 +65,7 @@ pub use lucid_interp::{
     disassemble, disassemble_opt, json_escape, run_scenario, run_scenario_with, ArgDist, Engine,
     EventSource, ExecMode, FaultAt, GenSpec, Interp, InterpError, InterpFault, Mismatch, NetConfig,
     OptLevel, Phase, Scenario, ScenarioError, SimOverrides, SimReport, SimRunError, SourcedEvent,
-    Workload,
+    Violation, Workload,
 };
 pub use lucid_tofino::PipelineSpec;
 
@@ -120,6 +122,7 @@ impl Compiler {
             warnings: Diagnostics::new(),
             ast: None,
             checked: None,
+            lint: None,
             handlers: None,
             layout: None,
             p4: None,
@@ -134,10 +137,12 @@ impl Compiler {
 pub struct BuildStats {
     pub parse_runs: u32,
     pub check_runs: u32,
+    pub lint_runs: u32,
     pub elaborate_runs: u32,
     pub layout_runs: u32,
     pub p4_runs: u32,
     pub interp_runs: u32,
+    pub verify_runs: u32,
 }
 
 /// A per-source compilation session. Stage artifacts are computed on first
@@ -154,6 +159,7 @@ pub struct Build {
     warnings: Diagnostics,
     ast: Option<Result<Program, Diagnostics>>,
     checked: Option<Result<CheckedProgram, Diagnostics>>,
+    lint: Option<Result<Diagnostics, Diagnostics>>,
     handlers: Option<Result<Vec<HandlerIr>, Diagnostics>>,
     layout: Option<Result<Layout, Diagnostics>>,
     p4: Option<Result<P4Program, Diagnostics>>,
@@ -193,7 +199,7 @@ impl Build {
     /// session's configuration says so).
     pub fn handlers(&mut self) -> Result<&[HandlerIr], Diagnostics> {
         self.ensure_handlers();
-        as_result(self.handlers.as_ref()).map(|v| v.as_slice())
+        as_result(self.handlers.as_ref()).map(Vec::as_slice)
     }
 
     /// Layout stage: table placement against the session's target.
@@ -266,6 +272,34 @@ impl Build {
             .map(|p| lucid_interp::disassemble_opt(p, level))
     }
 
+    /// Lint stage: warning-severity `W05xx` diagnostics over the checked
+    /// program (`lucidc check --lint`). Cached alongside the check
+    /// artifact; `Err` means the program failed an earlier stage.
+    pub fn lint(&mut self) -> Result<&Diagnostics, Diagnostics> {
+        self.ensure_lint();
+        as_result(self.lint.as_ref())
+    }
+
+    /// Compile this session's checked program to bytecode at `level` and
+    /// run the bytecode verifier over every handler after every pass
+    /// (`lucidc sim --verify-bytecode`). `Ok` carries the violation list
+    /// (empty on a clean pipeline); `Err` means the program failed an
+    /// earlier stage.
+    pub fn verify_bytecode(&mut self, level: OptLevel) -> Result<Vec<Violation>, Diagnostics> {
+        self.ensure_checked();
+        let prog = match self.checked.as_ref().expect("ensured") {
+            Ok(p) => p,
+            Err(ds) => return Err(ds.clone()),
+        };
+        self.stats.verify_runs += 1;
+        Ok(
+            match lucid_interp::CompiledProg::compile_verified(prog, level) {
+                Ok(_) => Vec::new(),
+                Err(violations) => violations,
+            },
+        )
+    }
+
     /// Swap in a different configuration, keeping every cache the new
     /// configuration cannot invalidate. The parse artifact always
     /// survives; the check artifact survives unless the check options
@@ -275,6 +309,7 @@ impl Build {
     pub fn reconfigure(&mut self, cfg: &Compiler) {
         if self.cfg.check != cfg.check {
             self.checked = None;
+            self.lint = None;
             self.warnings = Diagnostics::new();
         }
         self.cfg = cfg.clone();
@@ -375,6 +410,21 @@ impl Build {
             }
         };
         self.checked = Some(result);
+    }
+
+    fn ensure_lint(&mut self) {
+        if self.lint.is_some() {
+            return;
+        }
+        self.ensure_checked();
+        let result = match self.checked.as_ref().expect("ensured") {
+            Err(ds) => Err(ds.clone()),
+            Ok(prog) => {
+                self.stats.lint_runs += 1;
+                Ok(lucid_check::lint(prog))
+            }
+        };
+        self.lint = Some(result);
     }
 
     fn ensure_handlers(&mut self) {

@@ -39,7 +39,9 @@ pub struct Diagnostic {
     /// Stable machine-readable code, assigned by the emitting phase.
     /// Errors use `E0xxx` (`E01xx` lexer/parser, `E02xx` symbols, `E03xx`
     /// memops, `E04xx` type-and-effect, `E06xx` elaboration, `E07xx`
-    /// layout); warnings use `W0xxx`.
+    /// layout); warnings use `W0xxx` (`W00xx` checker dead-code, `W05xx`
+    /// the lint pass); the bytecode verifier uses `V00xx`. The
+    /// code-registry test pins every emitted code to these ranges.
     pub code: Option<&'static str>,
     pub message: String,
     /// Primary location of the problem.
@@ -276,6 +278,16 @@ impl Diagnostics {
     /// Append all of `other`'s diagnostics.
     pub fn extend(&mut self, other: Diagnostics) {
         self.items.extend(other.items);
+    }
+
+    /// Promote every warning to an error (`lucidc --deny-lints`). Codes,
+    /// messages, and notes are untouched — only the severity changes.
+    pub fn promote_warnings_to_errors(&mut self) {
+        for d in &mut self.items {
+            if d.level == Level::Warning {
+                d.level = Level::Error;
+            }
+        }
     }
 
     /// Number of error-level diagnostics.

@@ -19,6 +19,8 @@
 //! validation and the ordered type-and-effect system) lives in the
 //! `lucid-check` crate.
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod diag;
 pub mod lexer;

@@ -121,8 +121,7 @@ impl SourceMap {
         let end = self
             .line_starts
             .get(idx + 1)
-            .map(|&e| e as usize)
-            .unwrap_or(self.src.len());
+            .map_or(self.src.len(), |&e| e as usize);
         self.src[start..end].trim_end_matches('\n')
     }
 

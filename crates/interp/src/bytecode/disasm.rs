@@ -46,7 +46,7 @@ impl CompiledProg {
             let _ = writeln!(out, "; memop m{i} `{}`", m.name);
         }
         for (i, (name, members)) in self.groups.iter().enumerate() {
-            let list: Vec<String> = members.iter().map(|m| m.to_string()).collect();
+            let list: Vec<String> = members.iter().map(ToString::to_string).collect();
             let _ = writeln!(out, "; group G{i} `{name}`: {{{}}}", list.join(", "));
         }
         for h in self.handlers.iter().flatten() {

@@ -248,6 +248,10 @@ impl CompiledProg {
                 }
                 Instr::ArrGet { dst, gid, idx } => {
                     let i = regs[*idx as usize].v as usize;
+                    debug_assert!(
+                        (i as u64) < self.arrays[*gid as usize].len,
+                        "verifier invariant broken: unchecked array access out of bounds"
+                    );
                     let w = self.arrays[*gid as usize].width;
                     // The walker masks on read (`Value::int(cur, w)`);
                     // cells can legally hold over-width values because
@@ -270,6 +274,10 @@ impl CompiledProg {
                 }
                 Instr::ArrSet { gid, idx, val } => {
                     let i = regs[*idx as usize].v as usize;
+                    debug_assert!(
+                        (i as u64) < self.arrays[*gid as usize].len,
+                        "verifier invariant broken: unchecked array access out of bounds"
+                    );
                     let w = self.arrays[*gid as usize].width;
                     shard.state.arrays[*gid as usize][i] = mask(regs[*val as usize].v, w);
                 }
@@ -289,6 +297,10 @@ impl CompiledProg {
                     local,
                 } => {
                     let i = regs[*idx as usize].v as usize;
+                    debug_assert!(
+                        (i as u64) < self.arrays[*gid as usize].len,
+                        "verifier invariant broken: unchecked array access out of bounds"
+                    );
                     let w = self.arrays[*gid as usize].width;
                     let cur = shard.state.arrays[*gid as usize][i];
                     let local = regs[*local as usize].v;
@@ -323,6 +335,10 @@ impl CompiledProg {
                     local,
                 } => {
                     let i = regs[*idx as usize].v as usize;
+                    debug_assert!(
+                        (i as u64) < self.arrays[*gid as usize].len,
+                        "verifier invariant broken: unchecked array access out of bounds"
+                    );
                     let w = self.arrays[*gid as usize].width;
                     let cur = shard.state.arrays[*gid as usize][i];
                     let local = regs[*local as usize].v;
@@ -355,6 +371,10 @@ impl CompiledProg {
                     setarg,
                 } => {
                     let i = regs[*idx as usize].v as usize;
+                    debug_assert!(
+                        (i as u64) < self.arrays[*gid as usize].len,
+                        "verifier invariant broken: unchecked array access out of bounds"
+                    );
                     let w = self.arrays[*gid as usize].width;
                     let cur = shard.state.arrays[*gid as usize][i];
                     let ret = eval_memop(

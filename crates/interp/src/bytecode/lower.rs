@@ -128,6 +128,7 @@ pub(super) fn compile_handler(
         nregs: cc.regs.next as usize,
         nobjs: cc.objs.next as usize,
         code: cc.code,
+        elisions: Vec::new(),
     }
 }
 

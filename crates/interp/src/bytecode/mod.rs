@@ -58,8 +58,10 @@ mod disasm;
 mod exec;
 mod lower;
 mod opt;
+pub mod verify;
 
 pub use disasm::{disassemble, disassemble_opt};
+pub use verify::{violations_to_diagnostics, Violation};
 
 use crate::value::EventVal;
 use lucid_check::{CheckedProgram, MemopIr};
@@ -431,6 +433,20 @@ enum ParamBind {
     Bool,
 }
 
+/// An elision proof: the O1 upper-bound analysis deleted the runtime
+/// bounds check for accesses to array `gid` through register `idx`
+/// because the register provably holds a value below `bound`
+/// (exclusive) — and `bound` fits the array. The [`verify`] pass
+/// re-derives the bound with its own dataflow; an access whose check
+/// merely vanished, with no proof or with a proof the verifier cannot
+/// reproduce, is a `V0009` violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Elision {
+    pub gid: u32,
+    pub idx: u16,
+    pub bound: u128,
+}
+
 /// One handler's compiled body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HandlerCode {
@@ -442,6 +458,9 @@ pub struct HandlerCode {
     nregs: usize,
     nobjs: usize,
     code: Vec<Instr>,
+    /// Bounds-check elision proofs recorded by the optimizer (empty at
+    /// `O0`; regalloc remaps the index registers along with the code).
+    elisions: Vec<Elision>,
 }
 
 impl HandlerCode {
@@ -463,6 +482,11 @@ impl HandlerCode {
     /// Object-slot frame size.
     pub fn nobjs(&self) -> usize {
         self.nobjs
+    }
+
+    /// The bounds-check elision proofs the optimizer recorded.
+    pub fn elisions(&self) -> &[Elision] {
+        &self.elisions
     }
 }
 
@@ -504,7 +528,41 @@ impl CompiledProg {
     }
 
     /// Lower every handler and run the optimizer pipeline at `level`.
+    ///
+    /// In debug builds (all tests, CI) every handler is re-verified
+    /// after lowering and after each optimizer pass — a violation here
+    /// is a compiler bug, so it panics with the rendered violations.
+    /// Release builds skip verification on this path (it is compile-time
+    /// work, but the perf gate pins end-to-end build+run time); use
+    /// [`CompiledProg::compile_verified`] to verify explicitly.
     pub fn compile_opt(prog: &CheckedProgram, level: OptLevel) -> CompiledProg {
+        match Self::compile_inner(prog, level, cfg!(debug_assertions)) {
+            Ok(cp) => cp,
+            Err(violations) => {
+                let list: Vec<String> = violations.iter().map(ToString::to_string).collect();
+                panic!(
+                    "bytecode verifier rejected the compiler's own output:\n{}",
+                    list.join("\n")
+                );
+            }
+        }
+    }
+
+    /// Lower and optimize at `level`, verifying after lowering and
+    /// after each optimizer pass regardless of build profile. The error
+    /// names the pass that produced the first ill-formed handler.
+    pub fn compile_verified(
+        prog: &CheckedProgram,
+        level: OptLevel,
+    ) -> Result<CompiledProg, Vec<Violation>> {
+        Self::compile_inner(prog, level, true)
+    }
+
+    fn compile_inner(
+        prog: &CheckedProgram,
+        level: OptLevel,
+        verify: bool,
+    ) -> Result<CompiledProg, Vec<Violation>> {
         let arrays = prog
             .info
             .globals
@@ -539,16 +597,46 @@ impl CompiledProg {
         };
         // Event-id order keeps pool numbering (and the disassembly)
         // deterministic.
+        let mut violations = Vec::new();
         for id in 0..prog.info.events.len() {
             let name = prog.info.events[id].name.clone();
             let code = prog.handler_body(&name).map(|(params, body)| {
                 let mut h = lower::compile_handler(prog, &mut cp, id, &name, params, body);
-                opt::optimize(&mut h, &cp, level);
+                if verify {
+                    violations.extend(verify::verify_handler(&h, &cp, "lower"));
+                }
+                if level >= OptLevel::O1 {
+                    opt::peephole(&mut h, &cp);
+                    if verify {
+                        violations.extend(verify::verify_handler(&h, &cp, "peephole"));
+                    }
+                }
+                if level >= OptLevel::O2 {
+                    opt::regalloc(&mut h);
+                    if verify {
+                        violations.extend(verify::verify_handler(&h, &cp, "regalloc"));
+                    }
+                }
                 h
             });
             cp.handlers.push(code);
         }
-        cp
+        if violations.is_empty() {
+            Ok(cp)
+        } else {
+            Err(violations)
+        }
+    }
+
+    /// Re-verify every compiled handler as-is (pass name `"final"`).
+    /// This is the entry point the mutation smoke tests corrupt
+    /// bytecode against, and what `lucidc sim --verify-bytecode` runs.
+    pub fn verify(&self) -> Vec<Violation> {
+        self.handlers
+            .iter()
+            .flatten()
+            .flat_map(|h| verify::verify_handler(h, self, "final"))
+            .collect()
     }
 
     /// The level this program was optimized at.

@@ -35,19 +35,9 @@
 //! the source dies exactly where the destination is born. The new frame
 //! is never larger than the old one (also asserted by tests).
 
-use super::{CompiledProg, HandlerCode, Instr, OptLevel};
+use super::{CompiledProg, Elision, HandlerCode, Instr};
 use lucid_frontend::ast::BinOp;
 use std::collections::HashMap;
-
-/// Run the optimizer pipeline on one lowered handler.
-pub(super) fn optimize(h: &mut HandlerCode, pools: &CompiledProg, level: OptLevel) {
-    if level >= OptLevel::O1 {
-        peephole(h, pools);
-    }
-    if level >= OptLevel::O2 {
-        regalloc(h);
-    }
-}
 
 /// The peephole/superinstruction pass, iterated to a fixpoint. Each
 /// sub-pass can expose patterns for the others (a deleted `Const` makes
@@ -56,7 +46,7 @@ pub(super) fn optimize(h: &mut HandlerCode, pools: &CompiledProg, level: OptLeve
 /// so the loop terminates.
 pub(super) fn peephole(h: &mut HandlerCode, pools: &CompiledProg) {
     loop {
-        let mut changed = elide_checks(&mut h.code, pools);
+        let mut changed = elide_checks(&mut h.code, &mut h.elisions, pools);
         changed |= sink_checks(&mut h.code);
         changed |= fuse(&mut h.code, h.nregs);
         if !changed {
@@ -68,7 +58,7 @@ pub(super) fn peephole(h: &mut HandlerCode, pools: &CompiledProg) {
 // -------------------------------------------------------------- analysis
 
 /// The register an instruction writes, if any.
-fn def(i: &Instr) -> Option<u16> {
+pub(super) fn def(i: &Instr) -> Option<u16> {
     match i {
         Instr::Const { dst, .. }
         | Instr::Mov { dst, .. }
@@ -99,7 +89,7 @@ fn def(i: &Instr) -> Option<u16> {
 
 /// Invoke `f` on every register an instruction reads. `StoreMasked`
 /// reads its destination's current width, so its `dst` counts as a use.
-fn uses(i: &Instr, f: &mut impl FnMut(u16)) {
+pub(super) fn uses(i: &Instr, f: &mut impl FnMut(u16)) {
     match i {
         Instr::Const { .. }
         | Instr::Jmp { .. }
@@ -131,7 +121,7 @@ fn uses(i: &Instr, f: &mut impl FnMut(u16)) {
             f(*b);
         }
         Instr::Hash { args, .. } | Instr::HashChk { args, .. } | Instr::MkEvent { args, .. } => {
-            for r in args.iter() {
+            for r in args {
                 f(*r);
             }
         }
@@ -168,7 +158,7 @@ fn uses(i: &Instr, f: &mut impl FnMut(u16)) {
         Instr::EvDelay { us, .. } => f(*us),
         Instr::EvLocate { loc, .. } => f(*loc),
         Instr::Printf { args, .. } => {
-            for p in args.iter() {
+            for p in args {
                 f(p.reg);
             }
         }
@@ -397,7 +387,12 @@ fn compact(code: &[Instr], keep: &[bool]) -> Vec<Instr> {
 /// the array length. Upper bounds (exclusive) propagate through the
 /// value-narrowing instructions within one straight-line segment; jump
 /// targets merge paths, so all knowledge resets there.
-fn elide_checks(code: &mut Vec<Instr>, pools: &CompiledProg) -> bool {
+///
+/// Every deleted check records an [`Elision`] proof (array, index
+/// register, derived bound) on the handler, which the bytecode
+/// verifier audits by re-deriving the bound with its own dataflow —
+/// an unproven deletion is a `V0009` violation.
+fn elide_checks(code: &mut Vec<Instr>, elisions: &mut Vec<Elision>, pools: &CompiledProg) -> bool {
     let targets = jump_targets(code);
     let mut ub: HashMap<u16, u128> = HashMap::new();
     let mut keep = vec![true; code.len()];
@@ -407,10 +402,16 @@ fn elide_checks(code: &mut Vec<Instr>, pools: &CompiledProg) -> bool {
             ub.clear();
         }
         if let Instr::ArrCheck { gid, idx } = i {
-            if ub
+            if let Some(b) = ub
                 .get(idx)
-                .is_some_and(|b| *b <= pools.arrays[*gid as usize].len as u128)
+                .copied()
+                .filter(|b| *b <= pools.arrays[*gid as usize].len as u128)
             {
+                elisions.push(Elision {
+                    gid: *gid,
+                    idx: *idx,
+                    bound: b,
+                });
                 keep[pc] = false;
                 changed = true;
                 continue;
@@ -922,6 +923,14 @@ pub(super) fn regalloc(h: &mut HandlerCode) {
     let mut code = compact(&h.code, &keep);
     for i in &mut code {
         rewrite_regs(i, &map);
+    }
+    // Elision proofs name index registers; rename them with the code
+    // (a proof for a register the code no longer touches is inert).
+    for e in &mut h.elisions {
+        let m = map[e.idx as usize];
+        if m != u16::MAX {
+            e.idx = m;
+        }
     }
     h.code = code;
     h.nregs = new_count;

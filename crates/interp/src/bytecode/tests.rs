@@ -588,3 +588,130 @@ proptest! {
         }
     }
 }
+
+// ------------------------------------------------------------- verifier
+
+/// The verifier must bless the compiler's own output at every level —
+/// `compile_verified` is the always-on CI spelling of that contract.
+#[test]
+fn verifier_accepts_the_compilers_own_output() {
+    for src in [KITCHEN_SINK, FUSION_SINK] {
+        let prog = checked(src);
+        for level in LEVELS {
+            if let Err(vs) = CompiledProg::compile_verified(&prog, level) {
+                panic!("verifier rejected clean O{} output: {vs:?}", level.label());
+            }
+        }
+    }
+}
+
+/// Re-verify a mutated program and demand one specific V-code among the
+/// violations (a mutation may trip several obligations at once).
+fn expect_violation(cp: &CompiledProg, code: &str) {
+    let vs = cp.verify();
+    assert!(
+        vs.iter().any(|v| v.code == code),
+        "expected a {code} violation, got: {vs:?}"
+    );
+    assert!(
+        vs.iter().all(|v| v.pass == "final"),
+        "re-verification must blame the `final` pass: {vs:?}"
+    );
+}
+
+fn mutated<F: FnOnce(&mut HandlerCode)>(prog: &CheckedProgram, f: F) -> CompiledProg {
+    let mut cp = CompiledProg::compile_opt(prog, OptLevel::O0);
+    let h = cp
+        .handlers
+        .iter_mut()
+        .flatten()
+        .next()
+        .expect("a compiled handler");
+    f(h);
+    cp
+}
+
+/// Mutation smoke test: each mutation below is one *miscompile class* —
+/// a bug an optimizer pass could plausibly introduce — and the verifier
+/// must reject it with the V-code documenting the broken invariant.
+#[test]
+fn verifier_rejects_classic_miscompiles() {
+    let prog = checked(KITCHEN_SINK);
+
+    // Class 1: a branch retargeted backwards. The source language has no
+    // loops, so any backward edge is a miscompile (and would break the
+    // verifier's single-forward-pass completeness argument).
+    let cp = mutated(&prog, |h| {
+        let pc = h
+            .code
+            .iter()
+            .position(|i| matches!(i, Instr::Jz { .. } | Instr::Jnz { .. }))
+            .expect("a conditional branch");
+        match &mut h.code[pc] {
+            Instr::Jz { to, .. } | Instr::Jnz { to, .. } => *to = 0,
+            _ => unreachable!(),
+        }
+    });
+    expect_violation(&cp, verify::codes::BAD_JUMP);
+
+    // Class 2: a constant wider than its declared width — the register
+    // file would carry an unmaskable value and every downstream masking
+    // decision goes wrong.
+    let cp = mutated(&prog, |h| {
+        let pc = h
+            .code
+            .iter()
+            .position(|i| matches!(i, Instr::Const { .. }))
+            .expect("a constant load");
+        match &mut h.code[pc] {
+            Instr::Const { imm, w, .. } => {
+                *imm = 0xff;
+                *w = 1;
+            }
+            _ => unreachable!(),
+        }
+    });
+    expect_violation(&cp, verify::codes::BAD_WIDTH);
+
+    // Class 3: a dropped bounds check — the exact bug `elide_checks`
+    // would have if its upper-bound analysis were unsound. The raw
+    // access that follows is no longer dominated by a check and carries
+    // no elision proof.
+    let cp = mutated(&prog, |h| {
+        let pc = h
+            .code
+            .iter()
+            .position(|i| matches!(i, Instr::ArrCheck { .. }))
+            .expect("a bounds check");
+        h.code[pc] = Instr::Mov { dst: 0, src: 0 };
+    });
+    expect_violation(&cp, verify::codes::UNCHECKED_ACCESS);
+
+    // Class 4: a destination outside the register frame — the regalloc
+    // bug class (a rename map entry pointing past the compacted frame).
+    let cp = mutated(&prog, |h| {
+        h.code[0] = Instr::Const {
+            dst: h.nregs as u16,
+            imm: 0,
+            w: 32,
+        };
+    });
+    expect_violation(&cp, verify::codes::REG_OUT_OF_FRAME);
+
+    // Class 5: a read of a register no path has written — the
+    // use-before-def class (e.g. a pass sinking a def below its use).
+    let cp = mutated(&prog, |h| {
+        assert!(h.nregs > 2, "kitchen sink frame is large");
+        h.code[0] = Instr::Mov {
+            dst: 0,
+            src: h.nregs as u16 - 1,
+        };
+    });
+    expect_violation(&cp, verify::codes::UNINIT_REG);
+
+    // Class 6: a truncated handler — fell off the end without `halt`.
+    let cp = mutated(&prog, |h| {
+        assert!(matches!(h.code.pop(), Some(Instr::Halt)));
+    });
+    expect_violation(&cp, verify::codes::NO_HALT);
+}

@@ -30,13 +30,18 @@
 //! assert_eq!(sim.array(1, "cts")[7], 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bytecode;
 pub mod machine;
 pub mod scenario;
 pub mod value;
 pub mod workload;
 
-pub use bytecode::{disassemble, disassemble_opt, CompiledProg, ExecMode, OptLevel};
+pub use bytecode::{
+    disassemble, disassemble_opt, violations_to_diagnostics, CompiledProg, ExecMode, OptLevel,
+    Violation,
+};
 pub use machine::{
     Engine, FaultAt, Handled, Interp, InterpError, InterpFault, NetConfig, Stats, SwitchState,
 };

@@ -955,9 +955,8 @@ impl<'p> Exec<'p> {
             }
             Builtin::EventMLocate => {
                 let mut v = self.eval(shard, &args[0], cx)?;
-                let g = match self.eval(shard, &args[1], cx)? {
-                    Value::Group(g) => g,
-                    _ => panic!("checked: group"),
+                let Value::Group(g) = self.eval(shard, &args[1], cx)? else {
+                    panic!("checked: group")
                 };
                 if let Value::Event(ev) = &mut v {
                     ev.location = Location::Group(g);
@@ -1462,9 +1461,7 @@ impl<'p> Interp<'p> {
             epoch_ns.min(link)
         };
         let nworkers = if workers == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
         } else {
             workers
         }
@@ -1530,7 +1527,7 @@ impl<'p> Interp<'p> {
                             sh.queue.push(Reverse(ev));
                         }
                         let mut rsp = Rsp::default();
-                        for shard in shards.iter_mut() {
+                        for shard in &mut shards {
                             while let Some(Reverse(head)) = shard.queue.peek() {
                                 // The per-epoch budget keeps zero-latency
                                 // recirculation loops from spinning forever

@@ -891,7 +891,7 @@ impl SimReport {
 
     /// The machine-readable form `lucidc sim --json` prints.
     pub fn to_json(&self) -> String {
-        let mm: Vec<String> = self.mismatches.iter().map(|m| m.to_json()).collect();
+        let mm: Vec<String> = self.mismatches.iter().map(Mismatch::to_json).collect();
         let gens: Vec<String> = self
             .gens
             .iter()

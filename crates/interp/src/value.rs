@@ -77,14 +77,14 @@ impl fmt::Display for Value {
             Value::Int { v, .. } => write!(f, "{v}"),
             Value::Bool(b) => write!(f, "{b}"),
             Value::Event(e) => {
-                let args: Vec<String> = e.args.iter().map(|a| a.to_string()).collect();
+                let args: Vec<String> = e.args.iter().map(ToString::to_string).collect();
                 write!(f, "{}({})", e.name, args.join(", "))
             }
             Value::Group(g) => write!(
                 f,
                 "{{{}}}",
                 g.iter()
-                    .map(|x| x.to_string())
+                    .map(ToString::to_string)
                     .collect::<Vec<_>>()
                     .join(", ")
             ),

@@ -89,7 +89,7 @@ impl DelayQueue {
         let interval = self.release_interval_ns as f64;
 
         let mut releases = 0u64;
-        while done.iter().any(|d| d.is_none()) {
+        while done.iter().any(Option::is_none) {
             releases += 1;
             let t = releases as f64 * interval;
             // Drain every parked event once, at line rate, in queue order.

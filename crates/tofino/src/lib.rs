@@ -14,6 +14,8 @@
 //!   (Figure 16) and the Mantis-like remote-control latency baseline used
 //!   by Figure 17.
 
+#![forbid(unsafe_code)]
+
 pub mod delay_queue;
 pub mod model;
 pub mod recirc;

@@ -1,2 +1,4 @@
 //! Workspace-level integration-test crate. All content lives in
 //! `tests/tests/*.rs`; this library is intentionally empty.
+
+#![forbid(unsafe_code)]

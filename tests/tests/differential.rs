@@ -62,7 +62,15 @@ type Outcome = Result<
 >;
 
 fn run(w: &Workload, engine: Engine, exec: ExecMode, opt: OptLevel) -> Outcome {
-    let (_, prog) = &apps()[w.app];
+    let (key, prog) = &apps()[w.app];
+    // Verify before executing: a miscompile must fail here with a V-code
+    // naming the guilty pass, not downstream as a state divergence the
+    // differential harness would have to diagnose back to the optimizer.
+    if exec == ExecMode::Bytecode {
+        if let Err(vs) = lucid_core::interp::CompiledProg::compile_verified(prog, opt) {
+            panic!("{key}: verifier rejected O{} bytecode: {vs:?}", opt.label());
+        }
+    }
     let mut cfg = NetConfig::mesh(w.switches);
     cfg.engine = engine;
     cfg.exec = exec;

@@ -96,7 +96,10 @@ fn optimizer_improves_the_bundled_apps() {
             .map(|&l| {
                 let cp = lucid_interp::CompiledProg::compile_opt(&prog, l);
                 let instrs: usize = cp.handlers().map(|h| h.instrs().len()).sum();
-                let regs: usize = cp.handlers().map(|h| h.nregs()).sum();
+                let regs: usize = cp
+                    .handlers()
+                    .map(lucid_interp::bytecode::HandlerCode::nregs)
+                    .sum();
                 (instrs, regs)
             })
             .collect();

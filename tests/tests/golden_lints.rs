@@ -1,0 +1,109 @@
+//! Golden-file tests for the lint pass: the rendered `lucidc check
+//! --lint` listing of every bundled Figure-9 app is pinned under
+//! `tests/golden/<key>.lints.txt`. A diff means a lint's trigger, span,
+//! message, or the diagnostic renderer changed — regenerate deliberately
+//! with `UPDATE_GOLDEN=1 cargo test -p lucid-tests --test golden_lints`
+//! and review the diff like any other code change.
+//!
+//! Pinning the *full* listings (not just counts) keeps the W05xx codes
+//! honest as a stable interface: editors and CI scripts may match on
+//! them, so a code renumbering shows up here as a reviewable diff.
+//!
+//! `GOLDEN_DIR=<dir>` redirects reads/writes, exactly like the bytecode
+//! goldens, so the `ci.sh` drift guard covers both families in one diff.
+
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    match std::env::var_os("GOLDEN_DIR") {
+        Some(dir) => PathBuf::from(dir),
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("golden"),
+    }
+}
+
+/// The pinned artifact: rendered diagnostics, or an explicit marker so a
+/// lint-clean app still has a golden file (and a *new* lint firing on a
+/// clean app shows up as a diff, not a missing-file error).
+fn lint_listing(app: &lucid_apps::AppInfo) -> String {
+    let mut build = lucid_core::Compiler::new().build(&format!("{}.lucid", app.key), app.source);
+    let lints = build
+        .lint()
+        .unwrap_or_else(|ds| panic!("{} does not check: {ds}", app.key))
+        .clone();
+    if lints.is_empty() {
+        "clean: no lints\n".to_string()
+    } else {
+        lints.render(build.source_map())
+    }
+}
+
+#[test]
+fn bundled_app_lints_match_golden_files() {
+    let update = std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1");
+    let dir = golden_dir();
+    if update {
+        std::fs::create_dir_all(&dir).expect("create golden dir");
+    }
+    let mut checked = 0;
+    for app in lucid_apps::all() {
+        let listing = lint_listing(&app);
+        let path = dir.join(format!("{}.lints.txt", app.key));
+        if update {
+            std::fs::write(&path, &listing).expect("write golden");
+            checked += 1;
+            continue;
+        }
+        let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{}: missing golden file {} ({e}); regenerate with UPDATE_GOLDEN=1",
+                app.key,
+                path.display()
+            )
+        });
+        assert_eq!(
+            listing,
+            want,
+            "{}: lint listing drifted from {}; if intended, regenerate with \
+             UPDATE_GOLDEN=1 and review the diff",
+            app.key,
+            path.display()
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, 10, "all ten Figure-9 apps must have lint goldens");
+}
+
+/// The lint pass is deterministic: diagnostics arrive in declaration
+/// order, never hash-map order, so the golden files cannot flap.
+#[test]
+fn lint_listings_are_deterministic() {
+    for app in lucid_apps::all().into_iter().take(3) {
+        let a = lint_listing(&app);
+        let b = lint_listing(&app);
+        assert_eq!(a, b, "{}", app.key);
+    }
+}
+
+/// The bundled apps are the repo's showcase: whatever the linter says
+/// about them must be warning-severity only (the pinned listings can
+/// name real findings, but never errors), and every code must be W05xx.
+#[test]
+fn bundled_app_lints_are_warnings_with_stable_codes() {
+    for app in lucid_apps::all() {
+        let mut build =
+            lucid_core::Compiler::new().build(&format!("{}.lucid", app.key), app.source);
+        let lints = build.lint().expect("app checks").clone();
+        assert!(!lints.has_errors(), "{}: lint emitted an error", app.key);
+        let rendered = lints.render(build.source_map());
+        for line in rendered.lines() {
+            if let Some(rest) = line.split("warning[").nth(1) {
+                let code = rest.split(']').next().unwrap_or("");
+                assert!(
+                    code.starts_with("W05"),
+                    "{}: lint emitted non-W05xx code `{code}`",
+                    app.key
+                );
+            }
+        }
+    }
+}

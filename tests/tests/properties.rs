@@ -4,7 +4,7 @@
 //! bundled application sources.
 
 use lucid_check::parse_and_check;
-use lucid_interp::Interp;
+use lucid_interp::{CompiledProg, Interp, OptLevel};
 use proptest::prelude::*;
 
 /// Build a program with `n_arrays` globals and one handler whose accesses
@@ -168,6 +168,41 @@ proptest! {
         sim.run_to_quiescence().unwrap();
         let masked_in = lucid_check::mask(v, w);
         prop_assert_eq!(sim.array(1, "out")[0], lucid_check::mask(masked_in + 1, w));
+    }
+
+    /// Every generated program compiles to *verified* bytecode at all
+    /// three optimization levels: init-before-use, width consistency,
+    /// jump sanity, frame bounds, and check coverage all hold, and every
+    /// elided bounds check carries a proof the verifier re-derives.
+    /// Varying the array size exercises both outcomes of the elision
+    /// analysis (a `hash<<w>>`-bounded index elides against a large
+    /// array, survives against a small one).
+    #[test]
+    fn generated_programs_verify_at_every_level(
+        mask in proptest::collection::vec(any::<bool>(), 8),
+        size_pow in 1u32..=7,
+    ) {
+        let order: Vec<usize> =
+            mask.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
+        let mut src = String::new();
+        let size = 1u64 << size_pow;
+        for i in 0..8 {
+            src.push_str(&format!("global g{i} = new Array<<32>>({size});\n"));
+        }
+        src.push_str("memop plus(int m, int x) { return m + x; }\n");
+        src.push_str("event go(int seed);\nhandle go(int seed) {\n");
+        src.push_str("    auto h = hash<<4>>(3, seed);\n");
+        src.push_str("    int idx = (int<<32>>) h;\n");
+        for &a in &order {
+            src.push_str(&format!("    Array.setm(g{a}, idx, plus, 1);\n"));
+        }
+        src.push_str("}\n");
+        let prog = parse_and_check(&src).expect("generated program checks");
+        for level in [OptLevel::O0, OptLevel::O1, OptLevel::O2] {
+            if let Err(vs) = CompiledProg::compile_verified(&prog, level) {
+                prop_assert!(false, "O{}: {vs:?}", level.label());
+            }
+        }
     }
 }
 
