@@ -125,20 +125,29 @@ echo "== workload scale"
 # The generator subsystem's scale proof: rescale the bundled dns_flood
 # scenario past one million injected events with `--events` (the stream
 # is pulled lazily — no event vector is ever materialized) and require
-# both engines to agree on the final state digest.
-digest() {
+# both engines to agree on the final state digest AND the latency-metrics
+# digest (one mis-bucketed histogram sample in the sharded collector
+# fails here, not just state divergence).
+flood_json() {
   target/release/lucidc sim --engine="$1" --exec=bytecode --events=1000000 --json \
     crates/apps/programs/dns_defense.lucid \
-    crates/apps/scenarios/dns_defense.flood.sim.json \
-    | sed -n 's/.*"state_digest":"\([0-9a-f]*\)".*/\1/p'
+    crates/apps/scenarios/dns_defense.flood.sim.json
 }
-d_seq=$(digest sequential)
-d_sh=$(digest sharded)
+j_seq=$(flood_json sequential)
+j_sh=$(flood_json sharded)
+state_of()   { printf '%s' "$1" | sed -n 's/.*"state_digest":"\([0-9a-f]*\)".*/\1/p'; }
+metrics_of() { printf '%s' "$1" | sed -n 's/.*"metrics":{"digest":"\([0-9a-f]*\)".*/\1/p'; }
+d_seq=$(state_of "$j_seq"); d_sh=$(state_of "$j_sh")
+m_seq=$(metrics_of "$j_seq"); m_sh=$(metrics_of "$j_sh")
 if [ -z "$d_seq" ] || [ "$d_seq" != "$d_sh" ]; then
   echo "workload scale: engine digests differ at 1M events (seq=$d_seq sharded=$d_sh)" >&2
   exit 1
 fi
-echo "-- 1M-event dns_flood digests agree: $d_seq"
+if [ -z "$m_seq" ] || [ "$m_seq" != "$m_sh" ]; then
+  echo "workload scale: metrics digests differ at 1M events (seq=$m_seq sharded=$m_sh)" >&2
+  exit 1
+fi
+echo "-- 1M-event dns_flood digests agree: state $d_seq, metrics $m_seq"
 
 echo "== bench smoke"
 # Every figure binary must run in smoke mode and emit parseable JSON.
@@ -155,6 +164,34 @@ for bin in fig09_apps fig10_loc_breakdown fig11_compile_times fig12_stage_ratio 
   echo "-- bench $bin"
   target/release/"$bin" --smoke --json | json_check
 done
+
+echo "== docs gate"
+# Rustdoc over the first-party crates must be warning-clean (broken
+# intra-doc links, redundant targets, bad code fences all fail); the
+# vendored shims are exempt. Then every docs/*.md file the README links
+# must actually exist — a renamed doc fails here, not as a 404 on GitHub.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
+  -p lucid-core -p lucid-frontend -p lucid-check -p lucid-backend \
+  -p lucid-tofino -p lucid-interp -p lucid-apps -p lucid-bench \
+  -p lucid-cli -p lucid-tests
+echo "-- rustdoc warning-clean across first-party crates"
+docs_missing=0
+for doc in $(grep -o 'docs/[A-Za-z0-9_.-]*\.md' README.md | sort -u); do
+  if [ ! -f "$doc" ]; then
+    echo "docs gate: README links $doc but it does not exist" >&2
+    docs_missing=1
+  fi
+done
+[ "$docs_missing" -eq 0 ]
+# The two reference docs are load-bearing for the README — keep them
+# linked, not just present.
+for doc in docs/ARCHITECTURE.md docs/scenario-schema.md; do
+  if ! grep -q "$doc" README.md; then
+    echo "docs gate: README no longer links $doc" >&2
+    exit 1
+  fi
+done
+echo "-- all README-linked docs/*.md files exist"
 
 echo "== perf trajectory gate (BENCH_PR.json)"
 # The two interpreter-speed benchmarks run in smoke mode and their JSON
@@ -185,5 +222,22 @@ floor() { # floor <label> <value> <min>
 floor "fig_sim_throughput bytecode_speedup" "$(field "$st_json" bytecode_speedup)" 6.0
 floor "fig_workload_scale bytecode_speedup" "$(field "$ws_json" bytecode_speedup)" 8.0
 floor "fig_workload_scale min_events_per_sec" "$(field "$ws_json" min_events_per_sec)" 20000
+
+# Render the latency-tail percentile rows human-readable next to the raw
+# JSON; the workflow uploads both, so a PR's tail latencies are one
+# click away without parsing BENCH_PR.json.
+python3 - > BENCH_PERCENTILES.txt <<'EOF'
+import json
+with open("BENCH_PR.json") as f:
+    doc = json.load(f)
+cols = ["metrics_digest", "lat_p50_ns", "lat_p90_ns", "lat_p99_ns",
+        "lat_p999_ns", "lat_max_ns", "res_p99_ns", "res_max_ns"]
+print(f"{'bench':<20} " + " ".join(f"{c:>16}" for c in cols))
+for name, fig in doc.items():
+    tail = fig.get("latency_tail", {})
+    print(f"{name:<20} " + " ".join(f"{tail.get(c, '-'):>16}" for c in cols))
+EOF
+echo "-- latency tail percentiles recorded (BENCH_PERCENTILES.txt):"
+cat BENCH_PERCENTILES.txt
 
 echo "CI OK"

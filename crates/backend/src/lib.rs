@@ -6,11 +6,11 @@
 //!
 //! Pipeline:
 //!
-//! 1. [`elaborate`] — function inlining, return normalization, and
+//! 1. [`mod@elaborate`] — function inlining, return normalization, and
 //!    subexpression elimination down to atomic (one-ALU) statements, with
 //!    branch conditions inlined as table guards (§6.1 and §6.2 step 1).
 //! 2. [`layout`] — dataflow-driven rearrangement, greedy merging, and stage
-//!    placement against the [`PipelineSpec`](lucid_tofino::PipelineSpec)
+//!    placement against the [`PipelineSpec`]
 //!    resource model (§6.2 steps 2–3).
 //! 3. [`p4`] — P4_16 text generation with Figure 10's per-category line
 //!    accounting.

@@ -4,7 +4,8 @@
 //!
 //! Correctness gate first: all four combinations (sequential/sharded
 //! engine x AST-walker/bytecode executor) must produce byte-identical
-//! final array state, statistics, traces, and printf output. Then
+//! final array state, statistics, traces, printf output, and
+//! per-event-class latency metrics. Then
 //! events/sec. Two speedups are reported: sharded-over-sequential
 //! reflects the host's core count (~1x on single-core boxes), while
 //! bytecode-over-AST is the flat-dispatch payoff and must be >= 2x
@@ -21,7 +22,7 @@ fn main() {
     let t = lucid_bench::sim_throughput(switches, injected, ttl, 0);
     assert!(
         t.identical,
-        "engine x exec combinations disagree on state/stats/trace/output — determinism bug"
+        "engine x exec combinations disagree on state/stats/trace/output/metrics — determinism bug"
     );
     assert!(
         t.bytecode_speedup >= 2.0,
@@ -46,13 +47,15 @@ fn main() {
             .collect();
         let doc = format!(
             "{{\"figure\":\"fig_sim_throughput\",\"switches\":{},\"injected_per_switch\":{},\
-             \"workers\":{},\"identical\":{},\"speedup\":{},\"bytecode_speedup\":{},\"rows\":[{}]}}",
+             \"workers\":{},\"identical\":{},\"speedup\":{},\"bytecode_speedup\":{},\
+             \"latency_tail\":{},\"rows\":[{}]}}",
             t.switches,
             t.injected_per_switch,
             t.workers,
             t.identical,
             jsonout::f(t.speedup),
             jsonout::f(t.bytecode_speedup),
+            t.tail.to_json(),
             rows.join(",")
         );
         println!("{doc}");
@@ -84,9 +87,10 @@ fn main() {
         )
     );
     println!(
-        "\nstate/stats/trace/printf identical across the matrix: {}",
+        "\nstate/stats/trace/printf/metrics identical across the matrix: {}",
         t.identical
     );
+    println!("{}", t.tail.render());
     println!(
         "bytecode speedup over the AST walker: {:.2}x (sequential engine)",
         t.bytecode_speedup

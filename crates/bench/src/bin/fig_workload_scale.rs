@@ -82,13 +82,14 @@ fn main() {
         let doc = format!(
             "{{\"figure\":\"fig_workload_scale\",\"switches\":{},\"target_events\":{},\
              \"identical\":{},\"min_events_per_sec\":{},\"bytecode_speedup\":{},\
-             \"opt_speedup\":{},\"rows\":[{}]}}",
+             \"opt_speedup\":{},\"latency_tail\":{},\"rows\":[{}]}}",
             t.switches,
             t.target_events,
             t.identical,
             jsonout::f(t.min_events_per_sec),
             jsonout::f(t.bytecode_speedup),
             jsonout::f(t.opt_speedup),
+            t.tail.to_json(),
             rows.join(",")
         );
         println!("{doc}");
@@ -121,9 +122,10 @@ fn main() {
         )
     );
     println!(
-        "\nstate digest, stats, and per-generator counts identical: {}",
+        "\nstate digest, metrics digest, stats, and per-generator counts identical: {}",
         t.identical
     );
+    println!("{}", t.tail.render());
     println!(
         "slowest combination: {:.0} events/sec (gate: >= {:.0})",
         t.min_events_per_sec, floor_eps

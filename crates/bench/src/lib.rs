@@ -392,6 +392,75 @@ fn mesh_workload(switches: u64) -> String {
     )
 }
 
+/// The run's overall latency tail (every event class merged into one
+/// histogram pair), recorded into `BENCH_PR.json` beside the throughput
+/// rows so the CI perf trajectory tracks tails, not just means. Virtual
+/// nanoseconds, so the numbers are deterministic — a changed tail means
+/// the simulation's timing behavior changed, not that the host was busy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyTail {
+    /// [`lucid_core::Metrics::digest`] of the full per-class metrics;
+    /// joined into each bench's identity check, so every combination
+    /// must agree on every histogram bit.
+    pub metrics_digest: u64,
+    pub lat_p50_ns: u64,
+    pub lat_p90_ns: u64,
+    pub lat_p99_ns: u64,
+    pub lat_p999_ns: u64,
+    pub lat_max_ns: u64,
+    pub res_p99_ns: u64,
+    pub res_max_ns: u64,
+}
+
+impl LatencyTail {
+    pub fn of(metrics: &lucid_core::Metrics) -> LatencyTail {
+        let all = metrics.overall().unwrap_or_default();
+        LatencyTail {
+            metrics_digest: metrics.digest(),
+            lat_p50_ns: all.dispatch.p50(),
+            lat_p90_ns: all.dispatch.p90(),
+            lat_p99_ns: all.dispatch.p99(),
+            lat_p999_ns: all.dispatch.p999(),
+            lat_max_ns: all.dispatch.max(),
+            res_p99_ns: all.residency.p99(),
+            res_max_ns: all.residency.max(),
+        }
+    }
+
+    /// The `"latency_tail"` object both figure binaries embed.
+    pub fn to_json(&self) -> String {
+        jsonout::obj(&[
+            (
+                "metrics_digest",
+                jsonout::s(&format!("{:016x}", self.metrics_digest)),
+            ),
+            ("lat_p50_ns", self.lat_p50_ns.to_string()),
+            ("lat_p90_ns", self.lat_p90_ns.to_string()),
+            ("lat_p99_ns", self.lat_p99_ns.to_string()),
+            ("lat_p999_ns", self.lat_p999_ns.to_string()),
+            ("lat_max_ns", self.lat_max_ns.to_string()),
+            ("res_p99_ns", self.res_p99_ns.to_string()),
+            ("res_max_ns", self.res_max_ns.to_string()),
+        ])
+    }
+
+    /// One human-readable summary line.
+    pub fn render(&self) -> String {
+        format!(
+            "latency tail (virtual ns): p50 {} / p90 {} / p99 {} / p999 {} / max {}; \
+             residency p99 {} / max {}; metrics digest {:016x}",
+            self.lat_p50_ns,
+            self.lat_p90_ns,
+            self.lat_p99_ns,
+            self.lat_p999_ns,
+            self.lat_max_ns,
+            self.res_p99_ns,
+            self.res_max_ns,
+            self.metrics_digest
+        )
+    }
+}
+
 /// One engine x executor combination's measurement on the mesh workload.
 #[derive(Debug, Clone)]
 pub struct SimThroughputRow {
@@ -419,6 +488,9 @@ pub struct SimThroughput {
     /// Bytecode events/sec over AST events/sec (sequential engine) —
     /// the flat-dispatch payoff; CI requires >= 2x.
     pub bytecode_speedup: f64,
+    /// The workload's overall latency tail; the metrics digest inside it
+    /// is part of the cross-combination identity check.
+    pub tail: LatencyTail,
 }
 
 /// Run the mesh workload under every engine x executor combination and
@@ -459,8 +531,10 @@ pub fn sim_throughput(
         lucid_core::interp::Stats,
         Vec<lucid_core::interp::Handled>,
         Vec<String>,
+        lucid_core::Metrics,
     );
     let mut rows = Vec::new();
+    let mut tail: Option<LatencyTail> = None;
     // Only the first trial's snapshot is retained; every later one is
     // compared against it and dropped (full mode holds ~100k trace
     // entries per snapshot — keeping all eight alive at once would be
@@ -504,6 +578,8 @@ pub fn sim_throughput(
             {
                 best = Some(row);
             }
+            let metrics = sim.metrics();
+            tail.get_or_insert_with(|| LatencyTail::of(&metrics));
             let observed: Observed = (
                 (1..=switches)
                     .flat_map(|s| [sim.array(s, "cnt").to_vec(), sim.array(s, "mix").to_vec()])
@@ -511,6 +587,7 @@ pub fn sim_throughput(
                 sim.stats.clone(),
                 sim.trace.clone(),
                 sim.output.clone(),
+                metrics,
             );
             match &reference {
                 None => reference = Some(observed),
@@ -534,6 +611,7 @@ pub fn sim_throughput(
         bytecode_speedup: rows[1].events_per_sec / rows[0].events_per_sec.max(1.0),
         rows,
         identical,
+        tail: tail.expect("at least one trial ran"),
     }
 }
 
@@ -565,8 +643,8 @@ pub struct WorkloadScale {
     /// One row per combination, sequential/ast first; the bytecode rows
     /// sweep opt levels 0, 1, 2 under the sequential engine.
     pub rows: Vec<WorkloadScaleRow>,
-    /// State digest, statistics, and per-generator counts agreed across
-    /// every combination.
+    /// State digest, metrics digest, statistics, and per-generator
+    /// counts agreed across every combination.
     pub identical: bool,
     /// Slowest combination's sustained events/sec — what the scale gate
     /// checks.
@@ -578,6 +656,9 @@ pub struct WorkloadScale {
     /// Optimized (O2) over unoptimized (O0) bytecode events/sec — what
     /// the superinstruction + regalloc passes themselves buy.
     pub opt_speedup: f64,
+    /// The workload's overall latency tail; its metrics digest is part
+    /// of the cross-combination identity check.
+    pub tail: LatencyTail,
 }
 
 /// The generator scenario behind `fig_workload_scale`: an 8-switch mesh
@@ -642,9 +723,10 @@ pub fn workload_scale(switches: u64, target_events: u64, workers: usize) -> Work
         (sharded, ExecMode::Bytecode, OptLevel::O2),
     ];
     /// Everything a combination's run must agree on.
-    type Observed = (u64, lucid_core::interp::Stats, Vec<(String, u64)>);
+    type Observed = (u64, u64, lucid_core::interp::Stats, Vec<(String, u64)>);
     let mut rows = Vec::new();
     let mut observed: Vec<Observed> = Vec::new();
+    let mut tail: Option<LatencyTail> = None;
     for (engine, exec, opt) in combos {
         let ov = SimOverrides {
             engine: Some(engine),
@@ -678,7 +760,13 @@ pub fn workload_scale(switches: u64, target_events: u64, workers: usize) -> Work
             {
                 best = Some(row);
             }
-            observed.push((report.state_digest, report.stats, report.gens));
+            tail.get_or_insert_with(|| LatencyTail::of(&report.metrics));
+            observed.push((
+                report.state_digest,
+                report.metrics.digest(),
+                report.stats,
+                report.gens,
+            ));
         }
         rows.push(best.expect("at least one trial"));
     }
@@ -698,6 +786,7 @@ pub fn workload_scale(switches: u64, target_events: u64, workers: usize) -> Work
         min_events_per_sec,
         bytecode_speedup,
         opt_speedup,
+        tail: tail.expect("at least one trial ran"),
     }
 }
 

@@ -47,6 +47,13 @@
 //!                             after every compiler pass before simulating
 //!                             (`sim`); violations report with stable V0xxx
 //!                             codes and exit 1
+//!   --metrics[=json]          append the per-event-class latency table
+//!                             (dispatch latency + queue residency
+//!                             p50/p90/p99/p999 per event x switch) to the
+//!                             `sim` report; `--metrics=json` prints the
+//!                             metrics object alone as stdout's one JSON
+//!                             document (conflicts with `--json`, which
+//!                             already embeds it in the full report)
 //!   --json                    print the `sim` report as one JSON object
 //! ```
 //!
@@ -69,8 +76,8 @@ const USAGE: &str = "usage: lucidc <check|compile|stages> [--emit=ast|ir|layout|
 [--target=tofino|pisa] [--opt=0|1|2] [--no-opt] [--lint] [--deny-lints] \
 [--json-diagnostics] <file.lucid>\n       \
 lucidc sim [--engine=sequential|sharded] [--workers=N] [--exec=ast|bytecode] \
-[--opt=0|1|2] [--seed=S] [--events=N] [--gen=<spec>] [--verify-bytecode] [--json] \
-<file.lucid> <scenario.sim.json>\n       \
+[--opt=0|1|2] [--seed=S] [--events=N] [--gen=<spec>] [--verify-bytecode] \
+[--metrics[=json]] [--json] <file.lucid> <scenario.sim.json>\n       \
 lucidc sim --dump-bytecode [--opt=0|1|2] [--verify-bytecode] <file.lucid> \
 [<scenario.sim.json>]\n       \
 lucidc apps | app <key>";
@@ -190,9 +197,24 @@ struct SimOptions {
     /// `--verify-bytecode`: run the bytecode verifier after every compiler
     /// pass before dumping or simulating.
     verify_bytecode: bool,
+    /// `--metrics[=json]`: how to surface the latency metrics.
+    metrics: MetricsOut,
     program: String,
     /// `None` only under `--dump-bytecode` (dump-only invocation).
     scenario: Option<String>,
+}
+
+/// How `sim` surfaces the per-event-class latency metrics. The `--json`
+/// report always embeds them regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricsOut {
+    /// No extra output (the default).
+    Off,
+    /// `--metrics`: append the human-readable percentile table.
+    Table,
+    /// `--metrics=json`: print the metrics object as stdout's one JSON
+    /// document instead of the human report.
+    Json,
 }
 
 fn parse_sim_options(args: &[String]) -> Result<SimOptions, String> {
@@ -207,6 +229,7 @@ fn parse_sim_options(args: &[String]) -> Result<SimOptions, String> {
     let mut json = false;
     let mut dump_bytecode = false;
     let mut verify_bytecode = false;
+    let mut metrics = MetricsOut::Off;
     let mut files: Vec<String> = Vec::new();
     for a in args {
         if let Some(v) = a.strip_prefix("--engine=") {
@@ -243,6 +266,13 @@ fn parse_sim_options(args: &[String]) -> Result<SimOptions, String> {
             dump_bytecode = true;
         } else if a == "--verify-bytecode" {
             verify_bytecode = true;
+        } else if a == "--metrics" {
+            metrics = MetricsOut::Table;
+        } else if let Some(v) = a.strip_prefix("--metrics=") {
+            if v != "json" {
+                return Err(format!("unknown --metrics value `{v}` (expected `json`)"));
+            }
+            metrics = MetricsOut::Json;
         } else if a.starts_with("--") {
             return Err(format!("unknown option `{a}`"));
         } else {
@@ -256,6 +286,13 @@ fn parse_sim_options(args: &[String]) -> Result<SimOptions, String> {
             return Err("pass either `--no-opt` or `--opt=N`, not both".to_string());
         }
         opt = Some(OptLevel::O0);
+    }
+    if metrics == MetricsOut::Json && json {
+        // Both ask for stdout's one JSON document; the full `--json`
+        // report already embeds the metrics object.
+        return Err(
+            "`--metrics=json` conflicts with `--json` (which already embeds metrics)".to_string(),
+        );
     }
     if let Some(w) = workers {
         match &mut engine {
@@ -292,6 +329,7 @@ fn parse_sim_options(args: &[String]) -> Result<SimOptions, String> {
         json,
         dump_bytecode,
         verify_bytecode,
+        metrics,
         program,
         scenario,
     })
@@ -404,8 +442,13 @@ fn run_sim(args: &[String]) -> ExitCode {
         Ok(report) => {
             if opts.json {
                 println!("{}", report.to_json());
+            } else if opts.metrics == MetricsOut::Json {
+                println!("{}", report.metrics.to_json());
             } else {
                 print!("{}", report.render());
+                if opts.metrics == MetricsOut::Table {
+                    print!("{}", report.metrics.render());
+                }
             }
             if report.passed() {
                 ExitCode::SUCCESS
@@ -932,6 +975,29 @@ mod tests {
         ])
         .unwrap();
         assert!(o.dump_bytecode && o.verify_bytecode);
+    }
+
+    #[test]
+    fn metrics_flag_parses() {
+        let o = parse_sim_options(&["p".into(), "s".into()]).unwrap();
+        assert_eq!(o.metrics, MetricsOut::Off);
+        let o = parse_sim_options(&["--metrics".into(), "p".into(), "s".into()]).unwrap();
+        assert_eq!(o.metrics, MetricsOut::Table);
+        let o = parse_sim_options(&["--metrics=json".into(), "p".into(), "s".into()]).unwrap();
+        assert_eq!(o.metrics, MetricsOut::Json);
+        // The plain table composes with --json (the report embeds the
+        // metrics object anyway); the JSON-only form conflicts with it.
+        let o = parse_sim_options(&["--metrics".into(), "--json".into(), "p".into(), "s".into()])
+            .unwrap();
+        assert_eq!((o.metrics, o.json), (MetricsOut::Table, true));
+        assert!(parse_sim_options(&[
+            "--metrics=json".into(),
+            "--json".into(),
+            "p".into(),
+            "s".into()
+        ])
+        .is_err());
+        assert!(parse_sim_options(&["--metrics=yaml".into(), "p".into(), "s".into()]).is_err());
     }
 
     #[test]

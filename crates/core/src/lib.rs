@@ -13,7 +13,7 @@
 //!   can re-run the backend under a different target without re-parsing
 //!   ([`reconfigure`](Build::reconfigure));
 //! * structured diagnostics: every failure is a set of
-//!   [`Diagnostic`](lucid_frontend::Diagnostic)s with severity, stable
+//!   [`Diagnostic`]s with severity, stable
 //!   code, and spans, rendered rustc-style
 //!   ([`render_diagnostics`](Build::render_diagnostics)) or as JSON
 //!   ([`diagnostics_json`](Build::diagnostics_json)) against the session's
@@ -62,8 +62,9 @@ pub use lucid_backend::{BackendOptions, Compiled, HandlerIr, Layout, LayoutOptio
 pub use lucid_check::{Analysis, CheckOptions, CheckedProgram};
 pub use lucid_frontend::{Diagnostic, Diagnostics, Program, SourceMap};
 pub use lucid_interp::{
-    disassemble, disassemble_opt, json_escape, run_scenario, run_scenario_with, ArgDist, Engine,
-    EventSource, ExecMode, FaultAt, GenSpec, Interp, InterpError, InterpFault, Mismatch, NetConfig,
+    disassemble, disassemble_opt, json_escape, run_scenario, run_scenario_with, ArgDist,
+    ClassHists, ClassMetrics, CmpOp, Engine, EventSource, ExecMode, FaultAt, GenSpec, Histogram,
+    Interp, InterpError, InterpFault, MetricExpect, MetricSel, Metrics, Mismatch, NetConfig,
     OptLevel, Phase, Scenario, ScenarioError, SimOverrides, SimReport, SimRunError, SourcedEvent,
     Violation, Workload,
 };

@@ -15,17 +15,17 @@
 //!
 //! The module tree mirrors the pipeline:
 //!
-//! * [`lower`] — one pass over the checked AST per handler, producing
+//! * `lower` — one pass over the checked AST per handler, producing
 //!   raw bytecode (what [`OptLevel::O0`] executes);
-//! * [`opt`] — the optimizer: a peephole/superinstruction pass
+//! * `opt` — the optimizer: a peephole/superinstruction pass
 //!   ([`OptLevel::O1`]) that elides provably-safe bounds checks and
 //!   fuses the dominant handler patterns (hash-then-index, checked
 //!   memop load/modify/store, compare-and-branch, const-operand
 //!   arithmetic) into single opcodes, then a linear-scan register
 //!   allocation pass ([`OptLevel::O2`], the default) that coalesces
 //!   moves and shrinks the per-shard scratch frame;
-//! * [`exec`] — the flat dispatch loop;
-//! * [`disasm`] — the stable listing golden-file tests pin
+//! * `exec` — the flat dispatch loop;
+//! * `disasm` — the stable listing golden-file tests pin
 //!   (`lucidc sim --dump-bytecode`).
 //!
 //! Every optimization level is bit-identical to the walker; the
@@ -100,7 +100,7 @@ impl ExecMode {
 /// levels only run faster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
 pub enum OptLevel {
-    /// Raw lowering, exactly as [`lower`] emits it.
+    /// Raw lowering, exactly as `lower` emits it.
     O0,
     /// Peephole/superinstruction pass: bounds-check elision and the
     /// fused opcodes (hash-then-index, checked array ops,
@@ -167,8 +167,8 @@ pub struct PrintArg {
 /// One bytecode instruction. `dst`/`a`/`b`/... index registers; `obj`
 /// fields index object slots; `gid`, `memop`, `group`, `fmt`, and
 /// `event_id` index the per-program pools. The `Chk*`, `*Imm`, `JCmp*`,
-/// and `HashChk` variants are superinstructions: [`lower`] never emits
-/// them, the [`opt`] peephole pass fuses them out of the raw patterns.
+/// and `HashChk` variants are superinstructions: `lower` never emits
+/// them, the `opt` peephole pass fuses them out of the raw patterns.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Instr {
     /// `r[dst] = (imm, w)`.

@@ -34,6 +34,7 @@
 
 pub mod bytecode;
 pub mod machine;
+pub mod metrics;
 pub mod scenario;
 pub mod value;
 pub mod workload;
@@ -45,9 +46,10 @@ pub use bytecode::{
 pub use machine::{
     Engine, FaultAt, Handled, Interp, InterpError, InterpFault, NetConfig, Stats, SwitchState,
 };
+pub use metrics::{ClassHists, ClassMetrics, Histogram, MetricSel, Metrics};
 pub use scenario::{
-    json_escape, run_scenario, run_scenario_with, Mismatch, Scenario, ScenarioError, SimOverrides,
-    SimReport, SimRunError,
+    json_escape, run_scenario, run_scenario_with, CmpOp, MetricExpect, Mismatch, Scenario,
+    ScenarioError, SimOverrides, SimReport, SimRunError,
 };
 pub use value::{lucid_hash, EventVal, Location, Value};
 pub use workload::{ArgDist, EventSource, GenSpec, Generator, Phase, SourcedEvent, Workload};

@@ -15,7 +15,7 @@
 //! event queue, and its emission counter. Two drivers execute the shards:
 //!
 //! * [`Engine::Sequential`] — the reference: one global queue, events
-//!   dispatched strictly in [`Key`] order (virtual time, then origin).
+//!   dispatched strictly in `Key` order (virtual time, then origin).
 //! * [`Engine::Sharded`] — a conservative parallel discrete-event
 //!   simulation: each shard runs its own queue on a small worker pool,
 //!   synchronizing at virtual-clock *epoch barriers* no wider than the
@@ -25,7 +25,7 @@
 //!   sequential engine would produce. Successful runs are bit-identical
 //!   between the two engines: final array state, statistics, trace, and
 //!   printf output all match (the trace is merged back into global
-//!   [`Key`] order at each run's end).
+//!   `Key` order at each run's end).
 //!
 //! Error runs differ in bookkeeping only: the sharded engine checks the
 //! event budget at epoch barriers (so it may overshoot `max_events`
@@ -35,6 +35,7 @@
 //! smallest event key wins).
 
 use crate::bytecode::{CompiledProg, ExecMode, OptLevel};
+use crate::metrics::{ClassHists, Metrics, ShardMetrics};
 use crate::value::{lucid_hash, EventVal, Location, Value};
 use crate::workload::EventSource;
 use lucid_check::{eval_memop, mask, CheckedProgram, GlobalId};
@@ -394,6 +395,16 @@ struct Scheduled {
     switch: u64,
     event_id: usize,
     args: Vec<u64>,
+    /// Virtual instant this entry was enqueued: the emitting shard's
+    /// clock for generated events, the arrival time itself for external
+    /// injections. `key.time_ns - enq_ns` is the queue residency the
+    /// metrics layer records. (Keys are unique, so these trailing fields
+    /// never influence the derived `Ord`.)
+    enq_ns: u64,
+    /// Arrival time of the external injection at the root of this
+    /// event's causal chain, inherited across `generate`.
+    /// `key.time_ns - root_ns` is the dispatch latency.
+    root_ns: u64,
 }
 
 /// Flow of control inside a handler body.
@@ -430,6 +441,13 @@ pub(crate) struct Shard {
     /// [`Stats::per_event`] once per run (keeps the dispatch hot path
     /// free of string allocation and hashing).
     per_event_ids: Vec<u64>,
+    /// Per-event-id latency histograms, same id-indexed pattern as
+    /// `per_event_ids`: lock-free on the dispatch path, folded into the
+    /// interpreter-level [`Metrics`] once per run.
+    metrics: ShardMetrics,
+    /// Root-injection time of the event currently dispatching, so
+    /// `generate` can thread the causal chain's root into its emissions.
+    cur_root_ns: u64,
 }
 
 impl Shard {
@@ -449,6 +467,8 @@ impl Shard {
             bc_objs: Vec::new(),
             bc_hash: Vec::new(),
             per_event_ids: vec![0; prog.info.events.len()],
+            metrics: ShardMetrics::new(prog.info.events.len()),
+            cur_root_ns: 0,
         }
     }
 
@@ -531,6 +551,20 @@ impl<'p> Exec<'p> {
             shard.stats.dropped += 1;
             return Ok(());
         }
+
+        // Metrics: both measurements are differences of deterministic
+        // virtual instants (dispatch time is the event's own key time in
+        // either engine), so sequential and sharded runs record
+        // identical samples. Dropped events never dispatch and are not
+        // measured; handled and exported events both are, matching
+        // `per_event` counts. The root instant is parked on the shard so
+        // any `generate` in the handler body inherits it.
+        shard.metrics.record(
+            sched.event_id,
+            sched.key.time_ns - sched.root_ns,
+            sched.key.time_ns - sched.enq_ns,
+        );
+        shard.cur_root_ns = sched.root_ns;
 
         // Bytecode fast path: flat dispatch over the compiled handler.
         if let Some(cp) = self.compiled.as_deref() {
@@ -710,6 +744,8 @@ impl<'p> Exec<'p> {
             switch: target,
             event_id: ev.event_id,
             args,
+            enq_ns: shard.now_ns,
+            root_ns: shard.cur_root_ns,
         };
         if target == from {
             shard.stats.recirculated += 1;
@@ -1043,7 +1079,7 @@ pub struct Interp<'p> {
     inj_seq: u64,
     /// Simulation clock, nanoseconds.
     pub now_ns: u64,
-    /// Every handled event, in deterministic [`Key`] order. Cleared with
+    /// Every handled event, in deterministic `Key` order. Cleared with
     /// [`Interp::clear_trace`].
     pub trace: Vec<Handled>,
     /// `printf` output lines, in the same deterministic order.
@@ -1060,6 +1096,11 @@ pub struct Interp<'p> {
     source: Option<Box<dyn EventSource>>,
     /// Events injected per source index (for per-generator report rows).
     source_counts: Vec<u64>,
+    /// Per-class latency histograms folded out of the shards once per
+    /// run, keyed (switch, event name) for deterministic order. Each
+    /// class lives on exactly one shard and histogram merge commutes, so
+    /// both engines accumulate bit-identical content here.
+    metrics_acc: BTreeMap<(u64, String), ClassHists>,
 }
 
 impl<'p> Interp<'p> {
@@ -1083,6 +1124,7 @@ impl<'p> Interp<'p> {
             compiled: None,
             source: None,
             source_counts: Vec::new(),
+            metrics_acc: BTreeMap::new(),
         };
         interp.ensure_compiled();
         interp
@@ -1178,6 +1220,11 @@ impl<'p> Interp<'p> {
             switch,
             event_id: ev.id,
             args: masked,
+            // An injection roots its own causal chain and spends no
+            // virtual time queued (it is scheduled at its arrival
+            // instant), so both metric baselines are the key time.
+            enq_ns: time_ns,
+            root_ns: time_ns,
         }));
         Ok(())
     }
@@ -1241,6 +1288,8 @@ impl<'p> Interp<'p> {
                 switch: ev.switch,
                 event_id: ev.event_id,
                 args,
+                enq_ns: ev.time_ns,
+                root_ns: ev.time_ns,
             });
         }
     }
@@ -1330,6 +1379,7 @@ impl<'p> Interp<'p> {
         // materialize into `Stats::per_event` once per run — faulted
         // runs included, since tests compare those stats too.
         self.fold_per_event_counts();
+        self.fold_metrics();
         res
     }
 
@@ -1349,6 +1399,30 @@ impl<'p> Interp<'p> {
                 }
             }
         }
+    }
+
+    /// Fold every shard's per-event histograms into the metrics
+    /// accumulator, zeroing the shard collectors (safe to call any
+    /// number of times; accumulates across segmented runs the way a
+    /// failure schedule drives them).
+    fn fold_metrics(&mut self) {
+        for shard in self.shards.values_mut() {
+            Metrics::absorb_shard(
+                &mut self.metrics_acc,
+                shard.switch,
+                &mut shard.metrics,
+                |id| self.prog.info.events[id].name.clone(),
+            );
+        }
+    }
+
+    /// The per-event-class latency metrics accumulated so far, one row
+    /// per (switch, event) class in sorted order. Deterministic and
+    /// engine-independent: both engines yield bit-identical metrics
+    /// ([`Metrics::digest`]) on successful runs, same contract as state,
+    /// stats, and trace.
+    pub fn metrics(&self) -> Metrics {
+        Metrics::from_acc(&self.metrics_acc)
     }
 
     /// Run with a generous default budget; most tests use this.

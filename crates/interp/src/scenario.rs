@@ -23,6 +23,7 @@
 
 use crate::bytecode::{ExecMode, OptLevel};
 use crate::machine::{Engine, Interp, InterpError, NetConfig, Stats};
+use crate::metrics::{MetricSel, Metrics};
 use crate::workload::{ArgDist, GenSpec, Phase, Workload};
 use lucid_check::{mask, CheckedProgram};
 use std::fmt;
@@ -191,6 +192,70 @@ pub struct Expectations {
     pub per_event: Vec<(String, u64)>,
 }
 
+/// Comparison operator of one `$.metrics.expect` assertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+impl CmpOp {
+    /// Parse a scenario `op` field.
+    pub fn parse(s: &str) -> Option<CmpOp> {
+        Some(match s {
+            "<" => CmpOp::Lt,
+            "<=" => CmpOp::Le,
+            ">" => CmpOp::Gt,
+            ">=" => CmpOp::Ge,
+            "==" => CmpOp::Eq,
+            "!=" => CmpOp::Ne,
+            _ => return None,
+        })
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+        }
+    }
+
+    pub fn holds(self, got: u64, want: u64) -> bool {
+        match self {
+            CmpOp::Lt => got < want,
+            CmpOp::Le => got <= want,
+            CmpOp::Gt => got > want,
+            CmpOp::Ge => got >= want,
+            CmpOp::Eq => got == want,
+            CmpOp::Ne => got != want,
+        }
+    }
+}
+
+/// One statistical assertion from the scenario's `metrics` block, e.g.
+/// "the p99 dispatch latency of `pkt` on switch 1 is below 5 µs":
+/// `{"event":"pkt","switch":1,"metric":"latency_p99_ns","op":"<","value":5000}`.
+/// Without `switch` the assertion reads the event's histograms merged
+/// across every switch. Metrics are deterministic, so exact assertions
+/// (`==`) are as reproducible as bounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricExpect {
+    pub event: String,
+    /// Pin one event class; `None` aggregates the event over all switches.
+    pub switch: Option<u64>,
+    pub metric: MetricSel,
+    pub op: CmpOp,
+    pub value: u64,
+}
+
 /// A parsed scenario file. (`Eq` stops at `PartialEq`: zipf exponents in
 /// generator specs are floats.)
 #[derive(Debug, Clone, PartialEq)]
@@ -216,6 +281,9 @@ pub struct Scenario {
     pub generators: Vec<GenSpec>,
     pub failures: Vec<FailureAction>,
     pub expect: Expectations,
+    /// Statistical assertions over the run's latency metrics
+    /// (`$.metrics.expect`), checked alongside `expect`.
+    pub metrics: Vec<MetricExpect>,
 }
 
 impl Scenario {
@@ -259,6 +327,7 @@ impl Scenario {
                 "generators",
                 "failures",
                 "expect",
+                "metrics",
             ],
             "$",
         )?;
@@ -573,6 +642,48 @@ impl Scenario {
             }
         }
 
+        let mut metrics = Vec::new();
+        if let Some(m) = get(fields, "metrics") {
+            let mf = obj(m, "$.metrics")?;
+            check_keys(mf, &["expect"], "$.metrics")?;
+            if let Some(items) = get(mf, "expect") {
+                for (i, item) in arr(items, "$.metrics.expect")?.iter().enumerate() {
+                    let path = format!("$.metrics.expect[{i}]");
+                    let xf = obj(item, &path)?;
+                    check_keys(xf, &["event", "switch", "metric", "op", "value"], &path)?;
+                    let event = str_of(req(xf, "event", &path)?, &format!("{path}.event"))?;
+                    let switch = match get(xf, "switch") {
+                        Some(j) => Some(u64_of(j, &format!("{path}.switch"))?),
+                        None => None,
+                    };
+                    let sel = str_of(req(xf, "metric", &path)?, &format!("{path}.metric"))?;
+                    let Some(metric) = MetricSel::parse(sel) else {
+                        return Err(ScenarioError::schema(
+                            &format!("{path}.metric"),
+                            format!(
+                                "unknown metric `{sel}` (expected one of {})",
+                                MetricSel::all_labels().join(", ")
+                            ),
+                        ));
+                    };
+                    let op_s = str_of(req(xf, "op", &path)?, &format!("{path}.op"))?;
+                    let Some(op) = CmpOp::parse(op_s) else {
+                        return Err(ScenarioError::schema(
+                            &format!("{path}.op"),
+                            format!("unknown operator `{op_s}` (expected <, <=, >, >=, ==, !=)"),
+                        ));
+                    };
+                    metrics.push(MetricExpect {
+                        event: event.to_string(),
+                        switch,
+                        metric,
+                        op,
+                        value: u64_of(req(xf, "value", &path)?, &format!("{path}.value"))?,
+                    });
+                }
+            }
+        }
+
         Ok(Scenario {
             name,
             description,
@@ -590,6 +701,7 @@ impl Scenario {
             generators,
             failures,
             expect,
+            metrics,
         })
     }
 
@@ -779,6 +891,24 @@ impl Scenario {
             }
         }
 
+        for (i, m) in self.metrics.iter().enumerate() {
+            let path = format!("$.metrics.expect[{i}]");
+            if prog.info.event(&m.event).is_none() {
+                return Err(ScenarioError::validate(
+                    &format!("{path}.event"),
+                    format!("no event named `{}`", m.event),
+                ));
+            }
+            if let Some(s) = m.switch {
+                if !known_switch(s) {
+                    return Err(ScenarioError::validate(
+                        &format!("{path}.switch"),
+                        format!("switch {s} is not in the topology"),
+                    ));
+                }
+            }
+        }
+
         Ok(())
     }
 }
@@ -801,6 +931,16 @@ pub enum Mismatch {
     /// An event-count expectation differed (`what` is `handled`,
     /// `dropped`, `exported`, or `event:<name>`).
     Count { what: String, want: u64, got: u64 },
+    /// A `$.metrics.expect` assertion failed. `class` is `event@switch`
+    /// or just `event` for all-switch aggregates; `metric` is the
+    /// selector's canonical name; `op`/`want` restate the assertion.
+    Metric {
+        class: String,
+        metric: &'static str,
+        op: &'static str,
+        want: u64,
+        got: u64,
+    },
 }
 
 impl fmt::Display for Mismatch {
@@ -823,6 +963,16 @@ impl fmt::Display for Mismatch {
             Mismatch::Count { what, want, got } => {
                 write!(f, "{what}: expected {want}, got {got}")
             }
+            Mismatch::Metric {
+                class,
+                metric,
+                op,
+                want,
+                got,
+            } => write!(
+                f,
+                "metrics `{class}` {metric}: expected {op} {want}, got {got}"
+            ),
         }
     }
 }
@@ -848,6 +998,18 @@ impl Mismatch {
             Mismatch::Count { what, want, got } => format!(
                 "{{\"kind\":\"count\",\"what\":\"{}\",\"want\":{want},\"got\":{got}}}",
                 json_escape(what)
+            ),
+            Mismatch::Metric {
+                class,
+                metric,
+                op,
+                want,
+                got,
+            } => format!(
+                "{{\"kind\":\"metric\",\"class\":\"{}\",\"metric\":\"{metric}\",\
+                 \"op\":\"{}\",\"want\":{want},\"got\":{got}}}",
+                json_escape(class),
+                json_escape(op)
             ),
         }
     }
@@ -880,6 +1042,10 @@ pub struct SimReport {
     /// Per-generator injection counts, in declaration order (empty when
     /// the scenario has no `generators` section).
     pub gens: Vec<(String, u64)>,
+    /// Per-event-class latency metrics (dispatch latency and queue
+    /// residency histograms with tail percentiles). Deterministic and
+    /// engine-independent like `state_digest`.
+    pub metrics: Metrics,
     pub mismatches: Vec<Mismatch>,
 }
 
@@ -902,7 +1068,8 @@ impl SimReport {
              \"events_processed\":{},\"events_handled\":{},\"recirculated\":{},\
              \"sent_remote\":{},\"exported\":{},\"dropped\":{},\
              \"sim_ns\":{},\"wall_ms\":{:.3},\"events_per_sec\":{:.0},\
-             \"state_digest\":\"{:016x}\",\"generators\":[{}],\"ok\":{},\"mismatches\":[{}]}}",
+             \"state_digest\":\"{:016x}\",\"metrics\":{},\"generators\":[{}],\
+             \"ok\":{},\"mismatches\":[{}]}}",
             json_escape(&self.scenario),
             self.engine,
             self.exec,
@@ -918,6 +1085,7 @@ impl SimReport {
             self.wall_ms,
             self.events_per_sec,
             self.state_digest,
+            self.metrics.to_json(),
             gens.join(","),
             self.passed(),
             mm.join(",")
@@ -1124,8 +1292,10 @@ pub fn run_scenario_with(
     // expectations for; check them only when the workload ran as authored.
     let workload_overridden =
         !sc.generators.is_empty() && (ov.seed.is_some() || ov.events.is_some());
+    let metrics = sim.metrics();
     if !workload_overridden {
         check_expectations(&sim, &sc.expect, &mut mismatches);
+        check_metric_expectations(&metrics, &sc.metrics, &mut mismatches);
     }
     let state_digest = digest_state(prog, &sim, &sc.switches);
     let gens = gen_names
@@ -1149,6 +1319,7 @@ pub fn run_scenario_with(
         stats: sim.stats.clone(),
         state_digest,
         gens,
+        metrics,
         mismatches,
     })
 }
@@ -1232,6 +1403,35 @@ fn check_expectations(sim: &Interp, expect: &Expectations, out: &mut Vec<Mismatc
     for (name, want) in &expect.per_event {
         let got = sim.stats.per_event.get(name).copied().unwrap_or(0);
         count(&format!("event:{name}"), Some(*want), got);
+    }
+}
+
+/// Evaluate every `$.metrics.expect` assertion against the run's merged
+/// metrics. A class that never dispatched reads as an empty histogram
+/// pair (count 0, every percentile 0), so "count >= N" naturally fails
+/// and "latency < K" trivially holds on silence — assert `count` too
+/// when silence would be a bug.
+fn check_metric_expectations(metrics: &Metrics, expect: &[MetricExpect], out: &mut Vec<Mismatch>) {
+    for m in expect {
+        let hists = match m.switch {
+            Some(s) => metrics.class(s, &m.event).map(|c| c.hists.clone()),
+            None => metrics.aggregate_event(&m.event),
+        }
+        .unwrap_or_default();
+        let got = m.metric.read(&hists);
+        if !m.op.holds(got, m.value) {
+            let class = match m.switch {
+                Some(s) => format!("{}@{s}", m.event),
+                None => m.event.clone(),
+            };
+            out.push(Mismatch::Metric {
+                class,
+                metric: m.metric.label(),
+                op: m.op.label(),
+                want: m.value,
+                got,
+            });
+        }
     }
 }
 

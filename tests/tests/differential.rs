@@ -50,13 +50,17 @@ struct Workload {
     events: Vec<(u64, u64, u64, [u64; 4])>,
 }
 
-/// Everything observable about one finished (or faulted) run.
+/// Everything observable about one finished (or faulted) run. The final
+/// `u64` is the metrics digest — per-event-class latency/residency
+/// histograms folded to one value — so a single mis-bucketed sample in
+/// the sharded collector shows up as a differential failure.
 type Outcome = Result<
     (
         Vec<Vec<Vec<u64>>>,
         lucid_core::interp::Stats,
         Vec<lucid_core::interp::Handled>,
         Vec<String>,
+        u64,
     ),
     InterpError,
 >;
@@ -108,6 +112,7 @@ fn run(w: &Workload, engine: Engine, exec: ExecMode, opt: OptLevel) -> Outcome {
         sim.stats.clone(),
         sim.trace.clone(),
         sim.output.clone(),
+        sim.metrics().digest(),
     ))
 }
 
@@ -211,9 +216,16 @@ fn every_app_runs_identically_across_the_matrix() {
                 );
             }
         }
-        // Ensure the workload actually did something.
-        if let Ok((_, stats, ..)) = &reference {
+        // Ensure the workload actually did something — and that the
+        // metrics collector actually saw it (a digest of empty
+        // histograms would make the equality above vacuous).
+        if let Ok((_, stats, _, _, digest)) = &reference {
             assert!(stats.processed > 0, "{key}: empty run");
+            assert_ne!(
+                *digest,
+                lucid_core::Metrics::default().digest(),
+                "{key}: metrics digest is the empty digest despite processed events"
+            );
         }
     }
 }

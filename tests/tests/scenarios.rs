@@ -109,6 +109,115 @@ fn expectation_mismatches_are_structured_and_rendered() {
     assert!(json.contains("\"ok\":false"), "{json}");
 }
 
+// ------------------------------------------------- metrics expect blocks
+
+#[test]
+fn metrics_block_parses_and_validates() {
+    let prog = checked("event pkt(int x); handle pkt(int x) { int y = x; }");
+    let sc = Scenario::from_json(
+        r#"{"net": {"switches": 2},
+            "events": [{"time_ns": 0, "switch": 1, "event": "pkt", "args": [1]}],
+            "metrics": {"expect": [
+                {"event": "pkt", "switch": 1, "metric": "count", "op": "==", "value": 1},
+                {"event": "pkt", "metric": "latency_p99_ns", "op": "<=", "value": 5000}
+            ]}}"#,
+    )
+    .unwrap();
+    assert_eq!(sc.metrics.len(), 2);
+    sc.validate(&prog).unwrap();
+
+    // Unknown event / out-of-range switch inside the block are caught at
+    // validation with the field's JSON path.
+    for (body, want_path) in [
+        (
+            r#"{"metrics": {"expect": [{"event": "nope", "metric": "count", "op": "==", "value": 0}]}}"#,
+            "$.metrics.expect[0].event",
+        ),
+        (
+            r#"{"net": {"switches": 2},
+                "metrics": {"expect": [{"event": "pkt", "switch": 5, "metric": "count", "op": "==", "value": 0}]}}"#,
+            "$.metrics.expect[0].switch",
+        ),
+    ] {
+        let err = Scenario::from_json(body)
+            .unwrap()
+            .validate(&prog)
+            .unwrap_err();
+        assert!(
+            matches!(&err, ScenarioError::Validate { path, .. } if path == want_path),
+            "body {body} gave {err:?}"
+        );
+    }
+}
+
+#[test]
+fn unknown_metric_and_op_are_schema_errors() {
+    let err = Scenario::from_json(
+        r#"{"metrics": {"expect": [{"event": "pkt", "metric": "latency_p42_ns", "op": "==", "value": 0}]}}"#,
+    )
+    .unwrap_err();
+    let msg = err.to_string();
+    // The error lists the valid selector names so a typo is self-serviceable.
+    assert!(msg.contains("latency_p42_ns"), "{msg}");
+    assert!(msg.contains("latency_p99_ns"), "{msg}");
+
+    let err = Scenario::from_json(
+        r#"{"metrics": {"expect": [{"event": "pkt", "metric": "count", "op": "~=", "value": 0}]}}"#,
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("~="), "{err}");
+}
+
+#[test]
+fn metric_expectation_failures_are_structured() {
+    let prog = checked("event pkt(int x); handle pkt(int x) { int y = x; }");
+    let sc = Scenario::from_json(
+        r#"{"name": "mfail",
+            "events": [{"time_ns": 0, "switch": 1, "event": "pkt", "args": [1]}],
+            "metrics": {"expect": [
+                {"event": "pkt", "switch": 1, "metric": "count", "op": "==", "value": 7},
+                {"event": "pkt", "metric": "latency_max_ns", "op": ">", "value": 100}
+            ]}}"#,
+    )
+    .unwrap();
+    let report = run_scenario(&prog, &sc, None, None).unwrap();
+    assert!(!report.passed());
+    assert_eq!(report.mismatches.len(), 2, "{:?}", report.mismatches);
+    let rendered = report.render();
+    assert!(
+        rendered.contains("`pkt@1` count: expected == 7, got 1"),
+        "{rendered}"
+    );
+    let json = report.to_json();
+    assert!(json.contains("\"kind\":\"metric\""), "{json}");
+    assert!(json.contains("\"metric\":\"latency_max_ns\""), "{json}");
+}
+
+/// Metric assertions describe the authored workload, so — like `expect`
+/// — they are skipped when `--seed`/`--events` replace that workload.
+#[test]
+fn metric_expectations_skip_when_workload_overridden() {
+    let prog = checked("event pkt(int x); handle pkt(int x) { int y = x; }");
+    let sc = Scenario::from_json(
+        r#"{"name": "mskip",
+            "generators": [{"name": "g", "event": "pkt", "switch": 1, "rate_eps": 1000000,
+                            "count": 10, "args": [3]}],
+            "metrics": {"expect": [{"event": "pkt", "metric": "count", "op": "==", "value": 10}]}}"#,
+    )
+    .unwrap();
+    let base = run_scenario(&prog, &sc, None, None).unwrap();
+    assert!(base.passed(), "{:?}", base.mismatches);
+
+    let overrides = lucid_core::SimOverrides {
+        events: Some(25),
+        ..Default::default()
+    };
+    let rescaled = lucid_core::run_scenario_with(&prog, &sc, &overrides).unwrap();
+    // count is now 25, contradicting the block — but the block is inert.
+    assert!(rescaled.passed(), "{:?}", rescaled.mismatches);
+    assert_eq!(rescaled.stats.processed, 25);
+}
+
 // ----------------------------------------------------- checked-in suite
 
 /// Every `crates/apps/scenarios/*.sim.json` must load, validate against
@@ -185,6 +294,11 @@ fn bundled_scenarios_are_engine_deterministic() {
                 let combo = format!("{app} [{}/{}]", engine.label(), exec.label());
                 assert_eq!(seq.state_digest, got.state_digest, "{combo}: state differs");
                 assert_eq!(seq.stats, got.stats, "{combo}: statistics differ");
+                assert_eq!(
+                    seq.metrics.digest(),
+                    got.metrics.digest(),
+                    "{combo}: latency metrics differ"
+                );
             }
         }
     }
@@ -250,9 +364,21 @@ fn sharded_equals_sequential_on_eight_switch_mesh() {
                 exec.label()
             );
             assert_eq!(seq.stats, sh.stats, "{workers} workers: stats differ");
+            assert_eq!(
+                seq.metrics.digest(),
+                sh.metrics.digest(),
+                "{workers} workers ({}): metric histograms differ from sequential",
+                exec.label()
+            );
         }
     }
     // The workload really is distributed and cross-switch.
     assert!(seq.stats.sent_remote > 200, "{:?}", seq.stats);
     assert_eq!(seq.stats.processed, 8 * 12 * 7);
+    // And the metrics saw real multi-hop traffic: generated `pkt` events
+    // cross wire hops, so tail latency and queue residency are nonzero.
+    let overall = seq.metrics.overall().expect("metrics recorded");
+    assert!(overall.dispatch.max() >= 1_000, "{:?}", overall.dispatch);
+    assert!(overall.residency.max() >= 1_000, "{:?}", overall.residency);
+    assert_eq!(overall.dispatch.count(), seq.stats.processed);
 }

@@ -50,9 +50,17 @@ const GEN_SCENARIO: &str = r#"{
     ]
 }"#;
 
-/// What "bit-identical" means for a report: everything except wall-clock.
-fn fingerprint(r: &SimReport) -> (u64, lucid_core::interp::Stats, Vec<(String, u64)>, u64) {
-    (r.state_digest, r.stats.clone(), r.gens.clone(), r.sim_ns)
+/// What "bit-identical" means for a report: everything except wall-clock
+/// — including the per-event-class latency/residency histograms, folded
+/// into the metrics digest.
+fn fingerprint(r: &SimReport) -> (u64, lucid_core::interp::Stats, Vec<(String, u64)>, u64, u64) {
+    (
+        r.state_digest,
+        r.stats.clone(),
+        r.gens.clone(),
+        r.sim_ns,
+        r.metrics.digest(),
+    )
 }
 
 #[test]
@@ -214,6 +222,7 @@ fn scenario_of(switches: u64, seed: u64, gens: Vec<GenSpec>) -> Scenario {
         generators: gens,
         failures: Vec::new(),
         expect: Default::default(),
+        metrics: Vec::new(),
     }
 }
 
