@@ -1,0 +1,116 @@
+//! Worker-count scaling of the sharded engine (not a paper figure — it
+//! benchmarks this reproduction's parallel interpreter core).
+//!
+//! Sweeps the sharded/bytecode engine across worker counts on a
+//! 16-switch generator-driven mesh and compares every point — state
+//! digest, metrics digest, statistics, and per-generator counts —
+//! against a sequential-bytecode baseline. Correctness gates first: all
+//! runs must be bit-identical and the dispatch-latency p50 must be
+//! non-zero (the workload injects causal chains precisely so the tail
+//! is meaningful). Then the floor: at one worker the engine runs
+//! barrier-free, so sharded must match sequential (>= 1.0x with noise
+//! headroom) — parallel machinery may not cost anything when it buys
+//! nothing. Scaling above one worker is recorded but only flagged
+//! (`monotone`), because on a single-core host every extra worker is
+//! pure overhead; CI tracks the curve through `BENCH_PR.json`.
+
+fn main() {
+    let mode = lucid_bench::BenchMode::from_args();
+    let target = if mode.smoke { 60_000u64 } else { 1_000_000u64 };
+    let workers = [1usize, 2, 4, 8];
+    // Workers=1 runs the whole stream in one barrier-free round; the
+    // floor leaves ~15% for wall-clock noise on a shared box while still
+    // catching any real per-dispatch regression in the sharded path.
+    let floor_w1 = 0.85;
+    let t = lucid_bench::parallel_scale(16, target, &workers);
+    assert!(
+        t.identical,
+        "sequential baseline and sharded worker counts disagree on \
+         state/metrics/stats/generator counts — determinism bug"
+    );
+    assert!(
+        t.tail.lat_p50_ns > 0,
+        "dispatch-latency p50 is zero — the workload no longer generates causal chains"
+    );
+    assert!(
+        t.speedup_w1 >= floor_w1,
+        "sharded at one worker is only {:.2}x sequential (floor {:.2}x)",
+        t.speedup_w1,
+        floor_w1
+    );
+
+    if mode.json {
+        use lucid_bench::jsonout;
+        let rows: Vec<String> = t
+            .rows
+            .iter()
+            .map(|r| {
+                jsonout::obj(&[
+                    ("workers", r.workers.to_string()),
+                    ("events_processed", r.events_processed.to_string()),
+                    ("wall_ms", jsonout::f(r.wall_ms)),
+                    ("events_per_sec", jsonout::f(r.events_per_sec)),
+                    ("speedup", jsonout::f(r.speedup)),
+                    (
+                        "state_digest",
+                        jsonout::s(&format!("{:016x}", r.state_digest)),
+                    ),
+                ])
+            })
+            .collect();
+        let doc = format!(
+            "{{\"figure\":\"fig_parallel_scale\",\"switches\":{},\"target_events\":{},\
+             \"identical\":{},\"sequential_events_per_sec\":{},\"speedup_w1\":{},\
+             \"monotone\":{},\"latency_tail\":{},\"rows\":[{}]}}",
+            t.switches,
+            t.target_events,
+            t.identical,
+            jsonout::f(t.sequential_events_per_sec),
+            jsonout::f(t.speedup_w1),
+            t.monotone,
+            t.tail.to_json(),
+            rows.join(",")
+        );
+        println!("{doc}");
+        return;
+    }
+
+    println!(
+        "Parallel scaling — {} switches, {} generator-sourced events per run\n",
+        t.switches, t.target_events
+    );
+    println!(
+        "sequential/bytecode baseline: {:.0} events/sec\n",
+        t.sequential_events_per_sec
+    );
+    let rows: Vec<Vec<String>> = t
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workers.to_string(),
+                r.events_processed.to_string(),
+                format!("{:.1}", r.wall_ms),
+                format!("{:.0}", r.events_per_sec),
+                format!("{:.2}x", r.speedup),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        lucid_bench::render_table(
+            &["workers", "events", "wall ms", "events/sec", "speedup"],
+            &rows
+        )
+    );
+    println!(
+        "\nstate/metrics/stats/generator counts identical across all runs: {}",
+        t.identical
+    );
+    println!("{}", t.tail.render());
+    println!(
+        "workers=1 over sequential: {:.2}x (gate: >= {:.2}x); \
+         monotone above one worker: {}",
+        t.speedup_w1, floor_w1, t.monotone
+    );
+}

@@ -44,6 +44,11 @@ fn main() {
         );
     }
     assert!(
+        t.tail.lat_p50_ns > 0,
+        "dispatch-latency p50 is zero — generator roots must spawn causal \
+         chains (ttl > 0) or the recorded latency_tail is meaningless"
+    );
+    assert!(
         t.min_events_per_sec >= floor_eps,
         "slowest combination sustained only {:.0} events/sec (floor {:.0})",
         t.min_events_per_sec,

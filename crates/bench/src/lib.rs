@@ -661,10 +661,16 @@ pub struct WorkloadScale {
     pub tail: LatencyTail,
 }
 
-/// The generator scenario behind `fig_workload_scale`: an 8-switch mesh
-/// running a telemetry sketch, fed by three seeded sources. The event
-/// list is never materialized — the engines pull the stream lazily, so
-/// `target_events` can be millions without a matching allocation.
+/// The generator scenario behind `fig_workload_scale` and
+/// `fig_parallel_scale`: a telemetry-sketch mesh fed by three seeded
+/// sources. The event list is never materialized — the engines pull the
+/// stream lazily, so `target_events` can be millions without a matching
+/// allocation. Every injection carries `ttl = 1`, so each root spawns a
+/// recirculated and a remote child: the derived events are what the
+/// dispatch-latency histograms sample (roots are their own cause and
+/// contribute no latency), keeping the recorded `latency_tail` non-zero,
+/// and the remote copies put real cross-shard traffic on the sharded
+/// engine's mailboxes.
 fn workload_scale_scenario(switches: u64, target_events: u64) -> lucid_core::Scenario {
     // Thirds: steady zipf flows, uniform background, and a burst window
     // at 10x rate (phases) — diverse enough to exercise every
@@ -681,17 +687,18 @@ fn workload_scale_scenario(switches: u64, target_events: u64) -> lucid_core::Sce
           {{"name": "flows", "event": "pkt", "switches": [{all}],
             "rate_eps": 2000000, "jitter_ns": 120, "count": {per},
             "args": [{{"zipf": {{"n": 65536, "s": 1.1}}}},
-                     {{"uniform": [0, 1023]}}, 0]}},
+                     {{"uniform": [0, 1023]}}, 1]}},
           {{"name": "background", "event": "pkt", "switches": [{all}],
             "rate_eps": 1000000, "count": {per},
-            "args": [{{"uniform": [0, 1048575]}}, {{"seq": 4096}}, 0]}},
+            "args": [{{"uniform": [0, 1048575]}}, {{"seq": 4096}}, 1]}},
           {{"name": "burst", "event": "pkt", "switch": 1,
             "rate_eps": 500000, "start_ns": 200000, "count": {burst},
             "phases": [{{"at_ns": 400000, "rate_eps": 5000000}}],
-            "args": [{{"zipf": {{"n": 64, "s": 1.3}}}}, 7, 0]}}
+            "args": [{{"zipf": {{"n": 64, "s": 1.3}}}}, 7, 1]}}
         ]
       }}"#,
-        budget = target_events * 2 + 1_000,
+        // Each ttl=1 root processes itself plus two ttl=0 children.
+        budget = target_events * 4 + 1_000,
         all = (1..=switches)
             .map(|s| s.to_string())
             .collect::<Vec<_>>()
@@ -786,6 +793,125 @@ pub fn workload_scale(switches: u64, target_events: u64, workers: usize) -> Work
         min_events_per_sec,
         bytecode_speedup,
         opt_speedup,
+        tail: tail.expect("at least one trial ran"),
+    }
+}
+
+/// One worker-count measurement of the `fig_parallel_scale` sweep.
+#[derive(Debug, Clone)]
+pub struct ParallelScaleRow {
+    pub workers: usize,
+    pub events_processed: u64,
+    pub wall_ms: f64,
+    pub events_per_sec: f64,
+    /// This row's events/sec over the sequential-bytecode baseline's.
+    pub speedup: f64,
+    pub state_digest: u64,
+}
+
+/// The `fig_parallel_scale` result: the sharded engine's worker-count
+/// scaling curve against a sequential baseline, all under the bytecode
+/// executor at O2 on the generator-driven mesh workload.
+#[derive(Debug, Clone)]
+pub struct ParallelScale {
+    pub switches: u64,
+    /// Total generator-sourced injections per run.
+    pub target_events: u64,
+    /// The sequential-bytecode baseline's events/sec.
+    pub sequential_events_per_sec: f64,
+    /// One row per swept worker count, ascending.
+    pub rows: Vec<ParallelScaleRow>,
+    /// State digest, metrics digest, statistics, and per-generator
+    /// counts agreed between the baseline and every worker count.
+    pub identical: bool,
+    /// Sharded at one worker over sequential — the CI floor (>= 1.0x):
+    /// with a single worker the engine runs barrier-free, so the
+    /// parallel machinery must cost nothing when it buys nothing.
+    pub speedup_w1: f64,
+    /// Whether throughput never dropped more than 5% from one worker
+    /// count to the next. Not a hard gate — on a single-core host every
+    /// extra worker is pure overhead — but recorded into `BENCH_PR.json`
+    /// so multi-core regressions show up in the perf trajectory.
+    pub monotone: bool,
+    /// The workload's overall latency tail; its metrics digest is part
+    /// of the cross-run identity check.
+    pub tail: LatencyTail,
+}
+
+/// Sweep the sharded engine across `worker_counts` on the generator
+/// mesh workload and compare every run — digest for digest — against a
+/// sequential-bytecode baseline. Deterministic: the scaling curve is
+/// only meaningful if every point computes the same run.
+pub fn parallel_scale(switches: u64, target_events: u64, worker_counts: &[usize]) -> ParallelScale {
+    use lucid_core::{OptLevel, SimOverrides};
+    let src = mesh_workload(switches);
+    let prog = lucid_core::check::parse_and_check(&src).expect("workload checks");
+    let sc = workload_scale_scenario(switches, target_events);
+    /// Everything a run must agree on.
+    type Observed = (u64, u64, lucid_core::interp::Stats, Vec<(String, u64)>);
+    let mut observed: Vec<Observed> = Vec::new();
+    let mut tail: Option<LatencyTail> = None;
+    // Best of two trials per configuration, like the other wall-clock
+    // benches; every trial still joins the identity check.
+    let mut measure = |engine: Engine| -> (u64, f64, f64, u64) {
+        let ov = SimOverrides {
+            engine: Some(engine),
+            exec: Some(ExecMode::Bytecode),
+            opt: Some(OptLevel::O2),
+            ..SimOverrides::default()
+        };
+        let mut best: Option<(u64, f64, f64, u64)> = None;
+        for _ in 0..2 {
+            let report =
+                lucid_core::run_scenario_with(&prog, &sc, &ov).expect("workload scenario runs");
+            if best.as_ref().is_none_or(|b| report.events_per_sec > b.2) {
+                best = Some((
+                    report.stats.processed,
+                    report.wall_ms,
+                    report.events_per_sec,
+                    report.state_digest,
+                ));
+            }
+            tail.get_or_insert_with(|| LatencyTail::of(&report.metrics));
+            observed.push((
+                report.state_digest,
+                report.metrics.digest(),
+                report.stats,
+                report.gens,
+            ));
+        }
+        best.expect("at least one trial")
+    };
+    let (_, _, seq_eps, _) = measure(Engine::Sequential);
+    let rows: Vec<ParallelScaleRow> = worker_counts
+        .iter()
+        .map(|&workers| {
+            let (processed, wall_ms, eps, digest) = measure(Engine::Sharded {
+                workers,
+                epoch_ns: 0,
+            });
+            ParallelScaleRow {
+                workers,
+                events_processed: processed,
+                wall_ms,
+                events_per_sec: eps,
+                speedup: eps / seq_eps.max(1.0),
+                state_digest: digest,
+            }
+        })
+        .collect();
+    let identical = observed.iter().all(|o| *o == observed[0]);
+    let monotone = rows
+        .windows(2)
+        .all(|w| w[1].events_per_sec >= w[0].events_per_sec * 0.95);
+    ParallelScale {
+        switches,
+        target_events,
+        sequential_events_per_sec: seq_eps,
+        speedup_w1: rows.first().map_or(0.0, |r| r.speedup),
+        rows,
+        identical,
+        monotone,
         tail: tail.expect("at least one trial ran"),
     }
 }

@@ -537,9 +537,12 @@ proptest! {
     #[test]
     fn differential_random_schedules(
         switches in 1u64..=4,
-        workers in 1usize..=4,
+        // Lone worker (the barrier-free path), odd/even pools, a prime
+        // misaligning the round-robin partition, and an oversized pool.
+        wsel in 0usize..6,
         raw in proptest::collection::vec((1u64..=4, 0u64..=5_000, 0u64..=255, 0u64..=4), 1..24)
     ) {
+        let workers = [1usize, 2, 3, 4, 7, 8][wsel];
         let prog = checked(KITCHEN_SINK);
         let schedule: Vec<(u64, u64, &str, Vec<u64>)> = raw
             .iter()

@@ -17,15 +17,18 @@
 //! * [`Engine::Sequential`] — the reference: one global queue, events
 //!   dispatched strictly in `Key` order (virtual time, then origin).
 //! * [`Engine::Sharded`] — a conservative parallel discrete-event
-//!   simulation: each shard runs its own queue on a small worker pool,
-//!   synchronizing at virtual-clock *epoch barriers* no wider than the
-//!   wire latency. Because a cross-switch event can never arrive sooner
-//!   than one wire hop, events exchanged at a barrier always belong to a
-//!   later epoch, so each shard observes exactly the event order the
-//!   sequential engine would produce. Successful runs are bit-identical
-//!   between the two engines: final array state, statistics, trace, and
-//!   printf output all match (the trace is merged back into global
-//!   `Key` order at each run's end).
+//!   simulation: shards are partitioned across a small worker pool, each
+//!   worker scheduling its whole slice through one local heap. Workers
+//!   run lockstep rounds bounded by an *adaptive horizon* derived from
+//!   the wire latency, exchanging cross-worker events through batched
+//!   per-round mailboxes at the round barrier. Because a cross-switch
+//!   event can never arrive sooner than one wire hop, every event a
+//!   worker dispatches below its horizon is final, so each shard
+//!   observes exactly the event order the sequential engine would
+//!   produce. Successful runs are bit-identical between the two engines:
+//!   final array state, statistics, trace, printf output, and metrics
+//!   all match (each worker's dispatch log is a key-sorted run; the
+//!   global trace is a k-way merge of them at run's end).
 //!
 //! Error runs differ in bookkeeping only: the sharded engine checks the
 //! event budget at epoch barriers (so it may overshoot `max_events`
@@ -37,13 +40,14 @@
 use crate::bytecode::{CompiledProg, ExecMode, OptLevel};
 use crate::metrics::{ClassHists, Metrics, ShardMetrics};
 use crate::value::{lucid_hash, EventVal, Location, Value};
-use crate::workload::EventSource;
+use crate::workload::{EventSource, LocalGen};
 use lucid_check::{eval_memop, mask, CheckedProgram, GlobalId};
 use lucid_frontend::ast::*;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::fmt;
-use std::sync::{mpsc, Arc};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Condvar, Mutex};
 
 // The sharded engine shares `&CheckedProgram` across worker threads; this
 // fails to compile if the checked AST ever grows thread-unsafe interior
@@ -59,14 +63,16 @@ pub enum Engine {
     /// One global queue, one thread: the reference engine.
     #[default]
     Sequential,
-    /// Epoch-barrier parallel execution on a worker pool.
+    /// Lockstep-round parallel execution on a worker pool, with adaptive
+    /// epoch horizons and batched cross-worker mailboxes.
     Sharded {
         /// Worker threads; `0` means one per available core (capped at
         /// the number of switches).
         workers: usize,
-        /// Epoch width in sim-nanoseconds; `0` means "the wire latency"
-        /// (the widest epoch that is still conservative). Values larger
-        /// than the wire latency are clamped down to it.
+        /// Epoch cap in sim-nanoseconds; `0` (the default) means purely
+        /// adaptive horizons sized from observed wire latency. A nonzero
+        /// value additionally caps each round's horizon (clamped down to
+        /// the wire latency — wider would add nothing).
         epoch_ns: u64,
     },
 }
@@ -239,8 +245,9 @@ pub struct FaultAt {
     /// `None` for externally injected events, `Some(src)` for events a
     /// handler on switch `src` generated.
     pub origin: Option<u64>,
-    /// The event key's tie-breaker: the injection counter for external
-    /// events, the per-source emission counter for generated ones.
+    /// The event key's tie-breaker: the injection counter (per workload
+    /// source, for sourced events) for external events, the per-source
+    /// emission counter for generated ones.
     pub seq: u64,
 }
 
@@ -360,18 +367,24 @@ impl SwitchState {
 }
 
 /// The deterministic total order on events. Ties in virtual time break on
-/// origin: externally injected events come first (in injection order),
-/// then generated events by source switch and per-source emission count.
-/// Both engines schedule with the same keys, which is what makes their
-/// per-shard execution orders — and therefore their results — identical.
+/// class and origin: externally injected events come first — explicitly
+/// scheduled ones (origin 0, in schedule order) before sourced ones (one
+/// origin per workload source, in per-source pull order) — then generated
+/// events by source switch and per-source emission count. Both engines
+/// schedule with the same keys, which is what makes their per-shard
+/// execution orders — and therefore their results — identical; no key
+/// component depends on *when* an engine materializes the event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub(crate) struct Key {
     time_ns: u64,
     /// 0 = externally injected, 1 = handler-generated.
     class: u8,
-    /// Source switch for generated events; 0 for injections.
+    /// Source switch for generated events; for injections, 0 when
+    /// explicitly scheduled or `1 + source index` when pulled from an
+    /// attached [`EventSource`].
     origin: u64,
-    /// Injection counter / per-source emission counter.
+    /// Injection counter / per-source pull counter / per-switch emission
+    /// counter, matching `class`/`origin`.
     seq: u64,
 }
 
@@ -423,6 +436,10 @@ pub(crate) struct Shard {
     /// as dropped) but loses its state.
     alive: bool,
     pub(crate) state: SwitchState,
+    /// Events parked on a shard between runs. During a run both engines
+    /// keep live events elsewhere (the interpreter's global queue, a
+    /// worker's own heap); this holds only arrivals stashed for a shard
+    /// whose handler faulted, until the driver re-parks them globally.
     queue: BinaryHeap<Reverse<Scheduled>>,
     /// Per-source emission counter feeding [`Key::seq`].
     emit_seq: u64,
@@ -471,10 +488,6 @@ impl Shard {
             cur_root_ns: 0,
         }
     }
-
-    fn next_time(&self) -> Option<u64> {
-        self.queue.peek().map(|Reverse(s)| s.key.time_ns)
-    }
 }
 
 /// The handler-execution engine: immutable program + timing parameters.
@@ -486,10 +499,6 @@ pub(crate) struct Exec<'p> {
     recirc_ns: u64,
     link_ns: u64,
     pub(crate) echo: bool,
-    /// Sharded drivers want local recirculations straight on the shard's
-    /// own queue (they can land within the current epoch); the sequential
-    /// driver routes everything through its global queue via the outbox.
-    local_to_queue: bool,
     /// Compiled bytecode when [`ExecMode::Bytecode`] is selected; `None`
     /// runs the AST walker (the reference semantics).
     compiled: Option<Arc<CompiledProg>>,
@@ -557,11 +566,13 @@ impl<'p> Exec<'p> {
         // either engine), so sequential and sharded runs record
         // identical samples. Dropped events never dispatch and are not
         // measured; handled and exported events both are, matching
-        // `per_event` counts. The root instant is parked on the shard so
-        // any `generate` in the handler body inherits it.
+        // `per_event` counts. Only derived (class-1) events carry a
+        // dispatch-latency sample — an injection is its own root. The
+        // root instant is parked on the shard so any `generate` in the
+        // handler body inherits it.
         shard.metrics.record(
             sched.event_id,
-            sched.key.time_ns - sched.root_ns,
+            (sched.key.class == 1).then(|| sched.key.time_ns - sched.root_ns),
             sched.key.time_ns - sched.enq_ns,
         );
         shard.cur_root_ns = sched.root_ns;
@@ -749,15 +760,12 @@ impl<'p> Exec<'p> {
         };
         if target == from {
             shard.stats.recirculated += 1;
-            if self.local_to_queue {
-                shard.queue.push(Reverse(sched));
-            } else {
-                shard.outbox.push(sched);
-            }
         } else {
             shard.stats.sent_remote += 1;
-            shard.outbox.push(sched);
         }
+        // Both drivers route every emission (recirculation or remote)
+        // through the outbox; the caller owns the queue it lands on.
+        shard.outbox.push(sched);
     }
 
     // --------------------------------------------------------- expressions
@@ -1014,56 +1022,593 @@ impl<'p> Exec<'p> {
 }
 
 // ------------------------------------------------------------------ pool
+//
+// The sharded driver is coordinator-free: the calling thread doubles as
+// worker 0 and every worker runs the identical lockstep round protocol
+// against a handful of shared cells. Each round has two phases separated
+// by barriers:
+//
+//   P1  drain this worker's mailbox into its event heap, then publish
+//       one word of "activity" — the earliest virtual instant this
+//       worker could still produce work at (min over its heap head and
+//       its partitioned sources' next emissions).
+//   P2  every worker reads all published words and computes the same
+//       reduction, so all of them agree — with no messages — on whether
+//       to stop (drained / fuel / fault) and on each worker's *horizon*:
+//       how far its shards may run this round.
+//
+// The horizon is adaptive per worker (a conservative null-message bound
+// in the CMB tradition): worker `w` may process strictly below
+// `min(min(other workers' activity) + link, global min + 2·link)`. The
+// first term bounds arrivals from events already queued on a sibling
+// (one wire hop past its floor); the second bounds arrivals from chain
+// events still in flight — in-flight mail is itself at least one hop
+// past some worker's floor, so its re-emissions are two hops past the
+// global minimum. Both are needed: the first alone lets a worker's own
+// emissions bounce off a sibling and return below its already-consumed
+// frontier. The global laggard therefore gets a double-wide window and
+// everyone else the classic conservative one — and with one worker the
+// horizon is unbounded, so the round loop degrades into a straight
+// single-threaded drain with no synchronization cost.
+//
+// Cross-worker events are not exchanged per event: a round's emissions
+// accumulate into per-destination batches and are appended to the
+// destination's mailbox with one lock per (destination, round). Mail
+// sent in round `k` is drained at round `k+1`'s P1, which is sound
+// because a mailed arrival is at least one wire hop past its emitter's
+// published activity — at or beyond every receiver horizon of round `k`.
 
-/// One barrier round's instructions to a worker.
-enum Cmd {
-    Epoch {
-        /// Exclusive virtual-time horizon of this epoch.
-        end_ns: u64,
-        /// Maximum events this worker may process in the epoch — the
-        /// liveness bound for zero-latency recirculation loops, which
-        /// would otherwise never leave the epoch.
-        budget: u64,
-        /// Cross-shard events routed to this worker's shards.
-        deliveries: Vec<Scheduled>,
-    },
-    Stop,
-}
-
-/// One worker's barrier report.
+/// The per-worker shared cells. Plain `std` sync everywhere: the round
+/// barriers provide the happens-before edges, so the atomics only need
+/// `Relaxed` ordering.
 #[derive(Default)]
-struct Rsp {
-    processed: u64,
-    outbox: Vec<Scheduled>,
-    next_ns: Option<u64>,
-    error: Option<(Key, InterpError)>,
-    /// The worker panicked; the coordinator must stop and join.
-    died: bool,
+struct WorkerCell {
+    /// Cross-worker deliveries, appended in per-round batches.
+    mailbox: Mutex<Vec<Scheduled>>,
+    /// The worker's published activity floor (`u64::MAX`: idle).
+    activity: AtomicU64,
+    /// Cumulative events processed, published once per round.
+    processed: AtomicU64,
 }
 
-/// Sends a `died` report if its worker unwinds, so the coordinator's
-/// barrier `recv` cannot block forever on a panicked worker.
-struct DeathWatch {
-    tx: mpsc::Sender<Rsp>,
-    armed: bool,
+/// Why the round loop stopped (every worker computes the same answer;
+/// the driver reads worker 0's).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum StopWhy {
+    /// Queues and sources drained, or the time horizon passed.
+    Done,
+    /// The event budget ran out (or the last round overshot it).
+    Fuel,
+    /// A handler faulted; the smallest-key fault is in the shared cell.
+    Fault,
+    /// The barrier was fused by a panicking sibling.
+    Died,
 }
 
-impl Drop for DeathWatch {
+/// A switch-id lookup table on the per-event routing path. Configs
+/// number switches densely from 1, so the common case is a flat-array
+/// read; arbitrary ids fall back to hashing. (The hash map's per-event
+/// SipHash showed up directly in the workers=1-vs-sequential ratio.)
+enum SwitchMap {
+    Dense(Vec<u32>),
+    Sparse(HashMap<u64, u32>),
+}
+
+impl SwitchMap {
+    const NONE: u32 = u32::MAX;
+
+    /// Build from `(switch id, value)` pairs; values must be below
+    /// [`Self::NONE`].
+    fn build(pairs: &[(u64, u32)]) -> SwitchMap {
+        let max = pairs.iter().map(|&(id, _)| id).max().unwrap_or(0);
+        // Dense storage pays one u32 per id up to the largest; cap the
+        // slack at a few KiB beyond what the entry count justifies.
+        if (max as usize) < pairs.len() * 4 + 1024 {
+            let mut v = vec![Self::NONE; max as usize + 1];
+            for &(id, w) in pairs {
+                v[id as usize] = w;
+            }
+            SwitchMap::Dense(v)
+        } else {
+            SwitchMap::Sparse(pairs.iter().map(|&(id, w)| (id, w)).collect())
+        }
+    }
+
+    #[inline]
+    fn get(&self, id: u64) -> Option<u32> {
+        let w = match self {
+            SwitchMap::Dense(v) => usize::try_from(id)
+                .ok()
+                .and_then(|i| v.get(i).copied())
+                .unwrap_or(Self::NONE),
+            SwitchMap::Sparse(m) => m.get(&id).copied().unwrap_or(Self::NONE),
+        };
+        (w != Self::NONE).then_some(w)
+    }
+}
+
+/// Shared read-only round state (cells, reductions, network constants).
+struct RoundCtx<'a> {
+    cells: &'a [WorkerCell],
+    /// Head time of the shared (non-partitioned) source, `u64::MAX` when
+    /// exhausted or absent. Published by worker 0, read by everyone:
+    /// shared arrivals carry their own absolute times, so every horizon
+    /// is clamped at this instant.
+    shared_peek: &'a AtomicU64,
+    /// Sourced events bound for unknown switches (dropped, counted).
+    dropped: &'a AtomicU64,
+    /// The smallest-key fault of the run, min-merged by every worker.
+    fault: &'a Mutex<Option<(Key, InterpError)>>,
+    barrier: &'a RoundBarrier,
+    /// switch id → owning worker.
+    owner: &'a SwitchMap,
+    link_ns: u64,
+    /// Explicit `epoch_ns` override: an additional cap of
+    /// `global_min + epoch` on every horizon (narrower rounds, same
+    /// results). `None` is the adaptive default.
+    epoch_cap: Option<u64>,
+    max_events: u64,
+    max_time_ns: u64,
+}
+
+/// A reusable rendezvous replacing [`std::sync::Barrier`] with one that
+/// can be *fused*: a worker that unwinds mid-round breaks the barrier on
+/// the way out ([`FuseOnPanic`]), waking every sibling with an error
+/// instead of leaving them blocked on a rendezvous that can no longer
+/// complete. (`std`'s barrier has no such escape hatch, and a panicking
+/// handler — AST-walker invariants panic — must not deadlock the pool.)
+struct RoundBarrier {
+    /// (arrived, generation, fused)
+    state: Mutex<(usize, u64, bool)>,
+    cv: Condvar,
+    n: usize,
+}
+
+impl RoundBarrier {
+    fn new(n: usize) -> Self {
+        RoundBarrier {
+            state: Mutex::new((0, 0, false)),
+            cv: Condvar::new(),
+            n,
+        }
+    }
+
+    /// Rendezvous with the other `n - 1` workers. `Err(())` means the
+    /// barrier was fused and the round protocol is dead.
+    fn wait(&self) -> Result<(), ()> {
+        let mut st = self.state.lock().expect("barrier state");
+        if st.2 {
+            return Err(());
+        }
+        st.0 += 1;
+        if st.0 == self.n {
+            st.0 = 0;
+            st.1 += 1;
+            self.cv.notify_all();
+            return Ok(());
+        }
+        let generation = st.1;
+        while st.1 == generation && !st.2 {
+            st = self.cv.wait(st).expect("barrier wait");
+        }
+        if st.2 {
+            Err(())
+        } else {
+            Ok(())
+        }
+    }
+
+    fn fuse(&self) {
+        let mut st = self.state.lock().expect("barrier state");
+        st.2 = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Fuses the round barrier if the owning worker unwinds, so siblings
+/// exit their round loop instead of blocking forever; the panic itself
+/// still propagates through the scope join.
+struct FuseOnPanic<'a>(&'a RoundBarrier);
+
+impl Drop for FuseOnPanic<'_> {
     fn drop(&mut self) {
-        if self.armed && std::thread::panicking() {
-            let _ = self.tx.send(Rsp {
-                died: true,
-                ..Rsp::default()
-            });
+        if std::thread::panicking() {
+            self.0.fuse();
         }
     }
 }
 
-fn min_opt(a: Option<u64>, b: Option<u64>) -> Option<u64> {
-    match (a, b) {
-        (Some(x), Some(y)) => Some(x.min(y)),
-        (x, None) => x,
-        (None, y) => y,
+/// What a worker hands back when the round loop stops.
+struct WorkerOut {
+    shards: Vec<Shard>,
+    /// Undispatched events (above the final horizon, or past a stop).
+    heap: BinaryHeap<Reverse<Scheduled>>,
+    /// This worker's dispatch log, already in global key order (one
+    /// worker's dispatches are totally ordered), merged across workers
+    /// once at run end.
+    trace: Vec<(Key, Handled)>,
+    output: Vec<(Key, String)>,
+    /// Partitioned sources, cursors advanced to wherever the run ended.
+    locals: Vec<LocalGen>,
+    /// Per-source pull counters (authoritative for this worker's slots).
+    counts: Vec<u64>,
+    why: StopWhy,
+    /// Events processed across all workers at stop time (identical on
+    /// every worker; the driver reads worker 0's).
+    total: u64,
+}
+
+/// What a worker starts the round loop with — the input counterpart of
+/// [`WorkerOut`].
+struct WorkerSeed {
+    shards: Vec<Shard>,
+    /// Pending events already owned by this worker's shards.
+    heap: BinaryHeap<Reverse<Scheduled>>,
+    /// Partitioned single-switch generators owned by this worker.
+    locals: Vec<LocalGen>,
+    /// Per-source pull counters (a full-width copy; each worker advances
+    /// only its own slots).
+    counts: Vec<u64>,
+}
+
+/// The lockstep round loop every worker (including the calling thread,
+/// as worker 0) runs until all of them agree to stop. `shared` is the
+/// non-partitioned remainder of the event source; only worker 0 holds
+/// it and materializes its stream one window ahead, mailing each event
+/// to its owner.
+#[allow(clippy::too_many_lines)]
+fn run_round_worker(
+    ctx: &RoundCtx<'_>,
+    exec: &Exec<'_>,
+    id: usize,
+    seed: WorkerSeed,
+    mut shared: Option<&mut Box<dyn EventSource>>,
+) -> WorkerOut {
+    let WorkerSeed {
+        mut shards,
+        mut heap,
+        mut locals,
+        mut counts,
+    } = seed;
+    let _fuse = FuseOnPanic(ctx.barrier);
+    let nworkers = ctx.cells.len();
+    let mut outgoing: Vec<Vec<Scheduled>> = (0..nworkers).map(|_| Vec::new()).collect();
+    // switch id → index into this worker's `shards` (hot: every dispatch
+    // resolves its shard through it).
+    let at = SwitchMap::build(
+        &shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.switch, u32::try_from(i).expect("shard count fits u32")))
+            .collect::<Vec<_>>(),
+    );
+    let local = |id: u64| at.get(id).expect("routed to owning worker") as usize;
+    let mut trace: Vec<(Key, Handled)> = Vec::new();
+    let mut output: Vec<(Key, String)> = Vec::new();
+    // A shard whose handler faulted sits out the rest of the run (its
+    // siblings still finish the round, exactly like the old per-epoch
+    // engine); the next round's reduction sees the fault and stops.
+    let mut poisoned = vec![false; shards.len()];
+    let mut cum = 0u64;
+    let mut round_err: Option<(Key, InterpError)> = None;
+    let (why, total) = loop {
+        // ---- P1: drain mail, publish the previous round's results and
+        // this worker's activity floor. Everything any decision reads is
+        // written here, before the rendezvous — the P2-end barrier keeps
+        // a fast worker's next P1 writes from racing a slow worker's
+        // current decision reads.
+        let mail = std::mem::take(&mut *ctx.cells[id].mailbox.lock().expect("mailbox"));
+        heap.extend(mail.into_iter().map(Reverse));
+        ctx.cells[id].processed.store(cum, Relaxed);
+        if let Some((k, e)) = round_err.take() {
+            let mut cell = ctx.fault.lock().expect("fault cell");
+            if cell.as_ref().is_none_or(|(fk, _)| k < *fk) {
+                *cell = Some((k, e));
+            }
+        }
+        let mut act = heap.peek().map_or(u64::MAX, |Reverse(s)| s.key.time_ns);
+        for ls in &locals {
+            if let Some(t) = ls.gen.peek_ns() {
+                act = act.min(t);
+            }
+        }
+        ctx.cells[id].activity.store(act, Relaxed);
+        if let Some(src) = shared.as_deref() {
+            ctx.shared_peek
+                .store(src.peek_ns().unwrap_or(u64::MAX), Relaxed);
+        }
+        if ctx.barrier.wait().is_err() {
+            break (StopWhy::Died, 0);
+        }
+
+        // ---- Decision: every worker computes the identical reduction
+        // from the published cells, so they agree without messages.
+        let speek = ctx.shared_peek.load(Relaxed);
+        let mut gmin = speek;
+        let mut min_other = u64::MAX;
+        let mut total = 0u64;
+        for (w, cell) in ctx.cells.iter().enumerate() {
+            let a = cell.activity.load(Relaxed);
+            gmin = gmin.min(a);
+            if w != id {
+                min_other = min_other.min(a);
+            }
+            total += cell.processed.load(Relaxed);
+        }
+        if ctx.fault.lock().expect("fault cell").is_some() {
+            break (StopWhy::Fault, total);
+        }
+        // Overshoot from the previous round outranks "drained": each
+        // worker gets the full remaining budget, so a draining round can
+        // still blow past it — report fuel exhaustion exactly like the
+        // sequential engine would have at event `max_events + 1`.
+        if total > ctx.max_events {
+            break (StopWhy::Fuel, total);
+        }
+        if gmin == u64::MAX || gmin > ctx.max_time_ns {
+            break (StopWhy::Done, total);
+        }
+        if total >= ctx.max_events {
+            break (StopWhy::Fuel, total);
+        }
+
+        // ---- P2: process strictly below this worker's adaptive horizon.
+        // Two bounds, both needed: an arrival from an event already
+        // queued on a sibling is at least one wire hop past that
+        // sibling's activity floor (`min_other + link`), while an
+        // arrival from a *chain* event that is still in flight is at
+        // least two hops past the global minimum (`gmin + 2*link` —
+        // in-flight mail is itself a hop past some floor). The laggard
+        // therefore gets a double-wide window and everyone else the
+        // classic conservative one; a lone worker has no cross-worker
+        // causality at all and drains without bound. Shared-source
+        // arrivals carry absolute times, so the stream head clamps
+        // every horizon.
+        let mut horizon = if nworkers == 1 {
+            // A lone worker merges the shared stream head straight into
+            // its dispatch scan (below), so nothing clamps it: the whole
+            // run drains in one round with no synchronization at all.
+            u64::MAX
+        } else {
+            min_other
+                .saturating_add(ctx.link_ns)
+                .min(gmin.saturating_add(ctx.link_ns.saturating_mul(2)))
+                .min(speek)
+        };
+        if let Some(epoch) = ctx.epoch_cap {
+            horizon = horizon.min(gmin.saturating_add(epoch));
+        }
+        horizon = horizon.min(ctx.max_time_ns.saturating_add(1));
+        let budget = ctx.max_events - total;
+
+        // With siblings to feed, worker 0 materializes the shared stream
+        // one window ahead and mails each event to its owner (delivered
+        // next round; sound because every sibling horizon is clamped at
+        // the published stream head). Keys are pull-order-independent,
+        // so pulling ahead of execution cannot perturb the schedule.
+        if nworkers > 1 {
+            if let Some(src) = shared.as_deref_mut() {
+                let width = ctx.epoch_cap.unwrap_or(ctx.link_ns);
+                let pull_end = gmin
+                    .saturating_add(width)
+                    .min(ctx.max_time_ns.saturating_add(1));
+                while src.peek_ns().is_some_and(|t| t < pull_end) {
+                    let ev = src.next_event().expect("peeked");
+                    let sched = shape_sourced(exec.prog, &mut counts, ev);
+                    match ctx.owner.get(sched.switch) {
+                        Some(w) if w as usize == id => heap.push(Reverse(sched)),
+                        Some(w) => outgoing[w as usize].push(sched),
+                        None => {
+                            ctx.dropped.fetch_add(1, Relaxed);
+                        }
+                    }
+                }
+            }
+        }
+
+        /// What the dispatch scan picked as the globally-next item.
+        enum Pick {
+            Queued,
+            Local(usize),
+            Shared,
+        }
+        let mut done = 0u64;
+        while done < budget {
+            // Smallest key among this worker's event heap and its
+            // partitioned source heads. One heap spans all of the
+            // worker's shards: its shards must interleave in global key
+            // order anyway (a sibling shard's emission can land below
+            // the horizon and has to sort between the events already
+            // queued), so a single pop beats a per-shard head scan.
+            let mut best: Option<(Key, Pick)> = None;
+            if let Some(Reverse(h)) = heap.peek() {
+                if h.key.time_ns < horizon {
+                    best = Some((h.key, Pick::Queued));
+                }
+            }
+            for (i, ls) in locals.iter().enumerate() {
+                if let Some(t) = ls.gen.peek_ns() {
+                    if t < horizon {
+                        let key = Key {
+                            time_ns: t,
+                            class: 0,
+                            origin: ls.slot as u64 + 1,
+                            seq: counts.get(ls.slot).copied().unwrap_or(0) + 1,
+                        };
+                        if best.as_ref().is_none_or(|(bk, _)| key < *bk) {
+                            best = Some((key, Pick::Local(i)));
+                        }
+                    }
+                }
+            }
+            // A lone worker owns every shard, so the shared stream needs
+            // no mailing ahead: its head competes in the scan under its
+            // exact schedule key and is pulled one event at a time.
+            if nworkers == 1 {
+                if let Some((t, slot)) = shared.as_deref().and_then(|s| s.peek_key()) {
+                    if t < horizon {
+                        let key = Key {
+                            time_ns: t,
+                            class: 0,
+                            origin: slot as u64 + 1,
+                            seq: counts.get(slot).copied().unwrap_or(0) + 1,
+                        };
+                        if best.as_ref().is_none_or(|(bk, _)| key < *bk) {
+                            best = Some((key, Pick::Shared));
+                        }
+                    }
+                }
+            }
+            match best {
+                None => break,
+                Some((_, Pick::Local(i))) => {
+                    let ev = locals[i].gen.next_event().expect("peeked");
+                    let sched = shape_sourced(exec.prog, &mut counts, ev);
+                    heap.push(Reverse(sched));
+                    continue;
+                }
+                Some((_, Pick::Shared)) => {
+                    let ev = shared
+                        .as_deref_mut()
+                        .and_then(|s| s.next_event())
+                        .expect("peeked");
+                    let sched = shape_sourced(exec.prog, &mut counts, ev);
+                    if ctx.owner.get(sched.switch).is_some() {
+                        heap.push(Reverse(sched));
+                    } else {
+                        ctx.dropped.fetch_add(1, Relaxed);
+                    }
+                    continue;
+                }
+                Some((_, Pick::Queued)) => {}
+            }
+            let Reverse(sched) = heap.pop().expect("peeked");
+            let idx = local(sched.switch);
+            if poisoned[idx] {
+                // A faulted shard sits out the rest of the run; stash
+                // its arrivals on the shard's own queue (off the hot
+                // path) so the driver parks them for a later run.
+                shards[idx].queue.push(Reverse(sched));
+                continue;
+            }
+            let shard = &mut shards[idx];
+            shard.now_ns = shard.now_ns.max(sched.key.time_ns);
+            done += 1;
+            let key = sched.key;
+            if let Err(e) = exec.dispatch(shard, sched) {
+                // Keep the smallest-key fault; this shard sits out the
+                // rest of the run. Its partial emissions still route
+                // below, exactly like the sequential engine's.
+                if round_err.as_ref().is_none_or(|(k, _)| key < *k) {
+                    round_err = Some((key, e));
+                }
+                poisoned[idx] = true;
+            }
+            // Route what the handler produced: same-worker siblings get
+            // immediate delivery (their arrivals can precede this round's
+            // horizon), remote workers get batched into the outgoing
+            // mail, flushed once per round.
+            let mut produced = std::mem::take(&mut shards[idx].outbox);
+            for ev in produced.drain(..) {
+                match ctx.owner.get(ev.switch) {
+                    Some(w) if w as usize == id => heap.push(Reverse(ev)),
+                    Some(w) => outgoing[w as usize].push(ev),
+                    None => shards[idx].stats.dropped += 1,
+                }
+            }
+            shards[idx].outbox = produced;
+            // Surface the dispatch's buffers into the worker-run log in
+            // pop order, which already is this worker's global key order.
+            trace.append(&mut shards[idx].trace);
+            output.append(&mut shards[idx].output);
+            // A lone worker's round would otherwise be the whole run —
+            // stop at the first fault (which, in single-worker key
+            // order, is necessarily the smallest-key fault).
+            if nworkers == 1 && round_err.is_some() {
+                break;
+            }
+        }
+
+        // ---- End of round: flush the outgoing mail, one batched append
+        // per destination worker. The count and any fault are published
+        // at the next P1; appending here is safe because a mailbox is
+        // only drained at its owner's P1, on the far side of the P2-end
+        // barrier from every append.
+        cum += done;
+        for (w, batch) in outgoing.iter_mut().enumerate() {
+            if !batch.is_empty() {
+                ctx.cells[w].mailbox.lock().expect("mailbox").append(batch);
+            }
+        }
+        if ctx.barrier.wait().is_err() {
+            break (StopWhy::Died, 0);
+        }
+    };
+    WorkerOut {
+        shards,
+        heap,
+        trace,
+        output,
+        locals,
+        counts,
+        why,
+        total,
+    }
+}
+
+/// Shape one sourced event into a scheduled class-0 injection, assigning
+/// the key `(time, class 0, origin = source index + 1, seq = per-source
+/// pull count)` and bumping that source's counter (dropped events count
+/// too, mirroring the per-generator report rows).
+///
+/// Keying sourced injections per *source* rather than by a global pull
+/// counter is what lets the sharded engine pull partitioned sources
+/// worker-locally: the key depends only on the source's own stream
+/// position, never on how pulls interleave globally. The total order is
+/// unchanged: [`crate::workload::Workload`] merges sources in (time,
+/// source-index) order with nondecreasing times per source — exactly the
+/// (time, origin, seq) order these keys encode — and explicitly scheduled
+/// events keep `origin = 0`, winning time-ties just as their lower global
+/// pull order did.
+fn shape_sourced(
+    prog: &CheckedProgram,
+    counts: &mut Vec<u64>,
+    ev: crate::workload::SourcedEvent,
+) -> Scheduled {
+    if ev.source >= counts.len() {
+        // Custom sources may misreport `source_count`; grow rather than
+        // lose the per-source sequencing both engines must agree on.
+        counts.resize(ev.source + 1, 0);
+    }
+    counts[ev.source] += 1;
+    let params = &prog.info.events[ev.event_id].params;
+    // Exactly one value per parameter, masked to its width — short
+    // custom-source arg lists pad with zeros rather than leaving handler
+    // parameters unbound.
+    let args = params
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            mask(
+                ev.args.get(i).copied().unwrap_or(0),
+                p.ty.int_width().unwrap_or(32),
+            )
+        })
+        .collect();
+    Scheduled {
+        key: Key {
+            time_ns: ev.time_ns,
+            class: 0,
+            origin: ev.source as u64 + 1,
+            seq: counts[ev.source],
+        },
+        switch: ev.switch,
+        event_id: ev.event_id,
+        args,
+        // An injection roots its own causal chain and spends no virtual
+        // time queued, so both metric baselines are the key time.
+        enq_ns: ev.time_ns,
+        root_ns: ev.time_ns,
     }
 }
 
@@ -1154,13 +1699,12 @@ impl<'p> Interp<'p> {
         }
     }
 
-    fn exec(&self, local_to_queue: bool) -> Exec<'p> {
+    fn exec(&self) -> Exec<'p> {
         Exec {
             prog: self.prog,
             recirc_ns: self.config.recirc_latency_ns,
             link_ns: self.config.link_latency_ns,
             echo: self.echo,
-            local_to_queue,
             compiled: if self.config.exec == ExecMode::Bytecode {
                 self.compiled.clone()
             } else {
@@ -1232,8 +1776,8 @@ impl<'p> Interp<'p> {
     /// Attach a streaming injection source. Subsequent [`Interp::run`]
     /// calls drain it lazily, interleaved with explicitly scheduled
     /// events in deterministic key order (sourced events are class-0
-    /// injections, sequenced in pull order). The source persists across
-    /// runs until exhausted or replaced.
+    /// injections keyed per source — see `shape_sourced`). The source
+    /// persists across runs until exhausted or replaced.
     pub fn set_source(&mut self, source: Box<dyn EventSource>) {
         self.source_counts = vec![0; source.source_count()];
         self.source = Some(source);
@@ -1256,41 +1800,12 @@ impl<'p> Interp<'p> {
     fn pull_sourced(&mut self, known: impl Fn(u64) -> bool) -> Option<Scheduled> {
         loop {
             let ev = self.source.as_mut()?.next_event()?;
-            if let Some(n) = self.source_counts.get_mut(ev.source) {
-                *n += 1;
-            }
-            if !known(ev.switch) {
+            let sched = shape_sourced(self.prog, &mut self.source_counts, ev);
+            if !known(sched.switch) {
                 self.stats.dropped += 1;
                 continue;
             }
-            self.inj_seq += 1;
-            let params = &self.prog.info.events[ev.event_id].params;
-            // Exactly one value per parameter, masked to its width —
-            // short custom-source arg lists pad with zeros rather than
-            // leaving handler parameters unbound.
-            let args = params
-                .iter()
-                .enumerate()
-                .map(|(i, p)| {
-                    mask(
-                        ev.args.get(i).copied().unwrap_or(0),
-                        p.ty.int_width().unwrap_or(32),
-                    )
-                })
-                .collect();
-            return Some(Scheduled {
-                key: Key {
-                    time_ns: ev.time_ns,
-                    class: 0,
-                    origin: 0,
-                    seq: self.inj_seq,
-                },
-                switch: ev.switch,
-                event_id: ev.event_id,
-                args,
-                enq_ns: ev.time_ns,
-                root_ns: ev.time_ns,
-            });
+            return Some(sched);
         }
     }
 
@@ -1433,7 +1948,7 @@ impl<'p> Interp<'p> {
     // ------------------------------------------------- sequential driver
 
     fn run_sequential(&mut self, max_events: u64, max_time_ns: u64) -> Result<(), InterpError> {
-        let exec = self.exec(false);
+        let exec = self.exec();
         let known: std::collections::HashSet<u64> = self.shards.keys().copied().collect();
         let mut processed_this_run = 0u64;
         loop {
@@ -1497,23 +2012,6 @@ impl<'p> Interp<'p> {
         }
     }
 
-    /// Move every shard's run-local buffers into the interpreter-level
-    /// trace/output/stats, in deterministic key order.
-    fn drain_all_buffers(&mut self) {
-        let mut trace: Vec<(Key, Handled)> = Vec::new();
-        let mut output: Vec<(Key, String)> = Vec::new();
-        for shard in self.shards.values_mut() {
-            trace.append(&mut shard.trace);
-            output.append(&mut shard.output);
-            self.stats.absorb(&mut shard.stats);
-            self.now_ns = self.now_ns.max(shard.now_ns);
-        }
-        trace.sort_by_key(|(k, _)| *k);
-        output.sort_by_key(|(k, _)| *k);
-        self.trace.extend(trace.into_iter().map(|(_, h)| h));
-        self.output.extend(output.into_iter().map(|(_, s)| s));
-    }
-
     // ---------------------------------------------------- sharded driver
 
     fn run_sharded(
@@ -1529,11 +2027,10 @@ impl<'p> Interp<'p> {
         if link == 0 || self.shards.len() <= 1 {
             return self.run_sequential(max_events, max_time_ns);
         }
-        let epoch = if epoch_ns == 0 {
-            link
-        } else {
-            epoch_ns.min(link)
-        };
+        // `epoch_ns == 0` (the default) means adaptive horizons; an
+        // explicit width additionally caps every round at
+        // `global_min + epoch` (never wider than one wire hop).
+        let epoch_cap = (epoch_ns != 0).then(|| epoch_ns.min(link));
         let nworkers = if workers == 0 {
             std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
         } else {
@@ -1541,222 +2038,217 @@ impl<'p> Interp<'p> {
         }
         .clamp(1, self.shards.len());
 
-        // Distribute pending events onto their shards' queues.
+        // Static partition: shard i (in switch-id order) → worker i % W.
+        let shard_map = std::mem::take(&mut self.shards);
+        let mut pairs: Vec<(u64, u32)> = Vec::new();
+        let mut partitions: Vec<Vec<Shard>> = (0..nworkers).map(|_| Vec::new()).collect();
+        let mut seeds: Vec<Vec<Reverse<Scheduled>>> = (0..nworkers).map(|_| Vec::new()).collect();
+        for (i, (id, mut shard)) in shard_map.into_iter().enumerate() {
+            let w = i % nworkers;
+            pairs.push((id, u32::try_from(w).expect("worker count fits u32")));
+            // Parked per-shard leftovers (a previous faulted run) rejoin
+            // the owning worker's heap.
+            seeds[w].extend(std::mem::take(&mut shard.queue));
+            partitions[w].push(shard);
+        }
+        let owner = SwitchMap::build(&pairs);
+
+        // Distribute pending events onto their owning workers' heaps.
         let mut q = std::mem::take(&mut self.queue);
         for Reverse(ev) in q.drain() {
-            match self.shards.get_mut(&ev.switch) {
-                Some(sh) => sh.queue.push(Reverse(ev)),
+            match owner.get(ev.switch) {
+                Some(w) => seeds[w as usize].push(Reverse(ev)),
                 None => self.stats.dropped += 1,
             }
         }
 
-        // Static partition: shard i (in switch-id order) → worker i % W.
-        let shard_map = std::mem::take(&mut self.shards);
-        let mut owner: HashMap<u64, usize> = HashMap::new();
-        let mut partitions: Vec<Vec<Shard>> = (0..nworkers).map(|_| Vec::new()).collect();
-        let mut next_ns: Option<u64> = None;
-        for (i, (id, shard)) in shard_map.into_iter().enumerate() {
-            next_ns = min_opt(next_ns, shard.next_time());
-            owner.insert(id, i % nworkers);
-            partitions[i % nworkers].push(shard);
+        // Detach the single-switch generators from the source and hand
+        // each to the worker owning its destination shard: those streams
+        // are pulled worker-locally with zero coordination. Whatever the
+        // source cannot split (multi-switch generators, capped
+        // workloads, custom sources) stays behind as the shared
+        // remainder, materialized by worker 0. Keys no longer depend on
+        // pull interleaving, so the partition cannot perturb execution.
+        let mut shared_src = self.source.take();
+        let mut local_parts: Vec<Vec<LocalGen>> = (0..nworkers).map(|_| Vec::new()).collect();
+        if let Some(src) = shared_src.as_mut() {
+            let owned = &owner;
+            for lg in src.detach_local(&|sw| owned.get(sw).is_some()) {
+                local_parts[owner.get(lg.switch).expect("detached switch is owned") as usize]
+                    .push(lg);
+            }
         }
-        next_ns = min_opt(next_ns, self.source_peek());
+        let counts0 = self.source_counts.clone();
 
-        let exec = self.exec(true);
-        let mut total_processed = 0u64;
-        let mut first_error: Option<(Key, InterpError)> = None;
-        let mut fuel_exhausted = false;
-        let mut returned: Vec<Vec<Shard>> = Vec::new();
+        let cells: Vec<WorkerCell> = (0..nworkers).map(|_| WorkerCell::default()).collect();
+        let shared_peek = AtomicU64::new(u64::MAX);
+        let dropped = AtomicU64::new(0);
+        let fault: Mutex<Option<(Key, InterpError)>> = Mutex::new(None);
+        let barrier = RoundBarrier::new(nworkers);
+        let ctx = RoundCtx {
+            cells: &cells,
+            shared_peek: &shared_peek,
+            dropped: &dropped,
+            fault: &fault,
+            barrier: &barrier,
+            owner: &owner,
+            link_ns: link,
+            epoch_cap,
+            max_events,
+            max_time_ns,
+        };
+        let exec = self.exec();
 
+        // The calling thread is worker 0 (and the only holder of the
+        // shared source remainder, which need not be `Send`).
+        let mut outs: Vec<WorkerOut> = Vec::with_capacity(nworkers);
         std::thread::scope(|scope| {
-            let (rsp_tx, rsp_rx) = mpsc::channel::<Rsp>();
-            let mut cmd_txs = Vec::with_capacity(nworkers);
-            let mut handles = Vec::with_capacity(nworkers);
-            for mut shards in partitions.into_iter() {
-                let (cmd_tx, cmd_rx) = mpsc::channel::<Cmd>();
-                cmd_txs.push(cmd_tx);
-                let rsp_tx = rsp_tx.clone();
+            let mut iter = partitions.into_iter().zip(seeds).zip(local_parts);
+            let ((shards0, seed0), locals0) = iter.next().expect("at least one worker");
+            let mut handles = Vec::with_capacity(nworkers - 1);
+            for (w, ((shards, seed), locals)) in iter.enumerate() {
+                let ctx = &ctx;
                 let exec = exec.clone();
+                let counts = counts0.clone();
                 handles.push(scope.spawn(move || {
-                    // If this worker unwinds, tell the coordinator rather
-                    // than leaving it blocked on a response forever.
-                    let mut watch = DeathWatch {
-                        tx: rsp_tx.clone(),
-                        armed: true,
-                    };
-                    while let Ok(cmd) = cmd_rx.recv() {
-                        let Cmd::Epoch {
-                            end_ns,
-                            budget,
-                            deliveries,
-                        } = cmd
-                        else {
-                            break;
-                        };
-                        for ev in deliveries {
-                            let sh = shards
-                                .iter_mut()
-                                .find(|s| s.switch == ev.switch)
-                                .expect("routed to owned shard");
-                            sh.queue.push(Reverse(ev));
-                        }
-                        let mut rsp = Rsp::default();
-                        for shard in &mut shards {
-                            while let Some(Reverse(head)) = shard.queue.peek() {
-                                // The per-epoch budget keeps zero-latency
-                                // recirculation loops from spinning forever
-                                // inside one epoch; leftover events simply
-                                // surface at the barrier as fuel exhaustion.
-                                if head.key.time_ns >= end_ns || rsp.processed >= budget {
-                                    break;
-                                }
-                                let Reverse(sched) = shard.queue.pop().expect("peeked");
-                                shard.now_ns = shard.now_ns.max(sched.key.time_ns);
-                                rsp.processed += 1;
-                                let key = sched.key;
-                                if let Err(e) = exec.dispatch(shard, sched) {
-                                    // Keep the smallest-key fault; abandon
-                                    // this shard's epoch.
-                                    if rsp.error.as_ref().is_none_or(|(k, _)| key < *k) {
-                                        rsp.error = Some((key, e));
-                                    }
-                                    break;
-                                }
-                            }
-                            rsp.outbox.append(&mut shard.outbox);
-                            rsp.next_ns = min_opt(rsp.next_ns, shard.next_time());
-                        }
-                        if rsp_tx.send(rsp).is_err() {
-                            break;
-                        }
-                    }
-                    watch.armed = false;
-                    shards
+                    run_round_worker(
+                        ctx,
+                        &exec,
+                        w + 1,
+                        WorkerSeed {
+                            shards,
+                            heap: BinaryHeap::from(seed),
+                            locals,
+                            counts,
+                        },
+                        None,
+                    )
                 }));
             }
-            drop(rsp_tx);
-
-            let mut deliveries: Vec<Vec<Scheduled>> = (0..nworkers).map(|_| Vec::new()).collect();
-            let mut dropped_unknown = 0u64;
-            while let Some(t) = next_ns {
-                if t > max_time_ns {
-                    break;
-                }
-                if total_processed >= max_events {
-                    fuel_exhausted = true;
-                    break;
-                }
-                let end_ns = t.saturating_add(epoch).min(max_time_ns.saturating_add(1));
-                // Materialize the sourced injections due inside this epoch
-                // and route them with the epoch's deliveries. Pull order is
-                // global time order — the same order the sequential driver
-                // pulls in — so the assigned keys (and therefore execution)
-                // are engine-independent.
-                while let Some(st) = self.source_peek() {
-                    if st >= end_ns {
-                        break;
-                    }
-                    if let Some(s) = self.pull_sourced(|sw| owner.contains_key(&sw)) {
-                        deliveries[owner[&s.switch]].push(s);
-                    }
-                }
-                let budget = max_events.saturating_sub(total_processed);
-                for (w, tx) in cmd_txs.iter().enumerate() {
-                    let cmd = Cmd::Epoch {
-                        end_ns,
-                        budget,
-                        deliveries: std::mem::take(&mut deliveries[w]),
-                    };
-                    // A send only fails when the worker died; its
-                    // DeathWatch message is (or will be) in the response
-                    // queue, so the recv loop below still completes.
-                    let _ = tx.send(cmd);
-                }
-                let mut round_next: Option<u64> = None;
-                let mut ok = true;
-                for _ in 0..nworkers {
-                    let Ok(rsp) = rsp_rx.recv() else {
-                        ok = false;
-                        break;
-                    };
-                    if rsp.died {
-                        // A worker panicked; joining below re-raises it.
-                        ok = false;
-                        break;
-                    }
-                    total_processed += rsp.processed;
-                    round_next = min_opt(round_next, rsp.next_ns);
-                    if let Some((k, e)) = rsp.error {
-                        if first_error.as_ref().is_none_or(|(fk, _)| k < *fk) {
-                            first_error = Some((k, e));
-                        }
-                    }
-                    for ev in rsp.outbox {
-                        match owner.get(&ev.switch) {
-                            Some(&w) => {
-                                round_next = min_opt(round_next, Some(ev.key.time_ns));
-                                deliveries[w].push(ev);
-                            }
-                            None => dropped_unknown += 1,
-                        }
-                    }
-                }
-                if !ok || first_error.is_some() {
-                    break;
-                }
-                next_ns = min_opt(round_next, self.source_peek());
-                // Workers each get the full remaining budget, so a round
-                // can overshoot it even while draining the queue; report
-                // that as fuel exhaustion exactly like the sequential
-                // engine would have at event `max_events + 1`.
-                if total_processed > max_events {
-                    fuel_exhausted = true;
-                    break;
-                }
-            }
-
-            for tx in &cmd_txs {
-                let _ = tx.send(Cmd::Stop);
-            }
-            drop(cmd_txs);
-            // Undelivered cross-shard events stay pending for a later run.
-            self.stats.dropped += dropped_unknown;
+            outs.push(run_round_worker(
+                &ctx,
+                &exec,
+                0,
+                WorkerSeed {
+                    shards: shards0,
+                    heap: BinaryHeap::from(seed0),
+                    locals: locals0,
+                    counts: counts0,
+                },
+                shared_src.as_mut(),
+            ));
             for handle in handles {
-                returned.push(handle.join().expect("worker panicked"));
-            }
-            for (w, devs) in deliveries.into_iter().enumerate() {
-                for ev in devs {
-                    let sh = returned[w]
-                        .iter_mut()
-                        .find(|s| s.switch == ev.switch)
-                        .expect("owned shard returned");
-                    sh.queue.push(Reverse(ev));
-                }
+                outs.push(handle.join().expect("worker panicked"));
             }
         });
 
-        for shard in returned.into_iter().flatten() {
-            self.shards.insert(shard.switch, shard);
+        // Merge points: everything below happens exactly once, after the
+        // pool has quiesced — no lock is contended and no order depends
+        // on thread timing.
+        let why = outs[0].why;
+        let total_processed = outs[0].total;
+        debug_assert!(why != StopWhy::Died, "a panicked worker fails the join");
+
+        // Pull counters: worker 0's copy advanced the shared slots; each
+        // partitioned slot advanced only on its owning worker.
+        let mut counts = std::mem::take(&mut outs[0].counts);
+        for out in outs.iter().skip(1) {
+            for lg in &out.locals {
+                counts[lg.slot] = out.counts[lg.slot];
+            }
+        }
+        self.source_counts = counts;
+
+        // Reattach the partitioned generators (cursors advanced to
+        // wherever the run ended) and put the source back.
+        let parts: Vec<LocalGen> = outs
+            .iter_mut()
+            .flat_map(|o| std::mem::take(&mut o.locals))
+            .collect();
+        if let Some(src) = shared_src.as_mut() {
+            src.reattach_local(parts);
+        } else {
+            debug_assert!(parts.is_empty(), "locals only detach from a source");
+        }
+        self.source = shared_src;
+
+        let mut traces: Vec<Vec<(Key, Handled)>> = Vec::with_capacity(nworkers);
+        let mut outputs: Vec<Vec<(Key, String)>> = Vec::with_capacity(nworkers);
+        for (w, out) in outs.iter_mut().enumerate() {
+            // Mailboxes are drained at every round's P1 before the stop
+            // decision, so this is empty on all normal exits; it is a
+            // defensive park for the panic path.
+            let mail = std::mem::take(&mut *cells[w].mailbox.lock().expect("mailbox"));
+            self.queue.extend(mail.into_iter().map(Reverse));
+            // Undispatched heap events go straight back to the global
+            // queue so a later run (under either engine) sees them.
+            self.queue.extend(std::mem::take(&mut out.heap));
+            traces.push(std::mem::take(&mut out.trace));
+            outputs.push(std::mem::take(&mut out.output));
+            for mut shard in std::mem::take(&mut out.shards) {
+                // Park events stashed on a faulted shard, absorb its
+                // run-local stats, and advance the interpreter clock.
+                while let Some(ev) = shard.queue.pop() {
+                    self.queue.push(ev);
+                }
+                self.stats.absorb(&mut shard.stats);
+                self.now_ns = self.now_ns.max(shard.now_ns);
+                self.shards.insert(shard.switch, shard);
+            }
         }
         self.stats.processed += total_processed;
-        self.drain_all_buffers();
-        // Park leftover shard-queue events back on the global queue so a
-        // later run (under either engine) sees them.
-        for shard in self.shards.values_mut() {
-            while let Some(ev) = shard.queue.pop() {
-                self.queue.push(ev);
+        self.stats.dropped += dropped.load(Relaxed);
+        // Each worker's dispatch log is already key-sorted; one k-way
+        // merge (k = workers) recovers the global deterministic order.
+        merge_sorted_runs(traces, &mut self.trace);
+        merge_sorted_runs(outputs, &mut self.output);
+        match why {
+            StopWhy::Fault => {
+                let (_, e) = fault
+                    .into_inner()
+                    .expect("fault cell")
+                    .expect("fault stop implies a recorded fault");
+                Err(e)
             }
-        }
-        if let Some((_, e)) = first_error {
-            return Err(e);
-        }
-        if fuel_exhausted {
-            return Err(InterpFault::FuelExhausted {
+            StopWhy::Fuel => Err(InterpFault::FuelExhausted {
                 handled: total_processed,
             }
-            .into());
+            .into()),
+            _ => Ok(()),
         }
-        Ok(())
+    }
+}
+
+/// K-way merge of key-sorted runs into `out`, dropping the keys. Each
+/// run must be internally sorted (debug-asserted); ties across runs are
+/// impossible because every [`Key`] is globally unique.
+fn merge_sorted_runs<T>(mut runs: Vec<Vec<(Key, T)>>, out: &mut Vec<T>) {
+    out.reserve(runs.iter().map(Vec::len).sum());
+    runs.retain(|r| !r.is_empty());
+    if let [run] = &mut runs[..] {
+        // One non-empty run (every single-worker run): already in order.
+        debug_assert!(run.windows(2).all(|w| w[0].0 < w[1].0), "run not sorted");
+        out.extend(std::mem::take(run).into_iter().map(|(_, v)| v));
+        return;
+    }
+    let mut iters: Vec<std::iter::Peekable<std::vec::IntoIter<(Key, T)>>> = runs
+        .into_iter()
+        .map(|r| {
+            debug_assert!(r.windows(2).all(|w| w[0].0 < w[1].0), "run not sorted");
+            r.into_iter().peekable()
+        })
+        .collect();
+    let mut heap: BinaryHeap<Reverse<(Key, usize)>> = iters
+        .iter_mut()
+        .enumerate()
+        .filter_map(|(i, it)| it.peek().map(|(k, _)| Reverse((*k, i))))
+        .collect();
+    while let Some(Reverse((_, i))) = heap.pop() {
+        let (_, v) = iters[i].next().expect("peeked");
+        out.push(v);
+        if let Some((k, _)) = iters[i].peek() {
+            heap.push(Reverse((*k, i)));
+        }
     }
 }
 
@@ -2417,5 +2909,122 @@ mod tests {
             assert_eq!(i.array(s, "mix"), j.array(s, "mix"));
         }
         assert_eq!(i.stats, j.stats);
+    }
+
+    // --------------------------------------- mailbox/epoch stress tests
+
+    /// Adversarial cross-shard traffic for the mailbox/epoch machinery:
+    /// `spray` funnels every switch's emissions into one hotspot switch
+    /// (all of a round's mail lands in a single mailbox), and `ping`
+    /// bounces a chain between two switches with exactly one wire hop
+    /// per step — the worst case for conservative horizons, where every
+    /// dispatch depends on mail from the previous round.
+    const STRESS: &str = r#"
+        global hits = new Array<<32>>(16);
+        memop plus(int m, int x) { return m + x; }
+        event hot(int from);
+        handle hot(int from) { Array.setm(hits, from & 15, plus, 1); }
+        event spray(int from, int hub);
+        handle spray(int from, int hub) {
+            Array.setm(hits, 0, plus, 1);
+            generate Event.locate(hot(from), hub);
+        }
+        event ping(int n, int me, int peer);
+        handle ping(int n, int me, int peer) {
+            Array.setm(hits, n & 15, plus, 1);
+            if (n > 0) { generate Event.locate(ping(n - 1, peer, me), peer); }
+        }
+    "#;
+
+    type Snapshot = (Vec<Vec<u64>>, Stats, Vec<Handled>, Vec<String>, u64);
+
+    /// Run the stress schedule to quiescence; returns every observable
+    /// plus the leftover queue depth (which must always be zero — a
+    /// starved mailbox or a horizon that stopped advancing would leave
+    /// events stranded).
+    fn run_stress(
+        engine: Engine,
+        switches: u64,
+        schedule: &[(u64, u64, &'static str, Vec<u64>)],
+    ) -> (Snapshot, usize) {
+        let prog = checked(STRESS);
+        let mut cfg = NetConfig::mesh(switches);
+        cfg.engine = engine;
+        let mut i = Interp::new(&prog, cfg);
+        for (sw, t, ev, args) in schedule {
+            i.schedule(*sw, *t, ev, args).unwrap();
+        }
+        i.run_to_quiescence().unwrap();
+        let arrays = (1..=switches)
+            .map(|s| i.array(s, "hits").to_vec())
+            .collect();
+        (
+            (
+                arrays,
+                i.stats.clone(),
+                i.trace.clone(),
+                i.output.clone(),
+                i.metrics().digest(),
+            ),
+            i.pending(),
+        )
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Hotspot + ping-pong + bursty phases, across worker counts and
+        /// epoch overrides: the sharded engine must drain completely
+        /// (no starvation) and reproduce the sequential run bit for bit.
+        #[test]
+        fn mailbox_stress_stays_deterministic_and_drains(
+            switches in 2u64..=6,
+            wsel in 0usize..6,
+            esel in 0usize..4,
+            // (silence before the phase, burst length, intra-burst spacing):
+            // long gaps force the adaptive horizon to leap between
+            // activity floors; spacing 0 lands whole bursts on one tick.
+            bursts in proptest::collection::vec(
+                (0u64..=20_000, 1usize..=12, 0u64..=3),
+                1..5,
+            ),
+            // (chain length, endpoint selectors)
+            pings in proptest::collection::vec(
+                (1u64..=6, proptest::prelude::any::<u64>(), proptest::prelude::any::<u64>()),
+                0..6,
+            ),
+        ) {
+            let workers = [1usize, 2, 3, 4, 7, 8][wsel];
+            let epoch_ns = [0u64, 1, 250, 1_000][esel];
+            let mut schedule: Vec<(u64, u64, &'static str, Vec<u64>)> = Vec::new();
+            let mut t = 0u64;
+            for (k, (gap, n, spacing)) in bursts.iter().enumerate() {
+                t += gap;
+                // Rotate the hotspot between phases so ownership of the
+                // hammered mailbox moves across workers.
+                let hub = (k as u64 % switches) + 1;
+                for j in 0..*n {
+                    let from = (j as u64 % switches) + 1;
+                    schedule.push((from, t, "spray", vec![from * 31 + j as u64, hub]));
+                    t += spacing;
+                }
+            }
+            for (k, (n, a, b)) in pings.iter().enumerate() {
+                let me = (a % switches) + 1;
+                let peer = (b % switches) + 1;
+                schedule.push((me, (k as u64) * 500, "ping", vec![*n, me, peer]));
+            }
+
+            let (reference, seq_pending) = run_stress(Engine::Sequential, switches, &schedule);
+            prop_assert_eq!(seq_pending, 0);
+            let (got, pending) =
+                run_stress(Engine::Sharded { workers, epoch_ns }, switches, &schedule);
+            // A nonzero count here means the sharded run left events
+            // stranded (starved mailbox / stuck horizon).
+            prop_assert_eq!(pending, 0);
+            prop_assert_eq!(&reference, &got);
+        }
     }
 }

@@ -4,10 +4,12 @@
 //! shard that ran it, keyed by event class (event name × switch):
 //!
 //! * **dispatch latency** — nanoseconds elapsed from the *root* external
-//!   injection of the event's causal chain to this dispatch. An injected
-//!   packet is its own root (latency 0); a handler-generated event
-//!   inherits its cause's root, so a recirculate-then-report chain shows
-//!   the full pipeline traversal time.
+//!   injection of the event's causal chain to this dispatch. Recorded for
+//!   *derived* (handler-generated) events only: an injected packet is its
+//!   own root, so its latency would always be 0 and generator-driven runs
+//!   would report all-zero tails. A handler-generated event inherits its
+//!   cause's root, so a recirculate-then-report chain shows the full
+//!   pipeline traversal time.
 //! * **queue residency** — nanoseconds the event itself spent in flight:
 //!   its dispatch instant minus the instant it was scheduled
 //!   (recirculation/wire latency plus any `Event.delay`; 0 for external
@@ -220,10 +222,21 @@ impl Histogram {
     }
 }
 
-/// The two per-class histograms every dispatch feeds.
+/// The two per-class histograms every dispatch feeds, plus the exact
+/// dispatch count.
+///
+/// The count is explicit rather than `dispatch.count()` because the two
+/// measure different populations: every live dispatch counts (and records
+/// queue residency), but only *derived* events — handler-generated, class
+/// 1 — record a dispatch-latency sample. An external injection is its own
+/// causal root, so its latency would always be the meaningless constant 0
+/// and, at generator-driven volumes, would drown the tail of the chains
+/// the metric exists to measure.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ClassHists {
-    /// Root-injection-to-dispatch latency.
+    /// Events dispatched (handled + exported).
+    pub count: u64,
+    /// Root-injection-to-dispatch latency of derived events.
     pub dispatch: Histogram,
     /// Enqueue-to-dispatch residency.
     pub residency: Histogram,
@@ -231,6 +244,7 @@ pub struct ClassHists {
 
 impl ClassHists {
     fn merge(&mut self, other: &ClassHists) {
+        self.count += other.count;
         self.dispatch.merge(&other.dispatch);
         self.residency.merge(&other.residency);
     }
@@ -252,11 +266,16 @@ impl ShardMetrics {
         }
     }
 
-    /// Record one dispatch. `event_id` indexes the program's event pool.
+    /// Record one dispatch. `event_id` indexes the program's event pool;
+    /// `dispatch_ns` is `None` for external injections (their own causal
+    /// root — no latency sample, see [`ClassHists`]).
     #[inline]
-    pub(crate) fn record(&mut self, event_id: usize, dispatch_ns: u64, residency_ns: u64) {
+    pub(crate) fn record(&mut self, event_id: usize, dispatch_ns: Option<u64>, residency_ns: u64) {
         let h = &mut self.per_event[event_id];
-        h.dispatch.record(dispatch_ns);
+        h.count += 1;
+        if let Some(d) = dispatch_ns {
+            h.dispatch.record(d);
+        }
         h.residency.record(residency_ns);
     }
 }
@@ -273,7 +292,7 @@ impl ClassMetrics {
     /// Events dispatched in this class (handled + exported; dropped
     /// events never dispatch and are not measured).
     pub fn count(&self) -> u64 {
-        self.hists.dispatch.count()
+        self.hists.count
     }
 }
 
@@ -297,7 +316,7 @@ impl Metrics {
         event_name: impl Fn(usize) -> String,
     ) {
         for (id, h) in shard.per_event.iter_mut().enumerate() {
-            if h.dispatch.is_empty() {
+            if h.count == 0 {
                 continue;
             }
             acc.entry((switch, event_name(id))).or_default().merge(h);
@@ -363,6 +382,7 @@ impl Metrics {
             for byte in c.event.as_bytes() {
                 mix(u64::from(*byte));
             }
+            mix(c.hists.count);
             c.hists.dispatch.digest_into(&mut mix);
             c.hists.residency.digest_into(&mut mix);
         }
@@ -512,7 +532,7 @@ impl MetricSel {
     /// Evaluate this selector against a class's histogram pair.
     pub fn read(self, hists: &ClassHists) -> u64 {
         let (h, q) = match self {
-            MetricSel::Count => return hists.dispatch.count(),
+            MetricSel::Count => return hists.count,
             MetricSel::LatencyP50 => (&hists.dispatch, (50, 100)),
             MetricSel::LatencyP90 => (&hists.dispatch, (90, 100)),
             MetricSel::LatencyP99 => (&hists.dispatch, (99, 100)),
@@ -662,6 +682,7 @@ mod tests {
         assert_eq!(MetricSel::parse("p99"), None);
         let mut hists = ClassHists::default();
         for v in [100u64, 200, 300] {
+            hists.count += 1;
             hists.dispatch.record(v);
             hists.residency.record(v * 2);
         }

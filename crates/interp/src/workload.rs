@@ -45,17 +45,58 @@ pub struct SourcedEvent {
 
 /// A pull-based injection stream. Both engines drain one lazily: the
 /// sequential driver pulls everything due at or before its queue head,
-/// the sharded driver pulls everything due inside the coming epoch.
+/// the sharded driver pulls everything due inside the coming round.
 /// `peek_ns` must be nondecreasing across pulls.
 pub trait EventSource {
     /// Virtual time of the next event, `None` when exhausted.
     fn peek_ns(&self) -> Option<u64>;
+    /// Time *and source slot* of the next event — enough to form its
+    /// schedule key without pulling it, which lets a single-worker
+    /// sharded run merge the stream head into its dispatch scan instead
+    /// of materializing a window ahead. Must describe the same event
+    /// `next_event` would return. The default is correct for any
+    /// single-source stream.
+    fn peek_key(&self) -> Option<(u64, usize)> {
+        self.peek_ns().map(|t| (t, 0))
+    }
     /// Pull the next event. `None` exactly when `peek_ns` is `None`.
     fn next_event(&mut self) -> Option<SourcedEvent>;
     /// How many sources feed this stream (sizes the per-source counters).
     fn source_count(&self) -> usize {
         1
     }
+    /// Detach every constituent source whose entire remaining stream is
+    /// bound to a single switch accepted by `owned`, so the sharded
+    /// engine can hand each one to the worker that owns its destination
+    /// shard (no cross-worker traffic to materialize an injection).
+    /// Detached slots keep their indices — per-source keys and report
+    /// rows are position-based — and must come back via
+    /// [`EventSource::reattach_local`] before the next sequential pull.
+    ///
+    /// The default detaches nothing: the source stays shared and is
+    /// pulled by one worker on behalf of all (always correct, since
+    /// per-source keys are independent of pull interleaving).
+    fn detach_local(&mut self, owned: &dyn Fn(u64) -> bool) -> Vec<LocalGen> {
+        let _ = owned;
+        Vec::new()
+    }
+    /// Restore generators detached by [`EventSource::detach_local`] into
+    /// their original slots (stream positions advance by however far the
+    /// workers pulled them).
+    fn reattach_local(&mut self, parts: Vec<LocalGen>) {
+        debug_assert!(parts.is_empty(), "default detach_local detaches nothing");
+    }
+}
+
+/// One single-switch source detached from a shared stream for
+/// worker-local pulling ([`EventSource::detach_local`]).
+#[derive(Debug, Clone)]
+pub struct LocalGen {
+    /// The one switch every remaining event of this source targets.
+    pub switch: u64,
+    /// The slot it came from: its [`SourcedEvent::source`] index.
+    pub slot: usize,
+    pub gen: Generator,
 }
 
 // ------------------------------------------------------------------- rng
@@ -352,7 +393,10 @@ fn zipf_draw(rng: &mut Rng, n: u64, s: f64) -> u64 {
 /// capped at a total event budget (`lucidc sim --events N`).
 #[derive(Debug, Clone)]
 pub struct Workload {
-    gens: Vec<Generator>,
+    /// Slotted so [`EventSource::detach_local`] can lend generators out
+    /// without shifting the indices the merge order and per-source keys
+    /// are built on.
+    gens: Vec<Option<Generator>>,
     /// Remaining total-event budget (`None`: uncapped).
     remaining: Option<u64>,
     /// Memoized `(time, index)` of the next source, invalidated on pull.
@@ -365,7 +409,7 @@ pub struct Workload {
 impl Workload {
     pub fn new(gens: Vec<Generator>, total_cap: Option<u64>) -> Workload {
         Workload {
-            gens,
+            gens: gens.into_iter().map(Some).collect(),
             remaining: total_cap,
             head: std::cell::Cell::new(None),
         }
@@ -373,7 +417,13 @@ impl Workload {
 
     /// Generator names, in index order (for per-source report rows).
     pub fn names(&self) -> Vec<String> {
-        self.gens.iter().map(|g| g.name().to_string()).collect()
+        self.gens
+            .iter()
+            .map(|g| {
+                g.as_ref()
+                    .map_or_else(String::new, |g| g.name().to_string())
+            })
+            .collect()
     }
 
     fn head(&self) -> Option<(u64, usize)> {
@@ -385,7 +435,7 @@ impl Workload {
         }
         let mut best: Option<(u64, usize)> = None;
         for (i, g) in self.gens.iter().enumerate() {
-            if let Some(t) = g.peek_ns() {
+            if let Some(t) = g.as_ref().and_then(Generator::peek_ns) {
                 // Strict `<` keeps the lowest index on ties — the merge
                 // order both engines must agree on.
                 if best.is_none_or(|(bt, _)| t < bt) {
@@ -403,10 +453,17 @@ impl EventSource for Workload {
         self.head().map(|(t, _)| t)
     }
 
+    fn peek_key(&self) -> Option<(u64, usize)> {
+        self.head()
+    }
+
     fn next_event(&mut self) -> Option<SourcedEvent> {
         let (_, i) = self.head()?;
         self.head.set(None);
-        let ev = self.gens[i].next_event();
+        let ev = self.gens[i]
+            .as_mut()
+            .expect("head slot occupied")
+            .next_event();
         if ev.is_some() {
             if let Some(r) = &mut self.remaining {
                 *r -= 1;
@@ -417,6 +474,42 @@ impl EventSource for Workload {
 
     fn source_count(&self) -> usize {
         self.gens.len()
+    }
+
+    fn detach_local(&mut self, owned: &dyn Fn(u64) -> bool) -> Vec<LocalGen> {
+        // A total cap (`--events N`) is consumed in global merge order:
+        // which events exist depends on every sibling's stream, so the
+        // slots must stay coupled and pulled by one worker.
+        if self.remaining.is_some() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (slot, g) in self.gens.iter_mut().enumerate() {
+            let single = g.as_ref().and_then(|g| match g.spec.switches.as_slice() {
+                // Multi-switch sources draw their destination from
+                // the stream RNG per event — splitting one would
+                // change the stream. They stay shared.
+                [s] if owned(*s) => Some(*s),
+                _ => None,
+            });
+            if let Some(switch) = single {
+                out.push(LocalGen {
+                    switch,
+                    slot,
+                    gen: g.take().expect("checked above"),
+                });
+            }
+        }
+        self.head.set(None);
+        out
+    }
+
+    fn reattach_local(&mut self, parts: Vec<LocalGen>) {
+        for p in parts {
+            debug_assert!(self.gens[p.slot].is_none(), "slot {} occupied", p.slot);
+            self.gens[p.slot] = Some(p.gen);
+        }
+        self.head.set(None);
     }
 }
 

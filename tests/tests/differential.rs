@@ -35,6 +35,11 @@ fn apps() -> &'static Vec<(&'static str, CheckedProgram)> {
     })
 }
 
+/// Worker counts every sharded comparison sweeps: the lone-worker
+/// fast path, even and odd pools, a prime that misaligns the
+/// round-robin shard partition, and a pool wider than most topologies.
+const WORKER_SWEEP: [usize; 6] = [1, 2, 3, 4, 7, 8];
+
 /// One generated workload: a topology, initial pokes, and injections.
 #[derive(Debug, Clone)]
 struct Workload {
@@ -127,7 +132,10 @@ proptest! {
     fn figure9_apps_ast_bytecode_sharded_agree(
         app in 0u64..10_000,
         switches in 1u64..=4,
-        workers in 1usize..=3,
+        // Index into WORKER_SWEEP: exercises the barrier-free lone-worker
+        // path, small pools, and pools larger than the switch count
+        // (clamped to one shard per worker internally).
+        wsel in 0usize..WORKER_SWEEP.len(),
         pokes in proptest::collection::vec((any::<u64>(), any::<u64>(), any::<u64>(), 0u64..=1_000), 0..4),
         events in proptest::collection::vec(
             (any::<u64>(), 0u64..=50_000, any::<u64>(), (0u64..=300, 0u64..=300, 0u64..=300, 0u64..=300)),
@@ -137,7 +145,7 @@ proptest! {
         let w = Workload {
             app: (app as usize) % apps().len(),
             switches,
-            workers,
+            workers: WORKER_SWEEP[wsel],
             pokes,
             events: events
                 .into_iter()
@@ -184,16 +192,17 @@ fn every_app_runs_identically_across_the_matrix() {
             events,
         };
         let reference = run(&w, Engine::Sequential, ExecMode::Ast, OptLevel::O2);
-        for (engine, elabel) in [
-            (Engine::Sequential, "sequential"),
-            (
+        let mut engines = vec![(Engine::Sequential, "sequential".to_string())];
+        for workers in WORKER_SWEEP {
+            engines.push((
                 Engine::Sharded {
-                    workers: 2,
+                    workers,
                     epoch_ns: 0,
                 },
-                "sharded",
-            ),
-        ] {
+                format!("sharded-w{workers}"),
+            ));
+        }
+        for (engine, elabel) in engines {
             let combos = [
                 (ExecMode::Ast, OptLevel::O2),
                 (ExecMode::Bytecode, OptLevel::O0),
@@ -201,7 +210,7 @@ fn every_app_runs_identically_across_the_matrix() {
                 (ExecMode::Bytecode, OptLevel::O2),
             ];
             for (exec, opt) in combos {
-                if reference.is_err() && elabel == "sharded" {
+                if reference.is_err() && engine != Engine::Sequential {
                     // Error runs differ in sharded bookkeeping only; the
                     // sequential comparison above still pins them.
                     continue;
