@@ -64,14 +64,14 @@ pub fn failover_benchmark() -> FailoverReport {
         sim.schedule(1, t, "pkt", &[DST]).expect("probe");
         sim.run(400_000, t + 45_000).expect("probe round");
         if detected_at_ns == 0 {
-            if let Some(h) = sim.trace.iter().find(|h| h.event == "check_route") {
+            if let Some(h) = sim.trace.iter().find(|h| &*h.event == "check_route") {
                 detected_at_ns = h.time_ns;
             }
         }
         if let Some(h) = sim
             .trace
             .iter()
-            .find(|h| h.event == "deliver" && h.switch == 1 && h.args[1] == 3)
+            .find(|h| &*h.event == "deliver" && h.switch == 1 && h.args[1] == 3)
         {
             restored_at_ns = h.time_ns;
             break;

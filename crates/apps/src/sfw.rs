@@ -95,7 +95,7 @@ pub fn install_benchmark(trials: usize, load_factor: f64, seed: u64) -> InstallB
             .iter()
             .filter(|h| h.time_ns >= t0 && h.time_ns < t1)
         {
-            match h.event.as_str() {
+            match &*h.event {
                 "install_1" | "install_2" => {
                     first_step.get_or_insert(h.time_ns);
                     last_step = Some(h.time_ns);
@@ -159,7 +159,7 @@ mod tests {
         sim.run_to_quiescence().unwrap();
         assert_eq!(sim.array(1, "allowed")[0], 1);
         assert_eq!(sim.array(1, "dropped")[0], 0);
-        assert!(sim.trace.iter().any(|h| h.event == "fwd"));
+        assert!(sim.trace.iter().any(|h| &*h.event == "fwd"));
     }
 
     #[test]

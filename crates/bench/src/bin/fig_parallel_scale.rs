@@ -61,13 +61,14 @@ fn main() {
         let doc = format!(
             "{{\"figure\":\"fig_parallel_scale\",\"switches\":{},\"target_events\":{},\
              \"identical\":{},\"sequential_events_per_sec\":{},\"speedup_w1\":{},\
-             \"monotone\":{},\"latency_tail\":{},\"rows\":[{}]}}",
+             \"monotone\":{},\"available_parallelism\":{},\"latency_tail\":{},\"rows\":[{}]}}",
             t.switches,
             t.target_events,
             t.identical,
             jsonout::f(t.sequential_events_per_sec),
             jsonout::f(t.speedup_w1),
             t.monotone,
+            t.available_parallelism,
             t.tail.to_json(),
             rows.join(",")
         );
@@ -110,7 +111,7 @@ fn main() {
     println!("{}", t.tail.render());
     println!(
         "workers=1 over sequential: {:.2}x (gate: >= {:.2}x); \
-         monotone above one worker: {}",
-        t.speedup_w1, floor_w1, t.monotone
+         monotone above one worker: {} (host available_parallelism: {})",
+        t.speedup_w1, floor_w1, t.monotone, t.available_parallelism
     );
 }

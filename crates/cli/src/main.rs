@@ -437,6 +437,9 @@ fn run_sim(args: &[String]) -> ExitCode {
         opt: opts.opt,
         seed: opts.seed,
         events: opts.events,
+        // The CLI always retains the trace: `sim` renders it and the
+        // scenario's `expect` section may assert on it.
+        record_trace: None,
     };
     match build.interp_overrides(&scenario, &overrides) {
         Ok(report) => {

@@ -6,7 +6,7 @@
 //! differential matrix (walker vs. unoptimized vs. optimized bytecode)
 //! meaningful.
 
-use super::{CompiledProg, HandlerCode, Instr, ParamBind, PrintArg};
+use super::{word, CompiledProg, HandlerCode, Instr, ParamBind, PrintArg};
 use lucid_check::{mask, CheckedProgram, GlobalId};
 use lucid_frontend::ast::*;
 use std::collections::HashMap;
@@ -71,7 +71,11 @@ impl Alloc {
 struct Cc<'p> {
     prog: &'p CheckedProgram,
     pools: &'p mut CompiledProg,
-    code: Vec<Instr>,
+    /// The span under construction, already in packed form — lowering
+    /// emits words, not boxed instructions (see [`word`]).
+    code: Vec<word::Word>,
+    /// The wide/ext pools [`Cc::code`] indexes into.
+    tables: word::SideTables,
     regs: Alloc,
     objs: Alloc,
     frames: Vec<Frame>,
@@ -98,6 +102,7 @@ pub(super) fn compile_handler(
         prog,
         pools,
         code: Vec::new(),
+        tables: word::SideTables::default(),
         regs: Alloc::default(),
         objs: Alloc::default(),
         frames: Vec::new(),
@@ -119,7 +124,12 @@ pub(super) fn compile_handler(
     }
     cc.frames.push(Frame { vars, ret: None });
     cc.block(body);
-    cc.code.push(Instr::Halt);
+    cc.emit(Instr::Halt);
+    assert!(
+        cc.code.len() < 0xFFFF,
+        "handler span of {} exceeds the 16-bit jump-target space",
+        cc.code.len()
+    );
     HandlerCode {
         event_id,
         name: name.to_string(),
@@ -128,23 +138,28 @@ pub(super) fn compile_handler(
         nregs: cc.regs.next as usize,
         nobjs: cc.objs.next as usize,
         code: cc.code,
+        tables: cc.tables,
         elisions: Vec::new(),
     }
 }
 
 impl Cc<'_> {
     fn emit(&mut self, i: Instr) -> usize {
-        self.code.push(i);
+        self.code.push(word::encode(&i, &mut self.tables));
         self.code.len() - 1
     }
 
-    /// Point a forward jump at the current end of the code.
+    /// Point a forward jump at the current end of the code (the C field
+    /// of the packed word holds the target for every jump opcode).
     fn patch(&mut self, at: usize) {
-        let to = self.code.len() as u32;
-        match &mut self.code[at] {
-            Instr::Jmp { to: t } | Instr::Jz { to: t, .. } | Instr::Jnz { to: t, .. } => *t = to,
-            other => panic!("patching a non-jump {other:?}"),
-        }
+        let to = u16::try_from(self.code.len()).expect("span bounded at seal time");
+        let w = &mut self.code[at];
+        assert!(
+            matches!(w.op(), word::op::JMP | word::op::JZ | word::op::JNZ),
+            "patching a non-jump opcode {:#04x}",
+            w.op()
+        );
+        w.set_c(to);
     }
 
     /// Free the storage a consumed temporary held.
@@ -275,7 +290,7 @@ impl Cc<'_> {
                 let c = self.expr(cond);
                 let jz = self.emit(Instr::Jz {
                     cond: self.reg_of(c),
-                    to: u32::MAX,
+                    to: 0xFFFF,
                 });
                 self.release(c);
                 // Branch-local declarations must not leak bindings into
@@ -285,7 +300,7 @@ impl Cc<'_> {
                 let saved = self.frames.last().expect("frame").vars.clone();
                 self.block(then_blk);
                 if let Some(e) = else_blk {
-                    let jend = self.emit(Instr::Jmp { to: u32::MAX });
+                    let jend = self.emit(Instr::Jmp { to: 0xFFFF });
                     self.patch(jz);
                     self.frames.last_mut().expect("frame").vars = saved.clone();
                     self.block(e);
@@ -333,7 +348,7 @@ impl Cc<'_> {
                     }
                     self.release(v);
                 }
-                let j = self.emit(Instr::Jmp { to: u32::MAX });
+                let j = self.emit(Instr::Jmp { to: 0xFFFF });
                 self.frames
                     .last_mut()
                     .expect("frame")
@@ -535,12 +550,12 @@ impl Cc<'_> {
             let j = if op == BinOp::And {
                 self.emit(Instr::Jz {
                     cond: dst,
-                    to: u32::MAX,
+                    to: 0xFFFF,
                 })
             } else {
                 self.emit(Instr::Jnz {
                     cond: dst,
-                    to: u32::MAX,
+                    to: 0xFFFF,
                 })
             };
             let r = self.expr(rhs);

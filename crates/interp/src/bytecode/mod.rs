@@ -59,9 +59,11 @@ mod exec;
 mod lower;
 mod opt;
 pub mod verify;
+mod word;
 
 pub use disasm::{disassemble, disassemble_opt};
 pub use verify::{violations_to_diagnostics, Violation};
+pub use word::{DecodeError, SideTables, Word};
 
 use crate::value::EventVal;
 use lucid_check::{CheckedProgram, MemopIr};
@@ -447,7 +449,9 @@ pub struct Elision {
     pub bound: u128,
 }
 
-/// One handler's compiled body.
+/// One handler's compiled body: packed instruction words plus the side
+/// tables their overflow operands index into (see the `word` module
+/// docs for the layout).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HandlerCode {
     event_id: usize,
@@ -457,15 +461,43 @@ pub struct HandlerCode {
     binds: Vec<ParamBind>,
     nregs: usize,
     nobjs: usize,
-    code: Vec<Instr>,
+    /// The handler span as packed 64-bit words.
+    code: Vec<Word>,
+    /// Wide-immediate and ext-operand pools the words reference.
+    tables: SideTables,
     /// Bounds-check elision proofs recorded by the optimizer (empty at
     /// `O0`; regalloc remaps the index registers along with the code).
     elisions: Vec<Elision>,
 }
 
 impl HandlerCode {
-    pub fn instrs(&self) -> &[Instr] {
+    /// Decode the packed span back into the structured instruction view
+    /// (the optimizer, verifier, and disassembler work on this; the
+    /// executor dispatches on the raw words). Panics on a corrupted
+    /// encoding — callers that must not panic go through the `word`
+    /// module's `decode` and get the structured error instead.
+    pub fn instrs(&self) -> Vec<Instr> {
+        word::decode_all(&self.code, &self.tables)
+            .unwrap_or_else(|(pc, e)| panic!("undecodable word at pc {pc}: {e}"))
+    }
+
+    /// The packed instruction words (with [`HandlerCode::tables`], the
+    /// complete executable form).
+    pub fn words(&self) -> &[Word] {
         &self.code
+    }
+
+    /// The side tables backing [`HandlerCode::words`].
+    pub fn tables(&self) -> &SideTables {
+        &self.tables
+    }
+
+    /// Replace the handler span, re-encoding through fresh side tables
+    /// (dead pool entries from rewritten instructions are dropped).
+    fn set_instrs(&mut self, code: &[Instr]) {
+        let (words, tables) = word::encode_all(code);
+        self.code = words;
+        self.tables = tables;
     }
 
     /// The handler's event name.
@@ -672,6 +704,12 @@ impl CompiledProg {
                 (self.groups.len() - 1) as u16
             }
         }
+    }
+
+    /// The interned `printf` format string behind an id, for the driver
+    /// rendering deferred output records at a run's merge point.
+    pub(crate) fn fmt_str(&self, fmt: u16) -> &str {
+        &self.fmts[fmt as usize]
     }
 
     fn fmt_id(&mut self, fmt: &str) -> u16 {

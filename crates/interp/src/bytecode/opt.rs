@@ -44,15 +44,23 @@ use std::collections::HashMap;
 /// a `Cmp` adjacent to its branch, a sunk check abuts its array op), and
 /// every sub-pass strictly deletes instructions or moves a check later,
 /// so the loop terminates.
+///
+/// The packed span is decoded once, rewritten in the structured
+/// [`Instr`] view, and re-encoded through fresh side tables at the end
+/// — re-encoding is deterministic, so running the pass again on its own
+/// output reproduces the same words bit for bit (idempotence, asserted
+/// by tests).
 pub(super) fn peephole(h: &mut HandlerCode, pools: &CompiledProg) {
+    let mut code = h.instrs();
     loop {
-        let mut changed = elide_checks(&mut h.code, &mut h.elisions, pools);
-        changed |= sink_checks(&mut h.code);
-        changed |= fuse(&mut h.code, h.nregs);
+        let mut changed = elide_checks(&mut code, &mut h.elisions, pools);
+        changed |= sink_checks(&mut code);
+        changed |= fuse(&mut code, h.nregs);
         if !changed {
             break;
         }
     }
+    h.set_instrs(&code);
 }
 
 // -------------------------------------------------------------- analysis
@@ -817,7 +825,8 @@ pub(super) fn regalloc(h: &mut HandlerCode) {
         return;
     }
     let nparams = h.binds.len();
-    let code = &h.code;
+    let decoded = h.instrs();
+    let code = &decoded;
     let mut start = vec![usize::MAX; n];
     let mut end = vec![0usize; n];
     for (pc, i) in code.iter().enumerate() {
@@ -920,7 +929,7 @@ pub(super) fn regalloc(h: &mut HandlerCode) {
         new_count <= n,
         "regalloc grew the frame: {n} -> {new_count}"
     );
-    let mut code = compact(&h.code, &keep);
+    let mut code = compact(&decoded, &keep);
     for i in &mut code {
         rewrite_regs(i, &map);
     }
@@ -932,6 +941,6 @@ pub(super) fn regalloc(h: &mut HandlerCode) {
             e.idx = m;
         }
     }
-    h.code = code;
+    h.set_instrs(&code);
     h.nregs = new_count;
 }

@@ -1,0 +1,908 @@
+//! The packed fixed-width instruction word.
+//!
+//! Every bytecode instruction is stored as one 64-bit [`Word`]:
+//!
+//! ```text
+//!  bits  0..8    opcode         (dense, 0..=79; see [`op`])
+//!  bits  8..24   field A  (u16) first operand, usually a register
+//!  bits 24..40   field B  (u16) second operand / inline immediate
+//!  bits 40..56   field C  (u16) third operand / jump target
+//!  bits 56..64   field D  (u8)  width (low 7 bits) + wide flag (bit 7),
+//!                               or a boolean flag for branch variants
+//! ```
+//!
+//! Two per-handler side tables hold what a word cannot:
+//!
+//! * the **wide pool** (`Vec<u64>`) for immediates above `0xFFFF` — the
+//!   word stores a pool index in the immediate field and sets the wide
+//!   flag (D bit 7). Canonical form is strict both ways: an immediate
+//!   that fits 16 bits must be inline, and a wide-pool entry must not
+//!   fit 16 bits, so every decoded instruction re-encodes to the same
+//!   bits.
+//! * the **ext pool** (`Vec<u32>`) for variable-length operand lists
+//!   (hash/event/printf argument registers) and for the fixed operand
+//!   overflow of the memop instructions, which carry more than three
+//!   16-bit operands. A word references a contiguous `[base, base+len)`
+//!   span.
+//!
+//! Arithmetic and comparison operators are folded into the opcode
+//! (`op::BIN + bin_index(op)` etc.), which keeps the whole ISA dense in
+//! `0..80` so the executor's dispatch is a single match on one byte.
+//!
+//! [`encode`] asserts only *capacity* invariants (field and pool sizes
+//! the lowering pipeline guarantees). Everything semantic — widths,
+//! frames, jump targets, pool indexes — is deliberately left to the
+//! verifier so corrupted-but-decodable words still get their precise
+//! `V0xxx` code. [`decode`] is total: any malformed word yields a
+//! structured [`DecodeError`] (surfaced by the verifier as `V0011`),
+//! never a panic.
+
+use super::{Instr, PrintArg};
+use lucid_frontend::ast::BinOp;
+use std::fmt;
+
+/// One packed instruction word. See the module docs for the layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Word(pub u64);
+
+impl Word {
+    pub(super) fn new(op: u8, a: u16, b: u16, c: u16, d: u8) -> Word {
+        Word(
+            (op as u64)
+                | ((a as u64) << 8)
+                | ((b as u64) << 24)
+                | ((c as u64) << 40)
+                | ((d as u64) << 56),
+        )
+    }
+
+    #[inline(always)]
+    pub(super) fn op(self) -> u8 {
+        self.0 as u8
+    }
+
+    #[inline(always)]
+    pub(super) fn a(self) -> u16 {
+        (self.0 >> 8) as u16
+    }
+
+    #[inline(always)]
+    pub(super) fn b(self) -> u16 {
+        (self.0 >> 24) as u16
+    }
+
+    #[inline(always)]
+    pub(super) fn c(self) -> u16 {
+        (self.0 >> 40) as u16
+    }
+
+    #[inline(always)]
+    pub(super) fn d(self) -> u8 {
+        (self.0 >> 56) as u8
+    }
+
+    /// Overwrite field C (the jump-target field) in place — what the
+    /// lowering pass's forward-jump patching writes through.
+    pub(super) fn set_c(&mut self, c: u16) {
+        self.0 = (self.0 & !(0xFFFFu64 << 40)) | ((c as u64) << 40);
+    }
+}
+
+/// D-byte bit 7: the immediate field holds a wide-pool index.
+pub(super) const WIDE: u8 = 0x80;
+
+/// The dense opcode space. Fixed-arity instructions get one opcode;
+/// operator-parameterized families get a contiguous range (base +
+/// operator index), so the byte alone names the full operation.
+pub(super) mod op {
+    pub const HALT: u8 = 0;
+    pub const CONST: u8 = 1;
+    pub const MOV: u8 = 2;
+    pub const STORE_MASKED: u8 = 3;
+    pub const BOOL_OF: u8 = 4;
+    pub const NOT: u8 = 5;
+    pub const NEG: u8 = 6;
+    pub const BIT_NOT: u8 = 7;
+    pub const MASKW: u8 = 8;
+    pub const HASH: u8 = 9;
+    pub const HASH_CHK: u8 = 10;
+    pub const JMP: u8 = 11;
+    pub const JZ: u8 = 12;
+    pub const JNZ: u8 = 13;
+    pub const ARR_CHECK: u8 = 14;
+    pub const ARR_GET: u8 = 15;
+    pub const ARR_SET: u8 = 16;
+    pub const ARR_GETM: u8 = 17;
+    pub const ARR_SETM: u8 = 18;
+    pub const ARR_UPDATE: u8 = 19;
+    pub const CHK_GET: u8 = 20;
+    pub const CHK_SET: u8 = 21;
+    pub const CHK_GETM: u8 = 22;
+    pub const CHK_SETM: u8 = 23;
+    pub const CHK_UPDATE: u8 = 24;
+    pub const MK_EVENT: u8 = 25;
+    pub const OBJ_COPY: u8 = 26;
+    pub const LOAD_GROUP: u8 = 27;
+    pub const EV_DELAY: u8 = 28;
+    pub const EV_LOCATE: u8 = 29;
+    pub const EV_MLOCATE: u8 = 30;
+    pub const GENERATE: u8 = 31;
+    pub const LOAD_SELF: u8 = 32;
+    pub const LOAD_TIME: u8 = 33;
+    pub const LOAD_PORT: u8 = 34;
+    pub const PRINTF: u8 = 35;
+    /// `BIN + bin_index(op)` — ten arithmetic/bitwise/shift operators.
+    pub const BIN: u8 = 36;
+    /// `BIN_IMM + bin_index(op)`.
+    pub const BIN_IMM: u8 = 46;
+    /// `CMP + cmp_index(op)` — six comparison operators.
+    pub const CMP: u8 = 56;
+    /// `CMP_IMM + cmp_index(op)`.
+    pub const CMP_IMM: u8 = 62;
+    /// `JCMP + cmp_index(op)`.
+    pub const JCMP: u8 = 68;
+    /// `JCMP_IMM + cmp_index(op)`.
+    pub const JCMP_IMM: u8 = 74;
+    /// First invalid opcode — everything in `LIMIT..` decodes to
+    /// [`DecodeError::BadOpcode`](super::DecodeError::BadOpcode).
+    pub const LIMIT: u8 = 80;
+
+    // Inclusive range ends, so dispatch sites can write stable
+    // `BIN..=BIN_LAST` patterns (which compile to a dense jump table).
+    pub const BIN_LAST: u8 = BIN + 9;
+    pub const BIN_IMM_LAST: u8 = BIN_IMM + 9;
+    pub const CMP_LAST: u8 = CMP + 5;
+    pub const CMP_IMM_LAST: u8 = CMP_IMM + 5;
+    pub const JCMP_LAST: u8 = JCMP + 5;
+    pub const JCMP_IMM_LAST: u8 = JCMP_IMM + 5;
+}
+
+// The operator ranges tile the dense opcode space exactly.
+const _: () = assert!(op::JCMP_IMM_LAST + 1 == op::LIMIT);
+
+/// Arithmetic operators in opcode-range order (`op::BIN + index`).
+pub(super) const BIN_OPS: [BinOp; 10] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Div,
+    BinOp::Mod,
+    BinOp::BitAnd,
+    BinOp::BitOr,
+    BinOp::BitXor,
+    BinOp::Shl,
+    BinOp::Shr,
+];
+
+/// Comparison operators in opcode-range order (`op::CMP + index`).
+pub(super) const CMP_OPS: [BinOp; 6] = [
+    BinOp::Eq,
+    BinOp::Neq,
+    BinOp::Lt,
+    BinOp::Le,
+    BinOp::Gt,
+    BinOp::Ge,
+];
+
+pub(super) fn bin_index(op: BinOp) -> u8 {
+    match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::Div => 3,
+        BinOp::Mod => 4,
+        BinOp::BitAnd => 5,
+        BinOp::BitOr => 6,
+        BinOp::BitXor => 7,
+        BinOp::Shl => 8,
+        BinOp::Shr => 9,
+        _ => unreachable!("comparison operator in an arithmetic opcode"),
+    }
+}
+
+pub(super) fn cmp_index(op: BinOp) -> u8 {
+    match op {
+        BinOp::Eq => 0,
+        BinOp::Neq => 1,
+        BinOp::Lt => 2,
+        BinOp::Le => 3,
+        BinOp::Gt => 4,
+        BinOp::Ge => 5,
+        _ => unreachable!("arithmetic operator in a comparison opcode"),
+    }
+}
+
+/// The per-handler side tables the packed words index into.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SideTables {
+    /// Immediates above `0xFFFF` (wide-flagged words hold an index).
+    pub wide: Vec<u64>,
+    /// Variable-length and overflow operands, as `[base, base+len)`
+    /// spans of `u32` entries.
+    pub ext: Vec<u32>,
+}
+
+impl SideTables {
+    /// Intern one wide immediate (deduplicated; the pool stays tiny).
+    fn wide_id(&mut self, v: u64) -> u16 {
+        debug_assert!(v > u16::MAX as u64, "wide pool is for >16-bit immediates");
+        let i = match self.wide.iter().position(|&x| x == v) {
+            Some(i) => i,
+            None => {
+                self.wide.push(v);
+                self.wide.len() - 1
+            }
+        };
+        u16::try_from(i).expect("wide pool exceeds 65536 entries")
+    }
+
+    /// Append one ext-pool span, returning its base.
+    fn ext_span(&mut self, entries: impl IntoIterator<Item = u32>) -> u16 {
+        let base = self.ext.len();
+        self.ext.extend(entries);
+        u16::try_from(base).expect("ext pool exceeds 65536 entries")
+    }
+}
+
+/// Why a word failed to decode. Structural only — a decodable word with
+/// a bad width or frame index decodes fine and is caught by the
+/// verifier's own `V0001`–`V0010` rules instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Opcode byte outside the dense `0..80` space.
+    BadOpcode(u8),
+    /// A field this opcode does not use holds nonzero bits.
+    JunkBits { field: &'static str },
+    /// Wide flag set but the index is outside the wide pool.
+    WideIndex { idx: u16, len: usize },
+    /// Wide-pool entry fits 16 bits — canonical form requires it inline.
+    NonCanonicalWide { value: u64 },
+    /// Ext-pool span `[base, base+len)` runs past the pool.
+    ExtRange { base: u16, len: usize, pool: usize },
+    /// Ext-pool entry has bits outside its operand's range.
+    ExtJunk { entry: u32 },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode(b) => write!(f, "opcode {b:#04x} outside the ISA"),
+            DecodeError::JunkBits { field } => {
+                write!(f, "unused field {field} holds nonzero bits")
+            }
+            DecodeError::WideIndex { idx, len } => {
+                write!(f, "wide-pool index {idx} out of range (pool has {len})")
+            }
+            DecodeError::NonCanonicalWide { value } => write!(
+                f,
+                "wide-pool entry {value:#x} fits 16 bits — canonical form is inline"
+            ),
+            DecodeError::ExtRange { base, len, pool } => write!(
+                f,
+                "ext-pool span [{base}, {base}+{len}) runs past the pool (len {pool})"
+            ),
+            DecodeError::ExtJunk { entry } => {
+                write!(f, "ext-pool entry {entry:#x} has bits outside its operand")
+            }
+        }
+    }
+}
+
+/// Split an immediate into `(immediate field, wide flag)`.
+fn imm_field(imm: u64, t: &mut SideTables) -> (u16, u8) {
+    if imm <= u16::MAX as u64 {
+        (imm as u16, 0)
+    } else {
+        (t.wide_id(imm), WIDE)
+    }
+}
+
+/// Resolve an immediate field against the wide pool, enforcing the
+/// canonical-form rule both ways.
+fn imm_of(field: u16, wide: bool, t: &SideTables) -> Result<u64, DecodeError> {
+    if !wide {
+        return Ok(field as u64);
+    }
+    let v = *t.wide.get(field as usize).ok_or(DecodeError::WideIndex {
+        idx: field,
+        len: t.wide.len(),
+    })?;
+    if v <= u16::MAX as u64 {
+        return Err(DecodeError::NonCanonicalWide { value: v });
+    }
+    Ok(v)
+}
+
+fn reg16(v: u32) -> u16 {
+    debug_assert!(v <= u16::MAX as u32);
+    v as u16
+}
+
+/// Fetch an ext-pool span whose entries are plain 16-bit operands.
+fn ext_regs(t: &SideTables, base: u16, len: usize) -> Result<&[u32], DecodeError> {
+    let span = t
+        .ext
+        .get(base as usize..base as usize + len)
+        .ok_or(DecodeError::ExtRange {
+            base,
+            len,
+            pool: t.ext.len(),
+        })?;
+    for &e in span {
+        if e > u16::MAX as u32 {
+            return Err(DecodeError::ExtJunk { entry: e });
+        }
+    }
+    Ok(span)
+}
+
+/// Narrow a pool id the encoder packs into a 16-bit field. The pools
+/// are dense per-program interning tables, so the bound is structural,
+/// not a practical limit.
+fn pool16(v: u32, what: &str) -> u16 {
+    u16::try_from(v).unwrap_or_else(|_| panic!("{what} id {v} exceeds the 16-bit operand field"))
+}
+
+/// Narrow a jump target into the 16-bit C field. Handler spans are
+/// bounded at encode time ([`encode_all`] asserts the span length stays
+/// below `0xFFFF`), so a real target always fits; `0xFFFF` is the
+/// lowering pass's unpatched placeholder.
+fn target16(to: u32) -> u16 {
+    u16::try_from(to).expect("jump target exceeds the 16-bit field")
+}
+
+/// Encode one instruction into a packed word, interning overflow
+/// operands into the side tables.
+pub(super) fn encode(i: &Instr, t: &mut SideTables) -> Word {
+    match i {
+        Instr::Halt => Word::new(op::HALT, 0, 0, 0, 0),
+        Instr::Const { dst, imm, w } => {
+            let (b, wide) = imm_field(*imm, t);
+            Word::new(op::CONST, *dst, b, 0, (*w as u8) | wide)
+        }
+        Instr::Mov { dst, src } => Word::new(op::MOV, *dst, *src, 0, 0),
+        Instr::StoreMasked { dst, src } => Word::new(op::STORE_MASKED, *dst, *src, 0, 0),
+        Instr::BoolOf { dst, src } => Word::new(op::BOOL_OF, *dst, *src, 0, 0),
+        Instr::Not { dst, src } => Word::new(op::NOT, *dst, *src, 0, 0),
+        Instr::Neg { dst, src } => Word::new(op::NEG, *dst, *src, 0, 0),
+        Instr::BitNot { dst, src } => Word::new(op::BIT_NOT, *dst, *src, 0, 0),
+        Instr::MaskW { dst, src, w } => Word::new(op::MASKW, *dst, *src, 0, *w as u8),
+        Instr::Bin { op, dst, a, b } => Word::new(op::BIN + bin_index(*op), *dst, *a, *b, 0),
+        Instr::BinImm { op, dst, a, imm, w } => {
+            let (c, wide) = imm_field(*imm, t);
+            Word::new(op::BIN_IMM + bin_index(*op), *dst, *a, c, (*w as u8) | wide)
+        }
+        Instr::Cmp { op, dst, a, b } => Word::new(op::CMP + cmp_index(*op), *dst, *a, *b, 0),
+        Instr::CmpImm { op, dst, a, imm } => {
+            let (c, wide) = imm_field(*imm, t);
+            Word::new(op::CMP_IMM + cmp_index(*op), *dst, *a, c, wide)
+        }
+        Instr::Jmp { to } => Word::new(op::JMP, 0, 0, target16(*to), 0),
+        Instr::Jz { cond, to } => Word::new(op::JZ, *cond, 0, target16(*to), 0),
+        Instr::Jnz { cond, to } => Word::new(op::JNZ, *cond, 0, target16(*to), 0),
+        Instr::JCmp { op, a, b, when, to } => Word::new(
+            op::JCMP + cmp_index(*op),
+            *a,
+            *b,
+            target16(*to),
+            *when as u8,
+        ),
+        Instr::JCmpImm {
+            op,
+            a,
+            imm,
+            when,
+            to,
+        } => {
+            let (b, wide) = imm_field(*imm, t);
+            Word::new(
+                op::JCMP_IMM + cmp_index(*op),
+                *a,
+                b,
+                target16(*to),
+                (*when as u8) | wide,
+            )
+        }
+        Instr::Hash { dst, w, args } => {
+            let base = t.ext_span(args.iter().map(|&r| r as u32));
+            let n = u16::try_from(args.len()).expect("hash arity fits u16");
+            Word::new(op::HASH, *dst, base, n, *w as u8)
+        }
+        Instr::HashChk { dst, w, args, gid } => {
+            let base = t.ext_span(
+                std::iter::once(pool16(*gid, "array") as u32).chain(args.iter().map(|&r| r as u32)),
+            );
+            let n = u16::try_from(args.len()).expect("hash arity fits u16");
+            Word::new(op::HASH_CHK, *dst, base, n, *w as u8)
+        }
+        Instr::ArrCheck { gid, idx } => Word::new(op::ARR_CHECK, pool16(*gid, "array"), *idx, 0, 0),
+        Instr::ArrGet { dst, gid, idx } => {
+            Word::new(op::ARR_GET, *dst, pool16(*gid, "array"), *idx, 0)
+        }
+        Instr::ArrSet { gid, idx, val } => {
+            Word::new(op::ARR_SET, pool16(*gid, "array"), *idx, *val, 0)
+        }
+        Instr::ChkGet { dst, gid, idx } => {
+            Word::new(op::CHK_GET, *dst, pool16(*gid, "array"), *idx, 0)
+        }
+        Instr::ChkSet { gid, idx, val } => {
+            Word::new(op::CHK_SET, pool16(*gid, "array"), *idx, *val, 0)
+        }
+        Instr::ArrGetm {
+            dst,
+            gid,
+            idx,
+            memop,
+            local,
+        } => {
+            let base = t.ext_span([
+                pool16(*gid, "array") as u32,
+                *idx as u32,
+                *memop as u32,
+                *local as u32,
+            ]);
+            Word::new(op::ARR_GETM, *dst, base, 0, 0)
+        }
+        Instr::ChkGetm {
+            dst,
+            gid,
+            idx,
+            memop,
+            local,
+        } => {
+            let base = t.ext_span([
+                pool16(*gid, "array") as u32,
+                *idx as u32,
+                *memop as u32,
+                *local as u32,
+            ]);
+            Word::new(op::CHK_GETM, *dst, base, 0, 0)
+        }
+        Instr::ArrSetm {
+            gid,
+            idx,
+            memop,
+            local,
+        } => {
+            let base = t.ext_span([
+                pool16(*gid, "array") as u32,
+                *idx as u32,
+                *memop as u32,
+                *local as u32,
+            ]);
+            Word::new(op::ARR_SETM, base, 0, 0, 0)
+        }
+        Instr::ChkSetm {
+            gid,
+            idx,
+            memop,
+            local,
+        } => {
+            let base = t.ext_span([
+                pool16(*gid, "array") as u32,
+                *idx as u32,
+                *memop as u32,
+                *local as u32,
+            ]);
+            Word::new(op::CHK_SETM, base, 0, 0, 0)
+        }
+        Instr::ArrUpdate {
+            dst,
+            gid,
+            idx,
+            getop,
+            getarg,
+            setop,
+            setarg,
+        } => {
+            let base = t.ext_span([
+                pool16(*gid, "array") as u32,
+                *idx as u32,
+                *getop as u32,
+                *getarg as u32,
+                *setop as u32,
+                *setarg as u32,
+            ]);
+            Word::new(op::ARR_UPDATE, *dst, base, 0, 0)
+        }
+        Instr::ChkUpdate {
+            dst,
+            gid,
+            idx,
+            getop,
+            getarg,
+            setop,
+            setarg,
+        } => {
+            let base = t.ext_span([
+                pool16(*gid, "array") as u32,
+                *idx as u32,
+                *getop as u32,
+                *getarg as u32,
+                *setop as u32,
+                *setarg as u32,
+            ]);
+            Word::new(op::CHK_UPDATE, *dst, base, 0, 0)
+        }
+        Instr::MkEvent {
+            dst,
+            event_id,
+            args,
+        } => {
+            let base = t.ext_span(args.iter().map(|&r| r as u32));
+            let n = u8::try_from(args.len()).expect("event arity fits u8");
+            Word::new(op::MK_EVENT, *dst, pool16(*event_id, "event"), base, n)
+        }
+        Instr::ObjCopy { dst, src } => Word::new(op::OBJ_COPY, *dst, *src, 0, 0),
+        Instr::LoadGroup { dst, group } => Word::new(op::LOAD_GROUP, *dst, *group, 0, 0),
+        Instr::EvDelay { obj, us } => Word::new(op::EV_DELAY, *obj, *us, 0, 0),
+        Instr::EvLocate { obj, loc } => Word::new(op::EV_LOCATE, *obj, *loc, 0, 0),
+        Instr::EvMLocate { obj, group } => Word::new(op::EV_MLOCATE, *obj, *group, 0, 0),
+        Instr::Generate { obj } => Word::new(op::GENERATE, *obj, 0, 0, 0),
+        Instr::LoadSelf { dst } => Word::new(op::LOAD_SELF, *dst, 0, 0, 0),
+        Instr::LoadTime { dst } => Word::new(op::LOAD_TIME, *dst, 0, 0, 0),
+        Instr::LoadPort { dst } => Word::new(op::LOAD_PORT, *dst, 0, 0, 0),
+        Instr::Printf { fmt, args } => {
+            let base = t.ext_span(
+                args.iter()
+                    .map(|a| (a.reg as u32) | ((a.is_bool as u32) << 16)),
+            );
+            let n = u16::try_from(args.len()).expect("printf arity fits u16");
+            Word::new(op::PRINTF, *fmt, base, n, 0)
+        }
+    }
+}
+
+/// Encode a whole instruction sequence into fresh side tables.
+pub(super) fn encode_all(code: &[Instr]) -> (Vec<Word>, SideTables) {
+    assert!(
+        code.len() < 0xFFFF,
+        "handler span of {} exceeds the 16-bit jump-target space",
+        code.len()
+    );
+    let mut t = SideTables::default();
+    let words = code.iter().map(|i| encode(i, &mut t)).collect();
+    (words, t)
+}
+
+/// Decode one packed word against its side tables. Total: every 64-bit
+/// pattern either decodes or names a structured [`DecodeError`].
+pub(super) fn decode(w: Word, t: &SideTables) -> Result<Instr, DecodeError> {
+    let (a, b, c, d) = (w.a(), w.b(), w.c(), w.d());
+    // One shared guard for fields an opcode leaves unused: the strict
+    // canonical form means a bit flip in dead space is still detected.
+    let zero = |v: u64, field: &'static str| {
+        if v != 0 {
+            Err(DecodeError::JunkBits { field })
+        } else {
+            Ok(())
+        }
+    };
+    let opb = w.op();
+    Ok(match opb {
+        op::HALT => {
+            zero(w.0 >> 8, "A/B/C/D")?;
+            Instr::Halt
+        }
+        op::CONST => {
+            zero(c as u64, "C")?;
+            Instr::Const {
+                dst: a,
+                imm: imm_of(b, d & WIDE != 0, t)?,
+                w: (d & 0x7F) as u32,
+            }
+        }
+        op::MOV => {
+            zero(c as u64 | d as u64, "C/D")?;
+            Instr::Mov { dst: a, src: b }
+        }
+        op::STORE_MASKED => {
+            zero(c as u64 | d as u64, "C/D")?;
+            Instr::StoreMasked { dst: a, src: b }
+        }
+        op::BOOL_OF => {
+            zero(c as u64 | d as u64, "C/D")?;
+            Instr::BoolOf { dst: a, src: b }
+        }
+        op::NOT => {
+            zero(c as u64 | d as u64, "C/D")?;
+            Instr::Not { dst: a, src: b }
+        }
+        op::NEG => {
+            zero(c as u64 | d as u64, "C/D")?;
+            Instr::Neg { dst: a, src: b }
+        }
+        op::BIT_NOT => {
+            zero(c as u64 | d as u64, "C/D")?;
+            Instr::BitNot { dst: a, src: b }
+        }
+        op::MASKW => {
+            zero(c as u64, "C")?;
+            zero((d & WIDE) as u64, "D wide flag")?;
+            Instr::MaskW {
+                dst: a,
+                src: b,
+                w: d as u32,
+            }
+        }
+        op::HASH => Instr::Hash {
+            dst: a,
+            w: d as u32,
+            args: ext_regs(t, b, c as usize)?
+                .iter()
+                .map(|&e| reg16(e))
+                .collect(),
+        },
+        op::HASH_CHK => {
+            let span = ext_regs(t, b, c as usize + 1)?;
+            Instr::HashChk {
+                dst: a,
+                w: d as u32,
+                gid: span[0],
+                args: span[1..].iter().map(|&e| reg16(e)).collect(),
+            }
+        }
+        op::JMP => {
+            zero(a as u64 | b as u64 | d as u64, "A/B/D")?;
+            Instr::Jmp { to: c as u32 }
+        }
+        op::JZ => {
+            zero(b as u64 | d as u64, "B/D")?;
+            Instr::Jz {
+                cond: a,
+                to: c as u32,
+            }
+        }
+        op::JNZ => {
+            zero(b as u64 | d as u64, "B/D")?;
+            Instr::Jnz {
+                cond: a,
+                to: c as u32,
+            }
+        }
+        op::ARR_CHECK => {
+            zero(c as u64 | d as u64, "C/D")?;
+            Instr::ArrCheck {
+                gid: a as u32,
+                idx: b,
+            }
+        }
+        op::ARR_GET => {
+            zero(d as u64, "D")?;
+            Instr::ArrGet {
+                dst: a,
+                gid: b as u32,
+                idx: c,
+            }
+        }
+        op::ARR_SET => {
+            zero(d as u64, "D")?;
+            Instr::ArrSet {
+                gid: a as u32,
+                idx: b,
+                val: c,
+            }
+        }
+        op::CHK_GET => {
+            zero(d as u64, "D")?;
+            Instr::ChkGet {
+                dst: a,
+                gid: b as u32,
+                idx: c,
+            }
+        }
+        op::CHK_SET => {
+            zero(d as u64, "D")?;
+            Instr::ChkSet {
+                gid: a as u32,
+                idx: b,
+                val: c,
+            }
+        }
+        op::ARR_GETM | op::CHK_GETM => {
+            zero(c as u64 | d as u64, "C/D")?;
+            let s = ext_regs(t, b, 4)?;
+            let (gid, idx, memop, local) = (s[0], reg16(s[1]), reg16(s[2]), reg16(s[3]));
+            if opb == op::ARR_GETM {
+                Instr::ArrGetm {
+                    dst: a,
+                    gid,
+                    idx,
+                    memop,
+                    local,
+                }
+            } else {
+                Instr::ChkGetm {
+                    dst: a,
+                    gid,
+                    idx,
+                    memop,
+                    local,
+                }
+            }
+        }
+        op::ARR_SETM | op::CHK_SETM => {
+            zero(b as u64 | c as u64 | d as u64, "B/C/D")?;
+            let s = ext_regs(t, a, 4)?;
+            let (gid, idx, memop, local) = (s[0], reg16(s[1]), reg16(s[2]), reg16(s[3]));
+            if opb == op::ARR_SETM {
+                Instr::ArrSetm {
+                    gid,
+                    idx,
+                    memop,
+                    local,
+                }
+            } else {
+                Instr::ChkSetm {
+                    gid,
+                    idx,
+                    memop,
+                    local,
+                }
+            }
+        }
+        op::ARR_UPDATE | op::CHK_UPDATE => {
+            zero(c as u64 | d as u64, "C/D")?;
+            let s = ext_regs(t, b, 6)?;
+            let (gid, idx) = (s[0], reg16(s[1]));
+            let (getop, getarg) = (reg16(s[2]), reg16(s[3]));
+            let (setop, setarg) = (reg16(s[4]), reg16(s[5]));
+            if opb == op::ARR_UPDATE {
+                Instr::ArrUpdate {
+                    dst: a,
+                    gid,
+                    idx,
+                    getop,
+                    getarg,
+                    setop,
+                    setarg,
+                }
+            } else {
+                Instr::ChkUpdate {
+                    dst: a,
+                    gid,
+                    idx,
+                    getop,
+                    getarg,
+                    setop,
+                    setarg,
+                }
+            }
+        }
+        op::MK_EVENT => Instr::MkEvent {
+            dst: a,
+            event_id: b as u32,
+            args: ext_regs(t, c, d as usize)?
+                .iter()
+                .map(|&e| reg16(e))
+                .collect(),
+        },
+        op::OBJ_COPY => {
+            zero(c as u64 | d as u64, "C/D")?;
+            Instr::ObjCopy { dst: a, src: b }
+        }
+        op::LOAD_GROUP => {
+            zero(c as u64 | d as u64, "C/D")?;
+            Instr::LoadGroup { dst: a, group: b }
+        }
+        op::EV_DELAY => {
+            zero(c as u64 | d as u64, "C/D")?;
+            Instr::EvDelay { obj: a, us: b }
+        }
+        op::EV_LOCATE => {
+            zero(c as u64 | d as u64, "C/D")?;
+            Instr::EvLocate { obj: a, loc: b }
+        }
+        op::EV_MLOCATE => {
+            zero(c as u64 | d as u64, "C/D")?;
+            Instr::EvMLocate { obj: a, group: b }
+        }
+        op::GENERATE => {
+            zero(b as u64 | c as u64 | d as u64, "B/C/D")?;
+            Instr::Generate { obj: a }
+        }
+        op::LOAD_SELF => {
+            zero(b as u64 | c as u64 | d as u64, "B/C/D")?;
+            Instr::LoadSelf { dst: a }
+        }
+        op::LOAD_TIME => {
+            zero(b as u64 | c as u64 | d as u64, "B/C/D")?;
+            Instr::LoadTime { dst: a }
+        }
+        op::LOAD_PORT => {
+            zero(b as u64 | c as u64 | d as u64, "B/C/D")?;
+            Instr::LoadPort { dst: a }
+        }
+        op::PRINTF => {
+            zero(d as u64, "D")?;
+            let span =
+                t.ext
+                    .get(b as usize..b as usize + c as usize)
+                    .ok_or(DecodeError::ExtRange {
+                        base: b,
+                        len: c as usize,
+                        pool: t.ext.len(),
+                    })?;
+            let mut args = Vec::with_capacity(span.len());
+            for &e in span {
+                if e >> 17 != 0 {
+                    return Err(DecodeError::ExtJunk { entry: e });
+                }
+                args.push(PrintArg {
+                    reg: e as u16,
+                    is_bool: e >> 16 != 0,
+                });
+            }
+            Instr::Printf {
+                fmt: a,
+                args: args.into(),
+            }
+        }
+        op::BIN..=op::BIN_LAST => {
+            zero(d as u64, "D")?;
+            Instr::Bin {
+                op: BIN_OPS[(opb - op::BIN) as usize],
+                dst: a,
+                a: b,
+                b: c,
+            }
+        }
+        op::BIN_IMM..=op::BIN_IMM_LAST => Instr::BinImm {
+            op: BIN_OPS[(opb - op::BIN_IMM) as usize],
+            dst: a,
+            a: b,
+            imm: imm_of(c, d & WIDE != 0, t)?,
+            w: (d & 0x7F) as u32,
+        },
+        op::CMP..=op::CMP_LAST => {
+            zero(d as u64, "D")?;
+            Instr::Cmp {
+                op: CMP_OPS[(opb - op::CMP) as usize],
+                dst: a,
+                a: b,
+                b: c,
+            }
+        }
+        op::CMP_IMM..=op::CMP_IMM_LAST => {
+            zero((d & !WIDE) as u64, "D flag bits")?;
+            Instr::CmpImm {
+                op: CMP_OPS[(opb - op::CMP_IMM) as usize],
+                dst: a,
+                a: b,
+                imm: imm_of(c, d & WIDE != 0, t)?,
+            }
+        }
+        op::JCMP..=op::JCMP_LAST => {
+            zero((d & !1) as u64, "D flag bits")?;
+            Instr::JCmp {
+                op: CMP_OPS[(opb - op::JCMP) as usize],
+                a,
+                b,
+                when: d & 1 != 0,
+                to: c as u32,
+            }
+        }
+        op::JCMP_IMM..=op::JCMP_IMM_LAST => {
+            zero((d & !(1 | WIDE)) as u64, "D flag bits")?;
+            Instr::JCmpImm {
+                op: CMP_OPS[(opb - op::JCMP_IMM) as usize],
+                a,
+                imm: imm_of(b, d & WIDE != 0, t)?,
+                when: d & 1 != 0,
+                to: c as u32,
+            }
+        }
+        _ => return Err(DecodeError::BadOpcode(opb)),
+    })
+}
+
+/// Decode a whole handler span; the error carries the offending pc.
+pub(super) fn decode_all(
+    code: &[Word],
+    t: &SideTables,
+) -> Result<Vec<Instr>, (usize, DecodeError)> {
+    code.iter()
+        .enumerate()
+        .map(|(pc, &w)| decode(w, t).map_err(|e| (pc, e)))
+        .collect()
+}

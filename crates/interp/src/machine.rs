@@ -40,7 +40,7 @@
 use crate::bytecode::{CompiledProg, ExecMode, OptLevel};
 use crate::metrics::{ClassHists, Metrics, ShardMetrics};
 use crate::value::{lucid_hash, EventVal, Location, Value};
-use crate::workload::{EventSource, LocalGen};
+use crate::workload::{EventSource, LocalGen, SourcedEvent};
 use lucid_check::{eval_memop, mask, CheckedProgram, GlobalId};
 use lucid_frontend::ast::*;
 use std::cmp::Reverse;
@@ -162,13 +162,62 @@ impl NetConfig {
     }
 }
 
-/// A record of one handled event, for assertions and tracing.
+/// A record of one handled event, for assertions and tracing. The event
+/// name is shared (`Arc<str>`): every record of the same event points at
+/// one interned string, resolved from the id-keyed shard logs when a run
+/// surfaces its trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Handled {
     pub time_ns: u64,
     pub switch: u64,
-    pub event: String,
+    pub event: Arc<str>,
     pub args: Vec<u64>,
+}
+
+/// The shard-local form of a trace record: the event is an id into the
+/// program's event table, interned to an [`Arc<str>`] once when the
+/// driver surfaces the record as a [`Handled`] — the dispatch path never
+/// allocates or clones a name.
+#[derive(Debug)]
+struct TraceRec {
+    time_ns: u64,
+    switch: u64,
+    event_id: usize,
+    args: Vec<u64>,
+}
+
+impl TraceRec {
+    fn into_handled(self, names: &[Arc<str>]) -> Handled {
+        Handled {
+            time_ns: self.time_ns,
+            switch: self.switch,
+            event: names[self.event_id].clone(),
+            args: self.args,
+        }
+    }
+}
+
+/// A shard-local `printf` record. The bytecode executor defers
+/// formatting: it records the interned format-string id plus the
+/// evaluated values, and the driver renders the line once when the run
+/// surfaces its output. The AST walker (and any echoed printf, which
+/// must hit stdout immediately) records the formatted line directly.
+#[derive(Debug)]
+pub(crate) enum OutRec {
+    Line(String),
+    Fmt { fmt: u16, vals: Vec<Value> },
+}
+
+impl OutRec {
+    fn render(self, compiled: Option<&CompiledProg>) -> String {
+        match self {
+            OutRec::Line(s) => s,
+            OutRec::Fmt { fmt, vals } => {
+                let cp = compiled.expect("deferred printf comes from the bytecode executor");
+                format_printf(cp.fmt_str(fmt), &vals)
+            }
+        }
+    }
 }
 
 /// Aggregate execution statistics.
@@ -445,11 +494,17 @@ pub(crate) struct Shard {
     emit_seq: u64,
     /// This shard's virtual clock: the latest event time it has executed.
     pub(crate) now_ns: u64,
-    trace: Vec<(Key, Handled)>,
-    pub(crate) output: Vec<(Key, String)>,
+    trace: Vec<(Key, TraceRec)>,
+    pub(crate) output: Vec<(Key, OutRec)>,
     stats: Stats,
     /// Events generated for *other* switches, awaiting routing.
     outbox: Vec<Scheduled>,
+    /// Freelist of argument buffers for [`Scheduled`] events — the
+    /// shard's arena. Buffers whose events never reach the trace (drops,
+    /// multicast copies) recycle here instead of churning the allocator;
+    /// the list holds only cleared buffers, so it is equivalent to a
+    /// freshly reset arena at every run start.
+    args_pool: Vec<Vec<u64>>,
     /// Reusable bytecode register / object-slot / hash-argument buffers.
     pub(crate) bc_regs: Vec<crate::bytecode::Rv>,
     pub(crate) bc_objs: Vec<crate::bytecode::Obj>,
@@ -480,6 +535,7 @@ impl Shard {
             output: Vec::new(),
             stats: Stats::default(),
             outbox: Vec::new(),
+            args_pool: Vec::new(),
             bc_regs: Vec::new(),
             bc_objs: Vec::new(),
             bc_hash: Vec::new(),
@@ -487,6 +543,17 @@ impl Shard {
             metrics: ShardMetrics::new(prog.info.events.len()),
             cur_root_ns: 0,
         }
+    }
+
+    /// An empty argument buffer from the shard arena (or a fresh one).
+    pub(crate) fn take_args(&mut self) -> Vec<u64> {
+        self.args_pool.pop().unwrap_or_default()
+    }
+
+    /// Return an argument buffer to the arena once its event is dead.
+    pub(crate) fn recycle_args(&mut self, mut buf: Vec<u64>) {
+        buf.clear();
+        self.args_pool.push(buf);
     }
 }
 
@@ -499,6 +566,11 @@ pub(crate) struct Exec<'p> {
     recirc_ns: u64,
     link_ns: u64,
     pub(crate) echo: bool,
+    /// Whether handled/exported events are retained in the trace. Off,
+    /// the per-event record is skipped and its argument buffer goes
+    /// straight back to the shard arena — for throughput measurement,
+    /// where nobody reads the trace and retaining it taxes every row.
+    record_trace: bool,
     /// Compiled bytecode when [`ExecMode::Bytecode`] is selected; `None`
     /// runs the AST walker (the reference semantics).
     compiled: Option<Arc<CompiledProg>>,
@@ -518,15 +590,19 @@ impl<'p> Exec<'p> {
     /// (e.g. a report exported to a collector). It still counts in
     /// `per_event`, so scenario expectations can assert on exported
     /// reports.
-    fn note_exported(&self, shard: &mut Shard, name: String, sched: Scheduled) {
+    fn note_exported(&self, shard: &mut Shard, sched: Scheduled) {
         shard.stats.exported += 1;
         shard.per_event_ids[sched.event_id] += 1;
+        if !self.record_trace {
+            shard.recycle_args(sched.args);
+            return;
+        }
         shard.trace.push((
             sched.key,
-            Handled {
+            TraceRec {
                 time_ns: sched.key.time_ns,
                 switch: sched.switch,
-                event: name,
+                event_id: sched.event_id,
                 args: sched.args,
             },
         ));
@@ -537,14 +613,25 @@ impl<'p> Exec<'p> {
     /// the trace instead of being cloned — observably identical: the
     /// entry lands before the next event dispatches, faulting events
     /// included, and printf output lives in its own keyed buffer.
-    fn note_handled(&self, shard: &mut Shard, name: &str, key: Key, switch: u64, args: Vec<u64>) {
+    fn note_handled(
+        &self,
+        shard: &mut Shard,
+        event_id: usize,
+        key: Key,
+        switch: u64,
+        args: Vec<u64>,
+    ) {
         shard.stats.handled += 1;
+        if !self.record_trace {
+            shard.recycle_args(args);
+            return;
+        }
         shard.trace.push((
             key,
-            Handled {
+            TraceRec {
                 time_ns: key.time_ns,
                 switch,
-                event: name.to_string(),
+                event_id,
                 args,
             },
         ));
@@ -558,6 +645,7 @@ impl<'p> Exec<'p> {
         let name = &self.prog.info.events[sched.event_id].name;
         if !shard.alive {
             shard.stats.dropped += 1;
+            shard.recycle_args(sched.args);
             return Ok(());
         }
 
@@ -586,18 +674,18 @@ impl<'p> Exec<'p> {
                     let res = cp
                         .run_handler(h, self, shard, switch, key, &sched.args)
                         .map_err(|e| e.located(key.fault_at(switch, name)));
-                    self.note_handled(shard, name, key, switch, sched.args);
+                    self.note_handled(shard, sched.event_id, key, switch, sched.args);
                     res
                 }
                 None => {
-                    self.note_exported(shard, name.clone(), sched);
+                    self.note_exported(shard, sched);
                     Ok(())
                 }
             };
         }
 
         let Some((params, body)) = self.prog.handler_body(name) else {
-            self.note_exported(shard, name.clone(), sched);
+            self.note_exported(shard, sched);
             return Ok(());
         };
 
@@ -616,7 +704,7 @@ impl<'p> Exec<'p> {
         let res = self
             .exec_block(shard, &body, &mut cx)
             .map_err(|e| e.located(sched.key.fault_at(sched.switch, name)));
-        self.note_handled(shard, name, sched.key, sched.switch, sched.args);
+        self.note_handled(shard, sched.event_id, sched.key, sched.switch, sched.args);
         res?;
         Ok(())
     }
@@ -698,7 +786,7 @@ impl<'p> Exec<'p> {
                 if self.echo {
                     println!("[{} @{}ns] {}", cx.switch, shard.now_ns, line);
                 }
-                shard.output.push((cx.key, line));
+                shard.output.push((cx.key, OutRec::Line(line)));
                 Ok(Flow::Normal)
             }
             StmtKind::Expr(e) => {
@@ -734,9 +822,14 @@ impl<'p> Exec<'p> {
                 self.emit_one(shard, s, lat_to(s), &ev, args);
             }
             Location::Group(members) => {
+                // Each member gets a copy built in an arena buffer; the
+                // source buffer itself recycles once the fan-out is done.
                 for &m in &members {
-                    self.emit_one(shard, m, lat_to(m), &ev, ev.args.clone());
+                    let mut args = shard.take_args();
+                    args.extend_from_slice(&ev.args);
+                    self.emit_one(shard, m, lat_to(m), &ev, args);
                 }
+                shard.recycle_args(std::mem::take(&mut ev.args));
             }
         }
     }
@@ -1058,6 +1151,12 @@ impl<'p> Exec<'p> {
 // because a mailed arrival is at least one wire hop past its emitter's
 // published activity — at or beyond every receiver horizon of round `k`.
 
+/// How many sourced events a driver materializes per refill. Chunking
+/// amortizes the per-pull dispatch overhead while keeping in-flight
+/// memory bounded by the frontier; correctness never depends on the
+/// chunk size because sourced keys are pull-order-independent.
+const SOURCE_CHUNK: usize = 64;
+
 /// The per-worker shared cells. Plain `std` sync everywhere: the round
 /// barriers provide the happens-before edges, so the atomics only need
 /// `Relaxed` ordering.
@@ -1218,16 +1317,96 @@ impl Drop for FuseOnPanic<'_> {
     }
 }
 
+/// A min-queue of [`Scheduled`] events built as an index heap over a
+/// slab: the binary heap orders compact `(Key, slot)` pairs while the
+/// much larger payloads stay put in a pooled slab, so every heap sift
+/// moves less than half the bytes a `BinaryHeap<Scheduled>` would, and
+/// head peeks never touch the slab at all. Keys are globally unique,
+/// so pair order is exactly the key order the engine contract
+/// requires. A popped slot leaves a dead record behind (empty args —
+/// no allocation) and recycles through a freelist. Both drivers
+/// schedule through this: the sequential loop directly, each sharded
+/// worker for its own per-worker heap.
+#[derive(Default)]
+struct SchedHeap {
+    pool: Vec<Scheduled>,
+    free: Vec<u32>,
+    heap: BinaryHeap<Reverse<(Key, u32)>>,
+}
+
+impl SchedHeap {
+    fn with_capacity(n: usize) -> Self {
+        SchedHeap {
+            pool: Vec::with_capacity(n),
+            free: Vec::new(),
+            heap: BinaryHeap::with_capacity(n),
+        }
+    }
+
+    fn dead() -> Scheduled {
+        Scheduled {
+            key: Key {
+                time_ns: 0,
+                class: 0,
+                origin: 0,
+                seq: 0,
+            },
+            switch: 0,
+            event_id: 0,
+            args: Vec::new(),
+            enq_ns: 0,
+            root_ns: 0,
+        }
+    }
+
+    fn push(&mut self, s: Scheduled) {
+        let key = s.key;
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.pool[slot as usize] = s;
+                slot
+            }
+            None => {
+                self.pool.push(s);
+                u32::try_from(self.pool.len() - 1).expect("in-flight events fit u32")
+            }
+        };
+        self.heap.push(Reverse((key, slot)));
+    }
+
+    /// Key of the minimum pending event, straight off the heap head.
+    fn peek_key(&self) -> Option<Key> {
+        self.heap.peek().map(|&Reverse((k, _))| k)
+    }
+
+    fn pop(&mut self) -> Option<Scheduled> {
+        let Reverse((_, slot)) = self.heap.pop()?;
+        self.free.push(slot);
+        Some(std::mem::replace(
+            &mut self.pool[slot as usize],
+            Self::dead(),
+        ))
+    }
+
+    /// Tear down into the undispatched events, in no particular order.
+    fn into_events(self) -> impl Iterator<Item = Scheduled> {
+        let mut pool = self.pool;
+        self.heap.into_iter().map(move |Reverse((_, slot))| {
+            std::mem::replace(&mut pool[slot as usize], Self::dead())
+        })
+    }
+}
+
 /// What a worker hands back when the round loop stops.
 struct WorkerOut {
     shards: Vec<Shard>,
     /// Undispatched events (above the final horizon, or past a stop).
-    heap: BinaryHeap<Reverse<Scheduled>>,
+    heap: SchedHeap,
     /// This worker's dispatch log, already in global key order (one
     /// worker's dispatches are totally ordered), merged across workers
     /// once at run end.
-    trace: Vec<(Key, Handled)>,
-    output: Vec<(Key, String)>,
+    trace: Vec<(Key, TraceRec)>,
+    output: Vec<(Key, OutRec)>,
     /// Partitioned sources, cursors advanced to wherever the run ended.
     locals: Vec<LocalGen>,
     /// Per-source pull counters (authoritative for this worker's slots).
@@ -1243,7 +1422,7 @@ struct WorkerOut {
 struct WorkerSeed {
     shards: Vec<Shard>,
     /// Pending events already owned by this worker's shards.
-    heap: BinaryHeap<Reverse<Scheduled>>,
+    heap: SchedHeap,
     /// Partitioned single-switch generators owned by this worker.
     locals: Vec<LocalGen>,
     /// Per-source pull counters (a full-width copy; each worker advances
@@ -1283,8 +1462,10 @@ fn run_round_worker(
             .collect::<Vec<_>>(),
     );
     let local = |id: u64| at.get(id).expect("routed to owning worker") as usize;
-    let mut trace: Vec<(Key, Handled)> = Vec::new();
-    let mut output: Vec<(Key, String)> = Vec::new();
+    let mut trace: Vec<(Key, TraceRec)> = Vec::new();
+    let mut output: Vec<(Key, OutRec)> = Vec::new();
+    // Scratch buffer for chunked source pulls, reused across rounds.
+    let mut batch: Vec<SourcedEvent> = Vec::new();
     // A shard whose handler faulted sits out the rest of the run (its
     // siblings still finish the round, exactly like the old per-epoch
     // engine); the next round's reduction sees the fault and stops.
@@ -1298,7 +1479,9 @@ fn run_round_worker(
         // a fast worker's next P1 writes from racing a slow worker's
         // current decision reads.
         let mail = std::mem::take(&mut *ctx.cells[id].mailbox.lock().expect("mailbox"));
-        heap.extend(mail.into_iter().map(Reverse));
+        for s in mail {
+            heap.push(s);
+        }
         ctx.cells[id].processed.store(cum, Relaxed);
         if let Some((k, e)) = round_err.take() {
             let mut cell = ctx.fault.lock().expect("fault cell");
@@ -1306,7 +1489,7 @@ fn run_round_worker(
                 *cell = Some((k, e));
             }
         }
-        let mut act = heap.peek().map_or(u64::MAX, |Reverse(s)| s.key.time_ns);
+        let mut act = heap.peek_key().map_or(u64::MAX, |k| k.time_ns);
         for ls in &locals {
             if let Some(t) = ls.gen.peek_ns() {
                 act = act.min(t);
@@ -1392,14 +1575,20 @@ fn run_round_worker(
                 let pull_end = gmin
                     .saturating_add(width)
                     .min(ctx.max_time_ns.saturating_add(1));
-                while src.peek_ns().is_some_and(|t| t < pull_end) {
-                    let ev = src.next_event().expect("peeked");
-                    let sched = shape_sourced(exec.prog, &mut counts, ev);
-                    match ctx.owner.get(sched.switch) {
-                        Some(w) if w as usize == id => heap.push(Reverse(sched)),
-                        Some(w) => outgoing[w as usize].push(sched),
-                        None => {
-                            ctx.dropped.fetch_add(1, Relaxed);
+                loop {
+                    batch.clear();
+                    src.next_batch(pull_end.saturating_sub(1), SOURCE_CHUNK, &mut batch);
+                    if batch.is_empty() {
+                        break;
+                    }
+                    for ev in batch.drain(..) {
+                        let sched = shape_sourced(exec.prog, &mut counts, ev);
+                        match ctx.owner.get(sched.switch) {
+                            Some(w) if w as usize == id => heap.push(sched),
+                            Some(w) => outgoing[w as usize].push(sched),
+                            None => {
+                                ctx.dropped.fetch_add(1, Relaxed);
+                            }
                         }
                     }
                 }
@@ -1413,6 +1602,14 @@ fn run_round_worker(
             Shared,
         }
         let mut done = 0u64;
+        // Minimum time over every source head this worker can still pull
+        // (partitioned locals, plus the shared stream for a lone
+        // worker). Source heads move only on pulls, so the scan below
+        // refreshes this and the pull arms invalidate it; between
+        // pulls, dispatching a queued head strictly below the floor
+        // costs one integer compare instead of rebuilding and comparing
+        // a source key per head per event.
+        let mut src_floor: Option<u64> = None;
         while done < budget {
             // Smallest key among this worker's event heap and its
             // partitioned source heads. One heap spans all of the
@@ -1421,68 +1618,107 @@ fn run_round_worker(
             // the horizon and has to sort between the events already
             // queued), so a single pop beats a per-shard head scan.
             let mut best: Option<(Key, Pick)> = None;
-            if let Some(Reverse(h)) = heap.peek() {
-                if h.key.time_ns < horizon {
-                    best = Some((h.key, Pick::Queued));
+            if let Some(k) = heap.peek_key() {
+                if k.time_ns < horizon {
+                    best = Some((k, Pick::Queued));
                 }
             }
-            for (i, ls) in locals.iter().enumerate() {
-                if let Some(t) = ls.gen.peek_ns() {
-                    if t < horizon {
-                        let key = Key {
-                            time_ns: t,
-                            class: 0,
-                            origin: ls.slot as u64 + 1,
-                            seq: counts.get(ls.slot).copied().unwrap_or(0) + 1,
-                        };
-                        if best.as_ref().is_none_or(|(bk, _)| key < *bk) {
-                            best = Some((key, Pick::Local(i)));
+            // Any source event's key starts at its head time, so a
+            // queued head strictly below every source head wins without
+            // a scan. Ties (and an empty or over-horizon heap) fall
+            // through to the full key comparison.
+            let scan = match (&best, src_floor) {
+                (Some((k, _)), Some(f)) => k.time_ns >= f,
+                _ => true,
+            };
+            if scan {
+                let mut floor = u64::MAX;
+                for (i, ls) in locals.iter().enumerate() {
+                    if let Some(t) = ls.gen.peek_ns() {
+                        floor = floor.min(t);
+                        if t < horizon {
+                            let key = Key {
+                                time_ns: t,
+                                class: 0,
+                                origin: ls.slot as u64 + 1,
+                                seq: counts.get(ls.slot).copied().unwrap_or(0) + 1,
+                            };
+                            if best.as_ref().is_none_or(|(bk, _)| key < *bk) {
+                                best = Some((key, Pick::Local(i)));
+                            }
                         }
                     }
                 }
-            }
-            // A lone worker owns every shard, so the shared stream needs
-            // no mailing ahead: its head competes in the scan under its
-            // exact schedule key and is pulled one event at a time.
-            if nworkers == 1 {
-                if let Some((t, slot)) = shared.as_deref().and_then(|s| s.peek_key()) {
-                    if t < horizon {
-                        let key = Key {
-                            time_ns: t,
-                            class: 0,
-                            origin: slot as u64 + 1,
-                            seq: counts.get(slot).copied().unwrap_or(0) + 1,
-                        };
-                        if best.as_ref().is_none_or(|(bk, _)| key < *bk) {
-                            best = Some((key, Pick::Shared));
+                // A lone worker owns every shard, so the shared stream
+                // needs no mailing ahead: its head competes in the scan
+                // under its exact schedule key and is pulled in chunks.
+                if nworkers == 1 {
+                    if let Some((t, slot)) = shared.as_deref().and_then(|s| s.peek_key()) {
+                        floor = floor.min(t);
+                        if t < horizon {
+                            let key = Key {
+                                time_ns: t,
+                                class: 0,
+                                origin: slot as u64 + 1,
+                                seq: counts.get(slot).copied().unwrap_or(0) + 1,
+                            };
+                            if best.as_ref().is_none_or(|(bk, _)| key < *bk) {
+                                best = Some((key, Pick::Shared));
+                            }
                         }
                     }
                 }
+                src_floor = Some(floor);
             }
+            // Sourced keys are pull-order-independent, so a pull may
+            // materialize any prefix of a stream without perturbing the
+            // schedule. Cap each pull at the queued head (never below
+            // the winning source head's own time, so a time tie still
+            // makes progress): events past the queued head would only
+            // sit in the heap adding sift depth to every push, exactly
+            // the frontier the sequential driver's head-bounded refill
+            // avoids.
+            let pull_bound = |bk: Key, heap: &SchedHeap| {
+                heap.peek_key()
+                    .map_or(u64::MAX, |k| k.time_ns.saturating_sub(1).max(bk.time_ns))
+                    .min(horizon.saturating_sub(1))
+            };
             match best {
                 None => break,
-                Some((_, Pick::Local(i))) => {
-                    let ev = locals[i].gen.next_event().expect("peeked");
-                    let sched = shape_sourced(exec.prog, &mut counts, ev);
-                    heap.push(Reverse(sched));
+                Some((bk, Pick::Local(i))) => {
+                    // Drain this generator's window below the cap in
+                    // chunks: every one of these events is due below the
+                    // horizon, so materializing them now (instead of one
+                    // per scan) cannot change any key.
+                    batch.clear();
+                    locals[i]
+                        .gen
+                        .next_batch(pull_bound(bk, &heap), SOURCE_CHUNK, &mut batch);
+                    for ev in batch.drain(..) {
+                        heap.push(shape_sourced(exec.prog, &mut counts, ev));
+                    }
+                    src_floor = None;
                     continue;
                 }
-                Some((_, Pick::Shared)) => {
-                    let ev = shared
-                        .as_deref_mut()
-                        .and_then(|s| s.next_event())
-                        .expect("peeked");
-                    let sched = shape_sourced(exec.prog, &mut counts, ev);
-                    if ctx.owner.get(sched.switch).is_some() {
-                        heap.push(Reverse(sched));
-                    } else {
-                        ctx.dropped.fetch_add(1, Relaxed);
+                Some((bk, Pick::Shared)) => {
+                    let bound = pull_bound(bk, &heap);
+                    let src = shared.as_deref_mut().expect("peeked");
+                    batch.clear();
+                    src.next_batch(bound, SOURCE_CHUNK, &mut batch);
+                    for ev in batch.drain(..) {
+                        let sched = shape_sourced(exec.prog, &mut counts, ev);
+                        if ctx.owner.get(sched.switch).is_some() {
+                            heap.push(sched);
+                        } else {
+                            ctx.dropped.fetch_add(1, Relaxed);
+                        }
                     }
+                    src_floor = None;
                     continue;
                 }
                 Some((_, Pick::Queued)) => {}
             }
-            let Reverse(sched) = heap.pop().expect("peeked");
+            let sched = heap.pop().expect("peeked");
             let idx = local(sched.switch);
             if poisoned[idx] {
                 // A faulted shard sits out the rest of the run; stash
@@ -1511,9 +1747,12 @@ fn run_round_worker(
             let mut produced = std::mem::take(&mut shards[idx].outbox);
             for ev in produced.drain(..) {
                 match ctx.owner.get(ev.switch) {
-                    Some(w) if w as usize == id => heap.push(Reverse(ev)),
+                    Some(w) if w as usize == id => heap.push(ev),
                     Some(w) => outgoing[w as usize].push(ev),
-                    None => shards[idx].stats.dropped += 1,
+                    None => {
+                        shards[idx].stats.dropped += 1;
+                        shards[idx].recycle_args(ev.args);
+                    }
                 }
             }
             shards[idx].outbox = produced;
@@ -1627,11 +1866,20 @@ pub struct Interp<'p> {
     /// Every handled event, in deterministic `Key` order. Cleared with
     /// [`Interp::clear_trace`].
     pub trace: Vec<Handled>,
+    /// Interned event names, one `Arc<str>` per event id; every
+    /// [`Handled`] record resolves its name here with a refcount bump
+    /// when the id-keyed shard logs surface into `trace`.
+    names: Vec<Arc<str>>,
     /// `printf` output lines, in the same deterministic order.
     pub output: Vec<String>,
     pub stats: Stats,
     /// When true, `printf` also writes to stdout.
     pub echo: bool,
+    /// When false, handled/exported events are not retained in `trace`
+    /// (statistics, per-event counts, metrics, and `printf` output are
+    /// unaffected). Defaults to true; benchmarks turn it off so rows
+    /// don't pay for a per-event log nobody reads.
+    record_trace: bool,
     /// Lazily compiled bytecode, populated when [`NetConfig::exec`] is
     /// [`ExecMode::Bytecode`] (shared with the worker pool).
     compiled: Option<Arc<CompiledProg>>,
@@ -1655,6 +1903,12 @@ impl<'p> Interp<'p> {
             .iter()
             .map(|&s| (s, Shard::new(s, prog)))
             .collect();
+        let names = prog
+            .info
+            .events
+            .iter()
+            .map(|e| Arc::from(e.name.as_str()))
+            .collect();
         let mut interp = Interp {
             prog,
             config,
@@ -1663,9 +1917,11 @@ impl<'p> Interp<'p> {
             inj_seq: 0,
             now_ns: 0,
             trace: Vec::new(),
+            names,
             output: Vec::new(),
             stats: Stats::default(),
             echo: false,
+            record_trace: true,
             compiled: None,
             source: None,
             source_counts: Vec::new(),
@@ -1678,6 +1934,14 @@ impl<'p> Interp<'p> {
     /// Single-switch interpreter with default timing.
     pub fn single(prog: &'p CheckedProgram) -> Self {
         Interp::new(prog, NetConfig::single())
+    }
+
+    /// Toggle trace retention (on by default). Off, handled/exported
+    /// events skip their [`Handled`] record entirely; everything else —
+    /// stats, per-event counts, metrics, `printf` output, final state —
+    /// is byte-identical to a recording run.
+    pub fn set_record_trace(&mut self, on: bool) {
+        self.record_trace = on;
     }
 
     /// Compile the program once if the bytecode executor is selected.
@@ -1705,6 +1969,7 @@ impl<'p> Interp<'p> {
             recirc_ns: self.config.recirc_latency_ns,
             link_ns: self.config.link_latency_ns,
             echo: self.echo,
+            record_trace: self.record_trace,
             compiled: if self.config.exec == ExecMode::Bytecode {
                 self.compiled.clone()
             } else {
@@ -1791,22 +2056,6 @@ impl<'p> Interp<'p> {
     /// Events injected so far per source index (empty without a source).
     pub fn source_counts(&self) -> &[u64] {
         &self.source_counts
-    }
-
-    /// Pull one event from the attached source and shape it into a
-    /// scheduled injection. Events bound for switches `known` rejects are
-    /// dropped (counted) and skipped, mirroring [`Interp::schedule`].
-    /// `None` means the source is exhausted.
-    fn pull_sourced(&mut self, known: impl Fn(u64) -> bool) -> Option<Scheduled> {
-        loop {
-            let ev = self.source.as_mut()?.next_event()?;
-            let sched = shape_sourced(self.prog, &mut self.source_counts, ev);
-            if !known(sched.switch) {
-                self.stats.dropped += 1;
-                continue;
-            }
-            return Some(sched);
-        }
     }
 
     /// The source's next event time, if any.
@@ -1949,67 +2198,120 @@ impl<'p> Interp<'p> {
 
     fn run_sequential(&mut self, max_events: u64, max_time_ns: u64) -> Result<(), InterpError> {
         let exec = self.exec();
-        let known: std::collections::HashSet<u64> = self.shards.keys().copied().collect();
+        // Flatten the shard map for the dispatch loop: per-event routing
+        // must not hash (see [`SwitchMap`]), and the bookkeeping the old
+        // loop ran every event — a hash lookup per routed event, a stats
+        // absorb, trace/output drains — defers to one teardown pass,
+        // exactly like the sharded driver's round teardown. Per-event
+        // work is then: heap pop, flat-array route, dispatch, heap push.
+        let mut shards: Vec<Shard> = std::mem::take(&mut self.shards).into_values().collect();
+        let pairs: Vec<(u64, u32)> = shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.switch, u32::try_from(i).expect("shard count fits u32")))
+            .collect();
+        let at = SwitchMap::build(&pairs);
+        // The run-local queue is a [`SchedHeap`]: an index heap over a
+        // slab whose sifts move compact (key, slot) pairs instead of
+        // whole [`Scheduled`] records — see its docs for the layout.
+        let mut heap = SchedHeap::with_capacity(self.queue.len());
+        for Reverse(s) in self.queue.drain() {
+            heap.push(s);
+        }
         let mut processed_this_run = 0u64;
-        loop {
-            // Lazy refill: materialize exactly the sourced injections due
-            // at or before the queue head (all of them when the queue is
-            // empty would pull the whole stream, so pull one and re-check).
-            // Memory stays bounded by the in-flight frontier.
-            while let Some(t) = self.source_peek() {
-                if t > max_time_ns {
-                    break;
-                }
-                if let Some(Reverse(h)) = self.queue.peek() {
-                    if h.key.time_ns < t {
+        let mut batch: Vec<SourcedEvent> = Vec::new();
+        // Run-level dispatch logs, appended in pop order (= global key
+        // order); interned ids resolve once, at teardown.
+        let mut trace_run: Vec<(Key, TraceRec)> = Vec::new();
+        let mut output_run: Vec<(Key, OutRec)> = Vec::new();
+        let res = 'run: {
+            loop {
+                // Lazy refill, in chunks: materialize the sourced
+                // injections due at or before the queue head (they must
+                // dispatch before it), up to [`SOURCE_CHUNK`] per pull so
+                // memory stays bounded by the in-flight frontier.
+                while let Some(t) = self.source_peek() {
+                    if t > max_time_ns {
                         break;
                     }
+                    let head = heap.peek_key().map_or(u64::MAX, |k| k.time_ns);
+                    if head < t {
+                        break;
+                    }
+                    batch.clear();
+                    self.source.as_mut().expect("peeked").next_batch(
+                        head.min(max_time_ns),
+                        SOURCE_CHUNK,
+                        &mut batch,
+                    );
+                    for ev in batch.drain(..) {
+                        let sched = shape_sourced(self.prog, &mut self.source_counts, ev);
+                        if at.get(sched.switch).is_some() {
+                            heap.push(sched);
+                        } else {
+                            self.stats.dropped += 1;
+                        }
+                    }
                 }
-                if let Some(s) = self.pull_sourced(|sw| known.contains(&sw)) {
-                    self.queue.push(Reverse(s));
+                let Some(next_key) = heap.peek_key() else {
+                    break 'run Ok(());
+                };
+                if next_key.time_ns > max_time_ns {
+                    break 'run Ok(());
+                }
+                if processed_this_run >= max_events {
+                    break 'run Err(InterpFault::FuelExhausted {
+                        handled: processed_this_run,
+                    }
+                    .into());
+                }
+                let sched = heap.pop().expect("peeked");
+                processed_this_run += 1;
+                self.stats.processed += 1;
+                self.now_ns = self.now_ns.max(sched.key.time_ns);
+                let idx = at.get(sched.switch).expect("routed to known switch") as usize;
+                let shard = &mut shards[idx];
+                shard.now_ns = shard.now_ns.max(sched.key.time_ns);
+                let res = exec.dispatch(shard, sched);
+                // Route everything the handler produced (local and
+                // remote — the sequential exec sends both through the
+                // outbox) back to the global queue, and surface the
+                // shard's trace/output immediately: the pop order
+                // already is the deterministic key order, so appending
+                // here is the merge, for free. Stats stay buffered on
+                // the shard until teardown.
+                let mut produced = std::mem::take(&mut shard.outbox);
+                for ev in produced.drain(..) {
+                    if at.get(ev.switch).is_some() {
+                        heap.push(ev);
+                    } else {
+                        shard.stats.dropped += 1;
+                        shard.recycle_args(ev.args);
+                    }
+                }
+                shard.outbox = produced;
+                trace_run.append(&mut shard.trace);
+                output_run.append(&mut shard.output);
+                if let Err(e) = res {
+                    break 'run Err(e);
                 }
             }
-            let Some(Reverse(next)) = self.queue.peek() else {
-                return Ok(());
-            };
-            if next.key.time_ns > max_time_ns {
-                return Ok(());
-            }
-            if processed_this_run >= max_events {
-                return Err(InterpFault::FuelExhausted {
-                    handled: processed_this_run,
-                }
-                .into());
-            }
-            let Reverse(sched) = self.queue.pop().expect("peeked");
-            processed_this_run += 1;
-            self.stats.processed += 1;
-            self.now_ns = self.now_ns.max(sched.key.time_ns);
-            let shard = self
-                .shards
-                .get_mut(&sched.switch)
-                .expect("routed to known switch");
-            shard.now_ns = shard.now_ns.max(sched.key.time_ns);
-            let res = exec.dispatch(shard, sched);
-            // Route everything the handler produced (local and remote —
-            // the sequential exec sends both through the outbox) back to
-            // the global queue, and surface the shard's buffers
-            // immediately (the pop order already is the deterministic
-            // key order).
-            let mut dropped_unknown = 0;
-            for ev in shard.outbox.drain(..) {
-                if known.contains(&ev.switch) {
-                    self.queue.push(Reverse(ev));
-                } else {
-                    dropped_unknown += 1;
-                }
-            }
-            self.trace.extend(shard.trace.drain(..).map(|(_, h)| h));
-            self.output.extend(shard.output.drain(..).map(|(_, s)| s));
+        };
+        // Teardown, fault exits included: resolve the run logs (the
+        // single-run fast path of the k-way merge — one bulk pass
+        // instead of per-event work), park undispatched events back on
+        // the persistent queue, absorb per-shard stats, and hand the
+        // shards back to the map.
+        let names = &self.names;
+        merge_sorted_runs(vec![trace_run], &mut self.trace, |r| r.into_handled(names));
+        let cp = exec.compiled.as_deref();
+        merge_sorted_runs(vec![output_run], &mut self.output, |r| r.render(cp));
+        self.queue.extend(heap.into_events().map(Reverse));
+        for mut shard in shards {
             self.stats.absorb(&mut shard.stats);
-            self.stats.dropped += dropped_unknown;
-            res?;
+            self.shards.insert(shard.switch, shard);
         }
+        res
     }
 
     // ---------------------------------------------------- sharded driver
@@ -2042,13 +2344,15 @@ impl<'p> Interp<'p> {
         let shard_map = std::mem::take(&mut self.shards);
         let mut pairs: Vec<(u64, u32)> = Vec::new();
         let mut partitions: Vec<Vec<Shard>> = (0..nworkers).map(|_| Vec::new()).collect();
-        let mut seeds: Vec<Vec<Reverse<Scheduled>>> = (0..nworkers).map(|_| Vec::new()).collect();
+        let mut seeds: Vec<SchedHeap> = (0..nworkers).map(|_| SchedHeap::default()).collect();
         for (i, (id, mut shard)) in shard_map.into_iter().enumerate() {
             let w = i % nworkers;
             pairs.push((id, u32::try_from(w).expect("worker count fits u32")));
             // Parked per-shard leftovers (a previous faulted run) rejoin
             // the owning worker's heap.
-            seeds[w].extend(std::mem::take(&mut shard.queue));
+            for Reverse(ev) in std::mem::take(&mut shard.queue) {
+                seeds[w].push(ev);
+            }
             partitions[w].push(shard);
         }
         let owner = SwitchMap::build(&pairs);
@@ -2057,7 +2361,7 @@ impl<'p> Interp<'p> {
         let mut q = std::mem::take(&mut self.queue);
         for Reverse(ev) in q.drain() {
             match owner.get(ev.switch) {
-                Some(w) => seeds[w as usize].push(Reverse(ev)),
+                Some(w) => seeds[w as usize].push(ev),
                 None => self.stats.dropped += 1,
             }
         }
@@ -2117,7 +2421,7 @@ impl<'p> Interp<'p> {
                         w + 1,
                         WorkerSeed {
                             shards,
-                            heap: BinaryHeap::from(seed),
+                            heap: seed,
                             locals,
                             counts,
                         },
@@ -2131,7 +2435,7 @@ impl<'p> Interp<'p> {
                 0,
                 WorkerSeed {
                     shards: shards0,
-                    heap: BinaryHeap::from(seed0),
+                    heap: seed0,
                     locals: locals0,
                     counts: counts0,
                 },
@@ -2172,8 +2476,8 @@ impl<'p> Interp<'p> {
         }
         self.source = shared_src;
 
-        let mut traces: Vec<Vec<(Key, Handled)>> = Vec::with_capacity(nworkers);
-        let mut outputs: Vec<Vec<(Key, String)>> = Vec::with_capacity(nworkers);
+        let mut traces: Vec<Vec<(Key, TraceRec)>> = Vec::with_capacity(nworkers);
+        let mut outputs: Vec<Vec<(Key, OutRec)>> = Vec::with_capacity(nworkers);
         for (w, out) in outs.iter_mut().enumerate() {
             // Mailboxes are drained at every round's P1 before the stop
             // decision, so this is empty on all normal exits; it is a
@@ -2182,7 +2486,8 @@ impl<'p> Interp<'p> {
             self.queue.extend(mail.into_iter().map(Reverse));
             // Undispatched heap events go straight back to the global
             // queue so a later run (under either engine) sees them.
-            self.queue.extend(std::mem::take(&mut out.heap));
+            self.queue
+                .extend(std::mem::take(&mut out.heap).into_events().map(Reverse));
             traces.push(std::mem::take(&mut out.trace));
             outputs.push(std::mem::take(&mut out.output));
             for mut shard in std::mem::take(&mut out.shards) {
@@ -2199,9 +2504,13 @@ impl<'p> Interp<'p> {
         self.stats.processed += total_processed;
         self.stats.dropped += dropped.load(Relaxed);
         // Each worker's dispatch log is already key-sorted; one k-way
-        // merge (k = workers) recovers the global deterministic order.
-        merge_sorted_runs(traces, &mut self.trace);
-        merge_sorted_runs(outputs, &mut self.output);
+        // merge (k = workers) recovers the global deterministic order,
+        // resolving interned ids (event names, printf formats) exactly
+        // once per record on the way out.
+        let names = &self.names;
+        merge_sorted_runs(traces, &mut self.trace, |r| r.into_handled(names));
+        let cp = self.compiled.clone();
+        merge_sorted_runs(outputs, &mut self.output, |r| r.render(cp.as_deref()));
         match why {
             StopWhy::Fault => {
                 let (_, e) = fault
@@ -2219,22 +2528,29 @@ impl<'p> Interp<'p> {
     }
 }
 
-/// K-way merge of key-sorted runs into `out`, dropping the keys. Each
-/// run must be internally sorted (debug-asserted); ties across runs are
-/// impossible because every [`Key`] is globally unique.
-fn merge_sorted_runs<T>(mut runs: Vec<Vec<(Key, T)>>, out: &mut Vec<T>) {
+/// K-way merge of key-sorted runs into `out`, dropping the keys and
+/// mapping each record through `f` (the id-to-name resolution step).
+/// Each run must be internally sorted (debug-asserted); equal keys can
+/// only be adjacent records of one run (several printf lines from a
+/// single handler activation) and keep their order — across runs every
+/// [`Key`] is globally unique, so ties between runs are impossible.
+fn merge_sorted_runs<T, U>(
+    mut runs: Vec<Vec<(Key, T)>>,
+    out: &mut Vec<U>,
+    mut f: impl FnMut(T) -> U,
+) {
     out.reserve(runs.iter().map(Vec::len).sum());
     runs.retain(|r| !r.is_empty());
     if let [run] = &mut runs[..] {
         // One non-empty run (every single-worker run): already in order.
-        debug_assert!(run.windows(2).all(|w| w[0].0 < w[1].0), "run not sorted");
-        out.extend(std::mem::take(run).into_iter().map(|(_, v)| v));
+        debug_assert!(run.windows(2).all(|w| w[0].0 <= w[1].0), "run not sorted");
+        out.extend(std::mem::take(run).into_iter().map(|(_, v)| f(v)));
         return;
     }
     let mut iters: Vec<std::iter::Peekable<std::vec::IntoIter<(Key, T)>>> = runs
         .into_iter()
         .map(|r| {
-            debug_assert!(r.windows(2).all(|w| w[0].0 < w[1].0), "run not sorted");
+            debug_assert!(r.windows(2).all(|w| w[0].0 <= w[1].0), "run not sorted");
             r.into_iter().peekable()
         })
         .collect();
@@ -2245,7 +2561,7 @@ fn merge_sorted_runs<T>(mut runs: Vec<Vec<(Key, T)>>, out: &mut Vec<T>) {
         .collect();
     while let Some(Reverse((_, i))) = heap.pop() {
         let (_, v) = iters[i].next().expect("peeked");
-        out.push(v);
+        out.push(f(v));
         if let Some((k, _)) = iters[i].peek() {
             heap.push(Reverse((*k, i)));
         }
@@ -2430,7 +2746,7 @@ mod tests {
         i.run_to_quiescence().unwrap();
         // noop has no handler → exported; delay 100 µs + 600 ns recirc.
         let last = i.trace.last().unwrap();
-        assert_eq!(last.event, "noop");
+        assert_eq!(&*last.event, "noop");
         assert_eq!(last.time_ns, 100_000 + 600);
         assert_eq!(i.stats.exported, 1);
     }

@@ -1160,6 +1160,12 @@ pub struct SimOverrides {
     /// scenario's authored expectations — the run reports its statistics
     /// and digest but skips the `expect` checks.
     pub events: Option<u64>,
+    /// `Some(false)` disables trace retention for the run: handled and
+    /// exported events are not logged (stats, per-event counts, metrics,
+    /// `printf` output, and the state digest are unchanged). Benchmarks
+    /// use it so wall-clock rows don't pay for a log nobody reads; the
+    /// report drops the trace regardless.
+    pub record_trace: Option<bool>,
 }
 
 /// Validate and execute a scenario against a checked program. The engine
@@ -1198,6 +1204,7 @@ pub fn run_scenario_with(
     let opt = cfg.opt.label();
     let t0 = Instant::now();
     let mut sim = Interp::new(prog, cfg);
+    sim.set_record_trace(ov.record_trace.unwrap_or(true));
 
     let gen_names: Vec<String> = sc.generators.iter().map(|g| g.name.clone()).collect();
     if sc.generators.is_empty() {

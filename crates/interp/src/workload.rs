@@ -61,6 +61,23 @@ pub trait EventSource {
     }
     /// Pull the next event. `None` exactly when `peek_ns` is `None`.
     fn next_event(&mut self) -> Option<SourcedEvent>;
+    /// Pull every event due at or before `horizon_ns` — up to `max` of
+    /// them — appending to `out` in stream order. Both engines refill
+    /// through this in chunks, so a boxed source pays its virtual
+    /// dispatch once per batch rather than twice per injection. The
+    /// default loops `peek_ns`/`next_event`; implementations with a
+    /// cheaper bulk path may override it, provided the pulled sequence
+    /// is identical.
+    fn next_batch(&mut self, horizon_ns: u64, max: usize, out: &mut Vec<SourcedEvent>) {
+        for _ in 0..max {
+            match self.peek_ns() {
+                Some(t) if t <= horizon_ns => {
+                    out.push(self.next_event().expect("peeked a due event"));
+                }
+                _ => break,
+            }
+        }
+    }
     /// How many sources feed this stream (sizes the per-source counters).
     fn source_count(&self) -> usize {
         1
@@ -239,6 +256,7 @@ impl GenSpec {
             widths,
             index,
             rng: Rng::seeded(mix_seed(scenario_seed, self.seed)),
+            plans: self.args.iter().map(ArgPlan::of).collect(),
             seq_counters: vec![0; self.args.len()],
             emitted: 0,
             // `count: 0` is a disabled source, not a one-shot: the cap
@@ -268,10 +286,97 @@ pub struct Generator {
     widths: Vec<u32>,
     index: usize,
     rng: Rng,
+    /// One compiled [`ArgPlan`] per spec arg, draw-invariant constants
+    /// folded once here instead of on every pull.
+    plans: Vec<ArgPlan>,
     seq_counters: Vec<u64>,
     emitted: u64,
     /// Time of the next emission; `None` when the source is exhausted.
     next_time: Option<u64>,
+}
+
+/// One argument's sampling plan: an [`ArgDist`] with every constant the
+/// draw would otherwise re-derive folded at compile time. The zipf
+/// curves matter most — inverting the bounded power-law CDF per pull
+/// re-computed its normalizer, a `powf`, that only depends on `(n, s)`.
+/// Folding is value-preserving: a plan draws bit-identical samples from
+/// the same RNG stream as the unfolded distribution.
+#[derive(Debug, Clone)]
+enum ArgPlan {
+    Const(u64),
+    Uniform {
+        lo: u64,
+        span: u64,
+    },
+    /// Degenerate zipf (`n <= 1`): always key 0, no randomness consumed.
+    Zero,
+    /// Zipf at `s ≈ 1`: `F(x) = ln x / ln(n+1)`, so `x = (n+1)^u`.
+    ZipfLog {
+        n: u64,
+        nf: f64,
+    },
+    /// Zipf at `s ≠ 1` with `e = 1 - s`: `x = (1 + u·pow_span)^inv_e`
+    /// where `pow_span = (n+1)^e - 1` and `inv_e = 1/e`.
+    ZipfPow {
+        n: u64,
+        pow_span: f64,
+        inv_e: f64,
+    },
+    Seq {
+        n: u64,
+    },
+}
+
+impl ArgPlan {
+    fn of(d: &ArgDist) -> ArgPlan {
+        match *d {
+            ArgDist::Const(v) => ArgPlan::Const(v),
+            ArgDist::Uniform { lo, hi } => ArgPlan::Uniform { lo, span: hi - lo },
+            ArgDist::Zipf { n, s } => {
+                if n <= 1 {
+                    ArgPlan::Zero
+                } else {
+                    let nf = (n + 1) as f64;
+                    if (s - 1.0).abs() < 1e-9 {
+                        ArgPlan::ZipfLog { n, nf }
+                    } else {
+                        let e = 1.0 - s;
+                        ArgPlan::ZipfPow {
+                            n,
+                            pow_span: nf.powf(e) - 1.0,
+                            inv_e: 1.0 / e,
+                        }
+                    }
+                }
+            }
+            ArgDist::Seq { n } => ArgPlan::Seq { n },
+        }
+    }
+
+    /// Draw one value. `seq` is the caller-owned cycling counter for
+    /// this argument slot (only [`ArgPlan::Seq`] touches it). The zipf
+    /// arms invert the CDF on `x ∈ [1, n+1)`; floor lands in `[1, n]`
+    /// and the clamp guards FP edge cases.
+    fn sample(&self, rng: &mut Rng, seq: &mut u64) -> u64 {
+        match *self {
+            ArgPlan::Const(v) => v,
+            ArgPlan::Uniform { lo, span } => lo + rng.below_incl(span),
+            ArgPlan::Zero => 0,
+            ArgPlan::ZipfLog { n, nf } => {
+                let u = rng.unit_f64();
+                (nf.powf(u) as u64).clamp(1, n) - 1
+            }
+            ArgPlan::ZipfPow { n, pow_span, inv_e } => {
+                let u = rng.unit_f64();
+                ((1.0 + u * pow_span).powf(inv_e) as u64).clamp(1, n) - 1
+            }
+            ArgPlan::Seq { n } => {
+                let v = *seq;
+                *seq = (v + 1) % n;
+                v
+            }
+        }
+    }
 }
 
 impl Generator {
@@ -323,18 +428,9 @@ impl Generator {
     }
 
     fn draw_args(&mut self) -> Vec<u64> {
-        let mut out = Vec::with_capacity(self.spec.args.len());
-        for (i, d) in self.spec.args.iter().enumerate() {
-            let raw = match d {
-                ArgDist::Const(v) => *v,
-                ArgDist::Uniform { lo, hi } => lo + self.rng.below_incl(hi - lo),
-                ArgDist::Zipf { n, s } => zipf_draw(&mut self.rng, *n, *s),
-                ArgDist::Seq { n } => {
-                    let v = self.seq_counters[i];
-                    self.seq_counters[i] = (v + 1) % n;
-                    v
-                }
-            };
+        let mut out = Vec::with_capacity(self.plans.len());
+        for (i, p) in self.plans.iter().enumerate() {
+            let raw = p.sample(&mut self.rng, &mut self.seq_counters[i]);
             out.push(mask(raw, self.widths.get(i).copied().unwrap_or(32)));
         }
         out
@@ -362,28 +458,6 @@ impl EventSource for Generator {
             source: self.index,
         })
     }
-}
-
-/// Draw from a Zipf-like distribution over `0..n` with exponent `s`, by
-/// inverting the CDF of the continuous bounded power-law `x^-s` on
-/// `[1, n+1)`. O(1) per draw, no tables — rank 0 is the hottest key and
-/// the skew tracks Zipf(s) closely for the workload sizes we model.
-fn zipf_draw(rng: &mut Rng, n: u64, s: f64) -> u64 {
-    if n <= 1 {
-        return 0;
-    }
-    let u = rng.unit_f64();
-    let nf = (n + 1) as f64;
-    let x = if (s - 1.0).abs() < 1e-9 {
-        // s = 1: F(x) = ln x / ln(n+1).
-        nf.powf(u)
-    } else {
-        let e = 1.0 - s;
-        // F(x) = (x^e - 1) / ((n+1)^e - 1).
-        (1.0 + u * (nf.powf(e) - 1.0)).powf(1.0 / e)
-    };
-    // x ∈ [1, n+1): floor lands in [1, n]; clamp guards FP edge cases.
-    (x as u64).clamp(1, n) - 1
 }
 
 // -------------------------------------------------------------- workload
@@ -702,14 +776,19 @@ mod tests {
     }
 
     #[test]
-    fn zipf_draw_covers_bounds() {
+    fn zipf_plans_cover_bounds() {
+        // Every zipf arm (degenerate, s≈1 log form, s<1 and s>1 power
+        // forms) must keep draws inside 0..n across the folded plans.
         let mut rng = Rng::seeded(1);
+        let mut seq = 0u64;
         for n in [1u64, 2, 10, 1 << 20] {
-            for _ in 0..200 {
-                assert!(zipf_draw(&mut rng, n, 1.0) < n);
-                assert!(zipf_draw(&mut rng, n, 1.5) < n);
-                assert!(zipf_draw(&mut rng, n, 0.5) < n);
+            for s in [1.0f64, 1.5, 0.5] {
+                let plan = ArgPlan::of(&ArgDist::Zipf { n, s });
+                for _ in 0..200 {
+                    assert!(plan.sample(&mut rng, &mut seq) < n, "n={n} s={s}");
+                }
             }
         }
+        assert_eq!(seq, 0, "zipf plans must not touch the seq counter");
     }
 }

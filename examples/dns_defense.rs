@@ -56,5 +56,5 @@ fn main() {
 }
 
 fn delivered(sim: &Interp<'_>) -> bool {
-    sim.trace.iter().any(|h| h.event == "deliver")
+    sim.trace.iter().any(|h| &*h.event == "deliver")
 }

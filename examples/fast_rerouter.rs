@@ -51,7 +51,7 @@ fn main() {
     let reroutes = sim
         .trace
         .iter()
-        .filter(|h| h.event == "route_reply" && h.switch == 1)
+        .filter(|h| &*h.event == "route_reply" && h.switch == 1)
         .count();
     println!("reroute triggered:   {} route replies received", reroutes);
 
@@ -73,6 +73,6 @@ fn last_delivery(sim: &Interp<'_>) -> Option<u64> {
     sim.trace
         .iter()
         .rev()
-        .find(|h| h.switch == 1 && h.event == "deliver")
+        .find(|h| h.switch == 1 && &*h.event == "deliver")
         .map(|h| h.args[1])
 }

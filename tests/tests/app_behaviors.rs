@@ -13,7 +13,7 @@ fn app(key: &str) -> CheckedProgram {
 }
 
 fn count(sim: &Interp<'_>, event: &str) -> usize {
-    sim.trace.iter().filter(|h| h.event == event).count()
+    sim.trace.iter().filter(|h| &*h.event == event).count()
 }
 
 // ---------------------------------------------------------------- RR ----
@@ -32,7 +32,7 @@ fn rr_delivers_via_healthy_next_hop() {
         .trace
         .iter()
         .rev()
-        .find(|h| h.event == "deliver")
+        .find(|h| &*h.event == "deliver")
         .expect("delivered");
     assert_eq!(d.args, vec![5, 2], "delivered toward next hop 2");
 }
@@ -60,7 +60,7 @@ fn rr_reroutes_around_failed_switch() {
         .trace
         .iter()
         .rev()
-        .find(|h| h.event == "deliver")
+        .find(|h| &*h.event == "deliver")
         .expect("delivered");
     assert_eq!(d.args[1], 3, "rerouted via switch 3");
 }
@@ -192,7 +192,7 @@ fn starflow_flush_exports_and_clears() {
     let exported: u64 = sim
         .trace
         .iter()
-        .filter(|h| h.event == "flow_record")
+        .filter(|h| &*h.event == "flow_record")
         .map(|h| h.args[1])
         .sum();
     assert_eq!(exported, 15, "all batched packets must be exported");
@@ -217,7 +217,7 @@ fn starflow_eviction_exports_previous_batch() {
     let rec = sim
         .trace
         .iter()
-        .find(|h| h.event == "flow_record")
+        .find(|h| &*h.event == "flow_record")
         .expect("evicted");
     assert_eq!(rec.args[0], a & 0xffff_ffff, "old flow exported");
     assert_eq!(rec.args[1], 4, "with its packet count");
@@ -274,7 +274,7 @@ fn sro_reads_are_local() {
     let reply = sim
         .trace
         .iter()
-        .find(|h| h.event == "read_reply")
+        .find(|h| &*h.event == "read_reply")
         .expect("replied");
     assert_eq!(reply.args, vec![3, 42]);
     assert_eq!(
@@ -385,7 +385,7 @@ fn rip_forwards_data_packets_toward_destination() {
     let d = sim
         .trace
         .iter()
-        .find(|h| h.event == "deliver")
+        .find(|h| &*h.event == "deliver")
         .expect("delivered");
     assert_eq!(d.switch, 3, "delivered at the destination switch");
     assert_eq!(d.args[0], 4242);
@@ -414,7 +414,7 @@ fn nat_allocates_and_translates_outbound() {
     let tx = sim
         .trace
         .iter()
-        .find(|h| h.event == "tx_out")
+        .find(|h| &*h.event == "tx_out")
         .expect("translated");
     assert_eq!(tx.args[0], 1234);
     let port = tx.args[1];
@@ -426,7 +426,7 @@ fn nat_allocates_and_translates_outbound() {
     let rx = sim
         .trace
         .iter()
-        .find(|h| h.event == "tx_in")
+        .find(|h| &*h.event == "tx_in")
         .expect("reverse translated");
     assert_eq!(rx.args, vec![port, 1234]);
 }
@@ -455,7 +455,7 @@ fn nat_distinct_flows_get_distinct_ports() {
     let ports: Vec<u64> = sim
         .trace
         .iter()
-        .filter(|h| h.event == "tx_out")
+        .filter(|h| &*h.event == "tx_out")
         .map(|h| h.args[1])
         .collect();
     assert_eq!(ports.len(), 2);
@@ -482,7 +482,7 @@ fn cm_sketch_counts_and_export_resets() {
     let exported_a: u64 = sim
         .trace
         .iter()
-        .filter(|h| h.event == "sketch_record")
+        .filter(|h| &*h.event == "sketch_record")
         .map(|h| h.args[2])
         .sum();
     assert_eq!(exported_a, 25, "every count exported exactly once");
@@ -511,7 +511,7 @@ fn cm_records_carry_epoch() {
     let epochs: Vec<u64> = sim
         .trace
         .iter()
-        .filter(|h| h.event == "sketch_record")
+        .filter(|h| &*h.event == "sketch_record")
         .map(|h| h.args[0])
         .collect();
     assert!(!epochs.is_empty());
