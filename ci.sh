@@ -170,6 +170,81 @@ if [ -z "$m_seq" ] || [ "$m_seq" != "$m_sh" ]; then
 fi
 echo "-- 1M-event dns_flood digests agree: state $d_seq, metrics $m_seq"
 
+echo "== serve gate"
+# The persistent-service invariant: a session served by the `lucidc
+# serve` daemon — opened on a truncated scenario, hot-swapped (same
+# source, so the daemon's build cache reconfigures instead of
+# re-parsing), fed the missing events over `ingest`, advanced in
+# segments, snapshotted, restored into a *fresh* session, and drained —
+# must land on exactly the state and metrics digests of the equivalent
+# one-shot `lucidc sim` run, under both engines. The scripted client
+# drives the daemon over stdin/stdout, one JSON request per line.
+python3 - <<'EOF'
+import json, subprocess, sys
+
+LUCIDC = "target/release/lucidc"
+PROG = "crates/apps/programs/dns_defense.lucid"
+SC = "crates/apps/scenarios/dns_defense.sim.json"
+
+full = json.load(open(SC))
+times = [e["time_ns"] for e in full["events"]]
+mid = sorted(times)[len(times) // 2]
+trunc = dict(full)
+trunc["events"] = [e for e in full["events"] if e["time_ns"] < mid]
+trunc.pop("expect", None)
+late = [e for e in full["events"] if e["time_ns"] >= mid]
+
+for engine in ["sequential", "sharded"]:
+    one = subprocess.run(
+        [LUCIDC, "sim", f"--engine={engine}", "--json", PROG, SC],
+        capture_output=True, text=True)
+    assert one.returncode == 0, one.stderr
+    rep = json.loads(one.stdout)
+    want = (rep["state_digest"], rep["metrics"]["digest"])
+
+    daemon = subprocess.Popen(
+        [LUCIDC, "serve"], stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+        text=True)
+
+    def ask(req):
+        daemon.stdin.write(json.dumps(req) + "\n")
+        daemon.stdin.flush()
+        reply = json.loads(daemon.stdout.readline())
+        assert reply.get("ok"), f"{engine}: {req.get('op')} failed: {reply}"
+        return reply
+
+    opts = {"engine": engine}
+    sc_doc = json.dumps(trunc)
+    ask({"op": "open", "program_path": PROG, "scenario": sc_doc,
+         "options": opts})
+    # Swap before any event runs: same source, so the daemon's cached
+    # build reconfigures (no re-parse) and the queued events remap 1:1.
+    swap = ask({"op": "swap", "session": 1, "program_path": PROG})
+    assert swap["queued_dropped"] == 0 and swap["arrays_reset"] == 0, swap
+    ask({"op": "ingest", "session": 1, "events": late})
+    ask({"op": "advance", "session": 1, "to_ns": mid})
+    snap = ask({"op": "snapshot", "session": 1})["bytes"]
+    # The snapshot transplants into a fresh session over the same
+    # program + scenario; the donor is closed undrained.
+    ask({"op": "open", "program_path": PROG, "scenario": sc_doc,
+         "options": opts})
+    ask({"op": "restore", "session": 2, "bytes": snap})
+    ask({"op": "close", "session": 1})
+    report = ask({"op": "drain", "session": 2})["report"]
+    got = (report["state_digest"], report["metrics"]["digest"])
+    shutdown = ask({"op": "shutdown"})
+    assert shutdown.get("shutdown") is True, shutdown
+    daemon.stdin.close()
+    assert daemon.wait(timeout=30) == 0, "daemon exit code"
+
+    if got != want:
+        print(f"serve gate [{engine}]: served digests {got} != one-shot "
+              f"{want}", file=sys.stderr)
+        sys.exit(1)
+    print(f"-- serve gate [{engine}]: served session matches one-shot "
+          f"(state {got[0]}, metrics {got[1]})")
+EOF
+
 echo "== bench smoke"
 # Every figure binary must run in smoke mode and emit parseable JSON.
 json_check() {
@@ -234,14 +309,18 @@ echo "== perf trajectory gate (BENCH_PR.json)"
 #                       backstop against a real machinery-cost
 #                       regression — the precise number is tracked via
 #                       BENCH_PR.json's trajectory)
+#   fig_serve_ingest    events_per_sec >= 20000   (measured ~40-45k: the
+#                       served rate includes per-request JSON parsing
+#                       and reply rendering on top of the engine)
 # fig_parallel_scale's scaling curve above one worker is recorded and
 # its monotonicity flagged, but not gated: this container is
 # single-core, so every extra worker is pure synchronization overhead.
 st_json=$(target/release/fig_sim_throughput --smoke --json)
 ws_json=$(target/release/fig_workload_scale --smoke --json)
 ps_json=$(target/release/fig_parallel_scale --smoke --json)
-printf '{"fig_sim_throughput":%s,"fig_workload_scale":%s,"fig_parallel_scale":%s}\n' \
-  "$st_json" "$ws_json" "$ps_json" > BENCH_PR.json
+sv_json=$(target/release/fig_serve_ingest --smoke --json)
+printf '{"fig_sim_throughput":%s,"fig_workload_scale":%s,"fig_parallel_scale":%s,"fig_serve_ingest":%s}\n' \
+  "$st_json" "$ws_json" "$ps_json" "$sv_json" > BENCH_PR.json
 json_check < BENCH_PR.json
 field() { # field <json> <key> — first numeric value of "key":N
   printf '%s' "$1" | sed -n "s/.*\"$2\":\([0-9.][0-9.]*\).*/\1/p" | head -n1
@@ -257,6 +336,7 @@ floor "fig_sim_throughput bytecode_speedup" "$(field "$st_json" bytecode_speedup
 floor "fig_workload_scale bytecode_speedup" "$(field "$ws_json" bytecode_speedup)" 10.0
 floor "fig_workload_scale min_events_per_sec" "$(field "$ws_json" min_events_per_sec)" 20000
 floor "fig_parallel_scale speedup_w1" "$(field "$ps_json" speedup_w1)" 0.93
+floor "fig_serve_ingest events_per_sec" "$(field "$sv_json" events_per_sec)" 20000
 # The monotone flag is only interpretable against the core count the
 # sweep actually had, so both are printed (and recorded) together: on a
 # single-core host a non-monotone curve is expected, on a multi-core

@@ -124,7 +124,7 @@ pub fn install_benchmark(trials: usize, load_factor: f64, seed: u64) -> InstallB
 /// Remove `src→dst`'s entry (and anything parked in the stash) so the
 /// table returns to its pre-trial load. Mirrors the hash path of the
 /// Lucid program.
-fn remove_flow(sim: &mut Interp<'_>, src: u64, dst: u64) {
+fn remove_flow(sim: &mut Interp, src: u64, dst: u64) {
     let key = lucid_interp::lucid_hash(32, 101, &[src, dst]);
     let h1 = lucid_interp::lucid_hash(10, 1, &[key]) as usize;
     let h2 = lucid_interp::lucid_hash(10, 2, &[key]) as usize;
@@ -145,7 +145,7 @@ fn remove_flow(sim: &mut Interp<'_>, src: u64, dst: u64) {
 mod tests {
     use super::*;
 
-    fn sim_with(prog: &CheckedProgram) -> Interp<'_> {
+    fn sim_with(prog: &CheckedProgram) -> Interp {
         Interp::new(prog, NetConfig::single())
     }
 

@@ -713,7 +713,7 @@ fn workload_scale_scenario(switches: u64, target_events: u64) -> lucid_core::Sce
 /// miscompile cannot hide behind an equally-wrong lowering because the
 /// bytecode rows run at every level.
 pub fn workload_scale(switches: u64, target_events: u64, workers: usize) -> WorkloadScale {
-    use lucid_core::{OptLevel, SimOverrides};
+    use lucid_core::{OptLevel, SimOptions};
     let src = mesh_workload(switches);
     let prog = lucid_core::check::parse_and_check(&src).expect("workload checks");
     let sc = workload_scale_scenario(switches, target_events);
@@ -747,7 +747,7 @@ pub fn workload_scale(switches: u64, target_events: u64, workers: usize) -> Work
     let mut tail: Option<LatencyTail> = None;
     for _round in 0..3 {
         for (slot, &(engine, exec, opt)) in combos.iter().enumerate() {
-            let ov = SimOverrides {
+            let ov = SimOptions {
                 engine: Some(engine),
                 exec: Some(exec),
                 opt: Some(opt),
@@ -756,7 +756,7 @@ pub fn workload_scale(switches: u64, target_events: u64, workers: usize) -> Work
                 // one (the walker and bytecode rows both shed the same
                 // per-event cost, so the ratios stay honest).
                 record_trace: Some(false),
-                ..SimOverrides::default()
+                ..SimOptions::default()
             };
             let report =
                 lucid_core::run_scenario_with(&prog, &sc, &ov).expect("workload scenario runs");
@@ -866,7 +866,7 @@ pub struct ParallelScale {
 /// sequential-bytecode baseline. Deterministic: the scaling curve is
 /// only meaningful if every point computes the same run.
 pub fn parallel_scale(switches: u64, target_events: u64, worker_counts: &[usize]) -> ParallelScale {
-    use lucid_core::{OptLevel, SimOverrides};
+    use lucid_core::{OptLevel, SimOptions};
     let src = mesh_workload(switches);
     let prog = lucid_core::check::parse_and_check(&src).expect("workload checks");
     let sc = workload_scale_scenario(switches, target_events);
@@ -903,7 +903,7 @@ pub fn parallel_scale(switches: u64, target_events: u64, worker_counts: &[usize]
                     epoch_ns: 0,
                 },
             };
-            let ov = SimOverrides {
+            let ov = SimOptions {
                 engine: Some(engine),
                 exec: Some(ExecMode::Bytecode),
                 opt: Some(OptLevel::O2),
@@ -911,7 +911,7 @@ pub fn parallel_scale(switches: u64, target_events: u64, worker_counts: &[usize]
                 // retaining a trace nobody reads (uniform across all
                 // worker counts).
                 record_trace: Some(false),
-                ..SimOverrides::default()
+                ..SimOptions::default()
             };
             let report =
                 lucid_core::run_scenario_with(&prog, &sc, &ov).expect("workload scenario runs");
@@ -985,6 +985,138 @@ pub fn parallel_scale(switches: u64, target_events: u64, worker_counts: &[usize]
         available_parallelism: std::thread::available_parallelism()
             .map_or(1, std::num::NonZeroUsize::get),
         tail: tail.expect("at least one trial ran"),
+    }
+}
+
+// -------------------------------------------------------- serve ingest
+
+/// One serve-ingest trial's numbers (`fig_serve_ingest`).
+#[derive(Debug, Clone)]
+pub struct ServeIngest {
+    pub switches: u64,
+    pub target_events: u64,
+    /// Events per `ingest` request line.
+    pub batch: u64,
+    /// Request lines served (open + ingest/advance pairs + drain).
+    pub requests: u64,
+    pub wall_ms: f64,
+    /// Sustained served events/sec through the protocol layer (best of
+    /// the interleaved trials).
+    pub events_per_sec: f64,
+    pub state_digest: u64,
+    /// The served session's final report (less the two wall-clock
+    /// fields) is byte-identical to the equivalent one-shot `sim` run.
+    pub identical: bool,
+}
+
+/// Push `target_events` through a live `serve` session in `batch`-sized
+/// `ingest` request lines, advancing the session after every batch, and
+/// compare the drained report — byte for byte, wall-clock fields aside —
+/// against a one-shot run of the same events authored into a scenario.
+/// The measured rate includes the full daemon-side cost: request JSON
+/// parsing, scheduling, simulation, and reply rendering.
+pub fn serve_ingest(switches: u64, target_events: u64, batch: u64) -> ServeIngest {
+    use lucid_core::{handle_line, CheckHost, Scenario, ServeState, SimOptions};
+    let src = r#"
+        global cts = new Array<<32>>(256);
+        memop plus(int m, int x) { return m + x; }
+        event pkt(int idx);
+        handle pkt(int idx) { Array.setm(cts, idx, plus, 1); }
+    "#;
+    let header = format!(
+        "{{\"name\": \"serve-ingest\", \"net\": {{\"switches\": {switches}}}, \
+         \"exec\": \"bytecode\""
+    );
+    let event = |i: u64| {
+        format!(
+            "{{\"time_ns\":{},\"switch\":{},\"event\":\"pkt\",\"args\":[{}]}}",
+            100 * (i + 1),
+            1 + i % switches,
+            i % 256
+        )
+    };
+
+    // The client side — request lines — is built up front so the timed
+    // loop holds only served work.
+    let mut requests: Vec<String> = vec![format!(
+        "{{\"op\":\"open\",\"program\":{},\"scenario\":{}}}",
+        jsonout::s(src),
+        jsonout::s(&format!("{header}}}"))
+    )];
+    let mut i = 0;
+    while i < target_events {
+        let n = batch.min(target_events - i);
+        let evs: Vec<String> = (i..i + n).map(event).collect();
+        requests.push(format!(
+            "{{\"op\":\"ingest\",\"session\":1,\"events\":[{}]}}",
+            evs.join(",")
+        ));
+        requests.push(format!(
+            "{{\"op\":\"advance\",\"session\":1,\"to_ns\":{}}}",
+            100 * (i + n)
+        ));
+        i += n;
+    }
+    requests.push("{\"op\":\"drain\",\"session\":1}".to_string());
+
+    // The reference: the same events authored into the scenario and run
+    // one-shot.
+    let evs: Vec<String> = (0..target_events).map(event).collect();
+    let sc_full = format!("{header}, \"events\": [{}]}}", evs.join(","));
+    let sc_full = Scenario::from_json(&sc_full).expect("one-shot scenario parses");
+    let prog = lucid_core::check::parse_and_check(src).expect("program checks");
+    let oneshot = lucid_core::run_scenario_with(&prog, &sc_full, &SimOptions::default())
+        .expect("one-shot runs");
+    // Wall-clock fields are the report's only nondeterminism.
+    let stable = |report: &str| -> String {
+        report
+            .split(',')
+            .filter(|f| !f.contains("\"wall_ms\"") && !f.contains("\"events_per_sec\""))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let want = stable(&oneshot.to_json());
+
+    let mut best_eps = 0.0f64;
+    let mut best_wall = 0.0f64;
+    let mut identical = true;
+    for _trial in 0..3 {
+        let mut state = ServeState::new();
+        let mut host = CheckHost;
+        let start = Instant::now();
+        let mut last = String::new();
+        for line in &requests {
+            last = handle_line(&mut state, &mut host, line).reply().to_string();
+            assert!(last.starts_with("{\"ok\":true"), "request failed: {last}");
+        }
+        let wall = start.elapsed().as_secs_f64();
+        // The drain reply is `{"ok":true,...,"report":{...}}`: the
+        // embedded report keeps its own closing brace, only the reply's
+        // outer one goes.
+        let report = last
+            .split_once("\"report\":")
+            .and_then(|(_, r)| r.strip_suffix('}'))
+            .expect("drain reply embeds the report");
+        identical &= stable(report) == want;
+        let eps = if wall > 0.0 {
+            target_events as f64 / wall
+        } else {
+            0.0
+        };
+        if eps > best_eps {
+            best_eps = eps;
+            best_wall = wall;
+        }
+    }
+    ServeIngest {
+        switches,
+        target_events,
+        batch,
+        requests: requests.len() as u64,
+        wall_ms: best_wall * 1e3,
+        events_per_sec: best_eps,
+        state_digest: oneshot.state_digest,
+        identical,
     }
 }
 

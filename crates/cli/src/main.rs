@@ -7,6 +7,7 @@
 //! lucidc sim [OPTIONS] <file.lucid> <scenario.sim.json>
 //!                                          run a simulation scenario
 //! lucidc sim --dump-bytecode <file.lucid>  print the compiled bytecode
+//! lucidc serve [--socket=PATH]             persistent simulation service
 //! lucidc apps                              list the bundled Figure 9 applications
 //! lucidc app <key>                         dump a bundled app's Lucid source
 //!
@@ -54,7 +55,14 @@
 //!                             metrics object alone as stdout's one JSON
 //!                             document (conflicts with `--json`, which
 //!                             already embeds it in the full report)
+//!   --no-trace                skip retaining the per-event trace (`sim`);
+//!                             stats, expectations, metrics, and the state
+//!                             digest are unchanged — the run just stops
+//!                             paying for a log nobody reads
 //!   --json                    print the `sim` report as one JSON object
+//!   --socket=PATH             serve over a Unix domain socket instead of
+//!                             stdin/stdout (`serve`); one request per
+//!                             line, sessions shared across connections
 //! ```
 //!
 //! Exit codes: 0 success, 1 the program had diagnostics or the scenario
@@ -64,8 +72,8 @@
 #![forbid(unsafe_code)]
 
 use lucid_core::{
-    Build, Compiler, Engine, ExecMode, LayoutOptions, OptLevel, PipelineSpec, Scenario, SimError,
-    SimOverrides,
+    Build, BuildHost, Compiler, Engine, ExecMode, LayoutOptions, OptLevel, PipelineSpec, Scenario,
+    ServeState, SimError, SimOptions,
 };
 use std::process::ExitCode;
 
@@ -77,12 +85,13 @@ const USAGE: &str = "usage: lucidc <check|compile|stages> [--emit=ast|ir|layout|
 [--json-diagnostics] <file.lucid>\n       \
 lucidc sim [--engine=sequential|sharded] [--workers=N] [--exec=ast|bytecode] \
 [--opt=0|1|2] [--seed=S] [--events=N] [--gen=<spec>] [--verify-bytecode] \
-[--metrics[=json]] [--json] <file.lucid> <scenario.sim.json>\n       \
+[--metrics[=json]] [--no-trace] [--json] <file.lucid> <scenario.sim.json>\n       \
 lucidc sim --dump-bytecode [--opt=0|1|2] [--verify-bytecode] <file.lucid> \
 [<scenario.sim.json>]\n       \
+lucidc serve [--socket=PATH]\n       \
 lucidc apps | app <key>";
 
-const SUBCOMMANDS: &[&str] = &["check", "compile", "stages", "sim", "apps", "app"];
+const SUBCOMMANDS: &[&str] = &["check", "compile", "stages", "sim", "serve", "apps", "app"];
 
 /// What `compile` should print.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -140,6 +149,7 @@ fn main() -> ExitCode {
             }
         }
         "sim" => run_sim(&args[1..]),
+        "serve" => run_serve(&args[1..]),
         "apps" => {
             for app in lucid_apps::all() {
                 println!(
@@ -181,7 +191,7 @@ fn main() -> ExitCode {
 }
 
 /// Parsed command line for `sim`.
-struct SimOptions {
+struct SimArgs {
     engine: Option<Engine>,
     exec: Option<ExecMode>,
     /// `--opt=0|1|2` (or `--no-opt` = level 0): the bytecode pipeline.
@@ -199,6 +209,8 @@ struct SimOptions {
     verify_bytecode: bool,
     /// `--metrics[=json]`: how to surface the latency metrics.
     metrics: MetricsOut,
+    /// `--no-trace`: skip recording the per-event trace.
+    no_trace: bool,
     program: String,
     /// `None` only under `--dump-bytecode` (dump-only invocation).
     scenario: Option<String>,
@@ -217,7 +229,7 @@ enum MetricsOut {
     Json,
 }
 
-fn parse_sim_options(args: &[String]) -> Result<SimOptions, String> {
+fn parse_sim_options(args: &[String]) -> Result<SimArgs, String> {
     let mut engine: Option<Engine> = None;
     let mut exec: Option<ExecMode> = None;
     let mut opt: Option<OptLevel> = None;
@@ -230,6 +242,7 @@ fn parse_sim_options(args: &[String]) -> Result<SimOptions, String> {
     let mut dump_bytecode = false;
     let mut verify_bytecode = false;
     let mut metrics = MetricsOut::Off;
+    let mut no_trace = false;
     let mut files: Vec<String> = Vec::new();
     for a in args {
         if let Some(v) = a.strip_prefix("--engine=") {
@@ -266,6 +279,8 @@ fn parse_sim_options(args: &[String]) -> Result<SimOptions, String> {
             dump_bytecode = true;
         } else if a == "--verify-bytecode" {
             verify_bytecode = true;
+        } else if a == "--no-trace" {
+            no_trace = true;
         } else if a == "--metrics" {
             metrics = MetricsOut::Table;
         } else if let Some(v) = a.strip_prefix("--metrics=") {
@@ -319,7 +334,7 @@ fn parse_sim_options(args: &[String]) -> Result<SimOptions, String> {
             })
         }
     };
-    Ok(SimOptions {
+    Ok(SimArgs {
         engine,
         exec,
         opt,
@@ -330,6 +345,7 @@ fn parse_sim_options(args: &[String]) -> Result<SimOptions, String> {
         dump_bytecode,
         verify_bytecode,
         metrics,
+        no_trace,
         program,
         scenario,
     })
@@ -431,17 +447,19 @@ fn run_sim(args: &[String]) -> ExitCode {
             }
         }
     }
-    let overrides = SimOverrides {
+    let options = SimOptions {
         engine: opts.engine,
         exec: opts.exec,
         opt: opts.opt,
+        // `--workers` is folded into the engine override at parse time.
+        workers: None,
         seed: opts.seed,
         events: opts.events,
-        // The CLI always retains the trace: `sim` renders it and the
-        // scenario's `expect` section may assert on it.
-        record_trace: None,
+        // The trace stays on unless `--no-trace` sheds it; either way
+        // stats, expectations, and the state digest are unchanged.
+        record_trace: opts.no_trace.then_some(false),
     };
-    match build.interp_overrides(&scenario, &overrides) {
+    match build.interp(&scenario, &options) {
         Ok(report) => {
             if opts.json {
                 println!("{}", report.to_json());
@@ -490,6 +508,63 @@ fn run_sim(args: &[String]) -> ExitCode {
                 eprintln!("runtime fault: {e}");
             }
             ExitCode::from(EXIT_DIAGNOSTICS)
+        }
+        // Snapshot and swap verbs exist only under `serve`; a one-shot
+        // run never exercises them, but the match stays honest.
+        Err(e @ (SimError::Snapshot(_) | SimError::Swap(_))) => {
+            if opts.json {
+                println!(
+                    "{{\"kind\":\"service\",\"msg\":{}}}",
+                    json_str(&e.to_string())
+                );
+            } else {
+                eprintln!("error: {e}");
+            }
+            ExitCode::from(EXIT_DIAGNOSTICS)
+        }
+    }
+}
+
+/// `lucidc serve`: a persistent simulation service. Requests are
+/// line-delimited JSON objects (see docs/serve-protocol.md); the daemon
+/// owns compiled programs and live [`lucid_core::SimSession`]s, so a
+/// client can ingest events, advance time, snapshot, restore, and
+/// hot-swap programs without paying a re-parse per step. Default
+/// transport is stdin/stdout; `--socket=PATH` binds a Unix domain socket
+/// shared across connections instead.
+fn run_serve(args: &[String]) -> ExitCode {
+    let mut socket: Option<String> = None;
+    for a in args {
+        if let Some(v) = a.strip_prefix("--socket=") {
+            socket = Some(v.to_string());
+        } else {
+            eprintln!("error: unknown `serve` argument `{a}`\n{USAGE}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    }
+    let host = BuildHost::new(Compiler::new());
+    let result = match socket {
+        Some(path) => {
+            lucid_core::interp::serve::socket::serve_unix(std::path::Path::new(&path), host)
+        }
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            let mut host = host;
+            lucid_core::serve_lines(
+                &mut ServeState::new(),
+                &mut host,
+                stdin.lock(),
+                stdout.lock(),
+            )
+            .map(|_| ())
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: serve transport failed: {e}");
+            ExitCode::from(EXIT_USAGE)
         }
     }
 }
@@ -962,6 +1037,24 @@ mod tests {
         assert!(!o.lint && !o.deny_lints);
         assert!(parse_options("stages", &["--lint".into(), "f".into()]).is_err());
         assert!(parse_options("stages", &["--deny-lints".into(), "f".into()]).is_err());
+    }
+
+    #[test]
+    fn no_trace_flag_parses() {
+        let o = parse_sim_options(&["--no-trace".into(), "p".into(), "s".into()]).unwrap();
+        assert!(o.no_trace);
+        let o = parse_sim_options(&["p".into(), "s".into()]).unwrap();
+        assert!(!o.no_trace, "the trace is retained by default");
+        // Composes with the other sim flags.
+        let o = parse_sim_options(&[
+            "--no-trace".into(),
+            "--json".into(),
+            "--engine=sharded".into(),
+            "p".into(),
+            "s".into(),
+        ])
+        .unwrap();
+        assert!(o.no_trace && o.json);
     }
 
     #[test]

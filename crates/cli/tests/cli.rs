@@ -708,3 +708,120 @@ fn sim_generator_flags_drive_the_workload() {
     let out = lucidc(&["sim", "--events=x", "a", "b"]);
     assert_eq!(out.status.code(), Some(2));
 }
+
+#[test]
+fn sim_no_trace_changes_nothing_observable() {
+    let prog = write_temp("sim-notrace.lucid", GOOD);
+    let sc = write_temp("sim-notrace.sim.json", SIM_SCENARIO);
+    let mut reports = Vec::new();
+    for flags in [&[][..], &["--no-trace"][..]] {
+        let mut args = vec!["sim"];
+        args.extend_from_slice(flags);
+        args.extend_from_slice(&["--json", prog.to_str().unwrap(), sc.to_str().unwrap()]);
+        let out = lucidc(&args);
+        assert_eq!(out.status.code(), Some(0), "{flags:?}: {out:?}");
+        let s = String::from_utf8_lossy(&out.stdout).trim().to_string();
+        assert!(s.contains("\"ok\":true"), "{s}");
+        // Strip the two wall-clock fields; everything else must match
+        // byte for byte — dropping the trace is not allowed to perturb
+        // stats, expectations, metrics, or the state digest.
+        let stable: String = s
+            .split(',')
+            .filter(|f| !f.contains("\"wall_ms\"") && !f.contains("\"events_per_sec\""))
+            .collect::<Vec<_>>()
+            .join(",");
+        reports.push(stable);
+    }
+    assert_eq!(reports[0], reports[1], "--no-trace changed the report");
+
+    // The flag is sim-only.
+    let out = lucidc(&["check", "--no-trace", "x.lucid"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+// ----------------------------------------------------------------- serve
+
+/// Drive `lucidc serve` over stdin/stdout: write the request lines,
+/// close stdin, and collect one response line per request.
+fn serve_session(lines: &[String]) -> Vec<String> {
+    use std::io::Write;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_lucidc"))
+        .arg("serve")
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("lucidc serve spawns");
+    let mut stdin = child.stdin.take().expect("stdin piped");
+    for line in lines {
+        writeln!(stdin, "{line}").expect("request written");
+    }
+    drop(stdin);
+    let out = child.wait_with_output().expect("serve exits");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(std::string::ToString::to_string)
+        .collect()
+}
+
+#[test]
+fn serve_runs_a_scripted_session_end_to_end() {
+    let requests = vec![
+        format!(
+            "{{\"op\":\"open\",\"program\":{},\"scenario\":{}}}",
+            json_quote(GOOD),
+            json_quote(SIM_SCENARIO)
+        ),
+        r#"{"op":"advance","session":1,"to_ns":50}"#.to_string(),
+        r#"{"op":"query","session":1,"array":{"switch":1,"name":"cts"}}"#.to_string(),
+        r#"{"op":"drain","session":1}"#.to_string(),
+        r#"{"op":"shutdown"}"#.to_string(),
+    ];
+    let replies = serve_session(&requests);
+    assert_eq!(replies.len(), 5, "{replies:?}");
+    assert!(
+        replies[0].contains("\"ok\":true,\"session\":1"),
+        "{}",
+        replies[0]
+    );
+    // At t=50 only the first injection has run.
+    assert!(replies[1].contains("\"processed\":1"), "{}", replies[1]);
+    assert!(replies[2].contains("\"array\":["), "{}", replies[2]);
+    // The drained session reports like a one-shot run: all three events,
+    // expectations met.
+    assert!(
+        replies[3].contains("\"events_handled\":3"),
+        "{}",
+        replies[3]
+    );
+    assert!(replies[3].contains("\"ok\":true"), "{}", replies[3]);
+    assert!(replies[4].contains("\"shutdown\":true"), "{}", replies[4]);
+}
+
+#[test]
+fn serve_rejects_unknown_arguments() {
+    let out = lucidc(&["serve", "--port=80"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown `serve` argument"), "{stderr}");
+}
+
+/// Quote a string as a JSON string literal (tests only need the common
+/// escapes: the embedded program/scenario sources are ASCII).
+fn json_quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

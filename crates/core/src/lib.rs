@@ -61,14 +61,20 @@ pub use lucid_tofino as tofino;
 pub use lucid_backend::{BackendOptions, Compiled, HandlerIr, Layout, LayoutOptions, P4Program};
 pub use lucid_check::{Analysis, CheckOptions, CheckedProgram};
 pub use lucid_frontend::{Diagnostic, Diagnostics, Program, SourceMap};
+#[allow(deprecated)]
+pub use lucid_interp::SimOverrides;
 pub use lucid_interp::{
-    disassemble, disassemble_opt, json_escape, run_scenario, run_scenario_with, ArgDist,
-    ClassHists, ClassMetrics, CmpOp, Engine, EventSource, ExecMode, FaultAt, GenSpec, Histogram,
-    Interp, InterpError, InterpFault, MetricExpect, MetricSel, Metrics, Mismatch, NetConfig,
-    OptLevel, Phase, Scenario, ScenarioError, SimOverrides, SimReport, SimRunError, SourcedEvent,
-    Violation, Workload,
+    disassemble, disassemble_opt, handle_line, json_escape, run_scenario, run_scenario_with,
+    serve_lines, ArgDist, CheckHost, ClassHists, ClassMetrics, CmpOp, Engine, ErrorKind,
+    EventSource, ExecMode, FaultAt, GenSpec, Histogram, Interp, InterpError, InterpFault,
+    MetricExpect, MetricSel, Metrics, Mismatch, NetConfig, OptLevel, Outcome, Phase, ProgramHost,
+    Scenario, ScenarioError, ServeError, ServeState, SessionStatus, SimOptions, SimReport,
+    SimRunError, SimSession, SnapError, SourcedEvent, SwapStats, Violation, Workload,
 };
 pub use lucid_tofino::PipelineSpec;
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A reusable compiler configuration. `Compiler` is a builder: chain
 /// [`target`](Compiler::target), [`layout`](Compiler::layout),
@@ -123,6 +129,7 @@ impl Compiler {
             warnings: Diagnostics::new(),
             ast: None,
             checked: None,
+            checked_arc: None,
             lint: None,
             handlers: None,
             layout: None,
@@ -160,6 +167,11 @@ pub struct Build {
     warnings: Diagnostics,
     ast: Option<Result<Program, Diagnostics>>,
     checked: Option<Result<CheckedProgram, Diagnostics>>,
+    /// Shared handle over the check artifact, created on first
+    /// [`Build::checked_arc`] call. Long-lived simulation sessions hold
+    /// the program this way; caching keeps every session and swap epoch
+    /// of one build sharing a single allocation.
+    checked_arc: Option<Arc<CheckedProgram>>,
     lint: Option<Result<Diagnostics, Diagnostics>>,
     handlers: Option<Result<Vec<HandlerIr>, Diagnostics>>,
     layout: Option<Result<Layout, Diagnostics>>,
@@ -196,6 +208,23 @@ impl Build {
         as_result(self.checked.as_ref())
     }
 
+    /// The check artifact as a shared handle — the form long-lived
+    /// simulation sessions hold. Cached: every call (and every session
+    /// opened from this build) shares one allocation until
+    /// [`Build::reconfigure`] invalidates the check stage.
+    pub fn checked_arc(&mut self) -> Result<Arc<CheckedProgram>, Diagnostics> {
+        self.ensure_checked();
+        match self.checked.as_ref().expect("ensured") {
+            Ok(p) => {
+                if self.checked_arc.is_none() {
+                    self.checked_arc = Some(Arc::new(p.clone()));
+                }
+                Ok(Arc::clone(self.checked_arc.as_ref().expect("just set")))
+            }
+            Err(ds) => Err(ds.clone()),
+        }
+    }
+
     /// Elaboration stage: per-handler atomic tables (optimized when the
     /// session's configuration says so).
     pub fn handlers(&mut self) -> Result<&[HandlerIr], Diagnostics> {
@@ -216,47 +245,61 @@ impl Build {
     }
 
     /// Simulation stage: execute a [`Scenario`] in the interpreter against
-    /// this session's checked program. Lazy like the other stages about
-    /// its prerequisite — the first call pays for parse + check, later
-    /// calls reuse the cached artifact — but each invocation runs the
+    /// this session's checked program, under `opts` (engine, executor,
+    /// opt level, workers, workload knobs — `SimOptions::default()`
+    /// overrides nothing). Lazy like the other stages about its
+    /// prerequisite — the first call pays for parse + check, later calls
+    /// reuse the cached artifact — but each invocation runs the
     /// simulation afresh (a run is effectful, so its report is not
     /// cached). Runs counted in [`BuildStats::interp_runs`].
-    pub fn interp(&mut self, scenario: &Scenario) -> Result<SimReport, SimError> {
-        self.interp_with(scenario, None, None)
+    pub fn interp(
+        &mut self,
+        scenario: &Scenario,
+        opts: &SimOptions,
+    ) -> Result<SimReport, SimError> {
+        self.stats.interp_runs += 1;
+        let prog = self.checked_arc().map_err(SimError::Diagnostics)?;
+        let mut session = SimSession::open_arc(prog, scenario, opts).map_err(SimError::from)?;
+        session.drain().map_err(SimError::from)
     }
 
-    /// [`Build::interp`] with the engine and executor choices overridden
-    /// (e.g. from `lucidc sim --engine=... --exec=...`).
+    /// Open a resumable simulation session against this session's checked
+    /// program — the serve-layer entry point. The returned
+    /// [`SimSession`] owns a shared handle to the check artifact, so the
+    /// build can keep compiling (or hot-swap) while the session runs.
+    pub fn session(
+        &mut self,
+        scenario: &Scenario,
+        opts: &SimOptions,
+    ) -> Result<SimSession, SimError> {
+        let prog = self.checked_arc().map_err(SimError::Diagnostics)?;
+        SimSession::open_arc(prog, scenario, opts).map_err(SimError::from)
+    }
+
+    #[deprecated(note = "use `Build::interp(scenario, &SimOptions::new().engine(..).exec(..))`")]
     pub fn interp_with(
         &mut self,
         scenario: &Scenario,
         engine_override: Option<Engine>,
         exec_override: Option<ExecMode>,
     ) -> Result<SimReport, SimError> {
-        self.interp_overrides(
+        self.interp(
             scenario,
-            &SimOverrides {
+            &SimOptions {
                 engine: engine_override,
                 exec: exec_override,
-                ..SimOverrides::default()
+                ..SimOptions::default()
             },
         )
     }
 
-    /// [`Build::interp`] with the full override set, including the
-    /// workload knobs (`lucidc sim --seed=... --events=...`).
+    #[deprecated(note = "renamed to `Build::interp`")]
     pub fn interp_overrides(
         &mut self,
         scenario: &Scenario,
-        overrides: &SimOverrides,
+        overrides: &SimOptions,
     ) -> Result<SimReport, SimError> {
-        self.ensure_checked();
-        self.stats.interp_runs += 1;
-        let prog = match self.checked.as_ref().expect("ensured") {
-            Ok(p) => p,
-            Err(ds) => return Err(SimError::Diagnostics(ds.clone())),
-        };
-        run_scenario_with(prog, scenario, overrides).map_err(SimError::from)
+        self.interp(scenario, overrides)
     }
 
     /// Compile this session's checked program to interpreter bytecode at
@@ -310,6 +353,7 @@ impl Build {
     pub fn reconfigure(&mut self, cfg: &Compiler) {
         if self.cfg.check != cfg.check {
             self.checked = None;
+            self.checked_arc = None;
             self.lint = None;
             self.warnings = Diagnostics::new();
         }
@@ -515,6 +559,10 @@ pub enum SimError {
     Scenario(ScenarioError),
     /// The simulation hit a runtime fault (out-of-bounds index, fuel).
     Runtime(InterpError),
+    /// A world snapshot could not be taken or a restore was refused.
+    Snapshot(String),
+    /// A hot-swap was rejected; the session keeps its current program.
+    Swap(String),
 }
 
 impl From<SimRunError> for SimError {
@@ -522,6 +570,8 @@ impl From<SimRunError> for SimError {
         match e {
             SimRunError::Scenario(s) => SimError::Scenario(s),
             SimRunError::Runtime(r) => SimError::Runtime(r),
+            SimRunError::Snapshot(m) => SimError::Snapshot(m),
+            SimRunError::Swap(m) => SimError::Swap(m),
         }
     }
 }
@@ -534,27 +584,13 @@ impl std::fmt::Display for SimError {
             }
             SimError::Scenario(e) => write!(f, "{e}"),
             SimError::Runtime(e) => write!(f, "runtime fault: {e}"),
+            SimError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
+            SimError::Swap(msg) => write!(f, "swap rejected: {msg}"),
         }
     }
 }
 
 impl std::error::Error for SimError {}
-
-/// A fully rendered compile error: diagnostics already formatted against
-/// the source text. Kept for the deprecated one-shot entry points; new code
-/// should use [`Build`] and its structured [`Diagnostics`].
-#[derive(Debug, Clone)]
-pub struct CompileError {
-    pub rendered: String,
-}
-
-impl std::fmt::Display for CompileError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}", self.rendered)
-    }
-}
-
-impl std::error::Error for CompileError {}
 
 /// Everything produced by a successful compile.
 #[derive(Debug, Clone)]
@@ -563,30 +599,68 @@ pub struct Artifacts {
     pub compiled: Compiled,
 }
 
-/// Shared body of the deprecated one-shot entry points: open a default
-/// session, drive one stage, and trade structured diagnostics for the
-/// pre-session rendered form.
-fn one_shot<T>(
-    name: &str,
-    src: &str,
-    stage: impl FnOnce(&mut Build) -> Result<T, Diagnostics>,
-) -> Result<T, CompileError> {
-    let mut build = Compiler::new().build(name, src);
-    stage(&mut build).map_err(|_| CompileError {
-        rendered: build.render_diagnostics(),
-    })
+/// A [`ProgramHost`] backed by [`Build`] sessions: the host `lucidc
+/// serve` runs with. Each serve session owns one compilation session,
+/// so diagnostics render against the session's own source and the parse
+/// artifact survives across epochs — a hot-swap back to the same source
+/// goes through [`Build::reconfigure`] and reuses the cached check
+/// instead of re-parsing.
+#[derive(Default)]
+pub struct BuildHost {
+    compiler: Compiler,
+    builds: BTreeMap<u64, Build>,
 }
 
-/// Parse and semantically check a source file.
-#[deprecated(note = "use `Compiler::new().build(name, src)` and `Build::checked()`")]
-pub fn check_source(name: &str, src: &str) -> Result<CheckedProgram, CompileError> {
-    one_shot(name, src, |b| b.checked().cloned())
+impl BuildHost {
+    /// A host compiling every session under `compiler`'s configuration.
+    pub fn new(compiler: Compiler) -> BuildHost {
+        BuildHost {
+            compiler,
+            builds: BTreeMap::new(),
+        }
+    }
+
+    /// The compilation session behind a serve session, if open.
+    pub fn build(&self, session: u64) -> Option<&Build> {
+        self.builds.get(&session)
+    }
 }
 
-/// Full pipeline: source text → checked program → Tofino layout → P4.
-#[deprecated(note = "use `Compiler::new().build(name, src)` and the `Build` stage accessors")]
-pub fn compile_source(name: &str, src: &str) -> Result<Artifacts, CompileError> {
-    one_shot(name, src, Build::artifacts)
+impl ProgramHost for BuildHost {
+    fn open_program(&mut self, session: u64, source: &str) -> Result<Arc<CheckedProgram>, String> {
+        let mut build = self
+            .compiler
+            .build(&format!("session-{session}.lucid"), source);
+        let prog = build
+            .checked_arc()
+            .map_err(|_| build.render_diagnostics())?;
+        self.builds.insert(session, build);
+        Ok(prog)
+    }
+
+    fn swap_program(&mut self, session: u64, source: &str) -> Result<Arc<CheckedProgram>, String> {
+        if let Some(build) = self.builds.get_mut(&session) {
+            if build.source_map().src == source {
+                // A new epoch of the same source: re-elaborate through
+                // `reconfigure` without re-parsing or re-checking.
+                let cfg = build.config().clone();
+                build.reconfigure(&cfg);
+                return build.checked_arc().map_err(|_| build.render_diagnostics());
+            }
+        }
+        let mut build = self
+            .compiler
+            .build(&format!("session-{session}.swap.lucid"), source);
+        let prog = build
+            .checked_arc()
+            .map_err(|_| build.render_diagnostics())?;
+        self.builds.insert(session, build);
+        Ok(prog)
+    }
+
+    fn drop_session(&mut self, session: u64) {
+        self.builds.remove(&session);
+    }
 }
 
 #[cfg(test)]
@@ -621,7 +695,7 @@ mod tests {
         )
         .unwrap();
         for exec in [ExecMode::Ast, ExecMode::Bytecode] {
-            let report = b.interp_with(&sc, None, Some(exec)).unwrap();
+            let report = b.interp(&sc, &SimOptions::new().exec(exec)).unwrap();
             assert!(report.passed(), "{exec:?}: {:?}", report.mismatches);
         }
     }
@@ -707,9 +781,9 @@ mod tests {
                            "arrays": [{"switch": 1, "array": "a", "index": 2, "value": 1}]}}"#,
         )
         .unwrap();
-        let report = b.interp(&sc).unwrap();
+        let report = b.interp(&sc, &SimOptions::default()).unwrap();
         assert!(report.passed(), "{:?}", report.mismatches);
-        let report2 = b.interp(&sc).unwrap();
+        let report2 = b.interp(&sc, &SimOptions::default()).unwrap();
         assert!(report2.passed());
         let s = *b.stats();
         assert_eq!(
@@ -723,21 +797,54 @@ mod tests {
         let bad =
             Scenario::from_json(r#"{"events": [{"time_ns": 0, "switch": 1, "event": "nope"}]}"#)
                 .unwrap();
-        assert!(matches!(b.interp(&bad), Err(SimError::Scenario(_))));
+        assert!(matches!(
+            b.interp(&bad, &SimOptions::default()),
+            Err(SimError::Scenario(_))
+        ));
 
         // A broken program surfaces its diagnostics.
         let mut broken =
             Compiler::new().build("m.lucid", "memop bad(int m, int x) { return m * x; }");
-        assert!(matches!(broken.interp(&sc), Err(SimError::Diagnostics(_))));
+        assert!(matches!(
+            broken.interp(&sc, &SimOptions::default()),
+            Err(SimError::Diagnostics(_))
+        ));
     }
 
     #[test]
-    fn deprecated_shims_still_work() {
-        #[allow(deprecated)]
-        let art = compile_source("t.lucid", COUNTER).unwrap();
-        assert!(art.compiled.layout.total_stages >= 2);
-        #[allow(deprecated)]
-        let err = check_source("m.lucid", "memop bad(int m, int x) { return m * x; }").unwrap_err();
-        assert!(err.rendered.contains("memop"), "{err}");
+    fn build_host_serves_and_swaps_without_reparse() {
+        let scenario = r#"{"name": "served",
+            "events": [{"time_ns": 0, "switch": 1, "event": "go", "args": [3]}],
+            "limits": {"max_time_ns": 100000}}"#;
+        let mut state = ServeState::new();
+        let mut host = BuildHost::new(Compiler::new());
+        let open = format!(
+            "{{\"op\":\"open\",\"program\":{:?},\"scenario\":{:?}}}",
+            COUNTER, scenario
+        );
+        let r = handle_line(&mut state, &mut host, &open);
+        assert!(r.reply().contains("\"ok\":true"), "{}", r.reply());
+        // Swapping back the same source is an epoch change, not a rebuild:
+        // the cached parse + check survive `reconfigure`.
+        let swap = format!(
+            "{{\"op\":\"swap\",\"session\":1,\"program\":{:?}}}",
+            COUNTER
+        );
+        let r = handle_line(&mut state, &mut host, &swap);
+        assert!(r.reply().contains("\"arrays_carried\":1"), "{}", r.reply());
+        let stats = *host.build(1).unwrap().stats();
+        assert_eq!(
+            (stats.parse_runs, stats.check_runs),
+            (1, 1),
+            "swap re-used the front end: {stats:?}"
+        );
+        // A swap that fails typecheck is a structured `swap` error and
+        // leaves the session running.
+        let bad = "{\"op\":\"swap\",\"session\":1,\"program\":\"memop bad(int m, int x) { return m * x; }\"}";
+        let r = handle_line(&mut state, &mut host, bad);
+        assert!(r.reply().contains("\"kind\":\"swap\""), "{}", r.reply());
+        let r = handle_line(&mut state, &mut host, "{\"op\":\"drain\",\"session\":1}");
+        assert!(r.reply().contains("\"report\":{"), "{}", r.reply());
+        assert!(state.is_empty());
     }
 }

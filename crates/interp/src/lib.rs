@@ -36,6 +36,9 @@ pub mod bytecode;
 pub mod machine;
 pub mod metrics;
 pub mod scenario;
+pub mod serve;
+pub mod session;
+mod snap;
 pub mod value;
 pub mod workload;
 
@@ -43,13 +46,22 @@ pub use bytecode::{
     disassemble, disassemble_opt, violations_to_diagnostics, CompiledProg, ExecMode, OptLevel,
     Violation,
 };
+pub use machine::SwapStats;
 pub use machine::{
     Engine, FaultAt, Handled, Interp, InterpError, InterpFault, NetConfig, Stats, SwitchState,
 };
 pub use metrics::{ClassHists, ClassMetrics, Histogram, MetricSel, Metrics};
+#[allow(deprecated)]
+pub use scenario::SimOverrides;
 pub use scenario::{
     json_escape, run_scenario, run_scenario_with, CmpOp, MetricExpect, Mismatch, Scenario,
-    ScenarioError, SimOverrides, SimReport, SimRunError,
+    ScenarioError, SimOptions, SimReport, SimRunError,
 };
+pub use serve::{
+    handle_line, hex_decode, hex_encode, serve_lines, CheckHost, ErrorKind, Outcome, ProgramHost,
+    ServeError, ServeState,
+};
+pub use session::{SessionStatus, SimSession};
+pub use snap::SnapError;
 pub use value::{lucid_hash, EventVal, Location, Value};
 pub use workload::{ArgDist, EventSource, GenSpec, Generator, Phase, SourcedEvent, Workload};

@@ -248,6 +248,59 @@ impl ClassHists {
         self.dispatch.merge(&other.dispatch);
         self.residency.merge(&other.residency);
     }
+
+    /// Snapshot encoding: count, then both histograms in full (the
+    /// non-zero buckets as sparse `(index, count)` pairs — latency
+    /// histograms of one event class rarely span more than a handful of
+    /// powers of two).
+    pub(crate) fn encode(&self, w: &mut crate::snap::Writer) {
+        w.u64(self.count);
+        for h in [&self.dispatch, &self.residency] {
+            w.u64(h.count);
+            w.u64(h.sum);
+            w.u64(h.min);
+            w.u64(h.max);
+            let nonzero: Vec<(usize, u64)> = h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|&(_, &n)| n > 0)
+                .map(|(i, &n)| (i, n))
+                .collect();
+            w.u64(nonzero.len() as u64);
+            for (i, n) in nonzero {
+                w.u32(i as u32);
+                w.u64(n);
+            }
+        }
+    }
+
+    pub(crate) fn decode(
+        r: &mut crate::snap::Reader<'_>,
+    ) -> Result<ClassHists, crate::snap::SnapError> {
+        let count = r.u64()?;
+        let mut hists = [Histogram::default(), Histogram::default()];
+        for h in &mut hists {
+            h.count = r.u64()?;
+            h.sum = r.u64()?;
+            h.min = r.u64()?;
+            h.max = r.u64()?;
+            let n = r.len(12, "histogram buckets")?;
+            for _ in 0..n {
+                let i = r.u32()? as usize;
+                if i >= BUCKETS {
+                    return Err(r.err(format!("bucket index {i} out of range")));
+                }
+                h.buckets[i] = r.u64()?;
+            }
+        }
+        let [dispatch, residency] = hists;
+        Ok(ClassHists {
+            count,
+            dispatch,
+            residency,
+        })
+    }
 }
 
 /// A shard's collector: one [`ClassHists`] per event id, indexed exactly

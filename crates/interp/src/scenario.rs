@@ -24,10 +24,9 @@
 use crate::bytecode::{ExecMode, OptLevel};
 use crate::machine::{Engine, Interp, InterpError, NetConfig, Stats};
 use crate::metrics::{MetricSel, Metrics};
-use crate::workload::{ArgDist, GenSpec, Phase, Workload};
+use crate::workload::{ArgDist, GenSpec, Phase};
 use lucid_check::{mask, CheckedProgram};
 use std::fmt;
-use std::time::Instant;
 
 // ----------------------------------------------------------------- errors
 
@@ -49,14 +48,14 @@ pub enum ScenarioError {
 }
 
 impl ScenarioError {
-    fn schema(path: &str, msg: impl Into<String>) -> Self {
+    pub(crate) fn schema(path: &str, msg: impl Into<String>) -> Self {
         ScenarioError::Schema {
             path: path.to_string(),
             msg: msg.into(),
         }
     }
 
-    fn validate(path: &str, msg: impl Into<String>) -> Self {
+    pub(crate) fn validate(path: &str, msg: impl Into<String>) -> Self {
         ScenarioError::Validate {
             path: path.to_string(),
             msg: msg.into(),
@@ -111,6 +110,13 @@ impl std::error::Error for ScenarioError {}
 pub enum SimRunError {
     Scenario(ScenarioError),
     Runtime(InterpError),
+    /// A world snapshot could not be taken, or a restore was refused
+    /// (corrupted bytes, or a snapshot from a different program,
+    /// scenario, or topology).
+    Snapshot(String),
+    /// A hot-swap was rejected (the session keeps running its current
+    /// program).
+    Swap(String),
 }
 
 impl fmt::Display for SimRunError {
@@ -118,6 +124,8 @@ impl fmt::Display for SimRunError {
         match self {
             SimRunError::Scenario(e) => write!(f, "{e}"),
             SimRunError::Runtime(e) => write!(f, "runtime fault: {e}"),
+            SimRunError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
+            SimRunError::Swap(msg) => write!(f, "swap rejected: {msg}"),
         }
     }
 }
@@ -516,26 +524,10 @@ impl Scenario {
             }
         }
 
-        let mut events = Vec::new();
-        if let Some(items) = get(fields, "events") {
-            for (i, item) in arr(items, "$.events")?.iter().enumerate() {
-                let path = format!("$.events[{i}]");
-                let ef = obj(item, &path)?;
-                check_keys(ef, &["time_ns", "switch", "event", "args"], &path)?;
-                let mut args = Vec::new();
-                if let Some(list) = get(ef, "args") {
-                    for (k, a) in arr(list, &format!("{path}.args"))?.iter().enumerate() {
-                        args.push(u64_of(a, &format!("{path}.args[{k}]"))?);
-                    }
-                }
-                events.push(Injection {
-                    time_ns: u64_of(req(ef, "time_ns", &path)?, &format!("{path}.time_ns"))?,
-                    switch: u64_of(req(ef, "switch", &path)?, &format!("{path}.switch"))?,
-                    event: str_of(req(ef, "event", &path)?, &format!("{path}.event"))?.to_string(),
-                    args,
-                });
-            }
-        }
+        let events = match get(fields, "events") {
+            Some(items) => injections_of(items, "$.events")?,
+            None => Vec::new(),
+        };
 
         let mut failures = Vec::new();
         if let Some(items) = get(fields, "failures") {
@@ -1137,15 +1129,27 @@ impl SimReport {
 // ----------------------------------------------------------------- runner
 
 /// Run-time knobs layered over a scenario's own choices (`lucidc sim
-/// --engine/--exec/--opt/--seed/--events`). [`Default`] overrides
-/// nothing.
+/// --engine/--exec/--opt/--workers/--seed/--events/--no-trace`).
+/// [`Default`] overrides nothing; the builder methods set one knob each
+/// and chain:
+///
+/// ```
+/// use lucid_interp::{Engine, SimOptions};
+/// let opts = SimOptions::new().engine(Engine::Sequential).seed(7).record_trace(false);
+/// assert_eq!(opts.seed, Some(7));
+/// ```
 #[derive(Debug, Clone, Copy, Default)]
-pub struct SimOverrides {
+pub struct SimOptions {
     pub engine: Option<Engine>,
     pub exec: Option<ExecMode>,
     /// Replaces the scenario's bytecode optimization level (`--opt`;
     /// a no-op under the AST walker).
     pub opt: Option<OptLevel>,
+    /// Forces the sharded engine with this worker count (`0`: one per
+    /// core), whatever engine the scenario or the `engine` override
+    /// picked. The epoch length is kept when the resolved engine was
+    /// already sharded, adaptive otherwise.
+    pub workers: Option<usize>,
     /// Replaces the scenario's top-level `seed` (reshuffles every
     /// generator stream).
     pub seed: Option<u64>,
@@ -1168,6 +1172,72 @@ pub struct SimOverrides {
     pub record_trace: Option<bool>,
 }
 
+impl SimOptions {
+    /// Options that override nothing (same as [`Default`]).
+    pub fn new() -> SimOptions {
+        SimOptions::default()
+    }
+
+    pub fn engine(mut self, engine: Engine) -> SimOptions {
+        self.engine = Some(engine);
+        self
+    }
+
+    pub fn exec(mut self, exec: ExecMode) -> SimOptions {
+        self.exec = Some(exec);
+        self
+    }
+
+    pub fn opt(mut self, opt: OptLevel) -> SimOptions {
+        self.opt = Some(opt);
+        self
+    }
+
+    pub fn workers(mut self, workers: usize) -> SimOptions {
+        self.workers = Some(workers);
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> SimOptions {
+        self.seed = Some(seed);
+        self
+    }
+
+    pub fn events(mut self, events: u64) -> SimOptions {
+        self.events = Some(events);
+        self
+    }
+
+    pub fn record_trace(mut self, on: bool) -> SimOptions {
+        self.record_trace = Some(on);
+        self
+    }
+
+    /// Resolve the effective network configuration for `sc`: the
+    /// scenario's choices, overridden knob by knob, with `workers`
+    /// folded into the engine last.
+    pub(crate) fn resolve(&self, sc: &Scenario) -> NetConfig {
+        let mut cfg = sc.net_config(self.engine, self.exec, self.opt);
+        if let Some(w) = self.workers {
+            cfg.engine = match cfg.engine {
+                Engine::Sharded { epoch_ns, .. } => Engine::Sharded {
+                    workers: w,
+                    epoch_ns,
+                },
+                Engine::Sequential => Engine::Sharded {
+                    workers: w,
+                    epoch_ns: 0,
+                },
+            };
+        }
+        cfg
+    }
+}
+
+/// The pre-redesign name of [`SimOptions`].
+#[deprecated(note = "renamed to SimOptions")]
+pub type SimOverrides = SimOptions;
+
 /// Validate and execute a scenario against a checked program. The engine
 /// and executor can be overridden (CLI `--engine` / `--exec`); otherwise
 /// the scenario's own choices run. Expectation failures are *not* errors
@@ -1182,158 +1252,31 @@ pub fn run_scenario(
     run_scenario_with(
         prog,
         sc,
-        &SimOverrides {
+        &SimOptions {
             engine: engine_override,
             exec: exec_override,
-            ..SimOverrides::default()
+            ..SimOptions::default()
         },
     )
 }
 
-/// [`run_scenario`] with the full override set, including the workload
-/// knobs (`--seed`, `--events`).
+/// [`run_scenario`] with the full option set, including the workload
+/// knobs (`--seed`, `--events`). One-shot runs are a served session
+/// opened and drained in one breath — [`crate::session::SimSession`] is
+/// the single execution path, which is what makes a served world
+/// bit-identical to this function by construction.
 pub fn run_scenario_with(
     prog: &CheckedProgram,
     sc: &Scenario,
-    ov: &SimOverrides,
+    ov: &SimOptions,
 ) -> Result<SimReport, SimRunError> {
-    sc.validate(prog)?;
-    let cfg = sc.net_config(ov.engine, ov.exec, ov.opt);
-    let engine = cfg.engine.label();
-    let exec = cfg.exec.label();
-    let opt = cfg.opt.label();
-    let t0 = Instant::now();
-    let mut sim = Interp::new(prog, cfg);
-    sim.set_record_trace(ov.record_trace.unwrap_or(true));
-
-    let gen_names: Vec<String> = sc.generators.iter().map(|g| g.name.clone()).collect();
-    if sc.generators.is_empty() {
-        // Workload overrides against a generator-less scenario would be
-        // silent no-ops; surface the mismatch instead.
-        if ov.events.is_some() || ov.seed.is_some() {
-            return Err(ScenarioError::validate(
-                "$.generators",
-                "--seed/--events override the generator workload, \
-                 but this scenario has no `generators` section",
-            )
-            .into());
-        }
-    } else {
-        let seed = ov.seed.unwrap_or(sc.seed);
-        let mut specs = sc.generators.clone();
-        if let Some(target) = ov.events {
-            // Scaling up: stretch authored `count` caps proportionally so
-            // the stream can actually reach the target. Generators bounded
-            // only by `stop_ns` keep their windows and are left out of the
-            // proportion (the total cap still trims the stream at exactly
-            // `target`).
-            let total: u64 = specs.iter().filter_map(|g| g.count).sum();
-            if total > 0 && target > total {
-                for g in &mut specs {
-                    if let Some(c) = g.count {
-                        let scaled = (c as u128 * target as u128).div_ceil(total as u128);
-                        g.count = Some(scaled as u64);
-                    }
-                }
-            }
-        }
-        let gens = specs
-            .iter()
-            .enumerate()
-            .map(|(i, g)| g.compile(prog, seed, i))
-            .collect();
-        sim.set_source(Box::new(Workload::new(gens, ov.events)));
-    }
-    let max_events = match ov.events {
-        Some(n) => sc.max_events.max(n.saturating_mul(4)),
-        None => sc.max_events,
-    };
-
-    for p in &sc.init {
-        sim.poke(p.switch, &p.array, p.index as usize, p.value);
-    }
-    for inj in &sc.events {
-        sim.schedule(inj.switch, inj.time_ns, &inj.event, &inj.args)?;
-    }
-
-    // Fault schedule: run up to each action's instant, apply it, resume.
-    // Both engines segment identically, so determinism is preserved.
-    let mut actions = sc.failures.clone();
-    actions.sort_by_key(|a| a.time_ns);
-    let fuel = |sim: &Interp| max_events.saturating_sub(sim.stats.processed);
-    for a in &actions {
-        let horizon = (a.time_ns - 1).min(sc.max_time_ns);
-        sim.run(fuel(&sim), horizon)?;
-        if a.time_ns > sc.max_time_ns {
-            break;
-        }
-        match a.kind {
-            FailureKind::Fail => sim.fail_switch(a.switch),
-            FailureKind::Recover => sim.recover_switch(a.switch),
-        }
-    }
-    sim.run(fuel(&sim), sc.max_time_ns)?;
-
-    // `--events=N` promises exactly N injections; if the generators'
-    // windows or the scenario horizon capped the stream short of that,
-    // failing loudly beats a caller comparing digests of a smaller run
-    // than it thinks it ran.
-    if let Some(target) = ov.events {
-        let injected: u64 = sim.source_counts().iter().sum();
-        if injected < target {
-            return Err(ScenarioError::validate(
-                "$.generators",
-                format!(
-                    "--events asked for {target} injections but the generators \
-                     supplied only {injected} (emission windows or the scenario \
-                     horizon cap the stream)"
-                ),
-            )
-            .into());
-        }
-    }
-
-    let wall = t0.elapsed().as_secs_f64();
-    let mut mismatches = Vec::new();
-    // A reseeded or rescaled workload is not the run the author wrote
-    // expectations for; check them only when the workload ran as authored.
-    let workload_overridden =
-        !sc.generators.is_empty() && (ov.seed.is_some() || ov.events.is_some());
-    let metrics = sim.metrics();
-    if !workload_overridden {
-        check_expectations(&sim, &sc.expect, &mut mismatches);
-        check_metric_expectations(&metrics, &sc.metrics, &mut mismatches);
-    }
-    let state_digest = digest_state(prog, &sim, &sc.switches);
-    let gens = gen_names
-        .into_iter()
-        .enumerate()
-        .map(|(i, name)| (name, sim.source_counts().get(i).copied().unwrap_or(0)))
-        .collect();
-    Ok(SimReport {
-        scenario: sc.name.clone(),
-        engine,
-        exec,
-        opt,
-        switches: sc.switches.len(),
-        sim_ns: sim.now_ns,
-        wall_ms: wall * 1e3,
-        events_per_sec: if wall > 0.0 {
-            sim.stats.processed as f64 / wall
-        } else {
-            0.0
-        },
-        stats: sim.stats.clone(),
-        state_digest,
-        gens,
-        metrics,
-        mismatches,
-    })
+    let mut session = crate::session::SimSession::open(prog, sc, ov)?;
+    session.drain()
 }
 
 /// FNV-1a over every configured switch's final arrays. Sorted switch
 /// order and declaration order make it engine-independent.
-fn digest_state(prog: &CheckedProgram, sim: &Interp, switches: &[u64]) -> u64 {
+pub(crate) fn digest_state(prog: &CheckedProgram, sim: &Interp, switches: &[u64]) -> u64 {
     let mut sorted = switches.to_vec();
     sorted.sort_unstable();
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -1358,7 +1301,7 @@ fn digest_state(prog: &CheckedProgram, sim: &Interp, switches: &[u64]) -> u64 {
     h
 }
 
-fn check_expectations(sim: &Interp, expect: &Expectations, out: &mut Vec<Mismatch>) {
+pub(crate) fn check_expectations(sim: &Interp, expect: &Expectations, out: &mut Vec<Mismatch>) {
     for x in &expect.arrays {
         let Some(actual) = sim.try_array(x.switch, &x.array) else {
             out.push(Mismatch::FailedSwitch {
@@ -1418,7 +1361,11 @@ fn check_expectations(sim: &Interp, expect: &Expectations, out: &mut Vec<Mismatc
 /// pair (count 0, every percentile 0), so "count >= N" naturally fails
 /// and "latency < K" trivially holds on silence — assert `count` too
 /// when silence would be a bug.
-fn check_metric_expectations(metrics: &Metrics, expect: &[MetricExpect], out: &mut Vec<Mismatch>) {
+pub(crate) fn check_metric_expectations(
+    metrics: &Metrics,
+    expect: &[MetricExpect],
+    out: &mut Vec<Mismatch>,
+) {
     for m in expect {
         let hists = match m.switch {
             Some(s) => metrics.class(s, &m.event).map(|c| c.hists.clone()),
@@ -1463,7 +1410,31 @@ pub fn json_escape(s: &str) -> String {
 
 // ------------------------------------------------------ generator schema
 
-fn generators_of(j: &json::Json, path: &str) -> Result<Vec<GenSpec>, ScenarioError> {
+/// Parse a scenario `events` array (shared with the serve `ingest` verb,
+/// whose batches use the same shape).
+pub(crate) fn injections_of(j: &json::Json, path: &str) -> Result<Vec<Injection>, ScenarioError> {
+    let mut events = Vec::new();
+    for (i, item) in arr(j, path)?.iter().enumerate() {
+        let path = format!("{path}[{i}]");
+        let ef = obj(item, &path)?;
+        check_keys(ef, &["time_ns", "switch", "event", "args"], &path)?;
+        let mut args = Vec::new();
+        if let Some(list) = get(ef, "args") {
+            for (k, a) in arr(list, &format!("{path}.args"))?.iter().enumerate() {
+                args.push(u64_of(a, &format!("{path}.args[{k}]"))?);
+            }
+        }
+        events.push(Injection {
+            time_ns: u64_of(req(ef, "time_ns", &path)?, &format!("{path}.time_ns"))?,
+            switch: u64_of(req(ef, "switch", &path)?, &format!("{path}.switch"))?,
+            event: str_of(req(ef, "event", &path)?, &format!("{path}.event"))?.to_string(),
+            args,
+        });
+    }
+    Ok(events)
+}
+
+pub(crate) fn generators_of(j: &json::Json, path: &str) -> Result<Vec<GenSpec>, ScenarioError> {
     let items = arr(j, path)?;
     let mut out = Vec::with_capacity(items.len());
     for (i, item) in items.iter().enumerate() {
@@ -1730,7 +1701,10 @@ fn arg_dist_of(j: &json::Json, path: &str) -> Result<ArgDist, ScenarioError> {
 
 // -------------------------------------------------------- JSON accessors
 
-fn obj<'a>(j: &'a json::Json, path: &str) -> Result<&'a [(String, json::Json)], ScenarioError> {
+pub(crate) fn obj<'a>(
+    j: &'a json::Json,
+    path: &str,
+) -> Result<&'a [(String, json::Json)], ScenarioError> {
     match j {
         json::Json::Obj(fields) => Ok(fields),
         other => Err(ScenarioError::schema(
@@ -1740,7 +1714,7 @@ fn obj<'a>(j: &'a json::Json, path: &str) -> Result<&'a [(String, json::Json)], 
     }
 }
 
-fn arr<'a>(j: &'a json::Json, path: &str) -> Result<&'a [json::Json], ScenarioError> {
+pub(crate) fn arr<'a>(j: &'a json::Json, path: &str) -> Result<&'a [json::Json], ScenarioError> {
     match j {
         json::Json::Arr(items) => Ok(items),
         other => Err(ScenarioError::schema(
@@ -1750,11 +1724,11 @@ fn arr<'a>(j: &'a json::Json, path: &str) -> Result<&'a [json::Json], ScenarioEr
     }
 }
 
-fn get<'a>(fields: &'a [(String, json::Json)], key: &str) -> Option<&'a json::Json> {
+pub(crate) fn get<'a>(fields: &'a [(String, json::Json)], key: &str) -> Option<&'a json::Json> {
     fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
 }
 
-fn req<'a>(
+pub(crate) fn req<'a>(
     fields: &'a [(String, json::Json)],
     key: &str,
     path: &str,
@@ -1763,7 +1737,7 @@ fn req<'a>(
         .ok_or_else(|| ScenarioError::schema(path, format!("missing required field `{key}`")))
 }
 
-fn str_of<'a>(j: &'a json::Json, path: &str) -> Result<&'a str, ScenarioError> {
+pub(crate) fn str_of<'a>(j: &'a json::Json, path: &str) -> Result<&'a str, ScenarioError> {
     match j {
         json::Json::Str(s) => Ok(s),
         other => Err(ScenarioError::schema(
@@ -1773,7 +1747,7 @@ fn str_of<'a>(j: &'a json::Json, path: &str) -> Result<&'a str, ScenarioError> {
     }
 }
 
-fn u64_of(j: &json::Json, path: &str) -> Result<u64, ScenarioError> {
+pub(crate) fn u64_of(j: &json::Json, path: &str) -> Result<u64, ScenarioError> {
     match j {
         json::Json::Num(n) => {
             if *n < 0.0 || n.fract() != 0.0 || *n > 9_007_199_254_740_992.0 {
@@ -1802,7 +1776,7 @@ fn f64_of(j: &json::Json, path: &str) -> Result<f64, ScenarioError> {
     }
 }
 
-fn check_keys(
+pub(crate) fn check_keys(
     fields: &[(String, json::Json)],
     allowed: &[&str],
     path: &str,
@@ -2333,9 +2307,9 @@ mod tests {
         let report = run_scenario_with(
             &prog(),
             &sc,
-            &SimOverrides {
+            &SimOptions {
                 opt: Some(OptLevel::O0),
-                ..SimOverrides::default()
+                ..SimOptions::default()
             },
         )
         .unwrap();
@@ -2504,9 +2478,9 @@ mod tests {
         let capped = run_scenario_with(
             &p,
             &sc,
-            &SimOverrides {
+            &SimOptions {
                 events: Some(12),
-                ..SimOverrides::default()
+                ..SimOptions::default()
             },
         )
         .unwrap();
@@ -2520,9 +2494,9 @@ mod tests {
         let scaled = run_scenario_with(
             &p,
             &sc,
-            &SimOverrides {
+            &SimOptions {
                 events: Some(400),
-                ..SimOverrides::default()
+                ..SimOptions::default()
             },
         )
         .unwrap();
@@ -2534,9 +2508,9 @@ mod tests {
         let reseeded = run_scenario_with(
             &p,
             &sc,
-            &SimOverrides {
+            &SimOptions {
                 seed: Some(99),
-                ..SimOverrides::default()
+                ..SimOptions::default()
             },
         )
         .unwrap();
@@ -2565,9 +2539,9 @@ mod tests {
         let report = run_scenario_with(
             &p,
             &sc,
-            &SimOverrides {
+            &SimOptions {
                 events: Some(800),
-                ..SimOverrides::default()
+                ..SimOptions::default()
             },
         )
         .unwrap();
@@ -2594,9 +2568,9 @@ mod tests {
         let err = run_scenario_with(
             &p,
             &sc,
-            &SimOverrides {
+            &SimOptions {
                 events: Some(500),
-                ..SimOverrides::default()
+                ..SimOptions::default()
             },
         )
         .unwrap_err();
@@ -2615,13 +2589,13 @@ mod tests {
         )
         .unwrap();
         for ov in [
-            SimOverrides {
+            SimOptions {
                 events: Some(10),
-                ..SimOverrides::default()
+                ..SimOptions::default()
             },
-            SimOverrides {
+            SimOptions {
                 seed: Some(1),
-                ..SimOverrides::default()
+                ..SimOptions::default()
             },
         ] {
             let err = run_scenario_with(&p, &sc, &ov).unwrap_err();

@@ -1,0 +1,248 @@
+//! Deterministic byte codec for world snapshots.
+//!
+//! A snapshot is a flat little-endian byte stream: fixed-width `u64`s,
+//! length-prefixed strings, and `f64`s stored as their IEEE-754 bit
+//! patterns. No varints, no alignment, no map iteration order — every
+//! collection is written in a sorted or declaration order, so the same
+//! world always encodes to the same bytes (the property the serve-gate
+//! diffs rely on).
+//!
+//! Decoding is fully bounds-checked: a truncated or corrupted snapshot
+//! yields a [`SnapError`] naming the offset, never a panic.
+
+use std::fmt;
+
+/// A malformed snapshot: what was expected and where in the byte stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapError {
+    pub offset: usize,
+    pub msg: String,
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "corrupt snapshot at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+/// Append-only snapshot encoder.
+#[derive(Default)]
+pub(crate) struct Writer {
+    pub(crate) buf: Vec<u8>,
+}
+
+impl Writer {
+    pub(crate) fn new() -> Writer {
+        Writer::default()
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub(crate) fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    pub(crate) fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    pub(crate) fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(x) => {
+                self.bool(true);
+                self.u64(x);
+            }
+            None => self.bool(false),
+        }
+    }
+
+    pub(crate) fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    pub(crate) fn u64s(&mut self, vs: &[u64]) {
+        self.u64(vs.len() as u64);
+        for &v in vs {
+            self.u64(v);
+        }
+    }
+
+    /// Length-prefix a nested section so a reader can skip or isolate it.
+    pub(crate) fn bytes(&mut self, bs: &[u8]) {
+        self.u64(bs.len() as u64);
+        self.buf.extend_from_slice(bs);
+    }
+}
+
+/// Cursor-based snapshot decoder; every read is bounds-checked.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    pub(crate) fn err(&self, msg: impl Into<String>) -> SnapError {
+        SnapError {
+            offset: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], SnapError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| self.err("length overflow"))?;
+        if end > self.buf.len() {
+            return Err(self.err(format!(
+                "truncated: need {n} bytes for {what}, have {}",
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, SnapError> {
+        let b = self.take(8, "u64")?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, SnapError> {
+        let b = self.take(4, "u32")?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, SnapError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    pub(crate) fn bool(&mut self) -> Result<bool, SnapError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(self.err(format!("bad bool byte {b}"))),
+        }
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64, SnapError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub(crate) fn opt_u64(&mut self) -> Result<Option<u64>, SnapError> {
+        Ok(if self.bool()? {
+            Some(self.u64()?)
+        } else {
+            None
+        })
+    }
+
+    /// Read a length prefix for `what`, refusing anything that could not
+    /// possibly fit in the remaining bytes (`min_item` bytes per entry) —
+    /// the guard that keeps a corrupted length from driving a huge
+    /// allocation before the truncation is even noticed.
+    pub(crate) fn len(&mut self, min_item: usize, what: &str) -> Result<usize, SnapError> {
+        let n = self.u64()?;
+        let cap = (self.buf.len() - self.pos) / min_item.max(1);
+        if n as usize > cap {
+            return Err(self.err(format!("{what} length {n} exceeds remaining bytes")));
+        }
+        Ok(n as usize)
+    }
+
+    pub(crate) fn str(&mut self) -> Result<String, SnapError> {
+        let n = self.len(1, "string")?;
+        let b = self.take(n, "string")?;
+        String::from_utf8(b.to_vec()).map_err(|_| self.err("string is not UTF-8"))
+    }
+
+    pub(crate) fn u64s(&mut self) -> Result<Vec<u64>, SnapError> {
+        let n = self.len(8, "u64 vector")?;
+        (0..n).map(|_| self.u64()).collect()
+    }
+
+    pub(crate) fn bytes(&mut self) -> Result<&'a [u8], SnapError> {
+        let n = self.len(1, "byte section")?;
+        self.take(n, "byte section")
+    }
+
+    /// Bytes not yet consumed.
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub(crate) fn expect_end(&self) -> Result<(), SnapError> {
+        if self.remaining() != 0 {
+            return Err(self.err(format!("{} trailing bytes", self.remaining())));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_primitive() {
+        let mut w = Writer::new();
+        w.u64(u64::MAX);
+        w.u32(7);
+        w.bool(true);
+        w.f64(1.25);
+        w.opt_u64(None);
+        w.opt_u64(Some(9));
+        w.str("héllo");
+        w.u64s(&[1, 2, 3]);
+        w.bytes(&[0xAB, 0xCD]);
+        let buf = w.buf;
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.u32().unwrap(), 7);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.f64().unwrap(), 1.25);
+        assert_eq!(r.opt_u64().unwrap(), None);
+        assert_eq!(r.opt_u64().unwrap(), Some(9));
+        assert_eq!(r.str().unwrap(), "héllo");
+        assert_eq!(r.u64s().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.bytes().unwrap(), &[0xAB, 0xCD]);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncation_and_bad_lengths_are_errors_not_panics() {
+        let mut w = Writer::new();
+        w.u64s(&[1, 2, 3]);
+        let buf = w.buf;
+        // Truncate mid-vector.
+        let mut r = Reader::new(&buf[..12]);
+        assert!(r.u64s().is_err());
+        // A length prefix far beyond the remaining bytes.
+        let mut w = Writer::new();
+        w.u64(u64::MAX / 2);
+        let buf = w.buf;
+        let mut r = Reader::new(&buf);
+        assert!(r.u64s().is_err());
+        // Bad bool byte.
+        let mut r = Reader::new(&[7]);
+        assert!(r.bool().is_err());
+    }
+}

@@ -25,6 +25,7 @@
 //! (time, source-index) order — both drivers pull the identical sequence.
 
 use crate::machine::{Interp, InterpError, InterpFault};
+use crate::snap;
 use lucid_check::{mask, CheckedProgram};
 
 /// One event pulled from a source: an external injection the interpreter
@@ -102,6 +103,36 @@ pub trait EventSource {
     /// workers pulled them).
     fn reattach_local(&mut self, parts: Vec<LocalGen>) {
         debug_assert!(parts.is_empty(), "default detach_local detaches nothing");
+    }
+    /// Serialize the source's full cursor state (specs, RNG positions,
+    /// remaining budget) into `out` so a restored world resumes the
+    /// exact stream. Returns `false` when the source does not support
+    /// snapshots (the default) — snapshotting such a world is refused
+    /// with a structured error rather than silently dropping the stream.
+    fn save_state(&self, out: &mut Vec<u8>) -> bool {
+        let _ = out;
+        false
+    }
+    /// Counterpart of [`EventSource::save_state`]: overwrite this
+    /// source's state from `bytes`, re-resolving event names against
+    /// `prog`. Corrupted bytes yield `Err`, never a panic.
+    fn load_state(&mut self, prog: &CheckedProgram, bytes: &[u8]) -> Result<(), String> {
+        let _ = (prog, bytes);
+        Err("event source does not support snapshot restore".to_string())
+    }
+    /// Re-resolve the source's events against a hot-swapped program.
+    /// Constituent sources whose event vanished (or changed arity) are
+    /// disabled; returns how many were. The default reports the whole
+    /// source as incompatible without disabling anything.
+    fn remap_events(&mut self, prog: &CheckedProgram) -> usize {
+        let _ = prog;
+        0
+    }
+    /// Append a constituent generator mid-run (the serve `ingest` verb).
+    /// Returns `false` when the source cannot grow (the default).
+    fn attach_generator(&mut self, gen: Generator) -> bool {
+        let _ = gen;
+        false
     }
 }
 
@@ -272,6 +303,98 @@ impl GenSpec {
     fn event_info<'p>(&self, prog: &'p CheckedProgram) -> &'p lucid_check::EventInfo {
         prog.info.event(&self.event).expect("validated event name")
     }
+
+    /// Snapshot encoding: the schema-level spec, written field by field
+    /// in declaration order (floats as IEEE bit patterns).
+    pub(crate) fn encode(&self, w: &mut snap::Writer) {
+        w.str(&self.name);
+        w.str(&self.event);
+        w.u64s(&self.switches);
+        w.u64(self.interval_ns);
+        w.u64(self.jitter_ns);
+        w.u64(self.start_ns);
+        w.opt_u64(self.stop_ns);
+        w.opt_u64(self.count);
+        w.u64(self.seed);
+        w.u64(self.args.len() as u64);
+        for a in &self.args {
+            match *a {
+                ArgDist::Const(v) => {
+                    w.u8(0);
+                    w.u64(v);
+                }
+                ArgDist::Uniform { lo, hi } => {
+                    w.u8(1);
+                    w.u64(lo);
+                    w.u64(hi);
+                }
+                ArgDist::Zipf { n, s } => {
+                    w.u8(2);
+                    w.u64(n);
+                    w.f64(s);
+                }
+                ArgDist::Seq { n } => {
+                    w.u8(3);
+                    w.u64(n);
+                }
+            }
+        }
+        w.u64(self.phases.len() as u64);
+        for p in &self.phases {
+            w.u64(p.at_ns);
+            w.u64(p.interval_ns);
+        }
+    }
+
+    pub(crate) fn decode(r: &mut snap::Reader<'_>) -> Result<GenSpec, snap::SnapError> {
+        let name = r.str()?;
+        let event = r.str()?;
+        let switches = r.u64s()?;
+        let interval_ns = r.u64()?;
+        let jitter_ns = r.u64()?;
+        let start_ns = r.u64()?;
+        let stop_ns = r.opt_u64()?;
+        let count = r.opt_u64()?;
+        let seed = r.u64()?;
+        let nargs = r.len(9, "generator args")?;
+        let mut args = Vec::with_capacity(nargs);
+        for _ in 0..nargs {
+            args.push(match r.u8()? {
+                0 => ArgDist::Const(r.u64()?),
+                1 => ArgDist::Uniform {
+                    lo: r.u64()?,
+                    hi: r.u64()?,
+                },
+                2 => ArgDist::Zipf {
+                    n: r.u64()?,
+                    s: r.f64()?,
+                },
+                3 => ArgDist::Seq { n: r.u64()? },
+                t => return Err(r.err(format!("bad arg-dist tag {t}"))),
+            });
+        }
+        let nphases = r.len(16, "generator phases")?;
+        let mut phases = Vec::with_capacity(nphases);
+        for _ in 0..nphases {
+            phases.push(Phase {
+                at_ns: r.u64()?,
+                interval_ns: r.u64()?,
+            });
+        }
+        Ok(GenSpec {
+            name,
+            event,
+            switches,
+            interval_ns,
+            jitter_ns,
+            start_ns,
+            stop_ns,
+            count,
+            seed,
+            args,
+            phases,
+        })
+    }
 }
 
 // ------------------------------------------------------------- generator
@@ -435,6 +558,59 @@ impl Generator {
         }
         out
     }
+
+    /// Snapshot encoding: the spec plus the dynamic cursor (RNG state,
+    /// seq counters, emission count, next emission time). Compiled
+    /// plans and the resolved event are re-derived on load.
+    fn encode(&self, w: &mut snap::Writer) {
+        self.spec.encode(w);
+        for s in self.rng.s {
+            w.u64(s);
+        }
+        w.u64s(&self.seq_counters);
+        w.u64(self.emitted);
+        w.opt_u64(self.next_time);
+    }
+
+    /// Decode one generator for slot `index`, re-resolving its event
+    /// against `prog`. The event must still exist with the spec's arity
+    /// — a snapshot is only restorable onto a compatible program.
+    fn decode(
+        r: &mut snap::Reader<'_>,
+        prog: &CheckedProgram,
+        index: usize,
+    ) -> Result<Generator, snap::SnapError> {
+        let spec = GenSpec::decode(r)?;
+        let Some(ev) = prog.info.event(&spec.event) else {
+            return Err(r.err(format!(
+                "generator '{}' emits unknown event '{}'",
+                spec.name, spec.event
+            )));
+        };
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = r.u64()?;
+        }
+        let seq_counters = r.u64s()?;
+        if seq_counters.len() != spec.args.len() {
+            return Err(r.err(format!(
+                "generator '{}' has {} seq counters for {} args",
+                spec.name,
+                seq_counters.len(),
+                spec.args.len()
+            )));
+        }
+        let emitted = r.u64()?;
+        let next_time = r.opt_u64()?;
+        // Seed value is irrelevant — the whole RNG state is overwritten.
+        let mut gen = spec.compile(prog, 0, index);
+        gen.event_id = ev.id;
+        gen.rng = Rng { s };
+        gen.seq_counters = seq_counters;
+        gen.emitted = emitted;
+        gen.next_time = next_time;
+        Ok(gen)
+    }
 }
 
 impl EventSource for Generator {
@@ -585,6 +761,82 @@ impl EventSource for Workload {
         }
         self.head.set(None);
     }
+
+    fn save_state(&self, out: &mut Vec<u8>) -> bool {
+        let mut w = snap::Writer::new();
+        w.u64(self.gens.len() as u64);
+        for g in &self.gens {
+            match g {
+                Some(g) => {
+                    w.bool(true);
+                    g.encode(&mut w);
+                }
+                // A detached slot can only be observed mid-sharded-run;
+                // snapshots are taken between runs, when every lent
+                // generator is back. Encode the hole anyway so the
+                // format has no unrepresentable state.
+                None => w.bool(false),
+            }
+        }
+        w.opt_u64(self.remaining);
+        out.extend_from_slice(&w.buf);
+        true
+    }
+
+    fn load_state(&mut self, prog: &CheckedProgram, bytes: &[u8]) -> Result<(), String> {
+        let mut r = snap::Reader::new(bytes);
+        let mut inner = || -> Result<Workload, snap::SnapError> {
+            let n = r.len(1, "workload slots")?;
+            let mut gens = Vec::with_capacity(n);
+            for index in 0..n {
+                gens.push(if r.bool()? {
+                    Some(Generator::decode(&mut r, prog, index)?)
+                } else {
+                    None
+                });
+            }
+            let remaining = r.opt_u64()?;
+            r.expect_end()?;
+            Ok(Workload {
+                gens,
+                remaining,
+                head: std::cell::Cell::new(None),
+            })
+        };
+        *self = inner().map_err(|e| e.to_string())?;
+        Ok(())
+    }
+
+    fn remap_events(&mut self, prog: &CheckedProgram) -> usize {
+        let mut disabled = 0;
+        for g in self.gens.iter_mut().flatten() {
+            match prog.info.event(&g.spec.event) {
+                Some(ev) if ev.params.len() == g.widths.len() => {
+                    g.event_id = ev.id;
+                    g.widths = ev
+                        .params
+                        .iter()
+                        .map(|p| p.ty.int_width().unwrap_or(32))
+                        .collect();
+                }
+                _ => {
+                    if g.next_time.is_some() {
+                        g.next_time = None;
+                        disabled += 1;
+                    }
+                }
+            }
+        }
+        self.head.set(None);
+        disabled
+    }
+
+    fn attach_generator(&mut self, mut gen: Generator) -> bool {
+        gen.index = self.gens.len();
+        self.gens.push(Some(gen));
+        self.head.set(None);
+        true
+    }
 }
 
 /// Drive a standalone source through an [`Interp`] until it drains (a
@@ -592,7 +844,7 @@ impl EventSource for Workload {
 /// generators through the engines itself).
 pub fn drain_into(
     sim: &mut Interp,
-    source: impl EventSource + 'static,
+    source: impl EventSource + Send + 'static,
     max_events: u64,
     max_time_ns: u64,
 ) -> Result<(), InterpError> {

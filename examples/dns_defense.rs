@@ -55,6 +55,6 @@ fn main() {
     println!("after aging sweep: victim reachable = {}", delivered(&sim));
 }
 
-fn delivered(sim: &Interp<'_>) -> bool {
+fn delivered(sim: &Interp) -> bool {
     sim.trace.iter().any(|h| &*h.event == "deliver")
 }

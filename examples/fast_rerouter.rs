@@ -69,7 +69,7 @@ fn main() {
 }
 
 /// The next hop of the most recent `deliver` event at switch 1.
-fn last_delivery(sim: &Interp<'_>) -> Option<u64> {
+fn last_delivery(sim: &Interp) -> Option<u64> {
     sim.trace
         .iter()
         .rev()

@@ -12,7 +12,7 @@ fn app(key: &str) -> CheckedProgram {
         .checked()
 }
 
-fn count(sim: &Interp<'_>, event: &str) -> usize {
+fn count(sim: &Interp, event: &str) -> usize {
     sim.trace.iter().filter(|h| &*h.event == event).count()
 }
 

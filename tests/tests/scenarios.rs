@@ -208,7 +208,7 @@ fn metric_expectations_skip_when_workload_overridden() {
     let base = run_scenario(&prog, &sc, None, None).unwrap();
     assert!(base.passed(), "{:?}", base.mismatches);
 
-    let overrides = lucid_core::SimOverrides {
+    let overrides = lucid_core::SimOptions {
         events: Some(25),
         ..Default::default()
     };
@@ -244,7 +244,7 @@ fn bundled_scenarios_all_pass() {
             Scenario::from_json(&sc_text).unwrap_or_else(|e| panic!("{name} does not parse: {e}"));
         let mut build = Compiler::new().build(app, &src);
         let report = build
-            .interp(&sc)
+            .interp(&sc, &lucid_core::SimOptions::default())
             .unwrap_or_else(|e| panic!("{name} failed to run: {e}"));
         assert!(
             report.passed(),

@@ -5,7 +5,7 @@
 
 use lucid_core::{
     run_scenario, run_scenario_with, ArgDist, Engine, ExecMode, GenSpec, Phase, Scenario,
-    SimOverrides, SimReport,
+    SimOptions, SimReport,
 };
 use proptest::prelude::*;
 
@@ -110,9 +110,9 @@ fn generator_matrix_is_bit_identical_and_seed_sensitive() {
     let reseeded = run_scenario_with(
         &prog,
         &sc,
-        &SimOverrides {
+        &SimOptions {
             seed: Some(6),
-            ..SimOverrides::default()
+            ..SimOptions::default()
         },
     )
     .unwrap();
@@ -129,9 +129,9 @@ fn events_override_scales_lazily_and_engines_still_agree() {
     let sc = Scenario::from_json(GEN_SCENARIO).unwrap();
     // 7500 authored events scaled to 60k: per-generator counts stretch
     // proportionally and the stream still never materializes.
-    let ov = SimOverrides {
+    let ov = SimOptions {
         events: Some(60_000),
-        ..SimOverrides::default()
+        ..SimOptions::default()
     };
     let seq = run_scenario_with(&prog, &sc, &ov).unwrap();
     let injected: u64 = seq.gens.iter().map(|(_, n)| n).sum();
@@ -141,7 +141,7 @@ fn events_override_scales_lazily_and_engines_still_agree() {
     let sh = run_scenario_with(
         &prog,
         &sc,
-        &SimOverrides {
+        &SimOptions {
             engine: Some(Engine::Sharded {
                 workers: 3,
                 epoch_ns: 0,
